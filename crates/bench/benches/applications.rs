@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the application-level algorithms built on the
+//! transform: registration, edge detection, packet best-basis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwt::features::edge_field;
+use dwt::packets::best_basis;
+use dwt::{Boundary, FilterBank};
+use imagery::register::{register_translation, shift_periodic, RegisterParams};
+use imagery::{landsat_scene, SceneParams};
+use std::hint::black_box;
+
+fn bench_registration(c: &mut Criterion) {
+    let bank = FilterBank::daubechies(4).unwrap();
+    let mut group = c.benchmark_group("registration");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let reference = landsat_scene(n, n, SceneParams::default());
+        let target = shift_periodic(&reference, 9, -5);
+        group.bench_with_input(BenchmarkId::new("coarse_to_fine", n), &n, |b, _| {
+            b.iter(|| {
+                register_translation(
+                    black_box(&reference),
+                    black_box(&target),
+                    &bank,
+                    RegisterParams::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edges(c: &mut Criterion) {
+    let img = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::haar();
+    let mut group = c.benchmark_group("edge_detection");
+    group.sample_size(20);
+    for level in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("swt_level", level), &level, |b, &l| {
+            b.iter(|| edge_field(black_box(&img), &bank, l).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_packets(c: &mut Criterion) {
+    let img = landsat_scene(128, 128, SceneParams::default());
+    let bank = FilterBank::daubechies(4).unwrap();
+    let mut group = c.benchmark_group("wavelet_packets");
+    group.sample_size(10);
+    group.bench_function("best_basis_depth3", |b| {
+        b.iter(|| best_basis(black_box(&img), &bank, 3, Boundary::Periodic).unwrap())
+    });
+    group.bench_function("mallat_depth3", |b| {
+        b.iter(|| dwt::dwt2d::decompose(black_box(&img), &bank, 3, Boundary::Periodic).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registration, bench_edges, bench_packets);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the sequential Mallat transform: filter
+//! length and level sweeps, decomposition and reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwt::{dwt2d, Boundary, FilterBank};
+use imagery::{landsat_scene, SceneParams};
+use std::hint::black_box;
+
+fn bench_decompose(c: &mut Criterion) {
+    let img = landsat_scene(256, 256, SceneParams::default());
+    let mut group = c.benchmark_group("dwt2d_decompose_256");
+    for taps in [2usize, 4, 8] {
+        let bank = FilterBank::daubechies(taps).unwrap();
+        group.bench_with_input(BenchmarkId::new("filter", taps), &bank, |b, bank| {
+            b.iter(|| dwt2d::decompose(black_box(&img), bank, 1, Boundary::Periodic).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dwt2d_levels_256_d4");
+    let bank = FilterBank::daubechies(4).unwrap();
+    for levels in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("levels", levels), &levels, |b, &l| {
+            b.iter(|| dwt2d::decompose(black_box(&img), &bank, l, Boundary::Periodic).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let img = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::daubechies(8).unwrap();
+    let pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    c.bench_function("dwt2d_reconstruct_256_d8_l3", |b| {
+        b.iter(|| dwt2d::reconstruct(black_box(&pyr), &bank, Boundary::Periodic).unwrap())
+    });
+}
+
+fn bench_boundary_modes(c: &mut Criterion) {
+    let img = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::daubechies(4).unwrap();
+    let mut group = c.benchmark_group("dwt2d_boundary_modes");
+    for mode in Boundary::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("mode", format!("{mode:?}")),
+            &mode,
+            |b, &m| b.iter(|| dwt2d::decompose(black_box(&img), &bank, 1, m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_reconstruct, bench_boundary_modes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion comparison of the sequential and rayon-parallel transforms
+//! on the host machine — the modern shared-memory counterpart of the
+//! paper's coarse-grain experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwt::{dwt2d, parallel, Boundary, FilterBank};
+use imagery::{landsat_scene, SceneParams};
+use std::hint::black_box;
+
+fn bench_seq_vs_par(c: &mut Criterion) {
+    let img = landsat_scene(512, 512, SceneParams::default());
+    let bank = FilterBank::daubechies(8).unwrap();
+    let mut group = c.benchmark_group("dwt2d_512_d8_l3");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| dwt2d::decompose(black_box(&img), &bank, 3, Boundary::Periodic).unwrap())
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| parallel::decompose_par(black_box(&img), &bank, 3, Boundary::Periodic).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_par_reconstruct(c: &mut Criterion) {
+    let img = landsat_scene(512, 512, SceneParams::default());
+    let bank = FilterBank::daubechies(4).unwrap();
+    let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+    let mut group = c.benchmark_group("idwt2d_512_d4_l2");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| dwt2d::reconstruct(black_box(&pyr), &bank, Boundary::Periodic).unwrap())
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| parallel::reconstruct_par(black_box(&pyr), &bank, Boundary::Periodic).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_image_sizes(c: &mut Criterion) {
+    let bank = FilterBank::daubechies(4).unwrap();
+    let mut group = c.benchmark_group("dwt2d_par_size_sweep");
+    group.sample_size(20);
+    for n in [128usize, 256, 512] {
+        let img = landsat_scene(n, n, SceneParams::default());
+        group.bench_with_input(BenchmarkId::new("n", n), &img, |b, img| {
+            b.iter(|| parallel::decompose_par(black_box(img), &bank, 2, Boundary::Periodic).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_vs_par, bench_par_reconstruct, bench_image_sizes);
+criterion_main!(benches);

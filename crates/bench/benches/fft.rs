@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the PIC substrate's FFT and Poisson solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pic::fft::{fft, fft3, Complex};
+use pic::grid::Grid3;
+use pic::poisson::solve_poisson;
+use std::hint::black_box;
+
+fn bench_fft1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [256usize, 1024, 4096] {
+        let x: Vec<Complex> = (0..n).map(|i| ((i as f64 * 0.3).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("n", n), &x, |b, x| {
+            b.iter(|| {
+                let mut y = x.clone();
+                fft(black_box(&mut y), false);
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_3d");
+    group.sample_size(20);
+    for m in [16usize, 32] {
+        let x: Vec<Complex> = (0..m * m * m)
+            .map(|i| ((i as f64 * 0.17).cos(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("m", m), &x, |b, x| {
+            b.iter(|| {
+                let mut y = x.clone();
+                fft3(black_box(&mut y), m, false);
+                y
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_solve");
+    group.sample_size(20);
+    for m in [16usize, 32] {
+        let mut rho = Grid3::zeros(m);
+        for (i, v) in rho.data.iter_mut().enumerate() {
+            *v = ((i * 31) % 17) as f64 - 8.0;
+        }
+        group.bench_with_input(BenchmarkId::new("m", m), &rho, |b, rho| {
+            b.iter(|| solve_poisson(black_box(rho)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft1d, bench_fft3d, bench_poisson);
+criterion_main!(benches);

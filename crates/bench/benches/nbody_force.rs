@@ -1,0 +1,82 @@
+//! Criterion benchmarks of Barnes-Hut vs direct force evaluation — the
+//! `O(N log N)` vs `O(N²)` crossover that motivates the hierarchical
+//! method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::force::{direct_force, tree_force, ForceParams};
+use nbody::{galaxy, QuadTree};
+use std::hint::black_box;
+
+fn bench_force_methods(c: &mut Criterion) {
+    let p = ForceParams::default();
+    let mut group = c.benchmark_group("force_all_bodies");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let bodies = galaxy::two_galaxies(n, 1);
+        let (tree, _) = QuadTree::build(&bodies);
+        group.bench_with_input(BenchmarkId::new("barnes_hut", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = [0.0; 2];
+                for i in 0..n {
+                    let (a, _) = tree_force(black_box(&tree), &bodies, i, &p);
+                    acc[0] += a[0];
+                    acc[1] += a[1];
+                }
+                acc
+            })
+        });
+        // Direct only at the smaller sizes (quadratic).
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut acc = [0.0; 2];
+                    for i in 0..n {
+                        let a = direct_force(black_box(&bodies), i, &p);
+                        acc[0] += a[0];
+                        acc[1] += a[1];
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    for n in [1024usize, 8192] {
+        let bodies = galaxy::two_galaxies(n, 2);
+        group.bench_with_input(BenchmarkId::new("n", n), &bodies, |b, bodies| {
+            b.iter(|| QuadTree::build(black_box(bodies)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theta_sweep(c: &mut Criterion) {
+    let bodies = galaxy::two_galaxies(2048, 3);
+    let (tree, _) = QuadTree::build(&bodies);
+    let mut group = c.benchmark_group("theta_accuracy_cost");
+    for theta in [0.2f64, 0.4, 0.8] {
+        let p = ForceParams {
+            theta,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("theta", format!("{theta}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    (0..bodies.len())
+                        .map(|i| tree_force(black_box(&tree), &bodies, i, p).1)
+                        .sum::<u64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_force_methods, bench_tree_build, bench_theta_sweep);
+criterion_main!(benches);

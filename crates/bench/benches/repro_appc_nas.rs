@@ -1,0 +1,111 @@
+//! Reproduces Appendix C §5 — the NAS Parallel Benchmark workload
+//! analysis on the oracle model:
+//!
+//! * **Table 6** — dynamic operation counts per kernel;
+//! * **Table 7** — 5-class parallel-instruction centroids;
+//! * **Table 8** — pairwise similarity matrix;
+//! * **Table 9** — smoothability, CPL(∞), average parallelism,
+//!   CPL(P_avg) and average operation delay.
+//!
+//! The kernels are synthetic NPB-shaped traces (see `workload::nas` and
+//! DESIGN.md for the substitution rationale), so absolute values differ
+//! from the SPARC-trace numbers; the structural findings hold: a wide
+//! range of mixes and parallelism, high smoothability everywhere except
+//! the bucket sort, and low similarity across unrelated kernels.
+
+use bench::banner;
+use workload::centroid::{similarity, Centroid};
+use workload::nas::NasKernel;
+use workload::oracle::{schedule, smoothability};
+use workload::OpClass;
+
+fn main() {
+    let scale = if bench::full_size() { 3 } else { 1 };
+    let kernels = NasKernel::ALL;
+
+    banner("Appendix C Table 6 — dynamic operation counts");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "kernel", "Memops", "Intops", "Branch", "Control", "FPops", "total"
+    );
+    let traces: Vec<_> = kernels.iter().map(|k| (k, k.trace(scale))).collect();
+    for (k, t) in &traces {
+        let c = t.class_counts();
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11}",
+            k.name(),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4],
+            t.len()
+        );
+    }
+
+    banner("Appendix C Table 7 — parallel-instruction centroids");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kernel",
+        OpClass::Mem.name(),
+        OpClass::Int.name(),
+        OpClass::Branch.name(),
+        OpClass::Control.name(),
+        OpClass::Fp.name()
+    );
+    let cents: Vec<(&NasKernel, Centroid)> = traces
+        .iter()
+        .map(|(k, t)| (*k, Centroid::from_schedule(&schedule(t))))
+        .collect();
+    for (k, c) in &cents {
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            k.name(),
+            c.0[0],
+            c.0[1],
+            c.0[2],
+            c.0[3],
+            c.0[4]
+        );
+    }
+
+    banner("Appendix C Table 8 — pairwise similarity (0=identical, 1=orthogonal)");
+    print!("{:<8}", "");
+    for (k, _) in &cents {
+        print!("{:>8}", k.name());
+    }
+    println!();
+    for (i, (ka, ca)) in cents.iter().enumerate() {
+        print!("{:<8}", ka.name());
+        for (cb_idx, (_, cb)) in cents.iter().enumerate() {
+            if cb_idx > i {
+                print!("{:>8}", "");
+            } else {
+                print!("{:>8.3}", similarity(ca, cb));
+            }
+        }
+        println!();
+    }
+
+    banner("Appendix C Table 9 — smoothability and finite processors");
+    println!(
+        "{:<8} {:>13} {:>10} {:>10} {:>12} {:>12}",
+        "kernel", "smoothability", "CPL(inf)", "P_avg", "CPL(P_avg)", "avg op delay"
+    );
+    for (k, t) in &traces {
+        let r = smoothability(t);
+        println!(
+            "{:<8} {:>13.5} {:>10} {:>10.2} {:>12} {:>12.2}",
+            k.name(),
+            r.smoothability,
+            r.cpl_infinite,
+            r.avg_parallelism,
+            r.cpl_at_avg,
+            r.avg_op_delay
+        );
+    }
+    println!();
+    println!("shape checks: smoothability > 0.7 everywhere except buk; the");
+    println!("suite spans orders of magnitude in centroid size; CFD kernels");
+    println!("cluster, the integer sort sits apart.");
+}

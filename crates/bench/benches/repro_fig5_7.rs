@@ -1,0 +1,64 @@
+//! Reproduces **Figures 5–7** of the paper: Paragon speedup vs processor
+//! count for F8/L1 (fig. 5), F4/L2 (fig. 6) and F2/L4 (fig. 7),
+//! comparing the *straightforward* data distribution (row-major
+//! placement, chain-ordered blocking exchange — scales only to ~4
+//! processors) against the *snake-like* distribution with simultaneous
+//! exchange.
+//!
+//! Expected shape: the snake curve keeps rising (modest scalability,
+//! communication-limited); the naive curve flattens/turns over beyond 4
+//! processors; speedup is best at F8/L1 and worst at F2/L4 (more levels
+//! ⇒ more communication relative to compute).
+
+use bench::{banner, config_label, naive_dwt, paper_image, paragon_cfg, tuned_dwt, PAPER_CONFIGS};
+use paragon::Mapping;
+
+fn main() {
+    let img = paper_image();
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    banner(&format!(
+        "Figures 5-7 — Paragon speedup, {}x{} image",
+        img.rows(),
+        img.cols()
+    ));
+
+    for (fig, (f, l)) in PAPER_CONFIGS.iter().enumerate() {
+        println!();
+        println!(
+            "--- Figure {} — {} ---",
+            fig + 5,
+            config_label(*f, *l)
+        );
+        println!(
+            "{:>5} {:>14} {:>9} {:>14} {:>9}",
+            "P", "snake T(s)", "speedup", "naive T(s)", "speedup"
+        );
+        let mut t1_snake = 0.0;
+        let mut t1_naive = 0.0;
+        for &p in &procs {
+            let snake = dwt_mimd::run_mimd_dwt(
+                &paragon_cfg(p, Mapping::Snake),
+                &tuned_dwt(*f, *l),
+                &img,
+            )
+            .expect("valid dims")
+            .parallel_time();
+            let naive = dwt_mimd::run_mimd_dwt(
+                &paragon_cfg(p, Mapping::RowMajor),
+                &naive_dwt(*f, *l),
+                &img,
+            )
+            .expect("valid dims")
+            .parallel_time();
+            if p == 1 {
+                t1_snake = snake;
+                t1_naive = naive;
+            }
+            println!(
+                "{p:>5} {snake:>14.4} {:>9.2} {naive:>14.4} {:>9.2}",
+                t1_snake / snake,
+                t1_naive / naive
+            );
+        }
+    }
+}

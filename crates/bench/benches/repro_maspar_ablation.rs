@@ -1,0 +1,65 @@
+//! Reproduces the paper's §4.1 MasPar design-space claims:
+//!
+//! * systolic (router decimation) vs systolic-with-dilution (no router);
+//! * hierarchical vs cut-and-stack virtualization ("the hierarchical
+//!   gave the best results since it improves data locality");
+//! * MP-2 (32-bit RISC PEs) vs MP-1 (4-bit PEs).
+
+use bench::{banner, config_label, paper_image, PAPER_CONFIGS};
+use dwt::FilterBank;
+use maspar::{dilution, systolic, MasParCost, SimdMachine, Virtualization};
+
+fn run(
+    img: &dwt::Matrix,
+    f: usize,
+    l: usize,
+    cost: MasParCost,
+    virt: Virtualization,
+    diluted: bool,
+) -> (f64, u64) {
+    let bank = FilterBank::daubechies(f).unwrap();
+    let mut m = SimdMachine::new(128, 128, cost, virt);
+    if diluted {
+        dilution::decompose(&mut m, img, &bank, l).expect("valid dims");
+    } else {
+        systolic::decompose(&mut m, img, &bank, l).expect("valid dims");
+    }
+    (m.seconds(), m.router_transactions())
+}
+
+fn main() {
+    let img = paper_image();
+    banner(&format!(
+        "MasPar ablation — algorithms x virtualization x generation ({}x{})",
+        img.rows(),
+        img.cols()
+    ));
+    println!(
+        "{:<10} {:<12} {:<14} {:<6} {:>12} {:>8}",
+        "config", "algorithm", "virtualization", "gen", "seconds", "router"
+    );
+    for (f, l) in PAPER_CONFIGS {
+        for (algo, diluted) in [("systolic", false), ("dilution", true)] {
+            for (virt, vname) in [
+                (Virtualization::Hierarchical, "hierarchical"),
+                (Virtualization::CutAndStack, "cut-and-stack"),
+            ] {
+                for (cost, gen) in [(MasParCost::mp2(), "MP-2"), (MasParCost::mp1(), "MP-1")] {
+                    let (secs, router) = run(&img, f, l, cost, virt, diluted);
+                    println!(
+                        "{:<10} {:<12} {:<14} {:<6} {:>12.4} {:>8}",
+                        config_label(f, l),
+                        algo,
+                        vname,
+                        gen,
+                        secs,
+                        router
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!("claims: hierarchical < cut-and-stack; dilution uses zero router");
+    println!("transactions; MP-2 is roughly an order faster than MP-1.");
+}

@@ -1,0 +1,78 @@
+//! Reproduces **Table 1** of the paper: comparative wavelet decomposition
+//! seconds on the MasPar MP-2 (16K PEs), the Intel Paragon (1 and 32
+//! processors) and a DEC 5000 workstation, for the three configurations
+//! F8/L1, F4/L2 and F2/L4 on the 512×512 Landsat-TM stand-in.
+//!
+//! Paper values (512×512):
+//! ```text
+//!                     F8/L1    F4/L2    F2/L4
+//! MasPar MP-2 (16K)   0.0169   0.0138   0.0123
+//! Paragon 1 proc      4.227    3.45     2.78
+//! Paragon 32 proc     0.613    0.632    0.6623
+//! DEC 5000            5.47     4.54     4.11
+//! ```
+
+use bench::{banner, config_label, paper_image, paragon_cfg, tuned_dwt, PAPER_CONFIGS};
+use dwt::FilterBank;
+use maspar::{systolic, SimdMachine};
+use paragon::{MachineSpec, Mapping, SpmdConfig};
+
+fn main() {
+    let img = paper_image();
+    banner(&format!(
+        "Table 1 — comparative decomposition times, {}x{} image{}",
+        img.rows(),
+        img.cols(),
+        if bench::full_size() {
+            ""
+        } else {
+            " (set REPRO_FULL=1 for 512x512)"
+        }
+    ));
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "machine",
+        config_label(8, 1),
+        config_label(4, 2),
+        config_label(2, 4)
+    );
+
+    // MasPar MP-2, 16K PEs, systolic algorithm.
+    let mut row = format!("{:<24}", "MasPar MP-2 (16K)");
+    for (f, l) in PAPER_CONFIGS {
+        let bank = FilterBank::daubechies(f).unwrap();
+        let mut machine = SimdMachine::mp2_16k();
+        systolic::decompose(&mut machine, &img, &bank, l).expect("valid dims");
+        row += &format!(" {:>10.4}", machine.seconds());
+    }
+    println!("{row}");
+
+    // Intel Paragon, 1 and 32 processors (tuned snake algorithm).
+    for procs in [1usize, 32] {
+        let mut row = format!("{:<24}", format!("Intel Paragon {procs} proc"));
+        for (f, l) in PAPER_CONFIGS {
+            let cfg = paragon_cfg(procs, Mapping::Snake);
+            let run = dwt_mimd::run_mimd_dwt(&cfg, &tuned_dwt(f, l), &img).expect("valid dims");
+            row += &format!(" {:>10.4}", run.parallel_time());
+        }
+        println!("{row}");
+    }
+
+    // DEC 5000 workstation.
+    let mut row = format!("{:<24}", "DEC 5000 Workstation");
+    for (f, l) in PAPER_CONFIGS {
+        let cfg = SpmdConfig {
+            machine: MachineSpec::dec5000(),
+            nranks: 1,
+            mapping: Mapping::RowMajor,
+        };
+        let run = dwt_mimd::run_mimd_dwt(&cfg, &tuned_dwt(f, l), &img).expect("valid dims");
+        row += &format!(" {:>10.4}", run.parallel_time());
+    }
+    println!("{row}");
+
+    println!();
+    println!("shape checks: MasPar << Paragon-32 << Paragon-1 < DEC 5000,");
+    println!("MasPar ~2 orders over the workstation, Paragon ~1 order at 32 procs.");
+}

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the simulators themselves — host-machine
+//! throughput of the virtual-time machinery (how expensive it is to
+//! *run* the Paragon/MasPar models, not the modeled times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwt::FilterBank;
+use imagery::{landsat_scene, SceneParams};
+use maspar::{systolic, SimdMachine};
+use paragon::{run_spmd, MachineSpec, Mapping, Ops, SpmdConfig};
+use std::hint::black_box;
+
+fn bench_spmd_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paragon_sim_throughput");
+    group.sample_size(10);
+    for ranks in [4usize, 16, 32] {
+        let cfg = SpmdConfig {
+            machine: MachineSpec::paragon(),
+            nranks: ranks,
+            mapping: Mapping::Snake,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("100_exchange_phases", ranks),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    run_spmd(cfg, |ctx| {
+                        let next = (ctx.rank() + 1) % ctx.nranks();
+                        for _ in 0..100 {
+                            ctx.charge(Ops {
+                                flops: 100,
+                                intops: 50,
+                                memops: 80,
+                            });
+                            ctx.exchange(vec![(next, 1u64, 8)]);
+                        }
+                        ctx.now()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_maspar_sim(c: &mut Criterion) {
+    let img = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::daubechies(8).unwrap();
+    let mut group = c.benchmark_group("maspar_sim_throughput");
+    group.sample_size(10);
+    group.bench_function("systolic_256_d8_l3", |b| {
+        b.iter(|| {
+            let mut m = SimdMachine::mp2_16k();
+            systolic::decompose(&mut m, black_box(&img), &bank, 3).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mimd_dwt_sim(c: &mut Criterion) {
+    let img = landsat_scene(128, 128, SceneParams::default());
+    let bank = FilterBank::daubechies(8).unwrap();
+    let mut group = c.benchmark_group("mimd_dwt_sim_throughput");
+    group.sample_size(10);
+    for p in [8usize, 32] {
+        let scfg = SpmdConfig {
+            machine: MachineSpec::paragon(),
+            nranks: p,
+            mapping: Mapping::Snake,
+        };
+        let cfg = dwt_mimd::MimdDwtConfig::tuned(bank.clone(), 2);
+        group.bench_with_input(BenchmarkId::new("ranks", p), &scfg, |b, scfg| {
+            b.iter(|| dwt_mimd::run_mimd_dwt(scfg, &cfg, black_box(&img)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmd_phases, bench_maspar_sim, bench_mimd_dwt_sim);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks backing Appendix C's **Table 5**: the cost of
+//! representing and comparing workloads with the parallelism-matrix
+//! technique (`O(p·t)` representation, `O(n^t)` storage/comparison)
+//! versus the vector-space centroid (`O(t)` for both).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::centroid::{similarity, Centroid};
+use workload::matrix::ParallelismMatrix;
+use workload::nas::NasKernel;
+use workload::oracle::schedule;
+use std::hint::black_box;
+
+fn bench_representation(c: &mut Criterion) {
+    let pis_a = schedule(&NasKernel::Mgrid.trace(1)).pis;
+    let pis_b = schedule(&NasKernel::Fftpde.trace(1)).pis;
+    let mut group = c.benchmark_group("workload_representation");
+    group.bench_function("centroid", |b| {
+        b.iter(|| Centroid::from_pis(black_box(&pis_a)))
+    });
+    group.bench_function("parallelism_matrix", |b| {
+        b.iter(|| ParallelismMatrix::from_pis(black_box(&pis_a)))
+    });
+    group.finish();
+
+    let ca = Centroid::from_pis(&pis_a);
+    let cb = Centroid::from_pis(&pis_b);
+    let ma = ParallelismMatrix::from_pis(&pis_a);
+    let mb = ParallelismMatrix::from_pis(&pis_b);
+    let mut group = c.benchmark_group("workload_comparison");
+    group.bench_function("centroid_similarity", |b| {
+        b.iter(|| similarity(black_box(&ca), black_box(&cb)))
+    });
+    group.bench_function("frobenius_similarity", |b| {
+        b.iter(|| ma.frobenius_similarity(black_box(&mb)))
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let trace = NasKernel::Cgm.trace(1);
+    let mut group = c.benchmark_group("oracle_scheduler");
+    group.sample_size(20);
+    group.bench_function("schedule_cgm", |b| b.iter(|| schedule(black_box(&trace))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_representation, bench_oracle);
+criterion_main!(benches);

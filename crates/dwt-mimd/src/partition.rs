@@ -1,0 +1,155 @@
+//! Striped row partitions of the image domain (the paper's figure 3:
+//! "Reducing Communication Transactions Via Striping").
+
+/// The contiguous row range `[lo, hi)` owned by a rank at some level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripe {
+    /// First owned row (global index).
+    pub lo: usize,
+    /// One past the last owned row.
+    pub hi: usize,
+}
+
+impl Stripe {
+    /// Number of rows in the stripe.
+    pub fn rows(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the stripe contains global row `r`.
+    pub fn contains(&self, r: usize) -> bool {
+        (self.lo..self.hi).contains(&r)
+    }
+}
+
+/// Balanced striped partition of `rows` rows over `nranks` ranks.
+/// Rank `i` owns `[i*rows/n, (i+1)*rows/n)` — contiguous, covering, and
+/// within one row of balanced.
+pub fn stripes(rows: usize, nranks: usize) -> Vec<Stripe> {
+    assert!(nranks > 0);
+    (0..nranks)
+        .map(|i| Stripe {
+            lo: i * rows / nranks,
+            hi: (i + 1) * rows / nranks,
+        })
+        .collect()
+}
+
+/// Which rank owns global row `r` under [`stripes`]`(rows, nranks)`.
+pub fn owner(r: usize, rows: usize, nranks: usize) -> usize {
+    debug_assert!(r < rows);
+    // Invert lo = i*rows/n: candidate then linear fixup (ranges are within
+    // one row of uniform, so at most one step of correction each way).
+    let mut i = (r * nranks / rows).min(nranks - 1);
+    loop {
+        let lo = i * rows / nranks;
+        let hi = (i + 1) * rows / nranks;
+        if r < lo {
+            i -= 1;
+        } else if r >= hi {
+            i += 1;
+        } else {
+            return i;
+        }
+    }
+}
+
+/// The output-row range a rank computes in the column pass: output row
+/// `k` consumes input rows `2k ..`, so rank `i` produces every `k` with
+/// `2k` inside its input stripe.
+pub fn output_range(s: Stripe) -> Stripe {
+    Stripe {
+        lo: s.lo.div_ceil(2),
+        hi: s.hi.div_ceil(2),
+    }
+}
+
+/// Group a sorted list of global row indices into maximal contiguous runs.
+pub fn contiguous_runs(sorted: &[usize]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut it = sorted.iter().copied();
+    let Some(first) = it.next() else {
+        return runs;
+    };
+    let (mut start, mut prev) = (first, first);
+    for r in it {
+        debug_assert!(r > prev, "input must be sorted and deduplicated");
+        if r == prev + 1 {
+            prev = r;
+        } else {
+            runs.push((start, prev + 1));
+            start = r;
+            prev = r;
+        }
+    }
+    runs.push((start, prev + 1));
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_cover_and_are_disjoint() {
+        for (rows, n) in [(512, 32), (512, 3), (7, 4), (64, 1), (10, 10)] {
+            let s = stripes(rows, n);
+            assert_eq!(s[0].lo, 0);
+            assert_eq!(s[n - 1].hi, rows);
+            for w in s.windows(2) {
+                assert_eq!(w[0].hi, w[1].lo);
+            }
+            let total: usize = s.iter().map(Stripe::rows).sum();
+            assert_eq!(total, rows);
+        }
+    }
+
+    #[test]
+    fn stripes_are_balanced() {
+        let s = stripes(512, 32);
+        assert!(s.iter().all(|st| st.rows() == 16));
+        let s = stripes(10, 3);
+        let sizes: Vec<_> = s.iter().map(Stripe::rows).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&z| z == 3 || z == 4));
+    }
+
+    #[test]
+    fn owner_inverts_stripes() {
+        for (rows, n) in [(512usize, 32usize), (10, 3), (7, 4), (100, 7)] {
+            let s = stripes(rows, n);
+            for r in 0..rows {
+                let i = owner(r, rows, n);
+                assert!(s[i].contains(r), "row {r} rows {rows} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_range_halves_even_stripes() {
+        let s = Stripe { lo: 16, hi: 32 };
+        assert_eq!(output_range(s), Stripe { lo: 8, hi: 16 });
+        // Odd boundaries round up on both ends.
+        let s = Stripe { lo: 3, hi: 7 };
+        assert_eq!(output_range(s), Stripe { lo: 2, hi: 4 });
+    }
+
+    #[test]
+    fn output_ranges_partition_the_half_domain() {
+        for (rows, n) in [(512usize, 32usize), (64, 3), (100, 7)] {
+            let outs: Vec<_> = stripes(rows, n).into_iter().map(output_range).collect();
+            assert_eq!(outs[0].lo, 0);
+            assert_eq!(outs[n - 1].hi, rows / 2 + rows % 2);
+            for w in outs.windows(2) {
+                assert_eq!(w[0].hi, w[1].lo);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_group_contiguously() {
+        assert_eq!(contiguous_runs(&[]), vec![]);
+        assert_eq!(contiguous_runs(&[5]), vec![(5, 6)]);
+        assert_eq!(contiguous_runs(&[1, 2, 3, 7, 8, 10]), vec![(1, 4), (7, 9), (10, 11)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Boundary extension policies for filtering at the signal edges.
+
+/// How samples beyond the signal edges are supplied to the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Boundary {
+    /// Wrap around (circular convolution). The only mode that gives
+    /// *exact* perfect reconstruction with orthonormal filters, and the
+    /// mode used for all the paper's experiments.
+    Periodic,
+    /// Whole-sample symmetric reflection: `x[-1] = x[1]`, `x[N] = x[N-2]`.
+    Symmetric,
+    /// Samples outside the signal are zero.
+    Zero,
+}
+
+impl Boundary {
+    /// Resolve a possibly out-of-range index `i` against a signal of
+    /// length `n`, returning `Some(index)` into the signal or `None` when
+    /// the extended sample is zero.
+    ///
+    /// `i` may be any integer; the mapping is applied repeatedly until the
+    /// index lands inside the signal (relevant when the filter is longer
+    /// than the signal).
+    #[inline]
+    pub fn map(self, i: isize, n: usize) -> Option<usize> {
+        debug_assert!(n > 0);
+        let n_i = n as isize;
+        match self {
+            Boundary::Periodic => Some(i.rem_euclid(n_i) as usize),
+            Boundary::Zero => {
+                if i >= 0 && i < n_i {
+                    Some(i as usize)
+                } else {
+                    None
+                }
+            }
+            Boundary::Symmetric => {
+                if n == 1 {
+                    return Some(0);
+                }
+                // Whole-sample symmetry has period 2(n-1).
+                let period = 2 * (n_i - 1);
+                let mut j = i.rem_euclid(period);
+                if j >= n_i {
+                    j = period - j;
+                }
+                Some(j as usize)
+            }
+        }
+    }
+
+    /// All modes, for tests that sweep the whole space.
+    pub const ALL: [Boundary; 3] = [Boundary::Periodic, Boundary::Symmetric, Boundary::Zero];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_wraps_both_directions() {
+        assert_eq!(Boundary::Periodic.map(-1, 4), Some(3));
+        assert_eq!(Boundary::Periodic.map(4, 4), Some(0));
+        assert_eq!(Boundary::Periodic.map(9, 4), Some(1));
+        assert_eq!(Boundary::Periodic.map(-5, 4), Some(3));
+    }
+
+    #[test]
+    fn zero_returns_none_outside() {
+        assert_eq!(Boundary::Zero.map(-1, 4), None);
+        assert_eq!(Boundary::Zero.map(4, 4), None);
+        assert_eq!(Boundary::Zero.map(2, 4), Some(2));
+    }
+
+    #[test]
+    fn symmetric_reflects() {
+        // Signal indices: 0 1 2 3; extension: x[-1]=x[1], x[4]=x[2].
+        assert_eq!(Boundary::Symmetric.map(-1, 4), Some(1));
+        assert_eq!(Boundary::Symmetric.map(4, 4), Some(2));
+        assert_eq!(Boundary::Symmetric.map(5, 4), Some(1));
+        assert_eq!(Boundary::Symmetric.map(6, 4), Some(0));
+        // Period 2(n-1) = 6.
+        assert_eq!(Boundary::Symmetric.map(7, 4), Some(1));
+    }
+
+    #[test]
+    fn symmetric_handles_length_one() {
+        assert_eq!(Boundary::Symmetric.map(-3, 1), Some(0));
+        assert_eq!(Boundary::Symmetric.map(7, 1), Some(0));
+    }
+
+    #[test]
+    fn in_range_indices_are_identity_for_all_modes() {
+        for mode in Boundary::ALL {
+            for i in 0..6isize {
+                assert_eq!(mode.map(i, 6), Some(i as usize), "{mode:?}");
+            }
+        }
+    }
+}

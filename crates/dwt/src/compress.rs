@@ -1,0 +1,278 @@
+//! Wavelet-domain compression: thresholding, quantization, and
+//! reconstruction-quality metrics.
+//!
+//! This is the application the paper motivates: on-line processing of
+//! remotely sensed imagery (EOSDIS) where the LL band is a compressed
+//! rendition of the image and small detail coefficients can be discarded.
+
+use crate::matrix::Matrix;
+use crate::pyramid::Pyramid;
+
+/// Thresholding policy applied to detail coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// Zero coefficients with `|c| < t`, keep the rest unchanged.
+    Hard(f64),
+    /// Zero coefficients with `|c| < t`, shrink the rest toward zero by `t`.
+    Soft(f64),
+}
+
+impl Threshold {
+    #[inline]
+    fn apply(self, c: f64) -> f64 {
+        match self {
+            Threshold::Hard(t) => {
+                if c.abs() < t {
+                    0.0
+                } else {
+                    c
+                }
+            }
+            Threshold::Soft(t) => {
+                if c.abs() < t {
+                    0.0
+                } else {
+                    c - t * c.signum()
+                }
+            }
+        }
+    }
+}
+
+/// Summary statistics of a compression pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Detail coefficients before thresholding.
+    pub total_detail_coeffs: usize,
+    /// Detail coefficients that survived (non-zero after thresholding).
+    pub kept_detail_coeffs: usize,
+    /// Fraction of detail energy retained.
+    pub energy_retained: f64,
+}
+
+impl CompressionStats {
+    /// `kept / total`, in `[0, 1]`; 1.0 when there are no detail
+    /// coefficients at all.
+    pub fn keep_ratio(&self) -> f64 {
+        if self.total_detail_coeffs == 0 {
+            1.0
+        } else {
+            self.kept_detail_coeffs as f64 / self.total_detail_coeffs as f64
+        }
+    }
+}
+
+/// Threshold every *detail* coefficient of the pyramid in place (the LL
+/// approximation band is never touched), returning statistics.
+pub fn threshold_details(pyr: &mut Pyramid, policy: Threshold) -> CompressionStats {
+    let mut total = 0usize;
+    let mut kept = 0usize;
+    let mut energy_before = 0.0;
+    let mut energy_after = 0.0;
+    for bands in &mut pyr.detail {
+        for data in [
+            bands.lh.data_mut(),
+            bands.hl.data_mut(),
+            bands.hh.data_mut(),
+        ] {
+            for v in data {
+                total += 1;
+                energy_before += *v * *v;
+                *v = policy.apply(*v);
+                if *v != 0.0 {
+                    kept += 1;
+                    energy_after += *v * *v;
+                }
+            }
+        }
+    }
+    CompressionStats {
+        total_detail_coeffs: total,
+        kept_detail_coeffs: kept,
+        energy_retained: if energy_before > 0.0 {
+            energy_after / energy_before
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Find the hard threshold that keeps (approximately) the `keep_fraction`
+/// largest-magnitude detail coefficients, then apply it.
+///
+/// `keep_fraction` is clamped to `[0, 1]`.
+pub fn compress_to_fraction(pyr: &mut Pyramid, keep_fraction: f64) -> CompressionStats {
+    let keep_fraction = keep_fraction.clamp(0.0, 1.0);
+    let mut mags: Vec<f64> = Vec::new();
+    for bands in &pyr.detail {
+        for data in [bands.lh.data(), bands.hl.data(), bands.hh.data()] {
+            mags.extend(data.iter().map(|v| v.abs()));
+        }
+    }
+    if mags.is_empty() {
+        return CompressionStats {
+            total_detail_coeffs: 0,
+            kept_detail_coeffs: 0,
+            energy_retained: 1.0,
+        };
+    }
+    let keep = ((mags.len() as f64) * keep_fraction).round() as usize;
+    let t = if keep == 0 {
+        f64::INFINITY
+    } else if keep >= mags.len() {
+        0.0
+    } else {
+        // The threshold sits just below the keep-th largest magnitude.
+        let idx = mags.len() - keep;
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("magnitudes are not NaN"));
+        mags[idx]
+    };
+    threshold_details(pyr, Threshold::Hard(t))
+}
+
+/// Uniform scalar quantizer: coefficients are rounded to multiples of
+/// `step`. Returns the number of distinct non-zero quantization bins used.
+pub fn quantize(pyr: &mut Pyramid, step: f64) -> usize {
+    assert!(step > 0.0, "quantization step must be positive");
+    let mut bins = std::collections::HashSet::new();
+    pyr.for_each_coeff_mut(|v| {
+        let q = (*v / step).round();
+        *v = q * step;
+        if q != 0.0 {
+            bins.insert(q as i64);
+        }
+    });
+    bins.len()
+}
+
+/// Mean squared error between two equally sized images.
+///
+/// Returns `None` if shapes differ.
+pub fn mse(a: &Matrix, b: &Matrix) -> Option<f64> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return None;
+    }
+    let n = (a.rows() * a.cols()) as f64;
+    Some(
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / n,
+    )
+}
+
+/// Peak signal-to-noise ratio in dB for a given peak value (255 for 8-bit
+/// imagery). Returns `f64::INFINITY` for identical images and `None` for
+/// shape mismatches.
+pub fn psnr(a: &Matrix, b: &Matrix, peak: f64) -> Option<f64> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(10.0 * (peak * peak / m).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::Boundary;
+    use crate::dwt2d;
+    use crate::filters::FilterBank;
+
+    fn busy_image(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| {
+            100.0 + 50.0 * ((r as f64 * 0.7).sin() * (c as f64 * 0.3).cos())
+                + ((r * c) % 7) as f64
+        })
+    }
+
+    #[test]
+    fn hard_threshold_zeroes_small_coeffs() {
+        assert_eq!(Threshold::Hard(1.0).apply(0.5), 0.0);
+        assert_eq!(Threshold::Hard(1.0).apply(2.0), 2.0);
+        assert_eq!(Threshold::Hard(1.0).apply(-2.0), -2.0);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks() {
+        assert_eq!(Threshold::Soft(1.0).apply(0.5), 0.0);
+        assert_eq!(Threshold::Soft(1.0).apply(2.0), 1.0);
+        assert_eq!(Threshold::Soft(1.0).apply(-2.0), -1.0);
+    }
+
+    #[test]
+    fn threshold_details_never_touches_ll() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = busy_image(32);
+        let mut pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let ll_before = pyr.approx.clone();
+        threshold_details(&mut pyr, Threshold::Hard(f64::INFINITY));
+        assert_eq!(pyr.approx, ll_before);
+        for bands in &pyr.detail {
+            assert_eq!(bands.energy(), 0.0);
+        }
+    }
+
+    #[test]
+    fn compress_to_fraction_keeps_roughly_that_many() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = busy_image(64);
+        let mut pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let stats = compress_to_fraction(&mut pyr, 0.1);
+        let ratio = stats.keep_ratio();
+        assert!(
+            (0.05..=0.2).contains(&ratio),
+            "keep ratio {ratio} far from 0.1"
+        );
+    }
+
+    #[test]
+    fn compress_keep_all_and_none() {
+        let bank = FilterBank::haar();
+        let img = busy_image(16);
+        let mut pyr = dwt2d::decompose(&img, &bank, 1, Boundary::Periodic).unwrap();
+        let full = compress_to_fraction(&mut pyr.clone(), 1.0);
+        // Coefficients that are exactly zero stay "not kept".
+        assert!(full.energy_retained > 0.999999);
+        let none = compress_to_fraction(&mut pyr, 0.0);
+        assert_eq!(none.kept_detail_coeffs, 0);
+    }
+
+    #[test]
+    fn aggressive_compression_still_reconstructs_reasonably() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        let img = busy_image(64);
+        let mut pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        compress_to_fraction(&mut pyr, 0.05);
+        let rec = dwt2d::reconstruct(&pyr, &bank, Boundary::Periodic).unwrap();
+        let p = psnr(&img, &rec, 255.0).unwrap();
+        assert!(p > 25.0, "PSNR {p} dB too low for a smooth image");
+    }
+
+    #[test]
+    fn quantize_reduces_distinct_values() {
+        let bank = FilterBank::haar();
+        let img = busy_image(16);
+        let mut pyr = dwt2d::decompose(&img, &bank, 1, Boundary::Periodic).unwrap();
+        let bins = quantize(&mut pyr, 64.0);
+        assert!(bins > 0);
+        // All coefficients are now multiples of 64.
+        pyr.for_each_coeff(|v| assert!((v / 64.0 - (v / 64.0).round()).abs() < 1e-12));
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = busy_image(8);
+        assert_eq!(psnr(&img, &img, 255.0), Some(f64::INFINITY));
+        assert!(psnr(&img, &Matrix::zeros(4, 4), 255.0).is_none());
+    }
+
+    #[test]
+    fn mse_simple_case() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert_eq!(mse(&a, &b), Some(12.5));
+    }
+}

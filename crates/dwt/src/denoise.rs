@@ -1,0 +1,128 @@
+//! Wavelet denoising: noise estimation from the finest diagonal band and
+//! universal-threshold shrinkage (Donoho–Johnstone VisuShrink) — the
+//! standard application of the thresholding machinery in [`crate::compress`]
+//! to sensor noise like that of the paper's Landsat imagery.
+
+use crate::boundary::Boundary;
+use crate::compress::{threshold_details, Threshold};
+use crate::dwt2d;
+use crate::error::Result;
+use crate::filters::FilterBank;
+use crate::matrix::Matrix;
+
+/// Estimate the additive-noise standard deviation from the finest
+/// diagonal (HH) sub-band: `σ ≈ median(|HH|) / 0.6745` (the median
+/// absolute deviation of a Gaussian).
+pub fn estimate_sigma(img: &Matrix, bank: &FilterBank) -> Result<f64> {
+    let pyr = dwt2d::decompose(img, bank, 1, Boundary::Periodic)?;
+    let mut mags: Vec<f64> = pyr.detail[0].hh.data().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    let median = if mags.is_empty() {
+        0.0
+    } else {
+        mags[mags.len() / 2]
+    };
+    Ok(median / 0.6745)
+}
+
+/// Summary of a denoising pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenoiseReport {
+    /// Estimated noise standard deviation.
+    pub sigma: f64,
+    /// The universal threshold applied.
+    pub threshold: f64,
+    /// Fraction of detail coefficients zeroed.
+    pub zeroed_fraction: f64,
+}
+
+/// Denoise `img` by soft-thresholding its detail coefficients at the
+/// universal threshold `σ √(2 ln N)`.
+pub fn denoise(img: &Matrix, bank: &FilterBank, levels: usize) -> Result<(Matrix, DenoiseReport)> {
+    let sigma = estimate_sigma(img, bank)?;
+    let n = (img.rows() * img.cols()) as f64;
+    let threshold = sigma * (2.0 * n.ln()).sqrt();
+    let mut pyr = dwt2d::decompose(img, bank, levels, Boundary::Periodic)?;
+    let stats = threshold_details(&mut pyr, Threshold::Soft(threshold));
+    let out = dwt2d::reconstruct(&pyr, bank, Boundary::Periodic)?;
+    Ok((
+        out,
+        DenoiseReport {
+            sigma,
+            threshold,
+            zeroed_fraction: 1.0 - stats.keep_ratio(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::psnr;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A smooth test image.
+    fn smooth(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| {
+            128.0
+                + 60.0 * ((r as f64 * 0.15).sin() * (c as f64 * 0.1).cos())
+        })
+    }
+
+    fn add_noise(img: &Matrix, sigma: f64, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(img.rows(), img.cols(), |r, c| {
+            // Sum of 12 uniforms minus 6 ~ N(0,1).
+            let g: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+            img.get(r, c) + sigma * g
+        })
+    }
+
+    #[test]
+    fn sigma_estimate_tracks_injected_noise() {
+        let clean = smooth(64);
+        let bank = FilterBank::daubechies(8).unwrap();
+        for sigma in [2.0f64, 5.0, 10.0] {
+            let noisy = add_noise(&clean, sigma, 7);
+            let est = estimate_sigma(&noisy, &bank).unwrap();
+            assert!(
+                (est - sigma).abs() < 0.4 * sigma,
+                "sigma {sigma}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_image_estimates_near_zero_noise() {
+        // A smooth image has almost no finest-scale diagonal energy.
+        let clean = smooth(64);
+        let bank = FilterBank::daubechies(8).unwrap();
+        let est = estimate_sigma(&clean, &bank).unwrap();
+        assert!(est < 1.0, "clean image sigma estimate {est}");
+    }
+
+    #[test]
+    fn denoising_improves_psnr() {
+        let clean = smooth(128);
+        let bank = FilterBank::daubechies(8).unwrap();
+        let noisy = add_noise(&clean, 8.0, 3);
+        let before = psnr(&clean, &noisy, 255.0).unwrap();
+        let (denoised, report) = denoise(&noisy, &bank, 3).unwrap();
+        let after = psnr(&clean, &denoised, 255.0).unwrap();
+        assert!(
+            after > before + 3.0,
+            "PSNR {before:.1} -> {after:.1} dB (report {report:?})"
+        );
+        assert!(report.zeroed_fraction > 0.5);
+    }
+
+    #[test]
+    fn denoising_a_clean_image_is_nearly_lossless() {
+        let clean = smooth(64);
+        let bank = FilterBank::daubechies(8).unwrap();
+        let (out, report) = denoise(&clean, &bank, 2).unwrap();
+        let p = psnr(&clean, &out, 255.0).unwrap();
+        assert!(p > 40.0, "clean-image PSNR {p} (report {report:?})");
+    }
+}

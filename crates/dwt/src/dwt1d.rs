@@ -1,0 +1,232 @@
+//! One-dimensional multi-resolution analysis and synthesis.
+
+use crate::boundary::Boundary;
+use crate::conv;
+use crate::error::{DwtError, Result};
+use crate::filters::FilterBank;
+
+/// The result of a multi-level 1-D decomposition.
+///
+/// `details[0]` holds the level-1 (finest) wavelet coefficients,
+/// `details.last()` the coarsest; `approx` is the remaining scaling
+/// coefficients at the deepest level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition1d {
+    /// Scaling (approximation) coefficients at the coarsest level.
+    pub approx: Vec<f64>,
+    /// Wavelet (detail) coefficients, finest level first.
+    pub details: Vec<Vec<f64>>,
+}
+
+impl Decomposition1d {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Original signal length.
+    pub fn signal_len(&self) -> usize {
+        self.approx.len() + self.details.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Total coefficient energy (`Σ c²`), equal to the signal energy for
+    /// periodic boundaries (Parseval).
+    pub fn energy(&self) -> f64 {
+        let e: f64 = self.approx.iter().map(|v| v * v).sum();
+        e + self
+            .details
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+    }
+}
+
+/// Check that `len` survives `levels` halvings and is long enough for the
+/// filter at every level.
+fn validate(len: usize, filter_len: usize, levels: usize) -> Result<()> {
+    if levels == 0 {
+        return Err(DwtError::ZeroLevels);
+    }
+    let mut n = len;
+    for level in 1..=levels {
+        if !n.is_multiple_of(2) {
+            return Err(DwtError::OddLength { len: n, level });
+        }
+        if n < filter_len {
+            return Err(DwtError::SignalTooShort {
+                len: n,
+                filter_len,
+            });
+        }
+        n /= 2;
+    }
+    Ok(())
+}
+
+/// One analysis step: split `x` into `(approx, detail)` halves.
+pub fn analyze_step(x: &[f64], bank: &FilterBank, mode: Boundary) -> Result<(Vec<f64>, Vec<f64>)> {
+    validate(x.len(), bank.len(), 1)?;
+    Ok((
+        conv::analyze(x, bank.low(), mode),
+        conv::analyze(x, bank.high(), mode),
+    ))
+}
+
+/// One synthesis step: merge `(approx, detail)` back into a signal of
+/// twice the length. Exact inverse of [`analyze_step`] for
+/// [`Boundary::Periodic`].
+pub fn synthesize_step(
+    approx: &[f64],
+    detail: &[f64],
+    bank: &FilterBank,
+    mode: Boundary,
+) -> Result<Vec<f64>> {
+    if approx.len() != detail.len() {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "approx has {} coefficients but detail has {}",
+                approx.len(),
+                detail.len()
+            ),
+        });
+    }
+    let mut out = vec![0.0; 2 * approx.len()];
+    conv::synthesize_add(approx, bank.low(), mode, &mut out);
+    conv::synthesize_add(detail, bank.high(), mode, &mut out);
+    Ok(out)
+}
+
+/// Full multi-level decomposition of `x`.
+pub fn decompose(
+    x: &[f64],
+    bank: &FilterBank,
+    levels: usize,
+    mode: Boundary,
+) -> Result<Decomposition1d> {
+    validate(x.len(), bank.len(), levels)?;
+    let mut approx = x.to_vec();
+    let mut details = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        let (a, d) = analyze_step(&approx, bank, mode)?;
+        details.push(d);
+        approx = a;
+    }
+    Ok(Decomposition1d { approx, details })
+}
+
+/// Invert [`decompose`].
+pub fn reconstruct(dec: &Decomposition1d, bank: &FilterBank, mode: Boundary) -> Result<Vec<f64>> {
+    let mut approx = dec.approx.clone();
+    for detail in dec.details.iter().rev() {
+        approx = synthesize_step(&approx, detail, bank, mode)?;
+    }
+    Ok(approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        assert_eq!(validate(16, 4, 0), Err(DwtError::ZeroLevels));
+        assert_eq!(
+            validate(6, 4, 2),
+            Err(DwtError::OddLength { len: 3, level: 2 })
+        );
+        assert_eq!(
+            validate(4, 8, 1),
+            Err(DwtError::SignalTooShort {
+                len: 4,
+                filter_len: 8
+            })
+        );
+        assert!(validate(16, 4, 2).is_ok());
+    }
+
+    #[test]
+    fn perfect_reconstruction_multi_level() {
+        for taps in [2usize, 4, 6, 8, 10] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let x: Vec<f64> = (0..64).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+            for levels in 1..=3 {
+                let dec = decompose(&x, &bank, levels, Boundary::Periodic).unwrap();
+                let rec = reconstruct(&dec, &bank, Boundary::Periodic).unwrap();
+                let err = x
+                    .iter()
+                    .zip(&rec)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max);
+                assert!(err < 1e-9, "D{taps} L{levels}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.21).cos() * 3.0).collect();
+        let dec = decompose(&x, &bank, 4, Boundary::Periodic).unwrap();
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        assert!((dec.energy() - ex).abs() < 1e-8 * ex);
+    }
+
+    #[test]
+    fn coefficient_counts() {
+        let bank = FilterBank::haar();
+        let dec = decompose(&ramp(32), &bank, 3, Boundary::Periodic).unwrap();
+        assert_eq!(dec.levels(), 3);
+        assert_eq!(dec.details[0].len(), 16);
+        assert_eq!(dec.details[1].len(), 8);
+        assert_eq!(dec.details[2].len(), 4);
+        assert_eq!(dec.approx.len(), 4);
+        assert_eq!(dec.signal_len(), 32);
+    }
+
+    #[test]
+    fn constant_signal_has_no_detail() {
+        // Orthonormal wavelets have at least one vanishing moment, so a
+        // constant signal produces zero detail coefficients (periodic).
+        for taps in [2usize, 4, 8] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let x = vec![5.0; 32];
+            let dec = decompose(&x, &bank, 2, Boundary::Periodic).unwrap();
+            for d in dec.details.iter().flat_map(|d| d.iter()) {
+                assert!(d.abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn d4_kills_linear_ramps_in_interior() {
+        // D4 has two vanishing moments; interior detail coefficients of a
+        // linear ramp vanish (edges wrap, so only check interior).
+        let bank = FilterBank::daubechies(4).unwrap();
+        let x = ramp(64);
+        let (_, d) = analyze_step(&x, &bank, Boundary::Periodic).unwrap();
+        for &v in &d[..d.len() - 2] {
+            assert!(v.abs() < 1e-9, "interior detail {v}");
+        }
+    }
+
+    #[test]
+    fn synthesize_step_checks_lengths() {
+        let bank = FilterBank::haar();
+        assert!(synthesize_step(&[1.0, 2.0], &[1.0], &bank, Boundary::Periodic).is_err());
+    }
+
+    #[test]
+    fn non_periodic_modes_run_and_shape_is_right() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let x = ramp(32);
+        for mode in [Boundary::Symmetric, Boundary::Zero] {
+            let dec = decompose(&x, &bank, 2, mode).unwrap();
+            assert_eq!(dec.signal_len(), 32);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Separable 2-D Mallat decomposition and reconstruction.
+//!
+//! One decomposition level follows the paper's figure 1 exactly:
+//!
+//! 1. convolve the image **rows** with `L` and `H`,
+//! 2. decimate the columns by two, giving `L_{k+1}` and `H_{k+1}`,
+//! 3. convolve the **columns** of each with `L` and `H`,
+//! 4. decimate the rows by two, giving `LL`, `LH`, `HL`, `HH`.
+//!
+//! `LL_{k+1}` is renamed `I_{k+1}` and fed to the next level.
+
+use crate::boundary::Boundary;
+use crate::conv;
+use crate::error::{DwtError, Result};
+use crate::filters::FilterBank;
+use crate::matrix::Matrix;
+use crate::pyramid::{Pyramid, Subbands};
+
+/// Validate that an `rows x cols` image supports `levels` decomposition
+/// levels with the given filter.
+pub fn validate_dims(rows: usize, cols: usize, filter_len: usize, levels: usize) -> Result<()> {
+    if levels == 0 {
+        return Err(DwtError::ZeroLevels);
+    }
+    let mut r = rows;
+    let mut c = cols;
+    for level in 1..=levels {
+        if !r.is_multiple_of(2) {
+            return Err(DwtError::OddLength { len: r, level });
+        }
+        if !c.is_multiple_of(2) {
+            return Err(DwtError::OddLength { len: c, level });
+        }
+        if r < filter_len || c < filter_len {
+            return Err(DwtError::SignalTooShort {
+                len: r.min(c),
+                filter_len,
+            });
+        }
+        r /= 2;
+        c /= 2;
+    }
+    Ok(())
+}
+
+/// Row pass: filter every row of `img` with `taps` and decimate,
+/// producing a `rows x cols/2` matrix.
+pub fn filter_rows(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
+    let mut out = Matrix::zeros(img.rows(), img.cols() / 2);
+    for r in 0..img.rows() {
+        let src = img.row(r);
+        conv::analyze_into(src, taps, mode, out.row_mut(r));
+    }
+    out
+}
+
+/// Column pass: filter every column of `img` with `taps` and decimate,
+/// producing a `rows/2 x cols` matrix.
+pub fn filter_cols(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
+    let mut out = Matrix::zeros(img.rows() / 2, img.cols());
+    let mut col = vec![0.0; img.rows()];
+    let mut dst = vec![0.0; img.rows() / 2];
+    for c in 0..img.cols() {
+        img.copy_col_into(c, &mut col);
+        conv::analyze_into(&col, taps, mode, &mut dst);
+        out.set_col(c, &dst);
+    }
+    out
+}
+
+/// One 2-D analysis step producing `(LL, Subbands{LH, HL, HH})`.
+pub fn analyze_step(
+    img: &Matrix,
+    bank: &FilterBank,
+    mode: Boundary,
+) -> Result<(Matrix, Subbands)> {
+    validate_dims(img.rows(), img.cols(), bank.len(), 1)?;
+    // Step 1+2: row filtering, column decimation.
+    let low = filter_rows(img, bank.low(), mode);
+    let high = filter_rows(img, bank.high(), mode);
+    // Step 3+4: column filtering, row decimation.
+    let ll = filter_cols(&low, bank.low(), mode);
+    let lh = filter_cols(&low, bank.high(), mode);
+    let hl = filter_cols(&high, bank.low(), mode);
+    let hh = filter_cols(&high, bank.high(), mode);
+    Ok((ll, Subbands { lh, hl, hh }))
+}
+
+/// One 2-D synthesis step: merge `(LL, LH, HL, HH)` back into an image of
+/// twice the side length. Exact inverse of [`analyze_step`] for
+/// [`Boundary::Periodic`].
+pub fn synthesize_step(
+    ll: &Matrix,
+    bands: &Subbands,
+    bank: &FilterBank,
+    mode: Boundary,
+) -> Result<Matrix> {
+    let (r, c) = (ll.rows(), ll.cols());
+    if bands.rows() != r || bands.cols() != c {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "LL is {r}x{c} but detail bands are {}x{}",
+                bands.rows(),
+                bands.cols()
+            ),
+        });
+    }
+    // Invert the column pass: reassemble the row-filtered intermediates.
+    let mut low = Matrix::zeros(2 * r, c);
+    let mut high = Matrix::zeros(2 * r, c);
+    {
+        let mut a = vec![0.0; r];
+        let mut d = vec![0.0; r];
+        let mut colbuf = vec![0.0; 2 * r];
+        for cc in 0..c {
+            ll.copy_col_into(cc, &mut a);
+            bands.lh.copy_col_into(cc, &mut d);
+            colbuf.iter_mut().for_each(|v| *v = 0.0);
+            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf);
+            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf);
+            low.set_col(cc, &colbuf);
+
+            bands.hl.copy_col_into(cc, &mut a);
+            bands.hh.copy_col_into(cc, &mut d);
+            colbuf.iter_mut().for_each(|v| *v = 0.0);
+            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf);
+            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf);
+            high.set_col(cc, &colbuf);
+        }
+    }
+    // Invert the row pass.
+    let mut out = Matrix::zeros(2 * r, 2 * c);
+    for rr in 0..2 * r {
+        let dst = out.row_mut(rr);
+        conv::synthesize_add(low.row(rr), bank.low(), mode, dst);
+        conv::synthesize_add(high.row(rr), bank.high(), mode, dst);
+    }
+    Ok(out)
+}
+
+/// Full multi-level Mallat decomposition.
+pub fn decompose(
+    img: &Matrix,
+    bank: &FilterBank,
+    levels: usize,
+    mode: Boundary,
+) -> Result<Pyramid> {
+    validate_dims(img.rows(), img.cols(), bank.len(), levels)?;
+    let mut approx = img.clone();
+    let mut detail = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        let (ll, bands) = analyze_step(&approx, bank, mode)?;
+        detail.push(bands);
+        approx = ll;
+    }
+    Ok(Pyramid { approx, detail })
+}
+
+/// Invert [`decompose`].
+pub fn reconstruct(pyr: &Pyramid, bank: &FilterBank, mode: Boundary) -> Result<Matrix> {
+    let mut approx = pyr.approx.clone();
+    for bands in pyr.detail.iter().rev() {
+        approx = synthesize_step(&approx, bands, bank, mode)?;
+    }
+    Ok(approx)
+}
+
+/// Count of multiply-accumulate operations one decomposition level
+/// performs on an `rows x cols` input: every output coefficient of the
+/// four passes costs `filter_len` MACs. Used by the machine simulators'
+/// cost models.
+pub fn level_mac_count(rows: usize, cols: usize, filter_len: usize) -> u64 {
+    // Row pass: 2 output matrices of rows x cols/2.
+    let row_pass = 2 * rows as u64 * (cols as u64 / 2) * filter_len as u64;
+    // Column pass: 4 output matrices of rows/2 x cols/2.
+    let col_pass = 4 * (rows as u64 / 2) * (cols as u64 / 2) * filter_len as u64;
+    row_pass + col_pass
+}
+
+/// Total MAC count for a full `levels`-deep decomposition.
+pub fn total_mac_count(rows: usize, cols: usize, filter_len: usize, levels: usize) -> u64 {
+    let mut total = 0;
+    let (mut r, mut c) = (rows, cols);
+    for _ in 0..levels {
+        total += level_mac_count(r, c, filter_len);
+        r /= 2;
+        c /= 2;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| {
+            ((r * 31 + c * 17) % 23) as f64 + (r as f64 * 0.5).sin()
+        })
+    }
+
+    #[test]
+    fn perfect_reconstruction_2d() {
+        for taps in [2usize, 4, 8] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let img = test_image(32);
+            for levels in 1..=3 {
+                let pyr = decompose(&img, &bank, levels, Boundary::Periodic).unwrap();
+                let rec = reconstruct(&pyr, &bank, Boundary::Periodic).unwrap();
+                let err = img.max_abs_diff(&rec).unwrap();
+                assert!(err < 1e-9, "D{taps} L{levels}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_shapes() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = test_image(16);
+        let pyr = decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        assert_eq!(pyr.detail[0].rows(), 8);
+        assert_eq!(pyr.detail[1].rows(), 4);
+        assert_eq!(pyr.approx.rows(), 4);
+        assert_eq!(pyr.image_dims(), (16, 16));
+    }
+
+    #[test]
+    fn energy_preserved_2d() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        let img = test_image(64);
+        let pyr = decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let rel = (pyr.energy() - img.energy()).abs() / img.energy();
+        assert!(rel < 1e-10, "relative energy error {rel}");
+    }
+
+    #[test]
+    fn constant_image_concentrates_in_ll() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = Matrix::from_fn(16, 16, |_, _| 7.0);
+        let pyr = decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        for bands in &pyr.detail {
+            assert!(bands.energy() < 1e-18);
+        }
+        // Each level scales the constant by 2 (sqrt(2) per dimension).
+        let expect = 7.0 * 4.0;
+        for &v in pyr.approx.data() {
+            assert!((v - expect).abs() < 1e-9, "LL value {v}");
+        }
+    }
+
+    #[test]
+    fn vertical_edge_shows_in_hl() {
+        // An image with a vertical edge (variation along rows) excites the
+        // row-high-pass band HL.
+        // The edge must fall inside a decimation pair (odd boundary), or
+        // Haar's pairwise difference cannot see it.
+        let bank = FilterBank::haar();
+        let img = Matrix::from_fn(16, 16, |_, c| if c < 7 { 0.0 } else { 10.0 });
+        let pyr = decompose(&img, &bank, 1, Boundary::Periodic).unwrap();
+        let b = &pyr.detail[0];
+        assert!(b.hl.energy() > 1.0, "hl energy {}", b.hl.energy());
+        assert!(b.lh.energy() < 1e-18, "lh energy {}", b.lh.energy());
+        assert!(b.hh.energy() < 1e-18, "hh energy {}", b.hh.energy());
+    }
+
+    #[test]
+    fn horizontal_edge_shows_in_lh() {
+        let bank = FilterBank::haar();
+        let img = Matrix::from_fn(16, 16, |r, _| if r < 7 { 0.0 } else { 10.0 });
+        let pyr = decompose(&img, &bank, 1, Boundary::Periodic).unwrap();
+        let b = &pyr.detail[0];
+        assert!(b.lh.energy() > 1.0);
+        assert!(b.hl.energy() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_images_that_do_not_divide() {
+        let bank = FilterBank::haar();
+        let img = Matrix::zeros(12, 12);
+        // 12 -> 6 -> 3: level 3 fails.
+        assert!(decompose(&img, &bank, 2, Boundary::Periodic).is_ok());
+        assert!(matches!(
+            decompose(&img, &bank, 3, Boundary::Periodic),
+            Err(DwtError::OddLength { len: 3, level: 3 })
+        ));
+    }
+
+    #[test]
+    fn non_square_images_work() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = Matrix::from_fn(16, 32, |r, c| (r * c) as f64);
+        let pyr = decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        assert_eq!(pyr.approx.rows(), 4);
+        assert_eq!(pyr.approx.cols(), 8);
+        let rec = reconstruct(&pyr, &bank, Boundary::Periodic).unwrap();
+        assert!(img.max_abs_diff(&rec).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn mac_count_matches_formula() {
+        // 8x8, filter 2, 1 level: rows: 2*8*4*2=128; cols: 4*4*4*2=128.
+        assert_eq!(level_mac_count(8, 8, 2), 256);
+        // Two levels on 8x8: 256 + level on 4x4 (2*4*2*2=32 + 4*2*2*2=32).
+        assert_eq!(total_mac_count(8, 8, 2, 2), 256 + 64);
+    }
+
+    #[test]
+    fn mallat_layout_round_trip_through_transform() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = test_image(32);
+        let pyr = decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let layout = pyr.to_mallat_layout();
+        let pyr2 = Pyramid::from_mallat_layout(&layout, 3).unwrap();
+        let rec = reconstruct(&pyr2, &bank, Boundary::Periodic).unwrap();
+        assert!(img.max_abs_diff(&rec).unwrap() < 1e-9);
+    }
+}

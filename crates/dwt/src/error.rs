@@ -1,0 +1,70 @@
+//! Error type shared by the transform routines.
+
+use std::fmt;
+
+/// Errors reported by the wavelet routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DwtError {
+    /// A signal or image dimension is not divisible by 2 for every
+    /// requested decomposition level.
+    OddLength {
+        /// The offending dimension.
+        len: usize,
+        /// The decomposition level at which the dimension became odd.
+        level: usize,
+    },
+    /// The signal is shorter than the filter, which breaks the
+    /// orthogonality of the periodized filter bank.
+    SignalTooShort {
+        /// Signal length.
+        len: usize,
+        /// Filter length.
+        filter_len: usize,
+    },
+    /// Requested an unsupported Daubechies filter length.
+    UnsupportedFilter {
+        /// Requested number of taps.
+        taps: usize,
+    },
+    /// A user-supplied filter failed the orthonormality conditions.
+    NotOrthonormal {
+        /// Which condition failed, for diagnostics.
+        detail: &'static str,
+    },
+    /// Zero decomposition levels requested where at least one is needed.
+    ZeroLevels,
+    /// Matrix dimensions disagree with what the operation requires.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DwtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwtError::OddLength { len, level } => write!(
+                f,
+                "dimension {len} is not divisible by 2 at decomposition level {level}"
+            ),
+            DwtError::SignalTooShort { len, filter_len } => write!(
+                f,
+                "signal length {len} is shorter than filter length {filter_len}"
+            ),
+            DwtError::UnsupportedFilter { taps } => write!(
+                f,
+                "no built-in Daubechies filter with {taps} taps (supported: 2, 4, 6, 8, 10)"
+            ),
+            DwtError::NotOrthonormal { detail } => {
+                write!(f, "filter bank is not orthonormal: {detail}")
+            }
+            DwtError::ZeroLevels => write!(f, "at least one decomposition level is required"),
+            DwtError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DwtError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DwtError>;

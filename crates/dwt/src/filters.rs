@@ -1,0 +1,267 @@
+//! Orthonormal quadrature-mirror filter banks.
+//!
+//! Following Mallat, an orthonormal wavelet basis is defined by a scaling
+//! (low-pass) filter `L`; the wavelet (high-pass) filter `H` is its
+//! quadrature mirror, obtained by the alternating-flip construction
+//! `h[n] = (-1)^n l[L-1-n]`.
+//!
+//! The paper's experiments use filter sizes 8, 4 and 2; these map to the
+//! Daubechies D8 and D4 filters and the Haar filter respectively.
+
+use crate::error::{DwtError, Result};
+
+/// Tolerance used when validating orthonormality conditions.
+const ORTHO_TOL: f64 = 1e-8;
+
+/// An orthonormal analysis/synthesis filter pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterBank {
+    /// Human-readable name, e.g. `"D4"`.
+    name: String,
+    /// Low-pass (scaling) filter taps.
+    low: Vec<f64>,
+    /// High-pass (wavelet) filter taps, the quadrature mirror of `low`.
+    high: Vec<f64>,
+}
+
+impl FilterBank {
+    /// Build a filter bank from low-pass taps, deriving the high-pass by
+    /// alternating flip, and validate orthonormality:
+    ///
+    /// * `Σ l[n]² = 1` (unit norm),
+    /// * `Σ l[n] l[n+2k] = 0` for `k ≠ 0` (orthogonality of even shifts),
+    /// * `Σ l[n] = √2` (lowpass normalization).
+    pub fn from_lowpass(name: impl Into<String>, low: Vec<f64>) -> Result<Self> {
+        if low.len() < 2 || !low.len().is_multiple_of(2) {
+            return Err(DwtError::NotOrthonormal {
+                detail: "filter length must be even and at least 2",
+            });
+        }
+        let norm: f64 = low.iter().map(|v| v * v).sum();
+        if (norm - 1.0).abs() > ORTHO_TOL {
+            return Err(DwtError::NotOrthonormal {
+                detail: "low-pass taps do not have unit norm",
+            });
+        }
+        for k in 1..low.len() / 2 {
+            let dot: f64 = low
+                .iter()
+                .zip(low.iter().skip(2 * k))
+                .map(|(a, b)| a * b)
+                .sum();
+            if dot.abs() > ORTHO_TOL {
+                return Err(DwtError::NotOrthonormal {
+                    detail: "even shifts of the low-pass filter are not orthogonal",
+                });
+            }
+        }
+        let sum: f64 = low.iter().sum();
+        if (sum - std::f64::consts::SQRT_2).abs() > 1e-6 {
+            return Err(DwtError::NotOrthonormal {
+                detail: "low-pass taps do not sum to sqrt(2)",
+            });
+        }
+        let len = low.len();
+        let high: Vec<f64> = (0..len)
+            .map(|n| {
+                let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+                sign * low[len - 1 - n]
+            })
+            .collect();
+        Ok(FilterBank {
+            name: name.into(),
+            low,
+            high,
+        })
+    }
+
+    /// The Haar filter — the paper's "filter size 2".
+    pub fn haar() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        FilterBank::from_lowpass("Haar", vec![s, s]).expect("Haar filter is orthonormal")
+    }
+
+    /// A Daubechies filter with the given (even) number of taps.
+    ///
+    /// Supported lengths: 2 (Haar), 4, 6, 8, 10 — covering the paper's
+    /// filter sizes 2, 4 and 8.
+    pub fn daubechies(taps: usize) -> Result<Self> {
+        // Standard minimum-phase Daubechies coefficients, normalized to
+        // unit l2 norm (so the analysis operator is orthogonal).
+        let low: Vec<f64> = match taps {
+            2 => return Ok(FilterBank::haar()),
+            4 => {
+                let s3 = 3.0_f64.sqrt();
+                let d = 4.0 * std::f64::consts::SQRT_2;
+                vec![(1.0 + s3) / d, (3.0 + s3) / d, (3.0 - s3) / d, (1.0 - s3) / d]
+            }
+            6 => vec![
+                0.332670552950957,
+                0.806891509313339,
+                0.459877502119331,
+                -0.135011020010391,
+                -0.085441273882241,
+                0.035226291882101,
+            ],
+            8 => vec![
+                0.230377813308855,
+                0.714846570552542,
+                0.630880767929590,
+                -0.027983769416984,
+                -0.187034811718881,
+                0.030841381835987,
+                0.032883011666983,
+                -0.010597401784997,
+            ],
+            10 => vec![
+                0.160102397974125,
+                0.603829269797473,
+                0.724308528438574,
+                0.138428145901103,
+                -0.242294887066190,
+                -0.032244869585030,
+                0.077571493840065,
+                -0.006241490213012,
+                -0.012580751999016,
+                0.003335725285002,
+            ],
+            other => return Err(DwtError::UnsupportedFilter { taps: other }),
+        };
+        FilterBank::from_lowpass(format!("D{taps}"), low)
+    }
+
+    /// Filter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of taps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.low.len()
+    }
+
+    /// Always false: construction rejects empty filters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Low-pass taps.
+    #[inline]
+    pub fn low(&self) -> &[f64] {
+        &self.low
+    }
+
+    /// High-pass taps.
+    #[inline]
+    pub fn high(&self) -> &[f64] {
+        &self.high
+    }
+
+    /// The "diluted" (à trous) low-pass filter of the MasPar dilution
+    /// algorithm: taps spread apart by `2^level - 1` zeros so that the
+    /// filter aligns with the undecimated pixel grid at deeper levels.
+    pub fn dilated_low(&self, level: u32) -> Vec<f64> {
+        dilate(&self.low, level)
+    }
+
+    /// The diluted high-pass filter (see [`FilterBank::dilated_low`]).
+    pub fn dilated_high(&self, level: u32) -> Vec<f64> {
+        dilate(&self.high, level)
+    }
+}
+
+fn dilate(taps: &[f64], level: u32) -> Vec<f64> {
+    let gap = (1usize << level) - 1;
+    if gap == 0 {
+        return taps.to_vec();
+    }
+    let mut out = Vec::with_capacity(taps.len() + gap * (taps.len() - 1));
+    for (i, &t) in taps.iter().enumerate() {
+        out.push(t);
+        if i + 1 != taps.len() {
+            out.extend(std::iter::repeat_n(0.0, gap));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal(bank: &FilterBank) {
+        let l = bank.low();
+        let h = bank.high();
+        let norm_l: f64 = l.iter().map(|v| v * v).sum();
+        let norm_h: f64 = h.iter().map(|v| v * v).sum();
+        assert!((norm_l - 1.0).abs() < 1e-10, "low norm {norm_l}");
+        assert!((norm_h - 1.0).abs() < 1e-10, "high norm {norm_h}");
+        // Cross-orthogonality at all even shifts.
+        let len = l.len() as isize;
+        for k in -(len / 2)..=(len / 2) {
+            let dot: f64 = (0..len)
+                .filter_map(|n| {
+                    let m = n + 2 * k;
+                    if m >= 0 && m < len {
+                        Some(l[n as usize] * h[m as usize])
+                    } else {
+                        None
+                    }
+                })
+                .sum();
+            assert!(dot.abs() < 1e-10, "L/H shift {k} dot {dot}");
+        }
+    }
+
+    #[test]
+    fn builtin_banks_are_orthonormal() {
+        for taps in [2, 4, 6, 8, 10] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            assert_eq!(bank.len(), taps);
+            assert_orthonormal(&bank);
+        }
+    }
+
+    #[test]
+    fn high_pass_sums_to_zero() {
+        for taps in [2, 4, 6, 8, 10] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let s: f64 = bank.high().iter().sum();
+            assert!(s.abs() < 1e-8, "D{taps} high-pass sums to {s}");
+        }
+    }
+
+    #[test]
+    fn unsupported_taps_rejected() {
+        assert_eq!(
+            FilterBank::daubechies(12),
+            Err(DwtError::UnsupportedFilter { taps: 12 })
+        );
+        assert!(FilterBank::daubechies(3).is_err());
+    }
+
+    #[test]
+    fn from_lowpass_rejects_bad_filters() {
+        // Not unit norm.
+        assert!(FilterBank::from_lowpass("bad", vec![1.0, 1.0]).is_err());
+        // Odd length.
+        assert!(FilterBank::from_lowpass("bad", vec![1.0, 0.0, 0.0]).is_err());
+        // Unit norm but shifts not orthogonal (and wrong sum).
+        let v = 0.5_f64;
+        assert!(FilterBank::from_lowpass("bad", vec![v, v, v, v]).is_err());
+    }
+
+    #[test]
+    fn dilation_inserts_gaps() {
+        let bank = FilterBank::haar();
+        assert_eq!(bank.dilated_low(0).len(), 2);
+        let d1 = bank.dilated_low(1);
+        assert_eq!(d1.len(), 3);
+        assert_eq!(d1[1], 0.0);
+        let d2 = bank.dilated_low(2);
+        assert_eq!(d2.len(), 5);
+        assert_eq!(&d2[1..4], &[0.0, 0.0, 0.0]);
+    }
+}

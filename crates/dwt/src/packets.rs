@@ -1,0 +1,257 @@
+//! Wavelet packets: the full binary generalization of the Mallat
+//! pyramid. Where the paper's algorithm re-decomposes only the low/low
+//! band, the packet transform splits *every* sub-band, and the
+//! Coifman–Wickerhauser best-basis algorithm then prunes the tree to the
+//! most compact representation — the natural "future work" extension of
+//! the paper's compression application.
+
+use crate::boundary::Boundary;
+use crate::dwt2d;
+use crate::error::Result;
+use crate::filters::FilterBank;
+use crate::matrix::Matrix;
+
+/// A node of the 2-D packet tree: either a leaf holding coefficients or
+/// an internal node with four children (LL, LH, HL, HH order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketNode {
+    /// Undecomposed coefficients.
+    Leaf(Matrix),
+    /// Split into the four filtered/decimated quadrants.
+    Split(Box<[PacketNode; 4]>),
+}
+
+impl PacketNode {
+    /// Number of coefficients under this node.
+    pub fn coefficients(&self) -> usize {
+        match self {
+            PacketNode::Leaf(m) => m.rows() * m.cols(),
+            PacketNode::Split(children) => children.iter().map(PacketNode::coefficients).sum(),
+        }
+    }
+
+    /// Number of leaves under this node.
+    pub fn leaves(&self) -> usize {
+        match self {
+            PacketNode::Leaf(_) => 1,
+            PacketNode::Split(children) => children.iter().map(PacketNode::leaves).sum(),
+        }
+    }
+
+    /// Visit every leaf.
+    pub fn for_each_leaf(&self, f: &mut impl FnMut(&Matrix)) {
+        match self {
+            PacketNode::Leaf(m) => f(m),
+            PacketNode::Split(children) => {
+                for c in children.iter() {
+                    c.for_each_leaf(f);
+                }
+            }
+        }
+    }
+}
+
+/// Decompose `img` into the *full* packet tree of the given depth
+/// (every band split at every level).
+pub fn decompose_full(
+    img: &Matrix,
+    bank: &FilterBank,
+    depth: usize,
+    mode: Boundary,
+) -> Result<PacketNode> {
+    if depth == 0 {
+        return Ok(PacketNode::Leaf(img.clone()));
+    }
+    dwt2d::validate_dims(img.rows(), img.cols(), bank.len(), 1)?;
+    let (ll, bands) = dwt2d::analyze_step(img, bank, mode)?;
+    let children = [
+        decompose_full(&ll, bank, depth - 1, mode)?,
+        decompose_full(&bands.lh, bank, depth - 1, mode)?,
+        decompose_full(&bands.hl, bank, depth - 1, mode)?,
+        decompose_full(&bands.hh, bank, depth - 1, mode)?,
+    ];
+    Ok(PacketNode::Split(Box::new(children)))
+}
+
+/// Reconstruct the image from any packet tree (full, pruned, or the
+/// Mallat-shaped one).
+pub fn reconstruct(node: &PacketNode, bank: &FilterBank, mode: Boundary) -> Result<Matrix> {
+    match node {
+        PacketNode::Leaf(m) => Ok(m.clone()),
+        PacketNode::Split(children) => {
+            let ll = reconstruct(&children[0], bank, mode)?;
+            let lh = reconstruct(&children[1], bank, mode)?;
+            let hl = reconstruct(&children[2], bank, mode)?;
+            let hh = reconstruct(&children[3], bank, mode)?;
+            dwt2d::synthesize_step(
+                &ll,
+                &crate::pyramid::Subbands { lh, hl, hh },
+                bank,
+                mode,
+            )
+        }
+    }
+}
+
+/// The Coifman–Wickerhauser additive cost: Shannon-like entropy
+/// `−Σ p ln p` with `p = c²/‖c‖²` computed against a fixed global norm
+/// so that costs add across nodes.
+pub fn entropy_cost(m: &Matrix, global_norm2: f64) -> f64 {
+    if global_norm2 <= 0.0 {
+        return 0.0;
+    }
+    m.data()
+        .iter()
+        .map(|&c| {
+            let p = c * c / global_norm2;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Prune a full packet tree to its best basis: keep a split only when
+/// its children's total cost beats the node's own cost.
+/// Returns the pruned tree and its total cost.
+pub fn best_basis(
+    img: &Matrix,
+    bank: &FilterBank,
+    depth: usize,
+    mode: Boundary,
+) -> Result<(PacketNode, f64)> {
+    let norm2 = img.energy();
+    fn go(
+        img: &Matrix,
+        bank: &FilterBank,
+        depth: usize,
+        mode: Boundary,
+        norm2: f64,
+    ) -> Result<(PacketNode, f64)> {
+        let own_cost = entropy_cost(img, norm2);
+        if depth == 0 || dwt2d::validate_dims(img.rows(), img.cols(), bank.len(), 1).is_err() {
+            return Ok((PacketNode::Leaf(img.clone()), own_cost));
+        }
+        let (ll, bands) = dwt2d::analyze_step(img, bank, mode)?;
+        let parts = [&ll, &bands.lh, &bands.hl, &bands.hh];
+        let mut children = Vec::with_capacity(4);
+        let mut child_cost = 0.0;
+        for p in parts {
+            let (node, cost) = go(p, bank, depth - 1, mode, norm2)?;
+            child_cost += cost;
+            children.push(node);
+        }
+        if child_cost < own_cost {
+            let children: [PacketNode; 4] = children.try_into().expect("four children");
+            Ok((PacketNode::Split(Box::new(children)), child_cost))
+        } else {
+            Ok((PacketNode::Leaf(img.clone()), own_cost))
+        }
+    }
+    go(img, bank, depth, mode, norm2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| {
+            ((r * 7 + c * 13) % 19) as f64 + (c as f64 * 0.7).sin() * 4.0
+        })
+    }
+
+    #[test]
+    fn full_tree_shape() {
+        let img = image(32);
+        let bank = FilterBank::haar();
+        let tree = decompose_full(&img, &bank, 2, Boundary::Periodic).unwrap();
+        assert_eq!(tree.leaves(), 16);
+        assert_eq!(tree.coefficients(), 32 * 32);
+    }
+
+    #[test]
+    fn full_tree_perfect_reconstruction() {
+        let img = image(32);
+        for taps in [2usize, 4] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let tree = decompose_full(&img, &bank, 2, Boundary::Periodic).unwrap();
+            let rec = reconstruct(&tree, &bank, Boundary::Periodic).unwrap();
+            let err = img.max_abs_diff(&rec).unwrap();
+            assert!(err < 1e-9, "D{taps}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_identity() {
+        let img = image(16);
+        let bank = FilterBank::haar();
+        let tree = decompose_full(&img, &bank, 0, Boundary::Periodic).unwrap();
+        assert_eq!(tree, PacketNode::Leaf(img.clone()));
+        assert_eq!(
+            reconstruct(&tree, &bank, Boundary::Periodic).unwrap(),
+            img
+        );
+    }
+
+    #[test]
+    fn best_basis_reconstructs_exactly() {
+        let img = image(32);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let (tree, _) = best_basis(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let rec = reconstruct(&tree, &bank, Boundary::Periodic).unwrap();
+        assert!(img.max_abs_diff(&rec).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn best_basis_cost_never_exceeds_either_extreme() {
+        let img = image(32);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let norm2 = img.energy();
+        let raw_cost = entropy_cost(&img, norm2);
+        let (tree, best_cost) = best_basis(&img, &bank, 3, Boundary::Periodic).unwrap();
+        // The pruned cost is at most the undecomposed cost...
+        assert!(best_cost <= raw_cost + 1e-12);
+        // ...and at most the fully decomposed cost.
+        let full = decompose_full(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let mut full_cost = 0.0;
+        full.for_each_leaf(&mut |m| full_cost += entropy_cost(m, norm2));
+        assert!(best_cost <= full_cost + 1e-12);
+        assert!(tree.coefficients() == 32 * 32);
+    }
+
+    #[test]
+    fn oscillatory_texture_prefers_deeper_packets() {
+        // A high-frequency texture concentrates in a HH-like packet that
+        // plain Mallat (LL-only recursion) never splits: the best basis
+        // should split at least one non-LL band.
+        let img = Matrix::from_fn(32, 32, |r, c| {
+            if (r + c) % 2 == 0 {
+                10.0
+            } else {
+                -10.0
+            }
+        });
+        let bank = FilterBank::haar();
+        let (tree, _) = best_basis(&img, &bank, 2, Boundary::Periodic).unwrap();
+        // The checkerboard is a pure HH Haar component: the tree must be
+        // more compact than the raw image representation.
+        let norm2 = img.energy();
+        let mut tree_cost = 0.0;
+        tree.for_each_leaf(&mut |m| tree_cost += entropy_cost(m, norm2));
+        assert!(tree_cost < entropy_cost(&img, norm2));
+    }
+
+    #[test]
+    fn entropy_cost_basics() {
+        // All energy in one coefficient: zero entropy.
+        let spike = Matrix::from_vec(1, 4, vec![2.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(entropy_cost(&spike, 4.0).abs() < 1e-12);
+        // Spread energy: positive entropy.
+        let flat = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(entropy_cost(&flat, 4.0) > 1.0);
+        assert_eq!(entropy_cost(&flat, 0.0), 0.0);
+    }
+}

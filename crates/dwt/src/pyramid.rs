@@ -1,0 +1,237 @@
+//! Multi-resolution pyramid containers.
+
+use crate::error::{DwtError, Result};
+use crate::matrix::Matrix;
+
+/// The three detail sub-bands produced by one 2-D Mallat step.
+///
+/// Band naming is `<row-filter><column-filter>`: `lh` is low-pass along
+/// rows and high-pass along columns, `hl` the converse, `hh` high-pass in
+/// both directions. All three have half the parent's rows and columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subbands {
+    /// Low along rows, high along columns (horizontal edges).
+    pub lh: Matrix,
+    /// High along rows, low along columns (vertical edges).
+    pub hl: Matrix,
+    /// High in both directions (diagonal detail).
+    pub hh: Matrix,
+}
+
+impl Subbands {
+    /// Rows of each band.
+    pub fn rows(&self) -> usize {
+        self.lh.rows()
+    }
+
+    /// Columns of each band.
+    pub fn cols(&self) -> usize {
+        self.lh.cols()
+    }
+
+    /// Total energy in the three bands.
+    pub fn energy(&self) -> f64 {
+        self.lh.energy() + self.hl.energy() + self.hh.energy()
+    }
+}
+
+/// A complete multi-level 2-D wavelet decomposition.
+///
+/// `detail[0]` holds the finest (level-1) sub-bands; `approx` is the
+/// LL band remaining after the deepest level — the compressed image
+/// `I_k` in the paper's notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pyramid {
+    /// LL band at the coarsest level.
+    pub approx: Matrix,
+    /// Detail sub-bands, finest level first.
+    pub detail: Vec<Subbands>,
+}
+
+impl Pyramid {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.detail.len()
+    }
+
+    /// Dimensions of the original image.
+    pub fn image_dims(&self) -> (usize, usize) {
+        let scale = 1usize << self.levels();
+        (self.approx.rows() * scale, self.approx.cols() * scale)
+    }
+
+    /// Total coefficient energy across all bands.
+    pub fn energy(&self) -> f64 {
+        self.approx.energy() + self.detail.iter().map(Subbands::energy).sum::<f64>()
+    }
+
+    /// Total number of coefficients (equals the original pixel count).
+    pub fn coefficient_count(&self) -> usize {
+        let (r, c) = self.image_dims();
+        r * c
+    }
+
+    /// Pack the pyramid into the standard Mallat single-image layout:
+    /// the LL band in the top-left corner, each level's LH / HL / HH in
+    /// the top-right / bottom-left / bottom-right quadrants of its scale.
+    pub fn to_mallat_layout(&self) -> Matrix {
+        let (rows, cols) = self.image_dims();
+        let mut out = Matrix::zeros(rows, cols);
+        out.paste(0, 0, &self.approx)
+            .expect("approx fits by construction");
+        for (i, bands) in self.detail.iter().enumerate() {
+            // detail[0] is the finest = occupies the largest quadrants.
+            let level = i + 1; // 1-based level number
+            let h = rows >> level;
+            let w = cols >> level;
+            debug_assert_eq!((h, w), (bands.rows(), bands.cols()));
+            out.paste(0, w, &bands.hl).expect("hl fits");
+            out.paste(h, 0, &bands.lh).expect("lh fits");
+            out.paste(h, w, &bands.hh).expect("hh fits");
+        }
+        out
+    }
+
+    /// Rebuild a pyramid from a Mallat-layout matrix produced by
+    /// [`Pyramid::to_mallat_layout`].
+    pub fn from_mallat_layout(layout: &Matrix, levels: usize) -> Result<Pyramid> {
+        if levels == 0 {
+            return Err(DwtError::ZeroLevels);
+        }
+        let (rows, cols) = (layout.rows(), layout.cols());
+        if rows >> levels << levels != rows || cols >> levels << levels != cols {
+            return Err(DwtError::DimensionMismatch {
+                detail: format!("{rows}x{cols} layout does not divide by 2^{levels}"),
+            });
+        }
+        let mut detail = Vec::with_capacity(levels);
+        for level in 1..=levels {
+            let h = rows >> level;
+            let w = cols >> level;
+            detail.push(Subbands {
+                hl: layout.submatrix(0, w, h, w)?,
+                lh: layout.submatrix(h, 0, h, w)?,
+                hh: layout.submatrix(h, w, h, w)?,
+            });
+        }
+        let approx = layout.submatrix(0, 0, rows >> levels, cols >> levels)?;
+        Ok(Pyramid { approx, detail })
+    }
+
+    /// Visit every coefficient (approx first, then details finest→coarsest).
+    pub fn for_each_coeff(&self, mut f: impl FnMut(f64)) {
+        for &v in self.approx.data() {
+            f(v);
+        }
+        for bands in &self.detail {
+            for &v in bands
+                .lh
+                .data()
+                .iter()
+                .chain(bands.hl.data())
+                .chain(bands.hh.data())
+            {
+                f(v);
+            }
+        }
+    }
+
+    /// Mutable visit of every coefficient, in the same order as
+    /// [`Pyramid::for_each_coeff`].
+    pub fn for_each_coeff_mut(&mut self, mut f: impl FnMut(&mut f64)) {
+        for v in self.approx.data_mut() {
+            f(v);
+        }
+        for bands in &mut self.detail {
+            for v in bands.lh.data_mut() {
+                f(v);
+            }
+            for v in bands.hl.data_mut() {
+                f(v);
+            }
+            for v in bands.hh.data_mut() {
+                f(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_pyramid() -> Pyramid {
+        // 8x8 image, 2 levels: level-1 bands are 4x4, level-2 bands 2x2.
+        let band = |v: f64, n: usize| Matrix::from_fn(n, n, |_, _| v);
+        Pyramid {
+            approx: band(9.0, 2),
+            detail: vec![
+                Subbands {
+                    lh: band(1.0, 4),
+                    hl: band(2.0, 4),
+                    hh: band(3.0, 4),
+                },
+                Subbands {
+                    lh: band(4.0, 2),
+                    hl: band(5.0, 2),
+                    hh: band(6.0, 2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dims_and_counts() {
+        let p = toy_pyramid();
+        assert_eq!(p.levels(), 2);
+        assert_eq!(p.image_dims(), (8, 8));
+        assert_eq!(p.coefficient_count(), 64);
+    }
+
+    #[test]
+    fn layout_round_trip() {
+        let p = toy_pyramid();
+        let layout = p.to_mallat_layout();
+        assert_eq!(layout.rows(), 8);
+        // LL corner.
+        assert_eq!(layout.get(0, 0), 9.0);
+        // Finest HH sits in the bottom-right 4x4 quadrant.
+        assert_eq!(layout.get(7, 7), 3.0);
+        // Finest HL (row-high) top-right.
+        assert_eq!(layout.get(0, 7), 2.0);
+        // Finest LH bottom-left.
+        assert_eq!(layout.get(7, 0), 1.0);
+        let q = Pyramid::from_mallat_layout(&layout, 2).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn layout_rejects_bad_levels() {
+        let p = toy_pyramid();
+        let layout = p.to_mallat_layout();
+        assert!(Pyramid::from_mallat_layout(&layout, 0).is_err());
+        assert!(Pyramid::from_mallat_layout(&layout, 4).is_err());
+    }
+
+    #[test]
+    fn coeff_iteration_covers_everything() {
+        let p = toy_pyramid();
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        p.for_each_coeff(|v| {
+            count += 1;
+            sum += v;
+        });
+        assert_eq!(count, 64);
+        // 4 approx @9, 16 each of 1,2,3, 4 each of 4,5,6.
+        let expect = 4.0 * 9.0 + 16.0 * (1.0 + 2.0 + 3.0) + 4.0 * (4.0 + 5.0 + 6.0);
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn coeff_mutation_applies_everywhere() {
+        let mut p = toy_pyramid();
+        p.for_each_coeff_mut(|v| *v = 0.0);
+        assert_eq!(p.energy(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Binary PGM (P5) image I/O for visual inspection of results.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dwt::Matrix;
+
+/// Write `img` as an 8-bit binary PGM (P5). Values are clamped to
+/// `[0, 255]` and rounded.
+pub fn write_pgm(img: &Matrix, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "P5")?;
+    writeln!(w, "{} {}", img.cols(), img.rows())?;
+    writeln!(w, "255")?;
+    let bytes: Vec<u8> = img
+        .data()
+        .iter()
+        .map(|&v| v.clamp(0.0, 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read an 8-bit binary PGM (P5) into a [`Matrix`].
+pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<Matrix> {
+    let mut r = BufReader::new(File::open(path)?);
+
+    fn next_token(r: &mut impl BufRead) -> io::Result<String> {
+        let mut tok = String::new();
+        loop {
+            let mut byte = [0u8; 1];
+            r.read_exact(&mut byte)?;
+            let ch = byte[0] as char;
+            if ch == '#' {
+                // Comment: skip to end of line.
+                let mut line = String::new();
+                r.read_line(&mut line)?;
+                continue;
+            }
+            if ch.is_whitespace() {
+                if tok.is_empty() {
+                    continue;
+                }
+                return Ok(tok);
+            }
+            tok.push(ch);
+        }
+    }
+
+    let magic = next_token(&mut r)?;
+    if magic != "P5" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected P5 magic, found {magic:?}"),
+        ));
+    }
+    let parse = |s: String| {
+        s.parse::<usize>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    };
+    let cols = parse(next_token(&mut r)?)?;
+    let rows = parse(next_token(&mut r)?)?;
+    let maxval = parse(next_token(&mut r)?)?;
+    if maxval != 255 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("only maxval 255 is supported, found {maxval}"),
+        ));
+    }
+    let mut bytes = vec![0u8; rows * cols];
+    r.read_exact(&mut bytes)?;
+    let data: Vec<f64> = bytes.into_iter().map(f64::from).collect();
+    Matrix::from_vec(rows, cols, data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Normalize an arbitrary-range matrix into `[0, 255]` for display.
+/// A constant matrix maps to mid-gray.
+pub fn normalize_for_display(img: &Matrix) -> Matrix {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in img.data() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    // Constant images (hi == lo) and NaN-poisoned ranges both land here.
+    if hi <= lo || hi.is_nan() || lo.is_nan() {
+        return Matrix::from_fn(img.rows(), img.cols(), |_, _| 128.0);
+    }
+    let scale = 255.0 / (hi - lo);
+    Matrix::from_fn(img.rows(), img.cols(), |r, c| (img.get(r, c) - lo) * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let img = Matrix::from_fn(5, 7, |r, c| ((r * 40 + c * 13) % 256) as f64);
+        let dir = std::env::temp_dir().join("imagery_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.rows(), 5);
+        assert_eq!(back.cols(), 7);
+        assert_eq!(img.max_abs_diff(&back), Some(0.0));
+    }
+
+    #[test]
+    fn write_clamps_out_of_range() {
+        let img = Matrix::from_vec(1, 3, vec![-10.0, 300.0, 128.4]).unwrap();
+        let dir = std::env::temp_dir().join("imagery_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clamp.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.data(), &[0.0, 255.0, 128.0]);
+    }
+
+    #[test]
+    fn read_rejects_wrong_magic() {
+        let dir = std::env::temp_dir().join("imagery_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.pgm");
+        std::fs::write(&path, b"P2\n1 1\n255\n0\n").unwrap();
+        assert!(read_pgm(&path).is_err());
+    }
+
+    #[test]
+    fn normalize_spans_full_range() {
+        let img = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 1.0]).unwrap();
+        let n = normalize_for_display(&img);
+        assert_eq!(n.data(), &[0.0, 127.5, 255.0]);
+    }
+
+    #[test]
+    fn normalize_constant_is_midgray() {
+        let img = Matrix::from_fn(2, 2, |_, _| 42.0);
+        let n = normalize_for_display(&img);
+        assert!(n.data().iter().all(|&v| v == 128.0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Image statistics: moments, histograms, and entropy.
+
+use dwt::Matrix;
+
+/// First- and second-moment summary of an image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Minimum pixel value.
+    pub min: f64,
+    /// Maximum pixel value.
+    pub max: f64,
+    /// Mean pixel value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Compute min/max/mean/std of an image.
+///
+/// # Panics
+///
+/// Panics on an empty image.
+pub fn image_stats(img: &Matrix) -> ImageStats {
+    let data = img.data();
+    assert!(!data.is_empty(), "cannot compute stats of an empty image");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    let mean = sum / data.len() as f64;
+    let var = data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
+    ImageStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// 256-bin histogram of an 8-bit-range image (values clamped to \[0,255\]).
+pub fn histogram(img: &Matrix) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for &v in img.data() {
+        let bin = v.clamp(0.0, 255.0).round() as usize;
+        h[bin.min(255)] += 1;
+    }
+    h
+}
+
+/// First-order (Shannon) entropy in bits/pixel from the 256-bin histogram.
+/// This approximates the lossless compressibility of the raw image and of
+/// quantized wavelet coefficients.
+pub fn entropy_bits(img: &Matrix) -> f64 {
+    let h = histogram(img);
+    let n: u64 = h.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    h.iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_image() {
+        let img = Matrix::from_vec(1, 4, vec![0.0, 2.0, 4.0, 6.0]).unwrap();
+        let s = image_stats(&img);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std_dev - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_all_pixels() {
+        let img = Matrix::from_fn(16, 16, |r, c| ((r + c) % 256) as f64);
+        let h = histogram(&img);
+        assert_eq!(h.iter().sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn entropy_of_constant_image_is_zero() {
+        let img = Matrix::from_fn(8, 8, |_, _| 100.0);
+        assert_eq!(entropy_bits(&img), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_two_values_is_one_bit() {
+        let img = Matrix::from_fn(8, 8, |r, _| if r % 2 == 0 { 0.0 } else { 255.0 });
+        assert!((entropy_bits(&img) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bounded_by_eight_bits() {
+        let img = crate::synth::landsat_scene(64, 64, crate::SceneParams::default());
+        let e = entropy_bits(&img);
+        assert!(e > 2.0 && e <= 8.0, "entropy {e}");
+    }
+}

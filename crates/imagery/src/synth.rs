@@ -1,0 +1,266 @@
+//! Deterministic synthetic Landsat-TM-like scene generation.
+
+use dwt::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Landsat Thematic Mapper spectral bands. Different bands weight the
+/// scene components differently (e.g. the near-infrared band 4 brightens
+/// vegetation, band 5 darkens water), giving band-correlated but distinct
+/// imagery like the real instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TmBand {
+    /// Band 1–3 stand-in: visible light.
+    Visible,
+    /// Band 4: near infrared — vegetation bright, water very dark.
+    NearInfrared,
+    /// Band 5/7: shortwave infrared — moisture-sensitive.
+    ShortwaveInfrared,
+    /// Band 6: thermal — smooth, low contrast.
+    Thermal,
+}
+
+/// Parameters of the synthetic scene.
+#[derive(Debug, Clone, Copy)]
+pub struct SceneParams {
+    /// Spectral band to render.
+    pub band: TmBand,
+    /// RNG seed; the same seed always produces the same scene.
+    pub seed: u64,
+    /// Number of value-noise octaves for the terrain component.
+    pub octaves: u32,
+    /// Standard deviation of the additive sensor noise, in digital counts.
+    pub sensor_noise: f64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        SceneParams {
+            band: TmBand::Visible,
+            seed: 0x4c414e44_53415421, // "LANDSAT!"
+            octaves: 6,
+            sensor_noise: 1.5,
+        }
+    }
+}
+
+/// Lattice value noise with bilinear interpolation, the building block of
+/// the fractal terrain. One lattice sample per `cell` pixels.
+struct ValueNoise {
+    lattice: Vec<f64>,
+    lat_rows: usize,
+    lat_cols: usize,
+    cell: f64,
+}
+
+impl ValueNoise {
+    fn new(rows: usize, cols: usize, cell: usize, rng: &mut StdRng) -> Self {
+        let cell = cell.max(1);
+        let lat_rows = rows / cell + 2;
+        let lat_cols = cols / cell + 2;
+        let lattice = (0..lat_rows * lat_cols)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        ValueNoise {
+            lattice,
+            lat_rows,
+            lat_cols,
+            cell: cell as f64,
+        }
+    }
+
+    fn at(&self, r: usize, c: usize) -> f64 {
+        let fr = r as f64 / self.cell;
+        let fc = c as f64 / self.cell;
+        let r0 = (fr.floor() as usize).min(self.lat_rows - 2);
+        let c0 = (fc.floor() as usize).min(self.lat_cols - 2);
+        let tr = fr - r0 as f64;
+        let tc = fc - c0 as f64;
+        // Smoothstep for C1-continuous interpolation.
+        let sr = tr * tr * (3.0 - 2.0 * tr);
+        let sc = tc * tc * (3.0 - 2.0 * tc);
+        let g = |rr: usize, cc: usize| self.lattice[rr * self.lat_cols + cc];
+        let top = g(r0, c0) * (1.0 - sc) + g(r0, c0 + 1) * sc;
+        let bot = g(r0 + 1, c0) * (1.0 - sc) + g(r0 + 1, c0 + 1) * sc;
+        top * (1.0 - sr) + bot * sr
+    }
+}
+
+/// Fractal terrain: octaves of value noise with power-law amplitude decay,
+/// giving the 1/f-like spectrum characteristic of natural landscapes.
+fn terrain(rows: usize, cols: usize, octaves: u32, rng: &mut StdRng) -> Matrix {
+    let mut out = Matrix::zeros(rows, cols);
+    let mut amplitude = 1.0;
+    let mut cell = (rows.max(cols) / 2).max(1);
+    for _ in 0..octaves {
+        let noise = ValueNoise::new(rows, cols, cell, rng);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = out.get(r, c) + amplitude * noise.at(r, c);
+                out.set(r, c, v);
+            }
+        }
+        amplitude *= 0.55;
+        cell = (cell / 2).max(1);
+        if cell == 1 {
+            break;
+        }
+    }
+    out
+}
+
+/// A meandering river: distance field to a sinusoidal centerline.
+fn river_mask(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let amp = rows as f64 * rng.gen_range(0.08..0.18);
+    let freq = rng.gen_range(1.5..3.5) * std::f64::consts::TAU / cols as f64;
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let center = rows as f64 * rng.gen_range(0.35..0.65);
+    let width = rows as f64 * 0.012 + 2.0;
+    Matrix::from_fn(rows, cols, |r, c| {
+        let riverline = center + amp * (freq * c as f64 + phase).sin();
+        let d = (r as f64 - riverline).abs();
+        // 1 inside the river, smooth falloff at the banks.
+        (1.0 - (d / width)).clamp(0.0, 1.0)
+    })
+}
+
+/// Agricultural field grid: blocky piecewise-constant reflectance patches
+/// in one quadrant of the scene.
+fn field_mask(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let block = (rows / 16).max(4);
+    let n_r = rows / block + 1;
+    let n_c = cols / block + 1;
+    let values: Vec<f64> = (0..n_r * n_c)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0.2..1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Matrix::from_fn(rows, cols, |r, c| {
+        // Fields only in the south-east quadrant.
+        if r > rows / 2 && c > cols / 2 {
+            values[(r / block) * n_c + c / block]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Generate a synthetic `rows x cols` Landsat-TM-like scene with values
+/// in `[0, 255]`.
+pub fn landsat_scene(rows: usize, cols: usize, params: SceneParams) -> Matrix {
+    assert!(rows > 0 && cols > 0, "scene dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let terr = terrain(rows, cols, params.octaves, &mut rng);
+    let river = river_mask(rows, cols, &mut rng);
+    let fields = field_mask(rows, cols, &mut rng);
+
+    // Band-dependent mixing weights: (terrain gain, river level, field gain,
+    // base level).
+    let (t_gain, river_level, f_gain, base) = match params.band {
+        TmBand::Visible => (60.0, 30.0, 40.0, 110.0),
+        TmBand::NearInfrared => (70.0, 5.0, 80.0, 120.0),
+        TmBand::ShortwaveInfrared => (80.0, 15.0, 55.0, 100.0),
+        TmBand::Thermal => (25.0, 60.0, 10.0, 128.0),
+    };
+
+    let mut noise_rng = StdRng::seed_from_u64(params.seed ^ 0x5eed);
+    Matrix::from_fn(rows, cols, |r, c| {
+        let mut v = base + t_gain * terr.get(r, c) + f_gain * fields.get(r, c);
+        // Rivers override the land surface.
+        let rm = river.get(r, c);
+        v = v * (1.0 - rm) + river_level * rm;
+        if params.sensor_noise > 0.0 {
+            // Box-Muller-free cheap gaussian-ish noise: sum of uniforms.
+            let u: f64 = (0..3).map(|_| noise_rng.gen_range(-1.0..1.0)).sum();
+            v += params.sensor_noise * u;
+        }
+        v.clamp(0.0, 255.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = SceneParams::default();
+        let a = landsat_scene(64, 64, p);
+        let b = landsat_scene(64, 64, p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = landsat_scene(64, 64, SceneParams::default());
+        let b = landsat_scene(
+            64,
+            64,
+            SceneParams {
+                seed: 12345,
+                ..SceneParams::default()
+            },
+        );
+        assert!(a.max_abs_diff(&b).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn values_in_display_range() {
+        let img = landsat_scene(128, 128, SceneParams::default());
+        for &v in img.data() {
+            assert!((0.0..=255.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bands_are_correlated_but_distinct() {
+        let mk = |band| {
+            landsat_scene(
+                64,
+                64,
+                SceneParams {
+                    band,
+                    ..SceneParams::default()
+                },
+            )
+        };
+        let vis = mk(TmBand::Visible);
+        let nir = mk(TmBand::NearInfrared);
+        assert!(vis.max_abs_diff(&nir).unwrap() > 1.0, "bands identical");
+        // Same underlying scene: high spatial correlation.
+        let mean = |m: &Matrix| m.data().iter().sum::<f64>() / m.data().len() as f64;
+        let (mv, mn) = (mean(&vis), mean(&nir));
+        let mut cov = 0.0;
+        let mut var_v = 0.0;
+        let mut var_n = 0.0;
+        for (a, b) in vis.data().iter().zip(nir.data()) {
+            cov += (a - mv) * (b - mn);
+            var_v += (a - mv) * (a - mv);
+            var_n += (b - mn) * (b - mn);
+        }
+        let corr = cov / (var_v.sqrt() * var_n.sqrt());
+        assert!(corr > 0.5, "inter-band correlation {corr} too low");
+    }
+
+    #[test]
+    fn scene_has_nontrivial_detail_energy() {
+        // Sanity: the scene should not be flat — its wavelet detail bands
+        // must carry energy, otherwise the compression examples are moot.
+        let img = landsat_scene(64, 64, SceneParams::default());
+        let bank = dwt::FilterBank::daubechies(4).unwrap();
+        let pyr = dwt::dwt2d::decompose(&img, &bank, 2, dwt::Boundary::Periodic).unwrap();
+        let detail: f64 = pyr.detail.iter().map(|b| b.energy()).sum();
+        assert!(detail > 100.0, "detail energy {detail} suspiciously low");
+    }
+
+    #[test]
+    fn rectangular_scenes_supported() {
+        let img = landsat_scene(32, 96, SceneParams::default());
+        assert_eq!(img.rows(), 32);
+        assert_eq!(img.cols(), 96);
+    }
+}

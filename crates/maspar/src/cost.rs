@@ -1,0 +1,74 @@
+//! Cycle-cost models for the SIMD array.
+
+/// Per-primitive cycle costs of the PE array.
+///
+/// The absolute values are calibrated so that the MP-2 preset reproduces
+/// the paper's Table 1 wavelet timings (tens of milliseconds for a
+/// 512×512 image on 16K PEs); the MP-1/MP-2 *ratio* reflects the switch
+/// from 4-bit PEs to 32-bit RISC PEs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasParCost {
+    /// Array clock, seconds per cycle.
+    pub cycle_s: f64,
+    /// ACU instruction issue + scalar broadcast to all PEs.
+    pub broadcast_cycles: f64,
+    /// One 32-bit floating multiply-accumulate on every active PE,
+    /// including the operand loads from PE memory (MasPar PEs have no
+    /// FPU; floating point runs in microcode).
+    pub mac_cycles: f64,
+    /// A PE-local register/memory move.
+    pub move_cycles: f64,
+    /// One X-net neighbour shift step (distance 1) of a 32-bit value.
+    pub xnet_hop_cycles: f64,
+    /// Global-router circuit setup per transaction.
+    pub router_setup_cycles: f64,
+    /// Per 32-bit value through a cluster's serial router port.
+    pub router_word_cycles: f64,
+}
+
+impl MasParCost {
+    /// MasPar MP-2: 32-bit RISC PEs.
+    ///
+    /// Calibrated against Table 1 of the paper (0.0169 s for F8/L1 on a
+    /// 512×512 image with 16K PEs): MasPar PEs have no FPU, so one
+    /// 32-bit floating MAC with its operand loads runs a few hundred
+    /// microcode cycles.
+    pub fn mp2() -> Self {
+        MasParCost {
+            cycle_s: 80e-9, // 12.5 MHz
+            broadcast_cycles: 25.0,
+            mac_cycles: 250.0,
+            move_cycles: 25.0,
+            xnet_hop_cycles: 90.0,
+            router_setup_cycles: 900.0,
+            router_word_cycles: 90.0,
+        }
+    }
+
+    /// MasPar MP-1: 4-bit PEs — every 32-bit operation is bit-serial and
+    /// roughly an order of magnitude slower than on the MP-2.
+    pub fn mp1() -> Self {
+        MasParCost {
+            cycle_s: 80e-9,
+            broadcast_cycles: 25.0,
+            mac_cycles: 2000.0,
+            move_cycles: 80.0,
+            xnet_hop_cycles: 300.0,
+            router_setup_cycles: 900.0,
+            router_word_cycles: 145.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp1_is_much_slower_than_mp2_on_arithmetic() {
+        let mp1 = MasParCost::mp1();
+        let mp2 = MasParCost::mp2();
+        assert!(mp1.mac_cycles > 5.0 * mp2.mac_cycles);
+        assert_eq!(mp1.cycle_s, mp2.cycle_s);
+    }
+}

@@ -1,0 +1,168 @@
+//! The systolic-with-dilution SIMD wavelet decomposition (paper §4.1).
+//!
+//! Instead of physically decimating (which needs the global router to
+//! compact the surviving coefficients), the *filter* is diluted —
+//! stretched with `2^k - 1` zeros between taps at level `k` (the à trous
+//! construction) — so that it stays aligned with the relevant pixels of
+//! the undecimated grid. Data never moves between PEs for decimation;
+//! the price is redundant computation on the full-size grid at every
+//! level and X-net shifts of growing distance.
+
+use dwt::boundary::Boundary;
+use dwt::conv;
+use dwt::error::Result;
+use dwt::filters::FilterBank;
+use dwt::matrix::Matrix;
+use dwt::pyramid::{Pyramid, Subbands};
+
+use crate::machine::SimdMachine;
+
+/// Charge one diluted systolic pass: `f` broadcast/MAC steps with
+/// inter-step shift distance `2^level` on the full grid.
+fn charge_pass(m: &mut SimdMachine, logical: usize, f: usize, level: u32) {
+    let dist = 1usize << level;
+    for _ in 0..f {
+        m.charge_broadcast();
+        m.charge_mac(logical);
+        m.charge_shift(logical, dist);
+    }
+}
+
+fn conv_rows(machine: &mut SimdMachine, img: &Matrix, taps: &[f64], f: usize, level: u32) -> Matrix {
+    charge_pass(machine, img.rows() * img.cols(), f, level);
+    let mut out = Matrix::zeros(img.rows(), img.cols());
+    for r in 0..img.rows() {
+        out.row_mut(r)
+            .copy_from_slice(&conv::convolve(img.row(r), taps, Boundary::Periodic));
+    }
+    out
+}
+
+fn conv_cols(machine: &mut SimdMachine, img: &Matrix, taps: &[f64], f: usize, level: u32) -> Matrix {
+    charge_pass(machine, img.rows() * img.cols(), f, level);
+    let mut out = Matrix::zeros(img.rows(), img.cols());
+    let mut col = vec![0.0; img.rows()];
+    for c in 0..img.cols() {
+        img.copy_col_into(c, &mut col);
+        out.set_col(c, &conv::convolve(&col, taps, Boundary::Periodic));
+    }
+    out
+}
+
+/// Sample the undecimated band at stride `2^level` in both dimensions,
+/// which reads the Mallat coefficients out of the à trous arrays. A
+/// PE-local selection, no router.
+fn sample(machine: &mut SimdMachine, img: &Matrix, level: usize) -> Matrix {
+    let stride = 1usize << level;
+    machine.charge_move(img.rows() * img.cols());
+    Matrix::from_fn(img.rows() / stride, img.cols() / stride, |r, c| {
+        img.get(r * stride, c * stride)
+    })
+}
+
+/// Full multi-level dilution decomposition. Produces exactly the same
+/// pyramid as [`crate::systolic::decompose`] (and the sequential
+/// transform), with a different cost profile and **zero router
+/// transactions**.
+pub fn decompose(
+    machine: &mut SimdMachine,
+    img: &Matrix,
+    bank: &FilterBank,
+    levels: usize,
+) -> Result<Pyramid> {
+    dwt::dwt2d::validate_dims(img.rows(), img.cols(), bank.len(), levels)?;
+    let f = bank.len();
+    let mut approx_full = img.clone(); // undecimated A_k
+    let mut detail = Vec::with_capacity(levels);
+    for level in 0..levels as u32 {
+        let dl = bank.dilated_low(level);
+        let dh = bank.dilated_high(level);
+        let low_full = conv_rows(machine, &approx_full, &dl, f, level);
+        let high_full = conv_rows(machine, &approx_full, &dh, f, level);
+        let ll_full = conv_cols(machine, &low_full, &dl, f, level);
+        let lh_full = conv_cols(machine, &low_full, &dh, f, level);
+        let hl_full = conv_cols(machine, &high_full, &dl, f, level);
+        let hh_full = conv_cols(machine, &high_full, &dh, f, level);
+        let out_level = level as usize + 1;
+        detail.push(Subbands {
+            lh: sample(machine, &lh_full, out_level),
+            hl: sample(machine, &hl_full, out_level),
+            hh: sample(machine, &hh_full, out_level),
+        });
+        approx_full = ll_full;
+    }
+    let approx = sample(machine, &approx_full, levels);
+    Ok(Pyramid { approx, detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MasParCost;
+    use crate::machine::Virtualization;
+    use crate::systolic;
+
+    fn image(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f64 + 0.25)
+    }
+
+    fn mp2(w: usize, virt: Virtualization) -> SimdMachine {
+        SimdMachine::new(w, w, MasParCost::mp2(), virt)
+    }
+
+    #[test]
+    fn matches_sequential_decomposition() {
+        let img = image(32);
+        for taps in [2usize, 4, 8] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            for levels in 1..=3 {
+                let seq = dwt::dwt2d::decompose(&img, &bank, levels, Boundary::Periodic).unwrap();
+                let mut m = mp2(8, Virtualization::Hierarchical);
+                let got = decompose(&mut m, &img, &bank, levels).unwrap();
+                let err = seq.approx.max_abs_diff(&got.approx).unwrap();
+                assert!(err < 1e-12, "D{taps} L{levels} approx err {err}");
+                for (a, b) in seq.detail.iter().zip(&got.detail) {
+                    assert!(a.lh.max_abs_diff(&b.lh).unwrap() < 1e-12);
+                    assert!(a.hl.max_abs_diff(&b.hl).unwrap() < 1e-12);
+                    assert!(a.hh.max_abs_diff(&b.hh).unwrap() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_touches_the_router() {
+        let img = image(16);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let mut m = mp2(4, Virtualization::Hierarchical);
+        decompose(&mut m, &img, &bank, 2).unwrap();
+        assert_eq!(m.router_transactions(), 0);
+    }
+
+    #[test]
+    fn agrees_with_systolic_results() {
+        let img = image(32);
+        let bank = FilterBank::daubechies(8).unwrap();
+        let mut ma = mp2(8, Virtualization::Hierarchical);
+        let a = systolic::decompose(&mut ma, &img, &bank, 2).unwrap();
+        let mut mb = mp2(8, Virtualization::Hierarchical);
+        let b = decompose(&mut mb, &img, &bank, 2).unwrap();
+        assert!(a.approx.max_abs_diff(&b.approx).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dilution_costs_more_compute_at_depth() {
+        // At several levels the dilution algorithm works on the full grid
+        // every level, so it burns more MAC time than systolic; its win
+        // is the zero router usage.
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let mut sys = mp2(8, Virtualization::Hierarchical);
+        systolic::decompose(&mut sys, &img, &bank, 3).unwrap();
+        let mut dil = mp2(8, Virtualization::Hierarchical);
+        decompose(&mut dil, &img, &bank, 3).unwrap();
+        assert!(dil.seconds() > sys.seconds() * 0.5, "sanity");
+        assert_eq!(dil.router_transactions(), 0);
+        assert!(sys.router_transactions() > 0);
+    }
+}

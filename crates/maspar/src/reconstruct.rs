@@ -1,0 +1,169 @@
+//! SIMD wavelet **reconstruction** (the paper's figure 2): the reverse
+//! systolic process — coefficients are spread back onto the full grid
+//! with the global router (un-decimation), then convolved with the
+//! synthesis filters in the same broadcast/MAC/shift pattern.
+
+use dwt::boundary::Boundary;
+use dwt::error::Result;
+use dwt::filters::FilterBank;
+use dwt::matrix::Matrix;
+use dwt::pyramid::Pyramid;
+
+use crate::machine::SimdMachine;
+
+/// Charge one systolic synthesis pass over `logical` elements.
+fn charge_pass(m: &mut SimdMachine, logical: usize, f: usize) {
+    for _ in 0..f {
+        m.charge_broadcast();
+        m.charge_mac(logical);
+        m.charge_shift(logical, 1);
+    }
+}
+
+/// Un-decimate columns with the router: coefficients move to even
+/// positions of a double-width grid.
+fn expand_cols(machine: &mut SimdMachine, img: &Matrix) -> Matrix {
+    machine.charge_router(img.rows() * img.cols());
+    let mut out = Matrix::zeros(img.rows(), img.cols() * 2);
+    for r in 0..img.rows() {
+        for c in 0..img.cols() {
+            out.set(r, 2 * c, img.get(r, c));
+        }
+    }
+    out
+}
+
+/// Un-decimate rows with the router.
+fn expand_rows(machine: &mut SimdMachine, img: &Matrix) -> Matrix {
+    machine.charge_router(img.rows() * img.cols());
+    let mut out = Matrix::zeros(img.rows() * 2, img.cols());
+    for r in 0..img.rows() {
+        out.row_mut(2 * r).copy_from_slice(img.row(r));
+    }
+    out
+}
+
+/// Full multi-level systolic reconstruction on the SIMD array —
+/// the exact inverse of [`crate::systolic::decompose`].
+pub fn reconstruct(machine: &mut SimdMachine, pyr: &Pyramid, bank: &FilterBank) -> Result<Matrix> {
+    let f = bank.len();
+    let mut approx = pyr.approx.clone();
+    for bands in pyr.detail.iter().rev() {
+        // Invert the column pass: expand rows, then synthesis-convolve.
+        let a_up = expand_rows(machine, &approx);
+        let lh_up = expand_rows(machine, &bands.lh);
+        let hl_up = expand_rows(machine, &bands.hl);
+        let hh_up = expand_rows(machine, &bands.hh);
+
+        let rows2 = a_up.rows();
+        let cols1 = a_up.cols();
+        let mut low = Matrix::zeros(rows2, cols1);
+        let mut high = Matrix::zeros(rows2, cols1);
+        {
+            // Column synthesis via scatter-add of the undecimated grids:
+            // equivalent to synthesize_add on the decimated coefficients.
+            let mut a_col = vec![0.0; rows2 / 2];
+            let mut d_col = vec![0.0; rows2 / 2];
+            let mut buf = vec![0.0; rows2];
+            for c in 0..cols1 {
+                for r in 0..rows2 / 2 {
+                    a_col[r] = a_up.get(2 * r, c);
+                    d_col[r] = lh_up.get(2 * r, c);
+                }
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf);
+                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf);
+                low.set_col(c, &buf);
+
+                for r in 0..rows2 / 2 {
+                    a_col[r] = hl_up.get(2 * r, c);
+                    d_col[r] = hh_up.get(2 * r, c);
+                }
+                buf.iter_mut().for_each(|v| *v = 0.0);
+                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf);
+                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf);
+                high.set_col(c, &buf);
+            }
+        }
+        charge_pass(machine, rows2 * cols1, 2 * f);
+
+        // Invert the row pass: expand columns, synthesis-convolve rows.
+        let low_up = expand_cols(machine, &low);
+        let high_up = expand_cols(machine, &high);
+        let cols2 = low_up.cols();
+        let mut out = Matrix::zeros(rows2, cols2);
+        {
+            let mut a_row = vec![0.0; cols2 / 2];
+            let mut d_row = vec![0.0; cols2 / 2];
+            for r in 0..rows2 {
+                for c in 0..cols2 / 2 {
+                    a_row[c] = low_up.get(r, 2 * c);
+                    d_row[c] = high_up.get(r, 2 * c);
+                }
+                let dst = out.row_mut(r);
+                dwt::conv::synthesize_add(&a_row, bank.low(), Boundary::Periodic, dst);
+                dwt::conv::synthesize_add(&d_row, bank.high(), Boundary::Periodic, dst);
+            }
+        }
+        charge_pass(machine, rows2 * cols2, 2 * f);
+        approx = out;
+    }
+    Ok(approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systolic;
+    use crate::SimdMachine;
+
+    fn image(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| ((r * 11 + c * 3) % 17) as f64 - 8.0)
+    }
+
+    #[test]
+    fn inverts_the_systolic_decomposition() {
+        let img = image(32);
+        for taps in [2usize, 4, 8] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let mut m = SimdMachine::mp2_16k();
+            let pyr = systolic::decompose(&mut m, &img, &bank, 2).unwrap();
+            let rec = reconstruct(&mut m, &pyr, &bank).unwrap();
+            let err = img.max_abs_diff(&rec).unwrap();
+            assert!(err < 1e-9, "D{taps}: round-trip error {err}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_charges_router_and_compute_time() {
+        let img = image(16);
+        let bank = FilterBank::haar();
+        let mut m = SimdMachine::mp2_16k();
+        let pyr = systolic::decompose(&mut m, &img, &bank, 1).unwrap();
+        let after_decompose = m.seconds();
+        let routers_before = m.router_transactions();
+        reconstruct(&mut m, &pyr, &bank).unwrap();
+        assert!(m.seconds() > after_decompose);
+        // 4 row expansions + 2 column expansions per level.
+        assert_eq!(m.router_transactions() - routers_before, 6);
+    }
+
+    #[test]
+    fn decompose_reconstruct_time_is_symmetric_in_order_of_magnitude() {
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let mut md = SimdMachine::mp2_16k();
+        systolic::decompose(&mut md, &img, &bank, 2).unwrap();
+        let mut mr = SimdMachine::mp2_16k();
+        let pyr = {
+            let mut tmp = SimdMachine::mp2_16k();
+            systolic::decompose(&mut tmp, &img, &bank, 2).unwrap()
+        };
+        reconstruct(&mut mr, &pyr, &bank).unwrap();
+        let ratio = mr.seconds() / md.seconds();
+        assert!(
+            (0.3..4.0).contains(&ratio),
+            "reconstruction/decomposition time ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The body (particle) representation.
+
+/// One gravitating body in two dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 2],
+    /// Velocity.
+    pub vel: [f64; 2],
+    /// Mass.
+    pub mass: f64,
+    /// Work estimate from the previous step: the number of interactions
+    /// the force evaluation for this body performed. Drives Costzones.
+    pub cost: u64,
+}
+
+impl Body {
+    /// A body at rest.
+    pub fn at(pos: [f64; 2], mass: f64) -> Self {
+        Body {
+            pos,
+            vel: [0.0, 0.0],
+            mass,
+            cost: 1,
+        }
+    }
+}
+
+/// Axis-aligned bounding square of a set of bodies: `(center, half_side)`.
+/// Returns a unit square at the origin for an empty set.
+pub fn bounding_square(bodies: &[Body]) -> ([f64; 2], f64) {
+    if bodies.is_empty() {
+        return ([0.0, 0.0], 0.5);
+    }
+    let mut lo = [f64::INFINITY; 2];
+    let mut hi = [f64::NEG_INFINITY; 2];
+    for b in bodies {
+        for d in 0..2 {
+            lo[d] = lo[d].min(b.pos[d]);
+            hi[d] = hi[d].max(b.pos[d]);
+        }
+    }
+    let center = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0];
+    let half = 0.5 * (hi[0] - lo[0]).max(hi[1] - lo[1]);
+    // Expand slightly so every body is strictly inside.
+    (center, (half * 1.0001).max(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_square_contains_all_bodies() {
+        let bodies = vec![
+            Body::at([-3.0, 1.0], 1.0),
+            Body::at([2.0, -4.0], 1.0),
+            Body::at([0.5, 0.5], 1.0),
+        ];
+        let (c, h) = bounding_square(&bodies);
+        for b in &bodies {
+            assert!((b.pos[0] - c[0]).abs() <= h, "{:?} outside x", b.pos);
+            assert!((b.pos[1] - c[1]).abs() <= h, "{:?} outside y", b.pos);
+        }
+    }
+
+    #[test]
+    fn empty_set_gets_default_square() {
+        let (c, h) = bounding_square(&[]);
+        assert_eq!(c, [0.0, 0.0]);
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn single_body_square_is_tiny_but_positive() {
+        let (c, h) = bounding_square(&[Body::at([1.0, 2.0], 1.0)]);
+        assert_eq!(c, [1.0, 2.0]);
+        assert!(h > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Costzones domain decomposition (Singh et al., as used by the report).
+//!
+//! The tree already encodes the spatial distribution, so the partition
+//! slices the *tree* rather than space: bodies are laid out along the
+//! tree's in-order traversal, each carrying its interaction count from
+//! the previous step, and the cumulative cost line is cut into `P` equal
+//! zones. Zones are contiguous in traversal order, which keeps them
+//! spatially coherent.
+
+use crate::body::Body;
+use crate::tree::QuadTree;
+
+/// Partition bodies into `nzones` cost-balanced zones. Returns, for each
+/// zone, the list of body indices it owns (in traversal order). Every
+/// body lands in exactly one zone; zones can be empty only when there
+/// are fewer bodies than zones.
+pub fn costzones(tree: &QuadTree, bodies: &[Body], nzones: usize) -> Vec<Vec<u32>> {
+    assert!(nzones > 0);
+    let order = tree.inorder_bodies();
+    let total: u64 = bodies.iter().map(|b| b.cost.max(1)).sum();
+    let mut zones: Vec<Vec<u32>> = (0..nzones).map(|_| Vec::new()).collect();
+    let mut acc = 0u64;
+    for &bi in &order {
+        // Zone of the mid-point of this body's cost interval, so bodies
+        // straddling a boundary go to the nearer zone.
+        let cost = bodies[bi as usize].cost.max(1);
+        let mid = acc + cost / 2;
+        let z = ((mid as u128 * nzones as u128) / total as u128) as usize;
+        zones[z.min(nzones - 1)].push(bi);
+        acc += cost;
+    }
+    zones
+}
+
+/// Sum of costs in a zone.
+pub fn zone_cost(zone: &[u32], bodies: &[Body]) -> u64 {
+    zone.iter().map(|&b| bodies[b as usize].cost.max(1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy;
+
+    fn setup(n: usize, seed: u64) -> (QuadTree, Vec<Body>) {
+        let mut bodies = galaxy::two_galaxies(n, seed);
+        // Uneven per-body costs, like a real post-step state.
+        for (i, b) in bodies.iter_mut().enumerate() {
+            b.cost = 1 + (i as u64 * 7) % 50;
+        }
+        let (tree, _) = QuadTree::build(&bodies);
+        (tree, bodies)
+    }
+
+    #[test]
+    fn zones_cover_every_body_once() {
+        let (tree, bodies) = setup(200, 1);
+        let zones = costzones(&tree, &bodies, 8);
+        let mut all: Vec<u32> = zones.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zones_are_contiguous_in_traversal_order() {
+        let (tree, bodies) = setup(150, 2);
+        let zones = costzones(&tree, &bodies, 4);
+        let order = tree.inorder_bodies();
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut last_end = 0usize;
+        for z in &zones {
+            for (a, b) in z.iter().zip(z.iter().skip(1)) {
+                assert_eq!(pos[b], pos[a] + 1, "zone not contiguous");
+            }
+            if let Some(first) = z.first() {
+                assert_eq!(pos[first], last_end, "zones not in order");
+                last_end = pos[z.last().unwrap()] + 1;
+            }
+        }
+        assert_eq!(last_end, 150);
+    }
+
+    #[test]
+    fn zone_costs_are_balanced() {
+        let (tree, bodies) = setup(1000, 3);
+        let zones = costzones(&tree, &bodies, 8);
+        let costs: Vec<u64> = zones.iter().map(|z| zone_cost(z, &bodies)).collect();
+        let total: u64 = costs.iter().sum();
+        let ideal = total as f64 / 8.0;
+        for (i, &c) in costs.iter().enumerate() {
+            let dev = (c as f64 - ideal).abs() / ideal;
+            assert!(dev < 0.15, "zone {i} cost {c} deviates {dev:.2} from ideal");
+        }
+    }
+
+    #[test]
+    fn single_zone_owns_everything() {
+        let (tree, bodies) = setup(50, 4);
+        let zones = costzones(&tree, &bodies, 1);
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0].len(), 50);
+    }
+
+    #[test]
+    fn more_zones_than_bodies_leaves_empties() {
+        let (tree, bodies) = setup(3, 5);
+        let zones = costzones(&tree, &bodies, 8);
+        let non_empty = zones.iter().filter(|z| !z.is_empty()).count();
+        assert!(non_empty <= 3);
+        let total: usize = zones.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Gravitational diagnostics: energies, momentum and virial ratio for
+//! validating N-body integrations.
+
+use crate::body::Body;
+use crate::force::ForceParams;
+
+/// Energy/momentum snapshot of an N-body system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diagnostics {
+    /// Kinetic energy `Σ m v²/2`.
+    pub kinetic: f64,
+    /// Gravitational potential energy (pairwise, softened).
+    pub potential: f64,
+    /// Total linear momentum.
+    pub momentum: [f64; 2],
+    /// Centre of mass.
+    pub center_of_mass: [f64; 2],
+}
+
+impl Diagnostics {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+
+    /// Virial ratio `-2K/U`; ≈ 1 for a relaxed self-gravitating system.
+    pub fn virial_ratio(&self) -> f64 {
+        if self.potential != 0.0 {
+            -2.0 * self.kinetic / self.potential
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Compute the exact (O(N²)) diagnostics of a body set.
+pub fn diagnose(bodies: &[Body], p: &ForceParams) -> Diagnostics {
+    let mut kinetic = 0.0;
+    let mut momentum = [0.0; 2];
+    let mut com = [0.0; 2];
+    let mut mass = 0.0;
+    for b in bodies {
+        kinetic += 0.5 * b.mass * (b.vel[0] * b.vel[0] + b.vel[1] * b.vel[1]);
+        for d in 0..2 {
+            momentum[d] += b.mass * b.vel[d];
+            com[d] += b.mass * b.pos[d];
+        }
+        mass += b.mass;
+    }
+    if mass > 0.0 {
+        com[0] /= mass;
+        com[1] /= mass;
+    }
+    let mut potential = 0.0;
+    for i in 0..bodies.len() {
+        for j in (i + 1)..bodies.len() {
+            let dx = bodies[j].pos[0] - bodies[i].pos[0];
+            let dy = bodies[j].pos[1] - bodies[i].pos[1];
+            let r = (dx * dx + dy * dy + p.eps * p.eps).sqrt();
+            potential -= p.g * bodies[i].mass * bodies[j].mass / r;
+        }
+    }
+    Diagnostics {
+        kinetic,
+        potential,
+        momentum,
+        center_of_mass: com,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy;
+    use crate::serial;
+
+    #[test]
+    fn two_body_circular_orbit_energies() {
+        // Equal masses on a circular orbit: K = -U/2 exactly (virial).
+        let m = 1.0_f64;
+        let r = 1.0_f64; // separation 2r
+        let p = ForceParams {
+            g: 1.0,
+            theta: 0.4,
+            eps: 0.0,
+        };
+        // Circular speed for two equal masses about the barycentre:
+        // v² = G m / (4 r).
+        let v = (m / (4.0 * r)).sqrt();
+        let bodies = vec![
+            Body {
+                pos: [-r, 0.0],
+                vel: [0.0, -v],
+                mass: m,
+                cost: 1,
+            },
+            Body {
+                pos: [r, 0.0],
+                vel: [0.0, v],
+                mass: m,
+                cost: 1,
+            },
+        ];
+        let d = diagnose(&bodies, &p);
+        assert!((d.virial_ratio() - 1.0).abs() < 1e-9, "{}", d.virial_ratio());
+        assert!(d.momentum[0].abs() < 1e-12 && d.momentum[1].abs() < 1e-12);
+        assert_eq!(d.center_of_mass, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved_by_the_integrator() {
+        let mut bodies = galaxy::two_galaxies(256, 4);
+        let p = ForceParams::default();
+        let before = diagnose(&bodies, &p);
+        serial::run(&mut bodies, &p, 0.005, 20);
+        let after = diagnose(&bodies, &p);
+        let scale = before.kinetic.abs() + before.potential.abs();
+        let drift = (after.total() - before.total()).abs() / scale;
+        assert!(drift < 0.05, "energy drift {:.2}% of scale", 100.0 * drift);
+    }
+
+    #[test]
+    fn galaxies_start_near_virial_balance() {
+        // Disk galaxies on circular orbits: K should be within a factor
+        // of ~2 of virial equilibrium.
+        let bodies = galaxy::two_galaxies(512, 1);
+        let d = diagnose(&bodies, &ForceParams::default());
+        let v = d.virial_ratio();
+        assert!((0.3..3.0).contains(&v), "virial ratio {v}");
+    }
+
+    #[test]
+    fn momentum_matches_bulk_motion() {
+        let bodies = vec![Body {
+            pos: [0.0, 0.0],
+            vel: [3.0, -1.0],
+            mass: 2.0,
+            cost: 1,
+        }];
+        let d = diagnose(&bodies, &ForceParams::default());
+        assert_eq!(d.momentum, [6.0, -2.0]);
+        assert_eq!(d.kinetic, 10.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Gravitational force evaluation: Barnes-Hut traversal and the `O(N²)`
+//! direct-summation baseline.
+
+use crate::body::Body;
+use crate::tree::QuadTree;
+
+/// Force evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForceParams {
+    /// Gravitational constant.
+    pub g: f64,
+    /// Opening criterion: a cell of side `s` at distance `d` is treated
+    /// as a point mass when `s / d < theta`.
+    pub theta: f64,
+    /// Plummer softening length (avoids singular close encounters).
+    pub eps: f64,
+}
+
+impl Default for ForceParams {
+    fn default() -> Self {
+        ForceParams {
+            g: 1.0,
+            // A conservative (accurate) opening angle; also calibrates the
+            // per-body interaction count to the report's iteration times.
+            theta: 0.4,
+            // Collisionless softening: close encounters between disk
+            // bodies must not produce integrator-breaking kicks.
+            eps: 0.05,
+        }
+    }
+}
+
+#[inline]
+fn pair_accel(from: [f64; 2], to_pos: [f64; 2], to_mass: f64, p: &ForceParams) -> [f64; 2] {
+    let dx = to_pos[0] - from[0];
+    let dy = to_pos[1] - from[1];
+    let r2 = dx * dx + dy * dy + p.eps * p.eps;
+    let inv_r = 1.0 / r2.sqrt();
+    let f = p.g * to_mass * inv_r * inv_r * inv_r;
+    [f * dx, f * dy]
+}
+
+/// Acceleration on body `i` by Barnes-Hut traversal. Returns the
+/// acceleration and the number of interactions performed (the body's
+/// cost for the next step's Costzones).
+pub fn tree_force(tree: &QuadTree, bodies: &[Body], i: usize, p: &ForceParams) -> ([f64; 2], u64) {
+    let pos = bodies[i].pos;
+    let mut acc = [0.0, 0.0];
+    let mut interactions = 0u64;
+    let mut stack = vec![0u32];
+    while let Some(c) = stack.pop() {
+        let cell = &tree.cells[c as usize];
+        if cell.count == 0 {
+            continue;
+        }
+        if cell.is_leaf() {
+            for &bi in &cell.bodies {
+                if bi as usize == i {
+                    continue;
+                }
+                let b = &bodies[bi as usize];
+                let a = pair_accel(pos, b.pos, b.mass, p);
+                acc[0] += a[0];
+                acc[1] += a[1];
+                interactions += 1;
+            }
+            continue;
+        }
+        let dx = cell.com[0] - pos[0];
+        let dy = cell.com[1] - pos[1];
+        let d = (dx * dx + dy * dy).sqrt();
+        let size = 2.0 * cell.half;
+        if size < p.theta * d {
+            // Far enough: the whole subtree acts as one point mass.
+            let a = pair_accel(pos, cell.com, cell.mass, p);
+            acc[0] += a[0];
+            acc[1] += a[1];
+            interactions += 1;
+        } else {
+            for q in 0..4 {
+                let ch = cell.children[q];
+                if ch != u32::MAX {
+                    stack.push(ch);
+                }
+            }
+        }
+    }
+    (acc, interactions)
+}
+
+/// Direct `O(N²)` acceleration on body `i` — the exact baseline.
+pub fn direct_force(bodies: &[Body], i: usize, p: &ForceParams) -> [f64; 2] {
+    let pos = bodies[i].pos;
+    let mut acc = [0.0, 0.0];
+    for (j, b) in bodies.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let a = pair_accel(pos, b.pos, b.mass, p);
+        acc[0] += a[0];
+        acc[1] += a[1];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy;
+
+    #[test]
+    fn two_bodies_attract_symmetrically() {
+        let bodies = vec![Body::at([0.0, 0.0], 2.0), Body::at([1.0, 0.0], 1.0)];
+        let p = ForceParams {
+            eps: 0.0,
+            ..Default::default()
+        };
+        let a0 = direct_force(&bodies, 0, &p);
+        let a1 = direct_force(&bodies, 1, &p);
+        assert!(a0[0] > 0.0 && a1[0] < 0.0);
+        // Newton's third law on the forces: m0*a0 = -m1*a1.
+        assert!((2.0 * a0[0] + a1[0]).abs() < 1e-12);
+        assert_eq!(a0[1], 0.0);
+    }
+
+    #[test]
+    fn inverse_square_law() {
+        let p = ForceParams {
+            eps: 0.0,
+            ..Default::default()
+        };
+        let near = direct_force(
+            &[Body::at([0.0, 0.0], 1.0), Body::at([1.0, 0.0], 1.0)],
+            0,
+            &p,
+        );
+        let far = direct_force(
+            &[Body::at([0.0, 0.0], 1.0), Body::at([2.0, 0.0], 1.0)],
+            0,
+            &p,
+        );
+        assert!((near[0] / far[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_exactly() {
+        // With theta = 0 no cell is ever far enough: BH degenerates to
+        // direct summation over the leaves.
+        let bodies = galaxy::two_galaxies(64, 42);
+        let (tree, _) = QuadTree::build(&bodies);
+        let p = ForceParams {
+            theta: 0.0,
+            ..Default::default()
+        };
+        for i in [0usize, 7, 31, 63] {
+            let (bh, _) = tree_force(&tree, &bodies, i, &p);
+            let ex = direct_force(&bodies, i, &p);
+            assert!((bh[0] - ex[0]).abs() < 1e-9, "body {i}");
+            assert!((bh[1] - ex[1]).abs() < 1e-9, "body {i}");
+        }
+    }
+
+    #[test]
+    fn barnes_hut_approximates_direct_within_tolerance() {
+        let bodies = galaxy::two_galaxies(256, 7);
+        let (tree, _) = QuadTree::build(&bodies);
+        let p = ForceParams::default();
+        let mut rel_err_sum = 0.0;
+        for i in 0..bodies.len() {
+            let (bh, _) = tree_force(&tree, &bodies, i, &p);
+            let ex = direct_force(&bodies, i, &p);
+            let mag = (ex[0] * ex[0] + ex[1] * ex[1]).sqrt().max(1e-12);
+            let err = ((bh[0] - ex[0]).powi(2) + (bh[1] - ex[1]).powi(2)).sqrt();
+            rel_err_sum += err / mag;
+        }
+        let mean_rel = rel_err_sum / bodies.len() as f64;
+        assert!(mean_rel < 0.05, "mean relative force error {mean_rel}");
+    }
+
+    #[test]
+    fn tree_force_is_subquadratic() {
+        let p = ForceParams::default();
+        let count = |n: usize| {
+            let bodies = galaxy::two_galaxies(n, 3);
+            let (tree, _) = QuadTree::build(&bodies);
+            let mut total = 0u64;
+            for i in 0..n {
+                total += tree_force(&tree, &bodies, i, &p).1;
+            }
+            total
+        };
+        let small = count(128);
+        let big = count(1024);
+        // Direct would grow 64x; N log N grows ~11x. Allow generous slack.
+        assert!(
+            big < small * 24,
+            "interactions grew too fast: {small} -> {big}"
+        );
+    }
+
+    #[test]
+    fn interaction_count_shrinks_with_larger_theta() {
+        let bodies = galaxy::two_galaxies(512, 9);
+        let (tree, _) = QuadTree::build(&bodies);
+        let count = |theta: f64| {
+            let p = ForceParams {
+                theta,
+                ..Default::default()
+            };
+            (0..bodies.len())
+                .map(|i| tree_force(&tree, &bodies, i, &p).1)
+                .sum::<u64>()
+        };
+        assert!(count(1.2) < count(0.5));
+    }
+}

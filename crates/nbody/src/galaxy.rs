@@ -1,0 +1,111 @@
+//! Initial conditions: the report's example problem is "a simulation of
+//! interacting galaxies from astrophysics".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::body::Body;
+
+/// One rotating disk galaxy: a heavy central body surrounded by `n - 1`
+/// light bodies on near-circular orbits.
+pub fn disk_galaxy(
+    n: usize,
+    center: [f64; 2],
+    bulk_vel: [f64; 2],
+    radius: f64,
+    rng: &mut StdRng,
+) -> Vec<Body> {
+    assert!(n >= 1);
+    // Heavy enough to dominate the disk, light enough that inner-orbit
+    // speeds stay integrable at reasonable time steps.
+    let central_mass = (n as f64 / 8.0).max(1.0);
+    let mut bodies = Vec::with_capacity(n);
+    bodies.push(Body {
+        pos: center,
+        vel: bulk_vel,
+        mass: central_mass,
+        cost: 1,
+    });
+    for _ in 1..n {
+        // Inner cutoff at 30% of the disk radius keeps orbital periods
+        // long enough to integrate with moderate time steps.
+        let r = radius * rng.gen_range(0.09_f64..1.0).sqrt();
+        let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+        let pos = [center[0] + r * phi.cos(), center[1] + r * phi.sin()];
+        // Circular orbital velocity from the enclosed mass (central body
+        // plus the disk interior to r, uniform-disk estimate), G = 1.
+        let disk_mass = (n - 1) as f64;
+        let enclosed = central_mass + disk_mass * (r / radius).powi(2);
+        let v = (enclosed / r).sqrt();
+        let vel = [
+            bulk_vel[0] - v * phi.sin(),
+            bulk_vel[1] + v * phi.cos(),
+        ];
+        bodies.push(Body {
+            pos,
+            vel,
+            mass: 1.0,
+            cost: 1,
+        });
+    }
+    bodies
+}
+
+/// Two interacting galaxies on an approach course, `n` bodies total.
+/// Deterministic for a given seed.
+pub fn two_galaxies(n: usize, seed: u64) -> Vec<Body> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n1 = n / 2;
+    let n2 = n - n1;
+    let mut bodies = disk_galaxy(n1, [-8.0, -1.0], [0.35, 0.05], 4.0, &mut rng);
+    bodies.extend(disk_galaxy(n2, [8.0, 1.0], [-0.35, -0.05], 4.0, &mut rng));
+    bodies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = two_galaxies(100, 5);
+        let b = two_galaxies(100, 5);
+        assert_eq!(a, b);
+        let c = two_galaxies(100, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn body_count_and_two_clusters() {
+        let bodies = two_galaxies(101, 1);
+        assert_eq!(bodies.len(), 101);
+        let left = bodies.iter().filter(|b| b.pos[0] < 0.0).count();
+        let right = bodies.len() - left;
+        assert!(left > 30 && right > 30, "left {left} right {right}");
+    }
+
+    #[test]
+    fn disk_bodies_orbit_the_center() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let bodies = disk_galaxy(50, [0.0, 0.0], [0.0, 0.0], 3.0, &mut rng);
+        // Angular momentum about the centre should be consistently signed
+        // (all bodies orbit the same way).
+        let mut positive = 0;
+        for b in &bodies[1..] {
+            let lz = b.pos[0] * b.vel[1] - b.pos[1] * b.vel[0];
+            if lz > 0.0 {
+                positive += 1;
+            }
+        }
+        assert_eq!(positive, 49);
+    }
+
+    #[test]
+    fn galaxies_approach_each_other() {
+        let bodies = two_galaxies(10, 2);
+        // First galaxy moves right, second left.
+        assert!(bodies[0].vel[0] > 0.0);
+        assert!(bodies[5].vel[0] < 0.0);
+    }
+}

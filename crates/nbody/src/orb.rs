@@ -1,0 +1,186 @@
+//! Orthogonal Recursive Bisection (ORB) — the "other popular" domain
+//! decomposition the report contrasts with Costzones ("This technique is
+//! very simple and does not have much computational overhead associated
+//! with it, when compared with other popular methods, such as the
+//! Orthogonal Recursive Bisection").
+//!
+//! ORB recursively splits space with axis-aligned cuts so each side
+//! carries (approximately) half the work, alternating the cut axis.
+//! Implemented here as the comparison baseline, with an operation
+//! counter so the overhead claim can be measured.
+
+use crate::body::Body;
+
+/// Result of an ORB partition.
+#[derive(Debug, Clone)]
+pub struct OrbPartition {
+    /// Body indices per zone.
+    pub zones: Vec<Vec<u32>>,
+    /// Comparison/selection operations spent partitioning — the
+    /// decomposition overhead the report talks about.
+    pub work: u64,
+}
+
+/// Partition `bodies` into `nzones` zones by recursive bisection with
+/// cost weighting. Any zone count is supported (odd counts split
+/// proportionally).
+pub fn orb_partition(bodies: &[Body], nzones: usize) -> OrbPartition {
+    assert!(nzones > 0);
+    let mut work = 0u64;
+    let indices: Vec<u32> = (0..bodies.len() as u32).collect();
+    let mut zones = Vec::with_capacity(nzones);
+    recurse(bodies, indices, nzones, 0, &mut zones, &mut work);
+    debug_assert_eq!(zones.len(), nzones);
+    OrbPartition { zones, work }
+}
+
+fn recurse(
+    bodies: &[Body],
+    mut idx: Vec<u32>,
+    nzones: usize,
+    axis: usize,
+    out: &mut Vec<Vec<u32>>,
+    work: &mut u64,
+) {
+    if nzones == 1 {
+        out.push(idx);
+        return;
+    }
+    let left_zones = nzones / 2;
+    let right_zones = nzones - left_zones;
+    // Sort along the axis (the expensive part of ORB).
+    *work += (idx.len() as u64).max(1) * (64 - (idx.len() as u64).leading_zeros() as u64);
+    idx.sort_by(|&a, &b| {
+        bodies[a as usize].pos[axis]
+            .partial_cmp(&bodies[b as usize].pos[axis])
+            .expect("finite positions")
+    });
+    // Find the weighted split matching the zone ratio.
+    let total: u64 = idx.iter().map(|&i| bodies[i as usize].cost.max(1)).sum();
+    let target = total as u128 * left_zones as u128 / nzones as u128;
+    let mut acc = 0u128;
+    let mut cut = 0usize;
+    for (pos, &i) in idx.iter().enumerate() {
+        acc += bodies[i as usize].cost.max(1) as u128;
+        *work += 1;
+        if acc >= target {
+            cut = pos + 1;
+            break;
+        }
+    }
+    // Keep at least one body per side when possible.
+    if cut == 0 {
+        cut = 1.min(idx.len());
+    }
+    if cut == idx.len() && idx.len() > 1 {
+        cut = idx.len() - 1;
+    }
+    let right = idx.split_off(cut);
+    recurse(bodies, idx, left_zones, 1 - axis, out, work);
+    recurse(bodies, right, right_zones, 1 - axis, out, work);
+}
+
+/// Bounding-box area of a zone (compactness diagnostic).
+pub fn zone_area(zone: &[u32], bodies: &[Body]) -> f64 {
+    if zone.is_empty() {
+        return 0.0;
+    }
+    let mut lo = [f64::INFINITY; 2];
+    let mut hi = [f64::NEG_INFINITY; 2];
+    for &i in zone {
+        for d in 0..2 {
+            lo[d] = lo[d].min(bodies[i as usize].pos[d]);
+            hi[d] = hi[d].max(bodies[i as usize].pos[d]);
+        }
+    }
+    (hi[0] - lo[0]).max(0.0) * (hi[1] - lo[1]).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costzones::{costzones, zone_cost};
+    use crate::galaxy;
+    use crate::tree::QuadTree;
+
+    fn setup(n: usize, seed: u64) -> Vec<Body> {
+        let mut bodies = galaxy::two_galaxies(n, seed);
+        for (i, b) in bodies.iter_mut().enumerate() {
+            b.cost = 1 + (i as u64 * 13) % 40;
+        }
+        bodies
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let bodies = setup(300, 1);
+        for nz in [1usize, 2, 3, 7, 8, 16] {
+            let p = orb_partition(&bodies, nz);
+            assert_eq!(p.zones.len(), nz);
+            let mut all: Vec<u32> = p.zones.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..300).collect::<Vec<_>>(), "nzones {nz}");
+        }
+    }
+
+    #[test]
+    fn zone_costs_are_balanced() {
+        let bodies = setup(1000, 2);
+        let p = orb_partition(&bodies, 8);
+        let total: u64 = bodies.iter().map(|b| b.cost).sum();
+        let ideal = total as f64 / 8.0;
+        for (i, z) in p.zones.iter().enumerate() {
+            let c = zone_cost(z, &bodies) as f64;
+            assert!(
+                (c - ideal).abs() / ideal < 0.25,
+                "zone {i}: cost {c} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn zones_are_spatially_compact() {
+        // Splitting space, each ORB zone's bounding box is a fraction of
+        // the whole domain.
+        let bodies = setup(800, 3);
+        let whole = zone_area(&(0..800u32).collect::<Vec<_>>(), &bodies);
+        let p = orb_partition(&bodies, 8);
+        for z in &p.zones {
+            assert!(zone_area(z, &bodies) < 0.6 * whole);
+        }
+    }
+
+    #[test]
+    fn costzones_is_cheaper_to_compute_than_orb() {
+        // The report's overhead claim: Costzones reuses the tree and
+        // runs a single linear pass; ORB sorts at every bisection level.
+        let bodies = setup(4096, 4);
+        let (tree, _) = QuadTree::build(&bodies);
+        // Costzones work ~ one pass over N bodies (plus the tree walk).
+        let cz_work = bodies.len() as u64 * 2;
+        let _ = costzones(&tree, &bodies, 16);
+        let orb = orb_partition(&bodies, 16);
+        assert!(
+            orb.work > 3 * cz_work,
+            "ORB work {} should dwarf Costzones' ~{}",
+            orb.work,
+            cz_work
+        );
+    }
+
+    #[test]
+    fn both_methods_balance_comparably() {
+        let bodies = setup(2000, 5);
+        let (tree, _) = QuadTree::build(&bodies);
+        let imbalance = |zones: &[Vec<u32>]| {
+            let costs: Vec<f64> = zones.iter().map(|z| zone_cost(z, &bodies) as f64).collect();
+            let max = costs.iter().cloned().fold(0.0, f64::max);
+            let avg = costs.iter().sum::<f64>() / costs.len() as f64;
+            max / avg
+        };
+        let cz = imbalance(&costzones(&tree, &bodies, 8));
+        let orb = imbalance(&orb_partition(&bodies, 8).zones);
+        assert!(cz < 1.3, "costzones imbalance {cz}");
+        assert!(orb < 1.3, "ORB imbalance {orb}");
+    }
+}

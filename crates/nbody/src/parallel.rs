@@ -1,0 +1,345 @@
+//! Manager-worker SPMD port of the Barnes-Hut step (the report's §2.2).
+//!
+//! Per time step the manager (rank 0) builds the tree sequentially,
+//! broadcasts it together with the body array and the Costzones
+//! assignment, every rank computes forces and updates for its zone, and
+//! the workers send their updated bodies back to the manager. The
+//! manager focal point and the varying manager-worker distances produce
+//! the communication and imbalance overheads figures 3–6 of the report
+//! show.
+
+use paragon::{Ctx, SpmdConfig};
+use perfbudget::{Category, RankBudget};
+
+use crate::body::Body;
+use crate::cost;
+use crate::costzones::costzones;
+use crate::force::{tree_force, ForceParams};
+use crate::tree::QuadTree;
+
+/// How the per-step tree reaches the workers — the trade the report's
+/// conclusion §5.3 describes: "duplication redundancy can effectively
+/// help reduce the effect of communications".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeStrategy {
+    /// The manager builds the tree and broadcasts it (communication-
+    /// heavy, no redundancy) — the report's implementation.
+    ManagerBroadcast,
+    /// The manager broadcasts only the bodies; every rank rebuilds the
+    /// tree locally (duplicated computation, much less communication).
+    ReplicatedBuild,
+}
+
+/// Parallel N-body run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NbodyConfig {
+    /// Force evaluation parameters.
+    pub force: ForceParams,
+    /// Time step.
+    pub dt: f64,
+    /// Number of steps to simulate.
+    pub steps: usize,
+    /// Tree distribution strategy.
+    pub tree: TreeStrategy,
+}
+
+impl NbodyConfig {
+    /// The report's manager-broadcast configuration.
+    pub fn manager(force: ForceParams, dt: f64, steps: usize) -> Self {
+        NbodyConfig {
+            force,
+            dt,
+            steps,
+            tree: TreeStrategy::ManagerBroadcast,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct NbodyRun {
+    /// Final body state (identical to the sequential integration).
+    pub bodies: Vec<Body>,
+    /// Per-rank virtual-time budgets.
+    pub budgets: Vec<RankBudget>,
+}
+
+impl NbodyRun {
+    /// Parallel execution time.
+    pub fn parallel_time(&self) -> f64 {
+        self.budgets
+            .iter()
+            .map(|b| b.completion)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// What travels in the per-step broadcast.
+#[derive(Clone)]
+struct StepBundle {
+    bodies: Vec<Body>,
+    tree: QuadTree,
+    zones: Vec<Vec<u32>>,
+}
+
+/// Run `cfg.steps` manager-worker steps over `init` on the simulated
+/// machine. The returned body state matches [`crate::serial::run`] bit for bit.
+pub fn run_parallel(scfg: &SpmdConfig, cfg: &NbodyConfig, init: &[Body]) -> NbodyRun {
+    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, init));
+    let bodies = res
+        .outputs
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("manager returns the bodies");
+    NbodyRun {
+        bodies,
+        budgets: res.budgets,
+    }
+}
+
+fn rank_body(ctx: &mut Ctx, cfg: &NbodyConfig, init: &[Body]) -> Option<Vec<Body>> {
+    let rank = ctx.rank();
+    let nranks = ctx.nranks();
+    let n = init.len();
+    let manager = 0usize;
+
+    // The manager owns the authoritative state.
+    let mut state: Vec<Body> = if rank == manager {
+        init.to_vec()
+    } else {
+        Vec::new()
+    };
+
+    for _step in 0..cfg.steps {
+        let bundle = match cfg.tree {
+            TreeStrategy::ManagerBroadcast => {
+                // --- Manager: build tree (phase 1-2) and Costzones. ----
+                let bundle = if rank == manager {
+                    let (tree, insert_levels) = QuadTree::build(&state);
+                    ctx.charge(cost::insert_ops_per_level().times(insert_levels));
+                    ctx.charge(cost::com_ops_per_cell().times(tree.len() as u64));
+                    let zones = costzones(&tree, &state, nranks);
+                    // Partitioning exists only to enable parallelism.
+                    ctx.charge_as(
+                        paragon::Ops {
+                            flops: 0,
+                            intops: 6 * n as u64,
+                            memops: n as u64,
+                        },
+                        Category::UniqueRedundancy,
+                    );
+                    Some(StepBundle {
+                        bodies: state.clone(),
+                        tree,
+                        zones,
+                    })
+                } else {
+                    None
+                };
+                // Broadcast tree + bodies + zones to all workers.
+                let cells = bundle.as_ref().map(|b| b.tree.len()).unwrap_or(0);
+                let bytes = n * cost::BODY_BYTES + cells * cost::CELL_BYTES + n * 4;
+                ctx.broadcast(manager, bundle, bytes)
+            }
+            TreeStrategy::ReplicatedBuild => {
+                // --- Broadcast only the bodies; every rank duplicates
+                // the tree build and partitioning (the report's §5.3
+                // communication-for-redundancy trade).
+                let bodies = if rank == manager {
+                    ctx.broadcast(manager, Some(state.clone()), n * cost::BODY_BYTES)
+                } else {
+                    ctx.broadcast::<Vec<Body>>(manager, None, n * cost::BODY_BYTES)
+                };
+                let (tree, insert_levels) = QuadTree::build(&bodies);
+                ctx.charge_as(
+                    cost::insert_ops_per_level()
+                        .times(insert_levels)
+                        .plus(cost::com_ops_per_cell().times(tree.len() as u64)),
+                    Category::DuplicationRedundancy,
+                );
+                let zones = costzones(&tree, &bodies, nranks);
+                ctx.charge_as(
+                    paragon::Ops {
+                        flops: 0,
+                        intops: 6 * n as u64,
+                        memops: n as u64,
+                    },
+                    Category::DuplicationRedundancy,
+                );
+                StepBundle {
+                    bodies,
+                    tree,
+                    zones,
+                }
+            }
+        };
+        ctx.set_working_set(n * cost::BODY_BYTES + bundle.tree.len() * cost::CELL_BYTES);
+
+        // --- Force + update phase for this rank's zone. -----------------
+        let my_zone = &bundle.zones[rank];
+        let mut updated: Vec<(u32, Body)> = Vec::with_capacity(my_zone.len());
+        let mut interactions = 0u64;
+        for &bi in my_zone {
+            let i = bi as usize;
+            let (acc, count) = tree_force(&bundle.tree, &bundle.bodies, i, &cfg.force);
+            interactions += count;
+            let mut b = bundle.bodies[i];
+            b.cost = count.max(1);
+            b.vel[0] += acc[0] * cfg.dt;
+            b.vel[1] += acc[1] * cfg.dt;
+            b.pos[0] += b.vel[0] * cfg.dt;
+            b.pos[1] += b.vel[1] * cfg.dt;
+            updated.push((bi, b));
+        }
+        ctx.charge(cost::interaction_ops().times(interactions));
+        ctx.charge(cost::update_ops_per_body().times(my_zone.len() as u64));
+
+        // --- Gather updated bodies at the manager. ----------------------
+        let gathered = ctx.gather(manager, updated, my_zone.len() * cost::BODY_BYTES);
+        if rank == manager {
+            let gathered = gathered.expect("manager receives the gather");
+            for (_, zone_updates) in gathered {
+                for (bi, b) in zone_updates {
+                    state[bi as usize] = b;
+                }
+            }
+            ctx.charge_as(
+                paragon::Ops {
+                    flops: 0,
+                    intops: n as u64,
+                    memops: 2 * n as u64,
+                },
+                Category::UniqueRedundancy,
+            );
+        }
+        ctx.barrier();
+    }
+
+    if rank == manager {
+        Some(state)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{galaxy, serial};
+    use paragon::{MachineSpec, Mapping};
+
+    fn cfg(steps: usize) -> NbodyConfig {
+        NbodyConfig::manager(ForceParams::default(), 0.01, steps)
+    }
+
+    fn spmd(n: usize) -> SpmdConfig {
+        SpmdConfig {
+            machine: MachineSpec::paragon(),
+            nranks: n,
+            mapping: Mapping::Snake,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let init = galaxy::two_galaxies(128, 17);
+        let mut serial_bodies = init.clone();
+        serial::run(&mut serial_bodies, &ForceParams::default(), 0.01, 3);
+        for p in [1usize, 2, 5, 8] {
+            let run = run_parallel(&spmd(p), &cfg(3), &init);
+            assert_eq!(run.bodies, serial_bodies, "P={p} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn scales_with_processors() {
+        let init = galaxy::two_galaxies(512, 4);
+        let t1 = run_parallel(&spmd(1), &cfg(1), &init).parallel_time();
+        let t8 = run_parallel(&spmd(8), &cfg(1), &init).parallel_time();
+        let speedup = t1 / t8;
+        assert!(
+            speedup > 3.0,
+            "8-rank speedup only {speedup:.2} (t1={t1:.3}s t8={t8:.3}s)"
+        );
+    }
+
+    #[test]
+    fn larger_problems_scale_better() {
+        // The report's figure 3: efficiency at fixed P grows with N.
+        let eff = |n: usize| {
+            let init = galaxy::two_galaxies(n, 9);
+            let t1 = run_parallel(&spmd(1), &cfg(1), &init).parallel_time();
+            let t8 = run_parallel(&spmd(8), &cfg(1), &init).parallel_time();
+            t1 / (8.0 * t8)
+        };
+        let small = eff(128);
+        let large = eff(1024);
+        assert!(
+            large > small,
+            "efficiency should grow with N: {small:.3} -> {large:.3}"
+        );
+    }
+
+    #[test]
+    fn budgets_show_manager_worker_imbalance() {
+        let init = galaxy::two_galaxies(256, 2);
+        let run = run_parallel(&spmd(8), &cfg(2), &init);
+        let report = perfbudget::BudgetReport::from_ranks(&run.budgets).unwrap();
+        assert!(report.communication_pct() > 0.0);
+        // Redundancy should be minimal, per the report's findings.
+        assert!(report.redundancy_pct() < 10.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let init = galaxy::two_galaxies(128, 5);
+        let a = run_parallel(&spmd(4), &cfg(2), &init);
+        let b = run_parallel(&spmd(4), &cfg(2), &init);
+        assert_eq!(a.bodies, b.bodies);
+        assert_eq!(a.parallel_time(), b.parallel_time());
+    }
+
+    #[test]
+    fn replicated_build_matches_manager_broadcast_bitwise() {
+        let init = galaxy::two_galaxies(128, 21);
+        let mut replicated = cfg(3);
+        replicated.tree = TreeStrategy::ReplicatedBuild;
+        let a = run_parallel(&spmd(6), &cfg(3), &init);
+        let b = run_parallel(&spmd(6), &replicated, &init);
+        assert_eq!(a.bodies, b.bodies, "strategies must agree numerically");
+    }
+
+    #[test]
+    fn replication_trades_communication_for_redundancy() {
+        // The report's conclusion §5.3: "duplication redundancy can
+        // effectively help reduce the effect of communications."
+        let init = galaxy::two_galaxies(512, 9);
+        let mut replicated = cfg(1);
+        replicated.tree = TreeStrategy::ReplicatedBuild;
+        let bcast = run_parallel(&spmd(16), &cfg(1), &init);
+        let repl = run_parallel(&spmd(16), &replicated, &init);
+        let rb = perfbudget::BudgetReport::from_ranks(&bcast.budgets).unwrap();
+        let rr = perfbudget::BudgetReport::from_ranks(&repl.budgets).unwrap();
+        assert!(
+            rr.avg_communication < rb.avg_communication,
+            "replication must cut communication: {:.4} vs {:.4}",
+            rr.avg_communication,
+            rb.avg_communication
+        );
+        assert!(
+            rr.avg_redundancy > rb.avg_redundancy,
+            "replication must add redundancy: {:.6} vs {:.6}",
+            rr.avg_redundancy,
+            rb.avg_redundancy
+        );
+        // "A general rule, however, is that redundancy is cheaper than
+        // communications, in most cases": the replicated version wins.
+        assert!(
+            repl.parallel_time() < bcast.parallel_time(),
+            "replicated {:.4}s should beat broadcast {:.4}s at P=16",
+            repl.parallel_time(),
+            bcast.parallel_time()
+        );
+    }
+}

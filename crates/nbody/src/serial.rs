@@ -1,0 +1,142 @@
+//! Sequential Barnes-Hut time stepping — the baseline the parallel code
+//! must match bit-for-bit, and the model behind the serial rows of the
+//! report's tables 1–2.
+
+use crate::body::Body;
+use crate::cost;
+use crate::force::{tree_force, ForceParams};
+use crate::tree::QuadTree;
+
+/// Work counters for one time step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Force-phase interactions (body-body + body-cell).
+    pub interactions: u64,
+    /// Tree cells built.
+    pub cells: usize,
+    /// Total levels descended while inserting bodies.
+    pub insert_levels: u64,
+}
+
+/// Advance the system one step: build tree, compute all forces from the
+/// positions snapshot, then update. Stores each body's interaction count
+/// as its cost for the next step.
+pub fn step(bodies: &mut [Body], p: &ForceParams, dt: f64) -> StepStats {
+    let (tree, insert_levels) = QuadTree::build(bodies);
+    let n = bodies.len();
+    let mut accs = vec![[0.0f64; 2]; n];
+    let mut interactions = 0u64;
+    for i in 0..n {
+        let (a, count) = tree_force(&tree, bodies, i, p);
+        accs[i] = a;
+        interactions += count;
+        bodies[i].cost = count.max(1);
+    }
+    for (b, a) in bodies.iter_mut().zip(&accs) {
+        b.vel[0] += a[0] * dt;
+        b.vel[1] += a[1] * dt;
+        b.pos[0] += b.vel[0] * dt;
+        b.pos[1] += b.vel[1] * dt;
+    }
+    StepStats {
+        interactions,
+        cells: tree.len(),
+        insert_levels,
+    }
+}
+
+/// Run `steps` sequential steps, returning per-step stats.
+pub fn run(bodies: &mut [Body], p: &ForceParams, dt: f64, steps: usize) -> Vec<StepStats> {
+    (0..steps).map(|_| step(bodies, p, dt)).collect()
+}
+
+/// Virtual seconds one node of `machine` spends on a step with the given
+/// counters — used for the serial execution-time tables.
+pub fn charged_seconds(machine: &paragon::MachineSpec, n: usize, stats: &StepStats) -> f64 {
+    let ops = cost::insert_ops_per_level()
+        .times(stats.insert_levels)
+        .plus(cost::com_ops_per_cell().times(stats.cells as u64))
+        .plus(cost::interaction_ops().times(stats.interactions))
+        .plus(cost::update_ops_per_body().times(n as u64));
+    machine.cpu.seconds(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galaxy;
+
+    #[test]
+    fn momentum_is_roughly_conserved() {
+        let mut bodies = galaxy::two_galaxies(128, 11);
+        let p = ForceParams::default();
+        let mom = |bodies: &[Body]| {
+            bodies.iter().fold([0.0f64, 0.0], |m, b| {
+                [m[0] + b.mass * b.vel[0], m[1] + b.mass * b.vel[1]]
+            })
+        };
+        let before = mom(&bodies);
+        run(&mut bodies, &p, 0.01, 5);
+        let after = mom(&bodies);
+        // BH forces are not exactly antisymmetric; drift should be small
+        // relative to the typical momentum scale.
+        let scale: f64 = bodies.iter().map(|b| b.mass * b.vel[0].hypot(b.vel[1])).sum();
+        assert!(
+            (after[0] - before[0]).abs() < 0.02 * scale,
+            "px drift {} of scale {scale}",
+            (after[0] - before[0]).abs()
+        );
+        assert!((after[1] - before[1]).abs() < 0.02 * scale);
+    }
+
+    #[test]
+    fn costs_reflect_interactions() {
+        let mut bodies = galaxy::two_galaxies(64, 3);
+        let p = ForceParams::default();
+        let stats = step(&mut bodies, &p, 0.01);
+        let sum: u64 = bodies.iter().map(|b| b.cost).sum();
+        assert_eq!(sum, stats.interactions.max(sum.min(stats.interactions)));
+        assert!(bodies.iter().all(|b| b.cost >= 1));
+    }
+
+    #[test]
+    fn bodies_move_under_gravity() {
+        let mut bodies = vec![Body::at([0.0, 0.0], 1.0), Body::at([1.0, 0.0], 1.0)];
+        let p = ForceParams::default();
+        step(&mut bodies, &p, 0.1);
+        assert!(bodies[0].pos[0] > 0.0, "body 0 pulled right");
+        assert!(bodies[1].pos[0] < 1.0, "body 1 pulled left");
+    }
+
+    #[test]
+    fn charged_seconds_scale_with_size() {
+        let machine = paragon::MachineSpec::paragon();
+        let p = ForceParams::default();
+        let time_for = |n: usize| {
+            let mut bodies = galaxy::two_galaxies(n, 1);
+            // One warm-up step so costs are realistic.
+            let stats = step(&mut bodies, &p, 0.01);
+            charged_seconds(&machine, n, &stats)
+        };
+        let t1k = time_for(1024);
+        let t8k = time_for(8192);
+        // The report's tables: 1K -> 5.77s, 8K -> 53.27s (ratio ~9.2).
+        assert!(t8k / t1k > 6.0 && t8k / t1k < 16.0, "ratio {}", t8k / t1k);
+        // Absolute calibration within a factor ~2 of the published 5.77s.
+        assert!(t1k > 2.5 && t1k < 12.0, "1K bodies: {t1k}s per step");
+    }
+
+    #[test]
+    fn t3d_is_order_of_magnitude_faster_on_nbody() {
+        let p = ForceParams::default();
+        let mut bodies = galaxy::two_galaxies(1024, 1);
+        let stats = step(&mut bodies, &p, 0.01);
+        let tp = charged_seconds(&paragon::MachineSpec::paragon(), 1024, &stats);
+        let tt = charged_seconds(&paragon::MachineSpec::t3d(), 1024, &stats);
+        let ratio = tp / tt;
+        assert!(
+            ratio > 5.0 && ratio < 15.0,
+            "Paragon/T3D N-body ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The Barnes-Hut quadtree.
+//!
+//! Built fresh every time step by inserting bodies one by one into an
+//! initially empty root cell, subdividing any cell that would exceed one
+//! body (the report's `m = 1`). A depth limit guards against coincident
+//! bodies; cells at the limit may hold several.
+
+use crate::body::{bounding_square, Body};
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// Depth cap (a 2-D quadtree of depth 48 resolves ~1e-14 of the domain).
+const MAX_DEPTH: u32 = 48;
+
+/// One quadtree cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Geometric centre of the cell square.
+    pub center: [f64; 2],
+    /// Half side length.
+    pub half: f64,
+    /// Child cell indices (quadrants 0..4), [`u32::MAX`] when absent.
+    pub children: [u32; 4],
+    /// Bodies stored directly in this cell (leaves only; usually one).
+    pub bodies: Vec<u32>,
+    /// Centre of mass of the subtree.
+    pub com: [f64; 2],
+    /// Total mass of the subtree.
+    pub mass: f64,
+    /// Total interaction cost of the bodies in the subtree (Costzones).
+    pub cost: u64,
+    /// Number of bodies in the subtree.
+    pub count: usize,
+}
+
+impl Cell {
+    fn new(center: [f64; 2], half: f64) -> Self {
+        Cell {
+            center,
+            half,
+            children: [NONE; 4],
+            bodies: Vec::new(),
+            com: [0.0, 0.0],
+            mass: 0.0,
+            cost: 0,
+            count: 0,
+        }
+    }
+
+    /// True when the cell has no children (bodies live here).
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(|&c| c == NONE)
+    }
+}
+
+/// The quadtree, stored as an arena with the root at index 0.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Cell arena; index 0 is the root.
+    pub cells: Vec<Cell>,
+}
+
+/// Quadrant of `pos` relative to `center`: bit 0 = east, bit 1 = south.
+fn quadrant(center: [f64; 2], pos: [f64; 2]) -> usize {
+    (usize::from(pos[0] >= center[0])) | (usize::from(pos[1] >= center[1]) << 1)
+}
+
+/// Centre of child quadrant `q` of a cell at `center` with half-size `h`.
+fn child_center(center: [f64; 2], h: f64, q: usize) -> [f64; 2] {
+    let quarter = h / 2.0;
+    [
+        center[0] + if q & 1 != 0 { quarter } else { -quarter },
+        center[1] + if q & 2 != 0 { quarter } else { -quarter },
+    ]
+}
+
+impl QuadTree {
+    /// Build the tree over `bodies`, inserting them in index order.
+    /// Returns the tree and the total number of levels descended during
+    /// insertion (the work measure charged to the manager).
+    pub fn build(bodies: &[Body]) -> (QuadTree, u64) {
+        let (center, half) = bounding_square(bodies);
+        let mut tree = QuadTree {
+            cells: vec![Cell::new(center, half)],
+        };
+        let mut levels = 0u64;
+        for (i, b) in bodies.iter().enumerate() {
+            levels += tree.insert(i as u32, b.pos, bodies);
+        }
+        tree.compute_moments(bodies);
+        (tree, levels)
+    }
+
+    /// Insert body `idx`; returns the number of levels descended.
+    fn insert(&mut self, idx: u32, pos: [f64; 2], bodies: &[Body]) -> u64 {
+        let mut cur = 0usize;
+        let mut depth = 0u32;
+        loop {
+            depth += 1;
+            let cell = &self.cells[cur];
+            if cell.is_leaf() {
+                if cell.bodies.is_empty() || depth >= MAX_DEPTH {
+                    self.cells[cur].bodies.push(idx);
+                    return depth as u64;
+                }
+                // Split: push the resident bodies down one level, then
+                // retry the insertion from this cell.
+                let residents = std::mem::take(&mut self.cells[cur].bodies);
+                for r in residents {
+                    let q = quadrant(self.cells[cur].center, bodies[r as usize].pos);
+                    let child = self.ensure_child(cur, q);
+                    self.cells[child].bodies.push(r);
+                }
+                // Fall through: `cur` is now internal; continue descending.
+            }
+            let q = quadrant(self.cells[cur].center, pos);
+            cur = self.ensure_child(cur, q);
+        }
+    }
+
+    fn ensure_child(&mut self, cell: usize, q: usize) -> usize {
+        if self.cells[cell].children[q] == NONE {
+            let cc = child_center(self.cells[cell].center, self.cells[cell].half, q);
+            let half = self.cells[cell].half / 2.0;
+            self.cells.push(Cell::new(cc, half));
+            let id = (self.cells.len() - 1) as u32;
+            self.cells[cell].children[q] = id;
+        }
+        self.cells[cell].children[q] as usize
+    }
+
+    /// Upward pass: centres of mass, masses, costs and counts
+    /// (the report's phase 2).
+    pub fn compute_moments(&mut self, bodies: &[Body]) {
+        // Children always have larger arena indices than their parents,
+        // so a reverse sweep is a valid post-order.
+        for i in (0..self.cells.len()).rev() {
+            let mut mass = 0.0;
+            let mut mx = 0.0;
+            let mut my = 0.0;
+            let mut cost = 0u64;
+            let mut count = 0usize;
+            for &bi in &self.cells[i].bodies {
+                let b = &bodies[bi as usize];
+                mass += b.mass;
+                mx += b.mass * b.pos[0];
+                my += b.mass * b.pos[1];
+                cost += b.cost;
+                count += 1;
+            }
+            for q in 0..4 {
+                let c = self.cells[i].children[q];
+                if c != NONE {
+                    let ch = &self.cells[c as usize];
+                    mass += ch.mass;
+                    mx += ch.com[0] * ch.mass;
+                    my += ch.com[1] * ch.mass;
+                    cost += ch.cost;
+                    count += ch.count;
+                }
+            }
+            let cell = &mut self.cells[i];
+            cell.mass = mass;
+            cell.com = if mass > 0.0 {
+                [mx / mass, my / mass]
+            } else {
+                cell.center
+            };
+            cell.cost = cost;
+            cell.count = count;
+        }
+    }
+
+    /// Bodies in tree in-order (children visited in quadrant order) —
+    /// the traversal Costzones slices into contiguous zones.
+    pub fn inorder_bodies(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.cells[0].count);
+        let mut stack = vec![0u32];
+        while let Some(c) = stack.pop() {
+            let cell = &self.cells[c as usize];
+            out.extend_from_slice(&cell.bodies);
+            // Push children in reverse so they pop in quadrant order.
+            for q in (0..4).rev() {
+                if cell.children[q] != NONE {
+                    stack.push(cell.children[q]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// A tree always has at least the root cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_bodies(n: usize) -> Vec<Body> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 8) as f64;
+                let y = (i / 8) as f64;
+                Body::at([x + 0.01 * i as f64, y], 1.0 + i as f64 * 0.1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_body_lands_in_exactly_one_leaf() {
+        let bodies = grid_bodies(40);
+        let (tree, _) = QuadTree::build(&bodies);
+        let mut seen = vec![0u32; bodies.len()];
+        for cell in &tree.cells {
+            for &b in &cell.bodies {
+                seen[b as usize] += 1;
+            }
+            if !cell.bodies.is_empty() {
+                assert!(cell.is_leaf(), "bodies only in leaves");
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn terminal_cells_hold_at_most_one_body() {
+        // Distinct positions: the m=1 rule must hold everywhere.
+        let bodies = grid_bodies(40);
+        let (tree, _) = QuadTree::build(&bodies);
+        for cell in &tree.cells {
+            assert!(cell.bodies.len() <= 1, "leaf with {}", cell.bodies.len());
+        }
+    }
+
+    #[test]
+    fn root_moments_are_totals() {
+        let bodies = grid_bodies(16);
+        let (tree, _) = QuadTree::build(&bodies);
+        let total_mass: f64 = bodies.iter().map(|b| b.mass).sum();
+        let root = &tree.cells[0];
+        assert!((root.mass - total_mass).abs() < 1e-9);
+        assert_eq!(root.count, 16);
+        let cx: f64 = bodies.iter().map(|b| b.mass * b.pos[0]).sum::<f64>() / total_mass;
+        assert!((root.com[0] - cx).abs() < 1e-9);
+        assert_eq!(root.cost, bodies.iter().map(|b| b.cost).sum::<u64>());
+    }
+
+    #[test]
+    fn coincident_bodies_do_not_loop_forever() {
+        let bodies = vec![Body::at([1.0, 1.0], 1.0); 5];
+        let (tree, _) = QuadTree::build(&bodies);
+        let root = &tree.cells[0];
+        assert_eq!(root.count, 5);
+    }
+
+    #[test]
+    fn inorder_visits_every_body_once() {
+        let bodies = grid_bodies(33);
+        let (tree, _) = QuadTree::build(&bodies);
+        let mut order = tree.inorder_bodies();
+        assert_eq!(order.len(), 33);
+        order.sort_unstable();
+        assert_eq!(order, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insertion_levels_grow_with_n() {
+        let (_, small) = QuadTree::build(&grid_bodies(8));
+        let (_, big) = QuadTree::build(&grid_bodies(64));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn quadrants_are_consistent() {
+        let c = [0.0, 0.0];
+        assert_eq!(quadrant(c, [-1.0, -1.0]), 0);
+        assert_eq!(quadrant(c, [1.0, -1.0]), 1);
+        assert_eq!(quadrant(c, [-1.0, 1.0]), 2);
+        assert_eq!(quadrant(c, [1.0, 1.0]), 3);
+        let cc = child_center([0.0, 0.0], 2.0, 3);
+        assert_eq!(cc, [1.0, 1.0]);
+    }
+}

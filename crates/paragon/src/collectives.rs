@@ -1,0 +1,170 @@
+//! Higher-order collectives built on the exchange primitive: all-to-all,
+//! allgather and rooted reduction. All are collectives — every rank must
+//! call them together.
+
+use perfbudget::Category;
+
+use crate::machine::Ops;
+use crate::spmd::Ctx;
+
+impl Ctx {
+    /// Personalized all-to-all: `items[j]` (with its wire size) goes to
+    /// rank `j`; returns the items received, indexed by source rank.
+    /// `items.len()` must equal the rank count.
+    pub fn alltoall<M: Send + 'static>(&mut self, items: Vec<(M, usize)>) -> Vec<M> {
+        let n = self.nranks();
+        assert_eq!(items.len(), n, "alltoall needs one item per rank");
+        let me = self.rank();
+        let out: Vec<(usize, M, usize)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(dst, (item, bytes))| (dst, item, if dst == me { 0 } else { bytes }))
+            .collect();
+        let mut inbox = self.exchange(out);
+        inbox.sort_by_key(|(src, _)| *src);
+        debug_assert_eq!(inbox.len(), n);
+        inbox.into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// Allgather: every rank contributes `item`; all ranks receive the
+    /// full vector indexed by rank. Implemented as a binomial gather to
+    /// rank 0 followed by a binomial broadcast (`O(log P)` phases).
+    pub fn allgather<M: Send + Clone + 'static>(&mut self, item: M, bytes: usize) -> Vec<M> {
+        let n = self.nranks();
+        let gathered = self.gather(0, item, bytes);
+        let all: Option<Vec<M>> =
+            gathered.map(|v| v.into_iter().map(|(_, m)| m).collect::<Vec<M>>());
+        if self.rank() == 0 {
+            self.broadcast(0, all, bytes * n)
+        } else {
+            self.broadcast::<Vec<M>>(0, None, bytes * n)
+        }
+    }
+
+    /// Rooted elementwise sum: after the call, `x` at `root` holds the
+    /// sum of every rank's vector; other ranks' buffers are left with
+    /// partial sums. Binomial tree, `O(log P)` phases.
+    pub fn reduce_sum(&mut self, root: usize, x: &mut [f64]) {
+        let n = self.nranks();
+        assert!(root < n);
+        if n == 1 {
+            return;
+        }
+        let bytes = x.len() * 8;
+        // Virtual rank so any root works with the rank-0 tree.
+        let vr = (self.rank() + n - root) % n;
+        let rounds = n.next_power_of_two().trailing_zeros();
+        let mut active = true;
+        for k in 0..rounds {
+            let bit = 1usize << k;
+            let mut out = Vec::new();
+            if active && vr & bit != 0 {
+                let dst = (vr - bit + root) % n;
+                out.push((dst, x.to_vec(), bytes));
+                active = false;
+            }
+            let inbox = self.exchange(out);
+            for (_, v) in inbox {
+                for (slot, add) in x.iter_mut().zip(&v) {
+                    *slot += add;
+                }
+                self.charge_as(
+                    Ops {
+                        flops: v.len() as u64,
+                        intops: 0,
+                        memops: 2 * v.len() as u64,
+                    },
+                    Category::DuplicationRedundancy,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::MachineSpec;
+    use crate::mapping::Mapping;
+    use crate::spmd::{run_spmd, SpmdConfig};
+
+    fn cfg(n: usize) -> SpmdConfig {
+        SpmdConfig {
+            machine: MachineSpec::paragon(),
+            nranks: n,
+            mapping: Mapping::Snake,
+        }
+    }
+
+    #[test]
+    fn alltoall_delivers_personalized_data() {
+        let res = run_spmd(&cfg(5), |ctx| {
+            let me = ctx.rank();
+            let items: Vec<(u64, usize)> =
+                (0..ctx.nranks()).map(|j| ((me * 100 + j) as u64, 8)).collect();
+            ctx.alltoall(items)
+        });
+        for (me, got) in res.outputs.iter().enumerate() {
+            let expect: Vec<u64> = (0..5).map(|src| (src * 100 + me) as u64).collect();
+            assert_eq!(got, &expect, "rank {me}");
+        }
+    }
+
+    #[test]
+    fn allgather_replicates_all_contributions() {
+        for n in [1usize, 2, 6, 8] {
+            let res = run_spmd(&cfg(n), |ctx| ctx.allgather(ctx.rank() as u32 * 3, 4));
+            let expect: Vec<u32> = (0..n as u32).map(|r| r * 3).collect();
+            for got in &res.outputs {
+                assert_eq!(got, &expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_lands_at_any_root() {
+        for root in [0usize, 2, 5] {
+            let res = run_spmd(&cfg(6), |ctx| {
+                let mut x = vec![1.0, ctx.rank() as f64];
+                ctx.reduce_sum(root, &mut x);
+                (ctx.rank(), x)
+            });
+            let (_, at_root) = &res.outputs[root];
+            assert_eq!(at_root[0], 6.0, "root {root}");
+            assert_eq!(at_root[1], 15.0, "root {root}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_cheaper_than_full_gsum() {
+        // Reduce-to-root is half a gsum (no broadcast leg).
+        let reduce_t = run_spmd(&cfg(8), |ctx| {
+            let mut x = vec![1.0; 4096];
+            ctx.reduce_sum(0, &mut x);
+        })
+        .parallel_time();
+        let gsum_t = run_spmd(&cfg(8), |ctx| {
+            let mut x = vec![1.0; 4096];
+            ctx.gsum_tree(&mut x);
+        })
+        .parallel_time();
+        assert!(
+            reduce_t < gsum_t,
+            "reduce {reduce_t:.5}s !< gsum {gsum_t:.5}s"
+        );
+    }
+
+    #[test]
+    fn alltoall_is_deterministic() {
+        let run = || {
+            run_spmd(&cfg(7), |ctx| {
+                let items: Vec<(Vec<f64>, usize)> = (0..7)
+                    .map(|j| (vec![ctx.rank() as f64, j as f64], 16))
+                    .collect();
+                ctx.alltoall(items);
+                ctx.now()
+            })
+            .outputs
+        };
+        assert_eq!(run(), run());
+    }
+}

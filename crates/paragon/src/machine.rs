@@ -1,0 +1,313 @@
+//! Machine cost models and the three profiles used by the paper's
+//! evaluation: the JPL Intel Paragon, the JPL Cray T3D, and a DEC 5000
+//! workstation baseline.
+//!
+//! The constants are calibrated so the *relative* results of the paper's
+//! tables hold (see `EXPERIMENTS.md`); absolute seconds are in 1995-era
+//! virtual time.
+
+use crate::topology::Topology;
+
+/// Operation counts charged by application code. The split mirrors the
+/// instruction-mix measurements of Appendix B (integer, load/store,
+/// floating point).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ops {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Integer/branch/address operations.
+    pub intops: u64,
+    /// Load/store operations.
+    pub memops: u64,
+}
+
+impl Ops {
+    /// Elementwise sum.
+    pub fn plus(self, o: Ops) -> Ops {
+        Ops {
+            flops: self.flops + o.flops,
+            intops: self.intops + o.intops,
+            memops: self.memops + o.memops,
+        }
+    }
+
+    /// Scale all counts by `k`.
+    pub fn times(self, k: u64) -> Ops {
+        Ops {
+            flops: self.flops * k,
+            intops: self.intops * k,
+            memops: self.memops * k,
+        }
+    }
+
+    /// Total operation count.
+    pub fn total(self) -> u64 {
+        self.flops + self.intops + self.memops
+    }
+}
+
+/// Per-operation-class execution times, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Seconds per floating-point operation.
+    pub flop_s: f64,
+    /// Seconds per integer operation.
+    pub intop_s: f64,
+    /// Seconds per load/store.
+    pub memop_s: f64,
+}
+
+impl CpuProfile {
+    /// Virtual seconds to execute `ops`.
+    pub fn seconds(&self, ops: Ops) -> f64 {
+        ops.flops as f64 * self.flop_s
+            + ops.intops as f64 * self.intop_s
+            + ops.memops as f64 * self.memop_s
+    }
+}
+
+/// Communication cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// Software send overhead per message (system-call + protocol).
+    pub sw_send_s: f64,
+    /// Software receive overhead per message.
+    pub sw_recv_s: f64,
+    /// Per-byte software copy cost (in and out of message buffers).
+    pub per_byte_sw_s: f64,
+    /// Head latency per traversed link.
+    pub per_hop_s: f64,
+    /// Per-byte transmission time on each link (inverse link bandwidth);
+    /// a message occupies every link of its route for `bytes * this`.
+    pub per_byte_link_s: f64,
+    /// Base cost of one barrier stage (tree fan-in/fan-out step).
+    pub barrier_stage_s: f64,
+}
+
+/// Per-node memory model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryProfile {
+    /// Usable bytes per node.
+    pub node_bytes: usize,
+    /// Compute-time multiplier slope once the working set exceeds node
+    /// memory: `factor = 1 + paging_penalty * (ws/mem - 1)`, the
+    /// mechanism behind Appendix B's superlinear speedups (figure 9).
+    pub paging_penalty: f64,
+}
+
+impl MemoryProfile {
+    /// Compute-time multiplier for a given working-set size.
+    pub fn paging_factor(&self, working_set_bytes: usize) -> f64 {
+        if working_set_bytes <= self.node_bytes || self.node_bytes == 0 {
+            1.0
+        } else {
+            let over = working_set_bytes as f64 / self.node_bytes as f64 - 1.0;
+            1.0 + self.paging_penalty * over
+        }
+    }
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Display name used by the reproduction harnesses.
+    pub name: &'static str,
+    /// CPU cost model.
+    pub cpu: CpuProfile,
+    /// Network cost model.
+    pub net: NetProfile,
+    /// Memory/paging model.
+    pub mem: MemoryProfile,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Physical per-node speed variability (the report's §5.4: on the
+    /// JPL Paragon, "processors that are physically closer to the
+    /// cooling system tend to run slower ... up to 7% variability").
+    /// 0.0 disables the effect; `v` slows the node in the last mesh row
+    /// by a factor `1 + v`, graded linearly across rows.
+    pub thermal_variability: f64,
+}
+
+impl MachineSpec {
+    /// Compute-time multiplier of a node: nodes in higher-numbered rows
+    /// (closer to the cooling system in our layout) run slower.
+    pub fn node_speed_factor(&self, node: usize) -> f64 {
+        if self.thermal_variability == 0.0 {
+            return 1.0;
+        }
+        match self.topology {
+            Topology::Mesh2d { width, height } if height > 1 => {
+                let row = node / width;
+                1.0 + self.thermal_variability * row as f64 / (height - 1) as f64
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Enable the §5.4 cooling-gradient effect at the report's observed
+    /// magnitude (7%).
+    pub fn with_thermal_variability(mut self, v: f64) -> Self {
+        self.thermal_variability = v;
+        self
+    }
+}
+
+impl MachineSpec {
+    /// The JPL/ESS Intel Paragon: 56 GP compute nodes (i860) arranged
+    /// here as a 4-wide mesh (the machine is a 16×4 grid; compute
+    /// partitions are allocated four nodes per row, which is why the
+    /// paper's naive distribution only scales to 4 processors).
+    /// Applications used PVM-style messaging, hence the generous
+    /// per-message software overheads.
+    pub fn paragon() -> Self {
+        MachineSpec {
+            name: "Intel Paragon",
+            cpu: CpuProfile {
+                flop_s: 0.20e-6,
+                intop_s: 0.25e-6,
+                memop_s: 0.24e-6,
+            },
+            net: NetProfile {
+                sw_send_s: 150e-6,
+                sw_recv_s: 100e-6,
+                per_byte_sw_s: 0.18e-6, // PVM packing ran ~5 MB/s
+                per_hop_s: 0.5e-6,
+                per_byte_link_s: 0.11e-6, // ~9 MB/s effective PVM bandwidth
+                barrier_stage_s: 2e-3, // PVM group barriers were slow
+            },
+            mem: MemoryProfile {
+                node_bytes: 32 << 20,
+                paging_penalty: 9.0,
+            },
+            topology: Topology::Mesh2d {
+                width: 4,
+                height: 14,
+            },
+            thermal_variability: 0.0,
+        }
+    }
+
+    /// The JPL Cray T3D: 256 Alpha (150 MHz) PEs on a 3-D torus. The
+    /// Alpha is dramatically faster on the integer/pointer work that
+    /// dominates N-body, moderately faster on memory-bound PIC; PVM
+    /// message overheads are *higher* than the Paragon's NX (the paper
+    /// notes "the negative effect of PVM"), but link bandwidth is much
+    /// higher (300 MB/s channels).
+    pub fn t3d() -> Self {
+        MachineSpec {
+            name: "Cray T3D",
+            cpu: CpuProfile {
+                flop_s: 0.10e-6,
+                intop_s: 0.025e-6,
+                memop_s: 0.11e-6,
+            },
+            net: NetProfile {
+                sw_send_s: 220e-6,
+                sw_recv_s: 150e-6,
+                per_byte_sw_s: 0.04e-6,
+                per_hop_s: 0.1e-6,
+                per_byte_link_s: 0.02e-6, // ~50 MB/s effective through PVM
+                barrier_stage_s: 90e-6,
+            },
+            mem: MemoryProfile {
+                node_bytes: 12 << 20, // 16 MB minus the UNICOS microkernel
+                paging_penalty: 9.0,
+            },
+            topology: Topology::Torus3d {
+                nx: 4,
+                ny: 8,
+                nz: 8,
+            },
+            thermal_variability: 0.0,
+        }
+    }
+
+    /// A DEC 5000 workstation — the serial baseline row of Table 1.
+    pub fn dec5000() -> Self {
+        MachineSpec {
+            name: "DEC 5000 Workstation",
+            cpu: CpuProfile {
+                flop_s: 0.26e-6, // the i860 out-floats the DEC 5000
+                intop_s: 0.44e-6,
+                memop_s: 0.21e-6,
+            },
+            net: NetProfile {
+                sw_send_s: 0.0,
+                sw_recv_s: 0.0,
+                per_byte_sw_s: 0.0,
+                per_hop_s: 0.0,
+                per_byte_link_s: 0.0,
+                barrier_stage_s: 0.0,
+            },
+            mem: MemoryProfile {
+                node_bytes: 64 << 20,
+                paging_penalty: 9.0,
+            },
+            topology: Topology::SingleNode,
+            thermal_variability: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_arithmetic() {
+        let a = Ops {
+            flops: 1,
+            intops: 2,
+            memops: 3,
+        };
+        let b = a.times(2).plus(a);
+        assert_eq!(
+            b,
+            Ops {
+                flops: 3,
+                intops: 6,
+                memops: 9
+            }
+        );
+        assert_eq!(b.total(), 18);
+    }
+
+    #[test]
+    fn cpu_seconds_weighted_sum() {
+        let cpu = CpuProfile {
+            flop_s: 1.0,
+            intop_s: 10.0,
+            memop_s: 100.0,
+        };
+        let s = cpu.seconds(Ops {
+            flops: 1,
+            intops: 1,
+            memops: 1,
+        });
+        assert_eq!(s, 111.0);
+    }
+
+    #[test]
+    fn paging_factor_is_one_until_memory_exceeded() {
+        let mem = MemoryProfile {
+            node_bytes: 100,
+            paging_penalty: 8.0,
+        };
+        assert_eq!(mem.paging_factor(0), 1.0);
+        assert_eq!(mem.paging_factor(100), 1.0);
+        assert_eq!(mem.paging_factor(150), 1.0 + 8.0 * 0.5);
+        assert_eq!(mem.paging_factor(200), 9.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let p = MachineSpec::paragon();
+        assert_eq!(p.topology.nodes(), 56);
+        let t = MachineSpec::t3d();
+        assert_eq!(t.topology.nodes(), 256);
+        // The Alpha is much faster than the i860 on integer work.
+        assert!(t.cpu.intop_s < p.cpu.intop_s / 5.0);
+        // The workstation has no network.
+        assert_eq!(MachineSpec::dec5000().topology.nodes(), 1);
+    }
+}

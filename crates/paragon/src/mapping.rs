@@ -1,0 +1,118 @@
+//! Rank → node placements.
+//!
+//! The paper's figure 4 contrasts two placements of the striped image
+//! sub-domains: the *straightforward* row-major order — where the last
+//! rank of each mesh row and the first rank of the next row are `width-1`
+//! hops apart and their traffic conflicts with everyone else's under
+//! dimension routing — and the *snake-like* order, which keeps every
+//! logically adjacent rank pair physically adjacent.
+
+use crate::topology::Topology;
+
+/// A placement of SPMD ranks onto physical nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mapping {
+    /// Rank `i` on node `i` in row-major mesh order — the paper's
+    /// "straightforward data distribution".
+    RowMajor,
+    /// Boustrophedon order: even mesh rows left-to-right, odd rows
+    /// right-to-left, so consecutive ranks are always one hop apart.
+    Snake,
+    /// Explicit placement: `nodes[rank]` is the node of `rank`.
+    Explicit(Vec<usize>),
+}
+
+impl Mapping {
+    /// Node hosting `rank` on the given topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` exceeds the node count (oversubscription is not
+    /// modeled) or an explicit table is too short.
+    pub fn node_of(&self, rank: usize, topo: &Topology) -> usize {
+        let n = topo.nodes();
+        assert!(rank < n, "rank {rank} exceeds {n} nodes");
+        match self {
+            Mapping::RowMajor => rank,
+            Mapping::Snake => match *topo {
+                Topology::SingleNode => 0,
+                Topology::Mesh2d { width, .. } => {
+                    let row = rank / width;
+                    let col = rank % width;
+                    let col = if row.is_multiple_of(2) { col } else { width - 1 - col };
+                    row * width + col
+                }
+                // On a torus wraparound makes row-major fine; snake is
+                // defined for completeness as identity there.
+                Topology::Torus3d { .. } => rank,
+            },
+            Mapping::Explicit(nodes) => {
+                assert!(
+                    rank < nodes.len(),
+                    "explicit mapping has {} entries, rank {rank} requested",
+                    nodes.len()
+                );
+                let node = nodes[rank];
+                assert!(node < n, "explicit mapping node {node} out of range");
+                node
+            }
+        }
+    }
+
+    /// Precompute the full rank→node table for `nranks`.
+    pub fn table(&self, nranks: usize, topo: &Topology) -> Vec<usize> {
+        (0..nranks).map(|r| self.node_of(r, topo)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MESH: Topology = Topology::Mesh2d {
+        width: 4,
+        height: 4,
+    };
+
+    #[test]
+    fn row_major_is_identity() {
+        assert_eq!(Mapping::RowMajor.table(8, &MESH), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snake_reverses_odd_rows() {
+        // Row 0: 0 1 2 3; row 1 nodes visited right-to-left: 7 6 5 4.
+        assert_eq!(
+            Mapping::Snake.table(8, &MESH),
+            vec![0, 1, 2, 3, 7, 6, 5, 4]
+        );
+    }
+
+    #[test]
+    fn snake_consecutive_ranks_are_one_hop_apart() {
+        let table = Mapping::Snake.table(16, &MESH);
+        for w in table.windows(2) {
+            assert_eq!(MESH.hops(w[0], w[1]), 1, "nodes {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn row_major_has_long_wrap_hops() {
+        let table = Mapping::RowMajor.table(16, &MESH);
+        // Rank 3 -> 4 crosses the row boundary: distance 4 (3 west + 1 south).
+        assert_eq!(MESH.hops(table[3], table[4]), 4);
+    }
+
+    #[test]
+    fn explicit_mapping_respected() {
+        let m = Mapping::Explicit(vec![5, 2, 9]);
+        assert_eq!(m.node_of(0, &MESH), 5);
+        assert_eq!(m.node_of(2, &MESH), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversubscription_rejected() {
+        Mapping::RowMajor.node_of(16, &MESH);
+    }
+}

@@ -1,0 +1,902 @@
+//! The SPMD virtual-time executor.
+//!
+//! Rank programs are closures run on real threads; they move real data
+//! and account virtual time. All communication goes through *collective*
+//! phases (every rank participates in every phase, possibly with no
+//! messages). Arrival times are resolved once all ranks have entered the
+//! phase, in a canonical message order, making virtual-time results
+//! deterministic and independent of host scheduling.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use perfbudget::{BudgetReport, Category, RankBudget};
+
+use crate::machine::{MachineSpec, Ops};
+use crate::mapping::Mapping;
+use crate::network::LinkSchedule;
+
+/// Configuration of one SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdConfig {
+    /// Machine to simulate.
+    pub machine: MachineSpec,
+    /// Number of ranks (must not exceed the machine's node count).
+    pub nranks: usize,
+    /// Rank → node placement.
+    pub mapping: Mapping,
+}
+
+/// Result of an SPMD run: per-rank outputs and time accounting.
+#[derive(Debug)]
+pub struct SpmdResult<T> {
+    /// Per-rank return values, indexed by rank.
+    pub outputs: Vec<T>,
+    /// Per-rank budgets, indexed by rank.
+    pub budgets: Vec<RankBudget>,
+    /// Network contention diagnostics for the whole run.
+    pub net: crate::network::LinkStats,
+    /// One record per collective phase, in program order.
+    pub timeline: Vec<PhaseRecord>,
+}
+
+/// Compact summary of one collective phase (for post-run analysis of
+/// communication structure — phase counts, message volumes, skew).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// Whether the phase was a barrier.
+    pub barrier: bool,
+    /// Messages exchanged in the phase.
+    pub messages: u32,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Earliest rank entry time.
+    pub earliest_entry: f64,
+    /// Latest rank entry time (entry skew = latest - earliest).
+    pub latest_entry: f64,
+    /// Latest rank exit time.
+    pub latest_exit: f64,
+}
+
+impl<T> SpmdResult<T> {
+    /// Parallel execution time (max completion over ranks).
+    pub fn parallel_time(&self) -> f64 {
+        self.budgets
+            .iter()
+            .map(|b| b.completion)
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate performance budget (Appendix B model).
+    pub fn report(&self) -> BudgetReport {
+        BudgetReport::from_ranks(&self.budgets).expect("at least one rank")
+    }
+}
+
+type Payload = Box<dyn Any + Send>;
+
+struct OutMsg {
+    dst: usize,
+    bytes: usize,
+    payload: Payload,
+}
+
+struct Entry {
+    entry_time: f64,
+    is_barrier: bool,
+    msgs: Vec<OutMsg>,
+}
+
+struct PhaseOut {
+    exit_time: f64,
+    /// Portion of the phase spent idling for slower peers (barriers).
+    wait: f64,
+    /// `(src, payload)` ordered by (arrival, src).
+    inbox: Vec<(usize, Payload)>,
+}
+
+struct Board {
+    gen: u64,
+    arrived: usize,
+    entries: Vec<Option<Entry>>,
+    outputs: Vec<Option<PhaseOut>>,
+    links: LinkSchedule,
+    timeline: Vec<PhaseRecord>,
+}
+
+struct Shared {
+    machine: MachineSpec,
+    nranks: usize,
+    /// rank → node table.
+    nodes: Vec<usize>,
+    board: Mutex<Board>,
+    cv: Condvar,
+}
+
+/// Per-rank execution context handed to the SPMD closure.
+pub struct Ctx {
+    rank: usize,
+    clock: f64,
+    budget: RankBudget,
+    working_set: usize,
+    shared: Arc<Shared>,
+}
+
+impl Ctx {
+    /// This rank's id, `0 .. nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total rank count.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.shared.machine
+    }
+
+    /// Accumulated budget so far.
+    pub fn budget(&self) -> &RankBudget {
+        &self.budget
+    }
+
+    /// Declare this rank's resident working set; compute charges are
+    /// multiplied by the machine's paging factor while the working set
+    /// exceeds node memory.
+    pub fn set_working_set(&mut self, bytes: usize) {
+        self.working_set = bytes;
+    }
+
+    /// Charge useful computation.
+    pub fn charge(&mut self, ops: Ops) {
+        self.charge_as(ops, Category::Useful);
+    }
+
+    /// Charge computation to an explicit category. The charge is scaled
+    /// by the paging factor of the declared working set and by this
+    /// node's physical speed factor (the §5.4 cooling gradient).
+    pub fn charge_as(&mut self, ops: Ops, cat: Category) {
+        let base = self.shared.machine.cpu.seconds(ops);
+        let paging = self.shared.machine.mem.paging_factor(self.working_set);
+        let thermal = self
+            .shared
+            .machine
+            .node_speed_factor(self.shared.nodes[self.rank]);
+        self.charge_seconds(base * paging * thermal, cat);
+    }
+
+    /// Charge raw virtual seconds to a category.
+    pub fn charge_seconds(&mut self, seconds: f64, cat: Category) {
+        debug_assert!(seconds >= 0.0);
+        self.clock += seconds;
+        self.budget.charge(cat, seconds);
+    }
+
+    /// Enter a collective phase; returns this rank's result.
+    fn phase(&mut self, is_barrier: bool, msgs: Vec<OutMsg>) -> Vec<(usize, Payload)> {
+        let entry = Entry {
+            entry_time: self.clock,
+            is_barrier,
+            msgs,
+        };
+        let shared = Arc::clone(&self.shared);
+        let mut board = shared.board.lock();
+        let my_gen = board.gen;
+        debug_assert!(board.entries[self.rank].is_none(), "collective mismatch");
+        board.entries[self.rank] = Some(entry);
+        board.arrived += 1;
+        if board.arrived == self.shared.nranks {
+            resolve(&shared, &mut board);
+            board.arrived = 0;
+            board.gen += 1;
+            shared.cv.notify_all();
+        } else {
+            while board.gen == my_gen {
+                shared.cv.wait(&mut board);
+            }
+        }
+        let out = board.outputs[self.rank]
+            .take()
+            .expect("phase output present exactly once per rank");
+        drop(board);
+        let total = (out.exit_time - self.clock).max(0.0);
+        let wait = out.wait.min(total);
+        self.clock = out.exit_time.max(self.clock);
+        self.budget.charge(Category::ImbalanceWait, wait);
+        self.budget.charge(Category::Communication, total - wait);
+        out.inbox
+    }
+
+    /// BSP-style message exchange. Every rank must call this (a
+    /// collective); pass an empty vector to participate without sending.
+    /// Each outgoing message is `(dst, value, bytes)` where `bytes` is
+    /// its wire size. Returns received `(src, value)` pairs ordered by
+    /// arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on the receiving side) if ranks disagree on the message
+    /// type `M` within one phase, or if `dst` is out of range.
+    pub fn exchange<M: Send + 'static>(&mut self, msgs: Vec<(usize, M, usize)>) -> Vec<(usize, M)> {
+        let n = self.shared.nranks;
+        let out: Vec<OutMsg> = msgs
+            .into_iter()
+            .map(|(dst, value, bytes)| {
+                assert!(dst < n, "message to rank {dst} of {n}");
+                OutMsg {
+                    dst,
+                    bytes,
+                    payload: Box::new(value),
+                }
+            })
+            .collect();
+        self.phase(false, out)
+            .into_iter()
+            .map(|(src, p)| {
+                let value = p
+                    .downcast::<M>()
+                    .expect("all ranks must exchange the same message type");
+                (src, *value)
+            })
+            .collect()
+    }
+
+    /// Global barrier. Every rank's clock advances to the common exit
+    /// time (max entry time plus a tree fan-in/fan-out cost).
+    pub fn barrier(&mut self) {
+        let inbox = self.phase(true, Vec::new());
+        debug_assert!(inbox.is_empty());
+    }
+
+    /// Binomial-tree broadcast from `root`. The root passes
+    /// `Some(value)`; all other ranks pass `None`. `bytes` is the wire
+    /// size of the value. Collective.
+    pub fn broadcast<M: Send + Clone + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<M>,
+        bytes: usize,
+    ) -> M {
+        let n = self.shared.nranks;
+        assert!(root < n, "broadcast root {root} of {n}");
+        assert_eq!(
+            self.rank == root,
+            value.is_some(),
+            "exactly the root must supply the broadcast value"
+        );
+        let mut have = value;
+        // Virtual rank relative to the root.
+        let vr = (self.rank + n - root) % n;
+        let rounds = n.next_power_of_two().trailing_zeros();
+        for k in 0..rounds {
+            let bit = 1usize << k;
+            let mut out = Vec::new();
+            if vr < bit && vr + bit < n {
+                let dst = (vr + bit + root) % n;
+                let v = have.clone().expect("sender in round k has the value");
+                out.push((dst, v, bytes));
+            }
+            let mut inbox = self.exchange(out);
+            if let Some((_, v)) = inbox.pop() {
+                debug_assert!(have.is_none());
+                have = Some(v);
+            }
+        }
+        have.expect("broadcast reaches every rank")
+    }
+
+    /// Gather to `root`: every rank contributes `value`; the root gets
+    /// all `(src, value)` pairs sorted by source rank, others get `None`.
+    /// The root's serialized receives model the manager hot spot of the
+    /// manager-worker programming model. Collective.
+    pub fn gather<M: Send + 'static>(
+        &mut self,
+        root: usize,
+        value: M,
+        bytes: usize,
+    ) -> Option<Vec<(usize, M)>> {
+        let n = self.shared.nranks;
+        assert!(root < n, "gather root {root} of {n}");
+        let out = if self.rank == root {
+            // Keep the root's own contribution as a self-message so it
+            // appears in the gathered set.
+            vec![(root, value, 0)]
+        } else {
+            vec![(root, value, bytes)]
+        };
+        let mut inbox = self.exchange(out);
+        if self.rank == root {
+            inbox.sort_by_key(|(src, _)| *src);
+            Some(inbox)
+        } else {
+            None
+        }
+    }
+
+    /// Global sum in the NX `gssum` style the paper started with: every
+    /// rank sends its full vector to every other rank, then adds them
+    /// locally. `O(P²)` messages — the many-to-many conflicts make this
+    /// collapse beyond ~8 ranks, reproducing the paper's observation.
+    pub fn gsum_naive(&mut self, x: &mut [f64]) {
+        let n = self.shared.nranks;
+        if n == 1 {
+            return;
+        }
+        let bytes = x.len() * 8;
+        let mine = x.to_vec();
+        let out: Vec<(usize, Vec<f64>, usize)> = (0..n)
+            .filter(|&d| d != self.rank)
+            .map(|d| (d, mine.clone(), bytes))
+            .collect();
+        let inbox = self.exchange(out);
+        debug_assert_eq!(inbox.len(), n - 1);
+        for (_, v) in inbox {
+            for (slot, add) in x.iter_mut().zip(&v) {
+                *slot += add;
+            }
+            // Local accumulation is parallelization-induced duplicated
+            // work: the serial code sums each grid point once.
+            self.charge_as(
+                Ops {
+                    flops: v.len() as u64,
+                    intops: 0,
+                    memops: 2 * v.len() as u64,
+                },
+                Category::DuplicationRedundancy,
+            );
+        }
+    }
+
+    /// Global sum by binomial-tree reduction to rank 0 followed by
+    /// binomial broadcast — the paper's replacement "based on
+    /// parallel-prefix … using many one-to-one communications".
+    /// `O(log P)` phases of point-to-point messages.
+    pub fn gsum_tree(&mut self, x: &mut [f64]) {
+        let n = self.shared.nranks;
+        if n == 1 {
+            return;
+        }
+        let bytes = x.len() * 8;
+        let rounds = n.next_power_of_two().trailing_zeros();
+        // Reduce to rank 0.
+        let mut active = true;
+        for k in 0..rounds {
+            let bit = 1usize << k;
+            let mut out = Vec::new();
+            if active && self.rank & bit != 0 {
+                out.push((self.rank - bit, x.to_vec(), bytes));
+                active = false;
+            }
+            let inbox = self.exchange(out);
+            for (_, v) in inbox {
+                for (slot, add) in x.iter_mut().zip(&v) {
+                    *slot += add;
+                }
+                self.charge_as(
+                    Ops {
+                        flops: v.len() as u64,
+                        intops: 0,
+                        memops: 2 * v.len() as u64,
+                    },
+                    Category::DuplicationRedundancy,
+                );
+            }
+        }
+        // Broadcast the result back down the tree.
+        let result = if self.rank == 0 {
+            self.broadcast(0, Some(x.to_vec()), bytes)
+        } else {
+            self.broadcast::<Vec<f64>>(0, None, bytes)
+        };
+        x.copy_from_slice(&result);
+    }
+}
+
+/// Resolve a completed phase: compute message arrivals against the link
+/// schedule in canonical order and per-rank exit times.
+fn resolve(shared: &Shared, board: &mut Board) {
+    let n = shared.nranks;
+    let net = &shared.machine.net;
+    let topo = &shared.machine.topology;
+
+    struct Rec {
+        ready: f64,
+        src: usize,
+        seq: usize,
+        dst: usize,
+        bytes: usize,
+        payload: Payload,
+    }
+
+    let mut entry_times = vec![0.0; n];
+    let mut send_done = vec![0.0; n];
+    let mut barrier_flags = vec![false; n];
+    let mut recs: Vec<Rec> = Vec::new();
+    let mut phase_bytes = 0u64;
+
+    for (i, slot) in board.entries.iter_mut().enumerate() {
+        let e = slot.take().expect("all ranks deposited");
+        entry_times[i] = e.entry_time;
+        barrier_flags[i] = e.is_barrier;
+        let mut t = e.entry_time;
+        for (seq, m) in e.msgs.into_iter().enumerate() {
+            // Sender pays per-message software overhead sequentially.
+            t += net.sw_send_s + m.bytes as f64 * net.per_byte_sw_s;
+            phase_bytes += m.bytes as u64;
+            recs.push(Rec {
+                ready: t,
+                src: i,
+                seq,
+                dst: m.dst,
+                bytes: m.bytes,
+                payload: m.payload,
+            });
+        }
+        send_done[i] = t;
+    }
+
+    let uniform_barrier = barrier_flags.iter().all(|&b| b) && !barrier_flags.is_empty();
+    debug_assert!(
+        uniform_barrier || barrier_flags.iter().all(|&b| !b),
+        "mixed barrier/exchange collective"
+    );
+
+    // Canonical resolution order: ready time, then source, then send seq.
+    recs.sort_by(|a, b| {
+        a.ready
+            .total_cmp(&b.ready)
+            .then(a.src.cmp(&b.src))
+            .then(a.seq.cmp(&b.seq))
+    });
+
+    let recs_count = recs.len() as u32;
+    let mut inboxes: Vec<Vec<(f64, usize, usize, Payload)>> = (0..n).map(|_| Vec::new()).collect();
+    for rec in recs {
+        let route = topo.route(shared.nodes[rec.src], shared.nodes[rec.dst]);
+        let arrival = board.links.transmit(&route, rec.ready, rec.bytes, net);
+        inboxes[rec.dst].push((arrival, rec.src, rec.bytes, rec.payload));
+    }
+
+    let mut exits = vec![0.0; n];
+    let mut outs: Vec<Option<PhaseOut>> = Vec::with_capacity(n);
+    for (j, mut inbox) in inboxes.into_iter().enumerate() {
+        inbox.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut t = entry_times[j];
+        for (arrival, _, bytes, _) in &inbox {
+            // Receiver processes messages one at a time.
+            t = t.max(*arrival) + net.sw_recv_s + *bytes as f64 * net.per_byte_sw_s;
+        }
+        exits[j] = t.max(send_done[j]);
+        outs.push(Some(PhaseOut {
+            exit_time: exits[j],
+            wait: 0.0,
+            inbox: inbox.into_iter().map(|(_, src, _, p)| (src, p)).collect(),
+        }));
+    }
+
+    if uniform_barrier {
+        let stages = n.next_power_of_two().trailing_zeros() as f64;
+        let base = exits.iter().fold(0.0_f64, |a, &b| a.max(b));
+        let common = base + 2.0 * stages * net.barrier_stage_s;
+        for (j, o) in outs.iter_mut().flatten().enumerate() {
+            // Idling until the last rank arrives is imbalance/wait; the
+            // fan-in/fan-out itself is communication.
+            o.wait = base - exits[j];
+            o.exit_time = common;
+        }
+    }
+
+    let fold = |init: f64, f: fn(f64, f64) -> f64, xs: &[f64]| xs.iter().fold(init, |a, &b| f(a, b));
+    board.timeline.push(PhaseRecord {
+        barrier: uniform_barrier,
+        messages: recs_count,
+        bytes: phase_bytes,
+        earliest_entry: fold(f64::INFINITY, f64::min, &entry_times),
+        latest_entry: fold(0.0, f64::max, &entry_times),
+        latest_exit: outs
+            .iter()
+            .flatten()
+            .map(|o| o.exit_time)
+            .fold(0.0, f64::max),
+    });
+
+    board.outputs = outs;
+}
+
+/// Run an SPMD program: `body` is invoked once per rank with its [`Ctx`].
+/// Blocks until all ranks complete; returns outputs and budgets indexed
+/// by rank.
+///
+/// # Panics
+///
+/// Panics if `nranks` is zero or exceeds the machine's node count, or if
+/// a rank's body panics.
+pub fn run_spmd<T, F>(cfg: &SpmdConfig, body: F) -> SpmdResult<T>
+where
+    T: Send,
+    F: Fn(&mut Ctx) -> T + Sync,
+{
+    let n = cfg.nranks;
+    assert!(n > 0, "need at least one rank");
+    assert!(
+        n <= cfg.machine.topology.nodes(),
+        "{} ranks exceed {} nodes of {}",
+        n,
+        cfg.machine.topology.nodes(),
+        cfg.machine.name
+    );
+    let shared = Arc::new(Shared {
+        nodes: cfg.mapping.table(n, &cfg.machine.topology),
+        machine: cfg.machine.clone(),
+        nranks: n,
+        board: Mutex::new(Board {
+            gen: 0,
+            arrived: 0,
+            entries: (0..n).map(|_| None).collect(),
+            outputs: (0..n).map(|_| None).collect(),
+            links: LinkSchedule::new(),
+            timeline: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+
+    let slots: Vec<Mutex<Option<(T, RankBudget)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let shared = Arc::clone(&shared);
+            let body = &body;
+            let slot = &slots[rank];
+            handles.push(scope.spawn(move || {
+                let mut ctx = Ctx {
+                    rank,
+                    clock: 0.0,
+                    budget: RankBudget::default(),
+                    working_set: 0,
+                    shared,
+                };
+                let out = body(&mut ctx);
+                ctx.budget.completion = ctx.clock;
+                *slot.lock() = Some((out, ctx.budget));
+            }));
+        }
+        for h in handles {
+            h.join().expect("rank thread panicked");
+        }
+    });
+
+    let (net, timeline) = {
+        let mut board = shared.board.lock();
+        (board.links.stats(), std::mem::take(&mut board.timeline))
+    };
+    let mut outputs = Vec::with_capacity(n);
+    let mut budgets = Vec::with_capacity(n);
+    for slot in slots {
+        let (out, budget) = slot.into_inner().expect("rank completed");
+        outputs.push(out);
+        budgets.push(budget);
+    }
+    SpmdResult {
+        outputs,
+        budgets,
+        net,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn test_machine() -> MachineSpec {
+        MachineSpec {
+            name: "test",
+            cpu: crate::machine::CpuProfile {
+                flop_s: 1e-6,
+                intop_s: 1e-6,
+                memop_s: 1e-6,
+            },
+            net: crate::machine::NetProfile {
+                sw_send_s: 10e-6,
+                sw_recv_s: 10e-6,
+                per_byte_sw_s: 0.0,
+                per_hop_s: 1e-6,
+                per_byte_link_s: 0.01e-6,
+                barrier_stage_s: 5e-6,
+            },
+            mem: crate::machine::MemoryProfile {
+                node_bytes: 1 << 20,
+                paging_penalty: 8.0,
+            },
+            topology: Topology::Mesh2d {
+                width: 4,
+                height: 4,
+            },
+            thermal_variability: 0.0,
+        }
+    }
+
+    fn cfg(n: usize) -> SpmdConfig {
+        SpmdConfig {
+            machine: test_machine(),
+            nranks: n,
+            mapping: Mapping::RowMajor,
+        }
+    }
+
+    #[test]
+    fn ring_exchange_delivers_data() {
+        let res = run_spmd(&cfg(4), |ctx| {
+            let n = ctx.nranks();
+            let next = (ctx.rank() + 1) % n;
+            let inbox = ctx.exchange(vec![(next, ctx.rank() as u64, 8)]);
+            assert_eq!(inbox.len(), 1);
+            let (src, v) = inbox[0];
+            assert_eq!(src, (ctx.rank() + n - 1) % n);
+            v
+        });
+        assert_eq!(res.outputs, vec![3, 0, 1, 2]);
+        // Every rank spent communication time.
+        for b in &res.budgets {
+            assert!(b.communication > 0.0);
+        }
+    }
+
+    #[test]
+    fn charge_advances_clock_and_budget() {
+        let res = run_spmd(&cfg(1), |ctx| {
+            ctx.charge(Ops {
+                flops: 1000,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.now()
+        });
+        assert!((res.outputs[0] - 1e-3).abs() < 1e-12);
+        assert!((res.budgets[0].useful - 1e-3).abs() < 1e-12);
+        assert_eq!(res.budgets[0].completion, res.outputs[0]);
+    }
+
+    #[test]
+    fn paging_multiplies_compute_cost() {
+        let res = run_spmd(&cfg(1), |ctx| {
+            ctx.set_working_set(2 << 20); // 2x node memory -> factor 9
+            ctx.charge(Ops {
+                flops: 1000,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.now()
+        });
+        assert!((res.outputs[0] - 9e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let res = run_spmd(&cfg(4), |ctx| {
+            // Rank r computes r ms, then all barrier.
+            ctx.charge(Ops {
+                flops: 1000 * ctx.rank() as u64,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.barrier();
+            ctx.now()
+        });
+        let t0 = res.outputs[0];
+        for &t in &res.outputs {
+            assert_eq!(t, t0, "all ranks exit the barrier at the same time");
+        }
+        assert!(t0 >= 3e-3);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        let res = run_spmd(&cfg(7), |ctx| {
+            let v = if ctx.rank() == 2 {
+                ctx.broadcast(2, Some(vec![1.0, 2.0, 3.0]), 24)
+            } else {
+                ctx.broadcast::<Vec<f64>>(2, None, 24)
+            };
+            v[1]
+        });
+        assert!(res.outputs.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let res = run_spmd(&cfg(5), |ctx| {
+            let got = ctx.gather(0, ctx.rank() as u32 * 10, 4);
+            match (ctx.rank(), got) {
+                (0, Some(v)) => {
+                    assert_eq!(
+                        v,
+                        vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]
+                    );
+                    true
+                }
+                (_, None) => true,
+                _ => false,
+            }
+        });
+        assert!(res.outputs.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn gsum_variants_agree_numerically() {
+        for n in [1usize, 2, 3, 4, 8] {
+            let res = run_spmd(&cfg(n), |ctx| {
+                let mut a = vec![ctx.rank() as f64, 1.0];
+                ctx.gsum_naive(&mut a);
+                let mut b = vec![ctx.rank() as f64, 1.0];
+                ctx.gsum_tree(&mut b);
+                (a, b)
+            });
+            let expect0: f64 = (0..n).map(|r| r as f64).sum();
+            for (a, b) in &res.outputs {
+                assert_eq!(a[0], expect0, "naive sum over {n}");
+                assert_eq!(a[1], n as f64);
+                assert_eq!(b[0], expect0, "tree sum over {n}");
+                assert_eq!(b[1], n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_gsum_scales_better_than_naive_at_large_p() {
+        // At 16 ranks the many-to-many gssum must cost more wall time than
+        // the log-tree version (the paper's observation).
+        let time_of = |tree: bool| {
+            let res = run_spmd(&cfg(16), |ctx| {
+                let mut v = vec![1.0; 4096];
+                if tree {
+                    ctx.gsum_tree(&mut v);
+                } else {
+                    ctx.gsum_naive(&mut v);
+                }
+            });
+            res.parallel_time()
+        };
+        let naive = time_of(false);
+        let tree = time_of(true);
+        assert!(
+            tree < naive,
+            "tree gsum ({tree:.6}s) should beat naive ({naive:.6}s) at P=16"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            run_spmd(&cfg(8), |ctx| {
+                let mut v = vec![ctx.rank() as f64; 128];
+                ctx.gsum_tree(&mut v);
+                ctx.charge(Ops {
+                    flops: 17,
+                    intops: 3,
+                    memops: 5,
+                });
+                let next = (ctx.rank() + 1) % ctx.nranks();
+                ctx.exchange(vec![(next, 1u8, 1)]);
+                ctx.now()
+            })
+            .outputs
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual times must be deterministic");
+    }
+
+    #[test]
+    fn communication_time_includes_contention() {
+        // All ranks of one mesh row send to rank 0 simultaneously: the
+        // inbound link into node 0 serializes the transfers, so the last
+        // arrival is later than a single point-to-point would be.
+        let solo = run_spmd(&cfg(2), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)]);
+            } else {
+                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new());
+            }
+            ctx.now()
+        });
+        let crowd = run_spmd(&cfg(4), |ctx| {
+            if ctx.rank() != 0 {
+                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)]);
+            } else {
+                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new());
+            }
+            ctx.now()
+        });
+        assert!(crowd.outputs[0] > solo.outputs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_ranks_rejected() {
+        run_spmd(&cfg(17), |_| ());
+    }
+
+    #[test]
+    fn thermal_gradient_creates_imbalance_from_balanced_work() {
+        // The report's §5.4: identical work, different physical nodes,
+        // up to 7% execution-time variability.
+        let mut machine = test_machine().with_thermal_variability(0.07);
+        machine.topology = Topology::Mesh2d {
+            width: 4,
+            height: 4,
+        };
+        let cfg = SpmdConfig {
+            machine,
+            nranks: 16,
+            mapping: Mapping::RowMajor,
+        };
+        let res = run_spmd(&cfg, |ctx| {
+            ctx.charge(Ops {
+                flops: 1_000_000,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.now()
+        });
+        let fastest = res.outputs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let slowest = res.outputs.iter().cloned().fold(0.0, f64::max);
+        let spread = slowest / fastest - 1.0;
+        assert!(
+            (spread - 0.07).abs() < 1e-9,
+            "expected 7% spread, got {spread}"
+        );
+        // Without the gradient all ranks finish together.
+        let cfg0 = SpmdConfig {
+            machine: test_machine(),
+            nranks: 16,
+            mapping: Mapping::RowMajor,
+        };
+        let res0 = run_spmd(&cfg0, |ctx| {
+            ctx.charge(Ops {
+                flops: 1_000_000,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.now()
+        });
+        assert!(res0.outputs.iter().all(|&t| t == res0.outputs[0]));
+    }
+
+    #[test]
+    fn timeline_records_every_phase() {
+        let res = run_spmd(&cfg(4), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.nranks();
+            ctx.exchange(vec![(next, 7u8, 100)]);
+            ctx.barrier();
+            ctx.exchange(Vec::<(usize, u8, usize)>::new());
+        });
+        assert_eq!(res.timeline.len(), 3);
+        let first = &res.timeline[0];
+        assert!(!first.barrier);
+        assert_eq!(first.messages, 4);
+        assert_eq!(first.bytes, 400);
+        assert!(first.latest_exit >= first.latest_entry);
+        assert!(res.timeline[1].barrier);
+        assert_eq!(res.timeline[2].messages, 0);
+    }
+
+    #[test]
+    fn self_message_allowed() {
+        let res = run_spmd(&cfg(1), |ctx| {
+            let inbox = ctx.exchange(vec![(0usize, 42u8, 1)]);
+            inbox[0].1
+        });
+        assert_eq!(res.outputs[0], 42);
+    }
+}

@@ -1,0 +1,232 @@
+//! Interconnect topologies and dimension-order routing.
+
+/// A directed physical link between two adjacent nodes, identified by
+/// `(from, to)` node indices. Opposite directions are distinct links
+/// (all modeled networks are full-duplex).
+pub type Link = (usize, usize);
+
+/// Interconnect topology of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A single node — no network (workstation profile).
+    SingleNode,
+    /// 2-D mesh, `width x height`, no wraparound, XY dimension-order
+    /// routing (horizontal first, as on the Intel Paragon).
+    Mesh2d {
+        /// Nodes per row.
+        width: usize,
+        /// Number of rows.
+        height: usize,
+    },
+    /// 3-D torus with wraparound in every dimension and shortest-path
+    /// dimension-order routing (Cray T3D style).
+    Torus3d {
+        /// X extent.
+        nx: usize,
+        /// Y extent.
+        ny: usize,
+        /// Z extent.
+        nz: usize,
+    },
+}
+
+impl Topology {
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::SingleNode => 1,
+            Topology::Mesh2d { width, height } => width * height,
+            Topology::Torus3d { nx, ny, nz } => nx * ny * nz,
+        }
+    }
+
+    /// The sequence of directed links a message from `from` to `to`
+    /// traverses under dimension-order routing. Empty when `from == to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is out of range.
+    pub fn route(&self, from: usize, to: usize) -> Vec<Link> {
+        let n = self.nodes();
+        assert!(from < n && to < n, "node index out of range");
+        if from == to {
+            return Vec::new();
+        }
+        match *self {
+            Topology::SingleNode => unreachable!("single node has no distinct pairs"),
+            Topology::Mesh2d { width, .. } => {
+                let (mut x, mut y) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
+                let mut links = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
+                let mut cur = from;
+                // Horizontal dimension first (the paper's "messages would
+                // travel along the horizontal dimension first").
+                while x != tx {
+                    x = if tx > x { x + 1 } else { x - 1 };
+                    let next = y * width + x;
+                    links.push((cur, next));
+                    cur = next;
+                }
+                while y != ty {
+                    y = if ty > y { y + 1 } else { y - 1 };
+                    let next = y * width + x;
+                    links.push((cur, next));
+                    cur = next;
+                }
+                links
+            }
+            Topology::Torus3d { nx, ny, nz } => {
+                let coords = |id: usize| (id % nx, (id / nx) % ny, id / (nx * ny));
+                let (mut x, mut y, mut z) = coords(from);
+                let (tx, ty, tz) = coords(to);
+                let mut links = Vec::new();
+                let mut cur = from;
+                let step_dim = |pos: &mut usize, target: usize, extent: usize,
+                                    cur: &mut usize,
+                                    links: &mut Vec<Link>,
+                                    rebuild: &dyn Fn(usize) -> usize| {
+                    while *pos != target {
+                        let fwd = (target + extent - *pos) % extent;
+                        let bwd = (*pos + extent - target) % extent;
+                        *pos = if fwd <= bwd {
+                            (*pos + 1) % extent
+                        } else {
+                            (*pos + extent - 1) % extent
+                        };
+                        let next = rebuild(*pos);
+                        links.push((*cur, next));
+                        *cur = next;
+                    }
+                };
+                step_dim(&mut x, tx, nx, &mut cur, &mut links, &|xx| {
+                    xx + nx * (y + ny * z)
+                });
+                step_dim(&mut y, ty, ny, &mut cur, &mut links, &|yy| {
+                    x + nx * (yy + ny * z)
+                });
+                step_dim(&mut z, tz, nz, &mut cur, &mut links, &|zz| {
+                    x + nx * (y + ny * zz)
+                });
+                links
+            }
+        }
+    }
+
+    /// Hop count between two nodes (length of the dimension-order route).
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        self.route(from, to).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_route_is_x_then_y() {
+        let t = Topology::Mesh2d {
+            width: 4,
+            height: 3,
+        };
+        // From (1,0)=1 to (3,1)=7: east to 2, east to 3, south to 7.
+        assert_eq!(t.route(1, 7), vec![(1, 2), (2, 3), (3, 7)]);
+    }
+
+    #[test]
+    fn mesh_route_westward() {
+        let t = Topology::Mesh2d {
+            width: 4,
+            height: 2,
+        };
+        // From (3,0)=3 to (0,1)=4: west across row 0, then south.
+        assert_eq!(t.route(3, 4), vec![(3, 2), (2, 1), (1, 0), (0, 4)]);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let t = Topology::Mesh2d {
+            width: 4,
+            height: 4,
+        };
+        assert!(t.route(5, 5).is_empty());
+    }
+
+    #[test]
+    fn mesh_hops_is_manhattan_distance() {
+        let t = Topology::Mesh2d {
+            width: 8,
+            height: 8,
+        };
+        for (a, b) in [(0usize, 63usize), (9, 34), (7, 56)] {
+            let (ax, ay) = (a % 8, a / 8);
+            let (bx, by) = (b % 8, b / 8);
+            assert_eq!(t.hops(a, b), ax.abs_diff(bx) + ay.abs_diff(by));
+        }
+    }
+
+    #[test]
+    fn torus_takes_shortcut() {
+        let t = Topology::Torus3d {
+            nx: 8,
+            ny: 1,
+            nz: 1,
+        };
+        // 0 -> 7 should wrap backwards in one hop.
+        assert_eq!(t.route(0, 7), vec![(0, 7)]);
+        // 0 -> 3 goes forward.
+        assert_eq!(t.hops(0, 3), 3);
+        // 0 -> 4 either way is 4 hops.
+        assert_eq!(t.hops(0, 4), 4);
+    }
+
+    #[test]
+    fn torus_route_links_are_adjacent() {
+        let t = Topology::Torus3d {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+        };
+        let route = t.route(0, 63);
+        // Route is connected.
+        let mut cur = 0;
+        for (a, b) in &route {
+            assert_eq!(*a, cur);
+            cur = *b;
+        }
+        assert_eq!(cur, 63);
+        // 0=(0,0,0), 63=(3,3,3): one wrap hop per dimension.
+        assert_eq!(route.len(), 3);
+    }
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(Topology::SingleNode.nodes(), 1);
+        assert_eq!(
+            Topology::Mesh2d {
+                width: 4,
+                height: 14
+            }
+            .nodes(),
+            56
+        );
+        assert_eq!(
+            Topology::Torus3d {
+                nx: 4,
+                ny: 8,
+                nz: 8
+            }
+            .nodes(),
+            256
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_checks_bounds() {
+        Topology::Mesh2d {
+            width: 2,
+            height: 2,
+        }
+        .route(0, 4);
+    }
+}

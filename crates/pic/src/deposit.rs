@@ -1,0 +1,159 @@
+//! Cloud-In-Cell charge assignment and field interpolation (trilinear),
+//! the report's step 1 and step 3.
+
+use crate::grid::Grid3;
+use crate::particle::Particle;
+
+/// The 8 grid nodes and weights bracketing a position.
+#[inline]
+fn cic_stencil(pos: [f64; 3]) -> ([isize; 3], [f64; 3]) {
+    let base = [
+        pos[0].floor() as isize,
+        pos[1].floor() as isize,
+        pos[2].floor() as isize,
+    ];
+    let frac = [
+        pos[0] - base[0] as f64,
+        pos[1] - base[1] as f64,
+        pos[2] - base[2] as f64,
+    ];
+    (base, frac)
+}
+
+/// Deposit `charge` for every particle onto `rho` with CIC weights.
+pub fn deposit(rho: &mut Grid3, particles: &[Particle], charge: f64) {
+    for p in particles {
+        let (b, f) = cic_stencil(p.pos);
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let w = (if dx == 0 { 1.0 - f[0] } else { f[0] })
+                        * (if dy == 0 { 1.0 - f[1] } else { f[1] })
+                        * (if dz == 0 { 1.0 - f[2] } else { f[2] });
+                    rho.add(b[0] + dx, b[1] + dy, b[2] + dz, charge * w);
+                }
+            }
+        }
+    }
+}
+
+/// Trilinear interpolation of a vector field (three grids) at `pos`.
+pub fn interpolate(e: &[Grid3; 3], pos: [f64; 3]) -> [f64; 3] {
+    let (b, f) = cic_stencil(pos);
+    let mut out = [0.0; 3];
+    for dz in 0..2 {
+        for dy in 0..2 {
+            for dx in 0..2 {
+                let w = (if dx == 0 { 1.0 - f[0] } else { f[0] })
+                    * (if dy == 0 { 1.0 - f[1] } else { f[1] })
+                    * (if dz == 0 { 1.0 - f[2] } else { f[2] });
+                for (d, grid) in e.iter().enumerate() {
+                    out[d] += w * grid.at(b[0] + dx, b[1] + dy, b[2] + dz);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_conserves_total_charge() {
+        let particles = crate::particle::uniform_plasma(200, 8, 0.1, 7);
+        let mut rho = Grid3::zeros(8);
+        deposit(&mut rho, &particles, -1.0);
+        assert!((rho.total() + 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn particle_on_node_deposits_to_single_node() {
+        let mut rho = Grid3::zeros(4);
+        let p = Particle {
+            pos: [2.0, 1.0, 3.0],
+            vel: [0.0; 3],
+        };
+        deposit(&mut rho, &[p], 5.0);
+        assert!((rho.at(2, 1, 3) - 5.0).abs() < 1e-12);
+        assert!((rho.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_particle_splits_evenly() {
+        let mut rho = Grid3::zeros(4);
+        let p = Particle {
+            pos: [1.5, 0.0, 0.0],
+            vel: [0.0; 3],
+        };
+        deposit(&mut rho, &[p], 8.0);
+        assert!((rho.at(1, 0, 0) - 4.0).abs() < 1e-12);
+        assert!((rho.at(2, 0, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_wraps_at_the_boundary() {
+        let mut rho = Grid3::zeros(4);
+        let p = Particle {
+            pos: [3.5, 0.0, 0.0],
+            vel: [0.0; 3],
+        };
+        deposit(&mut rho, &[p], 2.0);
+        assert!((rho.at(3, 0, 0) - 1.0).abs() < 1e-12);
+        assert!((rho.at(0, 0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_of_constant_field_is_exact() {
+        let m = 4;
+        let mut e = [Grid3::zeros(m), Grid3::zeros(m), Grid3::zeros(m)];
+        for (d, g) in e.iter_mut().enumerate() {
+            for v in &mut g.data {
+                *v = (d + 1) as f64;
+            }
+        }
+        let got = interpolate(&e, [1.3, 2.7, 0.1]);
+        assert!((got[0] - 1.0).abs() < 1e-12);
+        assert!((got[1] - 2.0).abs() < 1e-12);
+        assert!((got[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_is_linear_along_an_axis() {
+        let m = 4;
+        let mut e = [Grid3::zeros(m), Grid3::zeros(m), Grid3::zeros(m)];
+        // E_x = x at nodes 0..3 (periodic, but we test inside 0..2).
+        for x in 0..m as isize {
+            for y in 0..m as isize {
+                for z in 0..m as isize {
+                    let i = e[0].idx(x, y, z);
+                    e[0].data[i] = x as f64;
+                }
+            }
+        }
+        let got = interpolate(&e, [1.25, 0.0, 0.0]);
+        assert!((got[0] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_interpolate_adjointness() {
+        // <deposit(p), F> == q * interpolate(F, p) — CIC gather and
+        // scatter use the same weights.
+        let m = 8;
+        let mut field = Grid3::zeros(m);
+        for (i, v) in field.data.iter_mut().enumerate() {
+            *v = ((i * 37) % 11) as f64 - 5.0;
+        }
+        let p = Particle {
+            pos: [3.3, 6.8, 0.4],
+            vel: [0.0; 3],
+        };
+        let mut rho = Grid3::zeros(m);
+        deposit(&mut rho, &[p], 2.5);
+        let lhs: f64 = rho.data.iter().zip(&field.data).map(|(a, b)| a * b).sum();
+        let e = [field.clone(), Grid3::zeros(m), Grid3::zeros(m)];
+        let rhs = 2.5 * interpolate(&e, p.pos)[0];
+        assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+}

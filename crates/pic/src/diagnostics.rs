@@ -1,0 +1,158 @@
+//! Plasma diagnostics: energy bookkeeping and velocity-distribution
+//! moments for validating PIC runs.
+
+use crate::grid::Grid3;
+use crate::particle::Particle;
+use crate::sim::PicState;
+
+/// Energy and temperature snapshot of a PIC state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diagnostics {
+    /// Kinetic energy `Σ m v²/2`.
+    pub kinetic: f64,
+    /// Electrostatic field energy `Σ E²/2` over the grid.
+    pub field: f64,
+    /// Mean velocity (drift) per component.
+    pub drift: [f64; 3],
+    /// Velocity variance (thermal spread) per component.
+    pub thermal: [f64; 3],
+}
+
+impl Diagnostics {
+    /// Total (kinetic + field) energy.
+    pub fn total(&self) -> f64 {
+        self.kinetic + self.field
+    }
+}
+
+/// Kinetic quantities from the particles.
+pub fn particle_moments(particles: &[Particle], mass: f64) -> ([f64; 3], [f64; 3], f64) {
+    let n = particles.len().max(1) as f64;
+    let mut drift = [0.0; 3];
+    for p in particles {
+        for d in 0..3 {
+            drift[d] += p.vel[d];
+        }
+    }
+    for d in drift.iter_mut() {
+        *d /= n;
+    }
+    let mut thermal = [0.0; 3];
+    let mut kinetic = 0.0;
+    for p in particles {
+        for d in 0..3 {
+            let dv = p.vel[d] - drift[d];
+            thermal[d] += dv * dv;
+            kinetic += 0.5 * mass * p.vel[d] * p.vel[d];
+        }
+    }
+    for t in thermal.iter_mut() {
+        *t /= n;
+    }
+    (drift, thermal, kinetic)
+}
+
+/// Field energy from the three `E` component grids.
+pub fn field_energy(e: &[Grid3; 3]) -> f64 {
+    e.iter()
+        .map(|g| g.data.iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        / 2.0
+}
+
+/// Full diagnostics of a state (solves the field once).
+pub fn diagnose(state: &PicState) -> Diagnostics {
+    let rho = crate::sim::charge_grid(state);
+    let phi = crate::poisson::solve_poisson(&rho);
+    let e = crate::poisson::efield(&phi);
+    let (drift, thermal, kinetic) = particle_moments(&state.particles, state.cfg.mass);
+    Diagnostics {
+        kinetic,
+        field: field_energy(&e),
+        drift,
+        thermal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::uniform_plasma;
+    use crate::sim::{step, PicConfig};
+
+    #[test]
+    fn moments_of_a_cold_beam() {
+        let particles: Vec<Particle> = (0..100)
+            .map(|i| Particle {
+                pos: [i as f64 % 8.0, 0.0, 0.0],
+                vel: [2.0, 0.0, 0.0],
+            })
+            .collect();
+        let (drift, thermal, kinetic) = particle_moments(&particles, 1.0);
+        assert!((drift[0] - 2.0).abs() < 1e-12);
+        assert_eq!(thermal[0], 0.0);
+        assert!((kinetic - 100.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_spread_is_variance() {
+        let particles = vec![
+            Particle {
+                pos: [0.0; 3],
+                vel: [1.0, 0.0, 0.0],
+            },
+            Particle {
+                pos: [1.0; 3],
+                vel: [-1.0, 0.0, 0.0],
+            },
+        ];
+        let (drift, thermal, _) = particle_moments(&particles, 1.0);
+        assert_eq!(drift[0], 0.0);
+        assert!((thermal[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_energy_is_roughly_conserved_over_a_run() {
+        let mut state = crate::sim::PicState {
+            cfg: PicConfig {
+                m: 8,
+                dt_max: 0.02,
+                ..Default::default()
+            },
+            particles: uniform_plasma(1000, 8, 0.3, 3),
+        };
+        let before = diagnose(&state);
+        for _ in 0..20 {
+            step(&mut state);
+        }
+        let after = diagnose(&state);
+        let drift = (after.total() - before.total()).abs() / before.total().max(1e-9);
+        assert!(
+            drift < 0.25,
+            "energy drifted {:.1}% over 20 steps",
+            100.0 * drift
+        );
+    }
+
+    #[test]
+    fn momentum_drift_stays_zero() {
+        let mut state = crate::sim::PicState {
+            cfg: PicConfig {
+                m: 8,
+                ..Default::default()
+            },
+            particles: uniform_plasma(2000, 8, 0.2, 5),
+        };
+        let before = diagnose(&state);
+        for _ in 0..5 {
+            step(&mut state);
+        }
+        let after = diagnose(&state);
+        for d in 0..3 {
+            assert!(
+                (after.drift[d] - before.drift[d]).abs() < 0.02,
+                "drift component {d} moved"
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Radix-2 complex FFT, written from scratch (the paper used a vendor
+//! 1-D FFT routine; this is our substrate equivalent).
+
+use std::f64::consts::PI;
+
+/// A complex number as `(re, im)`.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// In-place iterative Cooley-Tukey FFT. `inverse` selects the inverse
+/// transform (which also divides by `n`).
+///
+/// # Panics
+///
+/// Panics unless `x.len()` is a power of two.
+pub fn fft(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = c_mul(x[start + k + len / 2], w);
+                x[start + k] = c_add(u, v);
+                x[start + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            v.0 *= inv_n;
+            v.1 *= inv_n;
+        }
+    }
+}
+
+/// 3-D FFT over a cubic grid of side `m`, stored x-fastest
+/// (`idx = x + m*(y + m*z)`). Transforms along each dimension in turn —
+/// the factorization into 1-D transforms the paper describes for its
+/// slab-decomposed parallel FFT.
+pub fn fft3(data: &mut [Complex], m: usize, inverse: bool) {
+    assert_eq!(data.len(), m * m * m, "grid size mismatch");
+    let mut line = vec![(0.0, 0.0); m];
+    // X lines.
+    for z in 0..m {
+        for y in 0..m {
+            let base = m * (y + m * z);
+            line.copy_from_slice(&data[base..base + m]);
+            fft(&mut line, inverse);
+            data[base..base + m].copy_from_slice(&line);
+        }
+    }
+    // Y lines.
+    for z in 0..m {
+        for x in 0..m {
+            for y in 0..m {
+                line[y] = data[x + m * (y + m * z)];
+            }
+            fft(&mut line, inverse);
+            for y in 0..m {
+                data[x + m * (y + m * z)] = line[y];
+            }
+        }
+    }
+    // Z lines.
+    for y in 0..m {
+        for x in 0..m {
+            for z in 0..m {
+                line[z] = data[x + m * (y + m * z)];
+            }
+            fft(&mut line, inverse);
+            for z in 0..m {
+                data[x + m * (y + m * z)] = line[z];
+            }
+        }
+    }
+}
+
+/// Naive `O(n²)` DFT used as a test oracle.
+pub fn dft_reference(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![(0.0, 0.0); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &v) in x.iter().enumerate() {
+            let ang = sign * 2.0 * PI * (k * j) as f64 / n as f64;
+            *o = c_add(*o, c_mul(v, (ang.cos(), ang.sin())));
+        }
+    }
+    if inverse {
+        for o in &mut out {
+            o.0 /= n as f64;
+            o.1 /= n as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                (
+                    (i as f64 * 0.7).sin() + 0.3 * (i as f64 * 2.1).cos(),
+                    (i as f64 * 1.3).cos() * 0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = signal(n);
+            let mut got = x.clone();
+            fft(&mut got, false);
+            let want = dft_reference(&x, false);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.0 - w.0).abs() < 1e-9, "n={n}");
+                assert!((g.1 - w.1).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x = signal(64);
+        let mut y = x.clone();
+        fft(&mut y, false);
+        fft(&mut y, true);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a.0 - b.0).abs() < 1e-12);
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy() {
+        let x = signal(128);
+        let e_time: f64 = x.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let mut y = x.clone();
+        fft(&mut y, false);
+        let e_freq: f64 = y.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 128.0;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![(0.0, 0.0); 16];
+        x[0] = (1.0, 0.0);
+        fft(&mut x, false);
+        for c in &x {
+            assert!((c.0 - 1.0).abs() < 1e-12 && c.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        fft(&mut [(0.0, 0.0); 3], false);
+    }
+
+    #[test]
+    fn fft3_round_trip() {
+        let m = 8;
+        let x: Vec<Complex> = (0..m * m * m)
+            .map(|i| ((i as f64 * 0.17).sin(), 0.0))
+            .collect();
+        let mut y = x.clone();
+        fft3(&mut y, m, false);
+        fft3(&mut y, m, true);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a.0 - b.0).abs() < 1e-11);
+            assert!(b.1.abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn fft3_of_plane_wave_is_single_spike() {
+        let m = 8;
+        let k = 3usize;
+        let mut x: Vec<Complex> = Vec::with_capacity(m * m * m);
+        for z in 0..m {
+            let _ = z;
+        }
+        for zz in 0..m {
+            for yy in 0..m {
+                for xx in 0..m {
+                    let _ = (yy, zz);
+                    let ang = 2.0 * PI * (k * xx) as f64 / m as f64;
+                    x.push((ang.cos(), ang.sin()));
+                }
+            }
+        }
+        fft3(&mut x, m, false);
+        // Spike at (k, 0, 0) with magnitude m^3.
+        let spike = x[k];
+        assert!((spike.0 - (m * m * m) as f64).abs() < 1e-9);
+        let total_off: f64 = x
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != k)
+            .map(|(_, c)| c.0.abs() + c.1.abs())
+            .sum();
+        assert!(total_off < 1e-6, "off-spike energy {total_off}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The periodic cubic field grid.
+
+/// A scalar field on an `m x m x m` periodic grid, x-fastest layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    /// Grid side (cells per dimension).
+    pub m: usize,
+    /// Field values, `idx = x + m*(y + m*z)`.
+    pub data: Vec<f64>,
+}
+
+impl Grid3 {
+    /// Zero-filled grid.
+    pub fn zeros(m: usize) -> Self {
+        Grid3 {
+            m,
+            data: vec![0.0; m * m * m],
+        }
+    }
+
+    /// Flat index with periodic wrap.
+    #[inline]
+    pub fn idx(&self, x: isize, y: isize, z: isize) -> usize {
+        let m = self.m as isize;
+        let xr = x.rem_euclid(m) as usize;
+        let yr = y.rem_euclid(m) as usize;
+        let zr = z.rem_euclid(m) as usize;
+        xr + self.m * (yr + self.m * zr)
+    }
+
+    /// Value at (wrapped) coordinates.
+    #[inline]
+    pub fn at(&self, x: isize, y: isize, z: isize) -> f64 {
+        self.data[self.idx(x, y, z)]
+    }
+
+    /// Add `v` at (wrapped) coordinates.
+    #[inline]
+    pub fn add(&mut self, x: isize, y: isize, z: isize, v: f64) {
+        let i = self.idx(x, y, z);
+        self.data[i] += v;
+    }
+
+    /// Sum of all values (total deposited charge).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_x_fastest() {
+        let g = Grid3::zeros(4);
+        assert_eq!(g.idx(1, 0, 0), 1);
+        assert_eq!(g.idx(0, 1, 0), 4);
+        assert_eq!(g.idx(0, 0, 1), 16);
+    }
+
+    #[test]
+    fn wraps_periodically() {
+        let g = Grid3::zeros(4);
+        assert_eq!(g.idx(-1, 0, 0), 3);
+        assert_eq!(g.idx(4, 5, -2), g.idx(0, 1, 2));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut g = Grid3::zeros(2);
+        g.add(0, 0, 0, 1.5);
+        g.add(2, 0, 0, 2.5); // wraps to (0,0,0)
+        assert_eq!(g.at(0, 0, 0), 4.0);
+        assert_eq!(g.total(), 4.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Particles (finite-size charge clouds) and initial conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One charge cloud. All particles share the same charge and mass
+/// (electrons against a neutralizing background).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Position inside the periodic domain `[0, m)³` (grid units).
+    pub pos: [f64; 3],
+    /// Velocity, grid cells per unit time.
+    pub vel: [f64; 3],
+}
+
+/// Wrap a coordinate into `[0, m)`.
+#[inline]
+pub fn wrap(x: f64, m: f64) -> f64 {
+    let r = x % m;
+    if r < 0.0 {
+        r + m
+    } else {
+        r
+    }
+}
+
+/// A uniform plasma: positions uniform over the box, velocities
+/// quasi-Maxwellian (sum of three uniforms) with thermal spread
+/// `v_thermal`. Deterministic per seed.
+pub fn uniform_plasma(n: usize, m: usize, v_thermal: f64, seed: u64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mf = m as f64;
+    (0..n)
+        .map(|_| {
+            let mut p = Particle {
+                pos: [0.0; 3],
+                vel: [0.0; 3],
+            };
+            for d in 0..3 {
+                p.pos[d] = rng.gen_range(0.0..mf);
+                p.vel[d] = v_thermal * (0..3).map(|_| rng.gen_range(-1.0_f64..1.0)).sum::<f64>();
+            }
+            p
+        })
+        .collect()
+}
+
+/// A two-stream setup: half the particles drift `+x`, half `−x` — the
+/// classic instability test problem for electrostatic PIC codes.
+pub fn two_stream(n: usize, m: usize, drift: f64, seed: u64) -> Vec<Particle> {
+    let mut ps = uniform_plasma(n, m, drift * 0.05, seed);
+    for (i, p) in ps.iter_mut().enumerate() {
+        p.vel[0] += if i % 2 == 0 { drift } else { -drift };
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_stays_in_range() {
+        assert_eq!(wrap(5.0, 4.0), 1.0);
+        assert_eq!(wrap(-1.0, 4.0), 3.0);
+        assert_eq!(wrap(3.5, 4.0), 3.5);
+        assert_eq!(wrap(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn plasma_is_deterministic_and_in_box() {
+        let a = uniform_plasma(100, 8, 0.1, 3);
+        let b = uniform_plasma(100, 8, 0.1, 3);
+        assert_eq!(a, b);
+        for p in &a {
+            for d in 0..3 {
+                assert!((0.0..8.0).contains(&p.pos[d]));
+            }
+        }
+    }
+
+    #[test]
+    fn two_stream_has_two_drift_populations() {
+        let ps = two_stream(100, 8, 1.0, 1);
+        let right = ps.iter().filter(|p| p.vel[0] > 0.5).count();
+        let left = ps.iter().filter(|p| p.vel[0] < -0.5).count();
+        assert_eq!(right, 50);
+        assert_eq!(left, 50);
+    }
+}

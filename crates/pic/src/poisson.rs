@@ -1,0 +1,181 @@
+//! The FFT Poisson solver and field evaluation (the report's step 2).
+//!
+//! Solves `∇²φ = −ρ` on the periodic grid using the eigenvalues of the
+//! discrete 7-point Laplacian (`4 sin²(π k / m)` per dimension, Δx = 1),
+//! so that the finite-difference residual is exact to round-off. The
+//! mean (k = 0) charge mode is removed — the neutralizing background of
+//! an electrostatic plasma. The electric field is the report's central
+//! difference `E_g = −(φ_{g+1} − φ_{g−1}) / 2Δx`.
+
+use crate::fft::{fft3, Complex};
+use crate::grid::Grid3;
+
+/// Solve `∇²φ = −ρ`, returning `φ`.
+pub fn solve_poisson(rho: &Grid3) -> Grid3 {
+    let m = rho.m;
+    let mut hat: Vec<Complex> = rho.data.iter().map(|&v| (v, 0.0)).collect();
+    fft3(&mut hat, m, false);
+    for kz in 0..m {
+        for ky in 0..m {
+            for kx in 0..m {
+                let i = kx + m * (ky + m * kz);
+                if kx == 0 && ky == 0 && kz == 0 {
+                    hat[i] = (0.0, 0.0); // neutralizing background
+                    continue;
+                }
+                let s = |k: usize| {
+                    let a = (std::f64::consts::PI * k as f64 / m as f64).sin();
+                    4.0 * a * a
+                };
+                let k2 = s(kx) + s(ky) + s(kz);
+                hat[i].0 /= k2;
+                hat[i].1 /= k2;
+            }
+        }
+    }
+    fft3(&mut hat, m, true);
+    Grid3 {
+        m,
+        data: hat.into_iter().map(|c| c.0).collect(),
+    }
+}
+
+/// Central-difference gradient: `E = −∇φ`.
+pub fn efield(phi: &Grid3) -> [Grid3; 3] {
+    let m = phi.m as isize;
+    let mut e = [
+        Grid3::zeros(phi.m),
+        Grid3::zeros(phi.m),
+        Grid3::zeros(phi.m),
+    ];
+    for z in 0..m {
+        for y in 0..m {
+            for x in 0..m {
+                let i = phi.idx(x, y, z);
+                e[0].data[i] = -(phi.at(x + 1, y, z) - phi.at(x - 1, y, z)) / 2.0;
+                e[1].data[i] = -(phi.at(x, y + 1, z) - phi.at(x, y - 1, z)) / 2.0;
+                e[2].data[i] = -(phi.at(x, y, z + 1) - phi.at(x, y, z - 1)) / 2.0;
+            }
+        }
+    }
+    e
+}
+
+/// Apply the discrete 7-point Laplacian (test utility).
+pub fn discrete_laplacian(phi: &Grid3) -> Grid3 {
+    let m = phi.m as isize;
+    let mut out = Grid3::zeros(phi.m);
+    for z in 0..m {
+        for y in 0..m {
+            for x in 0..m {
+                let i = phi.idx(x, y, z);
+                out.data[i] = phi.at(x + 1, y, z)
+                    + phi.at(x - 1, y, z)
+                    + phi.at(x, y + 1, z)
+                    + phi.at(x, y - 1, z)
+                    + phi.at(x, y, z + 1)
+                    + phi.at(x, y, z - 1)
+                    - 6.0 * phi.at(x, y, z);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(g: &Grid3) -> f64 {
+        g.total() / g.data.len() as f64
+    }
+
+    #[test]
+    fn poisson_inverts_the_discrete_laplacian() {
+        let m = 8;
+        let mut rho = Grid3::zeros(m);
+        for (i, v) in rho.data.iter_mut().enumerate() {
+            *v = ((i * 31) % 13) as f64 - 6.0;
+        }
+        let phi = solve_poisson(&rho);
+        let lap = discrete_laplacian(&phi);
+        // ∇²φ = −(ρ − mean(ρ)).
+        let rho_mean = mean(&rho);
+        for (l, r) in lap.data.iter().zip(&rho.data) {
+            assert!(
+                (l + (r - rho_mean)).abs() < 1e-9,
+                "laplacian residual {l} vs {}",
+                -(r - rho_mean)
+            );
+        }
+    }
+
+    #[test]
+    fn potential_has_zero_mean() {
+        let m = 8;
+        let mut rho = Grid3::zeros(m);
+        rho.data[5] = 1.0;
+        let phi = solve_poisson(&rho);
+        assert!(mean(&phi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_charge_potential_decays_with_distance() {
+        let m = 16;
+        let mut rho = Grid3::zeros(m);
+        let c = m as isize / 2;
+        let i = rho.idx(c, c, c);
+        rho.data[i] = 1.0;
+        let phi = solve_poisson(&rho);
+        let p0 = phi.at(c, c, c);
+        let p2 = phi.at(c + 2, c, c);
+        let p5 = phi.at(c + 5, c, c);
+        assert!(p0 > p2 && p2 > p5, "{p0} {p2} {p5}");
+    }
+
+    #[test]
+    fn efield_points_away_from_positive_charge() {
+        let m = 16;
+        let mut rho = Grid3::zeros(m);
+        let c = m as isize / 2;
+        let i = rho.idx(c, c, c);
+        rho.data[i] = 1.0;
+        let phi = solve_poisson(&rho);
+        let e = efield(&phi);
+        // Just east of the charge, E_x should be positive (pointing away).
+        assert!(e[0].at(c + 1, c, c) > 0.0);
+        assert!(e[0].at(c - 1, c, c) < 0.0);
+    }
+
+    #[test]
+    fn efield_of_constant_potential_is_zero() {
+        let mut phi = Grid3::zeros(4);
+        for v in &mut phi.data {
+            *v = 3.7;
+        }
+        let e = efield(&phi);
+        for g in &e {
+            assert!(g.data.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn single_mode_solution_matches_eigenvalue() {
+        let m = 8;
+        let mut rho = Grid3::zeros(m);
+        for x in 0..m as isize {
+            for y in 0..m as isize {
+                for z in 0..m as isize {
+                    let i = rho.idx(x, y, z);
+                    rho.data[i] =
+                        (2.0 * std::f64::consts::PI * x as f64 / m as f64).cos();
+                }
+            }
+        }
+        let phi = solve_poisson(&rho);
+        let lam = 4.0 * (std::f64::consts::PI / m as f64).sin().powi(2);
+        for (p, r) in phi.data.iter().zip(&rho.data) {
+            assert!((p - r / lam).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Sequential PIC time stepping.
+
+use crate::deposit::{deposit, interpolate};
+use crate::grid::Grid3;
+use crate::particle::{wrap, Particle};
+use crate::poisson::{efield, solve_poisson};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PicConfig {
+    /// Grid side `m` (the report uses 32 and 64).
+    pub m: usize,
+    /// Particle charge (electrons: negative; a neutralizing background
+    /// is implied by the zeroed k=0 mode of the field solve).
+    pub charge: f64,
+    /// Particle mass.
+    pub mass: f64,
+    /// Upper bound on the time step.
+    pub dt_max: f64,
+    /// Safety factor of the adaptive step: particles may move at most
+    /// `courant` cells per step (the report's "adaptive time-step
+    /// adjustment scheme ... to prevent the particles from moving any
+    /// further than neighboring grid cells").
+    pub courant: f64,
+}
+
+impl Default for PicConfig {
+    fn default() -> Self {
+        PicConfig {
+            m: 16,
+            charge: -1.0,
+            mass: 1.0,
+            dt_max: 0.2,
+            courant: 0.8,
+        }
+    }
+}
+
+/// Mutable simulation state.
+#[derive(Debug, Clone)]
+pub struct PicState {
+    /// Configuration.
+    pub cfg: PicConfig,
+    /// The particles.
+    pub particles: Vec<Particle>,
+}
+
+/// Diagnostics of one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDiag {
+    /// Time step actually taken.
+    pub dt: f64,
+    /// Maximum particle speed before the push.
+    pub v_max: f64,
+    /// Field energy `Σ E²/2`.
+    pub field_energy: f64,
+}
+
+/// The adaptive time step for a given maximum speed.
+pub fn adaptive_dt(cfg: &PicConfig, v_max: f64) -> f64 {
+    if v_max > 0.0 {
+        cfg.dt_max.min(cfg.courant / v_max)
+    } else {
+        cfg.dt_max
+    }
+}
+
+/// Deposit the state's particles onto a fresh charge grid.
+pub fn charge_grid(state: &PicState) -> Grid3 {
+    let mut rho = Grid3::zeros(state.cfg.m);
+    deposit(&mut rho, &state.particles, state.cfg.charge);
+    rho
+}
+
+/// Advance one step (all four phases). Returns diagnostics.
+pub fn step(state: &mut PicState) -> StepDiag {
+    let rho = charge_grid(state);
+    let phi = solve_poisson(&rho);
+    let e = efield(&phi);
+    push(state, &e)
+}
+
+/// Phase 3+4 given a solved field: interpolate, adapt dt, push.
+pub fn push(state: &mut PicState, e: &[Grid3; 3]) -> StepDiag {
+    let cfg = state.cfg;
+    let mf = cfg.m as f64;
+    let v_max = state
+        .particles
+        .iter()
+        .map(|p| p.vel[0].abs().max(p.vel[1].abs()).max(p.vel[2].abs()))
+        .fold(0.0, f64::max);
+    let dt = adaptive_dt(&cfg, v_max);
+    let qm = cfg.charge / cfg.mass;
+    for p in &mut state.particles {
+        let f = interpolate(e, p.pos);
+        for d in 0..3 {
+            p.vel[d] += qm * f[d] * dt;
+            p.pos[d] = wrap(p.pos[d] + p.vel[d] * dt, mf);
+        }
+    }
+    let field_energy = e
+        .iter()
+        .map(|g| g.data.iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        / 2.0;
+    StepDiag {
+        dt,
+        v_max,
+        field_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::uniform_plasma;
+
+    fn state(n: usize, m: usize, seed: u64) -> PicState {
+        PicState {
+            cfg: PicConfig {
+                m,
+                ..Default::default()
+            },
+            particles: uniform_plasma(n, m, 0.2, seed),
+        }
+    }
+
+    #[test]
+    fn particles_stay_in_the_box() {
+        let mut s = state(300, 8, 1);
+        for _ in 0..10 {
+            step(&mut s);
+        }
+        for p in &s.particles {
+            for d in 0..3 {
+                assert!((0.0..8.0).contains(&p.pos[d]), "{:?}", p.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_dt_caps_displacement() {
+        let cfg = PicConfig::default();
+        assert_eq!(adaptive_dt(&cfg, 0.0), cfg.dt_max);
+        let dt = adaptive_dt(&cfg, 10.0);
+        assert!((dt - 0.08).abs() < 1e-12);
+        // Max displacement per step = v_max * dt <= courant cells.
+        assert!(10.0 * dt <= cfg.courant + 1e-12);
+    }
+
+    #[test]
+    fn momentum_is_conserved_for_a_neutral_plasma() {
+        // Internal electrostatic forces cannot change total momentum.
+        let mut s = state(500, 8, 9);
+        let mom = |s: &PicState| {
+            s.particles.iter().fold([0.0f64; 3], |mut m, p| {
+                for d in 0..3 {
+                    m[d] += p.vel[d];
+                }
+                m
+            })
+        };
+        let before = mom(&s);
+        for _ in 0..5 {
+            step(&mut s);
+        }
+        let after = mom(&s);
+        let scale: f64 = s
+            .particles
+            .iter()
+            .map(|p| p.vel[0].abs() + p.vel[1].abs() + p.vel[2].abs())
+            .sum::<f64>()
+            .max(1.0);
+        for d in 0..3 {
+            assert!(
+                (after[d] - before[d]).abs() < 0.02 * scale,
+                "momentum drift in dim {d}: {} -> {}",
+                before[d],
+                after[d]
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_cold_plasma_oscillates() {
+        // A cold plasma with a sinusoidal density perturbation converts
+        // field energy into kinetic energy (a Langmuir oscillation): the
+        // particles, initially at rest, must pick up speed.
+        let m = 8usize;
+        let mut particles = Vec::new();
+        for z in 0..m {
+            for y in 0..m {
+                for x in 0..m {
+                    let xf = x as f64
+                        + 0.3 * (2.0 * std::f64::consts::PI * x as f64 / m as f64).sin();
+                    particles.push(Particle {
+                        pos: [crate::particle::wrap(xf, m as f64), y as f64, z as f64],
+                        vel: [0.0; 3],
+                    });
+                }
+            }
+        }
+        let mut s = PicState {
+            cfg: PicConfig {
+                m,
+                dt_max: 0.05,
+                ..Default::default()
+            },
+            particles,
+        };
+        let e0 = step(&mut s).field_energy;
+        assert!(e0 > 1e-6, "perturbation should create a field: {e0}");
+        for _ in 0..5 {
+            step(&mut s);
+        }
+        let kinetic: f64 = s
+            .particles
+            .iter()
+            .map(|p| p.vel.iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            / 2.0;
+        assert!(kinetic > 1e-8, "particles never accelerated: {kinetic}");
+    }
+
+    #[test]
+    fn cold_uniform_plasma_stays_quiet() {
+        // Perfectly cold, uniform plasma: forces stay at the noise level
+        // and velocities stay tiny.
+        let mut s = state(2000, 8, 2);
+        for p in &mut s.particles {
+            p.vel = [0.0; 3];
+        }
+        for _ in 0..5 {
+            step(&mut s);
+        }
+        let v_max = s
+            .particles
+            .iter()
+            .map(|p| p.vel[0].abs().max(p.vel[1].abs()).max(p.vel[2].abs()))
+            .fold(0.0, f64::max);
+        assert!(v_max < 0.5, "cold plasma accelerated to {v_max}");
+    }
+}

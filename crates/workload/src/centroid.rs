@@ -1,0 +1,128 @@
+//! Workload centroids and the vector-space similarity metric.
+
+use crate::oracle::{Pi, Schedule};
+
+/// The centroid of a parallel workload: for each operation class, its
+/// average multiplicity per parallel instruction (cycle). "The point
+/// mass for the parallel workload body."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid(pub [f64; 5]);
+
+impl Centroid {
+    /// Centroid of a parallel-instruction sequence. An empty workload
+    /// has a zero centroid.
+    pub fn from_pis(pis: &[Pi]) -> Centroid {
+        let mut sums = [0.0f64; 5];
+        for pi in pis {
+            for (s, &v) in sums.iter_mut().zip(pi) {
+                *s += v as f64;
+            }
+        }
+        let n = pis.len().max(1) as f64;
+        for s in &mut sums {
+            *s /= n;
+        }
+        Centroid(sums)
+    }
+
+    /// Centroid of a schedule.
+    pub fn from_schedule(s: &Schedule) -> Centroid {
+        Centroid::from_pis(&s.pis)
+    }
+
+    /// Euclidean norm (distance from the null vector).
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Euclidean distance to another centroid.
+    pub fn distance(&self, other: &Centroid) -> f64 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Total average parallelism (sum over classes).
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+/// The report's normalized similarity (expression 9): the distance
+/// between the centroids divided by the distance from the elementwise
+/// maximum centroid to the origin. 0 = identical exercising of the
+/// machine, 1 = orthogonal workloads.
+pub fn similarity(a: &Centroid, b: &Centroid) -> f64 {
+    let cmax = Centroid(std::array::from_fn(|i| a.0[i].max(b.0[i])));
+    let denom = cmax.norm();
+    if denom == 0.0 {
+        return 0.0; // both empty: identical
+    }
+    a.distance(b) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_averages_per_cycle() {
+        let pis = vec![[2, 0, 0, 0, 4], [0, 2, 0, 0, 0]];
+        let c = Centroid::from_pis(&pis);
+        assert_eq!(c.0, [1.0, 1.0, 0.0, 0.0, 2.0]);
+        assert_eq!(c.total(), 4.0);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let c = Centroid::from_pis(&[]);
+        assert_eq!(c.norm(), 0.0);
+    }
+
+    #[test]
+    fn similarity_of_identical_workloads_is_zero() {
+        let c = Centroid([3.0, 1.0, 0.5, 0.0, 2.0]);
+        assert_eq!(similarity(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn similarity_of_orthogonal_workloads_is_one() {
+        // Pure-integer vs pure-float workloads use disjoint resources.
+        let a = Centroid([0.0, 5.0, 0.0, 0.0, 0.0]);
+        let b = Centroid([0.0, 0.0, 0.0, 0.0, 3.0]);
+        let s = similarity(&a, &b);
+        assert!((s - 1.0).abs() < 1e-12, "similarity {s}");
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = Centroid([3.0, 1.0, 0.2, 0.0, 2.0]);
+        let b = Centroid([1.0, 4.0, 0.1, 0.5, 0.0]);
+        let s1 = similarity(&a, &b);
+        let s2 = similarity(&b, &a);
+        assert_eq!(s1, s2);
+        assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn similarity_scales_with_difference() {
+        let a = Centroid([4.0, 2.0, 0.0, 0.0, 1.0]);
+        let near = Centroid([4.2, 1.9, 0.0, 0.0, 1.1]);
+        let far = Centroid([0.5, 9.0, 0.0, 0.0, 0.0]);
+        assert!(similarity(&a, &near) < similarity(&a, &far));
+    }
+
+    #[test]
+    fn worked_example_from_the_report() {
+        // Appendix C §4.3: centroids (3.12, 2.71, 0.412) and
+        // (0.883, 0.589, 0.824) with Cmax = (3.12, 2.71, 0.824):
+        // sim = 3.110 / 4.214 = 0.738.
+        let a = Centroid([3.12, 2.71, 0.412, 0.0, 0.0]);
+        let b = Centroid([0.883, 0.589, 0.824, 0.0, 0.0]);
+        let s = similarity(&a, &b);
+        assert!((s - 0.738).abs() < 0.002, "similarity {s}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Executed parallel instructions (EPI) under machine constraints —
+//! Bradley & Larson's setting, where the parallelism profile is produced
+//! by a *specific machine* (their Cray Y-MP simulator had three
+//! floating-point and three memory units).
+//!
+//! The report's key criticism of the parallelism-matrix technique is
+//! that it is architecture-dependent: the same workload produces a
+//! different matrix on every machine. This module makes that claim
+//! checkable — a list scheduler with per-class functional-unit limits
+//! produces the *executed* parallel instructions, and tests show the
+//! resulting matrices move with the machine while the oracle centroid
+//! stays put.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::isa::Trace;
+use crate::oracle::Pi;
+
+/// Functional-unit counts per operation class (Mem, Int, Branch,
+/// Control, Fp — the order of [`crate::isa::OpClass::ALL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Units per class; an instruction class with 0 units is rejected.
+    pub units: [usize; 5],
+}
+
+impl MachineModel {
+    /// Bradley & Larson's Cray Y-MP-like model: three memory ports and
+    /// three floating-point units, generous scalar resources.
+    pub fn cray_ymp_like() -> Self {
+        MachineModel {
+            units: [3, 4, 1, 1, 3],
+        }
+    }
+
+    /// A narrow early-RISC-like model.
+    pub fn narrow_risc() -> Self {
+        MachineModel {
+            units: [1, 1, 1, 1, 1],
+        }
+    }
+
+    /// An effectively unconstrained machine (large unit counts).
+    pub fn wide() -> Self {
+        MachineModel {
+            units: [usize::MAX; 5],
+        }
+    }
+}
+
+/// The executed schedule on a constrained machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutedSchedule {
+    /// Executed parallel instructions, one per machine cycle.
+    pub pis: Vec<Pi>,
+}
+
+impl ExecutedSchedule {
+    /// Machine cycles.
+    pub fn cycles(&self) -> usize {
+        self.pis.len()
+    }
+}
+
+/// List-schedule `trace` onto `machine`: every cycle issues ready
+/// instructions oldest-first, bounded by the per-class unit counts.
+///
+/// # Panics
+///
+/// Panics if the trace uses an operation class with zero units.
+pub fn schedule_executed(trace: &Trace, machine: &MachineModel) -> ExecutedSchedule {
+    let n = trace.instrs.len();
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut remaining: Vec<u32> = trace.instrs.iter().map(|i| i.deps.len() as u32).collect();
+    for (i, ins) in trace.instrs.iter().enumerate() {
+        assert!(
+            machine.units[ins.class.index()] > 0,
+            "machine has no {} units",
+            ins.class.name()
+        );
+        for &d in &ins.deps {
+            consumers[d as usize].push(i as u32);
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    for (i, &r) in remaining.iter().enumerate() {
+        if r == 0 {
+            heap.push(Reverse((0, i as u32)));
+        }
+    }
+    let mut ready_at = vec![0u64; n];
+    let mut pis: Vec<Pi> = Vec::new();
+    let mut cycle = 0u64;
+    let mut done = 0usize;
+    while done < n {
+        let mut pi: Pi = [0; 5];
+        let mut used = [0usize; 5];
+        let mut deferred: Vec<Reverse<(u64, u32)>> = Vec::new();
+        let mut issued_any = true;
+        while issued_any {
+            issued_any = false;
+            match heap.pop() {
+                Some(Reverse((ready, i))) if ready <= cycle => {
+                    let cls = trace.instrs[i as usize].class.index();
+                    if used[cls] < machine.units[cls] {
+                        used[cls] += 1;
+                        pi[cls] += 1;
+                        done += 1;
+                        for &c in &consumers[i as usize] {
+                            let c = c as usize;
+                            remaining[c] -= 1;
+                            ready_at[c] = ready_at[c].max(cycle + 1);
+                            if remaining[c] == 0 {
+                                heap.push(Reverse((ready_at[c], c as u32)));
+                            }
+                        }
+                    } else {
+                        // Structural hazard: retry next cycle.
+                        deferred.push(Reverse((cycle + 1, i)));
+                    }
+                    issued_any = true;
+                }
+                Some(item) => deferred.push(item),
+                None => {}
+            }
+            // Stop scanning once every unit class is saturated.
+            if (0..5).all(|k| used[k] >= machine.units[k].min(n)) {
+                break;
+            }
+        }
+        heap.extend(deferred);
+        pis.push(pi);
+        cycle += 1;
+    }
+    ExecutedSchedule { pis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centroid::Centroid;
+    use crate::isa::{OpClass, TraceBuilder};
+    use crate::matrix::ParallelismMatrix;
+    use crate::oracle::schedule;
+
+    fn mixed_trace() -> Trace {
+        // 24 independent chains: ~8 ready ops per class per cycle, wide
+        // enough that the Y-MP-like unit limits actually bind.
+        let mut b = TraceBuilder::new();
+        for i in 0..240u32 {
+            let deps: Vec<u32> = if i >= 24 { vec![i - 24] } else { vec![] };
+            let class = match i % 3 {
+                0 => OpClass::Fp,
+                1 => OpClass::Mem,
+                _ => OpClass::Int,
+            };
+            b.emit(class, &deps);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn wide_machine_matches_the_oracle() {
+        let t = mixed_trace();
+        let oracle = schedule(&t);
+        let exec = schedule_executed(&t, &MachineModel::wide());
+        assert_eq!(exec.cycles(), oracle.cpl());
+        assert_eq!(exec.pis, oracle.pis);
+    }
+
+    #[test]
+    fn constraints_stretch_the_schedule() {
+        let t = mixed_trace();
+        let wide = schedule_executed(&t, &MachineModel::wide());
+        let ymp = schedule_executed(&t, &MachineModel::cray_ymp_like());
+        let narrow = schedule_executed(&t, &MachineModel::narrow_risc());
+        assert!(ymp.cycles() >= wide.cycles());
+        assert!(narrow.cycles() >= ymp.cycles());
+        // All instructions execute regardless.
+        let count = |s: &ExecutedSchedule| {
+            s.pis
+                .iter()
+                .flat_map(|pi| pi.iter())
+                .map(|&v| v as usize)
+                .sum::<usize>()
+        };
+        assert_eq!(count(&wide), 240);
+        assert_eq!(count(&narrow), 240);
+    }
+
+    #[test]
+    fn unit_limits_are_respected_every_cycle() {
+        let t = mixed_trace();
+        let m = MachineModel::cray_ymp_like();
+        let exec = schedule_executed(&t, &m);
+        for pi in &exec.pis {
+            for (k, &count) in pi.iter().enumerate() {
+                assert!(count as usize <= m.units[k], "cycle exceeds units: {pi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_matrix_is_architecture_dependent_centroid_is_not() {
+        // The report's §2 criticism, demonstrated: executed-parallelism
+        // matrices differ across machines for the same workload, while
+        // the oracle centroid (the report's proposal) is one fixed point.
+        let t = mixed_trace();
+        let a = ParallelismMatrix::from_pis(&schedule_executed(&t, &MachineModel::wide()).pis);
+        let b = ParallelismMatrix::from_pis(
+            &schedule_executed(&t, &MachineModel::cray_ymp_like()).pis,
+        );
+        let c =
+            ParallelismMatrix::from_pis(&schedule_executed(&t, &MachineModel::narrow_risc()).pis);
+        assert!(a.frobenius_similarity(&b) > 0.0, "machines must differ");
+        assert!(b.frobenius_similarity(&c) > 0.0);
+        // The oracle centroid is computed once, machine-free.
+        let c1 = Centroid::from_schedule(&schedule(&t));
+        let c2 = Centroid::from_schedule(&schedule(&t));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no FPops units")]
+    fn rejects_classes_without_units() {
+        let mut b = TraceBuilder::new();
+        b.emit(OpClass::Fp, &[]);
+        let t = b.build();
+        schedule_executed(
+            &t,
+            &MachineModel {
+                units: [1, 1, 1, 1, 0],
+            },
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text trace serialization — the equivalent of the `spy` trace
+//! files the report's toolchain consumed, so traces can be captured
+//! once and re-analyzed.
+//!
+//! Format: one instruction per line, `<class> [dep[,dep...]]`, where
+//! class is one of `mem int branch control fp`. Lines starting with `#`
+//! are comments.
+
+use std::io::{self, BufRead, Write};
+
+use crate::isa::{Instr, OpClass, Trace};
+
+fn class_tag(c: OpClass) -> &'static str {
+    match c {
+        OpClass::Mem => "mem",
+        OpClass::Int => "int",
+        OpClass::Branch => "branch",
+        OpClass::Control => "control",
+        OpClass::Fp => "fp",
+    }
+}
+
+fn parse_class(s: &str) -> Option<OpClass> {
+    Some(match s {
+        "mem" => OpClass::Mem,
+        "int" => OpClass::Int,
+        "branch" => OpClass::Branch,
+        "control" => OpClass::Control,
+        "fp" => OpClass::Fp,
+        _ => return None,
+    })
+}
+
+/// Serialize a trace.
+pub fn write_trace(trace: &Trace, mut w: impl Write) -> io::Result<()> {
+    writeln!(w, "# workload trace, {} instructions", trace.len())?;
+    for ins in &trace.instrs {
+        if ins.deps.is_empty() {
+            writeln!(w, "{}", class_tag(ins.class))?;
+        } else {
+            let deps: Vec<String> = ins.deps.iter().map(|d| d.to_string()).collect();
+            writeln!(w, "{} {}", class_tag(ins.class), deps.join(","))?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse a trace; validates the SSA discipline (dependencies must point
+/// at earlier instructions).
+pub fn read_trace(r: impl BufRead) -> io::Result<Trace> {
+    let mut instrs = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut parts = line.split_whitespace();
+        let class = parts
+            .next()
+            .and_then(parse_class)
+            .ok_or_else(|| bad(format!("line {}: unknown class", lineno + 1)))?;
+        let deps: Vec<u32> = match parts.next() {
+            None => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(|d| {
+                    d.parse::<u32>()
+                        .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))
+                })
+                .collect::<io::Result<_>>()?,
+        };
+        let id = instrs.len() as u32;
+        for &d in &deps {
+            if d >= id {
+                return Err(bad(format!(
+                    "line {}: dependency {d} not yet produced",
+                    lineno + 1
+                )));
+            }
+        }
+        instrs.push(Instr { class, deps });
+    }
+    Ok(Trace { instrs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nas::NasKernel;
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let trace = NasKernel::Cgm.trace(1);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nfp\nint 0\nmem 0,1\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.instrs[2].deps, vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_bad_classes_and_forward_deps() {
+        assert!(read_trace("bogus\n".as_bytes()).is_err());
+        assert!(read_trace("fp 0\n".as_bytes()).is_err()); // self/forward
+        assert!(read_trace("fp x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn serialized_analysis_matches_in_memory_analysis() {
+        let trace = NasKernel::Mgrid.trace(1);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        let a = crate::oracle::schedule(&trace);
+        let b = crate::oracle::schedule(&back);
+        assert_eq!(a.pis, b.pis);
+    }
+}

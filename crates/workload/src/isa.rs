@@ -1,0 +1,191 @@
+//! The trace ISA: dynamic instructions in SSA value form.
+//!
+//! Following the report's SPARC analysis, instructions fall into five
+//! basic categories. Dependencies are expressed through *values*: each
+//! instruction consumes previously produced values and produces one new
+//! value, which encodes exactly the true flow dependencies the oracle
+//! model respects (an oracle resolves all control and memory ambiguity).
+
+/// The five operation classes of the report's §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Load/store (`Memops`).
+    Mem,
+    /// Arithmetic/logic/shift (`Intops`).
+    Int,
+    /// Control transfer (`Branchops`).
+    Branch,
+    /// Read/write control register (`Controlops`).
+    Control,
+    /// Floating point (`FPops`).
+    Fp,
+}
+
+impl OpClass {
+    /// All classes, in the fixed vector order used by centroids.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Mem,
+        OpClass::Int,
+        OpClass::Branch,
+        OpClass::Control,
+        OpClass::Fp,
+    ];
+
+    /// Index into 5-vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Mem => 0,
+            OpClass::Int => 1,
+            OpClass::Branch => 2,
+            OpClass::Control => 3,
+            OpClass::Fp => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Mem => "Memops",
+            OpClass::Int => "Intops",
+            OpClass::Branch => "Branchops",
+            OpClass::Control => "Controlops",
+            OpClass::Fp => "FPops",
+        }
+    }
+}
+
+/// Identifier of a produced value (an SSA name).
+pub type ValueId = u32;
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    /// Operation class.
+    pub class: OpClass,
+    /// Values this instruction consumes (its true flow dependencies).
+    pub deps: Vec<ValueId>,
+}
+
+/// A dynamic instruction trace. Instruction `i` produces value `i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The instructions, in dynamic program order.
+    pub instrs: Vec<Instr>,
+}
+
+impl Trace {
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Per-class dynamic operation counts.
+    pub fn class_counts(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for i in &self.instrs {
+            counts[i.class.index()] += 1;
+        }
+        counts
+    }
+}
+
+/// Builder that enforces the SSA discipline (dependencies must reference
+/// already-emitted instructions).
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit an instruction; returns the value it produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency references a not-yet-emitted value.
+    pub fn emit(&mut self, class: OpClass, deps: &[ValueId]) -> ValueId {
+        let id = self.trace.instrs.len() as ValueId;
+        for &d in deps {
+            assert!(d < id, "dependency {d} not yet produced (emitting {id})");
+        }
+        self.trace.instrs.push(Instr {
+            class,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finish, returning the trace.
+    pub fn build(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = TraceBuilder::new();
+        let a = b.emit(OpClass::Int, &[]);
+        let c = b.emit(OpClass::Fp, &[a]);
+        assert_eq!(a, 0);
+        assert_eq!(c, 1);
+        let t = b.build();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instrs[1].deps, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet produced")]
+    fn forward_dependencies_rejected() {
+        let mut b = TraceBuilder::new();
+        b.emit(OpClass::Int, &[5]);
+    }
+
+    #[test]
+    fn class_counts_tally() {
+        let mut b = TraceBuilder::new();
+        b.emit(OpClass::Int, &[]);
+        b.emit(OpClass::Int, &[]);
+        b.emit(OpClass::Mem, &[]);
+        b.emit(OpClass::Fp, &[]);
+        let t = b.build();
+        let c = t.class_counts();
+        assert_eq!(c[OpClass::Int.index()], 2);
+        assert_eq!(c[OpClass::Mem.index()], 1);
+        assert_eq!(c[OpClass::Fp.index()], 1);
+        assert_eq!(c[OpClass::Branch.index()], 0);
+    }
+
+    #[test]
+    fn class_indices_are_a_bijection() {
+        let mut seen = [false; 5];
+        for c in OpClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,120 @@
+//! The parallelism-matrix technique of Bradley & Larson, the comparison
+//! baseline of the report's §2 and §4.
+//!
+//! A workload is represented by the empirical distribution of its
+//! parallel instructions: for every exact multiplicity combination, the
+//! fraction of cycles during which it occurred. Two workloads are
+//! compared with the Frobenius norm of the difference, normalized by its
+//! maximum value `√2`. The report's criticism — which our tests
+//! demonstrate — is that the measure saturates whenever the two
+//! workloads share no *identical* parallel instruction, however similar
+//! their parallel instructions are.
+
+use std::collections::HashMap;
+
+use crate::oracle::Pi;
+
+/// Sparse parallelism "matrix": fraction of cycles per exact PI pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismMatrix {
+    /// Pattern → fraction of cycles.
+    pub fractions: HashMap<Pi, f64>,
+}
+
+impl ParallelismMatrix {
+    /// Build from a PI sequence.
+    pub fn from_pis(pis: &[Pi]) -> Self {
+        let mut counts: HashMap<Pi, u64> = HashMap::new();
+        for &pi in pis {
+            *counts.entry(pi).or_insert(0) += 1;
+        }
+        let n = pis.len().max(1) as f64;
+        ParallelismMatrix {
+            fractions: counts
+                .into_iter()
+                .map(|(k, v)| (k, v as f64 / n))
+                .collect(),
+        }
+    }
+
+    /// Number of distinct PI patterns.
+    pub fn patterns(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Frobenius-norm difference to another matrix, normalized by `√2`
+    /// so the result lies in `[0, 1]`.
+    pub fn frobenius_similarity(&self, other: &ParallelismMatrix) -> f64 {
+        let mut sum = 0.0;
+        for (k, &a) in &self.fractions {
+            let b = other.fractions.get(k).copied().unwrap_or(0.0);
+            sum += (a - b) * (a - b);
+        }
+        for (k, &b) in &other.fractions {
+            if !self.fractions.contains_key(k) {
+                sum += b * b;
+            }
+        }
+        sum.sqrt() / std::f64::consts::SQRT_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let pis = vec![[1, 0, 0, 0, 0], [1, 0, 0, 0, 0], [0, 2, 0, 0, 0], [3, 1, 0, 0, 0]];
+        let m = ParallelismMatrix::from_pis(&pis);
+        let total: f64 = m.fractions.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(m.patterns(), 3);
+        assert_eq!(m.fractions[&[1, 0, 0, 0, 0]], 0.5);
+    }
+
+    #[test]
+    fn identical_workloads_have_zero_difference() {
+        let pis = vec![[1, 2, 0, 0, 3], [0, 1, 0, 0, 0]];
+        let a = ParallelismMatrix::from_pis(&pis);
+        let b = ParallelismMatrix::from_pis(&pis);
+        assert_eq!(a.frobenius_similarity(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_single_pattern_workloads_hit_the_maximum() {
+        let a = ParallelismMatrix::from_pis(&[[1, 0, 0, 0, 0]]);
+        let b = ParallelismMatrix::from_pis(&[[0, 1, 0, 0, 0]]);
+        assert!((a.frobenius_similarity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_without_identical_pis_regardless_of_closeness() {
+        // The report's criticism: without identical PIs the measure
+        // cannot tell "very similar" from "wildly different".
+        let a = ParallelismMatrix::from_pis(&[[10, 0, 0, 0, 0]]);
+        let near = ParallelismMatrix::from_pis(&[[11, 0, 0, 0, 0]]); // almost the same
+        let far = ParallelismMatrix::from_pis(&[[0, 0, 0, 0, 99]]); // totally different
+        let s_near = a.frobenius_similarity(&near);
+        let s_far = a.frobenius_similarity(&far);
+        assert_eq!(s_near, s_far, "Frobenius measure saturates");
+        assert!((s_near - 1.0).abs() < 1e-12);
+        // The centroid method, by contrast, discriminates.
+        let c = crate::centroid::Centroid([10.0, 0.0, 0.0, 0.0, 0.0]);
+        let cn = crate::centroid::Centroid([11.0, 0.0, 0.0, 0.0, 0.0]);
+        let cf = crate::centroid::Centroid([0.0, 0.0, 0.0, 0.0, 99.0]);
+        assert!(
+            crate::centroid::similarity(&c, &cn) < 0.2,
+            "vector space sees near as near"
+        );
+        assert!(crate::centroid::similarity(&c, &cf) > 0.9);
+    }
+
+    #[test]
+    fn partial_overlap_reduces_difference() {
+        let a = ParallelismMatrix::from_pis(&[[1, 0, 0, 0, 0], [0, 1, 0, 0, 0]]);
+        let b = ParallelismMatrix::from_pis(&[[1, 0, 0, 0, 0], [0, 0, 1, 0, 0]]);
+        let s = a.frobenius_similarity(&b);
+        assert!(s > 0.0 && s < 1.0, "partial overlap: {s}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Synthetic kernels with the dependence structure and instruction mixes
+//! of the eight NAS Parallel Benchmarks (the report's §5 workloads).
+//!
+//! The report traced the NPB sample codes on SPARC with `spy` and
+//! scheduled them with SITA. Those binaries and tools are long gone; the
+//! substitution (per DESIGN.md) is a set of generators that emit traces
+//! with each benchmark's *characteristic* dataflow shape — embarrassing
+//! parallelism for `embar`, butterfly stages for `fftpde`, sparse
+//! reductions for `cgm`, serial bucket histograms for `buk`, wavefront
+//! line solves for the three simulated CFD applications — so the
+//! centroid/similarity/smoothability machinery is exercised on workloads
+//! with genuinely different parallel behaviour.
+
+use crate::isa::{OpClass, Trace, TraceBuilder, ValueId};
+
+/// The eight NPB-like kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasKernel {
+    /// Embarrassingly parallel random-number tallying (EP).
+    Embar,
+    /// Multigrid stencil relaxation (MG).
+    Mgrid,
+    /// Conjugate-gradient sparse solver (CG).
+    Cgm,
+    /// 3-D FFT PDE solver (FT).
+    Fftpde,
+    /// Integer bucket sort (IS).
+    Buk,
+    /// Lower-upper implicit CFD solve (LU).
+    Applu,
+    /// Scalar-pentadiagonal CFD application (SP).
+    Appsp,
+    /// Block-tridiagonal CFD application (BT).
+    Appbt,
+}
+
+impl NasKernel {
+    /// All kernels in the report's table order.
+    pub const ALL: [NasKernel; 8] = [
+        NasKernel::Embar,
+        NasKernel::Mgrid,
+        NasKernel::Cgm,
+        NasKernel::Fftpde,
+        NasKernel::Buk,
+        NasKernel::Applu,
+        NasKernel::Appsp,
+        NasKernel::Appbt,
+    ];
+
+    /// Benchmark name as the report writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            NasKernel::Embar => "embar",
+            NasKernel::Mgrid => "mgrid",
+            NasKernel::Cgm => "cgm",
+            NasKernel::Fftpde => "fftpde",
+            NasKernel::Buk => "buk",
+            NasKernel::Applu => "applu",
+            NasKernel::Appsp => "appsp",
+            NasKernel::Appbt => "appbt",
+        }
+    }
+
+    /// Generate the kernel's trace at the given scale (1 = a few tens of
+    /// thousands of dynamic instructions).
+    pub fn trace(self, scale: usize) -> Trace {
+        let scale = scale.max(1);
+        match self {
+            NasKernel::Embar => embar(scale),
+            NasKernel::Mgrid => mgrid(scale),
+            NasKernel::Cgm => cgm(scale),
+            NasKernel::Fftpde => fftpde(scale),
+            NasKernel::Buk => buk(scale),
+            NasKernel::Applu => wavefront(scale, 24, 1, 1),
+            NasKernel::Appsp => wavefront(scale, 48, 2, 1),
+            NasKernel::Appbt => wavefront(scale, 32, 3, 2),
+        }
+    }
+}
+
+/// EP: thousands of fully independent sample chains (random-number
+/// generation and Gaussian-pair tallying): FP-heavy, enormous and smooth
+/// parallelism.
+fn embar(scale: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    for _ in 0..scale * 1500 {
+        let seed = b.emit(OpClass::Int, &[]);
+        let mut v = b.emit(OpClass::Fp, &[seed]);
+        for _ in 0..6 {
+            v = b.emit(OpClass::Fp, &[v]);
+        }
+        let t = b.emit(OpClass::Fp, &[v]);
+        let c = b.emit(OpClass::Int, &[t]);
+        b.emit(OpClass::Branch, &[c]);
+        b.emit(OpClass::Mem, &[t]);
+    }
+    b.build()
+}
+
+/// MG: sweeps of a relaxation stencil — all points of a sweep
+/// independent, sweeps strictly ordered. Balanced FP/MEM mix, very
+/// smooth parallelism profile.
+fn mgrid(scale: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let w = 128usize;
+    let mut vals: Vec<ValueId> = (0..w).map(|_| b.emit(OpClass::Mem, &[])).collect();
+    for _sweep in 0..scale * 24 {
+        let mut next = Vec::with_capacity(w);
+        for i in 0..w {
+            let l = b.emit(OpClass::Mem, &[vals[(i + w - 1) % w]]);
+            let r = b.emit(OpClass::Mem, &[vals[(i + 1) % w]]);
+            let s = b.emit(OpClass::Fp, &[l, r, vals[i]]);
+            let s2 = b.emit(OpClass::Fp, &[s]);
+            next.push(s2);
+        }
+        // Loop bookkeeping.
+        let ctr = b.emit(OpClass::Int, &[]);
+        b.emit(OpClass::Branch, &[ctr]);
+        vals = next;
+    }
+    b.build()
+}
+
+/// CG: sparse matrix-vector products whose rows are short gather/MAC
+/// chains, followed by a global dot-product reduction that serializes
+/// the iterations. MEM-heavy with modest average parallelism.
+fn cgm(scale: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let rows = 24usize;
+    let mut x: Vec<ValueId> = (0..rows).map(|_| b.emit(OpClass::Mem, &[])).collect();
+    let mut alpha = b.emit(OpClass::Fp, &[]);
+    for _iter in 0..scale * 60 {
+        let mut row_results = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let mut acc = b.emit(OpClass::Fp, &[alpha]);
+            for k in 0..5 {
+                let col = (i * 7 + k * 3) % rows;
+                let idx = b.emit(OpClass::Int, &[]);
+                let a = b.emit(OpClass::Mem, &[idx]);
+                let xv = b.emit(OpClass::Mem, &[x[col]]);
+                acc = b.emit(OpClass::Fp, &[acc, a, xv]);
+            }
+            row_results.push(acc);
+        }
+        // Dot-product reduction tree.
+        let mut level = row_results.clone();
+        while level.len() > 1 {
+            let mut up = Vec::with_capacity(level.len() / 2 + 1);
+            for pair in level.chunks(2) {
+                up.push(if pair.len() == 2 {
+                    b.emit(OpClass::Fp, &[pair[0], pair[1]])
+                } else {
+                    pair[0]
+                });
+            }
+            level = up;
+        }
+        alpha = b.emit(OpClass::Fp, &[level[0]]);
+        b.emit(OpClass::Branch, &[alpha]);
+        // x update depends on the new scalar: the serializing step.
+        x = row_results
+            .iter()
+            .map(|&r| b.emit(OpClass::Fp, &[r, alpha]))
+            .collect();
+        for &xi in &x {
+            b.emit(OpClass::Mem, &[xi]);
+        }
+    }
+    b.build()
+}
+
+/// FT: radix-2 butterfly stages — `n/2` independent butterflies per
+/// stage, `log n` dependent stages per transform. High, smooth
+/// parallelism with an INT/MEM indexing component.
+fn fftpde(scale: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let n = 128usize;
+    for _transform in 0..scale * 12 {
+        let mut vals: Vec<ValueId> = (0..n).map(|_| b.emit(OpClass::Mem, &[])).collect();
+        let mut len = 2usize;
+        while len <= n {
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let i = start + k;
+                    let j = start + k + len / 2;
+                    let tw = b.emit(OpClass::Int, &[]);
+                    let prod = b.emit(OpClass::Fp, &[vals[j], tw]);
+                    let u = b.emit(OpClass::Fp, &[vals[i], prod]);
+                    let v = b.emit(OpClass::Fp, &[vals[i], prod]);
+                    vals[i] = u;
+                    vals[j] = v;
+                }
+            }
+            len <<= 1;
+        }
+        let ctr = b.emit(OpClass::Int, &[]);
+        b.emit(OpClass::Branch, &[ctr]);
+    }
+    b.build()
+}
+
+/// IS: bucket-sort histogram — key hashing is parallel, but histogram
+/// increments serialize per bucket and the rank prefix is a strict
+/// chain, then a wide scatter burst. Integer/memory mix, the *least*
+/// smooth profile of the suite.
+fn buk(scale: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    let nbuckets = 4usize;
+    let keys = scale * 2500;
+    let mut buckets: Vec<ValueId> = (0..nbuckets).map(|_| b.emit(OpClass::Int, &[])).collect();
+    let mut key_vals = Vec::with_capacity(keys);
+    for i in 0..keys {
+        let k = b.emit(OpClass::Mem, &[]);
+        let h = b.emit(OpClass::Int, &[k]);
+        key_vals.push(h);
+        // Serialized histogram increment on the bucket chain.
+        let bu = i % nbuckets;
+        buckets[bu] = b.emit(OpClass::Int, &[buckets[bu], h]);
+    }
+    // Rank: strict prefix chain over buckets.
+    let mut prefix = buckets[0];
+    for &bu in &buckets[1..] {
+        prefix = b.emit(OpClass::Int, &[prefix, bu]);
+    }
+    // Scatter burst: every key moves once the ranks are known.
+    for &h in &key_vals {
+        let addr = b.emit(OpClass::Int, &[h, prefix]);
+        b.emit(OpClass::Mem, &[addr]);
+    }
+    b.build()
+}
+
+/// LU/SP/BT: wavefront line solves over a `g x g` grid — cell `(i,j)`
+/// depends on its west and north neighbours, so parallelism ramps up
+/// along anti-diagonals and back down. `fp_ops`/`mem_ops` set the
+/// per-cell weight that differentiates the three applications.
+fn wavefront(scale: usize, g: usize, fp_ops: usize, mem_ops: usize) -> Trace {
+    let mut b = TraceBuilder::new();
+    for _sweep in 0..scale * 6 {
+        let mut grid: Vec<Option<ValueId>> = vec![None; g * g];
+        for i in 0..g {
+            for j in 0..g {
+                let mut deps: Vec<ValueId> = Vec::with_capacity(2);
+                if i > 0 {
+                    deps.push(grid[(i - 1) * g + j].expect("north computed"));
+                }
+                if j > 0 {
+                    deps.push(grid[i * g + j - 1].expect("west computed"));
+                }
+                let mut v = b.emit(OpClass::Fp, &deps);
+                for _ in 1..fp_ops {
+                    v = b.emit(OpClass::Fp, &[v]);
+                }
+                for _ in 0..mem_ops {
+                    b.emit(OpClass::Mem, &[v]);
+                }
+                grid[i * g + j] = Some(v);
+            }
+        }
+        // Independent right-hand-side refresh (wide phase).
+        for _ in 0..g {
+            let r = b.emit(OpClass::Fp, &[]);
+            b.emit(OpClass::Mem, &[r]);
+        }
+        let ctr = b.emit(OpClass::Int, &[]);
+        b.emit(OpClass::Branch, &[ctr]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centroid::{similarity, Centroid};
+    use crate::oracle::{schedule, smoothability};
+
+    #[test]
+    fn all_kernels_produce_nonempty_traces() {
+        for k in NasKernel::ALL {
+            let t = k.trace(1);
+            assert!(t.len() > 1000, "{} too small: {}", k.name(), t.len());
+        }
+    }
+
+    #[test]
+    fn embar_is_embarrassingly_parallel() {
+        let t = NasKernel::Embar.trace(1);
+        let s = schedule(&t);
+        assert!(
+            s.avg_parallelism() > 500.0,
+            "EP parallelism {}",
+            s.avg_parallelism()
+        );
+    }
+
+    #[test]
+    fn buk_has_the_lowest_parallelism_of_the_suite() {
+        let par = |k: NasKernel| schedule(&k.trace(1)).avg_parallelism();
+        let buk = par(NasKernel::Buk);
+        for k in [NasKernel::Embar, NasKernel::Mgrid, NasKernel::Fftpde] {
+            assert!(buk < par(k), "buk {buk} vs {} {}", k.name(), par(k));
+        }
+    }
+
+    #[test]
+    fn instruction_mixes_differ_as_reported() {
+        // embar: FP-dominated; buk: no FP at all, int+mem only.
+        let counts = |k: NasKernel| NasKernel::trace(k, 1).class_counts();
+        let ep = counts(NasKernel::Embar);
+        assert!(ep[4] > ep[0] && ep[4] > ep[1], "embar FP-heavy: {ep:?}");
+        let is = counts(NasKernel::Buk);
+        assert_eq!(is[4], 0, "buk has no FP");
+        assert!(is[1] > 0 && is[0] > 0);
+        // cgm: memory share above embar's.
+        let cg = counts(NasKernel::Cgm);
+        let mem_share = |c: [u64; 5]| c[0] as f64 / c.iter().sum::<u64>() as f64;
+        assert!(mem_share(cg) > mem_share(ep));
+    }
+
+    #[test]
+    fn smooth_kernels_smooth_and_buk_does_not() {
+        // The report's Table 9: all suites above 0.68, most above 0.8,
+        // buk the outlier.
+        let sm = |k: NasKernel| smoothability(&k.trace(1)).smoothability;
+        for k in [NasKernel::Mgrid, NasKernel::Fftpde, NasKernel::Appbt] {
+            let s = sm(k);
+            assert!(s > 0.7, "{} smoothability {s}", k.name());
+        }
+        let b = sm(NasKernel::Buk);
+        let m = sm(NasKernel::Mgrid);
+        assert!(b < m, "buk ({b}) should be less smooth than mgrid ({m})");
+    }
+
+    #[test]
+    fn cfd_applications_are_mutually_closer_than_to_buk() {
+        // The three simulated CFD apps exercise machines alike; integer
+        // sorting is a different animal (Table 8's structure).
+        let cent =
+            |k: NasKernel| Centroid::from_schedule(&schedule(&k.trace(1)));
+        let sp = cent(NasKernel::Appsp);
+        let bt = cent(NasKernel::Appbt);
+        let is = cent(NasKernel::Buk);
+        assert!(similarity(&sp, &bt) < similarity(&sp, &is));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        for k in NasKernel::ALL {
+            assert_eq!(k.trace(1), k.trace(1), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn scale_scales_work() {
+        let t1 = NasKernel::Mgrid.trace(1).len();
+        let t3 = NasKernel::Mgrid.trace(3).len();
+        assert!(t3 > 2 * t1);
+    }
+}

@@ -1,0 +1,325 @@
+//! The oracle scheduler and smoothability analysis.
+//!
+//! The oracle model is the idealized machine of the report: unlimited
+//! processors, perfect branch and memory disambiguation, every
+//! instruction executing at the earliest cycle permitted by its true
+//! flow dependencies. Packing the trace level by level yields the
+//! *parallel instruction* sequence that drives the centroid and
+//! similarity analyses.
+
+use crate::isa::Trace;
+
+/// One parallel instruction: operation multiplicity per class.
+pub type Pi = [u32; 5];
+
+/// The oracle schedule of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Parallel instructions, one per cycle (cycle = dataflow level).
+    pub pis: Vec<Pi>,
+    /// Level assigned to each instruction.
+    pub levels: Vec<u32>,
+}
+
+impl Schedule {
+    /// Critical path length = number of cycles on the oracle.
+    pub fn cpl(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.levels.len() as u64
+    }
+
+    /// Average degree of parallelism (ops per cycle).
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.pis.is_empty() {
+            0.0
+        } else {
+            self.total_ops() as f64 / self.cpl() as f64
+        }
+    }
+}
+
+/// Schedule `trace` on the oracle: each instruction executes at
+/// `1 + max(level of its dependencies)`.
+pub fn schedule(trace: &Trace) -> Schedule {
+    let n = trace.instrs.len();
+    let mut levels = vec![0u32; n];
+    let mut max_level = 0u32;
+    for (i, ins) in trace.instrs.iter().enumerate() {
+        let lvl = ins
+            .deps
+            .iter()
+            .map(|&d| levels[d as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        levels[i] = lvl;
+        max_level = max_level.max(lvl);
+    }
+    let cycles = if n == 0 { 0 } else { max_level as usize + 1 };
+    let mut pis = vec![[0u32; 5]; cycles];
+    for (i, ins) in trace.instrs.iter().enumerate() {
+        pis[levels[i] as usize][ins.class.index()] += 1;
+    }
+    Schedule { pis, levels }
+}
+
+/// Result of the finite-width (list-scheduled) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiniteSchedule {
+    /// Cycles taken with the width restriction.
+    pub cycles: usize,
+    /// Mean delay of an operation beyond its earliest dataflow cycle
+    /// (instructions issuing as soon as ready count as 0).
+    pub avg_op_delay: f64,
+}
+
+/// Greedy list scheduling with at most `width` operations per cycle.
+/// Ready instructions issue oldest-first (by trace order).
+pub fn schedule_finite(trace: &Trace, width: usize) -> FiniteSchedule {
+    assert!(width > 0, "machine width must be positive");
+    let n = trace.instrs.len();
+    if n == 0 {
+        return FiniteSchedule {
+            cycles: 0,
+            avg_op_delay: 0.0,
+        };
+    }
+    let oracle = schedule(trace);
+    // issue[i] = cycle the instruction actually executes.
+    let mut issue = vec![0u64; n];
+    // For each instruction, the earliest cycle its inputs allow.
+    // Process instructions in trace order bucketed by readiness using a
+    // priority structure: since ready time depends on issued deps, we
+    // simulate cycle by cycle with a ready queue.
+    use std::collections::BinaryHeap;
+    // Min-heap of (ready_cycle, index) via Reverse.
+    use std::cmp::Reverse;
+    let mut remaining_deps: Vec<u32> = trace
+        .instrs
+        .iter()
+        .map(|i| i.deps.len() as u32)
+        .collect();
+    // consumers[d] = instructions depending on d.
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, ins) in trace.instrs.iter().enumerate() {
+        for &d in &ins.deps {
+            consumers[d as usize].push(i as u32);
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    for (i, &r) in remaining_deps.iter().enumerate() {
+        if r == 0 {
+            heap.push(Reverse((0, i as u32)));
+        }
+    }
+    let mut ready_at = vec![0u64; n];
+    let mut cycle = 0u64;
+    let mut done = 0usize;
+    let mut total_delay = 0u64;
+    while done < n {
+        // Issue up to `width` ready instructions this cycle.
+        let mut issued = 0usize;
+        let mut deferred: Vec<Reverse<(u64, u32)>> = Vec::new();
+        while issued < width {
+            match heap.pop() {
+                Some(Reverse((ready, i))) if ready <= cycle => {
+                    let i = i as usize;
+                    issue[i] = cycle;
+                    total_delay += cycle - ready_at[i];
+                    issued += 1;
+                    done += 1;
+                    for &c in &consumers[i] {
+                        let c = c as usize;
+                        remaining_deps[c] -= 1;
+                        ready_at[c] = ready_at[c].max(cycle + 1);
+                        if remaining_deps[c] == 0 {
+                            heap.push(Reverse((ready_at[c], c as u32)));
+                        }
+                    }
+                }
+                Some(item) => {
+                    deferred.push(item);
+                    break;
+                }
+                None => break,
+            }
+        }
+        heap.extend(deferred);
+        cycle += 1;
+    }
+    let _ = oracle;
+    FiniteSchedule {
+        cycles: cycle as usize,
+        avg_op_delay: total_delay as f64 / n as f64,
+    }
+}
+
+/// Smoothability report (the report's Table 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothReport {
+    /// Critical path with unlimited processors.
+    pub cpl_infinite: usize,
+    /// Average degree of parallelism on the oracle.
+    pub avg_parallelism: f64,
+    /// Cycles when the width is capped at the average parallelism.
+    pub cpl_at_avg: usize,
+    /// `CPL(∞) / CPL(P_avg)` — 1.0 means the parallelism profile is
+    /// perfectly smooth.
+    pub smoothability: f64,
+    /// Mean issue delay under the width cap.
+    pub avg_op_delay: f64,
+}
+
+/// Compute smoothability: run the trace with width `ceil(P_avg)`.
+pub fn smoothability(trace: &Trace) -> SmoothReport {
+    let oracle = schedule(trace);
+    let p_avg = oracle.avg_parallelism();
+    let width = (p_avg.ceil() as usize).max(1);
+    let finite = schedule_finite(trace, width);
+    SmoothReport {
+        cpl_infinite: oracle.cpl(),
+        avg_parallelism: p_avg,
+        cpl_at_avg: finite.cycles,
+        smoothability: if finite.cycles > 0 {
+            oracle.cpl() as f64 / finite.cycles as f64
+        } else {
+            1.0
+        },
+        avg_op_delay: finite.avg_op_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{OpClass, TraceBuilder};
+
+    /// A pure chain: no parallelism at all.
+    fn chain(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(b.emit(OpClass::Int, &deps));
+        }
+        b.build()
+    }
+
+    /// Fully independent instructions.
+    fn wide(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        for _ in 0..n {
+            b.emit(OpClass::Fp, &[]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_has_unit_parallelism() {
+        let s = schedule(&chain(10));
+        assert_eq!(s.cpl(), 10);
+        assert_eq!(s.avg_parallelism(), 1.0);
+        for pi in &s.pis {
+            assert_eq!(pi.iter().sum::<u32>(), 1);
+        }
+    }
+
+    #[test]
+    fn independent_ops_fit_in_one_cycle() {
+        let s = schedule(&wide(32));
+        assert_eq!(s.cpl(), 1);
+        assert_eq!(s.avg_parallelism(), 32.0);
+        assert_eq!(s.pis[0][OpClass::Fp.index()], 32);
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        // a; b,c depend on a; d depends on b and c: 3 levels.
+        let mut bld = TraceBuilder::new();
+        let a = bld.emit(OpClass::Mem, &[]);
+        let b = bld.emit(OpClass::Int, &[a]);
+        let c = bld.emit(OpClass::Fp, &[a]);
+        let _d = bld.emit(OpClass::Int, &[b, c]);
+        let s = schedule(&bld.build());
+        assert_eq!(s.cpl(), 3);
+        assert_eq!(s.levels, vec![0, 1, 1, 2]);
+        assert_eq!(s.pis[1][OpClass::Int.index()], 1);
+        assert_eq!(s.pis[1][OpClass::Fp.index()], 1);
+    }
+
+    #[test]
+    fn empty_trace_schedules_to_nothing() {
+        let s = schedule(&Trace::default());
+        assert_eq!(s.cpl(), 0);
+        assert_eq!(s.total_ops(), 0);
+    }
+
+    #[test]
+    fn finite_width_one_serializes() {
+        let f = schedule_finite(&wide(10), 1);
+        assert_eq!(f.cycles, 10);
+        // Delays: 0 + 1 + ... + 9 over 10 ops = 4.5.
+        assert!((f.avg_op_delay - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_width_respects_dependencies() {
+        let f = schedule_finite(&chain(10), 4);
+        assert_eq!(f.cycles, 10, "a chain cannot be compressed");
+        assert_eq!(f.avg_op_delay, 0.0);
+    }
+
+    #[test]
+    fn ample_width_matches_oracle() {
+        let mut b = TraceBuilder::new();
+        for i in 0..40u32 {
+            let deps: Vec<_> = if i >= 4 { vec![i - 4] } else { vec![] };
+            b.emit(OpClass::Int, &deps);
+        }
+        let t = b.build();
+        let oracle = schedule(&t);
+        let finite = schedule_finite(&t, 64);
+        assert_eq!(finite.cycles, oracle.cpl());
+    }
+
+    #[test]
+    fn smoothability_of_uniform_profile_is_one() {
+        // 4 independent chains: parallelism exactly 4 every cycle.
+        let mut b = TraceBuilder::new();
+        let mut heads = [None; 4];
+        for _step in 0..20 {
+            for h in heads.iter_mut() {
+                let deps: Vec<u32> = h.iter().copied().collect();
+                *h = Some(b.emit(OpClass::Int, &deps));
+            }
+        }
+        let rep = smoothability(&b.build());
+        assert!((rep.avg_parallelism - 4.0).abs() < 1e-9);
+        assert!((rep.smoothability - 1.0).abs() < 1e-9, "{rep:?}");
+        assert_eq!(rep.avg_op_delay, 0.0);
+    }
+
+    #[test]
+    fn bursty_profile_has_low_smoothability() {
+        // A long chain followed by a huge independent burst: average
+        // parallelism is modest but the burst must be squeezed through
+        // the narrow machine, stretching execution.
+        let mut b = TraceBuilder::new();
+        let mut prev = b.emit(OpClass::Int, &[]);
+        for _ in 0..50 {
+            prev = b.emit(OpClass::Int, &[prev]);
+        }
+        for _ in 0..500 {
+            b.emit(OpClass::Fp, &[]);
+        }
+        let rep = smoothability(&b.build());
+        assert!(
+            rep.smoothability < 0.75,
+            "expected bursty trace to smooth poorly: {rep:?}"
+        );
+        assert!(rep.avg_op_delay > 0.0);
+    }
+}

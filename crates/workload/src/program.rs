@@ -1,0 +1,307 @@
+//! A miniature register VM whose *execution* produces the dynamic
+//! instruction traces the analyses consume — the `spy` stage of the
+//! report's toolchain. The interpreter resolves control flow and memory
+//! addresses concretely, so the emitted trace carries exactly the true
+//! flow dependencies of the oracle model: register def-use chains and
+//! store→load dependencies through actual addresses (two stores to
+//! different cells do not serialize).
+
+use crate::isa::{OpClass, Trace, TraceBuilder, ValueId};
+
+/// VM instructions. Registers are `u8` indices into a 256-entry integer
+/// register file; memory is a flat cell array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = imm` (integer class).
+    LoadImm { dst: u8, imm: i64 },
+    /// `dst = a + b` (integer class).
+    Add { dst: u8, a: u8, b: u8 },
+    /// `dst = a * b`, charged as floating point (the trace ISA does not
+    /// distinguish integer/float values, only operation classes).
+    FMul { dst: u8, a: u8, b: u8 },
+    /// `dst = mem[addr_reg]` (memory class).
+    Load { dst: u8, addr: u8 },
+    /// `mem[addr_reg] = src` (memory class).
+    Store { src: u8, addr: u8 },
+    /// Jump to `target` when `cond != 0` (branch class).
+    BranchNz { cond: u8, target: usize },
+    /// Stop execution (control class).
+    Halt,
+}
+
+/// A static program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Instruction list; execution starts at index 0.
+    pub insts: Vec<Inst>,
+}
+
+/// Interpreter errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access fell outside the configured cell count.
+    OutOfBounds {
+        /// The offending address.
+        addr: i64,
+    },
+    /// A branch target fell outside the program.
+    BadTarget {
+        /// The offending target.
+        target: usize,
+    },
+    /// Execution exceeded the fuel limit (probably an infinite loop).
+    OutOfFuel,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfBounds { addr } => write!(f, "memory access at {addr} out of bounds"),
+            VmError::BadTarget { target } => write!(f, "branch target {target} out of program"),
+            VmError::OutOfFuel => write!(f, "execution exceeded the fuel limit"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execute `prog` and emit its dynamic trace.
+///
+/// Dependency tracking: each register and memory cell remembers the
+/// trace value that last defined it; consumers list those values as
+/// dependencies. Loads also depend on the last store to *their* cell;
+/// stores depend on the previous store to the same cell (output order)
+/// — matching the oracle model, where "all ambiguous memory references"
+/// are resolved exactly.
+pub fn trace_program(prog: &Program, mem_cells: usize, fuel: u64) -> Result<Trace, VmError> {
+    let mut regs = [0i64; 256];
+    let mut reg_def: [Option<ValueId>; 256] = [None; 256];
+    let mut mem = vec![0i64; mem_cells];
+    let mut mem_def: Vec<Option<ValueId>> = vec![None; mem_cells];
+    let mut b = TraceBuilder::new();
+    let mut pc = 0usize;
+    let mut steps = 0u64;
+
+    let deps2 = |x: Option<ValueId>, y: Option<ValueId>| -> Vec<ValueId> {
+        let mut v: Vec<ValueId> = [x, y].into_iter().flatten().collect();
+        v.dedup();
+        v
+    };
+
+    while pc < prog.insts.len() {
+        steps += 1;
+        if steps > fuel {
+            return Err(VmError::OutOfFuel);
+        }
+        match prog.insts[pc] {
+            Inst::LoadImm { dst, imm } => {
+                regs[dst as usize] = imm;
+                reg_def[dst as usize] = Some(b.emit(OpClass::Int, &[]));
+                pc += 1;
+            }
+            Inst::Add { dst, a, b: rb } => {
+                let deps = deps2(reg_def[a as usize], reg_def[rb as usize]);
+                regs[dst as usize] = regs[a as usize].wrapping_add(regs[rb as usize]);
+                reg_def[dst as usize] = Some(b.emit(OpClass::Int, &deps));
+                pc += 1;
+            }
+            Inst::FMul { dst, a, b: rb } => {
+                let deps = deps2(reg_def[a as usize], reg_def[rb as usize]);
+                regs[dst as usize] = regs[a as usize].wrapping_mul(regs[rb as usize]);
+                reg_def[dst as usize] = Some(b.emit(OpClass::Fp, &deps));
+                pc += 1;
+            }
+            Inst::Load { dst, addr } => {
+                let a = regs[addr as usize];
+                let cell = usize::try_from(a).map_err(|_| VmError::OutOfBounds { addr: a })?;
+                if cell >= mem_cells {
+                    return Err(VmError::OutOfBounds { addr: a });
+                }
+                let deps = deps2(reg_def[addr as usize], mem_def[cell]);
+                regs[dst as usize] = mem[cell];
+                reg_def[dst as usize] = Some(b.emit(OpClass::Mem, &deps));
+                pc += 1;
+            }
+            Inst::Store { src, addr } => {
+                let a = regs[addr as usize];
+                let cell = usize::try_from(a).map_err(|_| VmError::OutOfBounds { addr: a })?;
+                if cell >= mem_cells {
+                    return Err(VmError::OutOfBounds { addr: a });
+                }
+                let mut deps = deps2(reg_def[src as usize], reg_def[addr as usize]);
+                if let Some(prev) = mem_def[cell] {
+                    deps.push(prev);
+                }
+                mem[cell] = regs[src as usize];
+                mem_def[cell] = Some(b.emit(OpClass::Mem, &deps));
+                pc += 1;
+            }
+            Inst::BranchNz { cond, target } => {
+                if target > prog.insts.len() {
+                    return Err(VmError::BadTarget { target });
+                }
+                let deps: Vec<ValueId> = reg_def[cond as usize].into_iter().collect();
+                b.emit(OpClass::Branch, &deps);
+                pc = if regs[cond as usize] != 0 { target } else { pc + 1 };
+            }
+            Inst::Halt => {
+                b.emit(OpClass::Control, &[]);
+                break;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Assemble a simple counted loop running `body` `n` times. The loop
+/// counter lives in register 255.
+pub fn counted_loop(n: i64, body: Vec<Inst>) -> Program {
+    let mut insts = vec![
+        Inst::LoadImm { dst: 255, imm: n },
+        Inst::LoadImm { dst: 254, imm: -1 },
+    ];
+    let loop_start = insts.len();
+    insts.extend(body);
+    insts.push(Inst::Add {
+        dst: 255,
+        a: 255,
+        b: 254,
+    });
+    insts.push(Inst::BranchNz {
+        cond: 255,
+        target: loop_start,
+    });
+    insts.push(Inst::Halt);
+    Program { insts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::schedule;
+
+    #[test]
+    fn straight_line_program_traces_in_order() {
+        let prog = Program {
+            insts: vec![
+                Inst::LoadImm { dst: 0, imm: 2 },
+                Inst::LoadImm { dst: 1, imm: 3 },
+                Inst::FMul { dst: 2, a: 0, b: 1 },
+                Inst::Halt,
+            ],
+        };
+        let t = trace_program(&prog, 0, 100).unwrap();
+        assert_eq!(t.len(), 4);
+        // The multiply depends on both immediates.
+        assert_eq!(t.instrs[2].deps, vec![0, 1]);
+        assert_eq!(t.instrs[2].class, OpClass::Fp);
+    }
+
+    #[test]
+    fn loops_unroll_into_dynamic_traces() {
+        let prog = counted_loop(
+            5,
+            vec![Inst::Add {
+                dst: 1,
+                a: 1,
+                b: 255,
+            }],
+        );
+        let t = trace_program(&prog, 0, 1000).unwrap();
+        // 2 setup + 5*(add + decrement + branch) + halt.
+        assert_eq!(t.len(), 2 + 15 + 1);
+        let branches = t.class_counts()[OpClass::Branch.index()];
+        assert_eq!(branches, 5);
+    }
+
+    #[test]
+    fn memory_disambiguation_keeps_disjoint_stores_parallel() {
+        // Two independent store/load pairs to different cells: the
+        // oracle must see two independent chains, not a serialization.
+        let prog = Program {
+            insts: vec![
+                Inst::LoadImm { dst: 0, imm: 0 },  // addr A
+                Inst::LoadImm { dst: 1, imm: 1 },  // addr B
+                Inst::LoadImm { dst: 2, imm: 42 }, // value
+                Inst::Store { src: 2, addr: 0 },
+                Inst::Store { src: 2, addr: 1 },
+                Inst::Load { dst: 3, addr: 0 },
+                Inst::Load { dst: 4, addr: 1 },
+                Inst::Halt,
+            ],
+        };
+        let t = trace_program(&prog, 2, 100).unwrap();
+        let s = schedule(&t);
+        // Both stores at the same level; both loads one level later.
+        assert_eq!(s.levels[3], s.levels[4], "stores independent");
+        assert_eq!(s.levels[5], s.levels[6], "loads independent");
+        assert_eq!(s.levels[5], s.levels[3] + 1, "load follows its store");
+    }
+
+    #[test]
+    fn store_load_forwarding_dependency_is_honoured() {
+        let prog = Program {
+            insts: vec![
+                Inst::LoadImm { dst: 0, imm: 3 }, // addr
+                Inst::LoadImm { dst: 1, imm: 7 }, // value
+                Inst::Store { src: 1, addr: 0 },
+                Inst::Load { dst: 2, addr: 0 },
+                Inst::Halt,
+            ],
+        };
+        let t = trace_program(&prog, 8, 100).unwrap();
+        // The load (index 3) depends on the store (index 2).
+        assert!(t.instrs[3].deps.contains(&2));
+    }
+
+    #[test]
+    fn out_of_bounds_and_fuel_errors() {
+        let prog = Program {
+            insts: vec![Inst::LoadImm { dst: 0, imm: 99 }, Inst::Load { dst: 1, addr: 0 }],
+        };
+        assert_eq!(
+            trace_program(&prog, 4, 100),
+            Err(VmError::OutOfBounds { addr: 99 })
+        );
+        // Infinite loop runs out of fuel.
+        let spin = Program {
+            insts: vec![
+                Inst::LoadImm { dst: 0, imm: 1 },
+                Inst::BranchNz { cond: 0, target: 1 },
+            ],
+        };
+        assert_eq!(trace_program(&spin, 0, 50), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn vm_traces_feed_the_whole_analysis_pipeline() {
+        // A strided array-sum program, end to end through the oracle and
+        // centroid machinery.
+        let mut insts = vec![
+            Inst::LoadImm { dst: 0, imm: 0 },  // index
+            Inst::LoadImm { dst: 1, imm: 1 },  // stride
+            Inst::LoadImm { dst: 2, imm: 0 },  // acc
+            Inst::LoadImm { dst: 3, imm: 16 }, // limit -> counter
+            Inst::LoadImm { dst: 4, imm: -1 },
+        ];
+        let loop_start = insts.len();
+        insts.extend([
+            Inst::Load { dst: 5, addr: 0 },
+            Inst::Add { dst: 2, a: 2, b: 5 },
+            Inst::Add { dst: 0, a: 0, b: 1 },
+            Inst::Add { dst: 3, a: 3, b: 4 },
+            Inst::BranchNz {
+                cond: 3,
+                target: loop_start,
+            },
+        ]);
+        insts.push(Inst::Halt);
+        let t = trace_program(&Program { insts }, 16, 10_000).unwrap();
+        let s = schedule(&t);
+        // The index increment chain limits the height; loads off each
+        // index are one level behind, so parallelism exceeds 1.
+        assert!(s.avg_parallelism() > 1.5, "{}", s.avg_parallelism());
+        let c = crate::centroid::Centroid::from_schedule(&s);
+        assert!(c.0[OpClass::Mem.index()] > 0.0);
+    }
+}

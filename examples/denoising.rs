@@ -1,0 +1,65 @@
+//! Wavelet denoising of a noisy acquisition: estimate the sensor noise
+//! from the finest diagonal band, soft-threshold at the universal
+//! threshold, and measure the PSNR gain.
+//!
+//! ```text
+//! cargo run --release --example denoising
+//! ```
+
+use dwt::compress::psnr;
+use dwt::denoise::{denoise, estimate_sigma};
+use dwt::FilterBank;
+use imagery::pgm::write_pgm;
+use imagery::{landsat_scene, SceneParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/denoising");
+    std::fs::create_dir_all(out_dir)?;
+
+    // A quiet reference scene and noisy acquisitions of it.
+    let clean = landsat_scene(
+        256,
+        256,
+        SceneParams {
+            sensor_noise: 0.0,
+            ..SceneParams::default()
+        },
+    );
+    write_pgm(&clean, out_dir.join("clean.pgm"))?;
+    let bank = FilterBank::daubechies(8)?;
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>14}",
+        "true sigma", "est. sigma", "zeroed", "noisy PSNR", "denoised PSNR"
+    );
+    for sigma in [4.0f64, 8.0, 16.0] {
+        let noisy = landsat_scene(
+            256,
+            256,
+            SceneParams {
+                sensor_noise: sigma, // the scene's 3-uniform sum has unit variance
+                ..SceneParams::default()
+            },
+        );
+        let est = estimate_sigma(&noisy, &bank)?;
+        let (restored, report) = denoise(&noisy, &bank, 3)?;
+        let p_noisy = psnr(&clean, &noisy, 255.0).unwrap();
+        let p_denoised = psnr(&clean, &restored, 255.0).unwrap();
+        println!(
+            "{sigma:>12.1} {est:>12.2} {:>11.1}% {p_noisy:>14.2} {p_denoised:>14.2}",
+            100.0 * report.zeroed_fraction
+        );
+        if sigma == 8.0 {
+            write_pgm(&noisy, out_dir.join("noisy.pgm"))?;
+            write_pgm(&restored, out_dir.join("denoised.pgm"))?;
+        }
+    }
+    println!();
+    println!(
+        "wrote clean/noisy/denoised images to {}",
+        out_dir.display()
+    );
+    println!("note: the estimator sees the scene's own fine texture as");
+    println!("noise floor, so low-noise estimates saturate near it.");
+    Ok(())
+}

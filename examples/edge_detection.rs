@@ -1,0 +1,53 @@
+//! Multiscale wavelet edge detection (modulus maxima) on the synthetic
+//! Landsat scene — the "feature extraction" application of the paper's
+//! introduction — with the maps written out as PGM images.
+//!
+//! ```text
+//! cargo run --release --example edge_detection
+//! ls target/edge_detection/
+//! ```
+
+use dwt::features::{edge_field, modulus_maxima};
+use dwt::{FilterBank, Matrix};
+use imagery::pgm::{normalize_for_display, write_pgm};
+use imagery::{landsat_scene, SceneParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/edge_detection");
+    std::fs::create_dir_all(out_dir)?;
+
+    let scene = landsat_scene(256, 256, SceneParams::default());
+    write_pgm(&scene, out_dir.join("scene.pgm"))?;
+
+    let bank = FilterBank::haar();
+    println!("multiscale wavelet modulus maxima on a 256x256 scene:");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "scale", "max modulus", "edge pixels", "edge fraction"
+    );
+    for level in 1..=3usize {
+        let field = edge_field(&scene, &bank, level)?;
+        // Threshold at 20% of the maximum response at this scale.
+        let max_mod = field.modulus.data().iter().cloned().fold(0.0, f64::max);
+        let mask = modulus_maxima(&field, 0.2 * max_mod);
+        let count = mask.data().iter().filter(|&&v| v > 0.0).count();
+        println!(
+            "{level:>6} {max_mod:>14.2} {count:>12} {:>14.4}",
+            count as f64 / (256.0 * 256.0)
+        );
+        write_pgm(
+            &normalize_for_display(&field.modulus),
+            out_dir.join(format!("modulus_l{level}.pgm")),
+        )?;
+        let display = Matrix::from_fn(256, 256, |r, c| mask.get(r, c) * 255.0);
+        write_pgm(&display, out_dir.join(format!("edges_l{level}.pgm")))?;
+    }
+    println!();
+    println!(
+        "wrote scene, modulus and edge maps to {} — edges that persist",
+        out_dir.display()
+    );
+    println!("across scales are real structure (rivers, field borders);");
+    println!("single-scale responses are sensor noise.");
+    Ok(())
+}

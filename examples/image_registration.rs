@@ -1,0 +1,77 @@
+//! Wavelet-based image registration — the remote-sensing application
+//! (Le Moigne) that motivated fast wavelet decomposition at NASA:
+//! register a shifted, differently-noised acquisition of a scene back
+//! to its reference, coarse-to-fine over the pyramid.
+//!
+//! ```text
+//! cargo run --release --example image_registration
+//! ```
+
+use dwt::FilterBank;
+use imagery::register::{ncc_at, register_translation, shift_periodic, RegisterParams};
+use imagery::{landsat_scene, SceneParams, TmBand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::daubechies(4)?;
+
+    println!("registering acquisitions against the reference scene:");
+    println!(
+        "{:>24} {:>12} {:>12} {:>8}",
+        "case", "true shift", "estimated", "NCC"
+    );
+
+    // Case 1: same band, new sensor noise, known shift.
+    let renoised = landsat_scene(
+        256,
+        256,
+        SceneParams {
+            sensor_noise: 5.0,
+            ..SceneParams::default()
+        },
+    );
+    for (dy, dx) in [(12isize, -7isize), (-20, 33), (0, 0)] {
+        let target = shift_periodic(&renoised, dy, dx);
+        let reg = register_translation(&reference, &target, &bank, RegisterParams::default())?;
+        println!(
+            "{:>24} {:>12} {:>12} {:>8.4}",
+            "noisy re-acquisition",
+            format!("({dy},{dx})"),
+            format!("({},{})", reg.dy, reg.dx),
+            reg.score
+        );
+        assert_eq!((reg.dy, reg.dx), (dy, dx));
+    }
+
+    // Case 2: band-to-band registration (different spectral response).
+    let nir = landsat_scene(
+        256,
+        256,
+        SceneParams {
+            band: TmBand::NearInfrared,
+            ..SceneParams::default()
+        },
+    );
+    let target = shift_periodic(&nir, 9, 18);
+    let reg = register_translation(&reference, &target, &bank, RegisterParams::default())?;
+    println!(
+        "{:>24} {:>12} {:>12} {:>8.4}",
+        "NIR band vs visible",
+        "(9,18)",
+        format!("({},{})", reg.dy, reg.dx),
+        reg.score
+    );
+    assert_eq!((reg.dy, reg.dx), (9, 18));
+
+    // Show the search is doing real work: the unshifted correlation is
+    // far worse than the registered one.
+    let naive = ncc_at(&reference, &target, 0, 0);
+    println!();
+    println!(
+        "correlation before registration {naive:.4}, after {:.4}",
+        reg.score
+    );
+    println!("the coarse-to-fine pyramid search does an exhaustive scan only");
+    println!("at 1/64 the pixels, then +/-1-pixel refinements per level.");
+    Ok(())
+}

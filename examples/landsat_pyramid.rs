@@ -1,0 +1,58 @@
+//! Multi-resolution pyramid of a remote-sensing scene, written out as
+//! PGM images for visual inspection — the paper's motivating EOSDIS
+//! use case (browse products at multiple resolutions).
+//!
+//! ```text
+//! cargo run --release --example landsat_pyramid
+//! ls target/landsat_pyramid/
+//! ```
+
+use dwt::{dwt2d, Boundary, FilterBank, Pyramid};
+use imagery::pgm::{normalize_for_display, write_pgm};
+use imagery::{landsat_scene, SceneParams, TmBand};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::path::Path::new("target/landsat_pyramid");
+    std::fs::create_dir_all(out_dir)?;
+
+    let bank = FilterBank::daubechies(8)?;
+    for (band, name) in [
+        (TmBand::Visible, "visible"),
+        (TmBand::NearInfrared, "nir"),
+        (TmBand::Thermal, "thermal"),
+    ] {
+        let scene = landsat_scene(
+            512,
+            512,
+            SceneParams {
+                band,
+                ..SceneParams::default()
+            },
+        );
+        write_pgm(&scene, out_dir.join(format!("{name}.pgm")))?;
+
+        let pyramid: Pyramid = dwt2d::decompose(&scene, &bank, 3, Boundary::Periodic)?;
+        // The standard Mallat mosaic: LL in the corner, detail quadrants
+        // around it (contrast-stretched for display).
+        let mosaic = normalize_for_display(&pyramid.to_mallat_layout());
+        write_pgm(&mosaic, out_dir.join(format!("{name}_mallat.pgm")))?;
+
+        // Browse products: the LL band at each level, rescaled to 0..255.
+        let mut ll = scene.clone();
+        for level in 1..=3usize {
+            let (next, _) = dwt2d::analyze_step(&ll, &bank, Boundary::Periodic)?;
+            ll = next;
+            // LL coefficients scale by 2 per level; normalize back.
+            let scale = 1.0 / (1 << level) as f64;
+            let browse = dwt::Matrix::from_fn(ll.rows(), ll.cols(), |r, c| {
+                (ll.get(r, c) * scale).clamp(0.0, 255.0)
+            });
+            write_pgm(&browse, out_dir.join(format!("{name}_browse_l{level}.pgm")))?;
+        }
+        println!(
+            "{name}: wrote full scene, Mallat mosaic and 3 browse levels to {}",
+            out_dir.display()
+        );
+    }
+    Ok(())
+}

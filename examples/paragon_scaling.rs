@@ -1,0 +1,57 @@
+//! Run the paper's Paragon scaling experiment end to end on the
+//! simulated machine: distributed Mallat decomposition with snake-like
+//! placement, checked bit-for-bit against the sequential transform.
+//!
+//! ```text
+//! cargo run --release --example paragon_scaling
+//! ```
+
+use dwt::{dwt2d, Boundary, FilterBank};
+use dwt_mimd::{run_mimd_dwt, MimdDwtConfig};
+use imagery::{landsat_scene, SceneParams};
+use paragon::{MachineSpec, Mapping, SpmdConfig};
+use perfbudget::BudgetReport;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = landsat_scene(256, 256, SceneParams::default());
+    let bank = FilterBank::daubechies(8)?;
+    let cfg = MimdDwtConfig::tuned(bank.clone(), 1);
+
+    // Ground truth from the sequential library.
+    let reference = dwt2d::decompose(&image, &bank, 1, Boundary::Periodic)?;
+
+    println!("F8/L1 on the simulated Intel Paragon (snake placement):");
+    println!(
+        "{:>4} {:>12} {:>9} {:>8} {:>8} {:>8}",
+        "P", "T(s)", "speedup", "useful", "comm", "imbal"
+    );
+    let mut t1 = 0.0;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let scfg = SpmdConfig {
+            machine: MachineSpec::paragon(),
+            nranks: p,
+            mapping: Mapping::Snake,
+        };
+        let run = run_mimd_dwt(&scfg, &cfg, &image)?;
+        assert_eq!(
+            run.pyramid, reference,
+            "distributed result must be bit-identical"
+        );
+        let t = run.parallel_time();
+        if p == 1 {
+            t1 = t;
+        }
+        let rep = BudgetReport::from_ranks(&run.budgets).expect("ranks");
+        println!(
+            "{p:>4} {t:>12.4} {:>9.2} {:>7.1}% {:>7.1}% {:>7.1}%",
+            t1 / t,
+            rep.useful_pct(),
+            rep.communication_pct(),
+            rep.imbalance_pct()
+        );
+    }
+    println!();
+    println!("every row produced exactly the same coefficients as the");
+    println!("sequential transform — only the virtual time changes.");
+    Ok(())
+}

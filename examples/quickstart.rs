@@ -1,0 +1,51 @@
+//! Quickstart: decompose an image with the Mallat algorithm, inspect the
+//! sub-bands, and reconstruct it exactly.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dwt::{compress, dwt2d, Boundary, FilterBank};
+use imagery::{landsat_scene, SceneParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic 256x256 Landsat-TM-like scene (deterministic).
+    let image = landsat_scene(256, 256, SceneParams::default());
+    println!("image: {}x{} pixels", image.rows(), image.cols());
+
+    // The paper's filter size 4 = Daubechies D4, two decomposition levels.
+    let bank = FilterBank::daubechies(4)?;
+    let pyramid = dwt2d::decompose(&image, &bank, 2, Boundary::Periodic)?;
+
+    println!("decomposed into {} levels:", pyramid.levels());
+    for (i, bands) in pyramid.detail.iter().enumerate() {
+        println!(
+            "  level {}: {}x{} sub-bands, detail energy LH={:.1} HL={:.1} HH={:.1}",
+            i + 1,
+            bands.rows(),
+            bands.cols(),
+            bands.lh.energy(),
+            bands.hl.energy(),
+            bands.hh.energy()
+        );
+    }
+    println!(
+        "  LL (the compressed image I_{}): {}x{}",
+        pyramid.levels(),
+        pyramid.approx.rows(),
+        pyramid.approx.cols()
+    );
+
+    // Energy is preserved (Parseval) ...
+    let rel = (pyramid.energy() - image.energy()).abs() / image.energy();
+    println!("energy preserved to relative error {rel:.2e}");
+
+    // ... and reconstruction is exact.
+    let back = dwt2d::reconstruct(&pyramid, &bank, Boundary::Periodic)?;
+    let err = image.max_abs_diff(&back).expect("same shape");
+    println!("perfect reconstruction: max abs error {err:.2e}");
+    let psnr = compress::psnr(&image, &back, 255.0).expect("same shape");
+    println!("PSNR {psnr:.1} dB");
+    assert!(err < 1e-9);
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The Appendix C toolchain end to end: write a small *program*, execute
+//! it in the trace VM (the `spy` stage), schedule the dynamic trace on
+//! the oracle (the SITA stage), and characterize the workload — then
+//! save the trace to disk and show the analysis reproduces from the
+//! file.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use workload::centroid::Centroid;
+use workload::epi::{schedule_executed, MachineModel};
+use workload::io::{read_trace, write_trace};
+use workload::oracle::{schedule, smoothability};
+use workload::program::{counted_loop, trace_program, Inst};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dot-product-like kernel: load two arrays, multiply-accumulate.
+    let body = vec![
+        Inst::Load { dst: 5, addr: 0 },  // a[i]
+        Inst::Load { dst: 6, addr: 1 },  // b[i]
+        Inst::FMul { dst: 7, a: 5, b: 6 },
+        Inst::Add { dst: 2, a: 2, b: 7 }, // acc +=
+        Inst::Add { dst: 0, a: 0, b: 3 }, // advance pointers
+        Inst::Add { dst: 1, a: 1, b: 3 },
+    ];
+    let mut prog = counted_loop(64, body);
+    // Initialize pointers/stride before the loop runs (prepend).
+    let mut insts = vec![
+        Inst::LoadImm { dst: 0, imm: 0 },
+        Inst::LoadImm { dst: 1, imm: 64 },
+        Inst::LoadImm { dst: 2, imm: 0 },
+        Inst::LoadImm { dst: 3, imm: 1 },
+    ];
+    insts.extend(prog.insts.drain(..));
+    // Fix branch target offset caused by prepending 4 instructions.
+    for inst in &mut insts {
+        if let Inst::BranchNz { target, .. } = inst {
+            *target += 4;
+        }
+    }
+    let prog = workload::program::Program { insts };
+
+    let trace = trace_program(&prog, 128, 100_000)?;
+    println!("traced {} dynamic instructions", trace.len());
+    let counts = trace.class_counts();
+    println!(
+        "mix: mem {} / int {} / branch {} / fp {}",
+        counts[0], counts[1], counts[2], counts[4]
+    );
+
+    let sched = schedule(&trace);
+    println!(
+        "oracle: CPL = {}, average parallelism = {:.2}",
+        sched.cpl(),
+        sched.avg_parallelism()
+    );
+    let c = Centroid::from_schedule(&sched);
+    println!(
+        "centroid (per cycle): mem {:.2}, int {:.2}, fp {:.2}",
+        c.0[0], c.0[1], c.0[4]
+    );
+    let sm = smoothability(&trace);
+    println!("smoothability: {:.3}", sm.smoothability);
+
+    // Executed parallelism on two machine models.
+    for (name, m) in [
+        ("Cray Y-MP-like", MachineModel::cray_ymp_like()),
+        ("narrow RISC", MachineModel::narrow_risc()),
+    ] {
+        let exec = schedule_executed(&trace, &m);
+        println!(
+            "executed on {name:<16}: {} cycles ({}x the oracle's)",
+            exec.cycles(),
+            exec.cycles() / sched.cpl().max(1)
+        );
+    }
+
+    // Round-trip through the on-disk format.
+    let dir = std::path::Path::new("target/trace_pipeline");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("dotprod.trace");
+    write_trace(&trace, std::fs::File::create(&path)?)?;
+    let back = read_trace(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(back, trace);
+    println!("trace saved to {} and re-read identically", path.display());
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over the core invariants, across crates.
+
+use dwt::{compress, dwt1d, dwt2d, Boundary, FilterBank, Matrix};
+use proptest::prelude::*;
+use workload::centroid::{similarity, Centroid};
+use workload::oracle::{schedule, schedule_finite};
+use workload::{OpClass, TraceBuilder};
+
+fn arb_filter() -> impl Strategy<Value = FilterBank> {
+    prop_oneof![
+        Just(FilterBank::daubechies(2).unwrap()),
+        Just(FilterBank::daubechies(4).unwrap()),
+        Just(FilterBank::daubechies(6).unwrap()),
+        Just(FilterBank::daubechies(8).unwrap()),
+        Just(FilterBank::daubechies(10).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Perfect reconstruction for arbitrary signals, filters and depths.
+    #[test]
+    fn dwt1d_perfect_reconstruction(
+        bank in arb_filter(),
+        data in prop::collection::vec(-1e3f64..1e3, 64),
+        levels in 1usize..=3,
+    ) {
+        let dec = dwt1d::decompose(&data, &bank, levels, Boundary::Periodic).unwrap();
+        let rec = dwt1d::reconstruct(&dec, &bank, Boundary::Periodic).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            // Tabulated filter taps carry ~15 digits, so reconstruction
+            // is exact relative to the signal magnitude.
+            prop_assert!((a - b).abs() < 1e-7 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// Parseval: coefficient energy equals signal energy (periodic).
+    #[test]
+    fn dwt1d_energy_preservation(
+        bank in arb_filter(),
+        data in prop::collection::vec(-1e2f64..1e2, 32),
+    ) {
+        let dec = dwt1d::decompose(&data, &bank, 2, Boundary::Periodic).unwrap();
+        let sig: f64 = data.iter().map(|v| v * v).sum();
+        prop_assert!((dec.energy() - sig).abs() <= 1e-8 * sig.max(1.0));
+    }
+
+    /// 2-D round trip on arbitrary small images.
+    #[test]
+    fn dwt2d_round_trip(
+        bank in arb_filter(),
+        seed in 0u64..1000,
+        rows in 1usize..=2,
+        cols in 1usize..=2,
+    ) {
+        // 32-multiple sides keep level 2 at >= 16 samples, enough for
+        // the longest built-in filter (D10).
+        let (r, c) = (32 * rows, 32 * cols);
+        let img = Matrix::from_fn(r, c, |i, j| {
+            (((i * 31 + j * 17) as u64 ^ seed) % 255) as f64
+        });
+        let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let rec = dwt2d::reconstruct(&pyr, &bank, Boundary::Periodic).unwrap();
+        prop_assert!(img.max_abs_diff(&rec).unwrap() < 1e-8);
+    }
+
+    /// Hard thresholding never increases coefficient energy, and the
+    /// kept count decreases monotonically with the threshold.
+    #[test]
+    fn thresholding_monotonicity(t1 in 0.0f64..10.0, t2 in 0.0f64..10.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let img = Matrix::from_fn(16, 16, |i, j| ((i * 7 + j * 13) % 29) as f64 - 14.0);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let base = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let sa = compress::threshold_details(&mut a, compress::Threshold::Hard(lo));
+        let sb = compress::threshold_details(&mut b, compress::Threshold::Hard(hi));
+        prop_assert!(sb.kept_detail_coeffs <= sa.kept_detail_coeffs);
+        prop_assert!(a.energy() <= base.energy() + 1e-9);
+        prop_assert!(b.energy() <= a.energy() + 1e-9);
+    }
+
+    /// Similarity is a bounded, symmetric, identity-respecting measure.
+    #[test]
+    fn similarity_metric_properties(
+        a in prop::array::uniform5(0.0f64..100.0),
+        b in prop::array::uniform5(0.0f64..100.0),
+    ) {
+        let ca = Centroid(a);
+        let cb = Centroid(b);
+        let s = similarity(&ca, &cb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "similarity {s}");
+        prop_assert!((s - similarity(&cb, &ca)).abs() < 1e-12);
+        prop_assert!(similarity(&ca, &ca) == 0.0);
+    }
+
+    /// Oracle schedule: levels respect dependencies and PIs account for
+    /// every instruction; a width-limited schedule is never shorter than
+    /// the oracle's.
+    #[test]
+    fn oracle_schedule_invariants(
+        structure in prop::collection::vec((0usize..5, 0usize..4), 10..200),
+        width in 1usize..8,
+    ) {
+        let mut b = TraceBuilder::new();
+        for (i, &(class, ndeps)) in structure.iter().enumerate() {
+            let class = OpClass::ALL[class];
+            let deps: Vec<u32> = (0..ndeps.min(i))
+                .map(|k| (i - 1 - k) as u32)
+                .collect();
+            b.emit(class, &deps);
+        }
+        let trace = b.build();
+        let s = schedule(&trace);
+        // Dependencies strictly precede their consumers.
+        for (i, ins) in trace.instrs.iter().enumerate() {
+            for &d in &ins.deps {
+                prop_assert!(s.levels[d as usize] < s.levels[i]);
+            }
+        }
+        // PIs cover all instructions exactly once.
+        let total: u32 = s.pis.iter().flat_map(|pi| pi.iter()).sum();
+        prop_assert_eq!(total as usize, trace.len());
+        // Finite width cannot beat the dataflow bound.
+        let f = schedule_finite(&trace, width);
+        prop_assert!(f.cycles >= s.cpl());
+        prop_assert!(f.cycles <= trace.len());
+    }
+
+    /// CIC deposition conserves charge for arbitrary particles.
+    #[test]
+    fn deposit_conserves_charge(
+        positions in prop::collection::vec(
+            prop::array::uniform3(0.0f64..8.0), 1..100),
+        charge in -5.0f64..5.0,
+    ) {
+        let particles: Vec<pic::Particle> = positions
+            .into_iter()
+            .map(|pos| pic::Particle { pos, vel: [0.0; 3] })
+            .collect();
+        let mut rho = pic::Grid3::zeros(8);
+        pic::deposit::deposit(&mut rho, &particles, charge);
+        let expect = charge * particles.len() as f64;
+        prop_assert!((rho.total() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+    }
+
+    /// Barnes-Hut with theta=0 equals direct summation for any layout.
+    #[test]
+    fn barnes_hut_theta_zero_exact(
+        coords in prop::collection::vec(prop::array::uniform2(-10.0f64..10.0), 2..40),
+    ) {
+        let bodies: Vec<nbody::Body> = coords
+            .into_iter()
+            .map(|pos| nbody::Body::at(pos, 1.0))
+            .collect();
+        let (tree, _) = nbody::QuadTree::build(&bodies);
+        let p = nbody::ForceParams {
+            theta: 0.0,
+            ..Default::default()
+        };
+        for i in 0..bodies.len().min(5) {
+            let (bh, _) = nbody::tree_force(&tree, &bodies, i, &p);
+            let ex = nbody::direct_force(&bodies, i, &p);
+            prop_assert!((bh[0] - ex[0]).abs() < 1e-6);
+            prop_assert!((bh[1] - ex[1]).abs() < 1e-6);
+        }
+    }
+
+    /// Costzones always yields a complete, disjoint partition.
+    #[test]
+    fn costzones_partition_properties(
+        n in 2usize..200,
+        zones in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let mut bodies = nbody::galaxy::two_galaxies(n, seed);
+        for (i, b) in bodies.iter_mut().enumerate() {
+            b.cost = 1 + (i as u64 % 37);
+        }
+        let (tree, _) = nbody::QuadTree::build(&bodies);
+        let partition = nbody::costzones::costzones(&tree, &bodies, zones);
+        prop_assert_eq!(partition.len(), zones);
+        let mut seen: Vec<u32> = partition.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end fidelity of the simulated applications: parallel runs must
+//! reproduce the sequential physics, budgets must account for all time,
+//! and everything must be deterministic.
+
+use nbody::force::ForceParams;
+use nbody::parallel::NbodyConfig;
+use paragon::{MachineSpec, Mapping, SpmdConfig};
+use pic::parallel::{GsumAlgo, ParPicConfig};
+use pic::sim::{PicConfig, PicState};
+
+fn paragon(p: usize) -> SpmdConfig {
+    SpmdConfig {
+        machine: MachineSpec::paragon(),
+        nranks: p,
+        mapping: Mapping::Snake,
+    }
+}
+
+#[test]
+fn nbody_parallel_equals_serial_on_both_machines() {
+    let init = nbody::galaxy::two_galaxies(96, 3);
+    let mut reference = init.clone();
+    nbody::serial::run(&mut reference, &ForceParams::default(), 0.01, 2);
+    let cfg = NbodyConfig::manager(ForceParams::default(), 0.01, 2);
+    for scfg in [
+        paragon(6),
+        SpmdConfig {
+            machine: MachineSpec::t3d(),
+            nranks: 6,
+            mapping: Mapping::RowMajor,
+        },
+    ] {
+        let run = nbody::parallel::run_parallel(&scfg, &cfg, &init);
+        assert_eq!(run.bodies, reference, "{}", scfg.machine.name);
+    }
+}
+
+#[test]
+fn pic_parallel_tracks_serial_on_both_machines() {
+    let init = pic::particle::uniform_plasma(400, 8, 0.2, 9);
+    let mut serial = PicState {
+        cfg: PicConfig {
+            m: 8,
+            ..Default::default()
+        },
+        particles: init.clone(),
+    };
+    for _ in 0..2 {
+        pic::sim::step(&mut serial);
+    }
+    for machine in [MachineSpec::paragon(), MachineSpec::t3d()] {
+        let scfg = SpmdConfig {
+            machine,
+            nranks: 4,
+            mapping: Mapping::RowMajor,
+        };
+        let cfg = ParPicConfig {
+            pic: PicConfig {
+                m: 8,
+                ..Default::default()
+            },
+            steps: 2,
+            gsum: GsumAlgo::TreePrefix,
+        };
+        let run = pic::parallel::run_parallel(&scfg, &cfg, &init);
+        for (a, b) in run.particles.iter().zip(&serial.particles) {
+            for d in 0..3 {
+                assert!(
+                    (a.pos[d] - b.pos[d]).abs() < 1e-6,
+                    "{}: {:?} vs {:?}",
+                    scfg.machine.name,
+                    a.pos,
+                    b.pos
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn budgets_account_for_all_time() {
+    // useful + comm + redundancy-ish + wait must equal each rank's
+    // completion time (nothing leaks out of the accounting).
+    let init = nbody::galaxy::two_galaxies(128, 5);
+    let cfg = NbodyConfig::manager(ForceParams::default(), 0.01, 2);
+    let run = nbody::parallel::run_parallel(&paragon(8), &cfg, &init);
+    for (rank, b) in run.budgets.iter().enumerate() {
+        let sum = b.useful + b.communication + b.duplication + b.unique_redundancy + b.wait;
+        assert!(
+            (sum - b.completion).abs() < 1e-9 * b.completion.max(1e-12),
+            "rank {rank}: categories sum to {sum}, completion {}",
+            b.completion
+        );
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let init = nbody::galaxy::two_galaxies(64, 1);
+    let cfg = NbodyConfig::manager(ForceParams::default(), 0.01, 1);
+    let a = nbody::parallel::run_parallel(&paragon(4), &cfg, &init);
+    let b = nbody::parallel::run_parallel(&paragon(4), &cfg, &init);
+    assert_eq!(a.bodies, b.bodies);
+    assert_eq!(a.budgets, b.budgets);
+
+    let pinit = pic::particle::uniform_plasma(200, 8, 0.2, 2);
+    let pcfg = ParPicConfig {
+        pic: PicConfig {
+            m: 8,
+            ..Default::default()
+        },
+        steps: 2,
+        gsum: GsumAlgo::NaiveGssum,
+    };
+    let x = pic::parallel::run_parallel(&paragon(4), &pcfg, &pinit);
+    let y = pic::parallel::run_parallel(&paragon(4), &pcfg, &pinit);
+    assert_eq!(x.particles, y.particles);
+    assert_eq!(x.budgets, y.budgets);
+}
+
+#[test]
+fn more_ranks_never_break_correctness_under_odd_counts() {
+    // Rank counts that do not divide the problem sizes evenly.
+    let init = nbody::galaxy::two_galaxies(101, 8);
+    let mut reference = init.clone();
+    nbody::serial::run(&mut reference, &ForceParams::default(), 0.01, 1);
+    let cfg = NbodyConfig::manager(ForceParams::default(), 0.01, 1);
+    for p in [3usize, 5, 7, 11] {
+        let run = nbody::parallel::run_parallel(&paragon(p), &cfg, &init);
+        assert_eq!(run.bodies, reference, "P={p}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-validation of the transform extensions (SWT, packets, lifting)
+//! against each other and the core Mallat transform on real scenes.
+
+use dwt::packets::{best_basis, decompose_full, reconstruct as packet_rec, PacketNode};
+use dwt::{dwt2d, lifting, swt, Boundary, FilterBank};
+use imagery::{landsat_scene, SceneParams};
+
+fn scene(n: usize) -> dwt::Matrix {
+    landsat_scene(n, n, SceneParams::default())
+}
+
+#[test]
+fn swt_samples_match_mallat_on_a_real_scene() {
+    let img = scene(64);
+    let bank = FilterBank::daubechies(4).unwrap();
+    let undecimated = swt::decompose(&img, &bank, 2).unwrap();
+    let mallat = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+    for (k, bands) in mallat.detail.iter().enumerate() {
+        let s = &undecimated.levels[k];
+        assert!(
+            swt::sample_band(&s.hh, k + 1)
+                .max_abs_diff(&bands.hh)
+                .unwrap()
+                < 1e-10
+        );
+    }
+}
+
+#[test]
+fn every_transform_inverts_on_the_scene() {
+    let img = scene(64);
+    let bank = FilterBank::daubechies(8).unwrap();
+
+    let mallat = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    assert!(
+        img.max_abs_diff(&dwt2d::reconstruct(&mallat, &bank, Boundary::Periodic).unwrap())
+            .unwrap()
+            < 1e-8
+    );
+
+    let stationary = swt::decompose(&img, &bank, 2).unwrap();
+    assert!(
+        img.max_abs_diff(&swt::reconstruct(&stationary, &bank).unwrap())
+            .unwrap()
+            < 1e-8
+    );
+
+    let packets = decompose_full(&img, &bank, 2, Boundary::Periodic).unwrap();
+    assert!(
+        img.max_abs_diff(&packet_rec(&packets, &bank, Boundary::Periodic).unwrap())
+            .unwrap()
+            < 1e-8
+    );
+
+    for kind in [lifting::LiftingKind::Cdf97, lifting::LiftingKind::LeGall53] {
+        let pyr = lifting::decompose(&img, kind, 3).unwrap();
+        assert!(
+            img.max_abs_diff(&lifting::reconstruct(&pyr, kind).unwrap())
+                .unwrap()
+                < 1e-8,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn best_basis_is_at_least_as_compact_as_mallat() {
+    // The Mallat tree is one admissible packet basis, so the best basis
+    // can never have a higher entropy cost than it.
+    let img = scene(64);
+    let bank = FilterBank::daubechies(4).unwrap();
+    let norm2 = img.energy();
+    let (best, best_cost) = best_basis(&img, &bank, 3, Boundary::Periodic).unwrap();
+    // Cost of the Mallat-shaped basis: decompose LL-only recursively.
+    let pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    let mut mallat_cost = dwt::packets::entropy_cost(&pyr.approx, norm2);
+    for bands in &pyr.detail {
+        mallat_cost += dwt::packets::entropy_cost(&bands.lh, norm2);
+        mallat_cost += dwt::packets::entropy_cost(&bands.hl, norm2);
+        mallat_cost += dwt::packets::entropy_cost(&bands.hh, norm2);
+    }
+    assert!(
+        best_cost <= mallat_cost + 1e-9,
+        "best basis {best_cost} vs Mallat {mallat_cost}"
+    );
+    assert!(best.coefficients() == 64 * 64);
+}
+
+#[test]
+fn cdf97_beats_d8_at_equal_coefficient_budget_on_the_scene() {
+    // The JPEG 2000 filter should compress the remote-sensing scene at
+    // least as well as the orthonormal D8 at the same keep fraction.
+    let img = scene(128);
+    let keep = 0.05;
+
+    let bank = FilterBank::daubechies(8).unwrap();
+    let mut d8 = dwt2d::decompose(&img, &bank, 4, Boundary::Periodic).unwrap();
+    dwt::compress::compress_to_fraction(&mut d8, keep);
+    let rec_d8 = dwt2d::reconstruct(&d8, &bank, Boundary::Periodic).unwrap();
+    let psnr_d8 = dwt::compress::psnr(&img, &rec_d8, 255.0).unwrap();
+
+    let mut p97 = lifting::decompose(&img, lifting::LiftingKind::Cdf97, 4).unwrap();
+    dwt::compress::compress_to_fraction(&mut p97, keep);
+    let rec_97 = lifting::reconstruct(&p97, lifting::LiftingKind::Cdf97).unwrap();
+    let psnr_97 = dwt::compress::psnr(&img, &rec_97, 255.0).unwrap();
+
+    // Both should produce usable imagery; 9/7 should be competitive
+    // (within 1 dB) or better.
+    assert!(psnr_d8 > 25.0, "D8 PSNR {psnr_d8}");
+    assert!(
+        psnr_97 > psnr_d8 - 1.0,
+        "CDF 9/7 {psnr_97} dB vs D8 {psnr_d8} dB"
+    );
+}
+
+#[test]
+fn packet_tree_shapes_adapt_to_content() {
+    let bank = FilterBank::haar();
+    // Smooth scene: best basis should stay close to the Mallat shape
+    // (few splits of detail bands). High-frequency checkerboard: the
+    // detail branch must split.
+    let smooth = dwt::Matrix::from_fn(32, 32, |r, c| (r + c) as f64);
+    let (tree_smooth, _) = best_basis(&smooth, &bank, 2, Boundary::Periodic).unwrap();
+    let checker = dwt::Matrix::from_fn(32, 32, |r, c| if (r + c) % 2 == 0 { 50.0 } else { -50.0 });
+    let (tree_checker, _) = best_basis(&checker, &bank, 2, Boundary::Periodic).unwrap();
+    // The checkerboard concentrates into a single HH packet: its best
+    // basis is a split with (mostly) leaf children, while remaining a
+    // valid representation either way.
+    match (&tree_smooth, &tree_checker) {
+        (PacketNode::Leaf(_), _) | (PacketNode::Split(_), _) => {}
+    }
+    let rec = packet_rec(&tree_checker, &bank, Boundary::Periodic).unwrap();
+    assert!(checker.max_abs_diff(&rec).unwrap() < 1e-9);
+}

@@ -50,5 +50,10 @@ fn bench_boundary_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decompose, bench_reconstruct, bench_boundary_modes);
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_reconstruct,
+    bench_boundary_modes
+);
 criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benchmarks of the fused cache-blocked engine against the
+//! legacy materializing separable path.
+//!
+//! Default runs use a reduced size matrix to keep `cargo bench` quick;
+//! set `REPRO_FULL=1` for the full 256²–4096² sweep. The machine-readable
+//! companion (`BENCH_dwt.json`) is produced by the `bench_dwt` binary.
+
+use bench::full_size;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwt::engine::DwtPlan;
+use dwt::{dwt2d, Boundary, FilterBank};
+use imagery::{landsat_scene, SceneParams};
+use std::hint::black_box;
+
+const LEVELS: usize = 3;
+
+fn banks() -> Vec<FilterBank> {
+    vec![
+        FilterBank::haar(),
+        FilterBank::daubechies(4).unwrap(),
+        FilterBank::daubechies(8).unwrap(),
+        FilterBank::coiflet(6).unwrap(),
+    ]
+}
+
+fn sizes() -> Vec<usize> {
+    if full_size() {
+        vec![256, 512, 1024, 2048, 4096]
+    } else {
+        vec![256, 512]
+    }
+}
+
+/// Engine (zero-allocation plan reuse) vs the legacy two-pass separable
+/// reference, across image sizes and filter banks.
+fn bench_engine_vs_legacy(c: &mut Criterion) {
+    for n in sizes() {
+        let img = landsat_scene(n, n, SceneParams::default());
+        let mut group = c.benchmark_group(format!("dwt2d_engine_vs_legacy_{n}"));
+        group.sample_size(if n >= 1024 { 10 } else { 20 });
+        for bank in banks() {
+            let plan = DwtPlan::new(n, n, bank.clone(), LEVELS, Boundary::Periodic).unwrap();
+            let mut ws = plan.make_workspace();
+            let mut pyr = plan.make_pyramid();
+            group.bench_with_input(BenchmarkId::new("engine", bank.name()), &bank, |b, _| {
+                b.iter(|| {
+                    plan.decompose_into(black_box(&img), &mut ws, &mut pyr)
+                        .unwrap()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("legacy", bank.name()), &bank, |b, bank| {
+                b.iter(|| {
+                    dwt2d::decompose_separable(black_box(&img), bank, LEVELS, Boundary::Periodic)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Thread scaling of the engine's striped lane partitioning.
+fn bench_engine_threads(c: &mut Criterion) {
+    let n = if full_size() { 2048 } else { 512 };
+    let img = landsat_scene(n, n, SceneParams::default());
+    let bank = FilterBank::daubechies(4).unwrap();
+    let mut group = c.benchmark_group(format!("engine_threads_{n}_d4_l3"));
+    group.sample_size(if n >= 1024 { 10 } else { 20 });
+    for threads in [1usize, 2, 4, 8] {
+        let plan = DwtPlan::new(n, n, bank.clone(), LEVELS, Boundary::Periodic)
+            .unwrap()
+            .with_threads(threads);
+        let mut ws = plan.make_workspace();
+        let mut pyr = plan.make_pyramid();
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| {
+                plan.decompose_into(black_box(&img), &mut ws, &mut pyr)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Workspace-backed reconstruction vs the allocating separable synthesis.
+fn bench_engine_reconstruct(c: &mut Criterion) {
+    let n = if full_size() { 1024 } else { 512 };
+    let img = landsat_scene(n, n, SceneParams::default());
+    let bank = FilterBank::daubechies(8).unwrap();
+    let plan = DwtPlan::new(n, n, bank.clone(), LEVELS, Boundary::Periodic).unwrap();
+    let mut ws = plan.make_workspace();
+    let pyr = plan.decompose(&img).unwrap();
+    let mut back = dwt::Matrix::zeros(n, n);
+    let mut group = c.benchmark_group(format!("reconstruct_{n}_d8_l3"));
+    group.sample_size(10);
+    group.bench_function("engine", |b| {
+        b.iter(|| {
+            plan.reconstruct_into(black_box(&pyr), &mut ws, &mut back)
+                .unwrap()
+        })
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| dwt2d::reconstruct_separable(black_box(&pyr), &bank, Boundary::Periodic).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_vs_legacy,
+    bench_engine_threads,
+    bench_engine_reconstruct
+);
+criterion_main!(benches);

@@ -43,11 +43,18 @@ fn bench_image_sizes(c: &mut Criterion) {
     for n in [128usize, 256, 512] {
         let img = landsat_scene(n, n, SceneParams::default());
         group.bench_with_input(BenchmarkId::new("n", n), &img, |b, img| {
-            b.iter(|| parallel::decompose_par(black_box(img), &bank, 2, Boundary::Periodic).unwrap())
+            b.iter(|| {
+                parallel::decompose_par(black_box(img), &bank, 2, Boundary::Periodic).unwrap()
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_seq_vs_par, bench_par_reconstruct, bench_image_sizes);
+criterion_group!(
+    benches,
+    bench_seq_vs_par,
+    bench_par_reconstruct,
+    bench_image_sizes
+);
 criterion_main!(benches);

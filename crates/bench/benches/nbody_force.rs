@@ -63,20 +63,21 @@ fn bench_theta_sweep(c: &mut Criterion) {
             theta,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("theta", format!("{theta}")),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    (0..bodies.len())
-                        .map(|i| tree_force(black_box(&tree), &bodies, i, p).1)
-                        .sum::<u64>()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("theta", format!("{theta}")), &p, |b, p| {
+            b.iter(|| {
+                (0..bodies.len())
+                    .map(|i| tree_force(black_box(&tree), &bodies, i, p).1)
+                    .sum::<u64>()
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_force_methods, bench_tree_build, bench_theta_sweep);
+criterion_group!(
+    benches,
+    bench_force_methods,
+    bench_tree_build,
+    bench_theta_sweep
+);
 criterion_main!(benches);

@@ -56,10 +56,7 @@ fn main() {
                     paragon::MachineSpec::paragon()
                 };
                 let t1 = pic::parallel::serial_step_seconds(&machine, n, m, false);
-                println!(
-                    "  grid {m}^3, {} particles (T1 extrapolated: {t1:.2}s):",
-                    n
-                );
+                println!("  grid {m}^3, {} particles (T1 extrapolated: {t1:.2}s):", n);
                 println!(
                     "  {:>4} {:>11} {:>7} {:>11} {:>7} {:>7} {:>7} {:>7} {:>9}",
                     "P", "gssum T", "S", "tree T", "S", "useful", "comm", "imbal", "max/avg"

@@ -32,8 +32,14 @@ fn workload(rows: &[(usize, u32, u32, u32)]) -> Vec<Pi> {
 fn main() {
     // The report's §4.1 example tables (WL5 reconstructed; see header).
     let workloads: Vec<(&str, Vec<Pi>)> = vec![
-        ("WL1", workload(&[(5, 1, 0, 1), (3, 0, 1, 0), (7, 1, 0, 0), (2, 0, 0, 1)])),
-        ("WL2", workload(&[(2, 0, 1, 1), (3, 1, 1, 0), (7, 1, 0, 1), (5, 1, 1, 1)])),
+        (
+            "WL1",
+            workload(&[(5, 1, 0, 1), (3, 0, 1, 0), (7, 1, 0, 0), (2, 0, 0, 1)]),
+        ),
+        (
+            "WL2",
+            workload(&[(2, 0, 1, 1), (3, 1, 1, 0), (7, 1, 0, 1), (5, 1, 1, 1)]),
+        ),
         ("WL3", workload(&[(5, 3, 2, 1), (7, 4, 3, 0)])),
         ("WL4", workload(&[(3, 4, 3, 2), (7, 3, 4, 2)])),
         ("WL5", workload(&[(6, 9, 6, 5), (4, 8, 7, 6)])),
@@ -84,7 +90,10 @@ fn main() {
     let v34 = similarity(&centroids[2].1, &centroids[3].1);
     println!("Frobenius: WL1&WL3 = {f13:.4}  <  WL3&WL4 = {f34:.4}   (inverted!)");
     println!("Centroid:  WL1&WL3 = {v13:.4}  >  WL3&WL4 = {v34:.4}   (correct order)");
-    assert!(f13 < f34, "matrix method ranks the similar pair as more different");
+    assert!(
+        f13 < f34,
+        "matrix method ranks the similar pair as more different"
+    );
     assert!(v13 > v34, "vector space ranks by actual closeness");
 
     banner("worked example (§4.3)");

@@ -24,11 +24,7 @@ fn main() {
 
     for (fig, (f, l)) in PAPER_CONFIGS.iter().enumerate() {
         println!();
-        println!(
-            "--- Figure {} — {} ---",
-            fig + 5,
-            config_label(*f, *l)
-        );
+        println!("--- Figure {} — {} ---", fig + 5, config_label(*f, *l));
         println!(
             "{:>5} {:>14} {:>9} {:>14} {:>9}",
             "P", "snake T(s)", "speedup", "naive T(s)", "speedup"
@@ -36,13 +32,10 @@ fn main() {
         let mut t1_snake = 0.0;
         let mut t1_naive = 0.0;
         for &p in &procs {
-            let snake = dwt_mimd::run_mimd_dwt(
-                &paragon_cfg(p, Mapping::Snake),
-                &tuned_dwt(*f, *l),
-                &img,
-            )
-            .expect("valid dims")
-            .parallel_time();
+            let snake =
+                dwt_mimd::run_mimd_dwt(&paragon_cfg(p, Mapping::Snake), &tuned_dwt(*f, *l), &img)
+                    .expect("valid dims")
+                    .parallel_time();
             let naive = dwt_mimd::run_mimd_dwt(
                 &paragon_cfg(p, Mapping::RowMajor),
                 &naive_dwt(*f, *l),

@@ -75,5 +75,10 @@ fn bench_mimd_dwt_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spmd_phases, bench_maspar_sim, bench_mimd_dwt_sim);
+criterion_group!(
+    benches,
+    bench_spmd_phases,
+    bench_maspar_sim,
+    bench_mimd_dwt_sim
+);
 criterion_main!(benches);

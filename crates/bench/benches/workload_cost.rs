@@ -4,11 +4,11 @@
 //! versus the vector-space centroid (`O(t)` for both).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use workload::centroid::{similarity, Centroid};
 use workload::matrix::ParallelismMatrix;
 use workload::nas::NasKernel;
 use workload::oracle::schedule;
-use std::hint::black_box;
 
 fn bench_representation(c: &mut Criterion) {
     let pis_a = schedule(&NasKernel::Mgrid.trace(1)).pis;

@@ -1,0 +1,180 @@
+//! Machine-readable DWT engine benchmark: measures median ns/pixel of the
+//! fused engine against the legacy separable path and writes
+//! `BENCH_dwt.json` in the current directory.
+//!
+//! The headline comparison is the acceptance configuration: 2048x2048,
+//! Daubechies-4, 3 levels, single thread, plus the threaded engine at the
+//! machine's core count. A smaller size/filter matrix rides along.
+//!
+//! Run from the repo root with `just bench-json` (or
+//! `cargo run --release -p bench --bin bench_dwt`).
+
+use dwt::engine::DwtPlan;
+use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use imagery::{landsat_scene, SceneParams};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `f`, sampled adaptively: at least
+/// `min_samples` runs and at least ~300 ms of total measurement.
+fn median_ns(min_samples: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up run (first touch of buffers, page faults).
+    f();
+    let mut samples = Vec::new();
+    let budget = std::time::Duration::from_millis(300);
+    let started = Instant::now();
+    while samples.len() < min_samples || (started.elapsed() < budget && samples.len() < 25) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: String,
+    size: usize,
+    filter: String,
+    levels: usize,
+    threads: usize,
+    ns_per_px: f64,
+    samples: usize,
+}
+
+fn measure_engine(
+    name: &str,
+    img: &Matrix,
+    bank: &FilterBank,
+    levels: usize,
+    threads: usize,
+) -> Row {
+    let n = img.rows();
+    let plan = DwtPlan::new(n, n, bank.clone(), levels, Boundary::Periodic)
+        .unwrap()
+        .with_threads(threads);
+    let mut ws = plan.make_workspace();
+    let mut pyr = plan.make_pyramid();
+    let med = median_ns(5, || {
+        plan.decompose_into(black_box(img), &mut ws, &mut pyr)
+            .unwrap();
+    });
+    Row {
+        name: name.to_string(),
+        size: n,
+        filter: bank.name().to_string(),
+        levels,
+        threads,
+        ns_per_px: med / (n * n) as f64,
+        samples: 5,
+    }
+}
+
+fn measure_legacy(img: &Matrix, bank: &FilterBank, levels: usize) -> Row {
+    let n = img.rows();
+    let med = median_ns(5, || {
+        dwt2d::decompose_separable(black_box(img), bank, levels, Boundary::Periodic).unwrap();
+    });
+    Row {
+        name: "legacy_separable_1t".to_string(),
+        size: n,
+        filter: bank.name().to_string(),
+        levels,
+        threads: 1,
+        ns_per_px: med / (n * n) as f64,
+        samples: 5,
+    }
+}
+
+fn main() {
+    let levels = 3;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Headline: 2048x2048, D4, 3 levels. -----------------------------
+    eprintln!("headline: 2048x2048 D4 L3 ...");
+    let d4 = FilterBank::daubechies(4).unwrap();
+    let img = landsat_scene(2048, 2048, SceneParams::default());
+    let legacy = measure_legacy(&img, &d4, levels);
+    let engine1 = measure_engine("engine_1t", &img, &d4, levels, 1);
+    let enginep = measure_engine("engine_par", &img, &d4, levels, cores);
+    let speedup = legacy.ns_per_px / engine1.ns_per_px;
+    let par_speedup = legacy.ns_per_px / enginep.ns_per_px;
+    eprintln!(
+        "  legacy {:.2} ns/px | engine(1t) {:.2} ns/px ({speedup:.2}x) | engine({cores}t) {:.2} ns/px ({par_speedup:.2}x)",
+        legacy.ns_per_px, engine1.ns_per_px, enginep.ns_per_px
+    );
+    let headline = format!(
+        concat!(
+            "{{\"size\": 2048, \"filter\": \"D4\", \"levels\": {}, ",
+            "\"legacy_ns_per_px\": {:.3}, \"engine_1t_ns_per_px\": {:.3}, ",
+            "\"engine_1t_speedup\": {:.3}, \"engine_par_threads\": {}, ",
+            "\"engine_par_ns_per_px\": {:.3}, \"engine_par_speedup\": {:.3}}}"
+        ),
+        levels, legacy.ns_per_px, engine1.ns_per_px, speedup, cores, enginep.ns_per_px, par_speedup
+    );
+    rows.push(legacy);
+    rows.push(engine1);
+    rows.push(enginep);
+
+    // --- Filter matrix at 512x512. --------------------------------------
+    let img512 = landsat_scene(512, 512, SceneParams::default());
+    for bank in [
+        FilterBank::haar(),
+        FilterBank::daubechies(4).unwrap(),
+        FilterBank::daubechies(8).unwrap(),
+        FilterBank::coiflet(6).unwrap(),
+    ] {
+        eprintln!("matrix: 512x512 {} L3 ...", bank.name());
+        rows.push(measure_legacy(&img512, &bank, levels));
+        rows.push(measure_engine("engine_1t", &img512, &bank, levels, 1));
+        rows.push(measure_engine("engine_par", &img512, &bank, levels, cores));
+    }
+
+    // --- Size sweep with D4. --------------------------------------------
+    let full = std::env::var("REPRO_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sweep: &[usize] = if full {
+        &[256, 512, 1024, 2048, 4096]
+    } else {
+        &[256, 1024]
+    };
+    for &n in sweep {
+        eprintln!("sweep: {n}x{n} D4 L3 ...");
+        let img = landsat_scene(n, n, SceneParams::default());
+        rows.push(measure_legacy(&img, &d4, levels));
+        rows.push(measure_engine("engine_1t", &img, &d4, levels, 1));
+        rows.push(measure_engine("engine_par", &img, &d4, levels, cores));
+    }
+
+    // --- Emit JSON. ------------------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"dwt2d_engine\",\n");
+    out.push_str("  \"unit\": \"ns_per_pixel_median\",\n");
+    out.push_str(&format!("  \"host_threads\": {cores},\n"));
+    out.push_str(&format!("  \"headline\": {headline},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"size\": {}, \"filter\": \"{}\", ",
+                "\"levels\": {}, \"threads\": {}, \"median_ns_per_px\": {:.3}, ",
+                "\"samples\": {}}}{}\n"
+            ),
+            r.name,
+            r.size,
+            r.filter,
+            r.levels,
+            r.threads,
+            r.ns_per_px,
+            r.samples,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_dwt.json", &out).expect("write BENCH_dwt.json");
+    eprintln!("wrote BENCH_dwt.json");
+}

@@ -18,7 +18,9 @@ pub fn config_label(filter: usize, levels: usize) -> String {
 /// Reduced sizes keep a full `cargo bench` pass quick; set
 /// `REPRO_FULL=1` for the paper's exact sizes.
 pub fn full_size() -> bool {
-    std::env::var("REPRO_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("REPRO_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The 512×512 Landsat-TM stand-in scene of the paper's experiments

@@ -245,9 +245,8 @@ fn rank_body(
 
     for _level in 0..cfg.levels {
         // --- Row pass: needs guard COLUMNS from east peers. ------------
-        let col_guards = exchange_col_guards(
-            ctx, &input, region, pr, pc, rows_l, cols_l, cfg, &mut stats,
-        );
+        let col_guards =
+            exchange_col_guards(ctx, &input, region, pr, pc, rows_l, cols_l, cfg, &mut stats);
         let out_c = output_range(region.cols);
         let own_rows = region.rows.rows();
         let out_cols = out_c.hi - out_c.lo;
@@ -354,12 +353,16 @@ fn rank_body(
                     let (l, h) = &row_guards[&g];
                     (l, h)
                 };
-                for c in 0..out_cols {
-                    *ll.row_mut(ki).get_mut(c).unwrap() += tl * lrow[c];
-                    *lh.row_mut(ki).get_mut(c).unwrap() += th * lrow[c];
-                    *hl.row_mut(ki).get_mut(c).unwrap() += tl * hrow[c];
-                    *hh.row_mut(ki).get_mut(c).unwrap() += th * hrow[c];
-                }
+                dwt::engine::kernel::accumulate_quad(
+                    ll.row_mut(ki),
+                    lh.row_mut(ki),
+                    hl.row_mut(ki),
+                    hh.row_mut(ki),
+                    lrow,
+                    hrow,
+                    tl,
+                    th,
+                );
             }
         }
         ctx.charge(coeff_ops(f).times(4 * (out_rows * out_cols) as u64));
@@ -384,9 +387,7 @@ fn rank_body(
             for (ci_lo, ci_hi) in split_by_owner(out_c.lo, out_c.hi, cols_l, pc) {
                 let dst_block_col = owner(ci_lo, cols_l, pc);
                 let dst = dst_block_row * pc + dst_block_col;
-                let seg: Vec<f64> = (ci_lo..ci_hi)
-                    .map(|c| ll.get(ki, c - out_c.lo))
-                    .collect();
+                let seg: Vec<f64> = (ci_lo..ci_hi).map(|c| ll.get(ki, c - out_c.lo)).collect();
                 if dst == rank && next.rows.contains(k) && next.cols.contains(ci_lo) {
                     continue; // stays local; copied below
                 }

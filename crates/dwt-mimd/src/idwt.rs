@@ -221,10 +221,8 @@ fn rank_body(
                         let g = &guards[&k];
                         (&g[0], &g[1], &g[2], &g[3])
                     };
-                for c in 0..half_cols {
-                    *low.row_mut(ni).get_mut(c).unwrap() += a_row[c] * tl + lh_row[c] * th;
-                    *high.row_mut(ni).get_mut(c).unwrap() += hl_row[c] * tl + hh_row[c] * th;
-                }
+                dwt::engine::kernel::axpy_pair(low.row_mut(ni), a_row, lh_row, tl, th);
+                dwt::engine::kernel::axpy_pair(high.row_mut(ni), hl_row, hh_row, tl, th);
             }
         }
         ctx.charge(coeff_ops(f).times(2 * (out_rows * half_cols) as u64));
@@ -233,8 +231,10 @@ fn rank_body(
         let mut out = Matrix::zeros(out_rows, out_cols_total);
         for r in 0..out_rows {
             let dst = out.row_mut(r);
-            dwt::conv::synthesize_add(low.row(r), cfg.filter.low(), cfg.mode, dst);
-            dwt::conv::synthesize_add(high.row(r), cfg.filter.high(), cfg.mode, dst);
+            dwt::conv::synthesize_add(low.row(r), cfg.filter.low(), cfg.mode, dst)
+                .expect("buffer sized by construction");
+            dwt::conv::synthesize_add(high.row(r), cfg.filter.high(), cfg.mode, dst)
+                .expect("buffer sized by construction");
         }
         ctx.charge(coeff_ops(f).times((out_rows * out_cols_total) as u64));
 

@@ -79,7 +79,9 @@ pub fn serial_seconds(
     let (mut r, mut c) = (rows, cols);
     let mut total = 0.0;
     for _ in 0..levels {
-        total += machine.cpu.seconds(coeff_ops(filter_len).times(level_coeffs(r, c)));
+        total += machine
+            .cpu
+            .seconds(coeff_ops(filter_len).times(level_coeffs(r, c)));
         r /= 2;
         c /= 2;
     }
@@ -160,11 +162,7 @@ impl MimdDwtRun {
 
 /// Run the distributed Mallat decomposition of `image` on the machine
 /// and placement described by `scfg`.
-pub fn run_mimd_dwt(
-    scfg: &SpmdConfig,
-    cfg: &MimdDwtConfig,
-    image: &Matrix,
-) -> Result<MimdDwtRun> {
+pub fn run_mimd_dwt(scfg: &SpmdConfig, cfg: &MimdDwtConfig, image: &Matrix) -> Result<MimdDwtRun> {
     dwt2d::validate_dims(image.rows(), image.cols(), cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
     let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, nranks));
@@ -219,8 +217,10 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
         let mut low = Matrix::zeros(own, half_cols);
         let mut high = Matrix::zeros(own, half_cols);
         for r in 0..own {
-            dwt::conv::analyze_into(input.row(r), cfg.filter.low(), cfg.mode, low.row_mut(r));
-            dwt::conv::analyze_into(input.row(r), cfg.filter.high(), cfg.mode, high.row_mut(r));
+            dwt::conv::analyze_into(input.row(r), cfg.filter.low(), cfg.mode, low.row_mut(r))
+                .expect("buffer sized by construction");
+            dwt::conv::analyze_into(input.row(r), cfg.filter.high(), cfg.mode, high.row_mut(r))
+                .expect("buffer sized by construction");
         }
         ctx.charge(coeff_ops(f).times(2 * (own * half_cols) as u64));
 
@@ -336,45 +336,35 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
         let mut lh = Matrix::zeros(out_rows, half_cols);
         let mut hl = Matrix::zeros(out_rows, half_cols);
         let mut hh = Matrix::zeros(out_rows, half_cols);
-        {
-            let row_of = |src: &Matrix, guard: &std::collections::HashMap<usize, Vec<f64>>,
-                          g: usize|
-             -> Option<*const f64> {
-                if stripe.contains(g) {
-                    Some(src.row(g - stripe.lo).as_ptr())
+        for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
+            for m in 0..f {
+                let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
+                    continue;
+                };
+                let tl = cfg.filter.low()[m];
+                let th = cfg.filter.high()[m];
+                let (lsrc, hsrc): (&[f64], &[f64]) = if stripe.contains(g) {
+                    (low.row(g - stripe.lo), high.row(g - stripe.lo))
                 } else {
-                    guard.get(&g).map(|v| v.as_ptr())
-                }
-            };
-            for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
-                for m in 0..f {
-                    let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
-                        continue;
-                    };
-                    let tl = cfg.filter.low()[m];
-                    let th = cfg.filter.high()[m];
-                    // SAFETY: the pointers reference rows of `low`/`high`
-                    // or guard vectors that live for the whole loop; the
-                    // destination rows are disjoint from the sources.
-                    let pl = row_of(&low, &guard_low, g)
-                        .expect("guard row present by construction");
-                    let ph = row_of(&high, &guard_high, g)
-                        .expect("guard row present by construction");
-                    let (lsrc, hsrc) = unsafe {
-                        (
-                            std::slice::from_raw_parts(pl, half_cols),
-                            std::slice::from_raw_parts(ph, half_cols),
-                        )
-                    };
-                    for c in 0..half_cols {
-                        let lv = lsrc[c];
-                        let hv = hsrc[c];
-                        *ll.row_mut(ki).get_mut(c).unwrap() += tl * lv;
-                        *lh.row_mut(ki).get_mut(c).unwrap() += th * lv;
-                        *hl.row_mut(ki).get_mut(c).unwrap() += tl * hv;
-                        *hh.row_mut(ki).get_mut(c).unwrap() += th * hv;
-                    }
-                }
+                    (
+                        guard_low
+                            .get(&g)
+                            .expect("guard row present by construction"),
+                        guard_high
+                            .get(&g)
+                            .expect("guard row present by construction"),
+                    )
+                };
+                dwt::engine::kernel::accumulate_quad(
+                    ll.row_mut(ki),
+                    lh.row_mut(ki),
+                    hl.row_mut(ki),
+                    hh.row_mut(ki),
+                    lsrc,
+                    hsrc,
+                    tl,
+                    th,
+                );
             }
         }
         ctx.charge(coeff_ops(f).times(4 * (out_rows * half_cols) as u64));
@@ -394,11 +384,7 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
         for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
             if !next.contains(k) {
                 let dst = owner(k, rows_l, nranks);
-                sends.push((
-                    dst,
-                    (k, ll.row(ki).to_vec()),
-                    cols_l * cfg.pixel_bytes,
-                ));
+                sends.push((dst, (k, ll.row(ki).to_vec()), cols_l * cfg.pixel_bytes));
                 moved.push(ki);
             }
         }
@@ -566,7 +552,12 @@ mod tests {
             })
             .collect();
         assert!(t[1] < t[0], "4 ranks ({:.4}) >= 1 rank ({:.4})", t[1], t[0]);
-        assert!(t[2] < t[1], "16 ranks ({:.4}) >= 4 ranks ({:.4})", t[2], t[1]);
+        assert!(
+            t[2] < t[1],
+            "16 ranks ({:.4}) >= 4 ranks ({:.4})",
+            t[2],
+            t[1]
+        );
     }
 
     #[test]

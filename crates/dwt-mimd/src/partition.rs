@@ -150,6 +150,9 @@ mod tests {
     fn runs_group_contiguously() {
         assert_eq!(contiguous_runs(&[]), vec![]);
         assert_eq!(contiguous_runs(&[5]), vec![(5, 6)]);
-        assert_eq!(contiguous_runs(&[1, 2, 3, 7, 8, 10]), vec![(1, 4), (7, 9), (10, 11)]);
+        assert_eq!(
+            contiguous_runs(&[1, 2, 3, 7, 8, 10]),
+            vec![(1, 4), (7, 9), (10, 11)]
+        );
     }
 }

@@ -183,8 +183,7 @@ mod tests {
 
     fn busy_image(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |r, c| {
-            100.0 + 50.0 * ((r as f64 * 0.7).sin() * (c as f64 * 0.3).cos())
-                + ((r * c) % 7) as f64
+            100.0 + 50.0 * ((r as f64 * 0.7).sin() * (c as f64 * 0.3).cos()) + ((r * c) % 7) as f64
         })
     }
 

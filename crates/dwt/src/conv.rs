@@ -12,45 +12,128 @@
 //! [`Boundary::Periodic`] mode and an orthonormal filter bank the
 //! analysis operator is orthogonal, so the synthesis implemented here as
 //! its adjoint is an exact inverse.
+//!
+//! Each kernel is split into a **branchless interior loop** (the filter
+//! window provably inside the signal, no boundary logic, auto-vectorizes)
+//! and a **tail loop** that resolves the few boundary-crossing windows
+//! through [`Boundary::map`]. Buffer-length preconditions are checked in
+//! release builds too and reported as [`DwtError`] — a mismatched output
+//! buffer (e.g. from an odd-sized input that a caller forgot to validate)
+//! is a caller bug we refuse to paper over with silent truncation.
 
 use crate::boundary::Boundary;
+use crate::error::{DwtError, Result};
 
-/// Filter `x` with `taps` and decimate by two, writing `x.len()/2`
-/// outputs into `out`.
-///
-/// # Panics
-///
-/// Debug-asserts that `out.len() == x.len() / 2` and `x` is non-empty.
-pub fn analyze_into(x: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) {
+/// Number of leading analysis outputs whose filter window is entirely
+/// interior: `k` such that `2k + filter_len <= n`.
+#[inline]
+pub(crate) fn interior_outputs(n: usize, filter_len: usize, out_len: usize) -> usize {
+    if n >= filter_len {
+        ((n - filter_len) / 2 + 1).min(out_len)
+    } else {
+        0
+    }
+}
+
+/// Unchecked analysis kernel: `out` must hold exactly `x.len() / 2`
+/// elements. Kept crate-private for pre-validated hot paths (the fused
+/// engine); external callers go through [`analyze_into`].
+#[inline]
+pub(crate) fn analyze_unchecked(x: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) {
     let n = x.len();
-    debug_assert!(n > 0);
     debug_assert_eq!(out.len(), n / 2);
-    // Fast path: the filter never leaves the signal except at the tail,
-    // and periodic wrap can be done with cheap index arithmetic.
-    for (k, slot) in out.iter_mut().enumerate() {
+    let interior = interior_outputs(n, taps.len(), out.len());
+    // Interior: the window never leaves the signal, so no per-sample
+    // boundary checks — a pure multiply-accumulate LLVM can vectorize.
+    for (k, slot) in out[..interior].iter_mut().enumerate() {
+        let base = 2 * k;
+        let window = &x[base..base + taps.len()];
+        let mut acc = 0.0;
+        for (&t, &v) in taps.iter().zip(window) {
+            acc += t * v;
+        }
+        *slot = acc;
+    }
+    // Tail: windows that cross the right edge, resolved per tap.
+    for (k, slot) in out.iter_mut().enumerate().skip(interior) {
         let base = 2 * k;
         let mut acc = 0.0;
-        if base + taps.len() <= n {
-            // Entirely interior: no boundary handling needed.
-            for (m, &t) in taps.iter().enumerate() {
-                acc += t * x[base + m];
-            }
-        } else {
-            for (m, &t) in taps.iter().enumerate() {
-                if let Some(idx) = mode.map((base + m) as isize, n) {
-                    acc += t * x[idx];
-                }
+        for (m, &t) in taps.iter().enumerate() {
+            if let Some(idx) = mode.map((base + m) as isize, n) {
+                acc += t * x[idx];
             }
         }
         *slot = acc;
     }
 }
 
+/// Filter `x` with `taps` and decimate by two, writing `x.len()/2`
+/// outputs into `out`.
+///
+/// # Errors
+///
+/// [`DwtError::SignalTooShort`] when `x` is empty, and
+/// [`DwtError::DimensionMismatch`] when `out.len() != x.len() / 2` — both
+/// checked in release builds as well, so a mis-sized buffer can never be
+/// silently truncated.
+pub fn analyze_into(x: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) -> Result<()> {
+    if x.is_empty() {
+        return Err(DwtError::SignalTooShort {
+            len: 0,
+            filter_len: taps.len(),
+        });
+    }
+    if out.len() != x.len() / 2 {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "analysis of {} samples yields {} coefficients but the output buffer holds {}",
+                x.len(),
+                x.len() / 2,
+                out.len()
+            ),
+        });
+    }
+    analyze_unchecked(x, taps, mode, out);
+    Ok(())
+}
+
 /// Allocating wrapper around [`analyze_into`].
 pub fn analyze(x: &[f64], taps: &[f64], mode: Boundary) -> Vec<f64> {
     let mut out = vec![0.0; x.len() / 2];
-    analyze_into(x, taps, mode, &mut out);
+    analyze_unchecked(x, taps, mode, &mut out);
     out
+}
+
+/// Unchecked synthesis kernel: `out` must hold exactly `2 * c.len()`
+/// elements. Crate-private twin of [`synthesize_add`].
+#[inline]
+pub(crate) fn synthesize_add_unchecked(c: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) {
+    let n = out.len();
+    debug_assert_eq!(n, 2 * c.len());
+    let interior = interior_outputs(n, taps.len(), c.len());
+    // Interior: scatter entirely inside the output, branch-free.
+    for (k, &ck) in c[..interior].iter().enumerate() {
+        if ck == 0.0 {
+            continue;
+        }
+        let base = 2 * k;
+        let window = &mut out[base..base + taps.len()];
+        for (&t, slot) in taps.iter().zip(window) {
+            *slot += ck * t;
+        }
+    }
+    // Tail: contributions that the boundary mode folds back or drops.
+    for (k, &ck) in c.iter().enumerate().skip(interior) {
+        if ck == 0.0 {
+            continue;
+        }
+        let base = 2 * k;
+        for (m, &t) in taps.iter().enumerate() {
+            if let Some(idx) = mode.map((base + m) as isize, n) {
+                out[idx] += ck * t;
+            }
+        }
+    }
 }
 
 /// Scatter-add the adjoint of [`analyze_into`]: for every coefficient
@@ -59,27 +142,25 @@ pub fn analyze(x: &[f64], taps: &[f64], mode: Boundary) -> Vec<f64> {
 /// `out` must have length `2 * c.len()`; contributions that the boundary
 /// mode maps outside the signal are dropped (`Zero`) or folded back
 /// (`Periodic`, `Symmetric`).
-pub fn synthesize_add(c: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) {
-    let n = out.len();
-    debug_assert!(n > 0);
-    debug_assert_eq!(n, 2 * c.len());
-    for (k, &ck) in c.iter().enumerate() {
-        if ck == 0.0 {
-            continue;
-        }
-        let base = 2 * k;
-        if base + taps.len() <= n {
-            for (m, &t) in taps.iter().enumerate() {
-                out[base + m] += ck * t;
-            }
-        } else {
-            for (m, &t) in taps.iter().enumerate() {
-                if let Some(idx) = mode.map((base + m) as isize, n) {
-                    out[idx] += ck * t;
-                }
-            }
-        }
+///
+/// # Errors
+///
+/// [`DwtError::DimensionMismatch`] when `out.len() != 2 * c.len()` —
+/// checked in release builds as well, so out-of-range taps are never
+/// silently dropped on mis-sized (e.g. odd-length) buffers.
+pub fn synthesize_add(c: &[f64], taps: &[f64], mode: Boundary, out: &mut [f64]) -> Result<()> {
+    if out.is_empty() || out.len() != 2 * c.len() {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "synthesis of {} coefficients fills {} samples but the output buffer holds {}",
+                c.len(),
+                2 * c.len(),
+                out.len()
+            ),
+        });
     }
+    synthesize_add_unchecked(c, taps, mode, out);
+    Ok(())
 }
 
 /// Undecimated (à trous style) filtering: `y[i] = Σ_m f[m] x[i+m]` with
@@ -130,8 +211,8 @@ mod tests {
             let a = analyze(&x, bank.low(), Boundary::Periodic);
             let d = analyze(&x, bank.high(), Boundary::Periodic);
             let mut rec = vec![0.0; x.len()];
-            synthesize_add(&a, bank.low(), Boundary::Periodic, &mut rec);
-            synthesize_add(&d, bank.high(), Boundary::Periodic, &mut rec);
+            synthesize_add(&a, bank.low(), Boundary::Periodic, &mut rec).unwrap();
+            synthesize_add(&d, bank.high(), Boundary::Periodic, &mut rec).unwrap();
             for (orig, got) in x.iter().zip(&rec) {
                 assert!((orig - got).abs() < 1e-10, "D{taps}: {orig} vs {got}");
             }
@@ -159,6 +240,66 @@ mod tests {
         // magnitude because wrapped samples are dropped.
         assert!((per[0] - zer[0]).abs() < 1e-12);
         assert!(zer[1].abs() < per[1].abs());
+    }
+
+    #[test]
+    fn analyze_into_rejects_missized_output() {
+        let bank = FilterBank::haar();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut short = vec![0.0; 1];
+        assert!(matches!(
+            analyze_into(&x, bank.low(), Boundary::Zero, &mut short),
+            Err(DwtError::DimensionMismatch { .. })
+        ));
+        let mut empty_in = vec![0.0; 0];
+        assert!(matches!(
+            analyze_into(&[], bank.low(), Boundary::Zero, &mut empty_in),
+            Err(DwtError::SignalTooShort { len: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn synthesize_add_rejects_missized_output() {
+        let bank = FilterBank::haar();
+        let c = [1.0, 2.0];
+        // Odd-sized output: previously the tail taps were silently
+        // dropped under Boundary::Zero; now it is a hard error.
+        let mut odd = vec![0.0; 3];
+        assert!(matches!(
+            synthesize_add(&c, bank.low(), Boundary::Zero, &mut odd),
+            Err(DwtError::DimensionMismatch { .. })
+        ));
+        let mut ok = vec![0.0; 4];
+        assert!(synthesize_add(&c, bank.low(), Boundary::Zero, &mut ok).is_ok());
+    }
+
+    #[test]
+    fn interior_split_matches_reference_all_modes() {
+        // The split kernel must agree with a naive per-tap mapped
+        // implementation everywhere, including signals shorter than the
+        // filter (interior count 0).
+        for mode in Boundary::ALL {
+            for n in [4usize, 6, 8, 16, 32] {
+                for taps in [2usize, 4, 8, 10] {
+                    let bank = FilterBank::daubechies(taps).unwrap();
+                    let x: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 11) as f64 - 5.0).collect();
+                    let mut naive = vec![0.0; n / 2];
+                    for (k, slot) in naive.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (m, &t) in bank.low().iter().enumerate() {
+                            if let Some(idx) = mode.map((2 * k + m) as isize, n) {
+                                acc += t * x[idx];
+                            }
+                        }
+                        *slot = acc;
+                    }
+                    let got = analyze(&x, bank.low(), mode);
+                    for (a, b) in naive.iter().zip(&got) {
+                        assert!((a - b).abs() < 1e-15, "{mode:?} n={n} D{taps}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

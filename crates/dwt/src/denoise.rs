@@ -65,8 +65,7 @@ mod tests {
     /// A smooth test image.
     fn smooth(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |r, c| {
-            128.0
-                + 60.0 * ((r as f64 * 0.15).sin() * (c as f64 * 0.1).cos())
+            128.0 + 60.0 * ((r as f64 * 0.15).sin() * (c as f64 * 0.1).cos())
         })
     }
 

@@ -54,10 +54,7 @@ fn validate(len: usize, filter_len: usize, levels: usize) -> Result<()> {
             return Err(DwtError::OddLength { len: n, level });
         }
         if n < filter_len {
-            return Err(DwtError::SignalTooShort {
-                len: n,
-                filter_len,
-            });
+            return Err(DwtError::SignalTooShort { len: n, filter_len });
         }
         n /= 2;
     }
@@ -92,8 +89,8 @@ pub fn synthesize_step(
         });
     }
     let mut out = vec![0.0; 2 * approx.len()];
-    conv::synthesize_add(approx, bank.low(), mode, &mut out);
-    conv::synthesize_add(detail, bank.high(), mode, &mut out);
+    conv::synthesize_add(approx, bank.low(), mode, &mut out)?;
+    conv::synthesize_add(detail, bank.high(), mode, &mut out)?;
     Ok(out)
 }
 

@@ -45,35 +45,39 @@ pub fn validate_dims(rows: usize, cols: usize, filter_len: usize, levels: usize)
 
 /// Row pass: filter every row of `img` with `taps` and decimate,
 /// producing a `rows x cols/2` matrix.
+///
+/// Part of the legacy separable path kept as the property-test oracle;
+/// the production entry points route through [`crate::engine`].
+#[doc(hidden)]
 pub fn filter_rows(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
     let mut out = Matrix::zeros(img.rows(), img.cols() / 2);
     for r in 0..img.rows() {
         let src = img.row(r);
-        conv::analyze_into(src, taps, mode, out.row_mut(r));
+        conv::analyze_into(src, taps, mode, out.row_mut(r)).expect("output sized to cols/2");
     }
     out
 }
 
 /// Column pass: filter every column of `img` with `taps` and decimate,
 /// producing a `rows/2 x cols` matrix.
+///
+/// Part of the legacy separable path kept as the property-test oracle;
+/// the production entry points route through [`crate::engine`].
+#[doc(hidden)]
 pub fn filter_cols(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
     let mut out = Matrix::zeros(img.rows() / 2, img.cols());
     let mut col = vec![0.0; img.rows()];
     let mut dst = vec![0.0; img.rows() / 2];
     for c in 0..img.cols() {
         img.copy_col_into(c, &mut col);
-        conv::analyze_into(&col, taps, mode, &mut dst);
+        conv::analyze_into(&col, taps, mode, &mut dst).expect("output sized to rows/2");
         out.set_col(c, &dst);
     }
     out
 }
 
 /// One 2-D analysis step producing `(LL, Subbands{LH, HL, HH})`.
-pub fn analyze_step(
-    img: &Matrix,
-    bank: &FilterBank,
-    mode: Boundary,
-) -> Result<(Matrix, Subbands)> {
+pub fn analyze_step(img: &Matrix, bank: &FilterBank, mode: Boundary) -> Result<(Matrix, Subbands)> {
     validate_dims(img.rows(), img.cols(), bank.len(), 1)?;
     // Step 1+2: row filtering, column decimation.
     let low = filter_rows(img, bank.low(), mode);
@@ -116,15 +120,15 @@ pub fn synthesize_step(
             ll.copy_col_into(cc, &mut a);
             bands.lh.copy_col_into(cc, &mut d);
             colbuf.iter_mut().for_each(|v| *v = 0.0);
-            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf);
-            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf);
+            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf)?;
+            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf)?;
             low.set_col(cc, &colbuf);
 
             bands.hl.copy_col_into(cc, &mut a);
             bands.hh.copy_col_into(cc, &mut d);
             colbuf.iter_mut().for_each(|v| *v = 0.0);
-            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf);
-            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf);
+            conv::synthesize_add(&a, bank.low(), mode, &mut colbuf)?;
+            conv::synthesize_add(&d, bank.high(), mode, &mut colbuf)?;
             high.set_col(cc, &colbuf);
         }
     }
@@ -132,14 +136,43 @@ pub fn synthesize_step(
     let mut out = Matrix::zeros(2 * r, 2 * c);
     for rr in 0..2 * r {
         let dst = out.row_mut(rr);
-        conv::synthesize_add(low.row(rr), bank.low(), mode, dst);
-        conv::synthesize_add(high.row(rr), bank.high(), mode, dst);
+        conv::synthesize_add(low.row(rr), bank.low(), mode, dst)?;
+        conv::synthesize_add(high.row(rr), bank.high(), mode, dst)?;
     }
     Ok(out)
 }
 
 /// Full multi-level Mallat decomposition.
+///
+/// Routes through the fused cache-blocked [`crate::engine`]; results are
+/// bit-identical to the materializing separable reference
+/// ([`decompose_separable`]). For repeated transforms of same-shaped
+/// images, build a [`crate::engine::DwtPlan`] once and reuse its
+/// workspace instead.
 pub fn decompose(
+    img: &Matrix,
+    bank: &FilterBank,
+    levels: usize,
+    mode: Boundary,
+) -> Result<Pyramid> {
+    let plan = crate::engine::DwtPlan::new(img.rows(), img.cols(), bank.clone(), levels, mode)?;
+    plan.decompose(img)
+}
+
+/// Invert [`decompose`]. Routes through the workspace-backed
+/// [`crate::engine`] synthesis path.
+pub fn reconstruct(pyr: &Pyramid, bank: &FilterBank, mode: Boundary) -> Result<Matrix> {
+    let (rows, cols) = pyr.image_dims();
+    let plan = crate::engine::DwtPlan::new(rows, cols, bank.clone(), pyr.levels(), mode)?;
+    plan.reconstruct(pyr)
+}
+
+/// Reference multi-level decomposition: the textbook two-pass separable
+/// algorithm that materializes both row-filtered intermediates at every
+/// level. Kept as the independent oracle for the engine's property and
+/// equivalence tests; use [`decompose`] in production code.
+#[doc(hidden)]
+pub fn decompose_separable(
     img: &Matrix,
     bank: &FilterBank,
     levels: usize,
@@ -156,8 +189,9 @@ pub fn decompose(
     Ok(Pyramid { approx, detail })
 }
 
-/// Invert [`decompose`].
-pub fn reconstruct(pyr: &Pyramid, bank: &FilterBank, mode: Boundary) -> Result<Matrix> {
+/// Reference multi-level reconstruction matching [`decompose_separable`].
+#[doc(hidden)]
+pub fn reconstruct_separable(pyr: &Pyramid, bank: &FilterBank, mode: Boundary) -> Result<Matrix> {
     let mut approx = pyr.approx.clone();
     for bands in pyr.detail.iter().rev() {
         approx = synthesize_step(&approx, bands, bank, mode)?;

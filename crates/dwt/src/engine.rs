@@ -1,0 +1,921 @@
+//! Fused, cache-blocked 2-D DWT engine with reusable plans and
+//! zero-allocation workspaces.
+//!
+//! # Why
+//!
+//! The paper's central observation is that wavelet throughput on real
+//! machines is decided by **memory traffic and work partitioning**, not
+//! FLOPs — its Paragon stripe algorithm exists precisely to keep filter
+//! passes local to each node, shipping only a guard zone of
+//! `filter_len - 2` rows between neighbours. The legacy separable path in
+//! [`crate::dwt2d`] ignores that lesson on a single node: every level
+//! materializes two full row-filtered intermediates, allocates fresh
+//! matrices, and walks columns with a strided copy.
+//!
+//! This module is the shared-memory translation of the paper's guard-zone
+//! design:
+//!
+//! * a [`DwtPlan`] precomputes everything the transform needs (validated
+//!   geometry per level, tile/band width, thread-lane partitioning);
+//! * a [`DwtWorkspace`] owns every scratch buffer, so steady-state
+//!   decomposition and reconstruction perform **zero allocations**;
+//! * the analysis kernel **fuses** the row and column passes: the image is
+//!   processed in column *bands* (cache-sized tiles), and within a band a
+//!   ring buffer of `filter_len` row-filtered rows — the tile's *halo*,
+//!   the exact analogue of the paper's guard zone — slides down the image.
+//!   Each input row is row-filtered once into the ring; each output row is
+//!   produced by a column filter whose inner loop runs over **contiguous
+//!   output columns** (vertical vectorization), which LLVM auto-vectorizes
+//!   without any `unsafe`.
+//!
+//! The arithmetic performed per coefficient is the *same sequence of
+//! operations* as the separable reference, so results are bit-identical —
+//! [`crate::dwt2d::decompose_separable`] is kept (hidden) as the
+//! property-test oracle.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dwt::{engine::DwtPlan, matrix::Matrix, FilterBank, Boundary};
+//!
+//! let img = Matrix::from_fn(64, 64, |r, c| (r * c) as f64);
+//! let bank = FilterBank::daubechies(4).unwrap();
+//! let plan = DwtPlan::new(64, 64, bank, 3, Boundary::Periodic).unwrap();
+//!
+//! // Reusable state: allocate once, transform many frames.
+//! let mut ws = plan.make_workspace();
+//! let mut pyr = plan.make_pyramid();
+//! plan.decompose_into(&img, &mut ws, &mut pyr).unwrap();
+//!
+//! let mut back = Matrix::zeros(64, 64);
+//! plan.reconstruct_into(&pyr, &mut ws, &mut back).unwrap();
+//! assert!(img.max_abs_diff(&back).unwrap() < 1e-9);
+//! ```
+
+use crate::boundary::Boundary;
+use crate::conv;
+use crate::dwt2d::validate_dims;
+use crate::error::{DwtError, Result};
+use crate::filters::FilterBank;
+use crate::matrix::Matrix;
+use crate::pyramid::{Pyramid, Subbands};
+
+/// Default band (tile) width in output columns. 256 output columns keep
+/// the ring working set — `2 rings × filter_len rows × 8 B` — inside L1
+/// for every built-in filter while leaving room for the input rows
+/// streaming through L2.
+pub const DEFAULT_BAND_WIDTH: usize = 256;
+
+/// Shared low-level loops, used by the fused kernel and exported so the
+/// machine-simulation crates (`dwt-mimd`) can run their per-rank filter
+/// passes through the same SIMD-friendly code.
+pub mod kernel {
+    /// `dst[i] += t · src[i]` over contiguous slices — the vertical
+    /// column-filter update. Auto-vectorizes.
+    #[inline]
+    pub fn axpy(dst: &mut [f64], src: &[f64], t: f64) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += t * s;
+        }
+    }
+
+    /// `dst[i] += ta · a[i] + tb · b[i]` — the synthesis pair update.
+    #[inline]
+    pub fn axpy_pair(dst: &mut [f64], a: &[f64], b: &[f64], ta: f64, tb: f64) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += ta * x + tb * y;
+        }
+    }
+
+    /// The four-way column-filter update of one tap: the low/high
+    /// intermediate rows `lrow`/`hrow` contribute to all four sub-band
+    /// rows at once.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_quad(
+        ll: &mut [f64],
+        lh: &mut [f64],
+        hl: &mut [f64],
+        hh: &mut [f64],
+        lrow: &[f64],
+        hrow: &[f64],
+        tl: f64,
+        th: f64,
+    ) {
+        axpy(ll, lrow, tl);
+        axpy(lh, lrow, th);
+        axpy(hl, hrow, tl);
+        axpy(hh, hrow, th);
+    }
+}
+
+/// Geometry of one decomposition level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LevelDims {
+    rows_in: usize,
+    cols_in: usize,
+}
+
+impl LevelDims {
+    #[inline]
+    fn rows_out(&self) -> usize {
+        self.rows_in / 2
+    }
+    #[inline]
+    fn cols_out(&self) -> usize {
+        self.cols_in / 2
+    }
+}
+
+/// A reusable, pre-validated plan for multi-level 2-D decomposition and
+/// reconstruction of images of one fixed geometry.
+///
+/// Building the plan performs all validation and sizing once; executing
+/// it through [`DwtPlan::decompose_into`] / [`DwtPlan::reconstruct_into`]
+/// with a [`DwtWorkspace`] allocates nothing.
+#[derive(Debug, Clone)]
+pub struct DwtPlan {
+    rows: usize,
+    cols: usize,
+    levels: usize,
+    bank: FilterBank,
+    mode: Boundary,
+    band_width: usize,
+    threads: usize,
+    level_dims: Vec<LevelDims>,
+}
+
+impl DwtPlan {
+    /// Validate the geometry and build a single-threaded plan.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        bank: FilterBank,
+        levels: usize,
+        mode: Boundary,
+    ) -> Result<Self> {
+        validate_dims(rows, cols, bank.len(), levels)?;
+        let mut level_dims = Vec::with_capacity(levels);
+        let (mut r, mut c) = (rows, cols);
+        for _ in 0..levels {
+            level_dims.push(LevelDims {
+                rows_in: r,
+                cols_in: c,
+            });
+            r /= 2;
+            c /= 2;
+        }
+        Ok(DwtPlan {
+            rows,
+            cols,
+            levels,
+            bank,
+            mode,
+            band_width: DEFAULT_BAND_WIDTH,
+            threads: 1,
+            level_dims,
+        })
+    }
+
+    /// Use up to `threads` worker lanes (clamped to at least 1). Lane
+    /// workspaces are sized when the [`DwtWorkspace`] is created, so set
+    /// this before calling [`DwtPlan::make_workspace`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the band (tile) width in output columns. Values are
+    /// clamped to at least the filter length.
+    pub fn with_band_width(mut self, width: usize) -> Self {
+        self.band_width = width.max(self.bank.len()).max(8);
+        self
+    }
+
+    /// Image rows the plan was built for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Image columns the plan was built for.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Decomposition depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Boundary policy.
+    pub fn mode(&self) -> Boundary {
+        self.mode
+    }
+
+    /// The filter bank.
+    pub fn bank(&self) -> &FilterBank {
+        &self.bank
+    }
+
+    /// Worker-lane count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Band width actually used at the finest level.
+    fn effective_band_width(&self) -> usize {
+        self.band_width.min(self.cols / 2).max(1)
+    }
+
+    /// Allocate the workspace holding every scratch buffer the plan's
+    /// execution needs. Reuse it across calls for zero steady-state
+    /// allocations.
+    pub fn make_workspace(&self) -> DwtWorkspace {
+        let flen = self.bank.len();
+        let ring_rows = flen.max(2);
+        let bw = self.effective_band_width();
+        let lanes = (0..self.threads)
+            .map(|_| LaneBuf {
+                low_ring: vec![0.0; ring_rows * bw],
+                high_ring: vec![0.0; ring_rows * bw],
+            })
+            .collect();
+        // Ping-pong LL buffers. Decomposition alternates shrinking levels
+        // between them, but reconstruction grows the approximation back up
+        // through the same pair, so both must hold the largest
+        // intermediate: the level-1 LL of rows/2 x cols/2.
+        let ll_elems = (self.rows / 2) * (self.cols / 2);
+        // Synthesis intermediates: the finest level reassembles two
+        // matrices of rows x cols/2 each.
+        let synth_elems = self.rows * (self.cols / 2);
+        DwtWorkspace {
+            ring_rows,
+            band_width: bw,
+            lanes,
+            ll_a: vec![0.0; ll_elems],
+            ll_b: vec![0.0; ll_elems],
+            synth_low: vec![0.0; synth_elems],
+            synth_high: vec![0.0; synth_elems],
+            col_a: vec![0.0; self.rows / 2],
+            col_d: vec![0.0; self.rows / 2],
+            col_buf: vec![0.0; self.rows],
+        }
+    }
+
+    /// Allocate a pyramid with the shapes this plan produces.
+    pub fn make_pyramid(&self) -> Pyramid {
+        Pyramid::zeros(self.rows, self.cols, self.levels)
+            .expect("plan geometry validated at construction")
+    }
+
+    /// Check that `img` matches the planned geometry.
+    fn check_image(&self, img: &Matrix) -> Result<()> {
+        if img.rows() != self.rows || img.cols() != self.cols {
+            return Err(DwtError::DimensionMismatch {
+                detail: format!(
+                    "plan is for {}x{} images but got {}x{}",
+                    self.rows,
+                    self.cols,
+                    img.rows(),
+                    img.cols()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check that `ws` was created by a plan of identical geometry.
+    fn check_workspace(&self, ws: &DwtWorkspace) -> Result<()> {
+        let want_bw = self.effective_band_width();
+        if ws.band_width != want_bw
+            || ws.ring_rows != self.bank.len().max(2)
+            || ws.lanes.len() < self.threads.min(self.rows / 2).max(1)
+            || ws.ll_a.len() < (self.rows / 2) * (self.cols / 2)
+        {
+            return Err(DwtError::DimensionMismatch {
+                detail: "workspace was built by a plan with different geometry".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check that `pyr` has the shapes [`DwtPlan::make_pyramid`] creates.
+    fn check_pyramid(&self, pyr: &Pyramid) -> Result<()> {
+        let ok =
+            pyr.levels() == self.levels
+                && pyr.approx.rows() == self.rows >> self.levels
+                && pyr.approx.cols() == self.cols >> self.levels
+                && pyr.detail.iter().enumerate().all(|(i, b)| {
+                    b.rows() == self.rows >> (i + 1) && b.cols() == self.cols >> (i + 1)
+                });
+        if !ok {
+            return Err(DwtError::DimensionMismatch {
+                detail: format!(
+                    "pyramid shapes do not match a {}-level plan for {}x{} images",
+                    self.levels, self.rows, self.cols
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Full multi-level decomposition into preallocated storage.
+    /// Performs no heap allocation.
+    pub fn decompose_into(
+        &self,
+        img: &Matrix,
+        ws: &mut DwtWorkspace,
+        out: &mut Pyramid,
+    ) -> Result<()> {
+        self.check_image(img)?;
+        self.check_workspace(ws)?;
+        self.check_pyramid(out)?;
+        for level in 0..self.levels {
+            let dims = self.level_dims[level];
+            let last = level + 1 == self.levels;
+            // Destructure the workspace so the borrows of the source
+            // buffer and the destination buffer are disjoint.
+            let (src, ll_dst): (&[f64], &mut [f64]) = match (level, level % 2) {
+                (0, _) => (
+                    img.data(),
+                    if last {
+                        out.approx.data_mut()
+                    } else {
+                        &mut ws.ll_a[..dims.rows_out() * dims.cols_out()]
+                    },
+                ),
+                (_, 1) => (
+                    &ws.ll_a[..dims.rows_in * dims.cols_in],
+                    if last {
+                        out.approx.data_mut()
+                    } else {
+                        &mut ws.ll_b[..dims.rows_out() * dims.cols_out()]
+                    },
+                ),
+                _ => (
+                    &ws.ll_b[..dims.rows_in * dims.cols_in],
+                    if last {
+                        out.approx.data_mut()
+                    } else {
+                        &mut ws.ll_a[..dims.rows_out() * dims.cols_out()]
+                    },
+                ),
+            };
+            let bands = &mut out.detail[level];
+            let (lh, hl, hh) = bands.split_mut();
+            self.decompose_level(
+                src,
+                dims,
+                ll_dst,
+                lh.data_mut(),
+                hl.data_mut(),
+                hh.data_mut(),
+                &mut ws.lanes,
+                ws.ring_rows,
+                ws.band_width,
+            );
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper allocating the workspace and pyramid.
+    pub fn decompose(&self, img: &Matrix) -> Result<Pyramid> {
+        let mut ws = self.make_workspace();
+        let mut out = self.make_pyramid();
+        self.decompose_into(img, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// One level of the fused transform: distribute output-row stripes
+    /// over the plan's thread lanes.
+    #[allow(clippy::too_many_arguments)]
+    fn decompose_level(
+        &self,
+        src: &[f64],
+        dims: LevelDims,
+        ll: &mut [f64],
+        lh: &mut [f64],
+        hl: &mut [f64],
+        hh: &mut [f64],
+        lanes: &mut [LaneBuf],
+        ring_rows: usize,
+        band_width: usize,
+    ) {
+        let rows_out = dims.rows_out();
+        let cols_out = dims.cols_out();
+        let nlanes = self.threads.min(lanes.len()).min(rows_out).max(1);
+        if nlanes <= 1 {
+            fused_band_sweep(
+                src,
+                dims,
+                &self.bank,
+                self.mode,
+                0..rows_out,
+                ll,
+                lh,
+                hl,
+                hh,
+                &mut lanes[0],
+                ring_rows,
+                band_width,
+            );
+            return;
+        }
+        // Contiguous output-row stripes, one per lane — the shared-memory
+        // analogue of the paper's row-stripe distribution.
+        let base = rows_out / nlanes;
+        let rem = rows_out % nlanes;
+        let mut jobs = Vec::with_capacity(nlanes);
+        let (mut ll_rest, mut lh_rest, mut hl_rest, mut hh_rest) = (ll, lh, hl, hh);
+        let mut lanes_rest = lanes;
+        let mut k0 = 0usize;
+        for lane in 0..nlanes {
+            let take = base + usize::from(lane < rem);
+            let (ll_c, ll_n) = ll_rest.split_at_mut(take * cols_out);
+            let (lh_c, lh_n) = lh_rest.split_at_mut(take * cols_out);
+            let (hl_c, hl_n) = hl_rest.split_at_mut(take * cols_out);
+            let (hh_c, hh_n) = hh_rest.split_at_mut(take * cols_out);
+            let (buf, buf_n) = lanes_rest.split_at_mut(1);
+            jobs.push((k0..k0 + take, ll_c, lh_c, hl_c, hh_c, &mut buf[0]));
+            ll_rest = ll_n;
+            lh_rest = lh_n;
+            hl_rest = hl_n;
+            hh_rest = hh_n;
+            lanes_rest = buf_n;
+            k0 += take;
+        }
+        let bank = &self.bank;
+        let mode = self.mode;
+        std::thread::scope(|s| {
+            for (range, ll_c, lh_c, hl_c, hh_c, buf) in jobs {
+                s.spawn(move || {
+                    fused_band_sweep(
+                        src, dims, bank, mode, range, ll_c, lh_c, hl_c, hh_c, buf, ring_rows,
+                        band_width,
+                    );
+                });
+            }
+        });
+    }
+
+    /// Full multi-level reconstruction into a preallocated image.
+    /// Performs no heap allocation; exact inverse of
+    /// [`DwtPlan::decompose_into`] for [`Boundary::Periodic`].
+    pub fn reconstruct_into(
+        &self,
+        pyr: &Pyramid,
+        ws: &mut DwtWorkspace,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        self.check_pyramid(pyr)?;
+        self.check_workspace(ws)?;
+        self.check_image(out)?;
+        // Walk coarsest -> finest, ping-ponging the growing approximation
+        // between the workspace LL buffers; the last step writes `out`.
+        let coarse_elems = pyr.approx.rows() * pyr.approx.cols();
+        ws.ll_a[..coarse_elems].copy_from_slice(pyr.approx.data());
+        let mut cur_in_a = true;
+        for level in (0..self.levels).rev() {
+            let dims = self.level_dims[level];
+            let (r, c) = (dims.rows_out(), dims.cols_out());
+            let bands = &pyr.detail[level];
+            // Split buffers for source and destination without overlap.
+            let (src_buf, dst_buf): (&[f64], &mut [f64]) = if level == 0 {
+                (
+                    if cur_in_a {
+                        &ws.ll_a[..r * c]
+                    } else {
+                        &ws.ll_b[..r * c]
+                    },
+                    out.data_mut(),
+                )
+            } else if cur_in_a {
+                (
+                    &ws.ll_a[..r * c],
+                    &mut ws.ll_b[..dims.rows_in * dims.cols_in],
+                )
+            } else {
+                (
+                    &ws.ll_b[..r * c],
+                    &mut ws.ll_a[..dims.rows_in * dims.cols_in],
+                )
+            };
+            synth_step_into(
+                src_buf,
+                r,
+                c,
+                bands,
+                &self.bank,
+                self.mode,
+                dst_buf,
+                &mut ws.synth_low[..dims.rows_in * c],
+                &mut ws.synth_high[..dims.rows_in * c],
+                &mut ws.col_a[..r],
+                &mut ws.col_d[..r],
+                &mut ws.col_buf[..dims.rows_in],
+            )?;
+            cur_in_a = !cur_in_a;
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper allocating the workspace and output image.
+    pub fn reconstruct(&self, pyr: &Pyramid) -> Result<Matrix> {
+        let mut ws = self.make_workspace();
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.reconstruct_into(pyr, &mut ws, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Per-lane scratch: the ring buffers holding `ring_rows` row-filtered
+/// intermediate rows of one band — the tile halo.
+#[derive(Debug, Clone)]
+struct LaneBuf {
+    low_ring: Vec<f64>,
+    high_ring: Vec<f64>,
+}
+
+/// All scratch storage for executing a [`DwtPlan`]. Create once with
+/// [`DwtPlan::make_workspace`], reuse for every frame.
+#[derive(Debug, Clone)]
+pub struct DwtWorkspace {
+    ring_rows: usize,
+    band_width: usize,
+    lanes: Vec<LaneBuf>,
+    ll_a: Vec<f64>,
+    ll_b: Vec<f64>,
+    synth_low: Vec<f64>,
+    synth_high: Vec<f64>,
+    col_a: Vec<f64>,
+    col_d: Vec<f64>,
+    col_buf: Vec<f64>,
+}
+
+/// Row-filter input row `x_row` with both filters over output columns
+/// `[c0, c0 + w)`, writing into `low_out`/`high_out` (length `w`).
+/// The interior region is branch-free; only windows crossing the image
+/// edge consult the boundary policy.
+#[inline]
+fn row_filter_band(
+    x_row: &[f64],
+    bank: &FilterBank,
+    mode: Boundary,
+    c0: usize,
+    w: usize,
+    low_out: &mut [f64],
+    high_out: &mut [f64],
+) {
+    let n = x_row.len();
+    let (low, high) = (bank.low(), bank.high());
+    let flen = low.len();
+    let interior_end = conv::interior_outputs(n, flen, n / 2).clamp(c0, c0 + w);
+    for j in c0..interior_end {
+        let window = &x_row[2 * j..2 * j + flen];
+        let mut accl = 0.0;
+        let mut acch = 0.0;
+        for ((&tl, &th), &v) in low.iter().zip(high).zip(window) {
+            accl += tl * v;
+            acch += th * v;
+        }
+        low_out[j - c0] = accl;
+        high_out[j - c0] = acch;
+    }
+    for j in interior_end..c0 + w {
+        let base = 2 * j;
+        let mut accl = 0.0;
+        let mut acch = 0.0;
+        for (m, (&tl, &th)) in low.iter().zip(high).enumerate() {
+            if let Some(idx) = mode.map((base + m) as isize, n) {
+                accl += tl * x_row[idx];
+                acch += th * x_row[idx];
+            }
+        }
+        low_out[j - c0] = accl;
+        high_out[j - c0] = acch;
+    }
+}
+
+/// Compute the ring slot for intermediate row `t`, filling it with the
+/// row-filtered band of input row `mode.map(t)` (or zeros when the
+/// boundary maps it outside the signal).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn fill_ring_row(
+    src: &[f64],
+    dims: LevelDims,
+    bank: &FilterBank,
+    mode: Boundary,
+    t: usize,
+    c0: usize,
+    w: usize,
+    buf: &mut LaneBuf,
+    ring_rows: usize,
+) {
+    let slot = (t % ring_rows) * w;
+    let low_slot = &mut buf.low_ring[slot..slot + w];
+    let high_slot = &mut buf.high_ring[slot..slot + w];
+    match mode.map(t as isize, dims.rows_in) {
+        Some(i) => {
+            let x_row = &src[i * dims.cols_in..(i + 1) * dims.cols_in];
+            row_filter_band(x_row, bank, mode, c0, w, low_slot, high_slot);
+        }
+        None => {
+            low_slot.fill(0.0);
+            high_slot.fill(0.0);
+        }
+    }
+}
+
+/// The fused analysis kernel: for output rows `k_range` of one level,
+/// sweep the image in column bands. Within a band, a ring buffer of
+/// `ring_rows` row-filtered rows (the halo) slides down the image; each
+/// output row is produced by a column filter whose inner loop runs over
+/// contiguous output columns.
+#[allow(clippy::too_many_arguments)]
+fn fused_band_sweep(
+    src: &[f64],
+    dims: LevelDims,
+    bank: &FilterBank,
+    mode: Boundary,
+    k_range: std::ops::Range<usize>,
+    ll: &mut [f64],
+    lh: &mut [f64],
+    hl: &mut [f64],
+    hh: &mut [f64],
+    buf: &mut LaneBuf,
+    ring_rows: usize,
+    band_width: usize,
+) {
+    let cols_out = dims.cols_out();
+    let (low, high) = (bank.low(), bank.high());
+    let flen = low.len();
+    let k0 = k_range.start;
+    let mut c0 = 0usize;
+    while c0 < cols_out {
+        let w = band_width.min(cols_out - c0);
+        // Prime the halo for the first output row of this stripe.
+        for t in 2 * k0..2 * k0 + flen {
+            fill_ring_row(src, dims, bank, mode, t, c0, w, buf, ring_rows);
+        }
+        for k in k_range.clone() {
+            if k > k0 {
+                // Slide the window: two fresh intermediate rows replace
+                // the two evicted ones.
+                fill_ring_row(
+                    src,
+                    dims,
+                    bank,
+                    mode,
+                    2 * k + flen - 2,
+                    c0,
+                    w,
+                    buf,
+                    ring_rows,
+                );
+                fill_ring_row(
+                    src,
+                    dims,
+                    bank,
+                    mode,
+                    2 * k + flen - 1,
+                    c0,
+                    w,
+                    buf,
+                    ring_rows,
+                );
+            }
+            // Column filter: contiguous output chunks, one tap at a time,
+            // ascending — the same accumulation order as the separable
+            // reference, so results are bit-identical.
+            let o = (k - k0) * cols_out + c0;
+            let ll_row = &mut ll[o..o + w];
+            let lh_row = &mut lh[o..o + w];
+            let hl_row = &mut hl[o..o + w];
+            let hh_row = &mut hh[o..o + w];
+            ll_row.fill(0.0);
+            lh_row.fill(0.0);
+            hl_row.fill(0.0);
+            hh_row.fill(0.0);
+            for (m, (&tl, &th)) in low.iter().zip(high).enumerate() {
+                let slot = ((2 * k + m) % ring_rows) * w;
+                let lrow = &buf.low_ring[slot..slot + w];
+                let hrow = &buf.high_ring[slot..slot + w];
+                kernel::accumulate_quad(ll_row, lh_row, hl_row, hh_row, lrow, hrow, tl, th);
+            }
+        }
+        c0 += w;
+    }
+}
+
+/// One workspace-backed synthesis step: merge `(ll, bands)` of size
+/// `r x c` into `dst` (`2r x 2c`), using caller-provided intermediates.
+#[allow(clippy::too_many_arguments)]
+fn synth_step_into(
+    ll: &[f64],
+    r: usize,
+    c: usize,
+    bands: &Subbands,
+    bank: &FilterBank,
+    mode: Boundary,
+    dst: &mut [f64],
+    low: &mut [f64],
+    high: &mut [f64],
+    col_a: &mut [f64],
+    col_d: &mut [f64],
+    col_buf: &mut [f64],
+) -> Result<()> {
+    if bands.rows() != r || bands.cols() != c {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "LL is {r}x{c} but detail bands are {}x{}",
+                bands.rows(),
+                bands.cols()
+            ),
+        });
+    }
+    debug_assert_eq!(dst.len(), 4 * r * c);
+    debug_assert_eq!(low.len(), 2 * r * c);
+    // Invert the column pass: scatter the coefficient columns into the
+    // low/high row-filtered intermediates.
+    low.fill(0.0);
+    high.fill(0.0);
+    for cc in 0..c {
+        for (rr, slot) in col_a.iter_mut().enumerate() {
+            *slot = ll[rr * c + cc];
+        }
+        for (rr, slot) in col_d.iter_mut().enumerate() {
+            *slot = bands.lh.get(rr, cc);
+        }
+        col_buf.fill(0.0);
+        conv::synthesize_add_unchecked(col_a, bank.low(), mode, col_buf);
+        conv::synthesize_add_unchecked(col_d, bank.high(), mode, col_buf);
+        for (rr, &v) in col_buf.iter().enumerate() {
+            low[rr * c + cc] = v;
+        }
+
+        for (rr, slot) in col_a.iter_mut().enumerate() {
+            *slot = bands.hl.get(rr, cc);
+        }
+        for (rr, slot) in col_d.iter_mut().enumerate() {
+            *slot = bands.hh.get(rr, cc);
+        }
+        col_buf.fill(0.0);
+        conv::synthesize_add_unchecked(col_a, bank.low(), mode, col_buf);
+        conv::synthesize_add_unchecked(col_d, bank.high(), mode, col_buf);
+        for (rr, &v) in col_buf.iter().enumerate() {
+            high[rr * c + cc] = v;
+        }
+    }
+    // Invert the row pass.
+    dst.fill(0.0);
+    for rr in 0..2 * r {
+        let drow = &mut dst[rr * 2 * c..(rr + 1) * 2 * c];
+        conv::synthesize_add_unchecked(&low[rr * c..(rr + 1) * c], bank.low(), mode, drow);
+        conv::synthesize_add_unchecked(&high[rr * c..(rr + 1) * c], bank.high(), mode, drow);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dwt2d;
+
+    fn test_image(r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| {
+            ((i * 31 + j * 17) % 23) as f64 + (i as f64 * 0.37).sin() - (j as f64 * 0.11).cos()
+        })
+    }
+
+    #[test]
+    fn engine_matches_separable_reference_bitwise() {
+        for taps in [2usize, 4, 6, 8, 10] {
+            let bank = FilterBank::daubechies(taps).unwrap();
+            let img = test_image(64, 96);
+            for mode in Boundary::ALL {
+                for levels in 1..=3 {
+                    let reference = dwt2d::decompose_separable(&img, &bank, levels, mode).unwrap();
+                    let plan = DwtPlan::new(64, 96, bank.clone(), levels, mode).unwrap();
+                    let got = plan.decompose(&img).unwrap();
+                    assert_eq!(
+                        got.approx.max_abs_diff(&reference.approx),
+                        Some(0.0),
+                        "D{taps} {mode:?} L{levels} LL"
+                    );
+                    for (g, r) in got.detail.iter().zip(&reference.detail) {
+                        assert_eq!(g.lh.max_abs_diff(&r.lh), Some(0.0), "D{taps} {mode:?} LH");
+                        assert_eq!(g.hl.max_abs_diff(&r.hl), Some(0.0), "D{taps} {mode:?} HL");
+                        assert_eq!(g.hh.max_abs_diff(&r.hh), Some(0.0), "D{taps} {mode:?} HH");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_engine_matches_single_thread() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        let img = test_image(128, 64);
+        let seq = DwtPlan::new(128, 64, bank.clone(), 3, Boundary::Periodic)
+            .unwrap()
+            .decompose(&img)
+            .unwrap();
+        for threads in [2usize, 3, 4, 7] {
+            let par = DwtPlan::new(128, 64, bank.clone(), 3, Boundary::Periodic)
+                .unwrap()
+                .with_threads(threads)
+                .decompose(&img)
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_band_widths_cover_remainders() {
+        // Band widths that do not divide the output width exercise the
+        // tile-remainder paths.
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = test_image(32, 40);
+        let reference = dwt2d::decompose_separable(&img, &bank, 2, Boundary::Symmetric).unwrap();
+        for bw in [5usize, 7, 8, 13, 20, 1000] {
+            let plan = DwtPlan::new(32, 40, bank.clone(), 2, Boundary::Symmetric)
+                .unwrap()
+                .with_band_width(bw);
+            let got = plan.decompose(&img).unwrap();
+            assert_eq!(
+                got.approx.max_abs_diff(&reference.approx),
+                Some(0.0),
+                "bw={bw}"
+            );
+            assert_eq!(got.detail, reference.detail, "bw={bw}");
+        }
+    }
+
+    #[test]
+    fn workspace_round_trip_is_exact_periodic() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        let img = test_image(64, 64);
+        let plan = DwtPlan::new(64, 64, bank, 3, Boundary::Periodic).unwrap();
+        let mut ws = plan.make_workspace();
+        let mut pyr = plan.make_pyramid();
+        let mut back = Matrix::zeros(64, 64);
+        // Run twice through the same workspace to verify reuse.
+        for _ in 0..2 {
+            plan.decompose_into(&img, &mut ws, &mut pyr).unwrap();
+            plan.reconstruct_into(&pyr, &mut ws, &mut back).unwrap();
+            let err = img.max_abs_diff(&back).unwrap();
+            assert!(err < 1e-10, "round-trip error {err}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_matches_separable_synthesis() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        let img = test_image(32, 32);
+        for mode in Boundary::ALL {
+            let pyr = dwt2d::decompose_separable(&img, &bank, 2, mode).unwrap();
+            let reference = dwt2d::reconstruct_separable(&pyr, &bank, mode).unwrap();
+            let plan = DwtPlan::new(32, 32, bank.clone(), 2, mode).unwrap();
+            let got = plan.reconstruct(&pyr).unwrap();
+            assert_eq!(reference.max_abs_diff(&got), Some(0.0), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let bank = FilterBank::haar();
+        let plan = DwtPlan::new(16, 16, bank.clone(), 2, Boundary::Periodic).unwrap();
+        let mut ws = plan.make_workspace();
+        let mut pyr = plan.make_pyramid();
+        let wrong = Matrix::zeros(8, 16);
+        assert!(plan.decompose_into(&wrong, &mut ws, &mut pyr).is_err());
+        let other_plan = DwtPlan::new(32, 32, bank, 2, Boundary::Periodic).unwrap();
+        let img32 = Matrix::zeros(32, 32);
+        assert!(other_plan
+            .decompose_into(&img32, &mut ws, &mut pyr)
+            .is_err());
+    }
+
+    #[test]
+    fn plan_validates_geometry() {
+        let bank = FilterBank::daubechies(8).unwrap();
+        assert!(matches!(
+            DwtPlan::new(10, 16, bank.clone(), 2, Boundary::Periodic),
+            Err(DwtError::OddLength { .. })
+        ));
+        assert!(matches!(
+            DwtPlan::new(4, 4, bank, 1, Boundary::Periodic),
+            Err(DwtError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_axpy_family() {
+        let mut dst = vec![1.0, 2.0, 3.0];
+        kernel::axpy(&mut dst, &[1.0, 1.0, 1.0], 0.5);
+        assert_eq!(dst, vec![1.5, 2.5, 3.5]);
+        kernel::axpy_pair(&mut dst, &[2.0, 2.0, 2.0], &[4.0, 4.0, 4.0], 0.25, 0.25);
+        assert_eq!(dst, vec![3.0, 4.0, 5.0]);
+    }
+}

@@ -114,7 +114,8 @@ mod tests {
             for c in 0..n {
                 if mask.get(r, c) > 0.0 {
                     let near_r = border.clone().any(|b| r.abs_diff(b) <= 2)
-                        && (r.abs_diff(n / 4) <= 2 || r.abs_diff(3 * n / 4 - 1) <= 2
+                        && (r.abs_diff(n / 4) <= 2
+                            || r.abs_diff(3 * n / 4 - 1) <= 2
                             || c.abs_diff(n / 4) <= 2
                             || c.abs_diff(3 * n / 4 - 1) <= 2);
                     let _ = near_r;

@@ -93,7 +93,12 @@ impl FilterBank {
             4 => {
                 let s3 = 3.0_f64.sqrt();
                 let d = 4.0 * std::f64::consts::SQRT_2;
-                vec![(1.0 + s3) / d, (3.0 + s3) / d, (3.0 - s3) / d, (1.0 - s3) / d]
+                vec![
+                    (1.0 + s3) / d,
+                    (3.0 + s3) / d,
+                    (3.0 - s3) / d,
+                    (1.0 - s3) / d,
+                ]
             }
             6 => vec![
                 0.332670552950957,
@@ -128,6 +133,27 @@ impl FilterBank {
             other => return Err(DwtError::UnsupportedFilter { taps: other }),
         };
         FilterBank::from_lowpass(format!("D{taps}"), low)
+    }
+
+    /// A Coiflet filter with the given (even) number of taps.
+    ///
+    /// Supported length: 6 — the coif1 bank ("Coif-6"), which has two
+    /// vanishing moments for both the wavelet *and* the scaling function.
+    /// Used by the engine benchmark matrix alongside the paper's
+    /// Daubechies sizes.
+    pub fn coiflet(taps: usize) -> Result<Self> {
+        let low: Vec<f64> = match taps {
+            6 => vec![
+                -0.015655728135465,
+                -0.072732619512854,
+                0.384864846864203,
+                0.852572020212255,
+                0.337897662457809,
+                -0.072732619512854,
+            ],
+            other => return Err(DwtError::UnsupportedFilter { taps: other }),
+        };
+        FilterBank::from_lowpass(format!("Coif{taps}"), low)
     }
 
     /// Filter name.
@@ -231,6 +257,15 @@ mod tests {
             let s: f64 = bank.high().iter().sum();
             assert!(s.abs() < 1e-8, "D{taps} high-pass sums to {s}");
         }
+    }
+
+    #[test]
+    fn coiflet_is_orthonormal() {
+        let bank = FilterBank::coiflet(6).unwrap();
+        assert_eq!(bank.len(), 6);
+        assert_eq!(bank.name(), "Coif6");
+        assert_orthonormal(&bank);
+        assert!(FilterBank::coiflet(12).is_err());
     }
 
     #[test]

@@ -22,9 +22,19 @@
 //! * [`compress`] — coefficient thresholding, quantization and
 //!   reconstruction-quality metrics, the application the paper motivates
 //!   (EOSDIS-scale image compression).
+//! * [`engine`] — the production transform path: a fused, cache-blocked
+//!   2-D kernel behind reusable [`engine::DwtPlan`]s and zero-allocation
+//!   [`engine::DwtWorkspace`]s. The image is swept in column bands; each
+//!   band carries a ring buffer of `filter_len` row-filtered rows — the
+//!   tile *halo*, the shared-memory analogue of the guard zones the paper
+//!   exchanges between Paragon nodes (its `filter_len - 2` boundary rows).
+//!   Where the paper ships guard rows over the mesh once per level, the
+//!   engine keeps them resident in L1 and recomputes nothing: every input
+//!   row is row-filtered exactly once per band.
 //! * [`parallel`] — a shared-memory parallel implementation using rayon
 //!   with the same striped decomposition and guard-zone structure as the
-//!   paper's coarse-grain Paragon algorithm.
+//!   paper's coarse-grain Paragon algorithm; its multi-level entry point
+//!   routes through the threaded [`engine`].
 //!
 //! # Quickstart
 //!
@@ -54,13 +64,14 @@ pub mod conv;
 pub mod denoise;
 pub mod dwt1d;
 pub mod dwt2d;
+pub mod engine;
 pub mod error;
+pub mod features;
 pub mod filters;
 pub mod lifting;
 pub mod matrix;
 pub mod packets;
 pub mod parallel;
-pub mod features;
 pub mod pyramid;
 pub mod swt;
 

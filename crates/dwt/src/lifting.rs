@@ -48,7 +48,7 @@ fn update(even: &mut [f64], odd: &[f64], c: f64) {
 /// Forward 1-D lifting transform: returns `(approx, detail)` halves.
 pub fn forward_1d(x: &[f64], kind: LiftingKind) -> Result<(Vec<f64>, Vec<f64>)> {
     let n = x.len();
-    if n < 2 || n % 2 != 0 {
+    if n < 2 || !n.is_multiple_of(2) {
         return Err(DwtError::OddLength { len: n, level: 1 });
     }
     let h = n / 2;
@@ -182,7 +182,7 @@ pub fn decompose(img: &Matrix, kind: LiftingKind, levels: usize) -> Result<Pyram
     let mut approx = img.clone();
     let mut detail = Vec::with_capacity(levels);
     for level in 1..=levels {
-        if approx.rows() % 2 != 0 || approx.cols() % 2 != 0 {
+        if !approx.rows().is_multiple_of(2) || !approx.cols().is_multiple_of(2) {
             return Err(DwtError::OddLength {
                 len: approx.rows().min(approx.cols()),
                 level,
@@ -284,8 +284,7 @@ mod tests {
             crate::boundary::Boundary::Periodic,
         )
         .unwrap();
-        let detail_energy =
-            |p: &Pyramid| p.detail.iter().map(|b| b.energy()).sum::<f64>();
+        let detail_energy = |p: &Pyramid| p.detail.iter().map(|b| b.energy()).sum::<f64>();
         // Normalize by total energy (the two transforms scale LL alike
         // enough for this comparison).
         let frac97 = detail_energy(&pyr97) / pyr97.energy();

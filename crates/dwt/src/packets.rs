@@ -83,12 +83,7 @@ pub fn reconstruct(node: &PacketNode, bank: &FilterBank, mode: Boundary) -> Resu
             let lh = reconstruct(&children[1], bank, mode)?;
             let hl = reconstruct(&children[2], bank, mode)?;
             let hh = reconstruct(&children[3], bank, mode)?;
-            dwt2d::synthesize_step(
-                &ll,
-                &crate::pyramid::Subbands { lh, hl, hh },
-                bank,
-                mode,
-            )
+            dwt2d::synthesize_step(&ll, &crate::pyramid::Subbands { lh, hl, hh }, bank, mode)
         }
     }
 }
@@ -190,10 +185,7 @@ mod tests {
         let bank = FilterBank::haar();
         let tree = decompose_full(&img, &bank, 0, Boundary::Periodic).unwrap();
         assert_eq!(tree, PacketNode::Leaf(img.clone()));
-        assert_eq!(
-            reconstruct(&tree, &bank, Boundary::Periodic).unwrap(),
-            img
-        );
+        assert_eq!(reconstruct(&tree, &bank, Boundary::Periodic).unwrap(), img);
     }
 
     #[test]
@@ -227,13 +219,7 @@ mod tests {
         // A high-frequency texture concentrates in a HH-like packet that
         // plain Mallat (LL-only recursion) never splits: the best basis
         // should split at least one non-LL band.
-        let img = Matrix::from_fn(32, 32, |r, c| {
-            if (r + c) % 2 == 0 {
-                10.0
-            } else {
-                -10.0
-            }
-        });
+        let img = Matrix::from_fn(32, 32, |r, c| if (r + c) % 2 == 0 { 10.0 } else { -10.0 });
         let bank = FilterBank::haar();
         let (tree, _) = best_basis(&img, &bank, 2, Boundary::Periodic).unwrap();
         // The checkerboard is a pure HH Haar component: the tree must be

@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use crate::boundary::Boundary;
 use crate::conv;
 use crate::dwt2d;
+use crate::engine;
 use crate::error::Result;
 use crate::filters::FilterBank;
 use crate::matrix::Matrix;
@@ -28,7 +29,7 @@ pub fn filter_rows_par(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
         .par_chunks_exact_mut(half)
         .enumerate()
         .for_each(|(r, dst)| {
-            conv::analyze_into(img.row(r), taps, mode, dst);
+            conv::analyze_into(img.row(r), taps, mode, dst).expect("output sized to cols/2");
         });
     out
 }
@@ -36,23 +37,38 @@ pub fn filter_rows_par(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
 /// Parallel column pass: filter every column with `taps` and decimate
 /// rows. Output row `k` is the accumulation `Σ_m taps[m] · in[2k+m]`,
 /// computed row-wise for cache-friendliness.
+///
+/// Interior output rows (windows that stay inside the image) read their
+/// source rows directly; boundary mapping is resolved once per tail row
+/// up front, outside the tap loop, so the accumulation loops stay
+/// branch-free.
 pub fn filter_cols_par(img: &Matrix, taps: &[f64], mode: Boundary) -> Matrix {
     let in_rows = img.rows();
     let cols = img.cols();
     let out_rows = in_rows / 2;
+    let flen = taps.len();
     let mut out = Matrix::zeros(out_rows, cols);
+    let interior = conv::interior_outputs(in_rows, flen, out_rows);
+    // Resolve the boundary policy for every (tail row, tap) pair before
+    // entering the hot loops.
+    let tail_map: Vec<Option<usize>> = (interior..out_rows)
+        .flat_map(|k| (0..flen).map(move |m| ((2 * k + m) as isize, in_rows)))
+        .map(|(i, n)| mode.map(i, n))
+        .collect();
     out.data_mut()
         .par_chunks_exact_mut(cols)
         .enumerate()
         .for_each(|(k, dst)| {
-            let base = 2 * k;
-            for (m, &t) in taps.iter().enumerate() {
-                let Some(src_row) = mode.map((base + m) as isize, in_rows) else {
-                    continue;
-                };
-                let src = img.row(src_row);
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += t * s;
+            if k < interior {
+                let base = 2 * k;
+                for (m, &t) in taps.iter().enumerate() {
+                    engine::kernel::axpy(dst, img.row(base + m), t);
+                }
+            } else {
+                let maps = &tail_map[(k - interior) * flen..][..flen];
+                for (&src_row, &t) in maps.iter().zip(taps) {
+                    let Some(src_row) = src_row else { continue };
+                    engine::kernel::axpy(dst, img.row(src_row), t);
                 }
             }
         });
@@ -90,7 +106,26 @@ pub fn analyze_step_par(
 /// Parallel multi-level decomposition. Produces bit-identical results to
 /// [`dwt2d::decompose`] — the arithmetic per coefficient is the same
 /// sequence of operations, only distributed over threads.
+///
+/// Routes through the fused [`engine`] with one worker lane per rayon
+/// thread; each lane owns a contiguous stripe of output rows, the
+/// shared-memory analogue of the paper's node-per-stripe distribution.
 pub fn decompose_par(
+    img: &Matrix,
+    bank: &FilterBank,
+    levels: usize,
+    mode: Boundary,
+) -> Result<Pyramid> {
+    let plan = engine::DwtPlan::new(img.rows(), img.cols(), bank.clone(), levels, mode)?
+        .with_threads(rayon::current_num_threads());
+    plan.decompose(img)
+}
+
+/// Legacy stripe-parallel decomposition over the materializing separable
+/// passes. Kept as an independent parallel oracle for the engine tests;
+/// use [`decompose_par`] in production code.
+#[doc(hidden)]
+pub fn decompose_par_separable(
     img: &Matrix,
     bank: &FilterBank,
     levels: usize,
@@ -223,6 +258,8 @@ mod tests {
             for mode in Boundary::ALL {
                 let seq = dwt2d::decompose(&img, &bank, 2, mode).unwrap();
                 let par = decompose_par(&img, &bank, 2, mode).unwrap();
+                let legacy = decompose_par_separable(&img, &bank, 2, mode).unwrap();
+                assert_eq!(legacy, par, "D{taps} {mode:?} legacy-par differs");
                 assert_eq!(
                     seq.approx.max_abs_diff(&par.approx),
                     Some(0.0),
@@ -252,8 +289,8 @@ mod tests {
         let bank = FilterBank::daubechies(4).unwrap();
         let img = test_image(32, 32);
         let pyr = dwt2d::decompose(&img, &bank, 1, Boundary::Periodic).unwrap();
-        let seq = dwt2d::synthesize_step(&pyr.approx, &pyr.detail[0], &bank, Boundary::Periodic)
-            .unwrap();
+        let seq =
+            dwt2d::synthesize_step(&pyr.approx, &pyr.detail[0], &bank, Boundary::Periodic).unwrap();
         let par =
             synthesize_step_par(&pyr.approx, &pyr.detail[0], &bank, Boundary::Periodic).unwrap();
         let err = seq.max_abs_diff(&par).unwrap();

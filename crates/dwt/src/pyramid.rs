@@ -19,6 +19,21 @@ pub struct Subbands {
 }
 
 impl Subbands {
+    /// Three zero-filled `rows x cols` bands.
+    pub fn zeros(rows: usize, cols: usize) -> Subbands {
+        Subbands {
+            lh: Matrix::zeros(rows, cols),
+            hl: Matrix::zeros(rows, cols),
+            hh: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Disjoint mutable access to the three bands, in `(lh, hl, hh)`
+    /// order. Used by [`crate::engine`] to fill all bands in one sweep.
+    pub fn split_mut(&mut self) -> (&mut Matrix, &mut Matrix, &mut Matrix) {
+        (&mut self.lh, &mut self.hl, &mut self.hh)
+    }
+
     /// Rows of each band.
     pub fn rows(&self) -> usize {
         self.lh.rows()
@@ -49,6 +64,27 @@ pub struct Pyramid {
 }
 
 impl Pyramid {
+    /// A zero-filled pyramid with the shapes a `levels`-deep decomposition
+    /// of an `rows x cols` image produces. Used to preallocate the output
+    /// of [`crate::engine::DwtPlan::decompose_into`].
+    pub fn zeros(rows: usize, cols: usize, levels: usize) -> Result<Pyramid> {
+        if levels == 0 {
+            return Err(DwtError::ZeroLevels);
+        }
+        if rows >> levels << levels != rows || cols >> levels << levels != cols {
+            return Err(DwtError::DimensionMismatch {
+                detail: format!("{rows}x{cols} image does not divide by 2^{levels}"),
+            });
+        }
+        let detail = (1..=levels)
+            .map(|level| Subbands::zeros(rows >> level, cols >> level))
+            .collect();
+        Ok(Pyramid {
+            approx: Matrix::zeros(rows >> levels, cols >> levels),
+            detail,
+        })
+    }
+
     /// Number of decomposition levels.
     pub fn levels(&self) -> usize {
         self.detail.len()

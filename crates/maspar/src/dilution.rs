@@ -28,7 +28,13 @@ fn charge_pass(m: &mut SimdMachine, logical: usize, f: usize, level: u32) {
     }
 }
 
-fn conv_rows(machine: &mut SimdMachine, img: &Matrix, taps: &[f64], f: usize, level: u32) -> Matrix {
+fn conv_rows(
+    machine: &mut SimdMachine,
+    img: &Matrix,
+    taps: &[f64],
+    f: usize,
+    level: u32,
+) -> Matrix {
     charge_pass(machine, img.rows() * img.cols(), f, level);
     let mut out = Matrix::zeros(img.rows(), img.cols());
     for r in 0..img.rows() {
@@ -38,7 +44,13 @@ fn conv_rows(machine: &mut SimdMachine, img: &Matrix, taps: &[f64], f: usize, le
     out
 }
 
-fn conv_cols(machine: &mut SimdMachine, img: &Matrix, taps: &[f64], f: usize, level: u32) -> Matrix {
+fn conv_cols(
+    machine: &mut SimdMachine,
+    img: &Matrix,
+    taps: &[f64],
+    f: usize,
+    level: u32,
+) -> Matrix {
     charge_pass(machine, img.rows() * img.cols(), f, level);
     let mut out = Matrix::zeros(img.rows(), img.cols());
     let mut col = vec![0.0; img.rows()];

@@ -71,8 +71,10 @@ pub fn reconstruct(machine: &mut SimdMachine, pyr: &Pyramid, bank: &FilterBank) 
                     d_col[r] = lh_up.get(2 * r, c);
                 }
                 buf.iter_mut().for_each(|v| *v = 0.0);
-                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf);
-                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf);
+                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf)
+                    .expect("buffer sized by construction");
+                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf)
+                    .expect("buffer sized by construction");
                 low.set_col(c, &buf);
 
                 for r in 0..rows2 / 2 {
@@ -80,8 +82,10 @@ pub fn reconstruct(machine: &mut SimdMachine, pyr: &Pyramid, bank: &FilterBank) 
                     d_col[r] = hh_up.get(2 * r, c);
                 }
                 buf.iter_mut().for_each(|v| *v = 0.0);
-                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf);
-                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf);
+                dwt::conv::synthesize_add(&a_col, bank.low(), Boundary::Periodic, &mut buf)
+                    .expect("buffer sized by construction");
+                dwt::conv::synthesize_add(&d_col, bank.high(), Boundary::Periodic, &mut buf)
+                    .expect("buffer sized by construction");
                 high.set_col(c, &buf);
             }
         }
@@ -101,8 +105,10 @@ pub fn reconstruct(machine: &mut SimdMachine, pyr: &Pyramid, bank: &FilterBank) 
                     d_row[c] = high_up.get(r, 2 * c);
                 }
                 let dst = out.row_mut(r);
-                dwt::conv::synthesize_add(&a_row, bank.low(), Boundary::Periodic, dst);
-                dwt::conv::synthesize_add(&d_row, bank.high(), Boundary::Periodic, dst);
+                dwt::conv::synthesize_add(&a_row, bank.low(), Boundary::Periodic, dst)
+                    .expect("buffer sized by construction");
+                dwt::conv::synthesize_add(&d_row, bank.high(), Boundary::Periodic, dst)
+                    .expect("buffer sized by construction");
             }
         }
         charge_pass(machine, rows2 * cols2, 2 * f);

@@ -102,7 +102,11 @@ mod tests {
             },
         ];
         let d = diagnose(&bodies, &p);
-        assert!((d.virial_ratio() - 1.0).abs() < 1e-9, "{}", d.virial_ratio());
+        assert!(
+            (d.virial_ratio() - 1.0).abs() < 1e-9,
+            "{}",
+            d.virial_ratio()
+        );
         assert!(d.momentum[0].abs() < 1e-12 && d.momentum[1].abs() < 1e-12);
         assert_eq!(d.center_of_mass, [0.0, 0.0]);
     }

@@ -37,10 +37,7 @@ pub fn disk_galaxy(
         let disk_mass = (n - 1) as f64;
         let enclosed = central_mass + disk_mass * (r / radius).powi(2);
         let v = (enclosed / r).sqrt();
-        let vel = [
-            bulk_vel[0] - v * phi.sin(),
-            bulk_vel[1] + v * phi.cos(),
-        ];
+        let vel = [bulk_vel[0] - v * phi.sin(), bulk_vel[1] + v * phi.cos()];
         bodies.push(Body {
             pos,
             vel,

@@ -80,7 +80,10 @@ mod tests {
         let after = mom(&bodies);
         // BH forces are not exactly antisymmetric; drift should be small
         // relative to the typical momentum scale.
-        let scale: f64 = bodies.iter().map(|b| b.mass * b.vel[0].hypot(b.vel[1])).sum();
+        let scale: f64 = bodies
+            .iter()
+            .map(|b| b.mass * b.vel[0].hypot(b.vel[1]))
+            .sum();
         assert!(
             (after[0] - before[0]).abs() < 0.02 * scale,
             "px drift {} of scale {scale}",

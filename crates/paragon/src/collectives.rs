@@ -99,8 +99,9 @@ mod tests {
     fn alltoall_delivers_personalized_data() {
         let res = run_spmd(&cfg(5), |ctx| {
             let me = ctx.rank();
-            let items: Vec<(u64, usize)> =
-                (0..ctx.nranks()).map(|j| ((me * 100 + j) as u64, 8)).collect();
+            let items: Vec<(u64, usize)> = (0..ctx.nranks())
+                .map(|j| ((me * 100 + j) as u64, 8))
+                .collect();
             ctx.alltoall(items)
         });
         for (me, got) in res.outputs.iter().enumerate() {

@@ -173,7 +173,7 @@ impl MachineSpec {
                 per_byte_sw_s: 0.18e-6, // PVM packing ran ~5 MB/s
                 per_hop_s: 0.5e-6,
                 per_byte_link_s: 0.11e-6, // ~9 MB/s effective PVM bandwidth
-                barrier_stage_s: 2e-3, // PVM group barriers were slow
+                barrier_stage_s: 2e-3,    // PVM group barriers were slow
             },
             mem: MemoryProfile {
                 node_bytes: 32 << 20,

@@ -39,7 +39,11 @@ impl Mapping {
                 Topology::Mesh2d { width, .. } => {
                     let row = rank / width;
                     let col = rank % width;
-                    let col = if row.is_multiple_of(2) { col } else { width - 1 - col };
+                    let col = if row.is_multiple_of(2) {
+                        col
+                    } else {
+                        width - 1 - col
+                    };
                     row * width + col
                 }
                 // On a torus wraparound makes row-major fine; snake is
@@ -76,16 +80,16 @@ mod tests {
 
     #[test]
     fn row_major_is_identity() {
-        assert_eq!(Mapping::RowMajor.table(8, &MESH), (0..8).collect::<Vec<_>>());
+        assert_eq!(
+            Mapping::RowMajor.table(8, &MESH),
+            (0..8).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn snake_reverses_odd_rows() {
         // Row 0: 0 1 2 3; row 1 nodes visited right-to-left: 7 6 5 4.
-        assert_eq!(
-            Mapping::Snake.table(8, &MESH),
-            vec![0, 1, 2, 3, 7, 6, 5, 4]
-        );
+        assert_eq!(Mapping::Snake.table(8, &MESH), vec![0, 1, 2, 3, 7, 6, 5, 4]);
     }
 
     #[test]

@@ -495,7 +495,8 @@ fn resolve(shared: &Shared, board: &mut Board) {
         }
     }
 
-    let fold = |init: f64, f: fn(f64, f64) -> f64, xs: &[f64]| xs.iter().fold(init, |a, &b| f(a, b));
+    let fold =
+        |init: f64, f: fn(f64, f64) -> f64, xs: &[f64]| xs.iter().fold(init, |a, &b| f(a, b));
     board.timeline.push(PhaseRecord {
         barrier: uniform_barrier,
         messages: recs_count,
@@ -719,10 +720,7 @@ mod tests {
             let got = ctx.gather(0, ctx.rank() as u32 * 10, 4);
             match (ctx.rank(), got) {
                 (0, Some(v)) => {
-                    assert_eq!(
-                        v,
-                        vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]
-                    );
+                    assert_eq!(v, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
                     true
                 }
                 (_, None) => true,

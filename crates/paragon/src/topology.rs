@@ -81,10 +81,12 @@ impl Topology {
                 let (tx, ty, tz) = coords(to);
                 let mut links = Vec::new();
                 let mut cur = from;
-                let step_dim = |pos: &mut usize, target: usize, extent: usize,
-                                    cur: &mut usize,
-                                    links: &mut Vec<Link>,
-                                    rebuild: &dyn Fn(usize) -> usize| {
+                let step_dim = |pos: &mut usize,
+                                target: usize,
+                                extent: usize,
+                                cur: &mut usize,
+                                links: &mut Vec<Link>,
+                                rebuild: &dyn Fn(usize) -> usize| {
                     while *pos != target {
                         let fwd = (target + extent - *pos) % extent;
                         let bwd = (*pos + extent - target) % extent;

@@ -211,8 +211,10 @@ pub mod amdahl {
         #[test]
         fn fit_recovers_known_fraction() {
             let s = 0.07;
-            let pts: Vec<(usize, f64)> =
-                [2usize, 4, 8, 16, 32].iter().map(|&p| (p, speedup(s, p))).collect();
+            let pts: Vec<(usize, f64)> = [2usize, 4, 8, 16, 32]
+                .iter()
+                .map(|&p| (p, speedup(s, p)))
+                .collect();
             let fit = fit_serial_fraction(&pts).unwrap();
             assert!((fit - s).abs() < 1e-9, "fit {fit}");
         }

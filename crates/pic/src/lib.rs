@@ -22,9 +22,9 @@
 //! slab-decomposes the FFT.
 
 pub mod deposit;
+pub mod diagnostics;
 pub mod fft;
 pub mod grid;
-pub mod diagnostics;
 pub mod parallel;
 pub mod particle;
 pub mod poisson;

@@ -117,9 +117,7 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
             // charged its slab share plus the slab transpose traffic.
             let phi = solve_poisson(&rho);
             let e = efield(&phi);
-            ctx.charge(
-                cost::grid_ops_per_point(m).times(m3.div_ceil(nranks as u64)),
-            );
+            ctx.charge(cost::grid_ops_per_point(m).times(m3.div_ceil(nranks as u64)));
             if nranks > 1 {
                 let bytes = ((m3 as usize * 16) / (nranks * nranks)).max(16);
                 let msgs: Vec<(usize, (), usize)> = (0..nranks)

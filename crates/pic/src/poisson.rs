@@ -167,8 +167,7 @@ mod tests {
             for y in 0..m as isize {
                 for z in 0..m as isize {
                     let i = rho.idx(x, y, z);
-                    rho.data[i] =
-                        (2.0 * std::f64::consts::PI * x as f64 / m as f64).cos();
+                    rho.data[i] = (2.0 * std::f64::consts::PI * x as f64 / m as f64).cos();
                 }
             }
         }

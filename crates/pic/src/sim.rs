@@ -191,8 +191,8 @@ mod tests {
         for z in 0..m {
             for y in 0..m {
                 for x in 0..m {
-                    let xf = x as f64
-                        + 0.3 * (2.0 * std::f64::consts::PI * x as f64 / m as f64).sin();
+                    let xf =
+                        x as f64 + 0.3 * (2.0 * std::f64::consts::PI * x as f64 / m as f64).sin();
                     particles.push(Particle {
                         pos: [crate::particle::wrap(xf, m as f64), y as f64, z as f64],
                         vel: [0.0; 3],

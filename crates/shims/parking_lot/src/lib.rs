@@ -1,0 +1,127 @@
+//! Offline drop-in replacement for the subset of [parking_lot] this
+//! workspace uses: [`Mutex`] (whose `lock()` returns the guard directly,
+//! no poisoning) and [`Condvar`] (whose `wait` takes `&mut MutexGuard`).
+//!
+//! Implemented over `std::sync`; a poisoned std mutex (a panicking
+//! thread while holding the lock) propagates the panic, which matches
+//! how the SPMD executor treats rank panics.
+//!
+//! [parking_lot]: https://crates.io/crates/parking_lot
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// Mutual exclusion with parking_lot's guard-returning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard out
+    // while the thread is parked.
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(self.inner.lock().expect("mutex poisoned")),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+impl<'a, T> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<'a, T> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` API.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and park until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard already waiting");
+        guard.guard = Some(self.inner.wait(inner).expect("mutex poisoned"));
+    }
+
+    /// Wake one parked thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all parked threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_guards_data() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let n = 4;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*shared;
+                let mut g = m.lock();
+                *g += 1;
+                cv.notify_all();
+                while *g < n {
+                    cv.wait(&mut g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*shared.0.lock(), n);
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline drop-in replacement for the subset of [rayon] this workspace
+//! uses. The build environment has no registry access, so the real crate
+//! cannot be fetched; this shim provides the same API surface on top of
+//! `std::thread::scope`:
+//!
+//! * [`join`] — potentially-parallel fork/join of two closures,
+//! * [`prelude::ParallelSliceMut::par_chunks_exact_mut`] followed by
+//!   `.enumerate().for_each(..)` — the only parallel-iterator shape the
+//!   workspace uses,
+//! * [`current_num_threads`] — sizing hint for work partitioning.
+//!
+//! Work is distributed over at most [`current_num_threads`] scoped OS
+//! threads in contiguous blocks, which preserves the cache-friendly
+//! stripe structure the callers rely on. Results are deterministic: the
+//! shim only splits ownership, it never reorders writes within a chunk.
+//!
+//! [rayon]: https://crates.io/crates/rayon
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used to split parallel work (the host's
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `b` runs on a freshly spawned scoped thread while `a` runs on the
+/// caller's thread, matching rayon's semantics (same result, unspecified
+/// scheduling).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim: join closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Parallel-iterator shims. `use rayon::prelude::*;` works unchanged.
+pub mod prelude {
+    /// Enumerated parallel iterator over exact mutable chunks.
+    pub struct EnumChunksExactMut<'a, T> {
+        chunks: Vec<(usize, &'a mut [T])>,
+    }
+
+    impl<'a, T: Send> EnumChunksExactMut<'a, T> {
+        /// Apply `f` to every `(index, chunk)` pair, distributing
+        /// contiguous blocks of chunks over scoped threads.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Send + Sync,
+        {
+            let mut chunks = self.chunks;
+            let nthreads = super::current_num_threads().min(chunks.len()).max(1);
+            if nthreads <= 1 {
+                for item in chunks {
+                    f(item);
+                }
+                return;
+            }
+            let per = chunks.len().div_ceil(nthreads);
+            std::thread::scope(|s| {
+                let f = &f;
+                while !chunks.is_empty() {
+                    let take = per.min(chunks.len());
+                    let batch: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+                    s.spawn(move || {
+                        for item in batch {
+                            f(item);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Parallel iterator over exact mutable chunks of a slice.
+    pub struct ChunksExactMut<'a, T> {
+        slice: &'a mut [T],
+        chunk: usize,
+    }
+
+    impl<'a, T: Send> ChunksExactMut<'a, T> {
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> EnumChunksExactMut<'a, T> {
+            EnumChunksExactMut {
+                chunks: self
+                    .slice
+                    .chunks_exact_mut(self.chunk)
+                    .enumerate()
+                    .collect(),
+            }
+        }
+
+        /// Apply `f` to every chunk (un-enumerated form).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Send + Sync,
+        {
+            self.enumerate().for_each(|(_, c)| f(c));
+        }
+    }
+
+    /// Mutable-slice extension providing `par_chunks_exact_mut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into non-overlapping mutable chunks of exactly
+        /// `chunk_size` elements, iterable in parallel. The trailing
+        /// remainder (if any) is not visited, matching rayon.
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ChunksExactMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ChunksExactMut {
+                slice: self,
+                chunk: chunk_size,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_chunks_exact_mut_visits_every_chunk_once() {
+        let mut data = vec![0u64; 103 * 8];
+        data.par_chunks_exact_mut(8).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v += 1 + i as u64;
+            }
+        });
+        for (i, c) in data.chunks_exact(8).enumerate() {
+            assert!(c.iter().all(|&v| v == 1 + i as u64), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn remainder_is_untouched() {
+        let mut data = vec![7i32; 10];
+        data.par_chunks_exact_mut(4).enumerate().for_each(|(_, c)| {
+            c.fill(0);
+        });
+        assert_eq!(&data[8..], &[7, 7]);
+    }
+}

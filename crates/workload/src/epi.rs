@@ -208,9 +208,8 @@ mod tests {
         // the oracle centroid (the report's proposal) is one fixed point.
         let t = mixed_trace();
         let a = ParallelismMatrix::from_pis(&schedule_executed(&t, &MachineModel::wide()).pis);
-        let b = ParallelismMatrix::from_pis(
-            &schedule_executed(&t, &MachineModel::cray_ymp_like()).pis,
-        );
+        let b =
+            ParallelismMatrix::from_pis(&schedule_executed(&t, &MachineModel::cray_ymp_like()).pis);
         let c =
             ParallelismMatrix::from_pis(&schedule_executed(&t, &MachineModel::narrow_risc()).pis);
         assert!(a.frobenius_similarity(&b) > 0.0, "machines must differ");

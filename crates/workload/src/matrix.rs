@@ -30,10 +30,7 @@ impl ParallelismMatrix {
         }
         let n = pis.len().max(1) as f64;
         ParallelismMatrix {
-            fractions: counts
-                .into_iter()
-                .map(|(k, v)| (k, v as f64 / n))
-                .collect(),
+            fractions: counts.into_iter().map(|(k, v)| (k, v as f64 / n)).collect(),
         }
     }
 
@@ -65,7 +62,12 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let pis = vec![[1, 0, 0, 0, 0], [1, 0, 0, 0, 0], [0, 2, 0, 0, 0], [3, 1, 0, 0, 0]];
+        let pis = vec![
+            [1, 0, 0, 0, 0],
+            [1, 0, 0, 0, 0],
+            [0, 2, 0, 0, 0],
+            [3, 1, 0, 0, 0],
+        ];
         let m = ParallelismMatrix::from_pis(&pis);
         let total: f64 = m.fractions.values().sum();
         assert!((total - 1.0).abs() < 1e-12);

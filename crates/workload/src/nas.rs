@@ -335,8 +335,7 @@ mod tests {
     fn cfd_applications_are_mutually_closer_than_to_buk() {
         // The three simulated CFD apps exercise machines alike; integer
         // sorting is a different animal (Table 8's structure).
-        let cent =
-            |k: NasKernel| Centroid::from_schedule(&schedule(&k.trace(1)));
+        let cent = |k: NasKernel| Centroid::from_schedule(&schedule(&k.trace(1)));
         let sp = cent(NasKernel::Appsp);
         let bt = cent(NasKernel::Appbt);
         let is = cent(NasKernel::Buk);

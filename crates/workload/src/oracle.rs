@@ -97,11 +97,7 @@ pub fn schedule_finite(trace: &Trace, width: usize) -> FiniteSchedule {
     use std::collections::BinaryHeap;
     // Min-heap of (ready_cycle, index) via Reverse.
     use std::cmp::Reverse;
-    let mut remaining_deps: Vec<u32> = trace
-        .instrs
-        .iter()
-        .map(|i| i.deps.len() as u32)
-        .collect();
+    let mut remaining_deps: Vec<u32> = trace.instrs.iter().map(|i| i.deps.len() as u32).collect();
     // consumers[d] = instructions depending on d.
     let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, ins) in trace.instrs.iter().enumerate() {

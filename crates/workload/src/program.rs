@@ -142,7 +142,11 @@ pub fn trace_program(prog: &Program, mem_cells: usize, fuel: u64) -> Result<Trac
                 }
                 let deps: Vec<ValueId> = reg_def[cond as usize].into_iter().collect();
                 b.emit(OpClass::Branch, &deps);
-                pc = if regs[cond as usize] != 0 { target } else { pc + 1 };
+                pc = if regs[cond as usize] != 0 {
+                    target
+                } else {
+                    pc + 1
+                };
             }
             Inst::Halt => {
                 b.emit(OpClass::Control, &[]);
@@ -257,7 +261,10 @@ mod tests {
     #[test]
     fn out_of_bounds_and_fuel_errors() {
         let prog = Program {
-            insts: vec![Inst::LoadImm { dst: 0, imm: 99 }, Inst::Load { dst: 1, addr: 0 }],
+            insts: vec![
+                Inst::LoadImm { dst: 0, imm: 99 },
+                Inst::Load { dst: 1, addr: 0 },
+            ],
         };
         assert_eq!(
             trace_program(&prog, 4, 100),

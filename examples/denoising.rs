@@ -55,10 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!();
-    println!(
-        "wrote clean/noisy/denoised images to {}",
-        out_dir.display()
-    );
+    println!("wrote clean/noisy/denoised images to {}", out_dir.display());
     println!("note: the estimator sees the scene's own fine texture as");
     println!("noise floor, so low-noise estimates saturate near it.");
     Ok(())

@@ -19,8 +19,7 @@ fn main() {
     for z in 0..m {
         for y in 0..m {
             for x in 0..m {
-                let xf =
-                    x as f64 + 0.4 * (2.0 * std::f64::consts::PI * x as f64 / m as f64).sin();
+                let xf = x as f64 + 0.4 * (2.0 * std::f64::consts::PI * x as f64 / m as f64).sin();
                 particles.push(Particle {
                     pos: [wrap(xf, m as f64), y as f64, z as f64],
                     vel: [0.0; 3],
@@ -37,8 +36,14 @@ fn main() {
         particles,
     };
 
-    println!("Langmuir oscillation, {} particles on a {m}^3 grid:", m * m * m);
-    println!("{:>6} {:>16} {:>16}", "step", "field energy", "kinetic energy");
+    println!(
+        "Langmuir oscillation, {} particles on a {m}^3 grid:",
+        m * m * m
+    );
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "step", "field energy", "kinetic energy"
+    );
     for s in 0..60 {
         let diag = step(&mut state);
         if s % 6 == 0 {

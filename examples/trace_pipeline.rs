@@ -17,8 +17,8 @@ use workload::program::{counted_loop, trace_program, Inst};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A dot-product-like kernel: load two arrays, multiply-accumulate.
     let body = vec![
-        Inst::Load { dst: 5, addr: 0 },  // a[i]
-        Inst::Load { dst: 6, addr: 1 },  // b[i]
+        Inst::Load { dst: 5, addr: 0 }, // a[i]
+        Inst::Load { dst: 6, addr: 1 }, // b[i]
         Inst::FMul { dst: 7, a: 5, b: 6 },
         Inst::Add { dst: 2, a: 2, b: 7 }, // acc +=
         Inst::Add { dst: 0, a: 0, b: 3 }, // advance pointers
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Inst::LoadImm { dst: 2, imm: 0 },
         Inst::LoadImm { dst: 3, imm: 1 },
     ];
-    insts.extend(prog.insts.drain(..));
+    insts.append(&mut prog.insts);
     // Fix branch target offset caused by prepending 4 instructions.
     for inst in &mut insts {
         if let Inst::BranchNz { target, .. } = inst {

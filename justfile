@@ -1,0 +1,24 @@
+# Common developer workflows. Run `just --list` to see targets.
+
+# Build everything in release mode.
+build:
+    cargo build --release
+
+# The tier-1 gate: release build plus the full test suite.
+check:
+    cargo build --release
+    cargo test -q
+
+# Lints as CI runs them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all --check
+
+# Regenerate BENCH_dwt.json (engine vs legacy, median ns/pixel).
+# Set REPRO_FULL=1 for the full 256²–4096² size sweep.
+bench-json:
+    cargo run --release -p bench --bin bench_dwt
+
+# Criterion engine benchmarks (human-readable companion to bench-json).
+bench-engine:
+    cargo bench -p bench --bench dwt_engine

@@ -62,11 +62,7 @@ fn main() {
     // DEC 5000 workstation.
     let mut row = format!("{:<24}", "DEC 5000 Workstation");
     for (f, l) in PAPER_CONFIGS {
-        let cfg = SpmdConfig {
-            machine: MachineSpec::dec5000(),
-            nranks: 1,
-            mapping: Mapping::RowMajor,
-        };
+        let cfg = SpmdConfig::new(MachineSpec::dec5000(), 1, Mapping::RowMajor);
         let run = dwt_mimd::run_mimd_dwt(&cfg, &tuned_dwt(f, l), &img).expect("valid dims");
         row += &format!(" {:>10.4}", run.parallel_time());
     }

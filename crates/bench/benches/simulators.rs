@@ -13,11 +13,7 @@ fn bench_spmd_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("paragon_sim_throughput");
     group.sample_size(10);
     for ranks in [4usize, 16, 32] {
-        let cfg = SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: ranks,
-            mapping: Mapping::Snake,
-        };
+        let cfg = SpmdConfig::new(MachineSpec::paragon(), ranks, Mapping::Snake);
         group.bench_with_input(
             BenchmarkId::new("100_exchange_phases", ranks),
             &cfg,
@@ -31,10 +27,11 @@ fn bench_spmd_phases(c: &mut Criterion) {
                                 intops: 50,
                                 memops: 80,
                             });
-                            ctx.exchange(vec![(next, 1u64, 8)]);
+                            ctx.exchange(vec![(next, 1u64, 8)])?;
                         }
-                        ctx.now()
+                        Ok(ctx.now())
                     })
+                    .expect("benchmark runs on a fault-free simulator configuration")
                 })
             },
         );
@@ -62,11 +59,7 @@ fn bench_mimd_dwt_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("mimd_dwt_sim_throughput");
     group.sample_size(10);
     for p in [8usize, 32] {
-        let scfg = SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: p,
-            mapping: Mapping::Snake,
-        };
+        let scfg = SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake);
         let cfg = dwt_mimd::MimdDwtConfig::tuned(bank.clone(), 2);
         group.bench_with_input(BenchmarkId::new("ranks", p), &scfg, |b, scfg| {
             b.iter(|| dwt_mimd::run_mimd_dwt(scfg, &cfg, black_box(&img)).unwrap())

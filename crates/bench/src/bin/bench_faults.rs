@@ -1,0 +1,147 @@
+//! Machine-readable fault-injection benchmark: degradation curves of the
+//! distributed D4 3-level block DWT under injected link faults and rank
+//! crashes, on the simulated Paragon and T3D. Writes `BENCH_faults.json`
+//! in the current directory.
+//!
+//! Every number here is *virtual* (simulated) time, so the whole file is
+//! a pure function of the fault seed: rerunning with the same seed must
+//! reproduce it byte for byte.
+//!
+//! Run from the repo root with `just faults-json` (or
+//! `cargo run --release -p bench --bin bench_faults`).
+
+use bench::{paper_image, paragon_cfg, t3d_cfg, tuned_dwt};
+use dwt_mimd::block::{run_block_dwt, BlockDwtRun};
+use dwt_mimd::ResiliencePolicy;
+use paragon::{FaultPlan, Mapping, SpmdConfig};
+use perfbudget::BudgetReport;
+
+const SEED: u64 = 1996; // the paper's year; any fixed seed works
+const RANKS: usize = 16;
+
+/// Drop-probability grid of the link-fault sweep.
+const DROP_RATES: [f64; 5] = [0.0, 1e-4, 1e-3, 1e-2, 3e-2];
+
+/// Crash schedule of the crash-count sweep: (rank, phase), applied
+/// cumulatively. Phases span the whole 3-level block schedule
+/// (scatter 0, five phases per level, trailing gather 16).
+const CRASHES: [(usize, u64); 4] = [(5, 7), (10, 12), (3, 3), (12, 16)];
+
+struct Row {
+    machine: &'static str,
+    sweep: &'static str,
+    drop_rate: f64,
+    crashes: usize,
+    run: BlockDwtRun,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        let report = BudgetReport::from_ranks(&self.run.budgets).expect("non-empty budgets");
+        let crashed: Vec<String> = self
+            .run
+            .faults
+            .crashed_ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        format!(
+            concat!(
+                "{{\"machine\": \"{}\", \"sweep\": \"{}\", \"drop_rate\": {}, ",
+                "\"crashes\": {}, \"parallel_time_s\": {:.9}, ",
+                "\"useful_pct\": {:.3}, \"communication_pct\": {:.3}, ",
+                "\"redundancy_pct\": {:.3}, \"imbalance_pct\": {:.3}, ",
+                "\"fault_recovery_pct\": {:.3}, \"drops\": {}, ",
+                "\"retransmissions\": {}, \"crashed_ranks\": [{}]}}"
+            ),
+            self.machine,
+            self.sweep,
+            self.drop_rate,
+            self.crashes,
+            self.run.parallel_time(),
+            report.useful_pct(),
+            report.communication_pct(),
+            report.redundancy_pct(),
+            report.imbalance_pct(),
+            report.fault_pct(),
+            self.run.faults.totals.drops,
+            self.run.faults.totals.retransmissions,
+            crashed.join(", "),
+        )
+    }
+}
+
+fn machine_cfg(machine: &'static str) -> SpmdConfig {
+    match machine {
+        "paragon" => paragon_cfg(RANKS, Mapping::Snake),
+        "t3d" => t3d_cfg(RANKS),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let img = paper_image();
+    let cfg = tuned_dwt(4, 3).with_resilience(ResiliencePolicy::Redistribute);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for machine in ["paragon", "t3d"] {
+        // --- Link-fault sweep: drop probability vs slowdown. -------------
+        for &rate in &DROP_RATES {
+            let plan = FaultPlan::seeded(SEED).with_drop_rate(rate);
+            let scfg = machine_cfg(machine).with_faults(plan);
+            let run = run_block_dwt(&scfg, &cfg, &img).expect("drops are absorbed by retries");
+            eprintln!(
+                "{machine:8} drop_rate={rate:<7} T={:.4}s drops={} retx={}",
+                run.parallel_time(),
+                run.faults.totals.drops,
+                run.faults.totals.retransmissions
+            );
+            rows.push(Row {
+                machine,
+                sweep: "drop_rate",
+                drop_rate: rate,
+                crashes: 0,
+                run,
+            });
+        }
+
+        // --- Crash sweep: number of dead ranks vs slowdown. --------------
+        for ncrash in 0..=CRASHES.len() {
+            let mut plan = FaultPlan::seeded(SEED);
+            for &(rank, phase) in &CRASHES[..ncrash] {
+                plan = plan.with_crash(rank, phase);
+            }
+            let scfg = machine_cfg(machine).with_faults(plan);
+            let run = run_block_dwt(&scfg, &cfg, &img).expect("survivors absorb planned crashes");
+            eprintln!(
+                "{machine:8} crashes={ncrash:<3} T={:.4}s dead={:?}",
+                run.parallel_time(),
+                run.faults.crashed_ranks
+            );
+            rows.push(Row {
+                machine,
+                sweep: "crash_count",
+                drop_rate: 0.0,
+                crashes: ncrash,
+                run,
+            });
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"block_dwt_fault_degradation\",\n");
+    out.push_str("  \"unit\": \"virtual_seconds\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"ranks\": {RANKS},\n"));
+    out.push_str(&format!("  \"image\": {},\n", img.rows()));
+    out.push_str("  \"transform\": \"D4 L3 block, redistribute-on-crash\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.json());
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_faults.json", &out).expect("write BENCH_faults.json");
+    eprintln!("wrote BENCH_faults.json");
+}

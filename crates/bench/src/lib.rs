@@ -32,20 +32,12 @@ pub fn paper_image() -> Matrix {
 
 /// SPMD config on the simulated Paragon.
 pub fn paragon_cfg(nranks: usize, mapping: Mapping) -> SpmdConfig {
-    SpmdConfig {
-        machine: MachineSpec::paragon(),
-        nranks,
-        mapping,
-    }
+    SpmdConfig::new(MachineSpec::paragon(), nranks, mapping)
 }
 
 /// SPMD config on the simulated T3D.
 pub fn t3d_cfg(nranks: usize) -> SpmdConfig {
-    SpmdConfig {
-        machine: MachineSpec::t3d(),
-        nranks,
-        mapping: Mapping::RowMajor,
-    }
+    SpmdConfig::new(MachineSpec::t3d(), nranks, Mapping::RowMajor)
 }
 
 /// The tuned distributed-DWT configuration (snake + simultaneous).

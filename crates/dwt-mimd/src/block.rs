@@ -7,16 +7,24 @@
 //! Implemented in full so the figure-3 claim can be measured rather than
 //! asserted: the transform output is still bit-identical to the
 //! sequential reference; only the communication structure differs.
+//!
+//! Like the striped transform, the block transform is fault-aware: under
+//! [`ResiliencePolicy::Redistribute`] the grid positions become *roles*
+//! that move to survivors ahead of scheduled crashes (see the
+//! [`crate::resilience`] module docs), and the recovered run stays
+//! bit-identical to the fault-free transform.
+
+use std::collections::{BTreeMap, HashMap};
 
 use dwt::dwt2d;
-use dwt::error::Result;
 use dwt::matrix::Matrix;
 use dwt::pyramid::{Pyramid, Subbands};
-use paragon::{Ctx, Ops, SpmdConfig};
+use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
 use crate::partition::{contiguous_runs, output_range, owner, stripes, Stripe};
-use crate::{coeff_ops, MimdDwtConfig};
+use crate::resilience::{collect_failfast, collect_roles, RoleTracker};
+use crate::{coeff_ops, MimdDwtConfig, MimdError, ResiliencePolicy};
 
 /// Split `nranks` into a near-square `rows x cols` process grid.
 pub fn process_grid(nranks: usize) -> (usize, usize) {
@@ -28,16 +36,16 @@ pub fn process_grid(nranks: usize) -> (usize, usize) {
     (pr.max(1), nranks / pr.max(1))
 }
 
-/// A rank's 2-D block at some level.
+/// A role's 2-D block at some level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BlockRegion {
     rows: Stripe,
     cols: Stripe,
 }
 
-fn region_of(rank: usize, pr: usize, pc: usize, rows_l: usize, cols_l: usize) -> BlockRegion {
-    let br = rank / pc;
-    let bc = rank % pc;
+fn region_of(role: usize, pr: usize, pc: usize, rows_l: usize, cols_l: usize) -> BlockRegion {
+    let br = role / pc;
+    let bc = role % pc;
     BlockRegion {
         rows: stripes(rows_l, pr)[br],
         cols: stripes(cols_l, pc)[bc],
@@ -60,8 +68,11 @@ pub struct BlockDwtRun {
     pub pyramid: Pyramid,
     /// Per-rank budgets.
     pub budgets: Vec<RankBudget>,
-    /// Aggregate guard-communication counters.
+    /// Aggregate guard-communication counters (wire traffic only; data
+    /// passed between two roles of the same rank is not a transaction).
     pub comm: CommStats,
+    /// Injected-fault totals and the ranks that crashed.
+    pub faults: FaultStats,
 }
 
 impl BlockDwtRun {
@@ -94,6 +105,30 @@ pub struct BlockRankOut {
     sent_bytes: u64,
 }
 
+/// Per-role state carried between levels (and shipped as the checkpoint
+/// when a role changes hands).
+#[derive(Debug, Clone)]
+struct RoleState {
+    input: Matrix,
+    details: Vec<LevelBlocks>,
+}
+
+impl RoleState {
+    fn wire_bytes(&self, pixel_bytes: usize) -> usize {
+        let details: usize = self
+            .details
+            .iter()
+            .map(|d| 3 * d.lh.rows() * d.lh.cols())
+            .sum();
+        (self.input.rows() * self.input.cols() + details) * pixel_bytes
+    }
+}
+
+/// Collective phases one resilient block level executes: checkpoint
+/// handoff, column-guard exchange, row-guard exchange, LL
+/// redistribution, barrier.
+const BLOCK_LEVEL_PHASES: u64 = 5;
+
 /// Run the block-decomposed Mallat transform. `cfg.ordering` is ignored
 /// (block exchange is always simultaneous); distribution timing follows
 /// `cfg.include_distribution` as in the striped version.
@@ -101,181 +136,233 @@ pub fn run_block_dwt(
     scfg: &SpmdConfig,
     cfg: &MimdDwtConfig,
     image: &Matrix,
-) -> Result<BlockDwtRun> {
+) -> Result<BlockDwtRun, MimdError> {
+    cfg.validate()?;
     dwt2d::validate_dims(image.rows(), image.cols(), cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
     let (pr, pc) = process_grid(nranks);
-    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, pr, pc));
+    let resilient = cfg.resilience == ResiliencePolicy::Redistribute;
+    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, pr, pc, resilient))?;
+    let (budgets, faults) = (res.budgets, res.faults);
+    let outs: Vec<BlockRankOut> = if resilient {
+        collect_roles(res.outputs, nranks)?
+    } else {
+        let mut pairs: Vec<(usize, BlockRankOut)> = collect_failfast(res.outputs)?
+            .into_iter()
+            .flatten()
+            .collect();
+        pairs.sort_by_key(|(role, _)| *role);
+        pairs.into_iter().map(|(_, o)| o).collect()
+    };
     let mut comm = CommStats::default();
-    for out in &res.outputs {
+    for out in &outs {
         comm.guard_messages += out.sent_messages;
         comm.guard_bytes += out.sent_bytes;
     }
-    let pyramid = assemble(&res.outputs, image.rows(), image.cols(), cfg.levels);
+    let pyramid = assemble(&outs, image.rows(), image.cols(), cfg.levels);
     Ok(BlockDwtRun {
         pyramid,
-        budgets: res.budgets,
+        budgets,
         comm,
+        faults,
     })
 }
 
-/// Exchange guard *columns* for the row pass: every rank ships the
-/// column range its west-side peers need. Returns the guard columns
-/// received, keyed by global column index.
-#[allow(clippy::too_many_arguments)]
-fn exchange_col_guards(
-    ctx: &mut Ctx,
-    input: &Matrix,
-    region: BlockRegion,
-    pr: usize,
-    pc: usize,
-    rows_l: usize,
-    cols_l: usize,
-    cfg: &MimdDwtConfig,
-    stats: &mut (u64, u64),
-) -> std::collections::HashMap<usize, Vec<f64>> {
-    let f = cfg.filter.len();
-    let wire = f + 2;
-    let rank = ctx.rank();
-    let my_rows = region.rows;
-    // Which global columns does a region need beyond its own?
-    let needs = |cols: Stripe| -> Vec<usize> {
-        let out_c = output_range(cols);
-        let mut needed = Vec::new();
-        for k in out_c.lo..out_c.hi {
-            for m in 0..wire {
-                if let Some(g) = cfg.mode.map((2 * k + m) as isize, cols_l) {
-                    if !cols.contains(g) {
-                        needed.push(g);
-                    }
-                }
-            }
-        }
-        needed.sort_unstable();
-        needed.dedup();
-        needed
-    };
-    // Send to peers in my block-row whose needs intersect my columns.
-    let my_block_row = rank / pc;
-    let mut sends: Vec<(usize, (usize, Vec<f64>), usize)> = Vec::new();
-    for peer_col in 0..pc {
-        let peer = my_block_row * pc + peer_col;
-        if peer == rank {
-            continue;
-        }
-        let peer_region = region_of(peer, pr, pc, rows_l, cols_l);
-        let mine: Vec<usize> = needs(peer_region.cols)
-            .into_iter()
-            .filter(|&g| region.cols.contains(g))
-            .collect();
-        for (lo, hi) in contiguous_runs(&mine) {
-            let mut payload = Vec::with_capacity((hi - lo) * my_rows.rows());
-            for g in lo..hi {
-                for r in 0..my_rows.rows() {
-                    payload.push(input.get(r, g - region.cols.lo));
-                }
-            }
-            let bytes = payload.len() * cfg.pixel_bytes;
-            stats.0 += 1;
-            stats.1 += bytes as u64;
-            sends.push((peer, (lo, payload), bytes));
-        }
-    }
-    let inbox = ctx.exchange(sends);
-    let mut guards = std::collections::HashMap::new();
-    for (_, (lo, payload)) in inbox {
-        let ncols = payload.len() / my_rows.rows();
-        for (i, g) in (lo..lo + ncols).enumerate() {
-            guards.insert(
-                g,
-                payload[i * my_rows.rows()..(i + 1) * my_rows.rows()].to_vec(),
-            );
-        }
-    }
-    guards
-}
-
+/// The per-rank SPMD program. In fail-fast mode a rank plays exactly its
+/// own grid position; in resilient mode the set of roles it plays grows
+/// as scheduled crashes retire other ranks.
 fn rank_body(
     ctx: &mut Ctx,
     cfg: &MimdDwtConfig,
     image: &Matrix,
     pr: usize,
     pc: usize,
-) -> BlockRankOut {
-    let rank = ctx.rank();
+    resilient: bool,
+) -> Result<Vec<(usize, BlockRankOut)>, CommError> {
+    let me = ctx.rank();
     let nranks = ctx.nranks();
     let f = cfg.filter.len();
     let wire = f + 2;
     let (rows0, cols0) = (image.rows(), image.cols());
+    let plan = ctx.fault_plan().clone();
+    let mut tracker = RoleTracker::new(nranks);
+    let mut roles: BTreeMap<usize, RoleState> = BTreeMap::new();
     let mut stats = (0u64, 0u64);
 
     // Initial distribution timing (same model as the striped version).
     if cfg.include_distribution {
         let mut out = Vec::new();
-        if rank == 0 {
+        if me == 0 {
             for j in 1..nranks {
                 let rj = region_of(j, pr, pc, rows0, cols0);
                 out.push((j, (), rj.rows.rows() * rj.cols.rows() * cfg.pixel_bytes));
             }
         }
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
-
-    let mut region = region_of(rank, pr, pc, rows0, cols0);
-    let mut input = image
-        .submatrix(
-            region.rows.lo,
-            region.cols.lo,
-            region.rows.rows(),
-            region.cols.rows(),
-        )
-        .expect("block inside image");
-    ctx.charge_as(
-        Ops {
-            flops: 0,
-            intops: 32,
-            memops: 2 * (input.rows() * input.cols()) as u64,
-        },
-        Category::UniqueRedundancy,
-    );
 
     let mut rows_l = rows0;
     let mut cols_l = cols0;
-    let mut details = Vec::with_capacity(cfg.levels);
 
-    for _level in 0..cfg.levels {
-        // --- Row pass: needs guard COLUMNS from east peers. ------------
-        let col_guards =
-            exchange_col_guards(ctx, &input, region, pr, pc, rows_l, cols_l, cfg, &mut stats);
-        let out_c = output_range(region.cols);
-        let own_rows = region.rows.rows();
-        let out_cols = out_c.hi - out_c.lo;
-        let mut low = Matrix::zeros(own_rows, out_cols);
-        let mut high = Matrix::zeros(own_rows, out_cols);
-        for (ki, k) in (out_c.lo..out_c.hi).enumerate() {
-            for m in 0..f {
-                let Some(g) = cfg.mode.map((2 * k + m) as isize, cols_l) else {
+    for level in 0..cfg.levels {
+        // --- Checkpoint handoff (resilient mode only): look one level
+        // ahead and move the roles of every rank that crashes before the
+        // next handoff. See the stripe version for the protocol argument.
+        if resilient {
+            let p0 = ctx.next_phase();
+            let window_end = if level + 1 == cfg.levels {
+                u64::MAX
+            } else {
+                p0 + BLOCK_LEVEL_PHASES + 1
+            };
+            let takeovers = tracker.step(&plan, window_end)?;
+            let mut sends: Vec<(usize, (usize, RoleState), usize)> = Vec::new();
+            if level > 0 {
+                for t in &takeovers {
+                    if t.from != me {
+                        continue;
+                    }
+                    let st = roles.remove(&t.role).ok_or(CommError::Protocol {
+                        detail: "takeover of a role this rank does not hold",
+                    })?;
+                    let bytes = st.wire_bytes(cfg.pixel_bytes);
+                    sends.push((t.to, (t.role, st), bytes));
+                }
+            }
+            for (_, (role, st)) in ctx.exchange_reliable(sends)? {
+                roles.insert(role, st);
+            }
+        }
+        if level == 0 {
+            // Cut role blocks straight from the globally known image
+            // (adopters included — level-0 state needs no checkpoint).
+            for role in tracker.roles_of(me) {
+                let r = region_of(role, pr, pc, rows0, cols0);
+                let input = image
+                    .submatrix(r.rows.lo, r.cols.lo, r.rows.rows(), r.cols.rows())
+                    .map_err(|_| CommError::Protocol {
+                        detail: "block outside the image (partition bookkeeping broke)",
+                    })?;
+                ctx.charge_as(
+                    Ops {
+                        flops: 0,
+                        intops: 32,
+                        memops: 2 * (input.rows() * input.cols()) as u64,
+                    },
+                    Category::UniqueRedundancy,
+                );
+                roles.insert(
+                    role,
+                    RoleState {
+                        input,
+                        details: Vec::new(),
+                    },
+                );
+            }
+        }
+
+        // Which global columns does a block-column need beyond its own?
+        let needs_cols = |cols: Stripe| -> Vec<usize> {
+            let out_c = output_range(cols);
+            let mut needed = Vec::new();
+            for k in out_c.lo..out_c.hi {
+                for m in 0..wire {
+                    if let Some(g) = cfg.mode.map((2 * k + m) as isize, cols_l) {
+                        if !cols.contains(g) {
+                            needed.push(g);
+                        }
+                    }
+                }
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            needed
+        };
+
+        // --- Guard COLUMNS for the row pass (east/west peers in the
+        // block-row), addressed role to role. ---------------------------
+        let mut sends: Vec<crate::RoleSend> = Vec::new();
+        for (&a, st) in &roles {
+            let ra = region_of(a, pr, pc, rows_l, cols_l);
+            let block_row = a / pc;
+            for peer_col in 0..pc {
+                let j = block_row * pc + peer_col;
+                if j == a {
                     continue;
-                };
-                let tl = cfg.filter.low()[m];
-                let th = cfg.filter.high()[m];
-                for r in 0..own_rows {
-                    let x = if region.cols.contains(g) {
-                        input.get(r, g - region.cols.lo)
-                    } else {
-                        col_guards[&g][r]
-                    };
-                    *low.row_mut(r).get_mut(ki).unwrap() += tl * x;
-                    *high.row_mut(r).get_mut(ki).unwrap() += th * x;
+                }
+                let rj = region_of(j, pr, pc, rows_l, cols_l);
+                let mine: Vec<usize> = needs_cols(rj.cols)
+                    .into_iter()
+                    .filter(|&g| ra.cols.contains(g))
+                    .collect();
+                for (lo, hi) in contiguous_runs(&mine) {
+                    let mut payload = Vec::with_capacity((hi - lo) * ra.rows.rows());
+                    for g in lo..hi {
+                        for r in 0..ra.rows.rows() {
+                            payload.push(st.input.get(r, g - ra.cols.lo));
+                        }
+                    }
+                    let bytes = payload.len() * cfg.pixel_bytes;
+                    let dst = tracker.owner(j);
+                    if dst != me {
+                        stats.0 += 1;
+                        stats.1 += bytes as u64;
+                    }
+                    sends.push((dst, (j, lo, payload), bytes));
                 }
             }
         }
-        ctx.charge(coeff_ops(f).times(2 * (own_rows * out_cols) as u64));
+        let mut col_guards: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+        for (_, (role, lo, payload)) in ctx.exchange(sends)? {
+            // Sender and consumer share the block-row, so the consumer's
+            // own row count sizes the payload.
+            let nrows = region_of(role, pr, pc, rows_l, cols_l).rows.rows();
+            let ncols = payload.len() / nrows;
+            for (i, g) in (lo..lo + ncols).enumerate() {
+                col_guards.insert((role, g), payload[i * nrows..(i + 1) * nrows].to_vec());
+            }
+        }
 
-        // --- Column pass: needs guard ROWS from south peers. -----------
-        let half_cols_l = cols_l / 2;
-        let out_r = output_range(region.rows);
-        // Guard rows of the row-filtered intermediates.
+        // --- Row pass per role. -----------------------------------------
+        let mut filt: BTreeMap<usize, (Matrix, Matrix)> = BTreeMap::new();
+        for (&a, st) in &roles {
+            let ra = region_of(a, pr, pc, rows_l, cols_l);
+            let out_c = output_range(ra.cols);
+            let own_rows = ra.rows.rows();
+            let out_cols = out_c.hi - out_c.lo;
+            let mut low = Matrix::zeros(own_rows, out_cols);
+            let mut high = Matrix::zeros(own_rows, out_cols);
+            for (ki, k) in (out_c.lo..out_c.hi).enumerate() {
+                for m in 0..f {
+                    let Some(g) = cfg.mode.map((2 * k + m) as isize, cols_l) else {
+                        continue;
+                    };
+                    let tl = cfg.filter.low()[m];
+                    let th = cfg.filter.high()[m];
+                    for r in 0..own_rows {
+                        let x = if ra.cols.contains(g) {
+                            st.input.get(r, g - ra.cols.lo)
+                        } else {
+                            match col_guards.get(&(a, g)) {
+                                Some(col) => col[r],
+                                None => {
+                                    return Err(CommError::Protocol {
+                                        detail: crate::GUARD_LOST,
+                                    })
+                                }
+                            }
+                        };
+                        *low.row_mut(r).get_mut(ki).unwrap() += tl * x;
+                        *high.row_mut(r).get_mut(ki).unwrap() += th * x;
+                    }
+                }
+            }
+            ctx.charge(coeff_ops(f).times(2 * (own_rows * out_cols) as u64));
+            filt.insert(a, (low, high));
+        }
+        drop(col_guards);
+
+        // Which global rows does a block-row need beyond its own?
         let needs_rows = |rows: Stripe| -> Vec<usize> {
             let out = output_range(rows);
             let mut needed = Vec::new();
@@ -292,41 +379,54 @@ fn rank_body(
             needed.dedup();
             needed
         };
-        let my_block_col = rank % pc;
-        let mut sends: Vec<(usize, (usize, Vec<f64>), usize)> = Vec::new();
-        for peer_row in 0..pr {
-            let peer = peer_row * pc + my_block_col;
-            if peer == rank {
-                continue;
-            }
-            let peer_region = region_of(peer, pr, pc, rows_l, cols_l);
-            let mine: Vec<usize> = needs_rows(peer_region.rows)
-                .into_iter()
-                .filter(|&g| region.rows.contains(g))
-                .collect();
-            for (lo, hi) in contiguous_runs(&mine) {
-                let run = hi - lo;
-                let mut payload = Vec::with_capacity(2 * run * out_cols);
-                for g in lo..hi {
-                    payload.extend_from_slice(low.row(g - region.rows.lo));
+
+        // --- Guard ROWS for the column pass (north/south peers in the
+        // block-column), addressed role to role. -------------------------
+        let mut sends: Vec<crate::RoleSend> = Vec::new();
+        for &a in roles.keys() {
+            let ra = region_of(a, pr, pc, rows_l, cols_l);
+            let out_cols = output_range(ra.cols).hi - output_range(ra.cols).lo;
+            let (low, high) = &filt[&a];
+            let block_col = a % pc;
+            for peer_row in 0..pr {
+                let j = peer_row * pc + block_col;
+                if j == a {
+                    continue;
                 }
-                for g in lo..hi {
-                    payload.extend_from_slice(high.row(g - region.rows.lo));
+                let rj = region_of(j, pr, pc, rows_l, cols_l);
+                let mine: Vec<usize> = needs_rows(rj.rows)
+                    .into_iter()
+                    .filter(|&g| ra.rows.contains(g))
+                    .collect();
+                for (lo, hi) in contiguous_runs(&mine) {
+                    let run = hi - lo;
+                    let mut payload = Vec::with_capacity(2 * run * out_cols);
+                    for g in lo..hi {
+                        payload.extend_from_slice(low.row(g - ra.rows.lo));
+                    }
+                    for g in lo..hi {
+                        payload.extend_from_slice(high.row(g - ra.rows.lo));
+                    }
+                    let bytes = payload.len() * cfg.pixel_bytes;
+                    let dst = tracker.owner(j);
+                    if dst != me {
+                        stats.0 += 1;
+                        stats.1 += bytes as u64;
+                    }
+                    sends.push((dst, (j, lo, payload), bytes));
                 }
-                let bytes = payload.len() * cfg.pixel_bytes;
-                stats.0 += 1;
-                stats.1 += bytes as u64;
-                sends.push((peer, (lo, payload), bytes));
             }
         }
-        let inbox = ctx.exchange(sends);
-        let mut row_guards: std::collections::HashMap<usize, (Vec<f64>, Vec<f64>)> =
-            std::collections::HashMap::new();
-        for (_, (lo, payload)) in inbox {
+        let mut row_guards: HashMap<(usize, usize), (Vec<f64>, Vec<f64>)> = HashMap::new();
+        for (_, (role, lo, payload)) in ctx.exchange(sends)? {
+            // Sender and consumer share the block-column, so the
+            // consumer's own output width sizes the payload.
+            let rc = region_of(role, pr, pc, rows_l, cols_l).cols;
+            let out_cols = output_range(rc).hi - output_range(rc).lo;
             let run = payload.len() / (2 * out_cols);
             for (i, g) in (lo..lo + run).enumerate() {
                 row_guards.insert(
-                    g,
+                    (role, g),
                     (
                         payload[i * out_cols..(i + 1) * out_cols].to_vec(),
                         payload[(run + i) * out_cols..(run + i + 1) * out_cols].to_vec(),
@@ -335,118 +435,176 @@ fn rank_body(
             }
         }
 
-        let out_rows = out_r.hi - out_r.lo;
-        let mut ll = Matrix::zeros(out_rows, out_cols);
-        let mut lh = Matrix::zeros(out_rows, out_cols);
-        let mut hl = Matrix::zeros(out_rows, out_cols);
-        let mut hh = Matrix::zeros(out_rows, out_cols);
-        for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
-            for m in 0..f {
-                let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
-                    continue;
-                };
-                let tl = cfg.filter.low()[m];
-                let th = cfg.filter.high()[m];
-                let (lrow, hrow): (&[f64], &[f64]) = if region.rows.contains(g) {
-                    (low.row(g - region.rows.lo), high.row(g - region.rows.lo))
-                } else {
-                    let (l, h) = &row_guards[&g];
-                    (l, h)
-                };
-                dwt::engine::kernel::accumulate_quad(
-                    ll.row_mut(ki),
-                    lh.row_mut(ki),
-                    hl.row_mut(ki),
-                    hh.row_mut(ki),
-                    lrow,
-                    hrow,
-                    tl,
-                    th,
-                );
-            }
-        }
-        ctx.charge(coeff_ops(f).times(4 * (out_rows * out_cols) as u64));
-        details.push(LevelBlocks {
-            k_row: out_r.lo,
-            k_col: out_c.lo,
-            lh,
-            hl,
-            hh,
-        });
-
-        // --- Redistribute LL to the next level's block bounds. ----------
-        rows_l /= 2;
-        cols_l = half_cols_l;
-        let next = region_of(rank, pr, pc, rows_l, cols_l);
-        // Rows/cols may both shift; route each LL row segment to its new
-        // owner (a row can split across a block-row of owners).
-        type RowSegMsg = (usize, (usize, usize, Vec<f64>), usize);
-        let mut sends: Vec<RowSegMsg> = Vec::new();
-        for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
-            let dst_block_row = owner(k, rows_l, pr);
-            for (ci_lo, ci_hi) in split_by_owner(out_c.lo, out_c.hi, cols_l, pc) {
-                let dst_block_col = owner(ci_lo, cols_l, pc);
-                let dst = dst_block_row * pc + dst_block_col;
-                let seg: Vec<f64> = (ci_lo..ci_hi).map(|c| ll.get(ki, c - out_c.lo)).collect();
-                if dst == rank && next.rows.contains(k) && next.cols.contains(ci_lo) {
-                    continue; // stays local; copied below
-                }
-                let bytes = seg.len() * cfg.pixel_bytes;
-                sends.push((dst, (k, ci_lo, seg), bytes));
-            }
-        }
-        let incoming = ctx.exchange(sends);
-        let mut next_input = Matrix::zeros(next.rows.rows(), next.cols.rows());
-        // Local part.
-        for k in next.rows.lo..next.rows.hi {
-            if !out_r.contains(k) {
-                continue;
-            }
-            for c in next.cols.lo..next.cols.hi {
-                if out_c.contains(c) {
-                    next_input.set(
-                        k - next.rows.lo,
-                        c - next.cols.lo,
-                        ll.get(k - out_r.lo, c - out_c.lo),
+        // --- Column pass per role. --------------------------------------
+        let half_cols_l = cols_l / 2;
+        let mut lls: BTreeMap<usize, Matrix> = BTreeMap::new();
+        for (&a, st) in roles.iter_mut() {
+            let ra = region_of(a, pr, pc, rows_l, cols_l);
+            let out_r = output_range(ra.rows);
+            let out_c = output_range(ra.cols);
+            let out_rows = out_r.hi - out_r.lo;
+            let out_cols = out_c.hi - out_c.lo;
+            let (low, high) = &filt[&a];
+            let mut ll = Matrix::zeros(out_rows, out_cols);
+            let mut lh = Matrix::zeros(out_rows, out_cols);
+            let mut hl = Matrix::zeros(out_rows, out_cols);
+            let mut hh = Matrix::zeros(out_rows, out_cols);
+            for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
+                for m in 0..f {
+                    let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
+                        continue;
+                    };
+                    let tl = cfg.filter.low()[m];
+                    let th = cfg.filter.high()[m];
+                    let (lrow, hrow): (&[f64], &[f64]) = if ra.rows.contains(g) {
+                        (low.row(g - ra.rows.lo), high.row(g - ra.rows.lo))
+                    } else {
+                        match row_guards.get(&(a, g)) {
+                            Some((l, h)) => (l, h),
+                            None => {
+                                return Err(CommError::Protocol {
+                                    detail: crate::GUARD_LOST,
+                                })
+                            }
+                        }
+                    };
+                    dwt::engine::kernel::accumulate_quad(
+                        ll.row_mut(ki),
+                        lh.row_mut(ki),
+                        hl.row_mut(ki),
+                        hh.row_mut(ki),
+                        lrow,
+                        hrow,
+                        tl,
+                        th,
                     );
                 }
             }
+            ctx.charge(coeff_ops(f).times(4 * (out_rows * out_cols) as u64));
+            st.details.push(LevelBlocks {
+                k_row: out_r.lo,
+                k_col: out_c.lo,
+                lh,
+                hl,
+                hh,
+            });
+            lls.insert(a, ll);
         }
-        for (_, (k, c_lo, seg)) in incoming {
-            for (i, v) in seg.into_iter().enumerate() {
-                let c = c_lo + i;
-                if next.rows.contains(k) && next.cols.contains(c) {
-                    next_input.set(k - next.rows.lo, c - next.cols.lo, v);
+        drop(filt);
+        drop(row_guards);
+
+        // --- Redistribute LL to the next level's block bounds, role to
+        // role (a row can split across a block-row of owners). -----------
+        let (prev_rows, prev_cols) = (rows_l, cols_l);
+        rows_l /= 2;
+        cols_l = half_cols_l;
+        type RowSegMsg = (usize, (usize, usize, usize, Vec<f64>), usize);
+        let mut sends: Vec<RowSegMsg> = Vec::new();
+        for (&a, ll) in &lls {
+            let ra = region_of(a, pr, pc, prev_rows, prev_cols);
+            let out_r = output_range(ra.rows);
+            let out_c = output_range(ra.cols);
+            for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
+                let dst_block_row = owner(k, rows_l, pr);
+                for (ci_lo, ci_hi) in split_by_owner(out_c.lo, out_c.hi, cols_l, pc) {
+                    let dst_block_col = owner(ci_lo, cols_l, pc);
+                    let dst_role = dst_block_row * pc + dst_block_col;
+                    if dst_role == a {
+                        continue; // stays within the role; copied below
+                    }
+                    let seg: Vec<f64> = (ci_lo..ci_hi).map(|c| ll.get(ki, c - out_c.lo)).collect();
+                    let bytes = seg.len() * cfg.pixel_bytes;
+                    sends.push((tracker.owner(dst_role), (dst_role, k, ci_lo, seg), bytes));
                 }
             }
         }
-        input = next_input;
-        region = next;
-        ctx.barrier();
+        let incoming = ctx.exchange(sends)?;
+        for (&a, st) in roles.iter_mut() {
+            let ra = region_of(a, pr, pc, prev_rows, prev_cols);
+            let out_r = output_range(ra.rows);
+            let out_c = output_range(ra.cols);
+            let next = region_of(a, pr, pc, rows_l, cols_l);
+            let ll = &lls[&a];
+            let mut next_input = Matrix::zeros(next.rows.rows(), next.cols.rows());
+            for k in next.rows.lo..next.rows.hi {
+                if !out_r.contains(k) {
+                    continue;
+                }
+                for c in next.cols.lo..next.cols.hi {
+                    if out_c.contains(c) {
+                        next_input.set(
+                            k - next.rows.lo,
+                            c - next.cols.lo,
+                            ll.get(k - out_r.lo, c - out_c.lo),
+                        );
+                    }
+                }
+            }
+            st.input = next_input;
+        }
+        for (_, (dst_role, k, c_lo, seg)) in incoming {
+            let st = roles.get_mut(&dst_role).ok_or(CommError::Protocol {
+                detail: "LL segment routed to a rank not playing its role",
+            })?;
+            let next = region_of(dst_role, pr, pc, rows_l, cols_l);
+            for (i, v) in seg.into_iter().enumerate() {
+                let c = c_lo + i;
+                if next.rows.contains(k) && next.cols.contains(c) {
+                    st.input.set(k - next.rows.lo, c - next.cols.lo, v);
+                }
+            }
+        }
+        ctx.barrier()?;
     }
 
+    // Final gather of all coefficients (timing only), rooted at the rank
+    // playing role 0 — a live rank even when physical rank 0 crashed.
     if cfg.include_distribution {
-        let my_coeffs: usize = details
-            .iter()
-            .map(|d| 3 * d.lh.rows() * d.lh.cols())
-            .sum::<usize>()
-            + input.rows() * input.cols();
-        let out = if rank == 0 {
+        let root = tracker.owner(0);
+        let my_coeffs: usize = roles
+            .values()
+            .map(|st| {
+                st.details
+                    .iter()
+                    .map(|d| 3 * d.lh.rows() * d.lh.cols())
+                    .sum::<usize>()
+                    + st.input.rows() * st.input.cols()
+            })
+            .sum();
+        let out = if me == root || my_coeffs == 0 {
             Vec::new()
         } else {
-            vec![(0usize, (), my_coeffs * cfg.pixel_bytes)]
+            vec![(root, (), my_coeffs * cfg.pixel_bytes)]
         };
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
 
-    BlockRankOut {
-        details,
-        ll_row: region.rows.lo,
-        ll_col: region.cols.lo,
-        ll: input,
-        sent_messages: stats.0,
-        sent_bytes: stats.1,
-    }
+    // Wire-traffic counters ride on the first returned role so the
+    // driver's cross-rank sum stays correct whatever the role spread.
+    let mut first = true;
+    Ok(roles
+        .into_iter()
+        .map(|(role, st)| {
+            let (sent_messages, sent_bytes) = if first {
+                first = false;
+                stats
+            } else {
+                (0, 0)
+            };
+            let fin = region_of(role, pr, pc, rows_l, cols_l);
+            (
+                role,
+                BlockRankOut {
+                    details: st.details,
+                    ll_row: fin.rows.lo,
+                    ll_col: fin.cols.lo,
+                    ll: st.input,
+                    sent_messages,
+                    sent_bytes,
+                },
+            )
+        })
+        .collect())
 }
 
 /// Split the global column range `[lo, hi)` at the ownership boundaries
@@ -493,18 +651,14 @@ mod tests {
     use super::*;
     use dwt::boundary::Boundary;
     use dwt::filters::FilterBank;
-    use paragon::{MachineSpec, Mapping};
+    use paragon::{FaultPlan, MachineSpec, Mapping};
 
     fn image(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |r, c| ((r * 13 + c * 29) % 31) as f64 - 15.0)
     }
 
     fn scfg(p: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: p,
-            mapping: Mapping::Snake,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake)
     }
 
     #[test]
@@ -577,5 +731,55 @@ mod tests {
         let b = run_block_dwt(&scfg(9), &cfg, &img).unwrap();
         assert_eq!(a.parallel_time(), b.parallel_time());
         assert_eq!(a.pyramid, b.pyramid);
+    }
+
+    #[test]
+    fn redistribute_without_faults_matches_sequential_bitwise() {
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        for p in [1usize, 4, 6, 9] {
+            let run = run_block_dwt(&scfg(p), &cfg, &img).unwrap();
+            assert_eq!(run.pyramid, seq, "P={p}");
+            assert!(run.faults.crashed_ranks.is_empty());
+        }
+    }
+
+    #[test]
+    fn block_crash_recovery_is_bit_identical_to_fault_free() {
+        // The headline acceptance case: a 3x3 grid loses a mid-grid rank
+        // partway through the decomposition; survivors adopt its block
+        // and the output matches the fault-free transform bit for bit.
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        // 2 levels => phases 0..=11; phase 7 is rank 4's level-1 guard
+        // exchange.
+        let plan = FaultPlan::none().with_crash(4, 7);
+        let scfg = scfg(9).with_faults(plan);
+        let run = run_block_dwt(&scfg, &cfg, &img).unwrap();
+        assert_eq!(
+            run.pyramid, seq,
+            "recovered block run must be bit-identical to the fault-free transform"
+        );
+        assert_eq!(run.faults.crashed_ranks, vec![4]);
+    }
+
+    #[test]
+    fn block_crash_at_every_phase_recovers_bit_identically() {
+        // 4 ranks (2x2), 2 levels => phases 0..=11.
+        let img = image(32);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        for phase in 0..12u64 {
+            let plan = FaultPlan::none().with_crash(2, phase);
+            let scfg = scfg(4).with_faults(plan);
+            let run = run_block_dwt(&scfg, &cfg, &img)
+                .unwrap_or_else(|e| panic!("crash at phase {phase} not recovered: {e}"));
+            assert_eq!(run.pyramid, seq, "crash at phase {phase} corrupted output");
+        }
     }
 }

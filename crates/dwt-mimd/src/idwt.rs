@@ -8,14 +8,14 @@
 //! mode with exact perfect reconstruction.
 
 use dwt::boundary::Boundary;
-use dwt::error::{DwtError, Result};
 use dwt::matrix::Matrix;
 use dwt::pyramid::Pyramid;
-use paragon::{Ctx, Ops, SpmdConfig};
+use paragon::{CommError, Ctx, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
 use crate::partition::{contiguous_runs, owner, stripes, Stripe};
-use crate::{coeff_ops, MimdDwtConfig};
+use crate::resilience::collect_failfast;
+use crate::{coeff_ops, MimdDwtConfig, MimdError, ResiliencePolicy};
 
 /// Result of a distributed reconstruction.
 #[derive(Debug)]
@@ -63,14 +63,22 @@ pub fn run_mimd_idwt(
     scfg: &SpmdConfig,
     cfg: &MimdDwtConfig,
     pyramid: &Pyramid,
-) -> Result<MimdIdwtRun> {
+) -> Result<MimdIdwtRun, MimdError> {
+    cfg.validate()?;
+    if cfg.resilience == ResiliencePolicy::Redistribute {
+        return Err(MimdError::InvalidConfig {
+            detail: "distributed reconstruction is fail-fast only (no checkpoint \
+                     protocol is defined for the synthesis phases)"
+                .into(),
+        });
+    }
     if cfg.mode != Boundary::Periodic {
-        return Err(DwtError::DimensionMismatch {
+        return Err(MimdError::InvalidConfig {
             detail: "distributed reconstruction supports periodic boundaries only".into(),
         });
     }
     if cfg.levels != pyramid.levels() {
-        return Err(DwtError::DimensionMismatch {
+        return Err(MimdError::InvalidConfig {
             detail: format!(
                 "config says {} levels but the pyramid has {}",
                 cfg.levels,
@@ -81,10 +89,9 @@ pub fn run_mimd_idwt(
     let (rows0, cols0) = pyramid.image_dims();
     dwt::dwt2d::validate_dims(rows0, cols0, cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
-    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, pyramid, nranks));
+    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, pyramid, nranks))?;
     let mut image = Matrix::zeros(rows0, cols0);
-    for (rank, (lo, stripe)) in res.outputs.into_iter().enumerate() {
-        let _ = rank;
+    for (lo, stripe) in collect_failfast(res.outputs)? {
         image.paste(lo, 0, &stripe).expect("stripe fits");
     }
     Ok(MimdIdwtRun {
@@ -98,7 +105,7 @@ fn rank_body(
     cfg: &MimdDwtConfig,
     pyramid: &Pyramid,
     nranks: usize,
-) -> (usize, Matrix) {
+) -> Result<(usize, Matrix), CommError> {
     let rank = ctx.rank();
     let f = cfg.filter.len();
     let (rows0, cols0) = pyramid.image_dims();
@@ -113,7 +120,7 @@ fn rank_body(
                 out.push((j, (), per_rank_coeffs * cfg.pixel_bytes));
             }
         }
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
 
     // Start from the deepest LL stripe.
@@ -185,7 +192,7 @@ fn rank_body(
                 sends.push((j, (lo, payload), bytes));
             }
         }
-        let inbox = ctx.exchange(sends);
+        let inbox = ctx.exchange(sends)?;
         let mut guards: std::collections::HashMap<usize, [Vec<f64>; 4]> =
             std::collections::HashMap::new();
         for (_, (lo, payload)) in inbox {
@@ -218,7 +225,9 @@ fn rank_body(
                         let i = k - cur_stripe.lo;
                         (current.row(i), lh.row(i), hl.row(i), hh.row(i))
                     } else {
-                        let g = &guards[&k];
+                        let g = guards.get(&k).ok_or(CommError::Protocol {
+                            detail: crate::GUARD_LOST,
+                        })?;
                         (&g[0], &g[1], &g[2], &g[3])
                     };
                 dwt::engine::kernel::axpy_pair(low.row_mut(ni), a_row, lh_row, tl, th);
@@ -247,7 +256,7 @@ fn rank_body(
             rank,
             "stripe bookkeeping"
         );
-        ctx.barrier();
+        ctx.barrier()?;
     }
 
     // Final gather of the image at rank 0 (timing only).
@@ -261,10 +270,10 @@ fn rank_body(
                 current.rows() * current.cols() * cfg.pixel_bytes,
             )]
         };
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
 
-    (cur_stripe.lo, current)
+    Ok((cur_stripe.lo, current))
 }
 
 #[cfg(test)]
@@ -279,11 +288,7 @@ mod tests {
     }
 
     fn scfg(p: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: p,
-            mapping: Mapping::Snake,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake)
     }
 
     #[test]
@@ -326,6 +331,19 @@ mod tests {
         assert!(run_mimd_idwt(&scfg(2), &cfg, &pyr).is_err());
         let cfg = MimdDwtConfig::tuned(bank, 3);
         assert!(run_mimd_idwt(&scfg(2), &cfg, &pyr).is_err());
+    }
+
+    #[test]
+    fn rejects_redistribute_policy_with_typed_error() {
+        let img = image(32);
+        let bank = FilterBank::haar();
+        let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg =
+            MimdDwtConfig::tuned(bank, 2).with_resilience(crate::ResiliencePolicy::Redistribute);
+        assert!(matches!(
+            run_mimd_idwt(&scfg(2), &cfg, &pyr).unwrap_err(),
+            MimdError::InvalidConfig { .. }
+        ));
     }
 
     #[test]

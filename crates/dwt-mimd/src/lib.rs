@@ -19,21 +19,39 @@
 //! The numerical output is bit-identical to the sequential
 //! [`dwt::dwt2d::decompose`]; only the virtual-time cost differs with the
 //! processor count, placement and exchange discipline.
+//!
+//! Runs are fault-aware: under a non-empty [`paragon::FaultPlan`] the
+//! [`ResiliencePolicy`] decides whether injected crashes fail the run
+//! with a typed [`MimdError`] (the default) or are absorbed by
+//! redistributing the dead ranks' stripes to survivors (see the
+//! [`resilience`] module), still bit-identical to the fault-free
+//! transform.
 
 pub mod block;
 pub mod idwt;
 pub mod partition;
+pub mod resilience;
+
+use std::collections::BTreeMap;
 
 use dwt::boundary::Boundary;
 use dwt::dwt2d;
-use dwt::error::Result;
 use dwt::filters::FilterBank;
 use dwt::matrix::Matrix;
 use dwt::pyramid::{Pyramid, Subbands};
-use paragon::{Ctx, Ops, SpmdConfig};
+use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
-use partition::{contiguous_runs, output_range, owner, stripes};
+use partition::{contiguous_runs, output_range, owner, stripes, Stripe};
+use resilience::{collect_failfast, collect_roles, RoleTracker};
+pub use resilience::{MimdError, ResiliencePolicy};
+
+/// Protocol detail reported when a guard-zone message was lost beyond
+/// the retry budget and the column pass cannot proceed.
+pub(crate) const GUARD_LOST: &str = "guard-zone row missing (message lost beyond the retry budget)";
+
+/// A role-addressed outgoing message: `(dest rank, (role, index, payload), wire bytes)`.
+pub(crate) type RoleSend = (usize, (usize, usize, Vec<f64>), usize);
 
 /// How guard-zone messages are issued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +123,8 @@ pub struct MimdDwtConfig {
     pub include_distribution: bool,
     /// Wire size of one coefficient (4 = 1995-style single precision).
     pub pixel_bytes: usize,
+    /// What to do about ranks the fault plan kills.
+    pub resilience: ResiliencePolicy,
 }
 
 impl MimdDwtConfig {
@@ -119,7 +139,38 @@ impl MimdDwtConfig {
             ordering: GuardOrdering::Simultaneous,
             include_distribution: true,
             pixel_bytes: 4,
+            resilience: ResiliencePolicy::FailFast,
         }
+    }
+
+    /// Same configuration with a different crash policy.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// Reject malformed configurations up front with typed errors.
+    pub fn validate(&self) -> Result<(), MimdError> {
+        if self.levels == 0 {
+            return Err(MimdError::InvalidConfig {
+                detail: "at least one decomposition level is required".into(),
+            });
+        }
+        if self.pixel_bytes == 0 {
+            return Err(MimdError::InvalidConfig {
+                detail: "pixel_bytes must be positive (coefficients occupy wire space)".into(),
+            });
+        }
+        if self.resilience == ResiliencePolicy::Redistribute
+            && self.ordering == GuardOrdering::ChainOrdered
+        {
+            return Err(MimdError::InvalidConfig {
+                detail: "chain-ordered guard exchange is incompatible with crash \
+                         redistribution (the chain length depends on the live set)"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -148,6 +199,8 @@ pub struct MimdDwtRun {
     pub pyramid: Pyramid,
     /// Per-rank time accounting.
     pub budgets: Vec<RankBudget>,
+    /// Injected-fault totals and the ranks that crashed.
+    pub faults: FaultStats,
 }
 
 impl MimdDwtRun {
@@ -162,21 +215,42 @@ impl MimdDwtRun {
 
 /// Run the distributed Mallat decomposition of `image` on the machine
 /// and placement described by `scfg`.
-pub fn run_mimd_dwt(scfg: &SpmdConfig, cfg: &MimdDwtConfig, image: &Matrix) -> Result<MimdDwtRun> {
+pub fn run_mimd_dwt(
+    scfg: &SpmdConfig,
+    cfg: &MimdDwtConfig,
+    image: &Matrix,
+) -> Result<MimdDwtRun, MimdError> {
+    cfg.validate()?;
     dwt2d::validate_dims(image.rows(), image.cols(), cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
-    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, nranks));
-    let pyramid = assemble(&res.outputs, image.rows(), image.cols(), cfg.levels);
+    let (outs, budgets, faults) = match cfg.resilience {
+        ResiliencePolicy::FailFast => {
+            let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, nranks))?;
+            let outs = collect_failfast(res.outputs)?;
+            (outs, res.budgets, res.faults)
+        }
+        ResiliencePolicy::Redistribute => {
+            let res = paragon::run_spmd(scfg, |ctx| resilient_rank_body(ctx, cfg, image, nranks))?;
+            let outs = collect_roles(res.outputs, nranks)?;
+            (outs, res.budgets, res.faults)
+        }
+    };
+    let pyramid = assemble(&outs, image.rows(), image.cols(), cfg.levels);
     Ok(MimdDwtRun {
         pyramid,
-        budgets: res.budgets,
+        budgets,
+        faults,
     })
 }
 
-/// The per-rank SPMD program.
-fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) -> RankOut {
+/// The per-rank SPMD program (fail-fast: one rank plays one role).
+fn rank_body(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    image: &Matrix,
+    nranks: usize,
+) -> Result<RankOut, CommError> {
     let rank = ctx.rank();
-    let f = cfg.filter.len();
     let (rows0, cols0) = (image.rows(), image.cols());
 
     // --- Initial distribution: rank 0 scatters stripes. -----------------
@@ -188,21 +262,11 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
                 out.push((j, (), sj.rows() * cols0 * cfg.pixel_bytes));
             }
         }
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
     // Extract the local stripe (a local copy the real code would also
     // make when unpacking the receive buffer).
-    let mut input = image
-        .submatrix(s0.lo, 0, s0.rows(), cols0)
-        .expect("stripe within image");
-    ctx.charge_as(
-        Ops {
-            flops: 0,
-            intops: 16,
-            memops: 2 * (s0.rows() * cols0) as u64,
-        },
-        Category::UniqueRedundancy,
-    );
+    let mut input = extract_stripe(ctx, image, s0, cols0)?;
 
     let mut details = Vec::with_capacity(cfg.levels);
     let mut rows_l = rows0;
@@ -211,41 +275,18 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
 
     for _level in 0..cfg.levels {
         let half_cols = cols_l / 2;
-        let own = stripe.rows();
 
         // --- Row pass: filter own rows with L and H, decimate columns. --
-        let mut low = Matrix::zeros(own, half_cols);
-        let mut high = Matrix::zeros(own, half_cols);
-        for r in 0..own {
-            dwt::conv::analyze_into(input.row(r), cfg.filter.low(), cfg.mode, low.row_mut(r))
-                .expect("buffer sized by construction");
-            dwt::conv::analyze_into(input.row(r), cfg.filter.high(), cfg.mode, high.row_mut(r))
-                .expect("buffer sized by construction");
-        }
-        ctx.charge(coeff_ops(f).times(2 * (own * half_cols) as u64));
+        let (low, high) = row_pass(ctx, cfg, &input, half_cols);
 
         // --- Guard zone: fetch row-filtered rows the column pass needs
         // from other ranks (almost always the south neighbour). Following
         // the paper ("the depth of the zone is in the order of the filter
         // length"), the transferred window is padded by two rows beyond
         // the mathematically required `f - 2`, as the 1995 implementation
-        // conservatively exchanged a full filter-length zone.
-        let wire = f + 2;
-        let out_r = output_range(stripe);
-        let mut needed: Vec<usize> = Vec::new();
-        for k in out_r.lo..out_r.hi {
-            for m in 0..wire {
-                if let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) {
-                    if !stripe.contains(g) {
-                        needed.push(g);
-                    }
-                }
-            }
-        }
-        needed.sort_unstable();
-        needed.dedup();
-        // Everyone derives everyone's needs from the same formula, so a
-        // rank can compute its send plan without a request round-trip.
+        // conservatively exchanged a full filter-length zone. Everyone
+        // derives everyone's needs from the same formula, so a rank can
+        // compute its send plan without a request round-trip.
         ctx.charge_as(
             Ops {
                 flops: 0,
@@ -254,41 +295,20 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
             },
             Category::UniqueRedundancy,
         );
-        let mut sends: Vec<(usize, (usize, Vec<f64>), usize)> = Vec::new();
         let level_stripes = stripes(rows_l, nranks);
+        let mut sends: Vec<(usize, (usize, Vec<f64>), usize)> = Vec::new();
         for (j, &sj) in level_stripes.iter().enumerate() {
             if j == rank {
                 continue;
             }
-            let out_j = output_range(sj);
-            let mut needs_from_me: Vec<usize> = Vec::new();
-            for k in out_j.lo..out_j.hi {
-                for m in 0..wire {
-                    if let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) {
-                        if !sj.contains(g) && stripe.contains(g) {
-                            needs_from_me.push(g);
-                        }
-                    }
-                }
-            }
-            needs_from_me.sort_unstable();
-            needs_from_me.dedup();
-            for (lo, hi) in contiguous_runs(&needs_from_me) {
-                let run = hi - lo;
-                let mut payload = Vec::with_capacity(2 * run * half_cols);
-                for g in lo..hi {
-                    payload.extend_from_slice(low.row(g - stripe.lo));
-                }
-                for g in lo..hi {
-                    payload.extend_from_slice(high.row(g - stripe.lo));
-                }
-                let bytes = 2 * run * half_cols * cfg.pixel_bytes;
+            for (lo, hi) in guard_runs(cfg, sj, stripe, rows_l) {
+                let (payload, bytes) = pack_guard(&low, &high, stripe, lo, hi, half_cols, cfg);
                 sends.push((j, (lo, payload), bytes));
             }
         }
 
         let received = match cfg.ordering {
-            GuardOrdering::Simultaneous => ctx.exchange(sends),
+            GuardOrdering::Simultaneous => ctx.exchange(sends)?,
             GuardOrdering::ChainOrdered => {
                 // Highest rank sends first; each subsequent sender has by
                 // then completed its own receive — the chain of the naive
@@ -300,26 +320,18 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
                     } else {
                         Vec::new()
                     };
-                    inbox.extend(ctx.exchange(batch));
+                    inbox.extend(ctx.exchange(batch)?);
                 }
                 inbox
             }
         };
 
         // Unpack guard rows into a lookup keyed by global row.
-        let mut guard_low: std::collections::HashMap<usize, Vec<f64>> =
-            std::collections::HashMap::new();
-        let mut guard_high: std::collections::HashMap<usize, Vec<f64>> =
-            std::collections::HashMap::new();
+        let mut guard_low: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let mut guard_high: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let mut guard_rows = 0u64;
         for (_, (lo, payload)) in received {
-            let run = payload.len() / (2 * half_cols);
-            guard_rows += run as u64;
-            for (i, g) in (lo..lo + run).enumerate() {
-                guard_low.insert(g, payload[i * half_cols..(i + 1) * half_cols].to_vec());
-                let off = (run + i) * half_cols;
-                guard_high.insert(g, payload[off..off + half_cols].to_vec());
-            }
+            guard_rows += unpack_guard(&mut guard_low, &mut guard_high, lo, payload, half_cols);
         }
         ctx.charge_as(
             Ops {
@@ -331,64 +343,31 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
         );
 
         // --- Column pass over own output rows. ---------------------------
-        let out_rows = out_r.hi - out_r.lo;
-        let mut ll = Matrix::zeros(out_rows, half_cols);
-        let mut lh = Matrix::zeros(out_rows, half_cols);
-        let mut hl = Matrix::zeros(out_rows, half_cols);
-        let mut hh = Matrix::zeros(out_rows, half_cols);
-        for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
-            for m in 0..f {
-                let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
-                    continue;
-                };
-                let tl = cfg.filter.low()[m];
-                let th = cfg.filter.high()[m];
-                let (lsrc, hsrc): (&[f64], &[f64]) = if stripe.contains(g) {
-                    (low.row(g - stripe.lo), high.row(g - stripe.lo))
-                } else {
-                    (
-                        guard_low
-                            .get(&g)
-                            .expect("guard row present by construction"),
-                        guard_high
-                            .get(&g)
-                            .expect("guard row present by construction"),
-                    )
-                };
-                dwt::engine::kernel::accumulate_quad(
-                    ll.row_mut(ki),
-                    lh.row_mut(ki),
-                    hl.row_mut(ki),
-                    hh.row_mut(ki),
-                    lsrc,
-                    hsrc,
-                    tl,
-                    th,
-                );
+        let out_r = output_range(stripe);
+        let (ll, level_out) = column_pass(ctx, cfg, out_r, rows_l, half_cols, |g| {
+            if stripe.contains(g) {
+                Ok((low.row(g - stripe.lo), high.row(g - stripe.lo)))
+            } else {
+                match (guard_low.get(&g), guard_high.get(&g)) {
+                    (Some(l), Some(h)) => Ok((l.as_slice(), h.as_slice())),
+                    _ => Err(CommError::Protocol { detail: GUARD_LOST }),
+                }
             }
-        }
-        ctx.charge(coeff_ops(f).times(4 * (out_rows * half_cols) as u64));
-        details.push(LevelOut {
-            k_lo: out_r.lo,
-            lh,
-            hl,
-            hh,
-        });
+        })?;
+        details.push(level_out);
 
         // --- Redistribute LL rows to the next level's stripe bounds. ----
         rows_l /= 2;
         cols_l = half_cols;
         let next = stripes(rows_l, nranks)[rank];
         let mut sends: Vec<(usize, (usize, Vec<f64>), usize)> = Vec::new();
-        let mut moved: Vec<usize> = Vec::new();
         for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
             if !next.contains(k) {
                 let dst = owner(k, rows_l, nranks);
                 sends.push((dst, (k, ll.row(ki).to_vec()), cols_l * cfg.pixel_bytes));
-                moved.push(ki);
             }
         }
-        let incoming = ctx.exchange(sends);
+        let incoming = ctx.exchange(sends)?;
         let mut next_input = Matrix::zeros(next.rows(), cols_l);
         for k in next.lo..next.hi {
             if out_r.contains(k) {
@@ -406,7 +385,7 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
 
         // End-of-level synchronization (the paper's per-level exchange
         // boundary).
-        ctx.barrier();
+        ctx.barrier()?;
     }
 
     // --- Final gather of all coefficients to rank 0 (timing only; the
@@ -422,14 +401,443 @@ fn rank_body(ctx: &mut Ctx, cfg: &MimdDwtConfig, image: &Matrix, nranks: usize) 
         } else {
             vec![(0usize, (), my_coeffs * cfg.pixel_bytes)]
         };
-        ctx.exchange::<()>(out);
+        ctx.exchange::<()>(out)?;
     }
 
-    RankOut {
+    Ok(RankOut {
         details,
         ll_lo: stripe.lo,
         ll: input,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pieces shared by the fail-fast and resilient bodies. Keeping the
+// arithmetic in one place is what makes the recovered transform
+// bit-identical to the fault-free one.
+// ---------------------------------------------------------------------
+
+/// Copy a stripe of the source image, charging the unpack cost.
+fn extract_stripe(
+    ctx: &mut Ctx,
+    image: &Matrix,
+    s: Stripe,
+    cols: usize,
+) -> Result<Matrix, CommError> {
+    let m = image
+        .submatrix(s.lo, 0, s.rows(), cols)
+        .map_err(|_| CommError::Protocol {
+            detail: "stripe outside the image (partition bookkeeping broke)",
+        })?;
+    ctx.charge_as(
+        Ops {
+            flops: 0,
+            intops: 16,
+            memops: 2 * (s.rows() * cols) as u64,
+        },
+        Category::UniqueRedundancy,
+    );
+    Ok(m)
+}
+
+/// Row-filter every row of `input` with L and H, decimating columns.
+fn row_pass(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    input: &Matrix,
+    half_cols: usize,
+) -> (Matrix, Matrix) {
+    let own = input.rows();
+    let mut low = Matrix::zeros(own, half_cols);
+    let mut high = Matrix::zeros(own, half_cols);
+    for r in 0..own {
+        dwt::conv::analyze_into(input.row(r), cfg.filter.low(), cfg.mode, low.row_mut(r))
+            .expect("buffer sized by construction");
+        dwt::conv::analyze_into(input.row(r), cfg.filter.high(), cfg.mode, high.row_mut(r))
+            .expect("buffer sized by construction");
     }
+    ctx.charge(coeff_ops(cfg.filter.len()).times(2 * (own * half_cols) as u64));
+    (low, high)
+}
+
+/// Contiguous runs of global rows that the player of `consumer` needs
+/// from `holder`'s stripe for its column pass.
+fn guard_runs(
+    cfg: &MimdDwtConfig,
+    consumer: Stripe,
+    holder: Stripe,
+    rows_l: usize,
+) -> Vec<(usize, usize)> {
+    let wire = cfg.filter.len() + 2;
+    let out = output_range(consumer);
+    let mut needed: Vec<usize> = Vec::new();
+    for k in out.lo..out.hi {
+        for m in 0..wire {
+            if let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) {
+                if !consumer.contains(g) && holder.contains(g) {
+                    needed.push(g);
+                }
+            }
+        }
+    }
+    needed.sort_unstable();
+    needed.dedup();
+    contiguous_runs(&needed)
+}
+
+/// Pack the low then high rows `[lo, hi)` of a guard run for the wire.
+fn pack_guard(
+    low: &Matrix,
+    high: &Matrix,
+    holder: Stripe,
+    lo: usize,
+    hi: usize,
+    half_cols: usize,
+    cfg: &MimdDwtConfig,
+) -> (Vec<f64>, usize) {
+    let run = hi - lo;
+    let mut payload = Vec::with_capacity(2 * run * half_cols);
+    for g in lo..hi {
+        payload.extend_from_slice(low.row(g - holder.lo));
+    }
+    for g in lo..hi {
+        payload.extend_from_slice(high.row(g - holder.lo));
+    }
+    let bytes = 2 * run * half_cols * cfg.pixel_bytes;
+    (payload, bytes)
+}
+
+/// Unpack a guard payload into the row-keyed lookup maps; returns the
+/// number of guard rows received.
+fn unpack_guard(
+    guard_low: &mut BTreeMap<usize, Vec<f64>>,
+    guard_high: &mut BTreeMap<usize, Vec<f64>>,
+    lo: usize,
+    payload: Vec<f64>,
+    half_cols: usize,
+) -> u64 {
+    let run = payload.len() / (2 * half_cols);
+    for (i, g) in (lo..lo + run).enumerate() {
+        guard_low.insert(g, payload[i * half_cols..(i + 1) * half_cols].to_vec());
+        let off = (run + i) * half_cols;
+        guard_high.insert(g, payload[off..off + half_cols].to_vec());
+    }
+    run as u64
+}
+
+/// Column-filter the output rows `[out_r.lo, out_r.hi)`, sourcing each
+/// needed row-filtered row through `look`. Returns the LL block (input
+/// of the next level) and the detail stripes.
+fn column_pass<'a>(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    out_r: Stripe,
+    rows_l: usize,
+    half_cols: usize,
+    look: impl Fn(usize) -> Result<(&'a [f64], &'a [f64]), CommError>,
+) -> Result<(Matrix, LevelOut), CommError> {
+    let f = cfg.filter.len();
+    let out_rows = out_r.hi - out_r.lo;
+    let mut ll = Matrix::zeros(out_rows, half_cols);
+    let mut lh = Matrix::zeros(out_rows, half_cols);
+    let mut hl = Matrix::zeros(out_rows, half_cols);
+    let mut hh = Matrix::zeros(out_rows, half_cols);
+    for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
+        for m in 0..f {
+            let Some(g) = cfg.mode.map((2 * k + m) as isize, rows_l) else {
+                continue;
+            };
+            let (lsrc, hsrc) = look(g)?;
+            dwt::engine::kernel::accumulate_quad(
+                ll.row_mut(ki),
+                lh.row_mut(ki),
+                hl.row_mut(ki),
+                hh.row_mut(ki),
+                lsrc,
+                hsrc,
+                cfg.filter.low()[m],
+                cfg.filter.high()[m],
+            );
+        }
+    }
+    ctx.charge(coeff_ops(f).times(4 * (out_rows * half_cols) as u64));
+    Ok((
+        ll,
+        LevelOut {
+            k_lo: out_r.lo,
+            lh,
+            hl,
+            hh,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------
+// The resilient body: one rank plays a *set* of roles, adopted ahead of
+// scheduled crashes (see the `resilience` module docs for the protocol).
+// ---------------------------------------------------------------------
+
+/// Per-role state carried between levels (and shipped as the checkpoint
+/// when a role changes hands).
+#[derive(Debug, Clone)]
+struct RoleState {
+    /// Level input: the role's stripe of the current LL band.
+    input: Matrix,
+    /// Detail stripes of completed levels.
+    details: Vec<LevelOut>,
+}
+
+impl RoleState {
+    fn wire_bytes(&self, pixel_bytes: usize) -> usize {
+        let details: usize = self
+            .details
+            .iter()
+            .map(|d| 3 * d.lh.rows() * d.lh.cols())
+            .sum();
+        (self.input.rows() * self.input.cols() + details) * pixel_bytes
+    }
+}
+
+/// Collective phases one resilient level executes: checkpoint handoff,
+/// guard exchange, LL redistribution, barrier.
+const STRIPE_LEVEL_PHASES: u64 = 4;
+
+fn resilient_rank_body(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    image: &Matrix,
+    nranks: usize,
+) -> Result<Vec<(usize, RankOut)>, CommError> {
+    let me = ctx.rank();
+    let (rows0, cols0) = (image.rows(), image.cols());
+    let plan = ctx.fault_plan().clone();
+    let mut tracker = RoleTracker::new(nranks);
+    let mut roles: BTreeMap<usize, RoleState> = BTreeMap::new();
+
+    // Initial distribution timing (same model as the fail-fast body).
+    if cfg.include_distribution {
+        let mut out = Vec::new();
+        if me == 0 {
+            for (j, sj) in stripes(rows0, nranks).into_iter().enumerate().skip(1) {
+                out.push((j, (), sj.rows() * cols0 * cfg.pixel_bytes));
+            }
+        }
+        ctx.exchange::<()>(out)?;
+    }
+
+    let mut rows_l = rows0;
+    let mut cols_l = cols0;
+
+    for level in 0..cfg.levels {
+        let level_stripes = stripes(rows_l, nranks);
+
+        // --- Checkpoint handoff: look one level ahead in the plan and
+        // move the roles of every rank that crashes before the *next*
+        // handoff. The retiring owner is by construction still alive
+        // here (it was retired a full level before its crash fires), so
+        // the hardened control channel always delivers its state.
+        let p0 = ctx.next_phase();
+        let window_end = if level + 1 == cfg.levels {
+            u64::MAX // the last window also covers the trailing gather
+        } else {
+            p0 + STRIPE_LEVEL_PHASES + 1
+        };
+        let takeovers = tracker.step(&plan, window_end)?;
+        let mut sends: Vec<(usize, (usize, RoleState), usize)> = Vec::new();
+        if level > 0 {
+            for t in &takeovers {
+                if t.from != me {
+                    continue;
+                }
+                let st = roles.remove(&t.role).ok_or(CommError::Protocol {
+                    detail: "takeover of a role this rank does not hold",
+                })?;
+                let bytes = st.wire_bytes(cfg.pixel_bytes);
+                sends.push((t.to, (t.role, st), bytes));
+            }
+        }
+        for (_, (role, st)) in ctx.exchange_reliable(sends)? {
+            roles.insert(role, st);
+        }
+        if level == 0 {
+            // Level-0 state needs no checkpoint: the source image is
+            // globally known, so every player cuts its roles' stripes
+            // directly (adopters included).
+            for role in tracker.roles_of(me) {
+                let input = extract_stripe(ctx, image, level_stripes[role], cols0)?;
+                roles.insert(
+                    role,
+                    RoleState {
+                        input,
+                        details: Vec::new(),
+                    },
+                );
+            }
+        }
+
+        let half_cols = cols_l / 2;
+
+        // --- Row pass for every role this rank plays. -------------------
+        let mut filt: BTreeMap<usize, (Matrix, Matrix)> = BTreeMap::new();
+        for (&a, st) in &roles {
+            filt.insert(a, row_pass(ctx, cfg, &st.input, half_cols));
+        }
+
+        // --- Role-addressed guard exchange. Messages between two roles
+        // of the same rank ride the free self-route, so adopted roles
+        // stay on the one code path.
+        ctx.charge_as(
+            Ops {
+                flops: 0,
+                intops: 30 * (nranks * roles.len().max(1)) as u64,
+                memops: 0,
+            },
+            Category::UniqueRedundancy,
+        );
+        let mut sends: Vec<RoleSend> = Vec::new();
+        for &a in roles.keys() {
+            let sa = level_stripes[a];
+            let (low, high) = &filt[&a];
+            for j in 0..nranks {
+                if j == a {
+                    continue;
+                }
+                for (lo, hi) in guard_runs(cfg, level_stripes[j], sa, rows_l) {
+                    let (payload, bytes) = pack_guard(low, high, sa, lo, hi, half_cols, cfg);
+                    sends.push((tracker.owner(j), (j, lo, payload), bytes));
+                }
+            }
+        }
+        let mut guard_low: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
+        let mut guard_high: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
+        let mut guard_rows = 0u64;
+        for (_, (role, lo, payload)) in ctx.exchange(sends)? {
+            let run = payload.len() / (2 * half_cols);
+            guard_rows += run as u64;
+            for (i, g) in (lo..lo + run).enumerate() {
+                guard_low.insert(
+                    (role, g),
+                    payload[i * half_cols..(i + 1) * half_cols].to_vec(),
+                );
+                let off = (run + i) * half_cols;
+                guard_high.insert((role, g), payload[off..off + half_cols].to_vec());
+            }
+        }
+        ctx.charge_as(
+            Ops {
+                flops: 0,
+                intops: 8 * guard_rows,
+                memops: 2 * guard_rows * half_cols as u64,
+            },
+            Category::UniqueRedundancy,
+        );
+
+        // --- Column pass per role. --------------------------------------
+        let mut lls: BTreeMap<usize, Matrix> = BTreeMap::new();
+        for (&a, st) in roles.iter_mut() {
+            let sa = level_stripes[a];
+            let (low, high) = &filt[&a];
+            let (ll, level_out) =
+                column_pass(ctx, cfg, output_range(sa), rows_l, half_cols, |g| {
+                    if sa.contains(g) {
+                        Ok((low.row(g - sa.lo), high.row(g - sa.lo)))
+                    } else {
+                        match (guard_low.get(&(a, g)), guard_high.get(&(a, g))) {
+                            (Some(l), Some(h)) => Ok((l.as_slice(), h.as_slice())),
+                            _ => Err(CommError::Protocol { detail: GUARD_LOST }),
+                        }
+                    }
+                })?;
+            st.details.push(level_out);
+            lls.insert(a, ll);
+        }
+        drop(filt);
+
+        // --- Role-addressed LL redistribution. --------------------------
+        rows_l /= 2;
+        cols_l = half_cols;
+        let next_stripes = stripes(rows_l, nranks);
+        let mut sends: Vec<RoleSend> = Vec::new();
+        for (&a, ll) in &lls {
+            let out_r = output_range(level_stripes[a]);
+            for (ki, k) in (out_r.lo..out_r.hi).enumerate() {
+                let o = owner(k, rows_l, nranks);
+                if o != a {
+                    sends.push((
+                        tracker.owner(o),
+                        (o, k, ll.row(ki).to_vec()),
+                        cols_l * cfg.pixel_bytes,
+                    ));
+                }
+            }
+        }
+        let incoming = ctx.exchange(sends)?;
+        for (&a, st) in roles.iter_mut() {
+            let out_r = output_range(level_stripes[a]);
+            let next = next_stripes[a];
+            let ll = &lls[&a];
+            let mut next_input = Matrix::zeros(next.rows(), cols_l);
+            for k in next.lo..next.hi {
+                if out_r.contains(k) {
+                    next_input
+                        .row_mut(k - next.lo)
+                        .copy_from_slice(ll.row(k - out_r.lo));
+                }
+            }
+            st.input = next_input;
+        }
+        for (_, (o, k, data)) in incoming {
+            let st = roles.get_mut(&o).ok_or(CommError::Protocol {
+                detail: "LL row routed to a rank not playing its role",
+            })?;
+            let next = next_stripes[o];
+            if !next.contains(k) {
+                return Err(CommError::Protocol {
+                    detail: "LL row routed outside its role's stripe",
+                });
+            }
+            st.input.row_mut(k - next.lo).copy_from_slice(&data);
+        }
+
+        ctx.barrier()?;
+    }
+
+    // Final gather of all coefficients (timing only), rooted at the rank
+    // playing role 0 — a live rank even when physical rank 0 crashed.
+    if cfg.include_distribution {
+        let root = tracker.owner(0);
+        let my_coeffs: usize = roles
+            .values()
+            .map(|st| {
+                st.details
+                    .iter()
+                    .map(|d| 3 * d.lh.rows() * d.lh.cols())
+                    .sum::<usize>()
+                    + st.input.rows() * st.input.cols()
+            })
+            .sum();
+        let out = if me == root || my_coeffs == 0 {
+            Vec::new()
+        } else {
+            vec![(root, (), my_coeffs * cfg.pixel_bytes)]
+        };
+        ctx.exchange::<()>(out)?;
+    }
+
+    let final_stripes = stripes(rows_l, nranks);
+    Ok(roles
+        .into_iter()
+        .map(|(role, st)| {
+            (
+                role,
+                RankOut {
+                    details: st.details,
+                    ll_lo: final_stripes[role].lo,
+                    ll: st.input,
+                },
+            )
+        })
+        .collect())
 }
 
 /// Stitch per-rank stripes into a [`Pyramid`].
@@ -459,18 +867,14 @@ fn assemble(outs: &[RankOut], rows: usize, cols: usize, levels: usize) -> Pyrami
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paragon::{MachineSpec, Mapping};
+    use paragon::{FaultPlan, MachineSpec, Mapping};
 
     fn test_image(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 23) as f64 - 11.0)
     }
 
     fn paragon_cfg(n: usize, mapping: Mapping) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: n,
-            mapping,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), n, mapping)
     }
 
     #[test]
@@ -488,6 +892,7 @@ mod tests {
                         ordering: GuardOrdering::Simultaneous,
                         include_distribution: false,
                         pixel_bytes: 4,
+                        resilience: ResiliencePolicy::FailFast,
                     };
                     let run =
                         run_mimd_dwt(&paragon_cfg(nranks, Mapping::Snake), &cfg, &img).unwrap();
@@ -512,6 +917,7 @@ mod tests {
             ordering: GuardOrdering::ChainOrdered,
             include_distribution: true,
             pixel_bytes: 4,
+            resilience: ResiliencePolicy::FailFast,
         };
         let run = run_mimd_dwt(&paragon_cfg(4, Mapping::RowMajor), &cfg, &img).unwrap();
         assert_eq!(run.pyramid, seq);
@@ -605,5 +1011,145 @@ mod tests {
         let bank = FilterBank::haar();
         let cfg = MimdDwtConfig::tuned(bank, 3); // 12 -> 6 -> 3 fails
         assert!(run_mimd_dwt(&paragon_cfg(2, Mapping::Snake), &cfg, &img).is_err());
+    }
+
+    #[test]
+    fn config_rejections_are_typed() {
+        let img = test_image(32);
+        let bank = FilterBank::haar();
+        let scfg = paragon_cfg(2, Mapping::Snake);
+
+        let mut cfg = MimdDwtConfig::tuned(bank.clone(), 1);
+        cfg.levels = 0;
+        assert!(matches!(
+            run_mimd_dwt(&scfg, &cfg, &img).unwrap_err(),
+            MimdError::InvalidConfig { .. }
+        ));
+
+        let mut cfg = MimdDwtConfig::tuned(bank.clone(), 1);
+        cfg.pixel_bytes = 0;
+        assert!(matches!(
+            run_mimd_dwt(&scfg, &cfg, &img).unwrap_err(),
+            MimdError::InvalidConfig { .. }
+        ));
+
+        let mut cfg = MimdDwtConfig::tuned(bank, 1);
+        cfg.ordering = GuardOrdering::ChainOrdered;
+        cfg.resilience = ResiliencePolicy::Redistribute;
+        assert!(matches!(
+            run_mimd_dwt(&scfg, &cfg, &img).unwrap_err(),
+            MimdError::InvalidConfig { .. }
+        ));
+    }
+
+    #[test]
+    fn redistribute_without_faults_matches_sequential_bitwise() {
+        let img = test_image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 3).with_resilience(ResiliencePolicy::Redistribute);
+        for p in [1usize, 3, 8] {
+            let run = run_mimd_dwt(&paragon_cfg(p, Mapping::Snake), &cfg, &img).unwrap();
+            assert_eq!(run.pyramid, seq, "P={p}");
+            assert!(run.faults.crashed_ranks.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_recovery_is_bit_identical_to_fault_free() {
+        let img = test_image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 3).with_resilience(ResiliencePolicy::Redistribute);
+        // Kill rank 2 in the middle of level 1 (phase 6 = its guard
+        // exchange) and rank 5 at the trailing gather (phase 13).
+        let plan = FaultPlan::none().with_crash(2, 6).with_crash(5, 13);
+        let scfg = paragon_cfg(8, Mapping::Snake).with_faults(plan);
+        let run = run_mimd_dwt(&scfg, &cfg, &img).unwrap();
+        assert_eq!(
+            run.pyramid, seq,
+            "recovered run must be bit-identical to the fault-free transform"
+        );
+        assert_eq!(run.faults.crashed_ranks, vec![2, 5]);
+    }
+
+    #[test]
+    fn crash_at_every_phase_recovers_bit_identically() {
+        // Sweep the crash across the whole phase schedule, including the
+        // handoff phases themselves: recovery must never depend on lucky
+        // timing. 6 ranks, 2 levels => phases 0..=9.
+        let img = test_image(32);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        for phase in 0..10u64 {
+            let plan = FaultPlan::none().with_crash(3, phase);
+            let scfg = paragon_cfg(6, Mapping::Snake).with_faults(plan);
+            let run = run_mimd_dwt(&scfg, &cfg, &img)
+                .unwrap_or_else(|e| panic!("crash at phase {phase} not recovered: {e}"));
+            assert_eq!(run.pyramid, seq, "crash at phase {phase} corrupted output");
+        }
+    }
+
+    #[test]
+    fn failfast_surfaces_crash_as_typed_error() {
+        let img = test_image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2); // FailFast default
+        let plan = FaultPlan::none().with_crash(1, 2);
+        let scfg = paragon_cfg(4, Mapping::Snake).with_faults(plan);
+        match run_mimd_dwt(&scfg, &cfg, &img) {
+            Err(MimdError::Comm {
+                rank: 1,
+                source: CommError::Crashed { rank: 1, .. },
+            }) => {}
+            other => panic!("expected the crash as a typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_crash_schedule_is_unrecoverable_not_a_panic() {
+        let img = test_image(32);
+        let bank = FilterBank::haar();
+        let cfg = MimdDwtConfig::tuned(bank, 1).with_resilience(ResiliencePolicy::Redistribute);
+        let plan = FaultPlan::none()
+            .with_crash(0, 2)
+            .with_crash(1, 3)
+            .with_crash(2, 3)
+            .with_crash(3, 4);
+        let scfg = paragon_cfg(4, Mapping::Snake).with_faults(plan);
+        assert!(matches!(
+            run_mimd_dwt(&scfg, &cfg, &img).unwrap_err(),
+            MimdError::Unrecoverable { .. }
+        ));
+    }
+
+    #[test]
+    fn recovered_runs_are_deterministic() {
+        let img = test_image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        let mk = || {
+            let plan = FaultPlan::seeded(42).with_drop_rate(1e-3).with_crash(1, 5);
+            paragon_cfg(6, Mapping::Snake).with_faults(plan)
+        };
+        let a = run_mimd_dwt(&mk(), &cfg, &img).unwrap();
+        let b = run_mimd_dwt(&mk(), &cfg, &img).unwrap();
+        assert_eq!(a.parallel_time(), b.parallel_time());
+        assert_eq!(a.budgets, b.budgets);
+        assert_eq!(a.pyramid, b.pyramid);
+    }
+
+    #[test]
+    fn crash_recovery_costs_virtual_time() {
+        let img = test_image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
+        let plan = FaultPlan::none().with_crash(2, 6);
+        let scfg = paragon_cfg(6, Mapping::Snake).with_faults(plan);
+        let faulty = run_mimd_dwt(&scfg, &cfg, &img).unwrap();
+        let clean = run_mimd_dwt(&paragon_cfg(6, Mapping::Snake), &cfg, &img).unwrap();
+        // Losing a rank must not make the run faster.
+        assert!(faulty.parallel_time() >= clean.parallel_time());
     }
 }

@@ -1,0 +1,350 @@
+//! Fault-tolerant execution of the distributed transforms.
+//!
+//! The deterministic [`FaultPlan`] doubles as a *perfect failure
+//! detector*: every rank holds the same plan, so all ranks derive — with
+//! no extra communication — which peers will have crashed by any future
+//! phase. The recovery protocol exploits this:
+//!
+//! * work is organised in **roles** (the grid positions of the fault-free
+//!   decomposition). Initially role `r` is played by physical rank `r`;
+//! * at the start of every level each rank looks one level ahead in the
+//!   plan. A rank scheduled to die before the *next* level's handoff is
+//!   **retired now**: its roles move to the next surviving rank, and it
+//!   ships each role's checkpoint (the level-input tile plus the detail
+//!   stripes of completed levels) over the hardened control channel
+//!   ([`paragon::Ctx::exchange_reliable`]);
+//! * because a retiring rank is always still alive at the handoff where
+//!   it gives its state away (it was retired one full level before its
+//!   crash fires), no role state is ever lost while at least one rank
+//!   survives the whole run. If every rank is scheduled to crash the
+//!   survivors report a structured [`MimdError::Unrecoverable`] instead
+//!   of panicking or deadlocking.
+//!
+//! Adopted roles are recomputed with exactly the arithmetic the original
+//! owner would have used — same filter taps, same accumulation order —
+//! so a recovered run is **bit-identical** to the fault-free transform.
+
+use std::error::Error;
+use std::fmt;
+
+use dwt::error::DwtError;
+use paragon::{CommError, FaultPlan, SpmdError};
+
+/// What a distributed transform does about ranks the fault plan kills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ResiliencePolicy {
+    /// Run the lean fault-free phase structure; any injected crash or
+    /// unrecovered message loss surfaces as a typed [`MimdError`].
+    #[default]
+    FailFast,
+    /// Checkpoint role state ahead of scheduled crashes and redistribute
+    /// dead ranks' tiles to survivors; the run completes bit-identically
+    /// to the fault-free transform as long as one rank survives.
+    Redistribute,
+}
+
+/// Typed failure taxonomy of the distributed transforms.
+#[derive(Debug)]
+pub enum MimdError {
+    /// The transform itself was malformed (dimensions, filter, levels).
+    Dwt(DwtError),
+    /// The SPMD configuration was rejected up front.
+    Spmd(SpmdError),
+    /// A rank failed with a communication error the policy does not
+    /// recover from.
+    Comm {
+        /// Physical rank that failed.
+        rank: usize,
+        /// What it failed with.
+        source: CommError,
+    },
+    /// The configuration of the distributed transform is invalid.
+    InvalidConfig {
+        /// Human-readable rejection reason.
+        detail: String,
+    },
+    /// The fault schedule destroys state faster than the recovery
+    /// protocol can preserve it (e.g. every rank crashes).
+    Unrecoverable {
+        /// Human-readable description of what was lost.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MimdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MimdError::Dwt(e) => write!(f, "{e}"),
+            MimdError::Spmd(e) => write!(f, "{e}"),
+            MimdError::Comm { rank, source } => {
+                write!(f, "rank {rank} failed: {source}")
+            }
+            MimdError::InvalidConfig { detail } => {
+                write!(f, "invalid distributed-DWT configuration: {detail}")
+            }
+            MimdError::Unrecoverable { detail } => {
+                write!(f, "unrecoverable fault schedule: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MimdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MimdError::Dwt(e) => Some(e),
+            MimdError::Spmd(e) => Some(e),
+            MimdError::Comm { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<DwtError> for MimdError {
+    fn from(e: DwtError) -> Self {
+        MimdError::Dwt(e)
+    }
+}
+
+impl From<SpmdError> for MimdError {
+    fn from(e: SpmdError) -> Self {
+        MimdError::Spmd(e)
+    }
+}
+
+/// Sentinel detail string a rank body reports when the plan leaves no
+/// survivor to adopt a role; the driver maps it to
+/// [`MimdError::Unrecoverable`].
+pub(crate) const ROLE_LOST: &str =
+    "every remaining rank is scheduled to crash; role state cannot be preserved";
+
+/// One role reassignment decided at a level handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Takeover {
+    /// Grid position whose state moves.
+    pub role: usize,
+    /// Retiring owner (still alive at the handoff; ships the checkpoint).
+    pub from: usize,
+    /// Adopting survivor.
+    pub to: usize,
+}
+
+/// Deterministic role→rank assignment, advanced level by level from the
+/// shared fault plan. Every rank holds an identical tracker, so send
+/// plans and takeovers agree without any membership communication.
+#[derive(Debug, Clone)]
+pub(crate) struct RoleTracker {
+    /// `owner[role]` = physical rank currently playing `role`.
+    owner: Vec<usize>,
+    /// Ranks permanently retired (scheduled to crash inside a window a
+    /// past handoff already looked into).
+    retired: Vec<bool>,
+}
+
+impl RoleTracker {
+    pub fn new(nranks: usize) -> Self {
+        RoleTracker {
+            owner: (0..nranks).collect(),
+            retired: vec![false; nranks],
+        }
+    }
+
+    /// Physical rank currently playing `role`.
+    pub fn owner(&self, role: usize) -> usize {
+        self.owner[role]
+    }
+
+    /// Roles the given rank currently plays, ascending.
+    pub fn roles_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.owner.len())
+            .filter(|&r| self.owner[r] == rank)
+            .collect()
+    }
+
+    /// Retire every rank whose crash fires before `window_end` and move
+    /// its roles to the next non-retired rank (cyclic order). Returns the
+    /// takeovers, sorted by role. Fails with the [`ROLE_LOST`] protocol
+    /// error when no adopter remains.
+    pub fn step(&mut self, plan: &FaultPlan, window_end: u64) -> Result<Vec<Takeover>, CommError> {
+        let n = self.retired.len();
+        let newly: Vec<usize> = (0..n)
+            .filter(|&r| !self.retired[r] && plan.crash_phase(r).is_some_and(|p| p < window_end))
+            .collect();
+        for &r in &newly {
+            self.retired[r] = true;
+        }
+        let mut takeovers = Vec::new();
+        for &from in &newly {
+            for role in 0..n {
+                if self.owner[role] != from {
+                    continue;
+                }
+                let to = (1..n)
+                    .map(|k| (from + k) % n)
+                    .find(|&cand| !self.retired[cand])
+                    .ok_or(CommError::Protocol { detail: ROLE_LOST })?;
+                self.owner[role] = to;
+                takeovers.push(Takeover { role, from, to });
+            }
+        }
+        takeovers.sort_by_key(|t| t.role);
+        Ok(takeovers)
+    }
+}
+
+/// Fold per-rank SPMD outputs of a fail-fast run, converting the first
+/// failure into a typed error. An injected crash is preferred as the
+/// reported cause: peers of a crashed rank fail with secondary
+/// guard-loss protocol errors that would otherwise mask the root cause.
+pub(crate) fn collect_failfast<T>(outputs: Vec<Result<T, CommError>>) -> Result<Vec<T>, MimdError> {
+    let mut outs = Vec::with_capacity(outputs.len());
+    let mut first_err: Option<(usize, CommError)> = None;
+    for (rank, out) in outputs.into_iter().enumerate() {
+        match out {
+            Ok(o) => outs.push(o),
+            Err(source) => {
+                let have_crash = matches!(first_err, Some((_, CommError::Crashed { .. })));
+                let is_crash = matches!(source, CommError::Crashed { .. });
+                if first_err.is_none() || (is_crash && !have_crash) {
+                    first_err = Some((rank, source));
+                }
+            }
+        }
+    }
+    match first_err {
+        Some((rank, source)) => Err(MimdError::Comm { rank, source }),
+        None => Ok(outs),
+    }
+}
+
+/// Fold per-rank SPMD outputs of a resilient run into a role-indexed
+/// vector, tolerating the planned crashes and converting everything else
+/// into typed errors. `T` is the per-role output type.
+pub(crate) fn collect_roles<T>(
+    outputs: Vec<Result<Vec<(usize, T)>, CommError>>,
+    nranks: usize,
+) -> Result<Vec<T>, MimdError> {
+    let mut by_role: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    for (rank, out) in outputs.into_iter().enumerate() {
+        match out {
+            Ok(pairs) => {
+                for (role, v) in pairs {
+                    if by_role[role].replace(v).is_some() {
+                        return Err(MimdError::Unrecoverable {
+                            detail: format!("role {role} produced by two ranks"),
+                        });
+                    }
+                }
+            }
+            // A planned crash: its roles were redistributed beforehand.
+            Err(CommError::Crashed { .. }) => {}
+            Err(CommError::Protocol { detail }) if detail == ROLE_LOST => {
+                return Err(MimdError::Unrecoverable {
+                    detail: ROLE_LOST.into(),
+                })
+            }
+            Err(source) => return Err(MimdError::Comm { rank, source }),
+        }
+    }
+    by_role
+        .into_iter()
+        .enumerate()
+        .map(|(role, v)| {
+            v.ok_or_else(|| MimdError::Unrecoverable {
+                detail: format!("no surviving rank produced role {role}"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_without_faults() {
+        let mut t = RoleTracker::new(4);
+        let plan = FaultPlan::none();
+        assert!(t.step(&plan, 100).unwrap().is_empty());
+        for r in 0..4 {
+            assert_eq!(t.owner(r), r);
+            assert_eq!(t.roles_of(r), vec![r]);
+        }
+    }
+
+    #[test]
+    fn crash_moves_role_to_next_survivor() {
+        let mut t = RoleTracker::new(4);
+        let plan = FaultPlan::none().with_crash(1, 5);
+        // Window that does not see the crash yet: nothing moves.
+        assert!(t.step(&plan, 5).unwrap().is_empty());
+        // Window that does: role 1 moves to rank 2.
+        let tk = t.step(&plan, 6).unwrap();
+        assert_eq!(tk.len(), 1);
+        assert_eq!((tk[0].role, tk[0].from, tk[0].to), (1, 1, 2));
+        assert_eq!(t.roles_of(2), vec![1, 2]);
+        // Idempotent: the same window never re-retires.
+        assert!(t.step(&plan, 6).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chained_takeover_skips_co_doomed_ranks() {
+        let mut t = RoleTracker::new(4);
+        let plan = FaultPlan::none().with_crash(1, 3).with_crash(2, 4);
+        let tk = t.step(&plan, 10).unwrap();
+        // Both 1 and 2 retire together; both roles land on rank 3.
+        assert_eq!(tk.len(), 2);
+        assert!(tk.iter().all(|t| t.to == 3));
+        assert_eq!(t.roles_of(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn adopted_roles_move_again_when_the_adopter_dies() {
+        let mut t = RoleTracker::new(3);
+        let plan = FaultPlan::none().with_crash(0, 2).with_crash(1, 8);
+        t.step(&plan, 4).unwrap(); // role 0 -> rank 1
+        assert_eq!(t.roles_of(1), vec![0, 1]);
+        let tk = t.step(&plan, 9).unwrap(); // rank 1 retires, both roles -> 2
+        assert_eq!(tk.len(), 2);
+        assert_eq!(t.roles_of(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn total_loss_is_a_structured_error() {
+        let mut t = RoleTracker::new(2);
+        let plan = FaultPlan::none().with_crash(0, 1).with_crash(1, 2);
+        let err = t.step(&plan, 10).unwrap_err();
+        assert!(matches!(err, CommError::Protocol { detail } if detail == ROLE_LOST));
+    }
+
+    #[test]
+    fn collect_roles_tolerates_planned_crashes_only() {
+        let outs: Vec<Result<Vec<(usize, u32)>, CommError>> = vec![
+            Ok(vec![(0, 10)]),
+            Err(CommError::Crashed { rank: 1, phase: 3 }),
+            Ok(vec![(1, 11), (2, 12)]),
+        ];
+        assert_eq!(collect_roles(outs, 3).unwrap(), vec![10, 11, 12]);
+
+        let outs: Vec<Result<Vec<(usize, u32)>, CommError>> = vec![
+            Ok(vec![(0, 10)]),
+            Err(CommError::Incomplete {
+                expected: 2,
+                got: 1,
+            }),
+        ];
+        assert!(matches!(
+            collect_roles(outs, 2).unwrap_err(),
+            MimdError::Comm { rank: 1, .. }
+        ));
+
+        let outs: Vec<Result<Vec<(usize, u32)>, CommError>> = vec![
+            Ok(vec![(0, 10)]),
+            Err(CommError::Crashed { rank: 1, phase: 0 }),
+        ];
+        assert!(matches!(
+            collect_roles(outs, 2).unwrap_err(),
+            MimdError::Unrecoverable { .. }
+        ));
+    }
+}

@@ -8,7 +8,7 @@
 //! the communication and imbalance overheads figures 3–6 of the report
 //! show.
 
-use paragon::{Ctx, SpmdConfig};
+use paragon::{CommError, Ctx, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
 use crate::body::Body;
@@ -85,20 +85,24 @@ struct StepBundle {
 /// Run `cfg.steps` manager-worker steps over `init` on the simulated
 /// machine. The returned body state matches [`crate::serial::run`] bit for bit.
 pub fn run_parallel(scfg: &SpmdConfig, cfg: &NbodyConfig, init: &[Body]) -> NbodyRun {
-    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, init));
+    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, init))
+        .expect("n-body runs on a fault-free simulator configuration");
+    let budgets = res.budgets.clone();
     let bodies = res
-        .outputs
+        .ok_outputs()
+        .expect("n-body runs on a fault-free simulator configuration")
         .into_iter()
         .next()
         .flatten()
         .expect("manager returns the bodies");
-    NbodyRun {
-        bodies,
-        budgets: res.budgets,
-    }
+    NbodyRun { bodies, budgets }
 }
 
-fn rank_body(ctx: &mut Ctx, cfg: &NbodyConfig, init: &[Body]) -> Option<Vec<Body>> {
+fn rank_body(
+    ctx: &mut Ctx,
+    cfg: &NbodyConfig,
+    init: &[Body],
+) -> Result<Option<Vec<Body>>, CommError> {
     let rank = ctx.rank();
     let nranks = ctx.nranks();
     let n = init.len();
@@ -140,16 +144,16 @@ fn rank_body(ctx: &mut Ctx, cfg: &NbodyConfig, init: &[Body]) -> Option<Vec<Body
                 // Broadcast tree + bodies + zones to all workers.
                 let cells = bundle.as_ref().map(|b| b.tree.len()).unwrap_or(0);
                 let bytes = n * cost::BODY_BYTES + cells * cost::CELL_BYTES + n * 4;
-                ctx.broadcast(manager, bundle, bytes)
+                ctx.broadcast(manager, bundle, bytes)?
             }
             TreeStrategy::ReplicatedBuild => {
                 // --- Broadcast only the bodies; every rank duplicates
                 // the tree build and partitioning (the report's §5.3
                 // communication-for-redundancy trade).
                 let bodies = if rank == manager {
-                    ctx.broadcast(manager, Some(state.clone()), n * cost::BODY_BYTES)
+                    ctx.broadcast(manager, Some(state.clone()), n * cost::BODY_BYTES)?
                 } else {
-                    ctx.broadcast::<Vec<Body>>(manager, None, n * cost::BODY_BYTES)
+                    ctx.broadcast::<Vec<Body>>(manager, None, n * cost::BODY_BYTES)?
                 };
                 let (tree, insert_levels) = QuadTree::build(&bodies);
                 ctx.charge_as(
@@ -196,9 +200,11 @@ fn rank_body(ctx: &mut Ctx, cfg: &NbodyConfig, init: &[Body]) -> Option<Vec<Body
         ctx.charge(cost::update_ops_per_body().times(my_zone.len() as u64));
 
         // --- Gather updated bodies at the manager. ----------------------
-        let gathered = ctx.gather(manager, updated, my_zone.len() * cost::BODY_BYTES);
+        let gathered = ctx.gather(manager, updated, my_zone.len() * cost::BODY_BYTES)?;
         if rank == manager {
-            let gathered = gathered.expect("manager receives the gather");
+            let gathered = gathered.ok_or(CommError::Protocol {
+                detail: "manager receives the gather",
+            })?;
             for (_, zone_updates) in gathered {
                 for (bi, b) in zone_updates {
                     state[bi as usize] = b;
@@ -213,14 +219,10 @@ fn rank_body(ctx: &mut Ctx, cfg: &NbodyConfig, init: &[Body]) -> Option<Vec<Body
                 Category::UniqueRedundancy,
             );
         }
-        ctx.barrier();
+        ctx.barrier()?;
     }
 
-    if rank == manager {
-        Some(state)
-    } else {
-        None
-    }
+    Ok(if rank == manager { Some(state) } else { None })
 }
 
 #[cfg(test)]
@@ -234,11 +236,7 @@ mod tests {
     }
 
     fn spmd(n: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: n,
-            mapping: Mapping::Snake,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), n, Mapping::Snake)
     }
 
     #[test]

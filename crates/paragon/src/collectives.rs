@@ -1,37 +1,57 @@
 //! Higher-order collectives built on the exchange primitive: all-to-all,
 //! allgather and rooted reduction. All are collectives — every rank must
-//! call them together.
+//! call them together. Like the primitives, they return typed
+//! [`CommError`]s instead of panicking when the run is faulty or the
+//! call is malformed.
 
 use perfbudget::Category;
 
+use crate::faults::CommError;
 use crate::machine::Ops;
 use crate::spmd::Ctx;
 
 impl Ctx {
     /// Personalized all-to-all: `items[j]` (with its wire size) goes to
     /// rank `j`; returns the items received, indexed by source rank.
-    /// `items.len()` must equal the rank count.
-    pub fn alltoall<M: Send + 'static>(&mut self, items: Vec<(M, usize)>) -> Vec<M> {
+    /// `items.len()` must equal the rank count. Fails with
+    /// [`CommError::Incomplete`] if any slice was lost in transit.
+    pub fn alltoall<M: Send + 'static>(
+        &mut self,
+        items: Vec<(M, usize)>,
+    ) -> Result<Vec<M>, CommError> {
         let n = self.nranks();
-        assert_eq!(items.len(), n, "alltoall needs one item per rank");
+        if items.len() != n {
+            return Err(CommError::Protocol {
+                detail: "alltoall needs exactly one item per rank",
+            });
+        }
         let me = self.rank();
         let out: Vec<(usize, M, usize)> = items
             .into_iter()
             .enumerate()
             .map(|(dst, (item, bytes))| (dst, item, if dst == me { 0 } else { bytes }))
             .collect();
-        let mut inbox = self.exchange(out);
+        let mut inbox = self.exchange(out)?;
+        if inbox.len() != n {
+            return Err(CommError::Incomplete {
+                expected: n,
+                got: inbox.len(),
+            });
+        }
         inbox.sort_by_key(|(src, _)| *src);
-        debug_assert_eq!(inbox.len(), n);
-        inbox.into_iter().map(|(_, m)| m).collect()
+        Ok(inbox.into_iter().map(|(_, m)| m).collect())
     }
 
     /// Allgather: every rank contributes `item`; all ranks receive the
     /// full vector indexed by rank. Implemented as a binomial gather to
     /// rank 0 followed by a binomial broadcast (`O(log P)` phases).
-    pub fn allgather<M: Send + Clone + 'static>(&mut self, item: M, bytes: usize) -> Vec<M> {
+    pub fn allgather<M: Send + Clone + 'static>(
+        &mut self,
+        item: M,
+        bytes: usize,
+    ) -> Result<Vec<M>, CommError> {
         let n = self.nranks();
-        let gathered = self.gather(0, item, bytes);
+        let gathered = self.gather(0, item, bytes)?;
         let all: Option<Vec<M>> =
             gathered.map(|v| v.into_iter().map(|(_, m)| m).collect::<Vec<M>>());
         if self.rank() == 0 {
@@ -43,12 +63,18 @@ impl Ctx {
 
     /// Rooted elementwise sum: after the call, `x` at `root` holds the
     /// sum of every rank's vector; other ranks' buffers are left with
-    /// partial sums. Binomial tree, `O(log P)` phases.
-    pub fn reduce_sum(&mut self, root: usize, x: &mut [f64]) {
+    /// partial sums. Binomial tree, `O(log P)` phases. Fails with
+    /// [`CommError::Incomplete`] when an expected partial sum was lost.
+    pub fn reduce_sum(&mut self, root: usize, x: &mut [f64]) -> Result<(), CommError> {
         let n = self.nranks();
-        assert!(root < n);
+        if root >= n {
+            return Err(CommError::InvalidRank {
+                rank: root,
+                nranks: n,
+            });
+        }
         if n == 1 {
-            return;
+            return Ok(());
         }
         let bytes = x.len() * 8;
         // Virtual rank so any root works with the rank-0 tree.
@@ -63,7 +89,14 @@ impl Ctx {
                 out.push((dst, x.to_vec(), bytes));
                 active = false;
             }
-            let inbox = self.exchange(out);
+            let inbox = self.exchange(out)?;
+            let expecting = active && vr.is_multiple_of(2 * bit) && vr + bit < n;
+            if expecting && inbox.is_empty() {
+                return Err(CommError::Incomplete {
+                    expected: 1,
+                    got: 0,
+                });
+            }
             for (_, v) in inbox {
                 for (slot, add) in x.iter_mut().zip(&v) {
                     *slot += add;
@@ -78,6 +111,7 @@ impl Ctx {
                 );
             }
         }
+        Ok(())
     }
 }
 
@@ -88,11 +122,7 @@ mod tests {
     use crate::spmd::{run_spmd, SpmdConfig};
 
     fn cfg(n: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: n,
-            mapping: Mapping::Snake,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), n, Mapping::Snake)
     }
 
     #[test]
@@ -103,8 +133,11 @@ mod tests {
                 .map(|j| ((me * 100 + j) as u64, 8))
                 .collect();
             ctx.alltoall(items)
-        });
-        for (me, got) in res.outputs.iter().enumerate() {
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        for (me, got) in res.iter().enumerate() {
             let expect: Vec<u64> = (0..5).map(|src| (src * 100 + me) as u64).collect();
             assert_eq!(got, &expect, "rank {me}");
         }
@@ -113,9 +146,12 @@ mod tests {
     #[test]
     fn allgather_replicates_all_contributions() {
         for n in [1usize, 2, 6, 8] {
-            let res = run_spmd(&cfg(n), |ctx| ctx.allgather(ctx.rank() as u32 * 3, 4));
+            let res = run_spmd(&cfg(n), |ctx| ctx.allgather(ctx.rank() as u32 * 3, 4))
+                .unwrap()
+                .ok_outputs()
+                .unwrap();
             let expect: Vec<u32> = (0..n as u32).map(|r| r * 3).collect();
-            for got in &res.outputs {
+            for got in &res {
                 assert_eq!(got, &expect, "n={n}");
             }
         }
@@ -126,10 +162,13 @@ mod tests {
         for root in [0usize, 2, 5] {
             let res = run_spmd(&cfg(6), |ctx| {
                 let mut x = vec![1.0, ctx.rank() as f64];
-                ctx.reduce_sum(root, &mut x);
-                (ctx.rank(), x)
-            });
-            let (_, at_root) = &res.outputs[root];
+                ctx.reduce_sum(root, &mut x)?;
+                Ok((ctx.rank(), x))
+            })
+            .unwrap()
+            .ok_outputs()
+            .unwrap();
+            let (_, at_root) = &res[root];
             assert_eq!(at_root[0], 6.0, "root {root}");
             assert_eq!(at_root[1], 15.0, "root {root}");
         }
@@ -140,13 +179,15 @@ mod tests {
         // Reduce-to-root is half a gsum (no broadcast leg).
         let reduce_t = run_spmd(&cfg(8), |ctx| {
             let mut x = vec![1.0; 4096];
-            ctx.reduce_sum(0, &mut x);
+            ctx.reduce_sum(0, &mut x)
         })
+        .unwrap()
         .parallel_time();
         let gsum_t = run_spmd(&cfg(8), |ctx| {
             let mut x = vec![1.0; 4096];
-            ctx.gsum_tree(&mut x);
+            ctx.gsum_tree(&mut x)
         })
+        .unwrap()
         .parallel_time();
         assert!(
             reduce_t < gsum_t,
@@ -161,10 +202,12 @@ mod tests {
                 let items: Vec<(Vec<f64>, usize)> = (0..7)
                     .map(|j| (vec![ctx.rank() as f64, j as f64], 16))
                     .collect();
-                ctx.alltoall(items);
-                ctx.now()
+                ctx.alltoall(items)?;
+                Ok(ctx.now())
             })
-            .outputs
+            .unwrap()
+            .ok_outputs()
+            .unwrap()
         };
         assert_eq!(run(), run());
     }

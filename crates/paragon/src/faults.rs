@@ -1,0 +1,744 @@
+//! Deterministic fault injection for the virtual-time simulator.
+//!
+//! A [`FaultPlan`] is a *pure, pre-computed schedule*: every injection
+//! decision is either an explicit literal event or a pure hash of the
+//! plan seed and the message's canonical coordinates `(phase, src, dst,
+//! seq, attempt)`. No wall-clock time and no mutable RNG state are
+//! consulted at run time, so two runs with the same plan produce
+//! bit-identical virtual times, budgets and data — the property the
+//! fault-tolerance tests and the `bench_faults` degradation curves rely
+//! on.
+//!
+//! Injected fault classes:
+//!
+//! * **link faults** — per-message-attempt drop, corruption (detected by
+//!   the receiver's checksum and NACKed) and extra delivery delay,
+//!   applied inside [`crate::network::LinkSchedule`] message resolution;
+//! * **transient exchange failures** — a rank's entry into a collective
+//!   fails `k` times before succeeding, charging exponential backoff in
+//!   *simulated* time;
+//! * **node slowdowns** — a rank's compute charges are scaled by a
+//!   factor over a phase window (a thermally throttled or degraded CPU);
+//! * **permanent rank crashes** — a rank dies at the entry of a given
+//!   collective phase and never participates again; peers detect the
+//!   death through send timeouts and plan knowledge (the deterministic
+//!   schedule doubles as a perfect failure detector, which is what makes
+//!   recovery protocols testable).
+//!
+//! Recovery costs are charged to [`perfbudget::Category::FaultRecovery`]
+//! so fault overhead appears as its own column of the budget tables.
+
+use std::fmt;
+
+/// Hash-domain separators so the drop / corrupt / delay decision streams
+/// are independent even for the same message coordinates.
+const KIND_DROP: u64 = 0x6472_6f70; // "drop"
+const KIND_CORRUPT: u64 = 0x636f_7272; // "corr"
+const KIND_DELAY: u64 = 0x6465_6c61; // "dela"
+
+/// A permanent rank crash: `rank` dies at the entry of global collective
+/// phase `at_phase` (0-based) and never participates again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The rank that dies.
+    pub rank: usize,
+    /// The collective phase index at whose entry it dies.
+    pub at_phase: u64,
+}
+
+/// A compute slowdown: `rank`'s compute charges are multiplied by
+/// `factor` for phases in `[from_phase, to_phase)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownFault {
+    /// The affected rank.
+    pub rank: usize,
+    /// Compute-time multiplier (> 1 slows the node down).
+    pub factor: f64,
+    /// First affected phase.
+    pub from_phase: u64,
+    /// One past the last affected phase.
+    pub to_phase: u64,
+}
+
+/// A transient collective-entry failure: `rank`'s entry into phase
+/// `phase` fails `failures` times before succeeding; each failed attempt
+/// charges one step of exponential backoff as simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeFault {
+    /// The affected rank.
+    pub rank: usize,
+    /// The collective phase whose entry fails.
+    pub phase: u64,
+    /// Number of failed attempts before success.
+    pub failures: u32,
+}
+
+/// A forced single-message drop: the *first* transmission attempt of the
+/// message `(phase, src, dst)` is lost (retransmissions succeed unless
+/// the probabilistic streams also fire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFault {
+    /// Phase the message is sent in.
+    pub phase: u64,
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+}
+
+/// A deterministic, seeded fault schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_rate: f64,
+    corrupt_rate: f64,
+    delay_rate: f64,
+    delay_s: f64,
+    crashes: Vec<CrashFault>,
+    slowdowns: Vec<SlowdownFault>,
+    exchange_faults: Vec<ExchangeFault>,
+    forced_drops: Vec<MessageFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying `seed` for the probabilistic streams.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Probability that any single transmission attempt is dropped.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Probability that any single transmission attempt arrives corrupted
+    /// (detected by the receiver and NACKed).
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Probability that a delivery is delayed by `delay_s` extra seconds.
+    pub fn with_delay(mut self, rate: f64, delay_s: f64) -> Self {
+        self.delay_rate = rate;
+        self.delay_s = delay_s;
+        self
+    }
+
+    /// Add a permanent crash of `rank` at phase `at_phase`.
+    pub fn with_crash(mut self, rank: usize, at_phase: u64) -> Self {
+        self.crashes.push(CrashFault { rank, at_phase });
+        self
+    }
+
+    /// Add a compute slowdown of `rank` by `factor` over `[from, to)`.
+    pub fn with_slowdown(
+        mut self,
+        rank: usize,
+        factor: f64,
+        from_phase: u64,
+        to_phase: u64,
+    ) -> Self {
+        self.slowdowns.push(SlowdownFault {
+            rank,
+            factor,
+            from_phase,
+            to_phase,
+        });
+        self
+    }
+
+    /// Add `failures` transient entry failures for `rank` at `phase`.
+    pub fn with_exchange_failure(mut self, rank: usize, phase: u64, failures: u32) -> Self {
+        self.exchange_faults.push(ExchangeFault {
+            rank,
+            phase,
+            failures,
+        });
+        self
+    }
+
+    /// Force the first attempt of message `(phase, src, dst)` to drop.
+    pub fn with_forced_drop(mut self, phase: u64, src: usize, dst: usize) -> Self {
+        self.forced_drops.push(MessageFault { phase, src, dst });
+        self
+    }
+
+    /// Whether the plan injects nothing (the fast path can skip all
+    /// fault bookkeeping).
+    pub fn is_empty(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.crashes.is_empty()
+            && self.slowdowns.is_empty()
+            && self.exchange_faults.is_empty()
+            && self.forced_drops.is_empty()
+    }
+
+    /// Validate against a rank count. Returns a human-readable reason on
+    /// the first malformed entry.
+    pub fn validate(&self, nranks: usize) -> Result<(), String> {
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r) && r.is_finite();
+        if !rate_ok(self.drop_rate) {
+            return Err(format!("drop rate {} outside [0, 1]", self.drop_rate));
+        }
+        if !rate_ok(self.corrupt_rate) {
+            return Err(format!("corrupt rate {} outside [0, 1]", self.corrupt_rate));
+        }
+        if !rate_ok(self.delay_rate) {
+            return Err(format!("delay rate {} outside [0, 1]", self.delay_rate));
+        }
+        if !(self.delay_s >= 0.0 && self.delay_s.is_finite()) {
+            return Err(format!("delay {}s must be finite and >= 0", self.delay_s));
+        }
+        for c in &self.crashes {
+            if c.rank >= nranks {
+                return Err(format!("crash of rank {} with only {nranks} ranks", c.rank));
+            }
+        }
+        for s in &self.slowdowns {
+            if s.rank >= nranks {
+                return Err(format!(
+                    "slowdown of rank {} with only {nranks} ranks",
+                    s.rank
+                ));
+            }
+            if !(s.factor >= 1.0 && s.factor.is_finite()) {
+                return Err(format!(
+                    "slowdown factor {} must be finite and >= 1",
+                    s.factor
+                ));
+            }
+            if s.from_phase >= s.to_phase {
+                return Err(format!(
+                    "slowdown window [{}, {}) is empty",
+                    s.from_phase, s.to_phase
+                ));
+            }
+        }
+        for e in &self.exchange_faults {
+            if e.rank >= nranks {
+                return Err(format!(
+                    "exchange failure of rank {} with only {nranks} ranks",
+                    e.rank
+                ));
+            }
+        }
+        for m in &self.forced_drops {
+            if m.src >= nranks || m.dst >= nranks {
+                return Err(format!(
+                    "forced drop {} -> {} with only {nranks} ranks",
+                    m.src, m.dst
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The phase at which `rank` crashes, if scheduled (earliest wins).
+    pub fn crash_phase(&self, rank: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.at_phase)
+            .min()
+    }
+
+    /// Whether `rank` is dead at the entry of `phase`.
+    pub fn crashed(&self, rank: usize, phase: u64) -> bool {
+        self.crash_phase(rank).is_some_and(|p| phase >= p)
+    }
+
+    /// Ranks (of `nranks`) dead at the entry of `phase`, ascending.
+    pub fn crashed_by(&self, phase: u64, nranks: usize) -> Vec<usize> {
+        (0..nranks).filter(|&r| self.crashed(r, phase)).collect()
+    }
+
+    /// Number of ranks still alive at the entry of `phase`.
+    pub fn alive_at(&self, phase: u64, nranks: usize) -> usize {
+        nranks - self.crashed_by(phase, nranks).len()
+    }
+
+    /// Compute-time multiplier for `rank` during `phase` (product of all
+    /// active slowdown windows; 1.0 when none).
+    pub fn slowdown_factor(&self, rank: usize, phase: u64) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|s| s.rank == rank && (s.from_phase..s.to_phase).contains(&phase))
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Transient entry failures scheduled for `rank` at `phase`.
+    pub fn exchange_failures(&self, rank: usize, phase: u64) -> u32 {
+        self.exchange_faults
+            .iter()
+            .filter(|e| e.rank == rank && e.phase == phase)
+            .map(|e| e.failures)
+            .sum()
+    }
+
+    /// Whether transmission attempt `attempt` of message
+    /// `(phase, src, dst, seq)` is dropped.
+    pub fn drops(&self, phase: u64, src: usize, dst: usize, seq: usize, attempt: u32) -> bool {
+        if attempt == 0
+            && self
+                .forced_drops
+                .iter()
+                .any(|m| m.phase == phase && m.src == src && m.dst == dst)
+        {
+            return true;
+        }
+        self.drop_rate > 0.0
+            && self.decision(KIND_DROP, phase, src, dst, seq, attempt) < self.drop_rate
+    }
+
+    /// Whether transmission attempt `attempt` arrives corrupted.
+    pub fn corrupts(&self, phase: u64, src: usize, dst: usize, seq: usize, attempt: u32) -> bool {
+        self.corrupt_rate > 0.0
+            && self.decision(KIND_CORRUPT, phase, src, dst, seq, attempt) < self.corrupt_rate
+    }
+
+    /// Extra delivery delay of attempt `attempt`, seconds (0.0 if the
+    /// delay stream does not fire).
+    pub fn delay(&self, phase: u64, src: usize, dst: usize, seq: usize, attempt: u32) -> f64 {
+        if self.delay_rate > 0.0
+            && self.decision(KIND_DELAY, phase, src, dst, seq, attempt) < self.delay_rate
+        {
+            self.delay_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The pure decision function: a uniform value in `[0, 1)` derived
+    /// from the seed and the message coordinates. SplitMix64 finalizer
+    /// over an FNV-style fold — deterministic, order-independent.
+    fn decision(
+        &self,
+        kind: u64,
+        phase: u64,
+        src: usize,
+        dst: usize,
+        seq: usize,
+        attempt: u32,
+    ) -> f64 {
+        let mut h = self.seed ^ kind.wrapping_mul(0x9e3779b97f4a7c15);
+        for v in [phase, src as u64, dst as u64, seq as u64, attempt as u64] {
+            h ^= v.wrapping_add(0x9e3779b97f4a7c15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+            h ^= h >> 31;
+        }
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Retry/timeout policy for faulty communication, all costs in
+/// *simulated* seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per message (and maximum collective
+    /// entry attempts) before giving up. Must be at least 1.
+    pub max_attempts: u32,
+    /// Time a sender waits for a missing acknowledgement before deciding
+    /// the message (or the peer) is lost.
+    pub ack_timeout_s: f64,
+    /// Base backoff charged before the first retransmission.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further attempt.
+    pub backoff_mult: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            ack_timeout_s: 2e-3,
+            backoff_base_s: 200e-6,
+            backoff_mult: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retransmission attempt `attempt` (1-based:
+    /// the first retry waits the base backoff).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * self.backoff_mult.powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// Validate the policy. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".to_string());
+        }
+        for (name, v) in [
+            ("ack_timeout_s", self.ack_timeout_s),
+            ("backoff_base_s", self.backoff_base_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if !(self.backoff_mult >= 1.0 && self.backoff_mult.is_finite()) {
+            return Err(format!(
+                "backoff_mult = {} must be finite and >= 1",
+                self.backoff_mult
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Typed communication errors surfaced by the [`crate::spmd::Ctx`]
+/// collectives (replacing the previous panics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// This rank is dead per the fault plan (permanent crash).
+    Crashed {
+        /// The crashed rank.
+        rank: usize,
+        /// The phase at whose entry it died.
+        phase: u64,
+    },
+    /// A collective entry kept failing past the retry budget.
+    RetriesExhausted {
+        /// The affected rank.
+        rank: usize,
+        /// The collective phase.
+        phase: u64,
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+    },
+    /// A message named a destination rank outside `0..nranks`.
+    InvalidRank {
+        /// The offending destination.
+        rank: usize,
+        /// The run's rank count.
+        nranks: usize,
+    },
+    /// Ranks disagreed on the payload type within one exchange phase.
+    TypeMismatch {
+        /// The phase in which the mismatch was detected.
+        phase: u64,
+    },
+    /// A broadcast value never reached this rank (root crashed or the
+    /// forwarding messages were all lost).
+    BroadcastLost {
+        /// Broadcast root.
+        root: usize,
+        /// Phase at which the loss was detected.
+        phase: u64,
+    },
+    /// A collective received fewer contributions than it requires
+    /// (messages lost past the retry budget, or contributing peers dead).
+    Incomplete {
+        /// Contributions the collective needs.
+        expected: usize,
+        /// Contributions that actually arrived.
+        got: usize,
+    },
+    /// An internal protocol invariant failed (mixed collective kinds,
+    /// missing phase output). Indicates a caller-side collective
+    /// mismatch, e.g. ranks calling different collectives in one phase.
+    Protocol {
+        /// Human-readable description.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Crashed { rank, phase } => {
+                write!(f, "rank {rank} crashed at phase {phase}")
+            }
+            CommError::RetriesExhausted {
+                rank,
+                phase,
+                attempts,
+            } => write!(
+                f,
+                "rank {rank} exhausted {attempts} attempts entering phase {phase}"
+            ),
+            CommError::InvalidRank { rank, nranks } => {
+                write!(f, "message addressed to rank {rank} of {nranks}")
+            }
+            CommError::TypeMismatch { phase } => {
+                write!(f, "message type mismatch in phase {phase}")
+            }
+            CommError::BroadcastLost { root, phase } => {
+                write!(f, "broadcast from rank {root} lost by phase {phase}")
+            }
+            CommError::Incomplete { expected, got } => {
+                write!(f, "collective received {got} of {expected} contributions")
+            }
+            CommError::Protocol { detail } => write!(f, "collective protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Errors from [`crate::spmd::run_spmd`] itself (configuration and
+/// executor-level failures, as opposed to per-rank [`CommError`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpmdError {
+    /// `nranks` was zero.
+    NoRanks,
+    /// More ranks than the machine has nodes.
+    TooManyRanks {
+        /// Requested ranks.
+        nranks: usize,
+        /// Available nodes.
+        nodes: usize,
+        /// Machine name, for the message.
+        machine: &'static str,
+    },
+    /// The retry policy failed validation.
+    InvalidRetryPolicy {
+        /// Reason.
+        detail: String,
+    },
+    /// The fault plan failed validation.
+    InvalidFaultPlan {
+        /// Reason.
+        detail: String,
+    },
+    /// A rank's body panicked (caught; surviving ranks were unblocked).
+    RankPanicked {
+        /// The rank whose body panicked.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::NoRanks => write!(f, "need at least one rank"),
+            SpmdError::TooManyRanks {
+                nranks,
+                nodes,
+                machine,
+            } => write!(f, "{nranks} ranks exceed {nodes} nodes of {machine}"),
+            SpmdError::InvalidRetryPolicy { detail } => write!(f, "invalid retry policy: {detail}"),
+            SpmdError::InvalidFaultPlan { detail } => write!(f, "invalid fault plan: {detail}"),
+            SpmdError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Per-phase injected-fault counters, recorded on every
+/// [`crate::spmd::PhaseRecord`] so fault cost is visible phase by phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseFaults {
+    /// Transmission attempts dropped by the link layer.
+    pub drops: u32,
+    /// Transmission attempts delivered corrupted (and NACKed).
+    pub corruptions: u32,
+    /// Deliveries hit by the extra-delay stream.
+    pub delays: u32,
+    /// Retransmissions performed.
+    pub retransmissions: u32,
+    /// Messages abandoned after the full retry budget.
+    pub undelivered: u32,
+    /// Sends abandoned because the destination rank was dead.
+    pub dead_destinations: u32,
+    /// Total simulated seconds charged to fault recovery in the phase
+    /// (timeouts + backoff, summed over ranks).
+    pub fault_s: f64,
+}
+
+impl PhaseFaults {
+    /// Elementwise accumulate.
+    pub fn absorb(&mut self, o: &PhaseFaults) {
+        self.drops += o.drops;
+        self.corruptions += o.corruptions;
+        self.delays += o.delays;
+        self.retransmissions += o.retransmissions;
+        self.undelivered += o.undelivered;
+        self.dead_destinations += o.dead_destinations;
+        self.fault_s += o.fault_s;
+    }
+
+    /// Whether any event was recorded.
+    pub fn any(&self) -> bool {
+        self.drops > 0
+            || self.corruptions > 0
+            || self.delays > 0
+            || self.retransmissions > 0
+            || self.undelivered > 0
+            || self.dead_destinations > 0
+            || self.fault_s > 0.0
+    }
+}
+
+/// Whole-run fault summary, aggregated from the phase records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Sum of all per-phase counters.
+    pub totals: PhaseFaults,
+    /// Ranks that crashed during the run, ascending.
+    pub crashed_ranks: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.drops(0, 0, 1, 0, 0));
+        assert!(!p.corrupts(0, 0, 1, 0, 0));
+        assert_eq!(p.delay(0, 0, 1, 0, 0), 0.0);
+        assert_eq!(p.slowdown_factor(3, 7), 1.0);
+        assert_eq!(p.exchange_failures(0, 0), 0);
+        assert!(p.crash_phase(0).is_none());
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42).with_drop_rate(0.5);
+        let b = FaultPlan::seeded(42).with_drop_rate(0.5);
+        let c = FaultPlan::seeded(43).with_drop_rate(0.5);
+        let coords: Vec<bool> = (0..64u64).map(|p| a.drops(p, 1, 2, 3, 0)).collect();
+        assert_eq!(
+            coords,
+            (0..64u64)
+                .map(|p| b.drops(p, 1, 2, 3, 0))
+                .collect::<Vec<_>>()
+        );
+        let other: Vec<bool> = (0..64u64).map(|p| c.drops(p, 1, 2, 3, 0)).collect();
+        assert_ne!(coords, other, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let p = FaultPlan::seeded(7).with_drop_rate(0.25);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&i| p.drops(i as u64, i % 5, (i + 1) % 5, i % 11, 0))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn drop_and_corrupt_streams_are_independent() {
+        let p = FaultPlan::seeded(9)
+            .with_drop_rate(0.5)
+            .with_corrupt_rate(0.5);
+        let both = (0..2000u64)
+            .filter(|&i| p.drops(i, 0, 1, 0, 0) && p.corrupts(i, 0, 1, 0, 0))
+            .count();
+        // Independent 0.5 streams coincide ~25% of the time, not 0 or 50%.
+        assert!((both as f64 / 2000.0 - 0.25).abs() < 0.06);
+    }
+
+    #[test]
+    fn forced_drop_hits_only_first_attempt() {
+        let p = FaultPlan::none().with_forced_drop(3, 1, 2);
+        assert!(p.drops(3, 1, 2, 0, 0));
+        assert!(!p.drops(3, 1, 2, 0, 1));
+        assert!(!p.drops(3, 2, 1, 0, 0));
+        assert!(!p.drops(4, 1, 2, 0, 0));
+    }
+
+    #[test]
+    fn crash_schedule_queries() {
+        let p = FaultPlan::none().with_crash(2, 5).with_crash(0, 9);
+        assert_eq!(p.crash_phase(2), Some(5));
+        assert!(!p.crashed(2, 4));
+        assert!(p.crashed(2, 5));
+        assert!(p.crashed(2, 6));
+        assert_eq!(p.crashed_by(5, 4), vec![2]);
+        assert_eq!(p.crashed_by(9, 4), vec![0, 2]);
+        assert_eq!(p.alive_at(9, 4), 2);
+    }
+
+    #[test]
+    fn slowdown_window_and_stacking() {
+        let p = FaultPlan::none()
+            .with_slowdown(1, 2.0, 3, 6)
+            .with_slowdown(1, 1.5, 5, 8);
+        assert_eq!(p.slowdown_factor(1, 2), 1.0);
+        assert_eq!(p.slowdown_factor(1, 3), 2.0);
+        assert_eq!(p.slowdown_factor(1, 5), 3.0);
+        assert_eq!(p.slowdown_factor(1, 7), 1.5);
+        assert_eq!(p.slowdown_factor(0, 4), 1.0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_attempts: 5,
+            ack_timeout_s: 1e-3,
+            backoff_base_s: 1e-4,
+            backoff_mult: 2.0,
+        };
+        assert!((r.backoff_s(1) - 1e-4).abs() < 1e-18);
+        assert!((r.backoff_s(2) - 2e-4).abs() < 1e-18);
+        assert!((r.backoff_s(4) - 8e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_plans() {
+        assert!(FaultPlan::none().with_drop_rate(1.5).validate(4).is_err());
+        assert!(FaultPlan::none()
+            .with_corrupt_rate(-0.1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none().with_delay(0.5, -1.0).validate(4).is_err());
+        assert!(FaultPlan::none().with_crash(4, 0).validate(4).is_err());
+        assert!(FaultPlan::none()
+            .with_slowdown(0, 0.0, 0, 1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_slowdown(0, 2.0, 5, 5)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_exchange_failure(9, 0, 1)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_forced_drop(0, 0, 7)
+            .validate(4)
+            .is_err());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            backoff_mult: 0.5,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            ack_timeout_s: f64::NAN,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

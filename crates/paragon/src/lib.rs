@@ -13,7 +13,11 @@
 //!   startup and copy costs);
 //! * **per-node memory with a paging penalty** — the mechanism behind the
 //!   superlinear speedups of Appendix B figure 9;
-//! * **per-category time accounting** feeding the `perfbudget` model.
+//! * **per-category time accounting** feeding the `perfbudget` model;
+//! * **deterministic fault injection** ([`faults::FaultPlan`]) — link
+//!   drop/corrupt/delay, transient exchange failures, node slowdowns and
+//!   permanent rank crashes, with retry/backoff costs charged as
+//!   simulated time to a dedicated fault-recovery budget category.
 //!
 //! # Model
 //!
@@ -32,13 +36,15 @@
 //! regardless of host thread scheduling.
 
 pub mod collectives;
+pub mod faults;
 pub mod machine;
 pub mod mapping;
 pub mod network;
 pub mod spmd;
 pub mod topology;
 
+pub use faults::{CommError, FaultPlan, FaultStats, PhaseFaults, RetryPolicy, SpmdError};
 pub use machine::{CpuProfile, MachineSpec, MemoryProfile, NetProfile, Ops};
 pub use mapping::Mapping;
-pub use spmd::{run_spmd, Ctx, SpmdConfig, SpmdResult};
+pub use spmd::{run_spmd, Ctx, PhaseRecord, SpmdConfig, SpmdResult};
 pub use topology::Topology;

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use crate::faults::{FaultPlan, PhaseFaults, RetryPolicy};
 use crate::machine::NetProfile;
 use crate::topology::Link;
 
@@ -95,6 +96,90 @@ impl LinkSchedule {
         // last link.
         t + transfer
     }
+
+    /// Transmit under a [`FaultPlan`]: the message is retried with
+    /// exponential backoff until it arrives uncorrupted or the retry
+    /// budget is exhausted. Every attempt (including dropped and
+    /// corrupted ones) occupies the route's links; every failed attempt
+    /// costs the sender an acknowledgement timeout plus backoff, all in
+    /// *virtual* seconds. `(phase, src, dst, seq)` are the message's
+    /// canonical coordinates feeding the plan's pure decision streams.
+    ///
+    /// Self-messages (empty route) are exempt from injection, matching
+    /// the fault model: there is no link to fail.
+    #[allow(clippy::too_many_arguments)] // the message's full canonical coordinates
+    pub fn transmit_faulty(
+        &mut self,
+        route: &[Link],
+        ready: f64,
+        bytes: usize,
+        net: &NetProfile,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+        phase: u64,
+        src: usize,
+        dst: usize,
+        seq: usize,
+    ) -> FaultyDelivery {
+        let mut events = PhaseFaults::default();
+        if route.is_empty() {
+            return FaultyDelivery {
+                arrival: Some(ready),
+                fault_s: 0.0,
+                events,
+            };
+        }
+        let mut fault_s = 0.0;
+        let mut arrival = None;
+        for attempt in 0..retry.max_attempts {
+            if attempt > 0 {
+                events.retransmissions += 1;
+            }
+            let sent = self.transmit(route, ready + fault_s, bytes, net);
+            let dropped = plan.drops(phase, src, dst, seq, attempt);
+            let corrupted = !dropped && plan.corrupts(phase, src, dst, seq, attempt);
+            if !dropped && !corrupted {
+                let extra = plan.delay(phase, src, dst, seq, attempt);
+                if extra > 0.0 {
+                    events.delays += 1;
+                }
+                arrival = Some(sent + extra);
+                break;
+            }
+            if dropped {
+                events.drops += 1;
+            } else {
+                events.corruptions += 1;
+            }
+            // The sender learns of the loss only after the ack timeout,
+            // then backs off before retransmitting.
+            fault_s += retry.ack_timeout_s;
+            if attempt + 1 < retry.max_attempts {
+                fault_s += retry.backoff_s(attempt + 1);
+            }
+        }
+        if arrival.is_none() {
+            events.undelivered += 1;
+        }
+        events.fault_s = fault_s;
+        FaultyDelivery {
+            arrival,
+            fault_s,
+            events,
+        }
+    }
+}
+
+/// Outcome of one fault-injected transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyDelivery {
+    /// Arrival time at the destination, or `None` if every attempt in
+    /// the retry budget was lost.
+    pub arrival: Option<f64>,
+    /// Virtual seconds the *sender* lost to timeouts and backoff.
+    pub fault_s: f64,
+    /// Injected-event counters for this message.
+    pub events: PhaseFaults,
 }
 
 #[cfg(test)]
@@ -173,6 +258,61 @@ mod tests {
         s.reset();
         let t = s.transmit(&[(0, 1)], 0.0, 100, &n);
         assert!((t - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulty_transmit_with_empty_plan_matches_plain() {
+        let n = net();
+        let plan = FaultPlan::none();
+        let retry = RetryPolicy::default();
+        let mut a = LinkSchedule::new();
+        let mut b = LinkSchedule::new();
+        let plain = a.transmit(&[(0, 1), (1, 2)], 1.0, 50, &n);
+        let d = b.transmit_faulty(&[(0, 1), (1, 2)], 1.0, 50, &n, &plan, &retry, 0, 0, 2, 0);
+        assert_eq!(d.arrival, Some(plain));
+        assert_eq!(d.fault_s, 0.0);
+        assert!(!d.events.any());
+    }
+
+    #[test]
+    fn faulty_transmit_retries_after_forced_drop() {
+        let n = net();
+        let plan = FaultPlan::none().with_forced_drop(3, 0, 1);
+        let retry = RetryPolicy::default();
+        let mut s = LinkSchedule::new();
+        let d = s.transmit_faulty(&[(0, 1)], 0.0, 10, &n, &plan, &retry, 3, 0, 1, 0);
+        let fault = retry.ack_timeout_s + retry.backoff_s(1);
+        assert_eq!(d.events.drops, 1);
+        assert_eq!(d.events.retransmissions, 1);
+        assert!((d.fault_s - fault).abs() < 1e-15);
+        // The dropped attempt occupied the link until t=2 (per_hop +
+        // transfer), so the retry serializes behind it: 2 + 1 + 1.
+        let arrival = d.arrival.expect("retransmission succeeds");
+        assert!((arrival - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulty_transmit_gives_up_after_budget() {
+        let n = net();
+        let plan = FaultPlan::seeded(5).with_drop_rate(1.0);
+        let retry = RetryPolicy::default();
+        let mut s = LinkSchedule::new();
+        let d = s.transmit_faulty(&[(0, 1)], 0.0, 10, &n, &plan, &retry, 0, 0, 1, 0);
+        assert_eq!(d.arrival, None);
+        assert_eq!(d.events.drops, retry.max_attempts);
+        assert_eq!(d.events.undelivered, 1);
+        assert!(d.fault_s > 0.0);
+    }
+
+    #[test]
+    fn faulty_transmit_exempts_self_messages() {
+        let n = net();
+        let plan = FaultPlan::seeded(5).with_drop_rate(1.0);
+        let retry = RetryPolicy::default();
+        let mut s = LinkSchedule::new();
+        let d = s.transmit_faulty(&[], 2.0, 10, &n, &plan, &retry, 0, 0, 0, 0);
+        assert_eq!(d.arrival, Some(2.0));
+        assert!(!d.events.any());
     }
 
     #[test]

@@ -6,6 +6,29 @@
 //! messages). Arrival times are resolved once all ranks have entered the
 //! phase, in a canonical message order, making virtual-time results
 //! deterministic and independent of host scheduling.
+//!
+//! # Faults
+//!
+//! A [`FaultPlan`] on the [`SpmdConfig`] injects link faults, transient
+//! collective-entry failures, node slowdowns and permanent rank crashes
+//! (see [`crate::faults`]). All collectives therefore return
+//! `Result<_, CommError>`; a crashed rank's body observes
+//! [`CommError::Crashed`] at its death phase and unwinds with `?`.
+//!
+//! Rank death never deadlocks the survivors: the phase barrier counts
+//! only *live* ranks, and a rank that crashes, aborts with an error or
+//! panics withdraws itself from the count under the board lock,
+//! completing the phase if it was the last one pending. Because crashes
+//! come from the shared deterministic plan, every survivor can derive
+//! the same dead set without communication — the plan doubles as a
+//! perfect failure detector, which is what makes recovery protocols
+//! built on top of this layer (see `dwt-mimd`) both testable and
+//! deterministic.
+//!
+//! Fault costs — acknowledgement timeouts, exponential backoff, crash
+//! timeouts — are charged to [`Category::FaultRecovery`] so they appear
+//! as their own column in the budget tables, and per-phase injected
+//! events are recorded on each [`PhaseRecord`].
 
 use std::any::Any;
 use std::sync::Arc;
@@ -13,6 +36,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 use perfbudget::{BudgetReport, Category, RankBudget};
 
+use crate::faults::{CommError, FaultPlan, FaultStats, PhaseFaults, RetryPolicy, SpmdError};
 use crate::machine::{MachineSpec, Ops};
 use crate::mapping::Mapping;
 use crate::network::LinkSchedule;
@@ -26,19 +50,53 @@ pub struct SpmdConfig {
     pub nranks: usize,
     /// Rank → node placement.
     pub mapping: Mapping,
+    /// Fault schedule to inject (empty by default).
+    pub faults: FaultPlan,
+    /// Retry/timeout policy used when faults are injected.
+    pub retry: RetryPolicy,
+}
+
+impl SpmdConfig {
+    /// A fault-free configuration (the common case).
+    pub fn new(machine: MachineSpec, nranks: usize, mapping: Mapping) -> Self {
+        SpmdConfig {
+            machine,
+            nranks,
+            mapping,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Attach a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the retry/timeout policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// Result of an SPMD run: per-rank outputs and time accounting.
 #[derive(Debug)]
 pub struct SpmdResult<T> {
-    /// Per-rank return values, indexed by rank.
-    pub outputs: Vec<T>,
-    /// Per-rank budgets, indexed by rank.
+    /// Per-rank results, indexed by rank. A rank that crashed or aborted
+    /// carries the [`CommError`] it died with; survivors carry their
+    /// return values.
+    pub outputs: Vec<Result<T, CommError>>,
+    /// Per-rank budgets, indexed by rank (a crashed rank's budget stops
+    /// at its death time).
     pub budgets: Vec<RankBudget>,
     /// Network contention diagnostics for the whole run.
     pub net: crate::network::LinkStats,
     /// One record per collective phase, in program order.
     pub timeline: Vec<PhaseRecord>,
+    /// Aggregated injected-fault summary (all zero on fault-free runs).
+    pub faults: FaultStats,
 }
 
 /// Compact summary of one collective phase (for post-run analysis of
@@ -47,6 +105,8 @@ pub struct SpmdResult<T> {
 pub struct PhaseRecord {
     /// Whether the phase was a barrier.
     pub barrier: bool,
+    /// Ranks that entered the phase (live ranks; dead ones are absent).
+    pub participants: u32,
     /// Messages exchanged in the phase.
     pub messages: u32,
     /// Total payload bytes.
@@ -57,6 +117,8 @@ pub struct PhaseRecord {
     pub latest_entry: f64,
     /// Latest rank exit time.
     pub latest_exit: f64,
+    /// Injected-fault events resolved in this phase.
+    pub faults: PhaseFaults,
 }
 
 impl<T> SpmdResult<T> {
@@ -70,7 +132,24 @@ impl<T> SpmdResult<T> {
 
     /// Aggregate performance budget (Appendix B model).
     pub fn report(&self) -> BudgetReport {
-        BudgetReport::from_ranks(&self.budgets).expect("at least one rank")
+        // `run_spmd` validates nranks >= 1, so this is never the
+        // zeroed default in practice.
+        BudgetReport::from_ranks(&self.budgets).unwrap_or_default()
+    }
+
+    /// All per-rank outputs if every rank succeeded, else the first
+    /// (lowest-rank) error. The common accessor for fault-free runs.
+    pub fn ok_outputs(self) -> Result<Vec<T>, CommError> {
+        self.outputs.into_iter().collect()
+    }
+
+    /// Ranks that completed successfully, as `(rank, output)` pairs.
+    pub fn survivors(self) -> Vec<(usize, T)> {
+        self.outputs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(r, o)| o.ok().map(|v| (r, v)))
+            .collect()
     }
 }
 
@@ -79,6 +158,10 @@ type Payload = Box<dyn Any + Send>;
 struct OutMsg {
     dst: usize,
     bytes: usize,
+    /// Control-plane messages bypass drop/corrupt/delay injection (a
+    /// hardened, acknowledged channel); they still cannot reach dead
+    /// ranks.
+    reliable: bool,
     payload: Payload,
 }
 
@@ -92,6 +175,8 @@ struct PhaseOut {
     exit_time: f64,
     /// Portion of the phase spent idling for slower peers (barriers).
     wait: f64,
+    /// Portion spent on fault handling (timeouts, backoff).
+    fault_s: f64,
     /// `(src, payload)` ordered by (arrival, src).
     inbox: Vec<(usize, Payload)>,
 }
@@ -99,10 +184,19 @@ struct PhaseOut {
 struct Board {
     gen: u64,
     arrived: usize,
+    /// Ranks permanently withdrawn (crashed per the plan, aborted with
+    /// an error, or panicked). Never cleared.
+    dead: Vec<bool>,
     entries: Vec<Option<Entry>>,
     outputs: Vec<Option<PhaseOut>>,
     links: LinkSchedule,
     timeline: Vec<PhaseRecord>,
+}
+
+impl Board {
+    fn live(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
 }
 
 struct Shared {
@@ -110,8 +204,29 @@ struct Shared {
     nranks: usize,
     /// rank → node table.
     nodes: Vec<usize>,
+    faults: FaultPlan,
+    retry: RetryPolicy,
     board: Mutex<Board>,
     cv: Condvar,
+}
+
+/// Permanently withdraw `rank` from all future collectives. If the
+/// withdrawal makes the currently pending phase complete (every other
+/// live rank is already waiting in it), resolve the phase so the
+/// survivors are not stuck waiting for a dead peer.
+fn mark_dead(shared: &Shared, rank: usize) {
+    let mut board = shared.board.lock();
+    if board.dead[rank] {
+        return;
+    }
+    board.dead[rank] = true;
+    let live = board.live();
+    if live > 0 && board.arrived == live {
+        resolve(shared, &mut board);
+        board.arrived = 0;
+        board.gen += 1;
+        shared.cv.notify_all();
+    }
 }
 
 /// Per-rank execution context handed to the SPMD closure.
@@ -120,6 +235,9 @@ pub struct Ctx {
     clock: f64,
     budget: RankBudget,
     working_set: usize,
+    /// Collective phases this rank has entered so far; equals the global
+    /// phase index at each entry (collectives keep ranks in lockstep).
+    phases_entered: u64,
     shared: Arc<Shared>,
 }
 
@@ -144,6 +262,18 @@ impl Ctx {
         &self.shared.machine
     }
 
+    /// The fault schedule this run executes under. Rank programs may
+    /// consult it to anticipate deaths — the deterministic plan is a
+    /// perfect failure detector shared by all ranks.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.faults
+    }
+
+    /// Index of the next collective phase this rank will enter.
+    pub fn next_phase(&self) -> u64 {
+        self.phases_entered
+    }
+
     /// Accumulated budget so far.
     pub fn budget(&self) -> &RankBudget {
         &self.budget
@@ -163,7 +293,9 @@ impl Ctx {
 
     /// Charge computation to an explicit category. The charge is scaled
     /// by the paging factor of the declared working set and by this
-    /// node's physical speed factor (the §5.4 cooling gradient).
+    /// node's physical speed factor (the §5.4 cooling gradient). An
+    /// active [`FaultPlan`] slowdown charges its excess time to
+    /// [`Category::FaultRecovery`] so degraded-node cost is visible.
     pub fn charge_as(&mut self, ops: Ops, cat: Category) {
         let base = self.shared.machine.cpu.seconds(ops);
         let paging = self.shared.machine.mem.paging_factor(self.working_set);
@@ -171,7 +303,15 @@ impl Ctx {
             .shared
             .machine
             .node_speed_factor(self.shared.nodes[self.rank]);
-        self.charge_seconds(base * paging * thermal, cat);
+        let t = base * paging * thermal;
+        self.charge_seconds(t, cat);
+        let slow = self
+            .shared
+            .faults
+            .slowdown_factor(self.rank, self.phases_entered);
+        if slow > 1.0 {
+            self.charge_seconds(t * (slow - 1.0), Category::FaultRecovery);
+        }
     }
 
     /// Charge raw virtual seconds to a category.
@@ -181,8 +321,50 @@ impl Ctx {
         self.budget.charge(cat, seconds);
     }
 
+    /// Withdraw this rank from all future collectives so that peers
+    /// never block waiting for it. Called automatically when a rank body
+    /// returns an error or panics; call it directly before an early
+    /// `Ok` return from a rank that stops phasing while peers continue.
+    pub fn abort(&mut self) {
+        mark_dead(&self.shared, self.rank);
+    }
+
     /// Enter a collective phase; returns this rank's result.
-    fn phase(&mut self, is_barrier: bool, msgs: Vec<OutMsg>) -> Vec<(usize, Payload)> {
+    fn phase(
+        &mut self,
+        is_barrier: bool,
+        msgs: Vec<OutMsg>,
+    ) -> Result<Vec<(usize, Payload)>, CommError> {
+        let phase_id = self.phases_entered;
+        self.phases_entered += 1;
+
+        // A plan-scheduled permanent crash fires at phase entry: the
+        // rank withdraws and its body unwinds with the error.
+        if self.shared.faults.crashed(self.rank, phase_id) {
+            mark_dead(&self.shared, self.rank);
+            return Err(CommError::Crashed {
+                rank: self.rank,
+                phase: phase_id,
+            });
+        }
+
+        // Transient entry failures: each failed attempt costs one step
+        // of exponential backoff in simulated time (delaying this rank's
+        // entry, which peers observe as imbalance).
+        let failures = self.shared.faults.exchange_failures(self.rank, phase_id);
+        if failures > 0 {
+            if failures >= self.shared.retry.max_attempts {
+                mark_dead(&self.shared, self.rank);
+                return Err(CommError::RetriesExhausted {
+                    rank: self.rank,
+                    phase: phase_id,
+                    attempts: self.shared.retry.max_attempts,
+                });
+            }
+            let backoff: f64 = (1..=failures).map(|a| self.shared.retry.backoff_s(a)).sum();
+            self.charge_seconds(backoff, Category::FaultRecovery);
+        }
+
         let entry = Entry {
             entry_time: self.clock,
             is_barrier,
@@ -194,7 +376,7 @@ impl Ctx {
         debug_assert!(board.entries[self.rank].is_none(), "collective mismatch");
         board.entries[self.rank] = Some(entry);
         board.arrived += 1;
-        if board.arrived == self.shared.nranks {
+        if board.arrived == board.live() {
             resolve(&shared, &mut board);
             board.arrived = 0;
             board.gen += 1;
@@ -204,75 +386,115 @@ impl Ctx {
                 shared.cv.wait(&mut board);
             }
         }
-        let out = board.outputs[self.rank]
-            .take()
-            .expect("phase output present exactly once per rank");
+        let out = board.outputs[self.rank].take().ok_or(CommError::Protocol {
+            detail: "phase output missing (mismatched collectives across ranks)",
+        })?;
         drop(board);
         let total = (out.exit_time - self.clock).max(0.0);
         let wait = out.wait.min(total);
+        let fault = out.fault_s.min(total - wait);
         self.clock = out.exit_time.max(self.clock);
         self.budget.charge(Category::ImbalanceWait, wait);
-        self.budget.charge(Category::Communication, total - wait);
-        out.inbox
+        self.budget.charge(Category::FaultRecovery, fault);
+        self.budget
+            .charge(Category::Communication, total - wait - fault);
+        Ok(out.inbox)
     }
 
-    /// BSP-style message exchange. Every rank must call this (a
+    fn exchange_impl<M: Send + 'static>(
+        &mut self,
+        msgs: Vec<(usize, M, usize)>,
+        reliable: bool,
+    ) -> Result<Vec<(usize, M)>, CommError> {
+        let n = self.shared.nranks;
+        let mut out = Vec::with_capacity(msgs.len());
+        for (dst, value, bytes) in msgs {
+            if dst >= n {
+                return Err(CommError::InvalidRank {
+                    rank: dst,
+                    nranks: n,
+                });
+            }
+            out.push(OutMsg {
+                dst,
+                bytes,
+                reliable,
+                payload: Box::new(value),
+            });
+        }
+        let inbox = self.phase(false, out)?;
+        let mut res = Vec::with_capacity(inbox.len());
+        for (src, p) in inbox {
+            match p.downcast::<M>() {
+                Ok(v) => res.push((src, *v)),
+                Err(_) => {
+                    return Err(CommError::TypeMismatch {
+                        phase: self.phases_entered - 1,
+                    })
+                }
+            }
+        }
+        Ok(res)
+    }
+
+    /// BSP-style message exchange. Every live rank must call this (a
     /// collective); pass an empty vector to participate without sending.
     /// Each outgoing message is `(dst, value, bytes)` where `bytes` is
     /// its wire size. Returns received `(src, value)` pairs ordered by
-    /// arrival time.
-    ///
-    /// # Panics
-    ///
-    /// Panics (on the receiving side) if ranks disagree on the message
-    /// type `M` within one phase, or if `dst` is out of range.
-    pub fn exchange<M: Send + 'static>(&mut self, msgs: Vec<(usize, M, usize)>) -> Vec<(usize, M)> {
-        let n = self.shared.nranks;
-        let out: Vec<OutMsg> = msgs
-            .into_iter()
-            .map(|(dst, value, bytes)| {
-                assert!(dst < n, "message to rank {dst} of {n}");
-                OutMsg {
-                    dst,
-                    bytes,
-                    payload: Box::new(value),
-                }
-            })
-            .collect();
-        self.phase(false, out)
-            .into_iter()
-            .map(|(src, p)| {
-                let value = p
-                    .downcast::<M>()
-                    .expect("all ranks must exchange the same message type");
-                (src, *value)
-            })
-            .collect()
+    /// arrival time. Under an active fault plan, messages lost past the
+    /// retry budget are simply absent from the receiver's inbox — the
+    /// receiver cannot distinguish "never sent" from "undeliverable".
+    pub fn exchange<M: Send + 'static>(
+        &mut self,
+        msgs: Vec<(usize, M, usize)>,
+    ) -> Result<Vec<(usize, M)>, CommError> {
+        self.exchange_impl(msgs, false)
     }
 
-    /// Global barrier. Every rank's clock advances to the common exit
-    /// time (max entry time plus a tree fan-in/fan-out cost).
-    pub fn barrier(&mut self) {
-        let inbox = self.phase(true, Vec::new());
+    /// Like [`Ctx::exchange`] but on the hardened control channel:
+    /// drop/corrupt/delay injection does not apply (modelling an
+    /// acknowledged, checksummed control plane), though messages to dead
+    /// ranks still time out undelivered. Recovery protocols use this for
+    /// membership votes so control flow never diverges across survivors.
+    pub fn exchange_reliable<M: Send + 'static>(
+        &mut self,
+        msgs: Vec<(usize, M, usize)>,
+    ) -> Result<Vec<(usize, M)>, CommError> {
+        self.exchange_impl(msgs, true)
+    }
+
+    /// Global barrier among live ranks. Every participant's clock
+    /// advances to the common exit time (max entry time plus a tree
+    /// fan-in/fan-out cost).
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let inbox = self.phase(true, Vec::new())?;
         debug_assert!(inbox.is_empty());
+        Ok(())
     }
 
     /// Binomial-tree broadcast from `root`. The root passes
     /// `Some(value)`; all other ranks pass `None`. `bytes` is the wire
-    /// size of the value. Collective.
+    /// size of the value. Collective. Fails with
+    /// [`CommError::BroadcastLost`] on a rank whose copy of the value
+    /// was lost (its forwarder crashed or the messages dropped).
     pub fn broadcast<M: Send + Clone + 'static>(
         &mut self,
         root: usize,
         value: Option<M>,
         bytes: usize,
-    ) -> M {
+    ) -> Result<M, CommError> {
         let n = self.shared.nranks;
-        assert!(root < n, "broadcast root {root} of {n}");
-        assert_eq!(
-            self.rank == root,
-            value.is_some(),
-            "exactly the root must supply the broadcast value"
-        );
+        if root >= n {
+            return Err(CommError::InvalidRank {
+                rank: root,
+                nranks: n,
+            });
+        }
+        if (self.rank == root) != value.is_some() {
+            return Err(CommError::Protocol {
+                detail: "exactly the root must supply the broadcast value",
+            });
+        }
         let mut have = value;
         // Virtual rank relative to the root.
         let vr = (self.rank + n - root) % n;
@@ -281,31 +503,53 @@ impl Ctx {
             let bit = 1usize << k;
             let mut out = Vec::new();
             if vr < bit && vr + bit < n {
-                let dst = (vr + bit + root) % n;
-                let v = have.clone().expect("sender in round k has the value");
-                out.push((dst, v, bytes));
+                if let Some(v) = have.clone() {
+                    let dst = (vr + bit + root) % n;
+                    out.push((dst, v, bytes));
+                }
+                // A sender whose own copy was lost cannot forward; its
+                // subtree detects the loss on receive below.
             }
-            let mut inbox = self.exchange(out);
-            if let Some((_, v)) = inbox.pop() {
-                debug_assert!(have.is_none());
-                have = Some(v);
+            let mut inbox = self.exchange(out)?;
+            let expecting = vr >= bit && vr < 2 * bit;
+            match inbox.pop() {
+                Some((_, v)) => {
+                    debug_assert!(have.is_none());
+                    have = Some(v);
+                }
+                None if expecting => {
+                    return Err(CommError::BroadcastLost {
+                        root,
+                        phase: self.phases_entered - 1,
+                    })
+                }
+                None => {}
             }
         }
-        have.expect("broadcast reaches every rank")
+        have.ok_or(CommError::BroadcastLost {
+            root,
+            phase: self.phases_entered,
+        })
     }
 
     /// Gather to `root`: every rank contributes `value`; the root gets
     /// all `(src, value)` pairs sorted by source rank, others get `None`.
     /// The root's serialized receives model the manager hot spot of the
-    /// manager-worker programming model. Collective.
+    /// manager-worker programming model. Collective. The root fails with
+    /// [`CommError::Incomplete`] if any contribution was lost.
     pub fn gather<M: Send + 'static>(
         &mut self,
         root: usize,
         value: M,
         bytes: usize,
-    ) -> Option<Vec<(usize, M)>> {
+    ) -> Result<Option<Vec<(usize, M)>>, CommError> {
         let n = self.shared.nranks;
-        assert!(root < n, "gather root {root} of {n}");
+        if root >= n {
+            return Err(CommError::InvalidRank {
+                rank: root,
+                nranks: n,
+            });
+        }
         let out = if self.rank == root {
             // Keep the root's own contribution as a self-message so it
             // appears in the gathered set.
@@ -313,12 +557,18 @@ impl Ctx {
         } else {
             vec![(root, value, bytes)]
         };
-        let mut inbox = self.exchange(out);
+        let mut inbox = self.exchange(out)?;
         if self.rank == root {
+            if inbox.len() < n {
+                return Err(CommError::Incomplete {
+                    expected: n,
+                    got: inbox.len(),
+                });
+            }
             inbox.sort_by_key(|(src, _)| *src);
-            Some(inbox)
+            Ok(Some(inbox))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -326,10 +576,12 @@ impl Ctx {
     /// rank sends its full vector to every other rank, then adds them
     /// locally. `O(P²)` messages — the many-to-many conflicts make this
     /// collapse beyond ~8 ranks, reproducing the paper's observation.
-    pub fn gsum_naive(&mut self, x: &mut [f64]) {
+    /// Fails with [`CommError::Incomplete`] if any contribution was
+    /// lost, so a faulty run never silently returns a wrong sum.
+    pub fn gsum_naive(&mut self, x: &mut [f64]) -> Result<(), CommError> {
         let n = self.shared.nranks;
         if n == 1 {
-            return;
+            return Ok(());
         }
         let bytes = x.len() * 8;
         let mine = x.to_vec();
@@ -337,8 +589,13 @@ impl Ctx {
             .filter(|&d| d != self.rank)
             .map(|d| (d, mine.clone(), bytes))
             .collect();
-        let inbox = self.exchange(out);
-        debug_assert_eq!(inbox.len(), n - 1);
+        let inbox = self.exchange(out)?;
+        if inbox.len() != n - 1 {
+            return Err(CommError::Incomplete {
+                expected: n - 1,
+                got: inbox.len(),
+            });
+        }
         for (_, v) in inbox {
             for (slot, add) in x.iter_mut().zip(&v) {
                 *slot += add;
@@ -354,16 +611,18 @@ impl Ctx {
                 Category::DuplicationRedundancy,
             );
         }
+        Ok(())
     }
 
     /// Global sum by binomial-tree reduction to rank 0 followed by
     /// binomial broadcast — the paper's replacement "based on
     /// parallel-prefix … using many one-to-one communications".
-    /// `O(log P)` phases of point-to-point messages.
-    pub fn gsum_tree(&mut self, x: &mut [f64]) {
+    /// `O(log P)` phases of point-to-point messages. Fails with
+    /// [`CommError::Incomplete`] when an expected partial sum was lost.
+    pub fn gsum_tree(&mut self, x: &mut [f64]) -> Result<(), CommError> {
         let n = self.shared.nranks;
         if n == 1 {
-            return;
+            return Ok(());
         }
         let bytes = x.len() * 8;
         let rounds = n.next_power_of_two().trailing_zeros();
@@ -376,7 +635,19 @@ impl Ctx {
                 out.push((self.rank - bit, x.to_vec(), bytes));
                 active = false;
             }
-            let inbox = self.exchange(out);
+            let inbox = self.exchange(out)?;
+            // In round k, rank r (with r % 2^(k+1) == 0) expects a
+            // partial sum from r + 2^k whenever that rank exists.
+            let expecting = active
+                && self.rank & bit == 0
+                && self.rank.is_multiple_of(2 * bit)
+                && self.rank + bit < n;
+            if expecting && inbox.is_empty() {
+                return Err(CommError::Incomplete {
+                    expected: 1,
+                    got: 0,
+                });
+            }
             for (_, v) in inbox {
                 for (slot, add) in x.iter_mut().zip(&v) {
                     *slot += add;
@@ -393,20 +664,24 @@ impl Ctx {
         }
         // Broadcast the result back down the tree.
         let result = if self.rank == 0 {
-            self.broadcast(0, Some(x.to_vec()), bytes)
+            self.broadcast(0, Some(x.to_vec()), bytes)?
         } else {
-            self.broadcast::<Vec<f64>>(0, None, bytes)
+            self.broadcast::<Vec<f64>>(0, None, bytes)?
         };
         x.copy_from_slice(&result);
+        Ok(())
     }
 }
 
 /// Resolve a completed phase: compute message arrivals against the link
-/// schedule in canonical order and per-rank exit times.
+/// schedule in canonical order and per-rank exit times. Only live ranks
+/// participate; messages addressed to dead ranks cost their sender a
+/// crash-detection timeout and are never delivered.
 fn resolve(shared: &Shared, board: &mut Board) {
     let n = shared.nranks;
     let net = &shared.machine.net;
     let topo = &shared.machine.topology;
+    let phase_id = board.gen;
 
     struct Rec {
         ready: f64,
@@ -414,17 +689,22 @@ fn resolve(shared: &Shared, board: &mut Board) {
         seq: usize,
         dst: usize,
         bytes: usize,
+        reliable: bool,
         payload: Payload,
     }
 
+    let mut participant = vec![false; n];
     let mut entry_times = vec![0.0; n];
     let mut send_done = vec![0.0; n];
+    let mut fault_s = vec![0.0; n];
     let mut barrier_flags = vec![false; n];
     let mut recs: Vec<Rec> = Vec::new();
     let mut phase_bytes = 0u64;
+    let mut phase_faults = PhaseFaults::default();
 
     for (i, slot) in board.entries.iter_mut().enumerate() {
-        let e = slot.take().expect("all ranks deposited");
+        let Some(e) = slot.take() else { continue };
+        participant[i] = true;
         entry_times[i] = e.entry_time;
         barrier_flags[i] = e.is_barrier;
         let mut t = e.entry_time;
@@ -438,17 +718,22 @@ fn resolve(shared: &Shared, board: &mut Board) {
                 seq,
                 dst: m.dst,
                 bytes: m.bytes,
+                reliable: m.reliable,
                 payload: m.payload,
             });
         }
         send_done[i] = t;
     }
 
-    let uniform_barrier = barrier_flags.iter().all(|&b| b) && !barrier_flags.is_empty();
-    debug_assert!(
-        uniform_barrier || barrier_flags.iter().all(|&b| !b),
-        "mixed barrier/exchange collective"
-    );
+    let uniform_barrier = {
+        let flags = || barrier_flags.iter().zip(&participant).filter(|(_, &p)| p);
+        let any = flags().count() > 0;
+        debug_assert!(
+            flags().all(|(&b, _)| b) || flags().all(|(&b, _)| !b),
+            "mixed barrier/exchange collective"
+        );
+        any && flags().all(|(&b, _)| b)
+    };
 
     // Canonical resolution order: ready time, then source, then send seq.
     recs.sort_by(|a, b| {
@@ -461,14 +746,54 @@ fn resolve(shared: &Shared, board: &mut Board) {
     let recs_count = recs.len() as u32;
     let mut inboxes: Vec<Vec<(f64, usize, usize, Payload)>> = (0..n).map(|_| Vec::new()).collect();
     for rec in recs {
+        if board.dead[rec.dst] {
+            // The peer is dead: the sender waits out the ack timeout and
+            // gives the message up.
+            fault_s[rec.src] += shared.retry.ack_timeout_s;
+            phase_faults.dead_destinations += 1;
+            phase_faults.undelivered += 1;
+            continue;
+        }
         let route = topo.route(shared.nodes[rec.src], shared.nodes[rec.dst]);
-        let arrival = board.links.transmit(&route, rec.ready, rec.bytes, net);
-        inboxes[rec.dst].push((arrival, rec.src, rec.bytes, rec.payload));
+        if rec.reliable {
+            // Hardened control plane: contention and latency apply,
+            // injection does not.
+            let arrival = board.links.transmit(&route, rec.ready, rec.bytes, net);
+            inboxes[rec.dst].push((arrival, rec.src, rec.bytes, rec.payload));
+            continue;
+        }
+        let d = board.links.transmit_faulty(
+            &route,
+            rec.ready,
+            rec.bytes,
+            net,
+            &shared.faults,
+            &shared.retry,
+            phase_id,
+            rec.src,
+            rec.dst,
+            rec.seq,
+        );
+        fault_s[rec.src] += d.fault_s;
+        phase_faults.absorb(&d.events);
+        if let Some(arrival) = d.arrival {
+            inboxes[rec.dst].push((arrival, rec.src, rec.bytes, rec.payload));
+        }
+    }
+
+    // Timeouts and backoff serialize on the sender after its sends.
+    for i in 0..n {
+        send_done[i] += fault_s[i];
+        phase_faults.fault_s += fault_s[i];
     }
 
     let mut exits = vec![0.0; n];
-    let mut outs: Vec<Option<PhaseOut>> = Vec::with_capacity(n);
+    let mut outs: Vec<Option<PhaseOut>> = (0..n).map(|_| None).collect();
     for (j, mut inbox) in inboxes.into_iter().enumerate() {
+        if !participant[j] {
+            debug_assert!(inbox.is_empty());
+            continue;
+        }
         inbox.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut t = entry_times[j];
         for (arrival, _, bytes, _) in &inbox {
@@ -476,72 +801,96 @@ fn resolve(shared: &Shared, board: &mut Board) {
             t = t.max(*arrival) + net.sw_recv_s + *bytes as f64 * net.per_byte_sw_s;
         }
         exits[j] = t.max(send_done[j]);
-        outs.push(Some(PhaseOut {
+        outs[j] = Some(PhaseOut {
             exit_time: exits[j],
             wait: 0.0,
+            fault_s: fault_s[j],
             inbox: inbox.into_iter().map(|(_, src, _, p)| (src, p)).collect(),
-        }));
+        });
     }
 
+    let participants = participant.iter().filter(|&&p| p).count();
     if uniform_barrier {
-        let stages = n.next_power_of_two().trailing_zeros() as f64;
-        let base = exits.iter().fold(0.0_f64, |a, &b| a.max(b));
+        let stages = participants.next_power_of_two().trailing_zeros() as f64;
+        let base = (0..n)
+            .filter(|&j| participant[j])
+            .map(|j| exits[j])
+            .fold(0.0_f64, f64::max);
         let common = base + 2.0 * stages * net.barrier_stage_s;
-        for (j, o) in outs.iter_mut().flatten().enumerate() {
-            // Idling until the last rank arrives is imbalance/wait; the
-            // fan-in/fan-out itself is communication.
-            o.wait = base - exits[j];
-            o.exit_time = common;
+        for (j, o) in outs.iter_mut().enumerate() {
+            if let Some(o) = o {
+                // Idling until the last rank arrives is imbalance/wait;
+                // the fan-in/fan-out itself is communication.
+                o.wait = base - exits[j];
+                o.exit_time = common;
+            }
         }
     }
 
-    let fold =
-        |init: f64, f: fn(f64, f64) -> f64, xs: &[f64]| xs.iter().fold(init, |a, &b| f(a, b));
+    let p_entries: Vec<f64> = (0..n)
+        .filter(|&j| participant[j])
+        .map(|j| entry_times[j])
+        .collect();
     board.timeline.push(PhaseRecord {
         barrier: uniform_barrier,
+        participants: participants as u32,
         messages: recs_count,
         bytes: phase_bytes,
-        earliest_entry: fold(f64::INFINITY, f64::min, &entry_times),
-        latest_entry: fold(0.0, f64::max, &entry_times),
+        earliest_entry: p_entries.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+        latest_entry: p_entries.iter().fold(0.0, |a: f64, &b| a.max(b)),
         latest_exit: outs
             .iter()
             .flatten()
             .map(|o| o.exit_time)
             .fold(0.0, f64::max),
+        faults: phase_faults,
     });
 
     board.outputs = outs;
 }
 
-/// Run an SPMD program: `body` is invoked once per rank with its [`Ctx`].
-/// Blocks until all ranks complete; returns outputs and budgets indexed
-/// by rank.
+/// Run an SPMD program: `body` is invoked once per rank with its [`Ctx`]
+/// and returns `Ok` on success or a [`CommError`] to abort that rank
+/// (automatically withdrawing it so peers never deadlock). Blocks until
+/// all ranks complete; returns outputs and budgets indexed by rank.
 ///
-/// # Panics
-///
-/// Panics if `nranks` is zero or exceeds the machine's node count, or if
-/// a rank's body panics.
-pub fn run_spmd<T, F>(cfg: &SpmdConfig, body: F) -> SpmdResult<T>
+/// Fails up front with a typed [`SpmdError`] on invalid configuration
+/// (zero ranks, more ranks than nodes, malformed fault plan or retry
+/// policy), and with [`SpmdError::RankPanicked`] if a rank body panics —
+/// the panic is caught and the remaining ranks are unblocked.
+pub fn run_spmd<T, F>(cfg: &SpmdConfig, body: F) -> Result<SpmdResult<T>, SpmdError>
 where
     T: Send,
-    F: Fn(&mut Ctx) -> T + Sync,
+    F: Fn(&mut Ctx) -> Result<T, CommError> + Sync,
 {
     let n = cfg.nranks;
-    assert!(n > 0, "need at least one rank");
-    assert!(
-        n <= cfg.machine.topology.nodes(),
-        "{} ranks exceed {} nodes of {}",
-        n,
-        cfg.machine.topology.nodes(),
-        cfg.machine.name
-    );
+    if n == 0 {
+        return Err(SpmdError::NoRanks);
+    }
+    if n > cfg.machine.topology.nodes() {
+        return Err(SpmdError::TooManyRanks {
+            nranks: n,
+            nodes: cfg.machine.topology.nodes(),
+            machine: cfg.machine.name,
+        });
+    }
+    cfg.retry
+        .validate()
+        .map_err(|detail| SpmdError::InvalidRetryPolicy { detail })?;
+    cfg.faults
+        .validate(n)
+        .map_err(|detail| SpmdError::InvalidFaultPlan { detail })?;
+
     let shared = Arc::new(Shared {
         nodes: cfg.mapping.table(n, &cfg.machine.topology),
         machine: cfg.machine.clone(),
         nranks: n,
+        faults: cfg.faults.clone(),
+        retry: cfg.retry,
         board: Mutex::new(Board {
             gen: 0,
             arrived: 0,
+            dead: vec![false; n],
             entries: (0..n).map(|_| None).collect(),
             outputs: (0..n).map(|_| None).collect(),
             links: LinkSchedule::new(),
@@ -550,7 +899,8 @@ where
         cv: Condvar::new(),
     });
 
-    let slots: Vec<Mutex<Option<(T, RankBudget)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type Slot<T> = Mutex<Option<(Result<T, CommError>, RankBudget)>>;
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for rank in 0..n {
@@ -563,35 +913,66 @@ where
                     clock: 0.0,
                     budget: RankBudget::default(),
                     working_set: 0,
+                    phases_entered: 0,
                     shared,
                 };
-                let out = body(&mut ctx);
-                ctx.budget.completion = ctx.clock;
-                *slot.lock() = Some((out, ctx.budget));
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                match out {
+                    Ok(out) => {
+                        if out.is_err() {
+                            // Withdraw so peers never wait on this rank.
+                            mark_dead(&ctx.shared, rank);
+                        }
+                        ctx.budget.completion = ctx.clock;
+                        *slot.lock() = Some((out, ctx.budget));
+                    }
+                    Err(_) => {
+                        // Panic: unblock the peers; the empty slot
+                        // reports the panic to the caller below.
+                        mark_dead(&ctx.shared, rank);
+                    }
+                }
             }));
         }
         for h in handles {
-            h.join().expect("rank thread panicked");
+            h.join().ok();
         }
     });
 
-    let (net, timeline) = {
+    let (net, timeline, dead) = {
         let mut board = shared.board.lock();
-        (board.links.stats(), std::mem::take(&mut board.timeline))
+        (
+            board.links.stats(),
+            std::mem::take(&mut board.timeline),
+            board.dead.clone(),
+        )
     };
     let mut outputs = Vec::with_capacity(n);
     let mut budgets = Vec::with_capacity(n);
-    for slot in slots {
-        let (out, budget) = slot.into_inner().expect("rank completed");
-        outputs.push(out);
-        budgets.push(budget);
+    for (rank, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some((out, budget)) => {
+                outputs.push(out);
+                budgets.push(budget);
+            }
+            None => return Err(SpmdError::RankPanicked { rank }),
+        }
     }
-    SpmdResult {
+    let mut totals = PhaseFaults::default();
+    for r in &timeline {
+        totals.absorb(&r.faults);
+    }
+    let faults = FaultStats {
+        totals,
+        crashed_ranks: (0..n).filter(|&r| dead[r]).collect(),
+    };
+    Ok(SpmdResult {
         outputs,
         budgets,
         net,
         timeline,
-    }
+        faults,
+    })
 }
 
 #[cfg(test)]
@@ -628,11 +1009,7 @@ mod tests {
     }
 
     fn cfg(n: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: test_machine(),
-            nranks: n,
-            mapping: Mapping::RowMajor,
-        }
+        SpmdConfig::new(test_machine(), n, Mapping::RowMajor)
     }
 
     #[test]
@@ -640,17 +1017,26 @@ mod tests {
         let res = run_spmd(&cfg(4), |ctx| {
             let n = ctx.nranks();
             let next = (ctx.rank() + 1) % n;
-            let inbox = ctx.exchange(vec![(next, ctx.rank() as u64, 8)]);
+            let inbox = ctx.exchange(vec![(next, ctx.rank() as u64, 8)])?;
             assert_eq!(inbox.len(), 1);
             let (src, v) = inbox[0];
             assert_eq!(src, (ctx.rank() + n - 1) % n);
-            v
-        });
-        assert_eq!(res.outputs, vec![3, 0, 1, 2]);
-        // Every rank spent communication time.
+            Ok(v)
+        })
+        .unwrap();
+        let outs = res
+            .outputs
+            .iter()
+            .map(|o| *o.as_ref().unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(outs, vec![3, 0, 1, 2]);
+        // Every rank spent communication time, none on faults.
         for b in &res.budgets {
             assert!(b.communication > 0.0);
+            assert_eq!(b.fault_recovery, 0.0);
         }
+        assert!(!res.faults.totals.any());
+        assert!(res.faults.crashed_ranks.is_empty());
     }
 
     #[test]
@@ -661,11 +1047,12 @@ mod tests {
                 intops: 0,
                 memops: 0,
             });
-            ctx.now()
-        });
-        assert!((res.outputs[0] - 1e-3).abs() < 1e-12);
-        assert!((res.budgets[0].useful - 1e-3).abs() < 1e-12);
-        assert_eq!(res.budgets[0].completion, res.outputs[0]);
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!((res[0] - 1e-3).abs() < 1e-12);
     }
 
     #[test]
@@ -677,9 +1064,12 @@ mod tests {
                 intops: 0,
                 memops: 0,
             });
-            ctx.now()
-        });
-        assert!((res.outputs[0] - 9e-3).abs() < 1e-12);
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!((res[0] - 9e-3).abs() < 1e-12);
     }
 
     #[test]
@@ -691,11 +1081,14 @@ mod tests {
                 intops: 0,
                 memops: 0,
             });
-            ctx.barrier();
-            ctx.now()
-        });
-        let t0 = res.outputs[0];
-        for &t in &res.outputs {
+            ctx.barrier()?;
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        let t0 = res[0];
+        for &t in &res {
             assert_eq!(t, t0, "all ranks exit the barrier at the same time");
         }
         assert!(t0 >= 3e-3);
@@ -705,29 +1098,35 @@ mod tests {
     fn broadcast_reaches_all_ranks() {
         let res = run_spmd(&cfg(7), |ctx| {
             let v = if ctx.rank() == 2 {
-                ctx.broadcast(2, Some(vec![1.0, 2.0, 3.0]), 24)
+                ctx.broadcast(2, Some(vec![1.0, 2.0, 3.0]), 24)?
             } else {
-                ctx.broadcast::<Vec<f64>>(2, None, 24)
+                ctx.broadcast::<Vec<f64>>(2, None, 24)?
             };
-            v[1]
-        });
-        assert!(res.outputs.iter().all(|&v| v == 2.0));
+            Ok(v[1])
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!(res.iter().all(|&v| v == 2.0));
     }
 
     #[test]
     fn gather_collects_in_rank_order() {
         let res = run_spmd(&cfg(5), |ctx| {
-            let got = ctx.gather(0, ctx.rank() as u32 * 10, 4);
-            match (ctx.rank(), got) {
+            let got = ctx.gather(0, ctx.rank() as u32 * 10, 4)?;
+            Ok(match (ctx.rank(), got) {
                 (0, Some(v)) => {
                     assert_eq!(v, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
                     true
                 }
                 (_, None) => true,
                 _ => false,
-            }
-        });
-        assert!(res.outputs.iter().all(|&ok| ok));
+            })
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!(res.iter().all(|&ok| ok));
     }
 
     #[test]
@@ -735,13 +1134,16 @@ mod tests {
         for n in [1usize, 2, 3, 4, 8] {
             let res = run_spmd(&cfg(n), |ctx| {
                 let mut a = vec![ctx.rank() as f64, 1.0];
-                ctx.gsum_naive(&mut a);
+                ctx.gsum_naive(&mut a)?;
                 let mut b = vec![ctx.rank() as f64, 1.0];
-                ctx.gsum_tree(&mut b);
-                (a, b)
-            });
+                ctx.gsum_tree(&mut b)?;
+                Ok((a, b))
+            })
+            .unwrap()
+            .ok_outputs()
+            .unwrap();
             let expect0: f64 = (0..n).map(|r| r as f64).sum();
-            for (a, b) in &res.outputs {
+            for (a, b) in &res {
                 assert_eq!(a[0], expect0, "naive sum over {n}");
                 assert_eq!(a[1], n as f64);
                 assert_eq!(b[0], expect0, "tree sum over {n}");
@@ -758,11 +1160,13 @@ mod tests {
             let res = run_spmd(&cfg(16), |ctx| {
                 let mut v = vec![1.0; 4096];
                 if tree {
-                    ctx.gsum_tree(&mut v);
+                    ctx.gsum_tree(&mut v)?;
                 } else {
-                    ctx.gsum_naive(&mut v);
+                    ctx.gsum_naive(&mut v)?;
                 }
-            });
+                Ok(())
+            })
+            .unwrap();
             res.parallel_time()
         };
         let naive = time_of(false);
@@ -778,17 +1182,19 @@ mod tests {
         let run = || {
             run_spmd(&cfg(8), |ctx| {
                 let mut v = vec![ctx.rank() as f64; 128];
-                ctx.gsum_tree(&mut v);
+                ctx.gsum_tree(&mut v)?;
                 ctx.charge(Ops {
                     flops: 17,
                     intops: 3,
                     memops: 5,
                 });
                 let next = (ctx.rank() + 1) % ctx.nranks();
-                ctx.exchange(vec![(next, 1u8, 1)]);
-                ctx.now()
+                ctx.exchange(vec![(next, 1u8, 1)])?;
+                Ok(ctx.now())
             })
-            .outputs
+            .unwrap()
+            .ok_outputs()
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -802,27 +1208,89 @@ mod tests {
         // arrival is later than a single point-to-point would be.
         let solo = run_spmd(&cfg(2), |ctx| {
             if ctx.rank() == 1 {
-                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)]);
+                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)])?;
             } else {
-                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new());
+                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new())?;
             }
-            ctx.now()
-        });
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
         let crowd = run_spmd(&cfg(4), |ctx| {
             if ctx.rank() != 0 {
-                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)]);
+                ctx.exchange(vec![(0usize, vec![0u8; 10_000], 10_000)])?;
             } else {
-                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new());
+                ctx.exchange(Vec::<(usize, Vec<u8>, usize)>::new())?;
             }
-            ctx.now()
-        });
-        assert!(crowd.outputs[0] > solo.outputs[0]);
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!(crowd[0] > solo[0]);
     }
 
     #[test]
-    #[should_panic(expected = "exceed")]
-    fn too_many_ranks_rejected() {
-        run_spmd(&cfg(17), |_| ());
+    fn config_errors_are_typed() {
+        assert_eq!(
+            run_spmd(&cfg(0), |_| Ok(())).unwrap_err(),
+            SpmdError::NoRanks
+        );
+        assert!(matches!(
+            run_spmd(&cfg(17), |_| Ok(())).unwrap_err(),
+            SpmdError::TooManyRanks {
+                nranks: 17,
+                nodes: 16,
+                ..
+            }
+        ));
+        let bad_plan = cfg(4).with_faults(FaultPlan::none().with_crash(9, 0));
+        assert!(matches!(
+            run_spmd(&bad_plan, |_| Ok(())).unwrap_err(),
+            SpmdError::InvalidFaultPlan { .. }
+        ));
+        let bad_retry = cfg(4).with_retry(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        });
+        assert!(matches!(
+            run_spmd(&bad_retry, |_| Ok(())).unwrap_err(),
+            SpmdError::InvalidRetryPolicy { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_destination_is_an_error_not_a_panic() {
+        let res = run_spmd(&cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.exchange(vec![(7usize, 1u8, 1)])?;
+            } else {
+                ctx.exchange(Vec::<(usize, u8, usize)>::new())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            res.outputs[0],
+            Err(CommError::InvalidRank { rank: 7, nranks: 2 })
+        );
+        // Rank 1 completed: the erroring rank withdrew instead of
+        // leaving its peer stuck in the phase.
+        assert!(res.outputs[1].is_ok());
+    }
+
+    #[test]
+    fn rank_panic_is_caught_and_reported() {
+        let err = run_spmd(&cfg(3), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("rank body bug");
+            }
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err, SpmdError::RankPanicked { rank: 1 });
     }
 
     #[test]
@@ -834,57 +1302,59 @@ mod tests {
             width: 4,
             height: 4,
         };
-        let cfg = SpmdConfig {
-            machine,
-            nranks: 16,
-            mapping: Mapping::RowMajor,
-        };
+        let cfg = SpmdConfig::new(machine, 16, Mapping::RowMajor);
         let res = run_spmd(&cfg, |ctx| {
             ctx.charge(Ops {
                 flops: 1_000_000,
                 intops: 0,
                 memops: 0,
             });
-            ctx.now()
-        });
-        let fastest = res.outputs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let slowest = res.outputs.iter().cloned().fold(0.0, f64::max);
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        let fastest = res.iter().cloned().fold(f64::INFINITY, f64::min);
+        let slowest = res.iter().cloned().fold(0.0, f64::max);
         let spread = slowest / fastest - 1.0;
         assert!(
             (spread - 0.07).abs() < 1e-9,
             "expected 7% spread, got {spread}"
         );
         // Without the gradient all ranks finish together.
-        let cfg0 = SpmdConfig {
-            machine: test_machine(),
-            nranks: 16,
-            mapping: Mapping::RowMajor,
-        };
+        let cfg0 = SpmdConfig::new(test_machine(), 16, Mapping::RowMajor);
         let res0 = run_spmd(&cfg0, |ctx| {
             ctx.charge(Ops {
                 flops: 1_000_000,
                 intops: 0,
                 memops: 0,
             });
-            ctx.now()
-        });
-        assert!(res0.outputs.iter().all(|&t| t == res0.outputs[0]));
+            Ok(ctx.now())
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert!(res0.iter().all(|&t| t == res0[0]));
     }
 
     #[test]
     fn timeline_records_every_phase() {
         let res = run_spmd(&cfg(4), |ctx| {
             let next = (ctx.rank() + 1) % ctx.nranks();
-            ctx.exchange(vec![(next, 7u8, 100)]);
-            ctx.barrier();
-            ctx.exchange(Vec::<(usize, u8, usize)>::new());
-        });
+            ctx.exchange(vec![(next, 7u8, 100)])?;
+            ctx.barrier()?;
+            ctx.exchange(Vec::<(usize, u8, usize)>::new())?;
+            Ok(())
+        })
+        .unwrap();
         assert_eq!(res.timeline.len(), 3);
         let first = &res.timeline[0];
         assert!(!first.barrier);
+        assert_eq!(first.participants, 4);
         assert_eq!(first.messages, 4);
         assert_eq!(first.bytes, 400);
         assert!(first.latest_exit >= first.latest_entry);
+        assert!(!first.faults.any());
         assert!(res.timeline[1].barrier);
         assert_eq!(res.timeline[2].messages, 0);
     }
@@ -892,9 +1362,238 @@ mod tests {
     #[test]
     fn self_message_allowed() {
         let res = run_spmd(&cfg(1), |ctx| {
-            let inbox = ctx.exchange(vec![(0usize, 42u8, 1)]);
-            inbox[0].1
-        });
-        assert_eq!(res.outputs[0], 42);
+            let inbox = ctx.exchange(vec![(0usize, 42u8, 1)])?;
+            Ok(inbox[0].1)
+        })
+        .unwrap()
+        .ok_outputs()
+        .unwrap();
+        assert_eq!(res[0], 42);
+    }
+
+    // ---- fault injection ----
+
+    /// A 3-phase ring program where survivors only message live ranks.
+    fn ring_with_plan(n: usize, plan: FaultPlan) -> SpmdResult<f64> {
+        let cfg = cfg(n).with_faults(plan);
+        run_spmd(&cfg, |ctx| {
+            for _ in 0..3 {
+                let phase = ctx.next_phase();
+                let next = (ctx.rank() + 1) % ctx.nranks();
+                let out = if ctx.fault_plan().crashed(next, phase) {
+                    Vec::new()
+                } else {
+                    vec![(next, ctx.rank() as u32, 64)]
+                };
+                ctx.exchange(out)?;
+            }
+            Ok(ctx.now())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn crashed_rank_errors_and_survivors_complete() {
+        let res = ring_with_plan(4, FaultPlan::none().with_crash(2, 1));
+        assert_eq!(
+            res.outputs[2],
+            Err(CommError::Crashed { rank: 2, phase: 1 })
+        );
+        for r in [0usize, 1, 3] {
+            assert!(res.outputs[r].is_ok(), "rank {r} must survive");
+        }
+        assert_eq!(res.faults.crashed_ranks, vec![2]);
+        // Phases after the crash record only the survivors.
+        assert_eq!(res.timeline[0].participants, 4);
+        assert_eq!(res.timeline[1].participants, 3);
+        assert_eq!(res.timeline[2].participants, 3);
+    }
+
+    #[test]
+    fn message_to_dead_rank_times_out() {
+        let cfg = cfg(2).with_faults(FaultPlan::none().with_crash(1, 0));
+        let res = run_spmd(&cfg, |ctx| {
+            // Rank 0 naively messages rank 1, which dies at phase 0.
+            let out = if ctx.rank() == 0 {
+                vec![(1usize, 5u8, 8)]
+            } else {
+                Vec::new()
+            };
+            ctx.exchange(out)?;
+            Ok(ctx.now())
+        })
+        .unwrap();
+        assert!(res.outputs[0].is_ok());
+        assert!(res.outputs[1].is_err());
+        assert_eq!(res.faults.totals.dead_destinations, 1);
+        assert_eq!(res.faults.totals.undelivered, 1);
+        // The sender paid the crash-detection timeout as fault recovery.
+        assert!(res.budgets[0].fault_recovery >= RetryPolicy::default().ack_timeout_s - 1e-12);
+    }
+
+    #[test]
+    fn forced_drop_is_retransmitted_and_charged() {
+        let clean = ring_with_plan(2, FaultPlan::none());
+        let faulty = ring_with_plan(2, FaultPlan::none().with_forced_drop(0, 0, 1));
+        assert_eq!(faulty.faults.totals.drops, 1);
+        assert_eq!(faulty.faults.totals.retransmissions, 1);
+        assert_eq!(faulty.faults.totals.undelivered, 0);
+        assert!(faulty.faults.totals.fault_s > 0.0);
+        assert!(
+            faulty.parallel_time() > clean.parallel_time(),
+            "retransmission must cost virtual time"
+        );
+        assert!(faulty.report().avg_fault_recovery > 0.0);
+        assert_eq!(clean.report().avg_fault_recovery, 0.0);
+    }
+
+    #[test]
+    fn total_loss_leaves_inbox_empty() {
+        let cfg = cfg(2).with_faults(FaultPlan::seeded(1).with_drop_rate(1.0));
+        let res = run_spmd(&cfg, |ctx| {
+            let out = if ctx.rank() == 0 {
+                vec![(1usize, 9u8, 8)]
+            } else {
+                Vec::new()
+            };
+            let inbox = ctx.exchange(out)?;
+            Ok(inbox.len())
+        })
+        .unwrap();
+        assert_eq!(res.outputs[1], Ok(0), "all attempts dropped");
+        let max = RetryPolicy::default().max_attempts;
+        assert_eq!(res.faults.totals.drops, max);
+        assert_eq!(res.faults.totals.retransmissions, max - 1);
+        assert_eq!(res.faults.totals.undelivered, 1);
+    }
+
+    #[test]
+    fn reliable_channel_is_immune_to_link_faults() {
+        let cfg = cfg(2).with_faults(FaultPlan::seeded(1).with_drop_rate(1.0));
+        let res = run_spmd(&cfg, |ctx| {
+            let out = if ctx.rank() == 0 {
+                vec![(1usize, 9u8, 8)]
+            } else {
+                Vec::new()
+            };
+            let inbox = ctx.exchange_reliable(out)?;
+            Ok(inbox.len())
+        })
+        .unwrap();
+        assert_eq!(res.outputs[1], Ok(1), "control plane must deliver");
+        assert!(!res.faults.totals.any());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_seed_sensitive() {
+        let run = |seed| {
+            let res = ring_with_plan(
+                4,
+                FaultPlan::seeded(seed)
+                    .with_drop_rate(0.3)
+                    .with_corrupt_rate(0.1)
+                    .with_delay(0.2, 1e-4),
+            );
+            (
+                res.outputs
+                    .iter()
+                    .map(|o| *o.as_ref().unwrap())
+                    .collect::<Vec<_>>(),
+                res.faults.clone(),
+            )
+        };
+        let (a1, f1) = run(11);
+        let (a2, f2) = run(11);
+        assert_eq!(a1, a2, "same seed, same virtual times");
+        assert_eq!(f1, f2, "same seed, same fault counters");
+        let (b1, g1) = run(12);
+        assert!(
+            a1 != b1 || f1 != g1,
+            "different seeds should perturb the run"
+        );
+    }
+
+    #[test]
+    fn slowdown_charges_excess_to_fault_recovery() {
+        let plan = FaultPlan::none().with_slowdown(0, 3.0, 0, 10);
+        let cfg = cfg(2).with_faults(plan);
+        let res = run_spmd(&cfg, |ctx| {
+            ctx.charge(Ops {
+                flops: 1000,
+                intops: 0,
+                memops: 0,
+            });
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+        // Rank 0 runs 3x slower: 1 ms useful + 2 ms fault excess.
+        assert!((res.budgets[0].useful - 1e-3).abs() < 1e-12);
+        assert!((res.budgets[0].fault_recovery - 2e-3).abs() < 1e-12);
+        assert_eq!(res.budgets[1].fault_recovery, 0.0);
+        // Rank 1 waits for the slowed rank at the barrier.
+        assert!(res.budgets[1].wait >= 2e-3 - 1e-9);
+    }
+
+    #[test]
+    fn transient_entry_failures_cost_backoff() {
+        let retry = RetryPolicy::default();
+        let plan = FaultPlan::none().with_exchange_failure(1, 0, 2);
+        let cfg = cfg(2).with_faults(plan);
+        let res = run_spmd(&cfg, |ctx| {
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+        let expect = retry.backoff_s(1) + retry.backoff_s(2);
+        assert!((res.budgets[1].fault_recovery - expect).abs() < 1e-12);
+        assert_eq!(res.budgets[0].fault_recovery, 0.0);
+    }
+
+    #[test]
+    fn entry_failures_past_retry_budget_exhaust() {
+        let plan = FaultPlan::none().with_exchange_failure(1, 0, 99);
+        let cfg = cfg(2).with_faults(plan);
+        let res = run_spmd(&cfg, |ctx| {
+            ctx.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(matches!(
+            res.outputs[1],
+            Err(CommError::RetriesExhausted {
+                rank: 1,
+                phase: 0,
+                ..
+            })
+        ));
+        assert!(res.outputs[0].is_ok(), "peer is not stuck");
+    }
+
+    #[test]
+    fn broadcast_loss_is_detected() {
+        // Root 0's message to rank 1 in the first round is forced away;
+        // with a 1-attempt budget it is never retransmitted, so rank 1
+        // (and everything it forwards to) loses the broadcast.
+        let plan = FaultPlan::none().with_forced_drop(0, 0, 1);
+        let retry = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let cfg = cfg(2).with_faults(plan).with_retry(retry);
+        let res = run_spmd(&cfg, |ctx| {
+            let v = if ctx.rank() == 0 {
+                ctx.broadcast(0, Some(7u32), 4)?
+            } else {
+                ctx.broadcast::<u32>(0, None, 4)?
+            };
+            Ok(v)
+        })
+        .unwrap();
+        assert_eq!(res.outputs[0], Ok(7));
+        assert!(matches!(
+            res.outputs[1],
+            Err(CommError::BroadcastLost { root: 0, .. })
+        ));
     }
 }

@@ -32,6 +32,10 @@ pub enum Category {
     /// Time spent idle at a synchronization point waiting for slower
     /// peers — the per-rank form of the report's imbalance/wait overhead.
     ImbalanceWait,
+    /// Time lost to injected faults and their recovery: retransmission
+    /// waits, exponential backoff, crash-detection timeouts and
+    /// checkpoint/redistribution work. Zero on a fault-free run.
+    FaultRecovery,
 }
 
 /// Per-rank accumulated times, in seconds of virtual time.
@@ -48,6 +52,9 @@ pub struct RankBudget {
     pub unique_redundancy: f64,
     /// Idle time waiting for slower peers at synchronization points.
     pub wait: f64,
+    /// Time lost to injected faults and their recovery (retries, backoff,
+    /// crash timeouts). Zero on a fault-free run.
+    pub fault_recovery: f64,
     /// Completion time of the rank (its final clock value).
     pub completion: f64,
 }
@@ -62,12 +69,13 @@ impl RankBudget {
             Category::DuplicationRedundancy => self.duplication += seconds,
             Category::UniqueRedundancy => self.unique_redundancy += seconds,
             Category::ImbalanceWait => self.wait += seconds,
+            Category::FaultRecovery => self.fault_recovery += seconds,
         }
     }
 }
 
 /// Aggregated budget over all ranks, following Appendix B's definitions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BudgetReport {
     /// Number of ranks.
     pub ranks: usize,
@@ -86,6 +94,9 @@ pub struct BudgetReport {
     /// the whole component, matching the report's definition for codes
     /// measured without a trailing barrier.
     pub imbalance: f64,
+    /// Mean fault-recovery time per rank (retransmissions, backoff,
+    /// crash timeouts, checkpoint/redistribution). Zero without faults.
+    pub avg_fault_recovery: f64,
 }
 
 impl BudgetReport {
@@ -110,6 +121,7 @@ impl BudgetReport {
             avg_redundancy: dup_overhead_share * avg(|r| r.duplication)
                 + avg(|r| r.unique_redundancy),
             imbalance: avg(|r| r.wait) + (max_t - min_t),
+            avg_fault_recovery: avg(|r| r.fault_recovery),
         })
     }
 
@@ -142,6 +154,11 @@ impl BudgetReport {
         self.pct(self.imbalance)
     }
 
+    /// Fault recovery, % of parallel time.
+    pub fn fault_pct(&self) -> f64 {
+        self.pct(self.avg_fault_recovery)
+    }
+
     /// Parallel efficiency against a given serial time:
     /// `t_serial / (ranks · t_parallel)`.
     pub fn efficiency(&self, serial_time: f64) -> f64 {
@@ -152,9 +169,11 @@ impl BudgetReport {
         }
     }
 
-    /// One-line table row used by the reproduction harnesses.
+    /// One-line table row used by the reproduction harnesses. The fault
+    /// column is appended only when fault time was actually charged so
+    /// fault-free tables keep the report's original four columns.
     pub fn row(&self) -> String {
-        format!(
+        let mut row = format!(
             "ranks={:3}  T={:9.4}s  useful={:5.1}%  comm={:5.1}%  redund={:5.1}%  imbal={:5.1}%",
             self.ranks,
             self.parallel_time,
@@ -162,7 +181,11 @@ impl BudgetReport {
             self.communication_pct(),
             self.redundancy_pct(),
             self.imbalance_pct()
-        )
+        );
+        if self.avg_fault_recovery > 0.0 {
+            row.push_str(&format!("  fault={:5.1}%", self.fault_pct()));
+        }
+        row
     }
 }
 
@@ -238,8 +261,23 @@ mod tests {
             duplication: dup,
             unique_redundancy: uniq,
             wait: 0.0,
+            fault_recovery: 0.0,
             completion,
         }
+    }
+
+    #[test]
+    fn fault_recovery_charges_and_reports() {
+        let mut b = rank(6.0, 0.0, 0.0, 0.0, 8.0);
+        b.charge(Category::FaultRecovery, 2.0);
+        assert_eq!(b.fault_recovery, 2.0);
+        let r = BudgetReport::from_ranks(&[b]).unwrap();
+        assert_eq!(r.avg_fault_recovery, 2.0);
+        assert_eq!(r.fault_pct(), 25.0);
+        assert!(r.row().contains("fault="));
+        // A fault-free report keeps the original columns.
+        let clean = BudgetReport::from_ranks(&[rank(6.0, 0.0, 0.0, 0.0, 8.0)]).unwrap();
+        assert!(!clean.row().contains("fault="));
     }
 
     #[test]

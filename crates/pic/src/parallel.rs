@@ -14,7 +14,7 @@
 //! 4. the adaptive time step is agreed globally, and every rank pushes
 //!    its own particles.
 
-use paragon::{Ctx, Ops, SpmdConfig};
+use paragon::{CommError, Ctx, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
 use crate::cost;
@@ -67,7 +67,7 @@ impl PicRun {
     }
 }
 
-fn gsum(ctx: &mut Ctx, algo: GsumAlgo, v: &mut [f64]) {
+fn gsum(ctx: &mut Ctx, algo: GsumAlgo, v: &mut [f64]) -> Result<(), CommError> {
     match algo {
         GsumAlgo::NaiveGssum => ctx.gsum_naive(v),
         GsumAlgo::TreePrefix => ctx.gsum_tree(v),
@@ -110,7 +110,7 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
             ctx.charge(cost::deposit_ops().times(state.particles.len() as u64));
 
             // Phase 2a: make the charge grid global.
-            gsum(ctx, cfg.gsum, &mut rho.data);
+            gsum(ctx, cfg.gsum, &mut rho.data)?;
 
             // Phase 2b: slab-decomposed field solve. The numerical work
             // is done on the (replicated) global grid; each rank is
@@ -124,7 +124,7 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
                     .filter(|&j| j != rank)
                     .map(|j| (j, (), bytes))
                     .collect();
-                ctx.exchange(msgs);
+                ctx.exchange(msgs)?;
             }
 
             // Phase 2c: make the field global (slab-masked global sum).
@@ -141,7 +141,7 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
                     }
                 }
             }
-            gsum(ctx, cfg.gsum, &mut eglob);
+            gsum(ctx, cfg.gsum, &mut eglob)?;
             let mut e_global = [Grid3::zeros(m), Grid3::zeros(m), Grid3::zeros(m)];
             for (d, g) in e_global.iter_mut().enumerate() {
                 g.data
@@ -154,26 +154,31 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
                 .iter()
                 .map(|p| p.vel[0].abs().max(p.vel[1].abs()).max(p.vel[2].abs()))
                 .fold(0.0, f64::max);
-            let gathered = ctx.gather(0, v_local, 8);
+            let gathered = ctx.gather(0, v_local, 8)?;
             let v_max = if let Some(vs) = gathered {
                 let vm = vs.into_iter().map(|(_, v)| v).fold(0.0, f64::max);
-                ctx.broadcast(0, Some(vm), 8)
+                ctx.broadcast(0, Some(vm), 8)?
             } else {
-                ctx.broadcast::<f64>(0, None, 8)
+                ctx.broadcast::<f64>(0, None, 8)?
             };
             // Force the agreed dt by pinning every rank's v_max view.
             let dt = adaptive_dt(&cfg.pic, v_max);
             let diag = push_with_dt(&mut state, &e_global, dt, v_max);
             ctx.charge(cost::push_ops().times(state.particles.len() as u64));
             diags.push(diag);
-            ctx.barrier();
+            ctx.barrier()?;
         }
-        (state.particles, diags)
-    });
+        Ok((state.particles, diags))
+    })
+    .expect("PIC runs on a fault-free simulator configuration");
 
+    let budgets = res.budgets.clone();
+    let outputs = res
+        .ok_outputs()
+        .expect("PIC runs on a fault-free simulator configuration");
     let mut particles = Vec::with_capacity(n);
     let mut diags = Vec::new();
-    for (i, (part, d)) in res.outputs.into_iter().enumerate() {
+    for (i, (part, d)) in outputs.into_iter().enumerate() {
         particles.extend(part);
         if i == 0 {
             diags = d;
@@ -181,7 +186,7 @@ pub fn run_parallel(scfg: &SpmdConfig, cfg: &ParPicConfig, init: &[Particle]) ->
     }
     PicRun {
         particles,
-        budgets: res.budgets,
+        budgets,
         diags,
     }
 }
@@ -243,11 +248,7 @@ mod tests {
     use paragon::{MachineSpec, Mapping};
 
     fn spmd(p: usize) -> SpmdConfig {
-        SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: p,
-            mapping: Mapping::Snake,
-        }
+        SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake)
     }
 
     fn cfg(steps: usize, gsum: GsumAlgo) -> ParPicConfig {

@@ -67,11 +67,7 @@ fn main() {
     serial::run(&mut reference, &params, 0.01, 3);
     let cfg = NbodyConfig::manager(params, 0.01, 3);
     let run = run_parallel(
-        &SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: 16,
-            mapping: Mapping::Snake,
-        },
+        &SpmdConfig::new(MachineSpec::paragon(), 16, Mapping::Snake),
         &cfg,
         &init,
     );

@@ -27,11 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut t1 = 0.0;
     for p in [1usize, 2, 4, 8, 16, 32] {
-        let scfg = SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: p,
-            mapping: Mapping::Snake,
-        };
+        let scfg = SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake);
         let run = run_mimd_dwt(&scfg, &cfg, &image)?;
         assert_eq!(
             run.pyramid, reference,

@@ -75,11 +75,7 @@ fn main() {
             gsum: algo,
         };
         let run = run_parallel(
-            &SpmdConfig {
-                machine: MachineSpec::paragon(),
-                nranks: 16,
-                mapping: Mapping::Snake,
-            },
+            &SpmdConfig::new(MachineSpec::paragon(), 16, Mapping::Snake),
             &cfg,
             &init,
         );

@@ -42,11 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut row = format!("{:<28}", "Intel Paragon 32p (1995)");
     for (f, l) in configs {
         let cfg = MimdDwtConfig::tuned(FilterBank::daubechies(f)?, l);
-        let scfg = SpmdConfig {
-            machine: MachineSpec::paragon(),
-            nranks: 32,
-            mapping: Mapping::Snake,
-        };
+        let scfg = SpmdConfig::new(MachineSpec::paragon(), 32, Mapping::Snake);
         let t = run_mimd_dwt(&scfg, &cfg, &image)?.parallel_time();
         row += &format!(" {:>10.1}", 1.0 / t);
     }

@@ -22,3 +22,21 @@ bench-json:
 # Criterion engine benchmarks (human-readable companion to bench-json).
 bench-engine:
     cargo bench -p bench --bench dwt_engine
+
+# Fault-matrix gate: sweep the drop-rate x crash-count grid CI runs and
+# assert crash recovery stays bit-identical at every point.
+faults:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    for drop in 0.0 0.001 0.02; do
+        for crashes in 0 1 3; do
+            echo "--- drop_rate=$drop crashes=$crashes"
+            FAULT_DROP_RATE=$drop FAULT_CRASHES=$crashes \
+                cargo test -q --test fault_matrix
+        done
+    done
+
+# Regenerate BENCH_faults.json (degradation curves of the block DWT
+# under injected link faults and rank crashes).
+faults-json:
+    cargo run --release -p bench --bin bench_faults

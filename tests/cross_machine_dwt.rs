@@ -22,11 +22,7 @@ fn all_five_implementations_agree() {
     assert_eq!(par, reference, "rayon parallel differs");
 
     // 2. coarse-grain MIMD on the simulated Paragon: bit-identical.
-    let scfg = SpmdConfig {
-        machine: MachineSpec::paragon(),
-        nranks: 8,
-        mapping: Mapping::Snake,
-    };
+    let scfg = SpmdConfig::new(MachineSpec::paragon(), 8, Mapping::Snake);
     let mimd = run_mimd_dwt(&scfg, &MimdDwtConfig::tuned(bank.clone(), levels), &image).unwrap();
     assert_eq!(mimd.pyramid, reference, "MIMD simulation differs");
 
@@ -67,11 +63,7 @@ fn mimd_works_across_filters_levels_and_rank_counts() {
         let bank = FilterBank::daubechies(taps).unwrap();
         let reference = dwt2d::decompose(&image, &bank, 2, Boundary::Periodic).unwrap();
         for p in [1usize, 3, 6] {
-            let scfg = SpmdConfig {
-                machine: MachineSpec::paragon(),
-                nranks: p,
-                mapping: Mapping::Snake,
-            };
+            let scfg = SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake);
             let run = run_mimd_dwt(&scfg, &MimdDwtConfig::tuned(bank.clone(), 2), &image).unwrap();
             assert_eq!(run.pyramid, reference, "D{taps} P={p}");
         }
@@ -85,11 +77,7 @@ fn t3d_and_workstation_profiles_also_run_the_dwt() {
     let reference = dwt2d::decompose(&image, &bank, 1, Boundary::Periodic).unwrap();
     for machine in [MachineSpec::t3d(), MachineSpec::dec5000()] {
         let nranks = if machine.topology.nodes() > 1 { 4 } else { 1 };
-        let scfg = SpmdConfig {
-            machine,
-            nranks,
-            mapping: Mapping::RowMajor,
-        };
+        let scfg = SpmdConfig::new(machine, nranks, Mapping::RowMajor);
         let run = run_mimd_dwt(&scfg, &MimdDwtConfig::tuned(bank.clone(), 1), &image).unwrap();
         assert_eq!(run.pyramid, reference);
         assert!(run.parallel_time() > 0.0);

@@ -12,11 +12,7 @@ use pic::parallel::{GsumAlgo, ParPicConfig};
 use pic::sim::PicConfig;
 
 fn paragon(p: usize, mapping: Mapping) -> SpmdConfig {
-    SpmdConfig {
-        machine: MachineSpec::paragon(),
-        nranks: p,
-        mapping,
-    }
+    SpmdConfig::new(MachineSpec::paragon(), p, mapping)
 }
 
 /// Table 1's machine ordering: MasPar ≪ Paragon-32 < Paragon-1 < DEC.
@@ -37,11 +33,7 @@ fn table1_machine_ordering() {
         .unwrap()
         .parallel_time();
     let t_dec = run_mimd_dwt(
-        &SpmdConfig {
-            machine: MachineSpec::dec5000(),
-            nranks: 1,
-            mapping: Mapping::RowMajor,
-        },
+        &SpmdConfig::new(MachineSpec::dec5000(), 1, Mapping::RowMajor),
         &cfg,
         &image,
     )
@@ -189,8 +181,10 @@ fn link_stats_quantify_routing_behaviour() {
             if me > 0 {
                 out.push((me - 1, vec![0u8; 8192], 8192));
             }
-            ctx.exchange(out);
+            ctx.exchange(out)?;
+            Ok(())
         })
+        .expect("fault-free simulator configuration")
         .net
     };
     let snake = guard_stats(Mapping::Snake);
@@ -210,8 +204,10 @@ fn link_stats_quantify_routing_behaviour() {
         } else {
             Vec::new()
         };
-        ctx.exchange(out);
+        ctx.exchange(out)?;
+        Ok(())
     })
+    .expect("fault-free simulator configuration")
     .net;
     assert!(
         gather.stall_s > 0.0,

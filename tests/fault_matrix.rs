@@ -1,0 +1,67 @@
+//! Fault-matrix gate: one configurable crash/drop scenario, driven by
+//! environment variables so CI can sweep a grid without recompiling:
+//!
+//! * `FAULT_DROP_RATE` — link drop probability (default `0.001`);
+//! * `FAULT_CRASHES`   — number of rank crashes to inject, `0..=3`
+//!   (default `1`).
+//!
+//! Whatever the grid point, both distributed decompositions must
+//! complete through redistribution and match the sequential fault-free
+//! oracle bit for bit.
+
+use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use dwt_mimd::block::run_block_dwt;
+use dwt_mimd::{run_mimd_dwt, MimdDwtConfig, ResiliencePolicy};
+use paragon::{FaultPlan, MachineSpec, Mapping, SpmdConfig};
+
+const RANKS: usize = 8;
+/// Staggered (rank, phase) crash schedule; `FAULT_CRASHES` takes a
+/// prefix. Phases are valid for both the striped (0..=13) and block
+/// (0..=17) 3-level schedules.
+const CRASHES: [(usize, u64); 3] = [(2, 6), (5, 11), (7, 3)];
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn plan() -> FaultPlan {
+    let drop_rate = env_f64("FAULT_DROP_RATE", 0.001);
+    let crashes = env_usize("FAULT_CRASHES", 1).min(CRASHES.len());
+    let mut plan = FaultPlan::seeded(7).with_drop_rate(drop_rate);
+    for &(rank, phase) in &CRASHES[..crashes] {
+        plan = plan.with_crash(rank, phase);
+    }
+    plan
+}
+
+#[test]
+fn striped_dwt_survives_the_configured_fault_grid_point() {
+    let img = Matrix::from_fn(64, 64, |r, c| ((r * 7 + c * 3) % 17) as f64 - 8.0);
+    let bank = FilterBank::daubechies(4).unwrap();
+    let oracle = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    let cfg = MimdDwtConfig::tuned(bank, 3).with_resilience(ResiliencePolicy::Redistribute);
+    let scfg = SpmdConfig::new(MachineSpec::paragon(), RANKS, Mapping::Snake).with_faults(plan());
+    let run = run_mimd_dwt(&scfg, &cfg, &img).expect("grid point must be recoverable");
+    assert_eq!(run.pyramid, oracle, "recovered stripes differ from oracle");
+}
+
+#[test]
+fn block_dwt_survives_the_configured_fault_grid_point() {
+    let img = Matrix::from_fn(64, 64, |r, c| ((r * 7 + c * 3) % 17) as f64 - 8.0);
+    let bank = FilterBank::daubechies(4).unwrap();
+    let oracle = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    let cfg = MimdDwtConfig::tuned(bank, 3).with_resilience(ResiliencePolicy::Redistribute);
+    let scfg = SpmdConfig::new(MachineSpec::t3d(), RANKS, Mapping::RowMajor).with_faults(plan());
+    let run = run_block_dwt(&scfg, &cfg, &img).expect("grid point must be recoverable");
+    assert_eq!(run.pyramid, oracle, "recovered blocks differ from oracle");
+}

@@ -1,0 +1,99 @@
+//! Property tests of the deterministic fault-injection layer: seeded
+//! fault schedules are perfectly reproducible, and crash recovery is
+//! exact (0 ULP) against the fault-free oracle.
+
+use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use dwt_mimd::{MimdDwtConfig, ResiliencePolicy};
+use paragon::{FaultPlan, MachineSpec, Mapping, SpmdConfig};
+use proptest::prelude::*;
+
+fn test_image(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| ((r * 19 + c * 11) % 29) as f64 - 14.0)
+}
+
+fn resilient_cfg() -> MimdDwtConfig {
+    MimdDwtConfig::tuned(FilterBank::daubechies(4).unwrap(), 2)
+        .with_resilience(ResiliencePolicy::Redistribute)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical fault-plan seeds reproduce the run exactly: same
+    /// virtual times, same per-rank budgets, same coefficients.
+    #[test]
+    fn same_seed_reproduces_budgets_and_coefficients(
+        seed in 0u64..1_000_000,
+        p in 2usize..=8,
+    ) {
+        let img = test_image(32);
+        let cfg = resilient_cfg();
+        let mk = || {
+            let plan = FaultPlan::seeded(seed)
+                .with_drop_rate(5e-3)
+                .with_corrupt_rate(1e-3)
+                .with_delay(2e-3, 1e-4);
+            SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake).with_faults(plan)
+        };
+        let a = dwt_mimd::run_mimd_dwt(&mk(), &cfg, &img).unwrap();
+        let b = dwt_mimd::run_mimd_dwt(&mk(), &cfg, &img).unwrap();
+        prop_assert_eq!(a.parallel_time(), b.parallel_time());
+        prop_assert_eq!(&a.budgets, &b.budgets);
+        prop_assert_eq!(&a.faults, &b.faults);
+        prop_assert_eq!(&a.pyramid, &b.pyramid);
+    }
+
+    /// A run that loses a rank at an arbitrary point of the schedule and
+    /// redistributes its work produces coefficients bit-identical (0 ULP)
+    /// to the sequential fault-free oracle.
+    #[test]
+    fn recovered_run_matches_fault_free_oracle_exactly(
+        p in 2usize..=8,
+        victim in 0usize..64,
+        phase in 0u64..10,
+    ) {
+        let img = test_image(32);
+        let cfg = resilient_cfg();
+        let oracle = dwt2d::decompose(
+            &img,
+            &FilterBank::daubechies(4).unwrap(),
+            2,
+            Boundary::Periodic,
+        )
+        .unwrap();
+        let plan = FaultPlan::none().with_crash(victim % p, phase);
+        let scfg =
+            SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake).with_faults(plan);
+        let run = dwt_mimd::run_mimd_dwt(&scfg, &cfg, &img).unwrap();
+        prop_assert_eq!(&run.pyramid, &oracle);
+    }
+
+    /// An injected node slowdown is charged as fault-recovery time in
+    /// the budget and never makes the simulated run faster. (Crashes can
+    /// legitimately *reduce* communication — two stripes co-located on
+    /// the adopter exchange guards for free — so this property is stated
+    /// for slowdowns, whose effect is one-sided by construction.)
+    #[test]
+    fn slowdown_is_charged_and_one_sided(
+        p in 2usize..=8,
+        victim in 0usize..64,
+        factor_pct in 150u64..=400,
+    ) {
+        let img = test_image(32);
+        let cfg = resilient_cfg();
+        let clean_cfg = SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake);
+        let clean = dwt_mimd::run_mimd_dwt(&clean_cfg, &cfg, &img).unwrap();
+        let plan = FaultPlan::none().with_slowdown(
+            victim % p,
+            factor_pct as f64 / 100.0,
+            0,
+            u64::MAX,
+        );
+        let slow_cfg = clean_cfg.clone().with_faults(plan);
+        let slow = dwt_mimd::run_mimd_dwt(&slow_cfg, &cfg, &img).unwrap();
+        prop_assert!(slow.parallel_time() >= clean.parallel_time());
+        let report = perfbudget::BudgetReport::from_ranks(&slow.budgets).unwrap();
+        prop_assert!(report.avg_fault_recovery > 0.0, "slowdown excess must be charged");
+        prop_assert_eq!(&slow.pyramid, &clean.pyramid);
+    }
+}

@@ -9,11 +9,7 @@ use pic::parallel::{GsumAlgo, ParPicConfig};
 use pic::sim::{PicConfig, PicState};
 
 fn paragon(p: usize) -> SpmdConfig {
-    SpmdConfig {
-        machine: MachineSpec::paragon(),
-        nranks: p,
-        mapping: Mapping::Snake,
-    }
+    SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake)
 }
 
 #[test]
@@ -24,11 +20,7 @@ fn nbody_parallel_equals_serial_on_both_machines() {
     let cfg = NbodyConfig::manager(ForceParams::default(), 0.01, 2);
     for scfg in [
         paragon(6),
-        SpmdConfig {
-            machine: MachineSpec::t3d(),
-            nranks: 6,
-            mapping: Mapping::RowMajor,
-        },
+        SpmdConfig::new(MachineSpec::t3d(), 6, Mapping::RowMajor),
     ] {
         let run = nbody::parallel::run_parallel(&scfg, &cfg, &init);
         assert_eq!(run.bodies, reference, "{}", scfg.machine.name);
@@ -49,11 +41,7 @@ fn pic_parallel_tracks_serial_on_both_machines() {
         pic::sim::step(&mut serial);
     }
     for machine in [MachineSpec::paragon(), MachineSpec::t3d()] {
-        let scfg = SpmdConfig {
-            machine,
-            nranks: 4,
-            mapping: Mapping::RowMajor,
-        };
+        let scfg = SpmdConfig::new(machine, 4, Mapping::RowMajor);
         let cfg = ParPicConfig {
             pic: PicConfig {
                 m: 8,

@@ -1,7 +1,8 @@
 //! Machine-readable fault-injection benchmark: degradation curves of the
-//! distributed D4 3-level block DWT under injected link faults and rank
-//! crashes, on the simulated Paragon and T3D. Writes `BENCH_faults.json`
-//! in the current directory.
+//! distributed D4 3-level block DWT *and* of the distributed striped
+//! reconstruction (idwt) under injected link faults and rank crashes, on
+//! the simulated Paragon and T3D. Writes `BENCH_faults.json` in the
+//! current directory.
 //!
 //! Every number here is *virtual* (simulated) time, so the whole file is
 //! a pure function of the fault seed: rerunning with the same seed must
@@ -11,10 +12,12 @@
 //! `cargo run --release -p bench --bin bench_faults`).
 
 use bench::{paper_image, paragon_cfg, t3d_cfg, tuned_dwt};
-use dwt_mimd::block::{run_block_dwt, BlockDwtRun};
+use dwt::{dwt2d, Boundary, FilterBank};
+use dwt_mimd::block::run_block_dwt;
+use dwt_mimd::idwt::run_mimd_idwt;
 use dwt_mimd::ResiliencePolicy;
-use paragon::{FaultPlan, Mapping, SpmdConfig};
-use perfbudget::BudgetReport;
+use paragon::{FaultPlan, FaultStats, Mapping, SpmdConfig};
+use perfbudget::{BudgetReport, RankBudget};
 
 const SEED: u64 = 1996; // the paper's year; any fixed seed works
 const RANKS: usize = 16;
@@ -22,24 +25,31 @@ const RANKS: usize = 16;
 /// Drop-probability grid of the link-fault sweep.
 const DROP_RATES: [f64; 5] = [0.0, 1e-4, 1e-3, 1e-2, 3e-2];
 
-/// Crash schedule of the crash-count sweep: (rank, phase), applied
+/// Crash schedule of the block-DWT crash sweep: (rank, phase), applied
 /// cumulatively. Phases span the whole 3-level block schedule
-/// (scatter 0, five phases per level, trailing gather 16).
+/// (scatter 0, six phases per level, trailing gather).
 const CRASHES: [(usize, u64); 4] = [(5, 7), (10, 12), (3, 3), (12, 16)];
+
+/// Crash schedule of the reconstruction crash sweep. The 3-level
+/// resilient idwt runs phases 0..=13 (scatter 0, four phases per level,
+/// trailing gather 13), so every phase here must stay within that range.
+const IDWT_CRASHES: [(usize, u64); 4] = [(5, 4), (10, 9), (3, 2), (12, 13)];
 
 struct Row {
     machine: &'static str,
+    transform: &'static str,
     sweep: &'static str,
     drop_rate: f64,
     crashes: usize,
-    run: BlockDwtRun,
+    time: f64,
+    budgets: Vec<RankBudget>,
+    faults: FaultStats,
 }
 
 impl Row {
     fn json(&self) -> String {
-        let report = BudgetReport::from_ranks(&self.run.budgets).expect("non-empty budgets");
+        let report = BudgetReport::from_ranks(&self.budgets).expect("non-empty budgets");
         let crashed: Vec<String> = self
-            .run
             .faults
             .crashed_ranks
             .iter()
@@ -47,7 +57,8 @@ impl Row {
             .collect();
         format!(
             concat!(
-                "{{\"machine\": \"{}\", \"sweep\": \"{}\", \"drop_rate\": {}, ",
+                "{{\"machine\": \"{}\", \"transform\": \"{}\", \"sweep\": \"{}\", ",
+                "\"drop_rate\": {}, ",
                 "\"crashes\": {}, \"parallel_time_s\": {:.9}, ",
                 "\"useful_pct\": {:.3}, \"communication_pct\": {:.3}, ",
                 "\"redundancy_pct\": {:.3}, \"imbalance_pct\": {:.3}, ",
@@ -55,17 +66,18 @@ impl Row {
                 "\"retransmissions\": {}, \"crashed_ranks\": [{}]}}"
             ),
             self.machine,
+            self.transform,
             self.sweep,
             self.drop_rate,
             self.crashes,
-            self.run.parallel_time(),
+            self.time,
             report.useful_pct(),
             report.communication_pct(),
             report.redundancy_pct(),
             report.imbalance_pct(),
             report.fault_pct(),
-            self.run.faults.totals.drops,
-            self.run.faults.totals.retransmissions,
+            self.faults.totals.drops,
+            self.faults.totals.retransmissions,
             crashed.join(", "),
         )
     }
@@ -82,6 +94,9 @@ fn machine_cfg(machine: &'static str) -> SpmdConfig {
 fn main() {
     let img = paper_image();
     let cfg = tuned_dwt(4, 3).with_resilience(ResiliencePolicy::Redistribute);
+    let bank = FilterBank::daubechies(4).expect("D4 exists");
+    let pyramid =
+        dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).expect("analysis of the bench scene");
     let mut rows: Vec<Row> = Vec::new();
 
     for machine in ["paragon", "t3d"] {
@@ -91,17 +106,40 @@ fn main() {
             let scfg = machine_cfg(machine).with_faults(plan);
             let run = run_block_dwt(&scfg, &cfg, &img).expect("drops are absorbed by retries");
             eprintln!(
-                "{machine:8} drop_rate={rate:<7} T={:.4}s drops={} retx={}",
+                "{machine:8} dwt  drop_rate={rate:<7} T={:.4}s drops={} retx={}",
                 run.parallel_time(),
                 run.faults.totals.drops,
                 run.faults.totals.retransmissions
             );
             rows.push(Row {
                 machine,
+                transform: "block_dwt",
                 sweep: "drop_rate",
                 drop_rate: rate,
                 crashes: 0,
-                run,
+                time: run.parallel_time(),
+                budgets: run.budgets,
+                faults: run.faults,
+            });
+
+            let plan = FaultPlan::seeded(SEED).with_drop_rate(rate);
+            let scfg = machine_cfg(machine).with_faults(plan);
+            let run = run_mimd_idwt(&scfg, &cfg, &pyramid).expect("drops are absorbed by retries");
+            eprintln!(
+                "{machine:8} idwt drop_rate={rate:<7} T={:.4}s drops={} retx={}",
+                run.parallel_time(),
+                run.faults.totals.drops,
+                run.faults.totals.retransmissions
+            );
+            rows.push(Row {
+                machine,
+                transform: "idwt",
+                sweep: "drop_rate",
+                drop_rate: rate,
+                crashes: 0,
+                time: run.parallel_time(),
+                budgets: run.budgets,
+                faults: run.faults,
             });
         }
 
@@ -114,27 +152,54 @@ fn main() {
             let scfg = machine_cfg(machine).with_faults(plan);
             let run = run_block_dwt(&scfg, &cfg, &img).expect("survivors absorb planned crashes");
             eprintln!(
-                "{machine:8} crashes={ncrash:<3} T={:.4}s dead={:?}",
+                "{machine:8} dwt  crashes={ncrash:<3} T={:.4}s dead={:?}",
                 run.parallel_time(),
                 run.faults.crashed_ranks
             );
             rows.push(Row {
                 machine,
+                transform: "block_dwt",
                 sweep: "crash_count",
                 drop_rate: 0.0,
                 crashes: ncrash,
-                run,
+                time: run.parallel_time(),
+                budgets: run.budgets,
+                faults: run.faults,
+            });
+
+            let mut plan = FaultPlan::seeded(SEED);
+            for &(rank, phase) in &IDWT_CRASHES[..ncrash] {
+                plan = plan.with_crash(rank, phase);
+            }
+            let scfg = machine_cfg(machine).with_faults(plan);
+            let run =
+                run_mimd_idwt(&scfg, &cfg, &pyramid).expect("survivors absorb planned crashes");
+            eprintln!(
+                "{machine:8} idwt crashes={ncrash:<3} T={:.4}s dead={:?}",
+                run.parallel_time(),
+                run.faults.crashed_ranks
+            );
+            rows.push(Row {
+                machine,
+                transform: "idwt",
+                sweep: "crash_count",
+                drop_rate: 0.0,
+                crashes: ncrash,
+                time: run.parallel_time(),
+                budgets: run.budgets,
+                faults: run.faults,
             });
         }
     }
 
     let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"block_dwt_fault_degradation\",\n");
+    out.push_str("{\n  \"bench\": \"dwt_fault_degradation\",\n");
     out.push_str("  \"unit\": \"virtual_seconds\",\n");
     out.push_str(&format!("  \"seed\": {SEED},\n"));
     out.push_str(&format!("  \"ranks\": {RANKS},\n"));
     out.push_str(&format!("  \"image\": {},\n", img.rows()));
-    out.push_str("  \"transform\": \"D4 L3 block, redistribute-on-crash\",\n");
+    out.push_str("  \"transforms\": [\"D4 L3 block analysis\", \"D4 L3 striped synthesis\"],\n");
+    out.push_str("  \"policy\": \"redistribute-on-crash\",\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    ");

@@ -126,8 +126,8 @@ impl RoleState {
 
 /// Collective phases one resilient block level executes: checkpoint
 /// handoff, column-guard exchange, row-guard exchange, LL
-/// redistribution, barrier.
-const BLOCK_LEVEL_PHASES: u64 = 5;
+/// redistribution, cost report, barrier.
+const BLOCK_LEVEL_PHASES: u64 = 6;
 
 /// Run the block-decomposed Mallat transform. `cfg.ordering` is ignored
 /// (block exchange is always simultaneous); distribution timing follows
@@ -203,19 +203,30 @@ fn rank_body(
 
     let mut rows_l = rows0;
     let mut cols_l = cols0;
+    // Estimated per-role work for the re-partition cost model: seeded
+    // analytically from the block areas, then replaced by measured level
+    // timings published in each level's cost-report phase.
+    let mut weights: Vec<f64> = (0..nranks)
+        .map(|r| {
+            let reg = region_of(r, pr, pc, rows0, cols0);
+            (reg.rows.rows() * reg.cols.rows()) as f64
+        })
+        .collect();
 
     for level in 0..cfg.levels {
         // --- Checkpoint handoff (resilient mode only): look one level
-        // ahead and move the roles of every rank that crashes before the
-        // next handoff. See the stripe version for the protocol argument.
+        // ahead in the plan (inclusive of the next handoff phase itself)
+        // and re-partition all roles across the survivors whenever a
+        // rank retires. See the stripe version for the protocol argument.
         if resilient {
             let p0 = ctx.next_phase();
             let window_end = if level + 1 == cfg.levels {
                 u64::MAX
             } else {
-                p0 + BLOCK_LEVEL_PHASES + 1
+                p0 + BLOCK_LEVEL_PHASES
             };
-            let takeovers = tracker.step(&plan, window_end)?;
+            let caps = crate::resilience::capacities(ctx, &plan, p0);
+            let takeovers = tracker.step(&plan, window_end, &weights, &caps)?;
             let mut sends: Vec<(usize, (usize, RoleState), usize)> = Vec::new();
             if level > 0 {
                 for t in &takeovers {
@@ -229,7 +240,7 @@ fn rank_body(
                     sends.push((t.to, (t.role, st), bytes));
                 }
             }
-            for (_, (role, st)) in ctx.exchange_reliable(sends)? {
+            for (_, (role, st)) in ctx.exchange_recovery(sends)? {
                 roles.insert(role, st);
             }
         }
@@ -323,9 +334,12 @@ fn rank_body(
             }
         }
 
-        // --- Row pass per role. -----------------------------------------
+        // --- Row pass per role, with per-role compute timing for the
+        // re-partition cost model. ---------------------------------------
         let mut filt: BTreeMap<usize, (Matrix, Matrix)> = BTreeMap::new();
+        let mut cost: BTreeMap<usize, f64> = BTreeMap::new();
         for (&a, st) in &roles {
+            let t0 = ctx.now();
             let ra = region_of(a, pr, pc, rows_l, cols_l);
             let out_c = output_range(ra.cols);
             let own_rows = ra.rows.rows();
@@ -358,6 +372,7 @@ fn rank_body(
                 }
             }
             ctx.charge(coeff_ops(f).times(2 * (own_rows * out_cols) as u64));
+            cost.insert(a, ctx.now() - t0);
             filt.insert(a, (low, high));
         }
         drop(col_guards);
@@ -439,6 +454,7 @@ fn rank_body(
         let half_cols_l = cols_l / 2;
         let mut lls: BTreeMap<usize, Matrix> = BTreeMap::new();
         for (&a, st) in roles.iter_mut() {
+            let t0 = ctx.now();
             let ra = region_of(a, pr, pc, rows_l, cols_l);
             let out_r = output_range(ra.rows);
             let out_c = output_range(ra.cols);
@@ -481,6 +497,7 @@ fn rank_body(
                 }
             }
             ctx.charge(coeff_ops(f).times(4 * (out_rows * out_cols) as u64));
+            *cost.entry(a).or_insert(0.0) += ctx.now() - t0;
             st.details.push(LevelBlocks {
                 k_row: out_r.lo,
                 k_col: out_c.lo,
@@ -554,6 +571,28 @@ fn rank_body(
                 }
             }
         }
+
+        // --- Cost report (resilient mode only): publish the roles'
+        // measured compute seconds so the next handoff's re-partition
+        // works from identical weights on every rank. Ranks already
+        // dead by this phase hold no roles and cannot receive.
+        if resilient {
+            let report_phase = ctx.next_phase();
+            let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
+            for (&a, &c) in &cost {
+                weights[a] = c;
+                for j in 0..nranks {
+                    if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                        continue;
+                    }
+                    sends.push((j, (a, c), std::mem::size_of::<f64>()));
+                }
+            }
+            for (_, (a, c)) in ctx.exchange_reliable(sends)? {
+                weights[a] = c;
+            }
+        }
+
         ctx.barrier()?;
     }
 
@@ -755,8 +794,9 @@ mod tests {
         let bank = FilterBank::daubechies(4).unwrap();
         let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
         let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
-        // 2 levels => phases 0..=11; phase 7 is rank 4's level-1 guard
-        // exchange.
+        // 2 levels => phases 0..=13; phase 7 is the level-1 checkpoint
+        // handoff — the boundary the inclusive lookahead window must
+        // cover.
         let plan = FaultPlan::none().with_crash(4, 7);
         let scfg = scfg(9).with_faults(plan);
         let run = run_block_dwt(&scfg, &cfg, &img).unwrap();
@@ -769,12 +809,13 @@ mod tests {
 
     #[test]
     fn block_crash_at_every_phase_recovers_bit_identically() {
-        // 4 ranks (2x2), 2 levels => phases 0..=11.
+        // 4 ranks (2x2), 2 levels => phases 0..=13 (scatter, 2 x 6 level
+        // phases, gather).
         let img = image(32);
         let bank = FilterBank::daubechies(4).unwrap();
         let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
         let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
-        for phase in 0..12u64 {
+        for phase in 0..14u64 {
             let plan = FaultPlan::none().with_crash(2, phase);
             let scfg = scfg(4).with_faults(plan);
             let run = run_block_dwt(&scfg, &cfg, &img)

@@ -6,15 +6,26 @@
 //! Only [`Boundary::Periodic`] is supported (the synthesis gather form
 //! of the other modes is not separable per rank); this is also the only
 //! mode with exact perfect reconstruction.
+//!
+//! Like the forward transforms, reconstruction is fault-aware: under
+//! [`ResiliencePolicy::Redistribute`] the stripe positions become
+//! *roles* re-partitioned across survivors ahead of scheduled crashes
+//! (see the [`crate::resilience`] module docs). The synthesis
+//! checkpoint is small: only each role's partial reconstruction needs
+//! shipping — the coefficient pyramid is the globally known input, so
+//! detail bands are cut locally by whoever plays the role, exactly as
+//! the forward transform cuts level-0 stripes from the source image.
+
+use std::collections::{BTreeMap, HashMap};
 
 use dwt::boundary::Boundary;
 use dwt::matrix::Matrix;
 use dwt::pyramid::Pyramid;
-use paragon::{CommError, Ctx, Ops, SpmdConfig};
+use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
 use crate::partition::{contiguous_runs, owner, stripes, Stripe};
-use crate::resilience::collect_failfast;
+use crate::resilience::{capacities, collect_failfast, collect_roles, RoleTracker};
 use crate::{coeff_ops, MimdDwtConfig, MimdError, ResiliencePolicy};
 
 /// Result of a distributed reconstruction.
@@ -26,6 +37,8 @@ pub struct MimdIdwtRun {
     pub image: Matrix,
     /// Per-rank budgets.
     pub budgets: Vec<RankBudget>,
+    /// Injected-fault totals and the ranks that crashed.
+    pub faults: FaultStats,
 }
 
 impl MimdIdwtRun {
@@ -65,13 +78,6 @@ pub fn run_mimd_idwt(
     pyramid: &Pyramid,
 ) -> Result<MimdIdwtRun, MimdError> {
     cfg.validate()?;
-    if cfg.resilience == ResiliencePolicy::Redistribute {
-        return Err(MimdError::InvalidConfig {
-            detail: "distributed reconstruction is fail-fast only (no checkpoint \
-                     protocol is defined for the synthesis phases)"
-                .into(),
-        });
-    }
     if cfg.mode != Boundary::Periodic {
         return Err(MimdError::InvalidConfig {
             detail: "distributed reconstruction supports periodic boundaries only".into(),
@@ -89,14 +95,25 @@ pub fn run_mimd_idwt(
     let (rows0, cols0) = pyramid.image_dims();
     dwt::dwt2d::validate_dims(rows0, cols0, cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
-    let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, pyramid, nranks))?;
+    let (outs, budgets, faults) = match cfg.resilience {
+        ResiliencePolicy::FailFast => {
+            let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, pyramid, nranks))?;
+            (collect_failfast(res.outputs)?, res.budgets, res.faults)
+        }
+        ResiliencePolicy::Redistribute => {
+            let res =
+                paragon::run_spmd(scfg, |ctx| resilient_rank_body(ctx, cfg, pyramid, nranks))?;
+            (collect_roles(res.outputs, nranks)?, res.budgets, res.faults)
+        }
+    };
     let mut image = Matrix::zeros(rows0, cols0);
-    for (lo, stripe) in collect_failfast(res.outputs)? {
+    for (lo, stripe) in outs {
         image.paste(lo, 0, &stripe).expect("stripe fits");
     }
     Ok(MimdIdwtRun {
         image,
-        budgets: res.budgets,
+        budgets,
+        faults,
     })
 }
 
@@ -143,7 +160,6 @@ fn rank_body(
         let half_rows = rows0 >> level;
         let half_cols = cols0 >> level;
         let out_rows_total = half_rows * 2;
-        let out_cols_total = half_cols * 2;
         debug_assert_eq!(cur_stripe, stripes(half_rows, nranks)[rank]);
 
         // This rank's coefficient stripes at this level.
@@ -206,46 +222,23 @@ fn rank_body(
             }
         }
 
-        // --- Column synthesis: build the row-intermediates L and H for
-        // my output rows.
-        let out_rows = out_stripe.rows();
-        let mut low = Matrix::zeros(out_rows, half_cols);
-        let mut high = Matrix::zeros(out_rows, half_cols);
-        for (ni, n) in (out_stripe.lo..out_stripe.hi).enumerate() {
-            for m in 0..f {
-                let t = n as isize - m as isize;
-                if t % 2 != 0 {
-                    continue;
-                }
-                let k = (t / 2).rem_euclid(half_rows as isize) as usize;
-                let tl = cfg.filter.low()[m];
-                let th = cfg.filter.high()[m];
-                let (a_row, lh_row, hl_row, hh_row): (&[f64], &[f64], &[f64], &[f64]) =
-                    if cur_stripe.contains(k) {
-                        let i = k - cur_stripe.lo;
-                        (current.row(i), lh.row(i), hl.row(i), hh.row(i))
-                    } else {
-                        let g = guards.get(&k).ok_or(CommError::Protocol {
-                            detail: crate::GUARD_LOST,
-                        })?;
-                        (&g[0], &g[1], &g[2], &g[3])
-                    };
-                dwt::engine::kernel::axpy_pair(low.row_mut(ni), a_row, lh_row, tl, th);
-                dwt::engine::kernel::axpy_pair(high.row_mut(ni), hl_row, hh_row, tl, th);
+        // --- Column + row synthesis through the shared kernel. ----------
+        let out = synthesize_level(ctx, cfg, out_stripe, half_rows, half_cols, |k| {
+            if cur_stripe.contains(k) {
+                let i = k - cur_stripe.lo;
+                Ok((current.row(i), lh.row(i), hl.row(i), hh.row(i)))
+            } else {
+                let g = guards.get(&k).ok_or(CommError::Protocol {
+                    detail: crate::GUARD_LOST,
+                })?;
+                Ok((
+                    g[0].as_slice(),
+                    g[1].as_slice(),
+                    g[2].as_slice(),
+                    g[3].as_slice(),
+                ))
             }
-        }
-        ctx.charge(coeff_ops(f).times(2 * (out_rows * half_cols) as u64));
-
-        // --- Row synthesis: expand columns, fully local. ---------------
-        let mut out = Matrix::zeros(out_rows, out_cols_total);
-        for r in 0..out_rows {
-            let dst = out.row_mut(r);
-            dwt::conv::synthesize_add(low.row(r), cfg.filter.low(), cfg.mode, dst)
-                .expect("buffer sized by construction");
-            dwt::conv::synthesize_add(high.row(r), cfg.filter.high(), cfg.mode, dst)
-                .expect("buffer sized by construction");
-        }
-        ctx.charge(coeff_ops(f).times((out_rows * out_cols_total) as u64));
+        })?;
 
         // The output stripe is exactly the next iteration's coefficient
         // stripe (stripes() is consistent across levels).
@@ -276,12 +269,304 @@ fn rank_body(
     Ok((cur_stripe.lo, current))
 }
 
+// ---------------------------------------------------------------------
+// Pieces shared by the fail-fast and resilient bodies. Keeping the
+// synthesis arithmetic in one place is what makes a recovered
+// reconstruction bit-identical to the fault-free one.
+// ---------------------------------------------------------------------
+
+/// One level of column + row synthesis for `out_stripe`, sourcing each
+/// needed coefficient row quad (approx, lh, hl, hh) through `look`.
+fn synthesize_level<'a>(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    out_stripe: Stripe,
+    half_rows: usize,
+    half_cols: usize,
+    look: impl Fn(usize) -> Result<(&'a [f64], &'a [f64], &'a [f64], &'a [f64]), CommError>,
+) -> Result<Matrix, CommError> {
+    let f = cfg.filter.len();
+    let out_rows = out_stripe.rows();
+    let out_cols_total = half_cols * 2;
+
+    // --- Column synthesis: build the row-intermediates L and H for the
+    // stripe's output rows.
+    let mut low = Matrix::zeros(out_rows, half_cols);
+    let mut high = Matrix::zeros(out_rows, half_cols);
+    for (ni, n) in (out_stripe.lo..out_stripe.hi).enumerate() {
+        for m in 0..f {
+            let t = n as isize - m as isize;
+            if t % 2 != 0 {
+                continue;
+            }
+            let k = (t / 2).rem_euclid(half_rows as isize) as usize;
+            let tl = cfg.filter.low()[m];
+            let th = cfg.filter.high()[m];
+            let (a_row, lh_row, hl_row, hh_row) = look(k)?;
+            dwt::engine::kernel::axpy_pair(low.row_mut(ni), a_row, lh_row, tl, th);
+            dwt::engine::kernel::axpy_pair(high.row_mut(ni), hl_row, hh_row, tl, th);
+        }
+    }
+    ctx.charge(coeff_ops(f).times(2 * (out_rows * half_cols) as u64));
+
+    // --- Row synthesis: expand columns, fully local. -------------------
+    let mut out = Matrix::zeros(out_rows, out_cols_total);
+    for r in 0..out_rows {
+        let dst = out.row_mut(r);
+        dwt::conv::synthesize_add(low.row(r), cfg.filter.low(), cfg.mode, dst)
+            .expect("buffer sized by construction");
+        dwt::conv::synthesize_add(high.row(r), cfg.filter.high(), cfg.mode, dst)
+            .expect("buffer sized by construction");
+    }
+    ctx.charge(coeff_ops(f).times((out_rows * out_cols_total) as u64));
+    Ok(out)
+}
+
+/// Cut one role's detail-band stripes for `level` from the globally
+/// known pyramid.
+fn cut_bands(pyramid: &Pyramid, level: usize, s: Stripe, half_cols: usize) -> [Matrix; 3] {
+    let bands = &pyramid.detail[level - 1];
+    let take = |m: &Matrix| {
+        m.submatrix(s.lo, 0, s.rows(), half_cols)
+            .expect("band stripe")
+    };
+    [take(&bands.lh), take(&bands.hl), take(&bands.hh)]
+}
+
+// ---------------------------------------------------------------------
+// The resilient body: one rank plays a *set* of stripe roles, adopted
+// ahead of scheduled crashes (see the `resilience` module docs). Only
+// the partial reconstruction is checkpointed — the coefficient pyramid
+// is the globally known input of the transform.
+// ---------------------------------------------------------------------
+
+/// Collective phases one resilient reconstruction level executes:
+/// checkpoint handoff, guard exchange, cost report, barrier.
+const IDWT_LEVEL_PHASES: u64 = 4;
+
+#[allow(clippy::type_complexity)]
+fn resilient_rank_body(
+    ctx: &mut Ctx,
+    cfg: &MimdDwtConfig,
+    pyramid: &Pyramid,
+    nranks: usize,
+) -> Result<Vec<(usize, (usize, Matrix))>, CommError> {
+    let me = ctx.rank();
+    let f = cfg.filter.len();
+    let (rows0, cols0) = pyramid.image_dims();
+    let levels = cfg.levels;
+    let plan = ctx.fault_plan().clone();
+    let mut tracker = RoleTracker::new(nranks);
+    // Per-role partial reconstruction — the only synthesis state that
+    // must survive a crash.
+    let mut roles: BTreeMap<usize, Matrix> = BTreeMap::new();
+
+    // Initial distribution timing (mirrors the fail-fast body).
+    if cfg.include_distribution {
+        let mut out = Vec::new();
+        if me == 0 {
+            let per_rank_coeffs = rows0 * cols0 / nranks;
+            for j in 1..nranks {
+                out.push((j, (), per_rank_coeffs * cfg.pixel_bytes));
+            }
+        }
+        ctx.exchange::<()>(out)?;
+    }
+
+    // Estimated per-role work for the re-partition cost model: seeded
+    // analytically from the deepest stripe sizes, then replaced by
+    // measured level timings published in each level's cost-report phase.
+    let mut weights: Vec<f64> = stripes(rows0 >> levels, nranks)
+        .iter()
+        .map(|s| s.rows() as f64)
+        .collect();
+
+    for level in (1..=levels).rev() {
+        let half_rows = rows0 >> level;
+        let half_cols = cols0 >> level;
+        let out_rows_total = half_rows * 2;
+        let coeff_stripes = stripes(half_rows, nranks);
+        let out_stripes = stripes(out_rows_total, nranks);
+
+        // --- Checkpoint handoff: same inclusive lookahead-window
+        // contract as the forward transforms.
+        let p0 = ctx.next_phase();
+        let window_end = if level == 1 {
+            u64::MAX // the last window also covers the trailing gather
+        } else {
+            p0 + IDWT_LEVEL_PHASES
+        };
+        let caps = capacities(ctx, &plan, p0);
+        let takeovers = tracker.step(&plan, window_end, &weights, &caps)?;
+        let mut sends: Vec<(usize, (usize, Matrix), usize)> = Vec::new();
+        if level != levels {
+            for t in &takeovers {
+                if t.from != me {
+                    continue;
+                }
+                let st = roles.remove(&t.role).ok_or(CommError::Protocol {
+                    detail: "takeover of a role this rank does not hold",
+                })?;
+                let bytes = st.rows() * st.cols() * cfg.pixel_bytes;
+                sends.push((t.to, (t.role, st), bytes));
+            }
+        }
+        for (_, (role, st)) in ctx.exchange_recovery(sends)? {
+            roles.insert(role, st);
+        }
+        if level == levels {
+            // Deepest-level state needs no checkpoint: the pyramid is
+            // globally known, so every player cuts its roles' approx
+            // stripes directly (adopters included).
+            for role in tracker.roles_of(me) {
+                let s = coeff_stripes[role];
+                let cur = pyramid
+                    .approx
+                    .submatrix(s.lo, 0, s.rows(), half_cols)
+                    .expect("stripe inside approx");
+                ctx.charge_as(
+                    Ops {
+                        flops: 0,
+                        intops: 16,
+                        memops: 2 * (cur.rows() * cur.cols()) as u64,
+                    },
+                    Category::UniqueRedundancy,
+                );
+                roles.insert(role, cur);
+            }
+        }
+
+        // Detail bands per role, cut from the globally known input.
+        let mut bands: BTreeMap<usize, [Matrix; 3]> = BTreeMap::new();
+        for &a in roles.keys() {
+            bands.insert(a, cut_bands(pyramid, level, coeff_stripes[a], half_cols));
+        }
+
+        // --- Role-addressed guard exchange: coefficient rows other
+        // roles' column synthesis needs. Messages between two roles of
+        // the same rank ride the free self-route.
+        ctx.charge_as(
+            Ops {
+                flops: 0,
+                intops: 30 * (nranks * roles.len().max(1)) as u64,
+                memops: 0,
+            },
+            Category::UniqueRedundancy,
+        );
+        let mut sends: Vec<crate::RoleSend> = Vec::new();
+        for (&a, cur) in &roles {
+            let sa = coeff_stripes[a];
+            let [lh, hl, hh] = &bands[&a];
+            for j in 0..nranks {
+                if j == a {
+                    continue;
+                }
+                let from_a: Vec<usize> = needed_coeff_rows(out_stripes[j], f, half_rows)
+                    .into_iter()
+                    .filter(|&k| !coeff_stripes[j].contains(k) && sa.contains(k))
+                    .collect();
+                for (lo, hi) in contiguous_runs(&from_a) {
+                    let run = hi - lo;
+                    let mut payload = Vec::with_capacity(4 * run * half_cols);
+                    for src in [cur, lh, hl, hh] {
+                        for k in lo..hi {
+                            payload.extend_from_slice(src.row(k - sa.lo));
+                        }
+                    }
+                    let bytes = payload.len() * cfg.pixel_bytes;
+                    sends.push((tracker.owner(j), (j, lo, payload), bytes));
+                }
+            }
+        }
+        let mut guards: HashMap<(usize, usize), [Vec<f64>; 4]> = HashMap::new();
+        for (_, (role, lo, payload)) in ctx.exchange(sends)? {
+            let run = payload.len() / (4 * half_cols);
+            for (i, k) in (lo..lo + run).enumerate() {
+                let row = |band: usize| {
+                    let off = (band * run + i) * half_cols;
+                    payload[off..off + half_cols].to_vec()
+                };
+                guards.insert((role, k), [row(0), row(1), row(2), row(3)]);
+            }
+        }
+
+        // --- Synthesis per role through the shared kernel, with
+        // per-role compute timing for the re-partition cost model.
+        let mut cost: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut next_roles: BTreeMap<usize, Matrix> = BTreeMap::new();
+        for (&a, cur) in &roles {
+            let sa = coeff_stripes[a];
+            let [lh, hl, hh] = &bands[&a];
+            let t0 = ctx.now();
+            let out = synthesize_level(ctx, cfg, out_stripes[a], half_rows, half_cols, |k| {
+                if sa.contains(k) {
+                    let i = k - sa.lo;
+                    Ok((cur.row(i), lh.row(i), hl.row(i), hh.row(i)))
+                } else {
+                    let g = guards.get(&(a, k)).ok_or(CommError::Protocol {
+                        detail: crate::GUARD_LOST,
+                    })?;
+                    Ok((
+                        g[0].as_slice(),
+                        g[1].as_slice(),
+                        g[2].as_slice(),
+                        g[3].as_slice(),
+                    ))
+                }
+            })?;
+            cost.insert(a, ctx.now() - t0);
+            next_roles.insert(a, out);
+        }
+        roles = next_roles;
+
+        // --- Cost report: publish the roles' measured compute seconds
+        // so the next handoff's re-partition works from identical
+        // weights on every rank. Ranks already dead by this phase hold
+        // no roles and cannot receive.
+        let report_phase = ctx.next_phase();
+        let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
+        for (&a, &c) in &cost {
+            weights[a] = c;
+            for j in 0..nranks {
+                if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                    continue;
+                }
+                sends.push((j, (a, c), std::mem::size_of::<f64>()));
+            }
+        }
+        for (_, (a, c)) in ctx.exchange_reliable(sends)? {
+            weights[a] = c;
+        }
+
+        ctx.barrier()?;
+    }
+
+    // Final gather of the image (timing only), rooted at the rank
+    // playing role 0 — a live rank even when physical rank 0 crashed.
+    if cfg.include_distribution {
+        let root = tracker.owner(0);
+        let my_coeffs: usize = roles.values().map(|m| m.rows() * m.cols()).sum();
+        let out = if me == root || my_coeffs == 0 {
+            Vec::new()
+        } else {
+            vec![(root, (), my_coeffs * cfg.pixel_bytes)]
+        };
+        ctx.exchange::<()>(out)?;
+    }
+
+    let final_stripes = stripes(rows0, nranks);
+    Ok(roles
+        .into_iter()
+        .map(|(role, cur)| (role, (final_stripes[role].lo, cur)))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dwt::dwt2d;
     use dwt::filters::FilterBank;
-    use paragon::{MachineSpec, Mapping};
+    use paragon::{FaultPlan, MachineSpec, Mapping};
 
     fn image(n: usize) -> Matrix {
         Matrix::from_fn(n, n, |r, c| ((r * 17 + c * 5) % 23) as f64 + 0.5)
@@ -334,16 +619,113 @@ mod tests {
     }
 
     #[test]
-    fn rejects_redistribute_policy_with_typed_error() {
+    fn redistribute_without_faults_matches_failfast_bitwise() {
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2);
+        let resilient = cfg
+            .clone()
+            .with_resilience(crate::ResiliencePolicy::Redistribute);
+        for p in [1usize, 3, 8] {
+            let oracle = run_mimd_idwt(&scfg(p), &cfg, &pyr).unwrap();
+            let run = run_mimd_idwt(&scfg(p), &resilient, &pyr).unwrap();
+            assert_eq!(run.image, oracle.image, "P={p}");
+            assert!(run.faults.crashed_ranks.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_recovery_reconstruction_is_bit_identical_to_fault_free() {
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 3);
+        let resilient = cfg
+            .clone()
+            .with_resilience(crate::ResiliencePolicy::Redistribute);
+        let oracle = run_mimd_idwt(&scfg(8), &cfg, &pyr).unwrap();
+        // Kill rank 2 exactly at the second level handoff (phase 5) and
+        // rank 5 during the last level (phase 11 = its cost report).
+        let plan = FaultPlan::none().with_crash(2, 5).with_crash(5, 11);
+        let faulted = scfg(8).with_faults(plan);
+        let run = run_mimd_idwt(&faulted, &resilient, &pyr).unwrap();
+        assert_eq!(
+            run.image, oracle.image,
+            "recovered reconstruction must be bit-identical to the fault-free run"
+        );
+        assert_eq!(run.faults.crashed_ranks, vec![2, 5]);
+        // The checkpoint traffic is charged to the recovery lane.
+        assert!(run.budgets.iter().any(|b| b.fault_recovery > 0.0));
+    }
+
+    #[test]
+    fn crash_at_every_phase_reconstructs_bit_identically() {
+        // 6 ranks, 2 levels => phases 0..=9 (scatter, 2 x 4 level
+        // phases, gather). Recovery must never depend on lucky timing.
         let img = image(32);
-        let bank = FilterBank::haar();
+        let bank = FilterBank::daubechies(4).unwrap();
+        let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let cfg = MimdDwtConfig::tuned(bank, 2);
+        let resilient = cfg
+            .clone()
+            .with_resilience(crate::ResiliencePolicy::Redistribute);
+        let oracle = run_mimd_idwt(&scfg(6), &cfg, &pyr).unwrap();
+        for phase in 0..10u64 {
+            let plan = FaultPlan::none().with_crash(3, phase);
+            let faulted = scfg(6).with_faults(plan);
+            let run = run_mimd_idwt(&faulted, &resilient, &pyr)
+                .unwrap_or_else(|e| panic!("crash at phase {phase} not recovered: {e}"));
+            assert_eq!(
+                run.image, oracle.image,
+                "crash at phase {phase} corrupted output"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_reconstructions_are_deterministic() {
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
         let pyr = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
         let cfg =
             MimdDwtConfig::tuned(bank, 2).with_resilience(crate::ResiliencePolicy::Redistribute);
-        assert!(matches!(
-            run_mimd_idwt(&scfg(2), &cfg, &pyr).unwrap_err(),
-            MimdError::InvalidConfig { .. }
-        ));
+        let mk = || {
+            let plan = FaultPlan::seeded(42).with_drop_rate(1e-3).with_crash(1, 5);
+            scfg(6).with_faults(plan)
+        };
+        let a = run_mimd_idwt(&mk(), &cfg, &pyr).unwrap();
+        let b = run_mimd_idwt(&mk(), &cfg, &pyr).unwrap();
+        assert_eq!(a.parallel_time(), b.parallel_time());
+        assert_eq!(a.budgets, b.budgets);
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn rebalance_keeps_survivor_useful_time_within_twice_mean() {
+        // The acceptance bound: after a crash the re-partition must not
+        // leave any survivor charged more than 2x the mean per-survivor
+        // useful time.
+        let img = image(64);
+        let bank = FilterBank::daubechies(4).unwrap();
+        let pyr = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+        let cfg =
+            MimdDwtConfig::tuned(bank, 3).with_resilience(crate::ResiliencePolicy::Redistribute);
+        let plan = FaultPlan::none().with_crash(2, 6);
+        let run = run_mimd_idwt(&scfg(8).with_faults(plan), &cfg, &pyr).unwrap();
+        let survivors: Vec<_> = run
+            .budgets
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| !run.faults.crashed_ranks.contains(r))
+            .map(|(_, b)| *b)
+            .collect();
+        let balance = perfbudget::BudgetReport::useful_balance(&survivors).unwrap();
+        assert!(
+            balance <= 2.0,
+            "useful-time balance {balance} exceeds 2x the survivor mean"
+        );
+        assert!(run.budgets.iter().any(|b| b.fault_recovery > 0.0));
     }
 
     #[test]

@@ -599,8 +599,8 @@ impl RoleState {
 }
 
 /// Collective phases one resilient level executes: checkpoint handoff,
-/// guard exchange, LL redistribution, barrier.
-const STRIPE_LEVEL_PHASES: u64 = 4;
+/// guard exchange, LL redistribution, cost report, barrier.
+const STRIPE_LEVEL_PHASES: u64 = 5;
 
 fn resilient_rank_body(
     ctx: &mut Ctx,
@@ -627,22 +627,32 @@ fn resilient_rank_body(
 
     let mut rows_l = rows0;
     let mut cols_l = cols0;
+    // Estimated per-role work for the re-partition cost model: seeded
+    // analytically from the stripe sizes, then replaced by measured
+    // level timings published in each level's cost-report phase.
+    let mut weights: Vec<f64> = stripes(rows0, nranks)
+        .iter()
+        .map(|s| s.rows() as f64)
+        .collect();
 
     for level in 0..cfg.levels {
         let level_stripes = stripes(rows_l, nranks);
 
-        // --- Checkpoint handoff: look one level ahead in the plan and
-        // move the roles of every rank that crashes before the *next*
-        // handoff. The retiring owner is by construction still alive
-        // here (it was retired a full level before its crash fires), so
-        // the hardened control channel always delivers its state.
+        // --- Checkpoint handoff: look one level ahead in the plan
+        // (inclusive of the next handoff phase itself — a crash firing
+        // exactly there dies at its entry) and re-partition all roles
+        // across the survivors whenever a rank retires. The retiring
+        // owner is by construction still alive here (it was retired a
+        // full level before its crash fires), so the recovery channel
+        // always delivers its state.
         let p0 = ctx.next_phase();
         let window_end = if level + 1 == cfg.levels {
             u64::MAX // the last window also covers the trailing gather
         } else {
-            p0 + STRIPE_LEVEL_PHASES + 1
+            p0 + STRIPE_LEVEL_PHASES
         };
-        let takeovers = tracker.step(&plan, window_end)?;
+        let caps = resilience::capacities(ctx, &plan, p0);
+        let takeovers = tracker.step(&plan, window_end, &weights, &caps)?;
         let mut sends: Vec<(usize, (usize, RoleState), usize)> = Vec::new();
         if level > 0 {
             for t in &takeovers {
@@ -656,7 +666,7 @@ fn resilient_rank_body(
                 sends.push((t.to, (t.role, st), bytes));
             }
         }
-        for (_, (role, st)) in ctx.exchange_reliable(sends)? {
+        for (_, (role, st)) in ctx.exchange_recovery(sends)? {
             roles.insert(role, st);
         }
         if level == 0 {
@@ -677,10 +687,14 @@ fn resilient_rank_body(
 
         let half_cols = cols_l / 2;
 
-        // --- Row pass for every role this rank plays. -------------------
+        // --- Row pass for every role this rank plays, with per-role
+        // compute timing for the re-partition cost model. ----------------
         let mut filt: BTreeMap<usize, (Matrix, Matrix)> = BTreeMap::new();
+        let mut cost: BTreeMap<usize, f64> = BTreeMap::new();
         for (&a, st) in &roles {
+            let t0 = ctx.now();
             filt.insert(a, row_pass(ctx, cfg, &st.input, half_cols));
+            cost.insert(a, ctx.now() - t0);
         }
 
         // --- Role-addressed guard exchange. Messages between two roles
@@ -737,6 +751,7 @@ fn resilient_rank_body(
         for (&a, st) in roles.iter_mut() {
             let sa = level_stripes[a];
             let (low, high) = &filt[&a];
+            let t0 = ctx.now();
             let (ll, level_out) =
                 column_pass(ctx, cfg, output_range(sa), rows_l, half_cols, |g| {
                     if sa.contains(g) {
@@ -748,6 +763,7 @@ fn resilient_rank_body(
                         }
                     }
                 })?;
+            *cost.entry(a).or_insert(0.0) += ctx.now() - t0;
             st.details.push(level_out);
             lls.insert(a, ll);
         }
@@ -797,6 +813,27 @@ fn resilient_rank_body(
                 });
             }
             st.input.row_mut(k - next.lo).copy_from_slice(&data);
+        }
+
+        // --- Cost report: every rank publishes its roles' measured
+        // compute seconds so the next handoff's re-partition works from
+        // identical weights on every rank. Ranks already dead by this
+        // phase are skipped (they hold no roles and cannot receive);
+        // retired-but-alive ranks may keep stale weights safely — they
+        // own nothing, so their local assignment decides no sends.
+        let report_phase = ctx.next_phase();
+        let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
+        for (&a, &c) in &cost {
+            weights[a] = c;
+            for j in 0..nranks {
+                if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                    continue;
+                }
+                sends.push((j, (a, c), std::mem::size_of::<f64>()));
+            }
+        }
+        for (_, (a, c)) in ctx.exchange_reliable(sends)? {
+            weights[a] = c;
         }
 
         ctx.barrier()?;
@@ -1061,8 +1098,9 @@ mod tests {
         let bank = FilterBank::daubechies(4).unwrap();
         let seq = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
         let cfg = MimdDwtConfig::tuned(bank, 3).with_resilience(ResiliencePolicy::Redistribute);
-        // Kill rank 2 in the middle of level 1 (phase 6 = its guard
-        // exchange) and rank 5 at the trailing gather (phase 13).
+        // Kill rank 2 exactly at the level-1 checkpoint handoff (phase 6)
+        // and rank 5 in the middle of level 2 (phase 13 = its LL
+        // redistribution).
         let plan = FaultPlan::none().with_crash(2, 6).with_crash(5, 13);
         let scfg = paragon_cfg(8, Mapping::Snake).with_faults(plan);
         let run = run_mimd_dwt(&scfg, &cfg, &img).unwrap();
@@ -1077,12 +1115,13 @@ mod tests {
     fn crash_at_every_phase_recovers_bit_identically() {
         // Sweep the crash across the whole phase schedule, including the
         // handoff phases themselves: recovery must never depend on lucky
-        // timing. 6 ranks, 2 levels => phases 0..=9.
+        // timing. 6 ranks, 2 levels => phases 0..=11 (scatter, 2 x 5
+        // level phases, gather).
         let img = test_image(32);
         let bank = FilterBank::daubechies(4).unwrap();
         let seq = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
         let cfg = MimdDwtConfig::tuned(bank, 2).with_resilience(ResiliencePolicy::Redistribute);
-        for phase in 0..10u64 {
+        for phase in 0..12u64 {
             let plan = FaultPlan::none().with_crash(3, phase);
             let scfg = paragon_cfg(6, Mapping::Snake).with_faults(plan);
             let run = run_mimd_dwt(&scfg, &cfg, &img)

@@ -8,11 +8,19 @@
 //! * work is organised in **roles** (the grid positions of the fault-free
 //!   decomposition). Initially role `r` is played by physical rank `r`;
 //! * at the start of every level each rank looks one level ahead in the
-//!   plan. A rank scheduled to die before the *next* level's handoff is
-//!   **retired now**: its roles move to the next surviving rank, and it
-//!   ships each role's checkpoint (the level-input tile plus the detail
-//!   stripes of completed levels) over the hardened control channel
-//!   ([`paragon::Ctx::exchange_reliable`]);
+//!   plan. A rank scheduled to die at or before the *next* level's
+//!   handoff (the window is **inclusive** of its end phase: a rank whose
+//!   crash fires exactly at that handoff dies at the handoff's entry and
+//!   could never ship its state there) is **retired now**;
+//! * a retirement triggers a **re-partition of all roles across all
+//!   survivors**: estimated remaining work per role (measured level
+//!   timings, exchanged at the end of every level) is balanced against
+//!   per-rank capacity (thermal speed factor and scheduled slowdowns)
+//!   by a deterministic greedy LPT assignment. Migrated role state —
+//!   from retiring owners *and* from live ranks the re-partition moves
+//!   work away from — ships over the recovery channel
+//!   ([`paragon::Ctx::exchange_recovery`]) and is charged to the
+//!   `FaultRecovery` budget lane;
 //! * because a retiring rank is always still alive at the handoff where
 //!   it gives its state away (it was retired one full level before its
 //!   crash fires), no role state is ever lost while at least one rank
@@ -118,12 +126,15 @@ impl From<SpmdError> for MimdError {
 pub(crate) const ROLE_LOST: &str =
     "every remaining rank is scheduled to crash; role state cannot be preserved";
 
-/// One role reassignment decided at a level handoff.
+/// One role reassignment decided at a level handoff. `from` may be a
+/// retiring rank (crash scheduled inside the window) or a live survivor
+/// the re-partition moves work away from; either way it is still alive
+/// at the handoff and ships the checkpoint itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Takeover {
     /// Grid position whose state moves.
     pub role: usize,
-    /// Retiring owner (still alive at the handoff; ships the checkpoint).
+    /// Previous owner (still alive at the handoff; ships the checkpoint).
     pub from: usize,
     /// Adopting survivor.
     pub to: usize,
@@ -161,30 +172,84 @@ impl RoleTracker {
             .collect()
     }
 
-    /// Retire every rank whose crash fires before `window_end` and move
-    /// its roles to the next non-retired rank (cyclic order). Returns the
-    /// takeovers, sorted by role. Fails with the [`ROLE_LOST`] protocol
-    /// error when no adopter remains.
-    pub fn step(&mut self, plan: &FaultPlan, window_end: u64) -> Result<Vec<Takeover>, CommError> {
+    /// Retire every rank whose crash fires **at or before** `window_end`
+    /// (callers pass the phase index of the *next* handoff: a crash
+    /// scheduled exactly there fires at that handoff's entry, before the
+    /// rank could ship anything, so the window must include its end) and
+    /// re-partition **all** roles across the survivors.
+    ///
+    /// The re-partition balances `weights[role]` (estimated remaining
+    /// work, e.g. the measured compute seconds of the previous level)
+    /// against `capacity[rank]` (relative speed; higher = faster) with a
+    /// deterministic greedy LPT assignment: heaviest role first, each
+    /// role to the rank finishing it earliest, incumbent owner preferred
+    /// on ties so fault-free levels never churn. All inputs derive from
+    /// shared data, so every rank computes the identical assignment with
+    /// no membership communication.
+    ///
+    /// Returns the takeovers, sorted by role. Fails with the
+    /// [`ROLE_LOST`] protocol error when no survivor remains.
+    pub fn step(
+        &mut self,
+        plan: &FaultPlan,
+        window_end: u64,
+        weights: &[f64],
+        capacity: &[f64],
+    ) -> Result<Vec<Takeover>, CommError> {
         let n = self.retired.len();
+        debug_assert_eq!(weights.len(), n);
+        debug_assert_eq!(capacity.len(), n);
         let newly: Vec<usize> = (0..n)
-            .filter(|&r| !self.retired[r] && plan.crash_phase(r).is_some_and(|p| p < window_end))
+            .filter(|&r| !self.retired[r] && plan.crash_phase(r).is_some_and(|p| p <= window_end))
             .collect();
+        if newly.is_empty() {
+            return Ok(Vec::new());
+        }
         for &r in &newly {
             self.retired[r] = true;
         }
+        if self.retired.iter().all(|&d| d) {
+            return Err(CommError::Protocol { detail: ROLE_LOST });
+        }
+
+        // LPT: heaviest role first (role index breaks exact-weight ties).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0.0f64; n];
         let mut takeovers = Vec::new();
-        for &from in &newly {
-            for role in 0..n {
-                if self.owner[role] != from {
+        for &role in &order {
+            let w = weights[role].max(0.0);
+            let finish = |cand: usize, load: &[f64]| (load[cand] + w) / capacity[cand].max(1e-12);
+            let mut best = usize::MAX;
+            let mut best_t = f64::INFINITY;
+            for cand in 0..n {
+                if self.retired[cand] {
                     continue;
                 }
-                let to = (1..n)
-                    .map(|k| (from + k) % n)
-                    .find(|&cand| !self.retired[cand])
-                    .ok_or(CommError::Protocol { detail: ROLE_LOST })?;
-                self.owner[role] = to;
-                takeovers.push(Takeover { role, from, to });
+                let t = finish(cand, &load);
+                if t < best_t {
+                    best_t = t;
+                    best = cand;
+                }
+            }
+            // Prefer the incumbent on ties: fault-free roles stay put.
+            let inc = self.owner[role];
+            if !self.retired[inc] && finish(inc, &load) <= best_t {
+                best = inc;
+            }
+            load[best] += w;
+            if best != self.owner[role] {
+                takeovers.push(Takeover {
+                    role,
+                    from: self.owner[role],
+                    to: best,
+                });
+                self.owner[role] = best;
             }
         }
         takeovers.sort_by_key(|t| t.role);
@@ -192,26 +257,53 @@ impl RoleTracker {
     }
 }
 
+/// Per-rank relative capacity for the re-partition cost model, derived
+/// from data every rank shares: the machine's thermal speed factors and
+/// the fault plan's scheduled slowdowns at the given phase. Higher =
+/// faster. Both input factors *multiply* charged time, so capacity is
+/// their reciprocal.
+pub(crate) fn capacities(ctx: &paragon::Ctx, plan: &FaultPlan, phase: u64) -> Vec<f64> {
+    (0..ctx.nranks())
+        .map(|r| {
+            let thermal = ctx.machine().node_speed_factor(ctx.node_of(r));
+            let slow = plan.slowdown_factor(r, phase);
+            1.0 / (thermal * slow).max(1e-12)
+        })
+        .collect()
+}
+
 /// Fold per-rank SPMD outputs of a fail-fast run, converting the first
 /// failure into a typed error. An injected crash is preferred as the
 /// reported cause: peers of a crashed rank fail with secondary
 /// guard-loss protocol errors that would otherwise mask the root cause.
+/// Among several crashes the *earliest phase* wins (ties broken by
+/// rank): a rank dying later cannot be the root cause of an earlier
+/// failure, whatever its rank number.
 pub(crate) fn collect_failfast<T>(outputs: Vec<Result<T, CommError>>) -> Result<Vec<T>, MimdError> {
     let mut outs = Vec::with_capacity(outputs.len());
-    let mut first_err: Option<(usize, CommError)> = None;
+    let mut first_crash: Option<(usize, CommError)> = None;
+    let mut first_other: Option<(usize, CommError)> = None;
     for (rank, out) in outputs.into_iter().enumerate() {
         match out {
             Ok(o) => outs.push(o),
             Err(source) => {
-                let have_crash = matches!(first_err, Some((_, CommError::Crashed { .. })));
-                let is_crash = matches!(source, CommError::Crashed { .. });
-                if first_err.is_none() || (is_crash && !have_crash) {
-                    first_err = Some((rank, source));
+                if let CommError::Crashed { phase, .. } = source {
+                    // Ranks iterate ascending, so strict `<` keeps the
+                    // lowest rank among same-phase crashes.
+                    let earlier = match &first_crash {
+                        Some((_, CommError::Crashed { phase: best, .. })) => phase < *best,
+                        _ => true,
+                    };
+                    if earlier {
+                        first_crash = Some((rank, source));
+                    }
+                } else if first_other.is_none() {
+                    first_other = Some((rank, source));
                 }
             }
         }
     }
-    match first_err {
+    match first_crash.or(first_other) {
         Some((rank, source)) => Err(MimdError::Comm { rank, source }),
         None => Ok(outs),
     }
@@ -261,11 +353,18 @@ pub(crate) fn collect_roles<T>(
 mod tests {
     use super::*;
 
+    fn uniform(n: usize) -> Vec<f64> {
+        vec![1.0; n]
+    }
+
     #[test]
     fn identity_without_faults() {
         let mut t = RoleTracker::new(4);
         let plan = FaultPlan::none();
-        assert!(t.step(&plan, 100).unwrap().is_empty());
+        assert!(t
+            .step(&plan, 100, &uniform(4), &uniform(4))
+            .unwrap()
+            .is_empty());
         for r in 0..4 {
             assert_eq!(t.owner(r), r);
             assert_eq!(t.roles_of(r), vec![r]);
@@ -273,48 +372,133 @@ mod tests {
     }
 
     #[test]
-    fn crash_moves_role_to_next_survivor() {
+    fn crash_retires_the_rank_and_rebalances_all_roles() {
         let mut t = RoleTracker::new(4);
         let plan = FaultPlan::none().with_crash(1, 5);
-        // Window that does not see the crash yet: nothing moves.
-        assert!(t.step(&plan, 5).unwrap().is_empty());
-        // Window that does: role 1 moves to rank 2.
-        let tk = t.step(&plan, 6).unwrap();
-        assert_eq!(tk.len(), 1);
+        // Window ending before the crash: nothing moves.
+        assert!(t
+            .step(&plan, 4, &uniform(4), &uniform(4))
+            .unwrap()
+            .is_empty());
+        // Window whose end the crash lands on: rank 1 retires and the
+        // re-partition spreads the load (uniform weights, 4 roles over 3
+        // survivors: 0 keeps role 0, rank 2 adopts role 1, rank 3 ends
+        // up with roles 2 and 3).
+        let tk = t.step(&plan, 5, &uniform(4), &uniform(4)).unwrap();
+        assert_eq!(tk.len(), 2);
         assert_eq!((tk[0].role, tk[0].from, tk[0].to), (1, 1, 2));
-        assert_eq!(t.roles_of(2), vec![1, 2]);
+        assert_eq!((tk[1].role, tk[1].from, tk[1].to), (2, 2, 3));
+        assert_eq!(t.roles_of(0), vec![0]);
+        assert_eq!(t.roles_of(2), vec![1]);
+        assert_eq!(t.roles_of(3), vec![2, 3]);
         // Idempotent: the same window never re-retires.
-        assert!(t.step(&plan, 6).unwrap().is_empty());
+        assert!(t
+            .step(&plan, 5, &uniform(4), &uniform(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
-    fn chained_takeover_skips_co_doomed_ranks() {
+    fn boundary_crash_at_window_end_is_retired_in_time() {
+        // Regression: a crash scheduled *exactly* at the next handoff
+        // phase fires at that phase's entry, so the lookahead window must
+        // be inclusive of its end — the old strict `<` comparison let
+        // this rank slip through and crash mid-level unplanned.
+        let mut t = RoleTracker::new(3);
+        let plan = FaultPlan::none().with_crash(2, 7);
+        let tk = t.step(&plan, 7, &uniform(3), &uniform(3)).unwrap();
+        assert!(t.retired[2]);
+        assert!(tk.iter().any(|t| t.role == 2 && t.from == 2));
+        assert!(t.roles_of(2).is_empty());
+    }
+
+    #[test]
+    fn co_doomed_ranks_retire_together_and_load_spreads() {
         let mut t = RoleTracker::new(4);
         let plan = FaultPlan::none().with_crash(1, 3).with_crash(2, 4);
-        let tk = t.step(&plan, 10).unwrap();
-        // Both 1 and 2 retire together; both roles land on rank 3.
+        let tk = t.step(&plan, 10, &uniform(4), &uniform(4)).unwrap();
+        // Both 1 and 2 retire together; their roles split across the two
+        // survivors instead of piling onto one adopter.
         assert_eq!(tk.len(), 2);
-        assert!(tk.iter().all(|t| t.to == 3));
-        assert_eq!(t.roles_of(3), vec![1, 2, 3]);
+        assert_eq!(t.roles_of(0), vec![0, 2]);
+        assert_eq!(t.roles_of(3), vec![1, 3]);
     }
 
     #[test]
     fn adopted_roles_move_again_when_the_adopter_dies() {
         let mut t = RoleTracker::new(3);
         let plan = FaultPlan::none().with_crash(0, 2).with_crash(1, 8);
-        t.step(&plan, 4).unwrap(); // role 0 -> rank 1
-        assert_eq!(t.roles_of(1), vec![0, 1]);
-        let tk = t.step(&plan, 9).unwrap(); // rank 1 retires, both roles -> 2
-        assert_eq!(tk.len(), 2);
+        t.step(&plan, 4, &uniform(3), &uniform(3)).unwrap();
+        // Rank 0 retires; balance over {1, 2}: owners become [1, 2, 2].
+        assert_eq!(t.roles_of(1), vec![0]);
+        assert_eq!(t.roles_of(2), vec![1, 2]);
+        let tk = t.step(&plan, 9, &uniform(3), &uniform(3)).unwrap();
+        // Rank 1 retires; its single role moves to the last survivor.
+        assert_eq!(tk.len(), 1);
         assert_eq!(t.roles_of(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn faster_survivors_absorb_more_roles() {
+        let mut t = RoleTracker::new(3);
+        let plan = FaultPlan::none().with_crash(0, 0);
+        // Rank 2 is twice as fast as rank 1: it should end up with two
+        // of the three uniform-weight roles.
+        let caps = vec![1.0, 1.0, 2.0];
+        t.step(&plan, 1, &uniform(3), &caps).unwrap();
+        assert_eq!(t.roles_of(1), vec![1]);
+        assert_eq!(t.roles_of(2), vec![0, 2]);
     }
 
     #[test]
     fn total_loss_is_a_structured_error() {
         let mut t = RoleTracker::new(2);
         let plan = FaultPlan::none().with_crash(0, 1).with_crash(1, 2);
-        let err = t.step(&plan, 10).unwrap_err();
+        let err = t.step(&plan, 10, &uniform(2), &uniform(2)).unwrap_err();
         assert!(matches!(err, CommError::Protocol { detail } if detail == ROLE_LOST));
+    }
+
+    #[test]
+    fn failfast_prefers_earliest_crash_then_lowest_rank() {
+        // Rank 0 crashes *later* than rank 1; the earlier crash is the
+        // root cause even though it has the higher rank number.
+        let outs: Vec<Result<u32, CommError>> = vec![
+            Err(CommError::Crashed { rank: 0, phase: 9 }),
+            Err(CommError::Crashed { rank: 1, phase: 3 }),
+        ];
+        assert!(matches!(
+            collect_failfast(outs).unwrap_err(),
+            MimdError::Comm {
+                rank: 1,
+                source: CommError::Crashed { phase: 3, .. }
+            }
+        ));
+
+        // Same phase: the lower rank wins the tie.
+        let outs: Vec<Result<u32, CommError>> = vec![
+            Err(CommError::Crashed { rank: 0, phase: 3 }),
+            Err(CommError::Crashed { rank: 1, phase: 3 }),
+        ];
+        assert!(matches!(
+            collect_failfast(outs).unwrap_err(),
+            MimdError::Comm { rank: 0, .. }
+        ));
+
+        // A crash beats a lower-rank secondary protocol error.
+        let outs: Vec<Result<u32, CommError>> = vec![
+            Err(CommError::Incomplete {
+                expected: 2,
+                got: 1,
+            }),
+            Err(CommError::Crashed { rank: 1, phase: 5 }),
+        ];
+        assert!(matches!(
+            collect_failfast(outs).unwrap_err(),
+            MimdError::Comm {
+                rank: 1,
+                source: CommError::Crashed { .. }
+            }
+        ));
     }
 
     #[test]

@@ -79,6 +79,31 @@ impl SpmdConfig {
         self.retry = retry;
         self
     }
+
+    /// Validate the whole configuration up front, without running
+    /// anything: rank count, placement feasibility, retry policy (a
+    /// `max_attempts` of zero would fail every transient-faulted
+    /// exchange before a single attempt) and fault-plan shape. Returns
+    /// exactly the typed [`SpmdError`] that [`run_spmd`] would fail with.
+    pub fn validate(&self) -> Result<(), SpmdError> {
+        if self.nranks == 0 {
+            return Err(SpmdError::NoRanks);
+        }
+        if self.nranks > self.machine.topology.nodes() {
+            return Err(SpmdError::TooManyRanks {
+                nranks: self.nranks,
+                nodes: self.machine.topology.nodes(),
+                machine: self.machine.name,
+            });
+        }
+        self.retry
+            .validate()
+            .map_err(|detail| SpmdError::InvalidRetryPolicy { detail })?;
+        self.faults
+            .validate(self.nranks)
+            .map_err(|detail| SpmdError::InvalidFaultPlan { detail })?;
+        Ok(())
+    }
 }
 
 /// Result of an SPMD run: per-rank outputs and time accounting.
@@ -262,6 +287,14 @@ impl Ctx {
         &self.shared.machine
     }
 
+    /// Physical node hosting `rank` under this run's mapping. Together
+    /// with [`MachineSpec::node_speed_factor`] this lets rank programs
+    /// build deterministic per-rank capacity models (every rank sees the
+    /// same table, so derived decisions agree without communication).
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.shared.nodes[rank]
+    }
+
     /// The fault schedule this run executes under. Rank programs may
     /// consult it to anticipate deaths — the deterministic plan is a
     /// perfect failure detector shared by all ranks.
@@ -329,10 +362,14 @@ impl Ctx {
         mark_dead(&self.shared, self.rank);
     }
 
-    /// Enter a collective phase; returns this rank's result.
+    /// Enter a collective phase; returns this rank's result. The phase's
+    /// communication time lands in `comm_cat` — [`Category::Communication`]
+    /// for ordinary collectives, [`Category::FaultRecovery`] for recovery
+    /// traffic such as checkpoint migration.
     fn phase(
         &mut self,
         is_barrier: bool,
+        comm_cat: Category,
         msgs: Vec<OutMsg>,
     ) -> Result<Vec<(usize, Payload)>, CommError> {
         let phase_id = self.phases_entered;
@@ -396,8 +433,7 @@ impl Ctx {
         self.clock = out.exit_time.max(self.clock);
         self.budget.charge(Category::ImbalanceWait, wait);
         self.budget.charge(Category::FaultRecovery, fault);
-        self.budget
-            .charge(Category::Communication, total - wait - fault);
+        self.budget.charge(comm_cat, total - wait - fault);
         Ok(out.inbox)
     }
 
@@ -405,6 +441,7 @@ impl Ctx {
         &mut self,
         msgs: Vec<(usize, M, usize)>,
         reliable: bool,
+        comm_cat: Category,
     ) -> Result<Vec<(usize, M)>, CommError> {
         let n = self.shared.nranks;
         let mut out = Vec::with_capacity(msgs.len());
@@ -422,7 +459,7 @@ impl Ctx {
                 payload: Box::new(value),
             });
         }
-        let inbox = self.phase(false, out)?;
+        let inbox = self.phase(false, comm_cat, out)?;
         let mut res = Vec::with_capacity(inbox.len());
         for (src, p) in inbox {
             match p.downcast::<M>() {
@@ -448,7 +485,7 @@ impl Ctx {
         &mut self,
         msgs: Vec<(usize, M, usize)>,
     ) -> Result<Vec<(usize, M)>, CommError> {
-        self.exchange_impl(msgs, false)
+        self.exchange_impl(msgs, false, Category::Communication)
     }
 
     /// Like [`Ctx::exchange`] but on the hardened control channel:
@@ -460,14 +497,26 @@ impl Ctx {
         &mut self,
         msgs: Vec<(usize, M, usize)>,
     ) -> Result<Vec<(usize, M)>, CommError> {
-        self.exchange_impl(msgs, true)
+        self.exchange_impl(msgs, true, Category::Communication)
+    }
+
+    /// Like [`Ctx::exchange_reliable`], but the phase's communication
+    /// time is charged to [`Category::FaultRecovery`] instead of
+    /// [`Category::Communication`]. Recovery protocols use this to ship
+    /// migrated state (checkpoints) so the cost of surviving a fault is
+    /// visible as a separate budget lane.
+    pub fn exchange_recovery<M: Send + 'static>(
+        &mut self,
+        msgs: Vec<(usize, M, usize)>,
+    ) -> Result<Vec<(usize, M)>, CommError> {
+        self.exchange_impl(msgs, true, Category::FaultRecovery)
     }
 
     /// Global barrier among live ranks. Every participant's clock
     /// advances to the common exit time (max entry time plus a tree
     /// fan-in/fan-out cost).
     pub fn barrier(&mut self) -> Result<(), CommError> {
-        let inbox = self.phase(true, Vec::new())?;
+        let inbox = self.phase(true, Category::Communication, Vec::new())?;
         debug_assert!(inbox.is_empty());
         Ok(())
     }
@@ -864,22 +913,7 @@ where
     F: Fn(&mut Ctx) -> Result<T, CommError> + Sync,
 {
     let n = cfg.nranks;
-    if n == 0 {
-        return Err(SpmdError::NoRanks);
-    }
-    if n > cfg.machine.topology.nodes() {
-        return Err(SpmdError::TooManyRanks {
-            nranks: n,
-            nodes: cfg.machine.topology.nodes(),
-            machine: cfg.machine.name,
-        });
-    }
-    cfg.retry
-        .validate()
-        .map_err(|detail| SpmdError::InvalidRetryPolicy { detail })?;
-    cfg.faults
-        .validate(n)
-        .map_err(|detail| SpmdError::InvalidFaultPlan { detail })?;
+    cfg.validate()?;
 
     let shared = Arc::new(Shared {
         nodes: cfg.mapping.table(n, &cfg.machine.topology),
@@ -1258,6 +1292,47 @@ mod tests {
             run_spmd(&bad_retry, |_| Ok(())).unwrap_err(),
             SpmdError::InvalidRetryPolicy { .. }
         ));
+    }
+
+    #[test]
+    fn zero_retry_attempts_rejected_before_any_rank_runs() {
+        // A zero-attempt policy would make every transient-faulted
+        // exchange fail without a single attempt; `SpmdConfig::validate`
+        // must reject it up front, without spawning ranks.
+        let bad = cfg(4).with_retry(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        });
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            SpmdError::InvalidRetryPolicy { detail } if detail.contains("max_attempts")
+        ));
+        // The same validator covers the other up-front rejections.
+        assert_eq!(cfg(0).validate().unwrap_err(), SpmdError::NoRanks);
+        assert!(cfg(4).validate().is_ok());
+    }
+
+    #[test]
+    fn recovery_exchange_charges_fault_recovery_not_communication() {
+        let res = run_spmd(&cfg(2), |ctx| {
+            let msgs = if ctx.rank() == 0 {
+                vec![(1usize, vec![0u8; 4096], 4096)]
+            } else {
+                Vec::new()
+            };
+            ctx.exchange_recovery(msgs)?;
+            Ok(())
+        })
+        .unwrap();
+        let sender = &res.budgets[0];
+        assert!(
+            sender.fault_recovery > 0.0,
+            "checkpoint traffic must land in the FaultRecovery lane"
+        );
+        assert_eq!(
+            sender.communication, 0.0,
+            "recovery traffic must not be booked as ordinary communication"
+        );
     }
 
     #[test]

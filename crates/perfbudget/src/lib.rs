@@ -125,6 +125,24 @@ impl BudgetReport {
         })
     }
 
+    /// Ratio of the maximum to the mean per-rank useful time over a set
+    /// of budgets (typically the *survivors* of a faulty run). `1.0` is
+    /// perfect balance; a straggler that inherited everything shows up
+    /// as a large ratio. Returns `None` for an empty slice or when no
+    /// useful work was charged at all.
+    pub fn useful_balance(ranks: &[RankBudget]) -> Option<f64> {
+        if ranks.is_empty() {
+            return None;
+        }
+        let max = ranks.iter().map(|r| r.useful).fold(0.0, f64::max);
+        let mean = ranks.iter().map(|r| r.useful).sum::<f64>() / ranks.len() as f64;
+        if mean > 0.0 {
+            Some(max / mean)
+        } else {
+            None
+        }
+    }
+
     /// A component as a percentage of the parallel execution time.
     fn pct(&self, v: f64) -> f64 {
         if self.parallel_time > 0.0 {
@@ -297,6 +315,24 @@ mod tests {
     #[test]
     fn empty_ranks_yield_none() {
         assert!(BudgetReport::from_ranks(&[]).is_none());
+    }
+
+    #[test]
+    fn useful_balance_is_max_over_mean() {
+        let ranks = [
+            rank(2.0, 0.0, 0.0, 0.0, 2.0),
+            rank(1.0, 0.0, 0.0, 0.0, 1.0),
+            rank(1.0, 0.0, 0.0, 0.0, 1.0),
+            rank(4.0, 0.0, 0.0, 0.0, 4.0),
+        ];
+        let bal = BudgetReport::useful_balance(&ranks).unwrap();
+        assert_eq!(bal, 4.0 / 2.0);
+        // Perfect balance is exactly 1.
+        let even = [rank(3.0, 0.0, 0.0, 0.0, 3.0); 2];
+        assert_eq!(BudgetReport::useful_balance(&even).unwrap(), 1.0);
+        // Degenerate inputs yield None instead of NaN.
+        assert!(BudgetReport::useful_balance(&[]).is_none());
+        assert!(BudgetReport::useful_balance(&[RankBudget::default()]).is_none());
     }
 
     #[test]

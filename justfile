@@ -24,7 +24,8 @@ bench-engine:
     cargo bench -p bench --bench dwt_engine
 
 # Fault-matrix gate: sweep the drop-rate x crash-count grid CI runs and
-# assert crash recovery stays bit-identical at every point.
+# assert crash recovery stays bit-identical at every point, for the
+# striped and block decompositions and the distributed reconstruction.
 faults:
     #!/usr/bin/env bash
     set -euo pipefail

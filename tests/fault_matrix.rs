@@ -5,19 +5,20 @@
 //! * `FAULT_CRASHES`   — number of rank crashes to inject, `0..=3`
 //!   (default `1`).
 //!
-//! Whatever the grid point, both distributed decompositions must
-//! complete through redistribution and match the sequential fault-free
-//! oracle bit for bit.
+//! Whatever the grid point, both distributed decompositions and the
+//! distributed reconstruction must complete through redistribution and
+//! match their fault-free oracles bit for bit.
 
 use dwt::{dwt2d, Boundary, FilterBank, Matrix};
 use dwt_mimd::block::run_block_dwt;
+use dwt_mimd::idwt::run_mimd_idwt;
 use dwt_mimd::{run_mimd_dwt, MimdDwtConfig, ResiliencePolicy};
 use paragon::{FaultPlan, MachineSpec, Mapping, SpmdConfig};
 
 const RANKS: usize = 8;
 /// Staggered (rank, phase) crash schedule; `FAULT_CRASHES` takes a
-/// prefix. Phases are valid for both the striped (0..=13) and block
-/// (0..=17) 3-level schedules.
+/// prefix. Phases are valid for the striped (0..=16), block (0..=19)
+/// and reconstruction (0..=13) 3-level resilient schedules.
 const CRASHES: [(usize, u64); 3] = [(2, 6), (5, 11), (7, 3)];
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -64,4 +65,25 @@ fn block_dwt_survives_the_configured_fault_grid_point() {
     let scfg = SpmdConfig::new(MachineSpec::t3d(), RANKS, Mapping::RowMajor).with_faults(plan());
     let run = run_block_dwt(&scfg, &cfg, &img).expect("grid point must be recoverable");
     assert_eq!(run.pyramid, oracle, "recovered blocks differ from oracle");
+}
+
+#[test]
+fn reconstruction_survives_the_configured_fault_grid_point() {
+    let img = Matrix::from_fn(64, 64, |r, c| ((r * 7 + c * 3) % 17) as f64 - 8.0);
+    let bank = FilterBank::daubechies(4).unwrap();
+    let pyramid = dwt2d::decompose(&img, &bank, 3, Boundary::Periodic).unwrap();
+    let cfg = MimdDwtConfig::tuned(bank, 3);
+    // The oracle is the fault-free *distributed* reconstruction: its
+    // per-row accumulation order is fixed, so it is rank-count
+    // independent, but it associates additions differently from the
+    // sequential scatter form.
+    let clean = SpmdConfig::new(MachineSpec::paragon(), RANKS, Mapping::Snake);
+    let oracle = run_mimd_idwt(&clean, &cfg, &pyramid).expect("fault-free oracle");
+    let resilient = cfg.with_resilience(ResiliencePolicy::Redistribute);
+    let scfg = clean.with_faults(plan());
+    let run = run_mimd_idwt(&scfg, &resilient, &pyramid).expect("grid point must be recoverable");
+    assert_eq!(
+        run.image, oracle.image,
+        "recovered reconstruction differs from the fault-free oracle"
+    );
 }

@@ -1,0 +1,277 @@
+//! Machine-readable serving benchmark: a seeded open-loop load
+//! generator drives the `wserv` discrete-event simulator across an
+//! arrival-rate x shard-count x cache x batching grid and writes
+//! `BENCH_service.json` in the current directory.
+//!
+//! Every latency and throughput number is *virtual* (simulated) time:
+//! the whole file is a pure function of the seed, and this harness
+//! proves it by generating the report twice and comparing the bytes.
+//!
+//! Run from the repo root with `just serve-bench` (or
+//! `cargo run --release -p bench --bin bench_service`). Set
+//! `WSERV_SMOKE=1` for the downscaled CI mode, which writes
+//! `target/BENCH_service_smoke.json` instead and additionally asserts
+//! the acceptance conditions on the smaller grid.
+
+use dwt::{FilterBank, Matrix};
+use wserv::sim::{run_sim, CostModel, SimReport};
+use wserv::{DecomposeRequest, Priority, RejectKind, ServiceConfig};
+
+const SEED: u64 = 1996; // the paper's year; any fixed seed works
+
+/// SplitMix64 — the same generator `paragon::faults` seeds from.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        // Strictly positive so ln() is finite.
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+}
+
+/// The tenant shape pool: sizes x banks x depths, eight plan shapes.
+fn shape_pool() -> Vec<(usize, FilterBank, usize)> {
+    let haar = FilterBank::haar();
+    let d4 = FilterBank::daubechies(4).expect("D4 exists");
+    vec![
+        (32, haar.clone(), 1),
+        (32, haar.clone(), 2),
+        (32, d4.clone(), 1),
+        (32, d4.clone(), 2),
+        (64, haar.clone(), 1),
+        (64, haar, 2),
+        (64, d4.clone(), 1),
+        (64, d4, 2),
+    ]
+}
+
+fn image(n: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r as u64 * 31 + c as u64 * 17 + salt * 7) % 61) as f64 - 30.0
+    })
+}
+
+/// Seeded open-loop stream: exponential inter-arrivals at `rate_hz`,
+/// shapes uniform over the pool, priorities mixed, and a tight deadline
+/// on part of the interactive class so the expiry path is exercised.
+fn stream(n_reqs: usize, rate_hz: f64) -> Vec<(f64, DecomposeRequest)> {
+    let pool = shape_pool();
+    let mut rng = SplitMix64(SEED);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity(n_reqs);
+    for _ in 0..n_reqs {
+        t += -rng.unit_f64().ln() / rate_hz;
+        let (size, bank, levels) = pool[(rng.next_u64() % pool.len() as u64) as usize].clone();
+        let priority = Priority::ALL[(rng.next_u64() % 3) as usize];
+        let mut req = DecomposeRequest::new(image(size, rng.next_u64() % 13), bank, levels)
+            .with_priority(priority);
+        // Loose enough not to censor the p95 comparison at saturation,
+        // tight enough that deep overload still trips the expiry path.
+        if priority == Priority::Interactive && rng.next_u64().is_multiple_of(2) {
+            req = req.with_deadline(t + 5e-3);
+        }
+        out.push((t, req));
+    }
+    out
+}
+
+struct Cell {
+    shards: usize,
+    cache_capacity: usize,
+    max_batch: usize,
+    rate_hz: f64,
+    report: SimReport,
+}
+
+impl Cell {
+    fn p_ms(&self, q: f64) -> f64 {
+        self.report.metrics.latency_quantile(q) * 1e3
+    }
+
+    fn json(&self) -> String {
+        let m = &self.report.metrics;
+        let budget = m.budget_report().expect("at least one shard");
+        format!(
+            concat!(
+                "{{\"shards\": {}, \"cache_capacity\": {}, \"max_batch\": {}, ",
+                "\"rate_hz\": {}, \"accepted\": {}, \"completed\": {}, ",
+                "\"rejected_queue_full\": {}, \"rejected_shed\": {}, ",
+                "\"rejected_deadline\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"mean_batch_occupancy\": {:.4}, \"p50_ms\": {:.6}, ",
+                "\"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"throughput_hz\": {:.3}, ",
+                "\"makespan_s\": {:.9}, \"useful_pct\": {:.3}, \"imbalance_pct\": {:.3}}}"
+            ),
+            self.shards,
+            self.cache_capacity,
+            self.max_batch,
+            self.rate_hz,
+            m.accepted(),
+            m.completed(),
+            m.rejected(RejectKind::QueueFull),
+            m.rejected(RejectKind::Shed),
+            m.rejected(RejectKind::DeadlineExpired),
+            m.cache_hit_rate(),
+            m.mean_batch_occupancy(),
+            self.p_ms(0.50),
+            self.p_ms(0.95),
+            self.p_ms(0.99),
+            self.report.throughput(),
+            self.report.makespan_s,
+            budget.useful_pct(),
+            budget.imbalance_pct(),
+        )
+    }
+}
+
+fn sweep(n_reqs: usize, shard_grid: &[usize], rates: &[f64]) -> Vec<Cell> {
+    let cost = CostModel::default();
+    let mut cells = Vec::new();
+    for &shards in shard_grid {
+        for &(cache_capacity, max_batch) in &[(16usize, 8usize), (0, 8), (16, 1), (0, 1)] {
+            for &rate_hz in rates {
+                let cfg = ServiceConfig::default()
+                    .with_shards(shards)
+                    .with_queue_capacity(64)
+                    .with_cache_capacity(cache_capacity)
+                    .with_max_batch(max_batch);
+                let report = run_sim(&cfg, &cost, stream(n_reqs, rate_hz));
+                let cell = Cell {
+                    shards,
+                    cache_capacity,
+                    max_batch,
+                    rate_hz,
+                    report,
+                };
+                eprintln!(
+                    "shards={shards} cache={cache_capacity:<2} batch={max_batch} \
+                     rate={rate_hz:<8} p95={:.3}ms tput={:.0}/s hit={:.2}",
+                    cell.p_ms(0.95),
+                    cell.report.throughput(),
+                    cell.report.metrics.cache_hit_rate()
+                );
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+fn render(n_reqs: usize, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"wserv_load\",\n");
+    out.push_str("  \"unit\": \"virtual_seconds\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"requests_per_cell\": {n_reqs},\n"));
+    out.push_str(&format!("  \"shape_pool\": {},\n", shape_pool().len()));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.json());
+        out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// p95 latency of each run over the *matched set* of request ids that
+/// completed in both. Under overload the two systems shed different
+/// victims, so comparing raw completed-set quantiles confounds speed
+/// with survivorship (the slower system completes a faster-skewed
+/// subset); the matched set removes that bias.
+fn matched_p95(a: &SimReport, b: &SimReport) -> (f64, f64) {
+    let mut ha = wserv::Histogram::default();
+    let mut hb = wserv::Histogram::default();
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        if let (Ok(rx), Ok(ry)) = (x, y) {
+            ha.record(rx.latency_s());
+            hb.record(ry.latency_s());
+        }
+    }
+    (ha.quantile(0.95), hb.quantile(0.95))
+}
+
+/// Acceptance criteria, checked on every run:
+/// * at the top arrival rate, cache-on strictly beats cache-off on
+///   matched-set p95 at equal shard count and batching;
+/// * at the top arrival rate, batching strictly raises saturation
+///   throughput over batch-1 at equal shard count and caching.
+fn assert_dominance(cells: &[Cell], top_rate: f64) {
+    let find = |shards: usize, cache: usize, batch: usize| -> &Cell {
+        cells
+            .iter()
+            .find(|c| {
+                c.shards == shards
+                    && c.cache_capacity == cache
+                    && c.max_batch == batch
+                    && c.rate_hz == top_rate
+            })
+            .expect("cell present in the grid")
+    };
+    let shard_grid: Vec<usize> = {
+        let mut v: Vec<usize> = cells.iter().map(|c| c.shards).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for &shards in &shard_grid {
+        for &batch in &[1usize, 8] {
+            let on = find(shards, 16, batch);
+            let off = find(shards, 0, batch);
+            let (on_p95, off_p95) = matched_p95(&on.report, &off.report);
+            assert!(
+                on_p95 < off_p95,
+                "cache-on matched-set p95 {:.4}ms must undercut cache-off {:.4}ms \
+                 (shards={shards} batch={batch})",
+                on_p95 * 1e3,
+                off_p95 * 1e3
+            );
+            assert!(on.report.metrics.cache_hit_rate() > 0.0);
+        }
+        for &cache in &[0usize, 16] {
+            let batched = find(shards, cache, 8);
+            let single = find(shards, cache, 1);
+            assert!(
+                batched.report.throughput() > single.report.throughput(),
+                "batch-8 throughput {:.0}/s must beat batch-1 {:.0}/s \
+                 (shards={shards} cache={cache})",
+                batched.report.throughput(),
+                single.report.throughput()
+            );
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("WSERV_SMOKE").is_ok_and(|v| v == "1");
+    let (n_reqs, shard_grid, rates): (usize, Vec<usize>, Vec<f64>) = if smoke {
+        (300, vec![2], vec![20_000.0, 120_000.0])
+    } else {
+        (1500, vec![1, 4], vec![5_000.0, 20_000.0, 120_000.0])
+    };
+    let top_rate = *rates.last().expect("non-empty rate grid");
+
+    let cells = sweep(n_reqs, &shard_grid, &rates);
+    assert_dominance(&cells, top_rate);
+    let report = render(n_reqs, &cells);
+
+    // Byte-reproducibility is part of the contract: regenerate the
+    // whole sweep and require the identical document.
+    let again = render(n_reqs, &sweep(n_reqs, &shard_grid, &rates));
+    assert_eq!(report, again, "service bench must be byte-reproducible");
+
+    let path = if smoke {
+        "target/BENCH_service_smoke.json"
+    } else {
+        "BENCH_service.json"
+    };
+    std::fs::write(path, &report).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}

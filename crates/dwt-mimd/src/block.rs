@@ -22,6 +22,7 @@ use dwt::pyramid::{Pyramid, Subbands};
 use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
+use crate::checkpoint::{self, CheckpointCodec};
 use crate::partition::{contiguous_runs, output_range, owner, stripes, Stripe};
 use crate::resilience::{collect_failfast, collect_roles, RoleTracker};
 use crate::{coeff_ops, MimdDwtConfig, MimdError, ResiliencePolicy};
@@ -73,6 +74,9 @@ pub struct BlockDwtRun {
     pub comm: CommStats,
     /// Injected-fault totals and the ranks that crashed.
     pub faults: FaultStats,
+    /// One record per collective phase, in program order (per-phase wire
+    /// traffic audit, as in [`crate::MimdDwtRun::timeline`]).
+    pub timeline: Vec<paragon::PhaseRecord>,
 }
 
 impl BlockDwtRun {
@@ -122,6 +126,43 @@ impl RoleState {
             .sum();
         (self.input.rows() * self.input.cols() + details) * pixel_bytes
     }
+
+    fn detail_coeffs(&self) -> usize {
+        self.details
+            .iter()
+            .map(|d| 3 * d.lh.rows() * d.lh.cols())
+            .sum()
+    }
+}
+
+/// Block-layout twin of the striped body's checkpoint encoder: apply
+/// the configured codec to the detail planes of a role state about to
+/// ship, charge the codec to the fault-recovery lane, return the wire
+/// size (LL block always raw).
+fn encode_checkpoint(ctx: &mut Ctx, cfg: &MimdDwtConfig, st: &mut RoleState) -> usize {
+    let ll_bytes = st.input.rows() * st.input.cols() * cfg.pixel_bytes;
+    match cfg.checkpoint_codec {
+        CheckpointCodec::Raw => st.wire_bytes(cfg.pixel_bytes),
+        CheckpointCodec::WaveletQuant { threshold, step } => {
+            let mut stats = checkpoint::PlaneStats::default();
+            for d in &mut st.details {
+                for m in [&mut d.lh, &mut d.hl, &mut d.hh] {
+                    stats.absorb(checkpoint::encode_plane(m, threshold, step));
+                }
+            }
+            ctx.charge_as(checkpoint::codec_ops(stats.total), Category::FaultRecovery);
+            ll_bytes + checkpoint::encoded_bytes(stats, cfg.pixel_bytes)
+        }
+    }
+}
+
+fn decode_checkpoint_charge(ctx: &mut Ctx, cfg: &MimdDwtConfig, st: &RoleState) {
+    if cfg.checkpoint_codec != CheckpointCodec::Raw {
+        ctx.charge_as(
+            checkpoint::codec_ops(st.detail_coeffs()),
+            Category::FaultRecovery,
+        );
+    }
 }
 
 /// Collective phases one resilient block level executes: checkpoint
@@ -143,7 +184,7 @@ pub fn run_block_dwt(
     let (pr, pc) = process_grid(nranks);
     let resilient = cfg.resilience == ResiliencePolicy::Redistribute;
     let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, pr, pc, resilient))?;
-    let (budgets, faults) = (res.budgets, res.faults);
+    let (budgets, faults, timeline) = (res.budgets, res.faults, res.timeline);
     let outs: Vec<BlockRankOut> = if resilient {
         collect_roles(res.outputs, nranks)?
     } else {
@@ -165,6 +206,7 @@ pub fn run_block_dwt(
         budgets,
         comm,
         faults,
+        timeline,
     })
 }
 
@@ -233,14 +275,15 @@ fn rank_body(
                     if t.from != me {
                         continue;
                     }
-                    let st = roles.remove(&t.role).ok_or(CommError::Protocol {
+                    let mut st = roles.remove(&t.role).ok_or(CommError::Protocol {
                         detail: "takeover of a role this rank does not hold",
                     })?;
-                    let bytes = st.wire_bytes(cfg.pixel_bytes);
+                    let bytes = encode_checkpoint(ctx, cfg, &mut st);
                     sends.push((t.to, (t.role, st), bytes));
                 }
             }
             for (_, (role, st)) in ctx.exchange_recovery(sends)? {
+                decode_checkpoint_charge(ctx, cfg, &st);
                 roles.insert(role, st);
             }
         }
@@ -577,15 +620,29 @@ fn rank_body(
         // works from identical weights on every rank. Ranks already
         // dead by this phase hold no roles and cannot receive.
         if resilient {
+            // Traffic cut (see the striped body): run the report empty
+            // when the next handoff's re-partition cannot fire, keeping
+            // the replicated weights stale but identical on every rank.
             let report_phase = ctx.next_phase();
+            let needed = level + 1 < cfg.levels && {
+                let p0_next = report_phase + 2; // barrier, then the next handoff
+                let window_end_next = if level + 2 == cfg.levels {
+                    u64::MAX
+                } else {
+                    p0_next + BLOCK_LEVEL_PHASES
+                };
+                crate::resilience::report_needed(&plan, &tracker, nranks, window_end_next)
+            };
             let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
-            for (&a, &c) in &cost {
-                weights[a] = c;
-                for j in 0..nranks {
-                    if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
-                        continue;
+            if needed {
+                for (&a, &c) in &cost {
+                    weights[a] = c;
+                    for j in 0..nranks {
+                        if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                            continue;
+                        }
+                        sends.push((j, (a, c), std::mem::size_of::<f64>()));
                     }
-                    sends.push((j, (a, c), std::mem::size_of::<f64>()));
                 }
             }
             for (_, (a, c)) in ctx.exchange_reliable(sends)? {

@@ -39,6 +39,9 @@ pub struct MimdIdwtRun {
     pub budgets: Vec<RankBudget>,
     /// Injected-fault totals and the ranks that crashed.
     pub faults: FaultStats,
+    /// One record per collective phase, in program order (per-phase wire
+    /// traffic audit, as in [`crate::MimdDwtRun::timeline`]).
+    pub timeline: Vec<paragon::PhaseRecord>,
 }
 
 impl MimdIdwtRun {
@@ -95,15 +98,25 @@ pub fn run_mimd_idwt(
     let (rows0, cols0) = pyramid.image_dims();
     dwt::dwt2d::validate_dims(rows0, cols0, cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
-    let (outs, budgets, faults) = match cfg.resilience {
+    let (outs, budgets, faults, timeline) = match cfg.resilience {
         ResiliencePolicy::FailFast => {
             let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, pyramid, nranks))?;
-            (collect_failfast(res.outputs)?, res.budgets, res.faults)
+            (
+                collect_failfast(res.outputs)?,
+                res.budgets,
+                res.faults,
+                res.timeline,
+            )
         }
         ResiliencePolicy::Redistribute => {
             let res =
                 paragon::run_spmd(scfg, |ctx| resilient_rank_body(ctx, cfg, pyramid, nranks))?;
-            (collect_roles(res.outputs, nranks)?, res.budgets, res.faults)
+            (
+                collect_roles(res.outputs, nranks)?,
+                res.budgets,
+                res.faults,
+                res.timeline,
+            )
         }
     };
     let mut image = Matrix::zeros(rows0, cols0);
@@ -114,6 +127,7 @@ pub fn run_mimd_idwt(
         image,
         budgets,
         faults,
+        timeline,
     })
 }
 
@@ -523,15 +537,30 @@ fn resilient_rank_body(
         // so the next handoff's re-partition works from identical
         // weights on every rank. Ranks already dead by this phase hold
         // no roles and cannot receive.
+        //
+        // Traffic cut (see the striped analysis body): run the report
+        // empty when the next handoff's re-partition cannot fire,
+        // keeping the replicated weights stale but identical.
         let report_phase = ctx.next_phase();
+        let needed = level > 1 && {
+            let p0_next = report_phase + 2; // barrier, then the next handoff
+            let window_end_next = if level - 1 == 1 {
+                u64::MAX
+            } else {
+                p0_next + IDWT_LEVEL_PHASES
+            };
+            crate::resilience::report_needed(&plan, &tracker, nranks, window_end_next)
+        };
         let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
-        for (&a, &c) in &cost {
-            weights[a] = c;
-            for j in 0..nranks {
-                if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
-                    continue;
+        if needed {
+            for (&a, &c) in &cost {
+                weights[a] = c;
+                for j in 0..nranks {
+                    if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                        continue;
+                    }
+                    sends.push((j, (a, c), std::mem::size_of::<f64>()));
                 }
-                sends.push((j, (a, c), std::mem::size_of::<f64>()));
             }
         }
         for (_, (a, c)) in ctx.exchange_reliable(sends)? {

@@ -28,6 +28,7 @@
 //! transform.
 
 pub mod block;
+pub mod checkpoint;
 pub mod idwt;
 pub mod partition;
 pub mod resilience;
@@ -42,6 +43,7 @@ use dwt::pyramid::{Pyramid, Subbands};
 use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
+pub use checkpoint::CheckpointCodec;
 use partition::{contiguous_runs, output_range, owner, stripes, Stripe};
 use resilience::{collect_failfast, collect_roles, RoleTracker};
 pub use resilience::{MimdError, ResiliencePolicy};
@@ -125,6 +127,11 @@ pub struct MimdDwtConfig {
     pub pixel_bytes: usize,
     /// What to do about ranks the fault plan kills.
     pub resilience: ResiliencePolicy,
+    /// How role checkpoints are encoded when shipped at crash handoffs.
+    /// [`CheckpointCodec::Raw`] (the default) keeps recovery exact to
+    /// the bit; [`CheckpointCodec::WaveletQuant`] trades a bounded
+    /// detail-plane error for less recovery traffic.
+    pub checkpoint_codec: CheckpointCodec,
 }
 
 impl MimdDwtConfig {
@@ -140,12 +147,19 @@ impl MimdDwtConfig {
             include_distribution: true,
             pixel_bytes: 4,
             resilience: ResiliencePolicy::FailFast,
+            checkpoint_codec: CheckpointCodec::Raw,
         }
     }
 
     /// Same configuration with a different crash policy.
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = policy;
+        self
+    }
+
+    /// Same configuration with a different checkpoint encoding.
+    pub fn with_checkpoint_codec(mut self, codec: CheckpointCodec) -> Self {
+        self.checkpoint_codec = codec;
         self
     }
 
@@ -167,6 +181,12 @@ impl MimdDwtConfig {
             return Err(MimdError::InvalidConfig {
                 detail: "chain-ordered guard exchange is incompatible with crash \
                          redistribution (the chain length depends on the live set)"
+                    .into(),
+            });
+        }
+        if !self.checkpoint_codec.is_valid() {
+            return Err(MimdError::InvalidConfig {
+                detail: "checkpoint codec threshold and step must be finite and non-negative"
                     .into(),
             });
         }
@@ -201,6 +221,10 @@ pub struct MimdDwtRun {
     pub budgets: Vec<RankBudget>,
     /// Injected-fault totals and the ranks that crashed.
     pub faults: FaultStats,
+    /// One record per collective phase, in program order — lets callers
+    /// audit per-phase wire traffic (e.g. that skipped cost reports and
+    /// compressed checkpoints actually ship fewer bytes).
+    pub timeline: Vec<paragon::PhaseRecord>,
 }
 
 impl MimdDwtRun {
@@ -223,16 +247,16 @@ pub fn run_mimd_dwt(
     cfg.validate()?;
     dwt2d::validate_dims(image.rows(), image.cols(), cfg.filter.len(), cfg.levels)?;
     let nranks = scfg.nranks;
-    let (outs, budgets, faults) = match cfg.resilience {
+    let (outs, budgets, faults, timeline) = match cfg.resilience {
         ResiliencePolicy::FailFast => {
             let res = paragon::run_spmd(scfg, |ctx| rank_body(ctx, cfg, image, nranks))?;
             let outs = collect_failfast(res.outputs)?;
-            (outs, res.budgets, res.faults)
+            (outs, res.budgets, res.faults, res.timeline)
         }
         ResiliencePolicy::Redistribute => {
             let res = paragon::run_spmd(scfg, |ctx| resilient_rank_body(ctx, cfg, image, nranks))?;
             let outs = collect_roles(res.outputs, nranks)?;
-            (outs, res.budgets, res.faults)
+            (outs, res.budgets, res.faults, res.timeline)
         }
     };
     let pyramid = assemble(&outs, image.rows(), image.cols(), cfg.levels);
@@ -240,6 +264,7 @@ pub fn run_mimd_dwt(
         pyramid,
         budgets,
         faults,
+        timeline,
     })
 }
 
@@ -596,6 +621,46 @@ impl RoleState {
             .sum();
         (self.input.rows() * self.input.cols() + details) * pixel_bytes
     }
+
+    fn detail_coeffs(&self) -> usize {
+        self.details
+            .iter()
+            .map(|d| 3 * d.lh.rows() * d.lh.cols())
+            .sum()
+    }
+}
+
+/// Apply the configured checkpoint codec to a role state about to ship
+/// and return its wire size. The LL input plane always ships raw (it
+/// seeds every remaining level); only completed detail planes are
+/// thresholded + quantized. Codec compute is charged to the
+/// fault-recovery lane on the sender.
+fn encode_checkpoint(ctx: &mut Ctx, cfg: &MimdDwtConfig, st: &mut RoleState) -> usize {
+    let ll_bytes = st.input.rows() * st.input.cols() * cfg.pixel_bytes;
+    match cfg.checkpoint_codec {
+        CheckpointCodec::Raw => st.wire_bytes(cfg.pixel_bytes),
+        CheckpointCodec::WaveletQuant { threshold, step } => {
+            let mut stats = checkpoint::PlaneStats::default();
+            for d in &mut st.details {
+                for m in [&mut d.lh, &mut d.hl, &mut d.hh] {
+                    stats.absorb(checkpoint::encode_plane(m, threshold, step));
+                }
+            }
+            ctx.charge_as(checkpoint::codec_ops(stats.total), Category::FaultRecovery);
+            ll_bytes + checkpoint::encoded_bytes(stats, cfg.pixel_bytes)
+        }
+    }
+}
+
+/// Charge the receive-side decode of a compressed checkpoint (sparse
+/// planes are expanded back to dense) to the fault-recovery lane.
+fn decode_checkpoint_charge(ctx: &mut Ctx, cfg: &MimdDwtConfig, st: &RoleState) {
+    if cfg.checkpoint_codec != CheckpointCodec::Raw {
+        ctx.charge_as(
+            checkpoint::codec_ops(st.detail_coeffs()),
+            Category::FaultRecovery,
+        );
+    }
 }
 
 /// Collective phases one resilient level executes: checkpoint handoff,
@@ -659,14 +724,15 @@ fn resilient_rank_body(
                 if t.from != me {
                     continue;
                 }
-                let st = roles.remove(&t.role).ok_or(CommError::Protocol {
+                let mut st = roles.remove(&t.role).ok_or(CommError::Protocol {
                     detail: "takeover of a role this rank does not hold",
                 })?;
-                let bytes = st.wire_bytes(cfg.pixel_bytes);
+                let bytes = encode_checkpoint(ctx, cfg, &mut st);
                 sends.push((t.to, (t.role, st), bytes));
             }
         }
         for (_, (role, st)) in ctx.exchange_recovery(sends)? {
+            decode_checkpoint_charge(ctx, cfg, &st);
             roles.insert(role, st);
         }
         if level == 0 {
@@ -821,15 +887,35 @@ fn resilient_rank_body(
         // phase are skipped (they hold no roles and cannot receive);
         // retired-but-alive ranks may keep stale weights safely — they
         // own nothing, so their local assignment decides no sends.
+        //
+        // Traffic cut: the report's only consumer is the next handoff's
+        // re-partition, which runs only when a rank retires there. When
+        // no not-yet-retired rank is doomed inside that handoff's
+        // lookahead window — a predicate every rank evaluates
+        // identically from the shared plan — the phase runs empty and
+        // the (stale but identical) weights stand. Local weights are
+        // deliberately not updated either: a one-sided update would
+        // desynchronize the replicated LPT inputs.
         let report_phase = ctx.next_phase();
+        let needed = level + 1 < cfg.levels && {
+            let p0_next = report_phase + 2; // barrier, then the next handoff
+            let window_end_next = if level + 2 == cfg.levels {
+                u64::MAX
+            } else {
+                p0_next + STRIPE_LEVEL_PHASES
+            };
+            resilience::report_needed(&plan, &tracker, nranks, window_end_next)
+        };
         let mut sends: Vec<(usize, (usize, f64), usize)> = Vec::new();
-        for (&a, &c) in &cost {
-            weights[a] = c;
-            for j in 0..nranks {
-                if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
-                    continue;
+        if needed {
+            for (&a, &c) in &cost {
+                weights[a] = c;
+                for j in 0..nranks {
+                    if j == me || plan.crash_phase(j).is_some_and(|p| p <= report_phase) {
+                        continue;
+                    }
+                    sends.push((j, (a, c), std::mem::size_of::<f64>()));
                 }
-                sends.push((j, (a, c), std::mem::size_of::<f64>()));
             }
         }
         for (_, (a, c)) in ctx.exchange_reliable(sends)? {
@@ -930,6 +1016,7 @@ mod tests {
                         include_distribution: false,
                         pixel_bytes: 4,
                         resilience: ResiliencePolicy::FailFast,
+                        checkpoint_codec: CheckpointCodec::Raw,
                     };
                     let run =
                         run_mimd_dwt(&paragon_cfg(nranks, Mapping::Snake), &cfg, &img).unwrap();
@@ -955,6 +1042,7 @@ mod tests {
             include_distribution: true,
             pixel_bytes: 4,
             resilience: ResiliencePolicy::FailFast,
+            checkpoint_codec: CheckpointCodec::Raw,
         };
         let run = run_mimd_dwt(&paragon_cfg(4, Mapping::RowMajor), &cfg, &img).unwrap();
         assert_eq!(run.pyramid, seq);

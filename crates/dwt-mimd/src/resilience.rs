@@ -172,6 +172,11 @@ impl RoleTracker {
             .collect()
     }
 
+    /// Whether a past handoff already retired this rank.
+    pub fn is_retired(&self, rank: usize) -> bool {
+        self.retired[rank]
+    }
+
     /// Retire every rank whose crash fires **at or before** `window_end`
     /// (callers pass the phase index of the *next* handoff: a crash
     /// scheduled exactly there fires at that handoff's entry, before the
@@ -270,6 +275,23 @@ pub(crate) fn capacities(ctx: &paragon::Ctx, plan: &FaultPlan, phase: u64) -> Ve
             1.0 / (thermal * slow).max(1e-12)
         })
         .collect()
+}
+
+/// Whether the *next* handoff's [`RoleTracker::step`] would retire
+/// anyone, i.e. whether a not-yet-retired rank has a crash scheduled at
+/// or before that handoff's lookahead `window_end`. The cost-report
+/// phase is only consumed by a re-partition, so when this is false the
+/// report runs empty (every rank evaluates the identical predicate from
+/// the shared plan, keeping weights — stale but identical — in
+/// lockstep).
+pub(crate) fn report_needed(
+    plan: &FaultPlan,
+    tracker: &RoleTracker,
+    nranks: usize,
+    window_end: u64,
+) -> bool {
+    (0..nranks)
+        .any(|r| !tracker.is_retired(r) && plan.crash_phase(r).is_some_and(|p| p <= window_end))
 }
 
 /// Fold per-rank SPMD outputs of a fail-fast run, converting the first

@@ -127,6 +127,58 @@ impl LevelDims {
     }
 }
 
+/// Cheap, hashable identity of the geometry and arithmetic a [`DwtPlan`]
+/// serves. Two plans with equal shapes produce bit-identical outputs for
+/// the same input, so a shape is a sound cache key for plan/workspace
+/// reuse (the serving layer's plan cache keys on this).
+///
+/// Filter identity is captured by the bank's name *and* the exact bit
+/// patterns of its low-pass taps, so two distinct banks that happen to
+/// share a name can never alias in a cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanShape {
+    /// Image rows.
+    pub rows: usize,
+    /// Image columns.
+    pub cols: usize,
+    /// Decomposition depth.
+    pub levels: usize,
+    /// Boundary extension policy.
+    pub mode: Boundary,
+    /// Filter bank name (e.g. `"db4"`).
+    pub filter: String,
+    /// Exact low-pass taps as IEEE-754 bit patterns.
+    filter_bits: Vec<u64>,
+}
+
+impl PlanShape {
+    /// The shape a plan built from these parameters would have. Does not
+    /// validate the geometry — [`DwtPlan::new`] still decides whether a
+    /// plan for this shape can exist.
+    pub fn new(rows: usize, cols: usize, bank: &FilterBank, levels: usize, mode: Boundary) -> Self {
+        PlanShape {
+            rows,
+            cols,
+            levels,
+            mode,
+            filter: bank.name().to_string(),
+            filter_bits: bank.low().iter().map(|t| t.to_bits()).collect(),
+        }
+    }
+
+    /// Total coefficients one decomposition of this shape produces
+    /// (equal to `rows * cols`); the natural unit for per-request cost
+    /// models and batch accounting.
+    pub fn coeffs(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Filter length in taps.
+    pub fn filter_len(&self) -> usize {
+        self.filter_bits.len()
+    }
+}
+
 /// A reusable, pre-validated plan for multi-level 2-D decomposition and
 /// reconstruction of images of one fixed geometry.
 ///
@@ -220,6 +272,14 @@ impl DwtPlan {
     /// Worker-lane count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The plan's cache key. Tuning knobs ([`DwtPlan::with_threads`],
+    /// [`DwtPlan::with_band_width`]) are deliberately excluded: they
+    /// change execution strategy, not results, and a cache should not
+    /// fragment on them.
+    pub fn shape(&self) -> PlanShape {
+        PlanShape::new(self.rows, self.cols, &self.bank, self.levels, self.mode)
     }
 
     /// Band width actually used at the finest level.

@@ -38,6 +38,32 @@ pub enum Category {
     FaultRecovery,
 }
 
+impl Category {
+    /// Every lane, in report order. Lets downstream metric exporters
+    /// (e.g. the serving layer's `wserv::metrics`) iterate the shared
+    /// lane vocabulary instead of inventing their own.
+    pub const ALL: [Category; 6] = [
+        Category::Useful,
+        Category::Communication,
+        Category::DuplicationRedundancy,
+        Category::UniqueRedundancy,
+        Category::ImbalanceWait,
+        Category::FaultRecovery,
+    ];
+
+    /// Stable snake_case label used in machine-readable output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Useful => "useful",
+            Category::Communication => "communication",
+            Category::DuplicationRedundancy => "duplication_redundancy",
+            Category::UniqueRedundancy => "unique_redundancy",
+            Category::ImbalanceWait => "imbalance_wait",
+            Category::FaultRecovery => "fault_recovery",
+        }
+    }
+}
+
 /// Per-rank accumulated times, in seconds of virtual time.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankBudget {

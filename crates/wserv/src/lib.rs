@@ -1,0 +1,60 @@
+//! `wserv` — a sharded, batching wavelet-decomposition service.
+//!
+//! This crate puts the `dwt` engine behind a real serving pipeline:
+//!
+//! ```text
+//!                         submit(DecomposeRequest)
+//!                                   │
+//!                         validate + shape-hash route
+//!                ┌──────────────────┼──────────────────┐
+//!                ▼                  ▼                  ▼
+//!          shard 0            shard 1     …      shard N-1
+//!        ┌─────────────────────────────────────────────────┐
+//!        │ AdmissionQueue: bounded, 3 priority classes,    │
+//!        │   deadline fast-fail, shed strictly-lower work  │
+//!        │ Batch: coalesce same-shape entries (≤ max_batch)│
+//!        │ PlanCache: shape-keyed LRU of plan + workspace  │
+//!        │ execute: one plan drive over the whole batch    │
+//!        └─────────────────────────────────────────────────┘
+//!                │ resolve ResponseHandle / record metrics
+//!                ▼
+//!        MetricsSnapshot → perfbudget::BudgetReport
+//! ```
+//!
+//! Two drivers share every policy component:
+//!
+//! * [`WaveletService`] — the live threaded server (one worker thread
+//!   per shard, wall-clock service time, graceful-drain shutdown);
+//! * [`sim::run_sim`] — a deterministic discrete-event simulator
+//!   (virtual clock, analytic [`sim::CostModel`]) used by the
+//!   `bench_service` load generator to emit byte-reproducible latency
+//!   and throughput numbers.
+//!
+//! The split is what makes both halves testable: policies are pure
+//! state machines over an explicit `now`, so property tests can drive
+//! them deterministically, while the live server only contributes
+//! threading and timekeeping.
+//!
+//! Every request terminates in exactly one [`ServeResult`]; the
+//! rejection taxonomy ([`Rejection`]) is part of the API. All stages
+//! account their time in the shared [`perfbudget`] lane vocabulary so a
+//! serving run rolls up into the same [`perfbudget::BudgetReport`] as
+//! the SPMD simulators.
+
+pub mod admission;
+pub mod batch;
+pub mod cache;
+pub mod metrics;
+pub mod request;
+pub mod server;
+pub mod shard;
+pub mod sim;
+
+pub use admission::{AdmissionQueue, Admit, Pop};
+pub use batch::{Batch, BatchPolicy};
+pub use cache::{CachedPlan, PlanCache};
+pub use metrics::{Histogram, LaneSplit, MetricsSnapshot, QueueCounters, ShardMetrics};
+pub use request::{
+    DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
+};
+pub use server::{ResponseHandle, ServiceConfig, WaveletService};

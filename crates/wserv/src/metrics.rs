@@ -1,0 +1,306 @@
+//! Counters and histograms every pipeline stage exports.
+//!
+//! The lane accounting deliberately reuses the [`perfbudget`]
+//! vocabulary (the JNNIE overhead categories) instead of inventing a
+//! serving-specific one, so a shard reads like a rank of the SPMD
+//! simulators and the whole service rolls up into an ordinary
+//! [`BudgetReport`]:
+//!
+//! * [`Category::Useful`] — transform compute (the work a direct engine
+//!   call would also do);
+//! * [`Category::UniqueRedundancy`] — plan/workspace construction on
+//!   cache misses (serving-only work the cache exists to amortize);
+//! * [`Category::DuplicationRedundancy`] — per-dispatch overhead
+//!   (queue pop, batch formation, worker wakeup), amortized by batching;
+//! * [`Category::Communication`] — response delivery;
+//! * [`Category::ImbalanceWait`] — shard idle time;
+//! * [`Category::FaultRecovery`] — queue seconds wasted by entries that
+//!   were shed or expired (work admitted and then lost to overload, the
+//!   serving layer's failure lane).
+
+use perfbudget::{BudgetReport, Category, RankBudget};
+
+/// Exact-sample histogram with deterministic nearest-rank quantiles.
+///
+/// Samples are stored rather than binned: the serving benches record at
+/// most a few hundred thousand points, and exact storage keeps the
+/// emitted percentiles a pure function of the inputs (a binned sketch
+/// would make them a function of bin-edge tuning too).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank quantile `q` in `[0, 1]` (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Absorb another histogram's samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Counters the admission queue maintains about itself.
+#[derive(Debug, Clone, Default)]
+pub struct QueueCounters {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Rejections by [`crate::RejectKind`] bucket.
+    pub rejected: [u64; 5],
+    /// Queue depth sampled after every successful admission.
+    pub depth: Histogram,
+}
+
+impl QueueCounters {
+    /// Count one rejection.
+    pub fn reject(&mut self, kind: crate::RejectKind) {
+        self.rejected[kind as usize] += 1;
+    }
+
+    /// Total rejections across buckets.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+}
+
+/// Seconds of one dispatch attributed to each budget lane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneSplit {
+    /// Per-dispatch overhead (pop, coalesce, wakeup).
+    pub dispatch_s: f64,
+    /// Plan/workspace construction (cache miss only).
+    pub plan_s: f64,
+    /// Transform compute.
+    pub transform_s: f64,
+    /// Response delivery.
+    pub deliver_s: f64,
+}
+
+/// Everything one worker shard exports.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMetrics {
+    /// Admission-queue counters (absorbed from the queue at drain).
+    pub queue: QueueCounters,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Engine dispatches (batches) executed.
+    pub batches: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (plan + workspace built).
+    pub cache_misses: u64,
+    /// Plans evicted by LRU pressure.
+    pub cache_evictions: u64,
+    /// Queue wait per completed request (dispatch start − arrival).
+    pub wait: Histogram,
+    /// Service time per dispatch.
+    pub service: Histogram,
+    /// End-to-end latency per completed request.
+    pub latency: Histogram,
+    /// Requests per dispatch.
+    pub batch_occupancy: Histogram,
+    /// Lane accounting in the shared `perfbudget` vocabulary.
+    pub lanes: RankBudget,
+    /// Total busy seconds (sum of dispatch service intervals).
+    pub busy_s: f64,
+}
+
+impl ShardMetrics {
+    /// Record one executed dispatch: its service interval, the arrival
+    /// times of the requests it carried, and the lane split.
+    pub fn record_batch(&mut self, start: f64, end: f64, arrivals: &[f64], split: LaneSplit) {
+        self.batches += 1;
+        self.completed += arrivals.len() as u64;
+        self.batch_occupancy.record(arrivals.len() as f64);
+        self.service.record(end - start);
+        for &a in arrivals {
+            self.wait.record((start - a).max(0.0));
+            self.latency.record((end - a).max(0.0));
+        }
+        self.busy_s += end - start;
+        self.lanes
+            .charge(Category::DuplicationRedundancy, split.dispatch_s);
+        self.lanes.charge(Category::UniqueRedundancy, split.plan_s);
+        self.lanes.charge(Category::Useful, split.transform_s);
+        self.lanes.charge(Category::Communication, split.deliver_s);
+    }
+
+    /// Record queue seconds wasted by a shed or expired entry.
+    pub fn record_lost(&mut self, wasted_s: f64) {
+        self.lanes
+            .charge(Category::FaultRecovery, wasted_s.max(0.0));
+    }
+
+    /// Copy cache counters out of the shard's plan cache.
+    pub fn absorb_cache(&mut self, cache: &crate::PlanCache) {
+        self.cache_hits = cache.hits;
+        self.cache_misses = cache.misses;
+        self.cache_evictions = cache.evictions;
+    }
+
+    /// Close the shard's books at service-clock time `now`: idle time
+    /// becomes the imbalance/wait lane and `now` the completion time.
+    pub fn finalize(&mut self, now: f64) {
+        self.lanes
+            .charge(Category::ImbalanceWait, (now - self.busy_s).max(0.0));
+        self.lanes.completion = now;
+    }
+
+    /// Cache hit rate over terminated lookups (0 with no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Final service-wide view: one [`ShardMetrics`] per shard.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-shard exports, indexed by shard.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Requests accepted across shards.
+    pub fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.accepted).sum()
+    }
+
+    /// Requests fully served across shards.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Rejections in one taxonomy bucket, across shards.
+    pub fn rejected(&self, kind: crate::RejectKind) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.queue.rejected[kind as usize])
+            .sum()
+    }
+
+    /// Cache hit rate across shards.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.shards.iter().map(|s| s.cache_hits).sum();
+        let total: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.cache_hits + s.cache_misses)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Nearest-rank latency quantile over all completed requests.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut merged = Histogram::default();
+        for s in &self.shards {
+            merged.merge(&s.latency);
+        }
+        merged.quantile(q)
+    }
+
+    /// Mean requests per engine dispatch.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let mut merged = Histogram::default();
+        for s in &self.shards {
+            merged.merge(&s.batch_occupancy);
+        }
+        merged.mean()
+    }
+
+    /// Roll the shards up as ranks of a [`BudgetReport`] — the serving
+    /// layer speaks the same overhead language as the SPMD simulators.
+    pub fn budget_report(&self) -> Option<BudgetReport> {
+        let lanes: Vec<RankBudget> = self.shards.iter().map(|s| s.lanes).collect();
+        BudgetReport::from_ranks(&lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank_and_deterministic() {
+        let mut h = Histogram::default();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(Histogram::default().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn lanes_follow_the_perfbudget_vocabulary() {
+        let mut m = ShardMetrics::default();
+        m.record_batch(
+            1.0,
+            2.0,
+            &[0.5, 0.75],
+            LaneSplit {
+                dispatch_s: 0.1,
+                plan_s: 0.2,
+                transform_s: 0.6,
+                deliver_s: 0.1,
+            },
+        );
+        m.record_lost(0.25);
+        m.finalize(4.0);
+        assert_eq!(m.completed, 2);
+        assert!((m.lanes.useful - 0.6).abs() < 1e-12);
+        assert!((m.lanes.unique_redundancy - 0.2).abs() < 1e-12);
+        assert!((m.lanes.duplication - 0.1).abs() < 1e-12);
+        assert!((m.lanes.fault_recovery - 0.25).abs() < 1e-12);
+        assert!((m.lanes.wait - 3.0).abs() < 1e-12);
+        assert_eq!(m.lanes.completion, 4.0);
+        // The shared vocabulary is what rolls shards into a report.
+        let snap = MetricsSnapshot { shards: vec![m] };
+        let report = snap.budget_report().expect("one shard");
+        assert!(report.useful_pct() > 0.0);
+    }
+}

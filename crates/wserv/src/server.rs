@@ -1,0 +1,332 @@
+//! The live, threaded service driver.
+//!
+//! [`WaveletService`] owns one worker thread per shard. Submitters hash
+//! the request's shape to a shard, admit it under that shard's lock,
+//! and get back a [`ResponseHandle`] that resolves to exactly one
+//! [`ServeResult`]. Workers pop coalesced batches, execute them through
+//! a worker-owned [`PlanCache`] (no lock held during compute), and
+//! resolve the waiters.
+//!
+//! Shutdown is a graceful drain: [`WaveletService::shutdown`] flips the
+//! drain flag (new submissions are rejected [`Rejection::Draining`]),
+//! wakes every worker, and joins them. Workers keep popping until their
+//! queue is empty, so every accepted request still resolves — the drain
+//! invariant the property tests pin down.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::batch::BatchPolicy;
+use crate::cache::PlanCache;
+use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
+use crate::request::{
+    DecomposeRequest, DecomposeResponse, Entry, RejectKind, Rejection, ServeResult,
+};
+use crate::shard;
+
+/// Service-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards (each owns a queue, a cache, and a thread).
+    pub shards: usize,
+    /// Admission-queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Plan-cache capacity per shard (0 disables reuse).
+    pub cache_capacity: usize,
+    /// Batching policy shared by all shards.
+    pub batch: BatchPolicy,
+    /// Engine worker lanes per cached plan.
+    pub engine_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            batch: BatchPolicy::default(),
+            engine_threads: 1,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Override the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Override the per-shard plan-cache capacity (0 = cache off).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Override the batching cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.batch = BatchPolicy::new(max_batch);
+        self
+    }
+}
+
+/// One-shot slot a request's terminal outcome is published into.
+#[derive(Debug, Default)]
+pub struct ResponseCell {
+    slot: Mutex<Option<ServeResult>>,
+    ready: Condvar,
+}
+
+impl ResponseCell {
+    fn resolve(&self, result: ServeResult) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "a request resolves exactly once");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// The submitter's side of an accepted request.
+#[derive(Debug, Clone)]
+pub struct ResponseHandle {
+    cell: Arc<ResponseCell>,
+}
+
+impl ResponseHandle {
+    /// Block until the request's terminal outcome arrives.
+    pub fn wait(&self) -> ServeResult {
+        let mut slot = self.cell.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            self.cell.ready.wait(&mut slot);
+        }
+    }
+
+    /// The outcome, if already resolved (non-blocking).
+    pub fn try_take(&self) -> Option<ServeResult> {
+        self.cell.slot.lock().take()
+    }
+}
+
+/// Lock-guarded half of one shard.
+#[derive(Debug)]
+struct Inner {
+    queue: AdmissionQueue<Arc<ResponseCell>>,
+    draining: bool,
+}
+
+#[derive(Debug)]
+struct ShardState {
+    inner: Mutex<Inner>,
+    work: Condvar,
+}
+
+/// The running service.
+#[derive(Debug)]
+pub struct WaveletService {
+    config: ServiceConfig,
+    start: Instant,
+    shards: Vec<Arc<ShardState>>,
+    workers: Vec<thread::JoinHandle<ShardMetrics>>,
+    next_id: Mutex<u64>,
+}
+
+impl WaveletService {
+    /// Start the service: spawns one worker thread per shard.
+    pub fn start(config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            shards: config.shards.max(1),
+            ..config
+        };
+        let start = Instant::now();
+        let shards: Vec<Arc<ShardState>> = (0..config.shards)
+            .map(|_| {
+                Arc::new(ShardState {
+                    inner: Mutex::new(Inner {
+                        queue: AdmissionQueue::new(config.queue_capacity),
+                        draining: false,
+                    }),
+                    work: Condvar::new(),
+                })
+            })
+            .collect();
+        let workers = shards
+            .iter()
+            .map(|state| {
+                let state = Arc::clone(state);
+                let cfg = config.clone();
+                thread::spawn(move || worker_loop(&state, &cfg, start))
+            })
+            .collect();
+        WaveletService {
+            config,
+            start,
+            shards,
+            workers,
+            next_id: Mutex::new(0),
+        }
+    }
+
+    /// Seconds since service start (the live service clock).
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Submit one request. `Err` is an at-the-door rejection; `Ok` is a
+    /// handle that resolves to exactly one terminal outcome.
+    pub fn submit(&self, req: DecomposeRequest) -> Result<ResponseHandle, Rejection> {
+        req.validate()?;
+        let shard_ix = shard::shard_of(&req.shape(), self.config.shards);
+        let state = &self.shards[shard_ix];
+        let cell = Arc::new(ResponseCell::default());
+        let id = {
+            let mut next = self.next_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let now = self.now();
+        let incoming = req.priority;
+        let entry = Entry {
+            id,
+            arrival: now,
+            req,
+            tag: Arc::clone(&cell),
+        };
+        let admitted = {
+            let mut inner = state.inner.lock();
+            if inner.draining {
+                inner.queue.counters.reject(RejectKind::Draining);
+                return Err(Rejection::Draining);
+            }
+            inner.queue.admit(now, entry)
+        };
+        match admitted {
+            Admit::Accepted => {
+                state.work.notify_one();
+                Ok(ResponseHandle { cell })
+            }
+            Admit::AcceptedShedding(victim) => {
+                // The queue guarantees the victim's class is strictly
+                // below the arrival's; the rejection records who won.
+                debug_assert!(victim.req.priority < incoming);
+                victim.tag.resolve(Err(Rejection::Shed { by: incoming }));
+                state.work.notify_one();
+                Ok(ResponseHandle { cell })
+            }
+            Admit::Rejected(_, rejection) => Err(rejection),
+        }
+    }
+
+    /// Graceful drain: reject new work, let workers empty their queues,
+    /// join them, and return the merged metrics.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        for state in &self.shards {
+            let mut inner = state.inner.lock();
+            inner.draining = true;
+            drop(inner);
+            state.work.notify_all();
+        }
+        let shards = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        MetricsSnapshot { shards }
+    }
+}
+
+fn worker_loop(state: &ShardState, cfg: &ServiceConfig, start: Instant) -> ShardMetrics {
+    let mut cache = PlanCache::new(cfg.cache_capacity, cfg.engine_threads);
+    let mut metrics = ShardMetrics::default();
+    loop {
+        let wake = Instant::now();
+        let pop = {
+            let mut inner = state.inner.lock();
+            loop {
+                if !inner.queue.is_empty() {
+                    let now = start.elapsed().as_secs_f64();
+                    break Some(inner.queue.pop_batch(now, &cfg.batch));
+                }
+                if inner.draining {
+                    break None;
+                }
+                state.work.wait(&mut inner);
+            }
+        };
+        let Some(pop) = pop else {
+            // Queue empty and draining: close the books.
+            let now = start.elapsed().as_secs_f64();
+            let inner = state.inner.lock();
+            metrics.queue = inner.queue.counters.clone();
+            drop(inner);
+            metrics.absorb_cache(&cache);
+            metrics.finalize(now);
+            return metrics;
+        };
+        let dispatch_start = start.elapsed().as_secs_f64();
+        for entry in pop.expired {
+            let deadline = entry.req.deadline.expect("expired implies a deadline");
+            metrics.record_lost(dispatch_start - entry.arrival);
+            entry.tag.resolve(Err(Rejection::DeadlineExpired {
+                deadline,
+                now: dispatch_start,
+            }));
+        }
+        let Some(batch) = pop.batch else { continue };
+        let t0 = Instant::now();
+        let executed = shard::execute(&mut cache, &batch);
+        let exec_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        match executed {
+            Ok(done) => {
+                let batch_size = batch.len();
+                let arrivals = batch.arrivals();
+                let end = start.elapsed().as_secs_f64();
+                for (entry, pyramid) in batch.entries.into_iter().zip(done.pyramids) {
+                    entry.tag.resolve(Ok(DecomposeResponse {
+                        pyramid,
+                        cache_hit: done.cache_hit,
+                        batch_size,
+                        wait_s: (dispatch_start - entry.arrival).max(0.0),
+                        service_s: (end - dispatch_start).max(0.0),
+                    }));
+                }
+                let deliver_s = t1.elapsed().as_secs_f64();
+                let dispatch_s = (t0.duration_since(wake)).as_secs_f64();
+                let split = LaneSplit {
+                    dispatch_s,
+                    // The cache splits build from reuse internally; a
+                    // miss's whole execution interval is conservatively
+                    // split by whether the plan was rebuilt.
+                    plan_s: if done.cache_hit { 0.0 } else { exec_s * 0.5 },
+                    transform_s: if done.cache_hit { exec_s } else { exec_s * 0.5 },
+                    deliver_s,
+                };
+                metrics.record_batch(dispatch_start, end + deliver_s, &arrivals, split);
+            }
+            Err(detail) => {
+                // Engine refused the batch (validation raced a bad
+                // request past admission): fail each entry, keep going.
+                for entry in batch.entries {
+                    entry.tag.resolve(Err(Rejection::Invalid {
+                        detail: detail.clone(),
+                    }));
+                }
+            }
+        }
+    }
+}

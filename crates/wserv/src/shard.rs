@@ -1,0 +1,96 @@
+//! Shard routing and batch execution.
+//!
+//! Requests are routed by *shape*, not round-robin: every request with
+//! a given [`PlanShape`] lands on the same shard, so each plan is built
+//! (and cached) on exactly one shard and same-shape requests can always
+//! coalesce. The router is a stable FNV-1a hash of the shape — a pure
+//! function of the request, identical in the live server and the
+//! simulator.
+
+use std::hash::{Hash, Hasher};
+
+use dwt::engine::PlanShape;
+use dwt::Pyramid;
+
+use crate::batch::Batch;
+use crate::cache::PlanCache;
+
+/// FNV-1a, used instead of the std `DefaultHasher` so shard routing is
+/// stable by specification rather than by implementation accident.
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The shard a shape routes to, in `0..nshards`.
+pub fn shard_of(shape: &PlanShape, nshards: usize) -> usize {
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    shape.hash(&mut h);
+    (h.finish() % nshards.max(1) as u64) as usize
+}
+
+/// Outcome of executing one batch through a shard's plan cache.
+#[derive(Debug)]
+pub struct Executed {
+    /// One pyramid per batch entry, in dispatch order. Bit-identical to
+    /// direct [`dwt::engine::DwtPlan::decompose_into`] calls on the same
+    /// inputs — batching and caching never change arithmetic.
+    pub pyramids: Vec<Pyramid>,
+    /// Whether the plan lookup hit the cache.
+    pub cache_hit: bool,
+}
+
+/// Execute every request of `batch` with one cached plan.
+pub fn execute<T>(cache: &mut PlanCache, batch: &Batch<T>) -> Result<Executed, String> {
+    let bank = &batch.entries[0].req.bank;
+    let cache_hit = cache.ensure(&batch.shape, bank)?;
+    let cached = cache.entry_mut(&batch.shape);
+    let mut pyramids = Vec::with_capacity(batch.len());
+    for entry in &batch.entries {
+        let mut pyr = cached.plan.make_pyramid();
+        cached
+            .plan
+            .decompose_into(&entry.req.image, &mut cached.workspace, &mut pyr)
+            .map_err(|e| e.to_string())?;
+        pyramids.push(pyr);
+        cached.uses += 1;
+    }
+    Ok(Executed {
+        pyramids,
+        cache_hit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt::{Boundary, FilterBank};
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let bank = FilterBank::daubechies(4).unwrap();
+        for n in [1usize, 2, 3, 8] {
+            let mut seen = vec![false; n];
+            for size in [8usize, 16, 32, 64, 128] {
+                let s = PlanShape::new(size, size, &bank, 2, Boundary::Periodic);
+                let shard = shard_of(&s, n);
+                assert!(shard < n);
+                assert_eq!(shard, shard_of(&s, n), "routing must be deterministic");
+                seen[shard] = true;
+            }
+            if n == 1 {
+                assert!(seen[0]);
+            }
+        }
+    }
+}

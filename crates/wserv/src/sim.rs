@@ -1,0 +1,257 @@
+//! Deterministic discrete-event driver.
+//!
+//! The simulator reuses the *same* policy state machines as the live
+//! server — [`AdmissionQueue`], [`BatchPolicy`] coalescing,
+//! [`PlanCache`] — but advances a virtual clock and prices each stage
+//! with an analytic [`CostModel`] instead of reading wall time. Two
+//! consequences:
+//!
+//! 1. **Byte-reproducible benchmarks.** Every latency number is a pure
+//!    function of (config, cost model, arrival stream); running the
+//!    bench twice produces identical JSON.
+//! 2. **Grounded outputs.** Transforms still execute for real through
+//!    the shared [`crate::shard::execute`] path, so the simulator's
+//!    responses carry actual pyramids and the bit-identity invariants
+//!    (cache on/off, batch 1/N) are checkable against the engine.
+//!
+//! Shards share nothing, so each is simulated as an independent
+//! single-server queue; arrivals are admitted at their own timestamps
+//! before each dispatch decision, which reproduces the live ordering.
+
+use std::collections::VecDeque;
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::cache::PlanCache;
+use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
+use crate::request::{
+    DecomposeRequest, DecomposeResponse, Entry, RejectKind, Rejection, ServeResult,
+};
+use crate::server::ServiceConfig;
+use crate::shard;
+use dwt::engine::PlanShape;
+
+/// Analytic stage costs, loosely calibrated to the measured engine
+/// numbers in `BENCH_dwt.json` (the absolute scale matters less than
+/// the ratios: plan construction and per-dispatch overhead are each
+/// worth tens of microseconds, i.e. comparable to a small transform —
+/// which is exactly the regime where caching and batching pay).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Transform seconds per coefficient-tap (folds in the level-sum
+    /// geometric factor).
+    pub transform_s_per_coeff_tap: f64,
+    /// Fixed plan + workspace construction cost (cache miss).
+    pub plan_base_s: f64,
+    /// Size-dependent plan construction cost (cache miss).
+    pub plan_s_per_coeff: f64,
+    /// Fixed per-dispatch overhead (pop, coalesce, wakeup) — the cost
+    /// batching amortizes.
+    pub dispatch_s: f64,
+    /// Response delivery cost per request.
+    pub deliver_s_per_request: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            transform_s_per_coeff_tap: 0.45e-9,
+            plan_base_s: 20e-6,
+            plan_s_per_coeff: 1e-9,
+            dispatch_s: 25e-6,
+            deliver_s_per_request: 2e-6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Transform seconds for one request of `shape`.
+    pub fn transform_s(&self, shape: &PlanShape) -> f64 {
+        self.transform_s_per_coeff_tap * shape.coeffs() as f64 * shape.filter_len() as f64
+    }
+
+    /// Plan construction seconds for `shape`.
+    pub fn plan_s(&self, shape: &PlanShape) -> f64 {
+        self.plan_base_s + self.plan_s_per_coeff * shape.coeffs() as f64
+    }
+}
+
+/// Everything one simulated run produces.
+#[derive(Debug)]
+pub struct SimReport {
+    /// One terminal outcome per submitted request, in stream order.
+    pub outcomes: Vec<ServeResult>,
+    /// Per-shard metrics, same schema as the live server's snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Virtual time at which the last shard went idle.
+    pub makespan_s: f64,
+}
+
+impl SimReport {
+    /// Completed requests per virtual second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.metrics.completed() as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the service over a timestamped arrival stream (non-decreasing
+/// times, virtual seconds) and return every outcome plus the metrics.
+pub fn run_sim(
+    config: &ServiceConfig,
+    cost: &CostModel,
+    stream: Vec<(f64, DecomposeRequest)>,
+) -> SimReport {
+    let nshards = config.shards.max(1);
+    let mut outcomes: Vec<Option<ServeResult>> = (0..stream.len()).map(|_| None).collect();
+    let mut per_shard: Vec<VecDeque<Entry<usize>>> =
+        (0..nshards).map(|_| VecDeque::new()).collect();
+    let mut invalid_per_shard = vec![0u64; nshards];
+    let mut last_t = f64::NEG_INFINITY;
+    for (ix, (t, req)) in stream.into_iter().enumerate() {
+        assert!(t >= last_t, "arrival stream must be sorted by time");
+        last_t = t;
+        let shard_ix = shard::shard_of(&req.shape(), nshards);
+        if let Err(rejection) = req.validate() {
+            invalid_per_shard[shard_ix] += 1;
+            outcomes[ix] = Some(Err(rejection));
+            continue;
+        }
+        per_shard[shard_ix].push_back(Entry {
+            id: ix as u64,
+            arrival: t,
+            req,
+            tag: ix,
+        });
+    }
+
+    let mut shards = Vec::with_capacity(nshards);
+    let mut makespan_s: f64 = 0.0;
+    for (shard_ix, arrivals) in per_shard.into_iter().enumerate() {
+        let (metrics, idle_at) = run_shard(
+            config,
+            cost,
+            arrivals,
+            invalid_per_shard[shard_ix],
+            &mut outcomes,
+        );
+        makespan_s = makespan_s.max(idle_at);
+        shards.push(metrics);
+    }
+    SimReport {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every request terminates in exactly one outcome"))
+            .collect(),
+        metrics: MetricsSnapshot { shards },
+        makespan_s,
+    }
+}
+
+fn run_shard(
+    config: &ServiceConfig,
+    cost: &CostModel,
+    mut arrivals: VecDeque<Entry<usize>>,
+    invalid: u64,
+    outcomes: &mut [Option<ServeResult>],
+) -> (ShardMetrics, f64) {
+    let mut queue: AdmissionQueue<usize> = AdmissionQueue::new(config.queue_capacity);
+    let mut cache = PlanCache::new(config.cache_capacity, config.engine_threads);
+    let mut metrics = ShardMetrics::default();
+    for _ in 0..invalid {
+        queue.counters.reject(RejectKind::Invalid);
+    }
+    let mut t_free = 0.0f64;
+    loop {
+        // The worker's next dispatch moment: immediately when work is
+        // queued, otherwise when the next arrival lands.
+        let dispatch_at = if queue.is_empty() {
+            match arrivals.front() {
+                None => break,
+                Some(next) => t_free.max(next.arrival),
+            }
+        } else {
+            t_free
+        };
+        // Replay every arrival up to that moment at its own timestamp,
+        // exactly as the live submitters would have.
+        while arrivals.front().is_some_and(|e| e.arrival <= dispatch_at) {
+            let entry = arrivals.pop_front().expect("front just checked");
+            let now = entry.arrival;
+            let incoming = entry.req.priority;
+            match queue.admit(now, entry) {
+                Admit::Accepted => {}
+                Admit::AcceptedShedding(victim) => {
+                    metrics.record_lost((now - victim.arrival).max(0.0));
+                    outcomes[victim.tag] = Some(Err(Rejection::Shed { by: incoming }));
+                }
+                Admit::Rejected(e, rejection) => {
+                    outcomes[e.tag] = Some(Err(rejection));
+                }
+            }
+        }
+        let pop = queue.pop_batch(dispatch_at, &config.batch);
+        for e in pop.expired {
+            let deadline = e.req.deadline.expect("expired implies a deadline");
+            metrics.record_lost((dispatch_at - e.arrival).max(0.0));
+            outcomes[e.tag] = Some(Err(Rejection::DeadlineExpired {
+                deadline,
+                now: dispatch_at,
+            }));
+        }
+        let Some(batch) = pop.batch else {
+            t_free = dispatch_at;
+            continue;
+        };
+        match shard::execute(&mut cache, &batch) {
+            Ok(done) => {
+                let batch_size = batch.len();
+                let plan_s = if done.cache_hit {
+                    0.0
+                } else {
+                    cost.plan_s(&batch.shape)
+                };
+                let transform_s = cost.transform_s(&batch.shape) * batch_size as f64;
+                let deliver_s = cost.deliver_s_per_request * batch_size as f64;
+                let end = dispatch_at + cost.dispatch_s + plan_s + transform_s + deliver_s;
+                metrics.record_batch(
+                    dispatch_at,
+                    end,
+                    &batch.arrivals(),
+                    LaneSplit {
+                        dispatch_s: cost.dispatch_s,
+                        plan_s,
+                        transform_s,
+                        deliver_s,
+                    },
+                );
+                for (entry, pyramid) in batch.entries.into_iter().zip(done.pyramids) {
+                    outcomes[entry.tag] = Some(Ok(DecomposeResponse {
+                        pyramid,
+                        cache_hit: done.cache_hit,
+                        batch_size,
+                        wait_s: (dispatch_at - entry.arrival).max(0.0),
+                        service_s: end - dispatch_at,
+                    }));
+                }
+                t_free = end;
+            }
+            Err(detail) => {
+                // Unreachable for validated requests; keep the contract
+                // that every entry terminates anyway.
+                for entry in batch.entries {
+                    outcomes[entry.tag] = Some(Err(Rejection::Invalid {
+                        detail: detail.clone(),
+                    }));
+                }
+                t_free = dispatch_at;
+            }
+        }
+    }
+    metrics.queue = queue.counters.clone();
+    metrics.absorb_cache(&cache);
+    metrics.finalize(t_free);
+    (metrics, t_free)
+}

@@ -41,3 +41,16 @@ faults:
 # under injected link faults and rank crashes).
 faults-json:
     cargo run --release -p bench --bin bench_faults
+
+# Regenerate BENCH_service.json (wserv load-generator sweep: arrival
+# rate x shards x cache x batching; asserts cache/batching dominance
+# and byte-reproducibility).
+serve-bench:
+    cargo run --release -p bench --bin bench_service
+
+# Downscaled serving bench CI runs: fixed seed, small grid, writes
+# target/BENCH_service_smoke.json and asserts the same dominance and
+# reproducibility conditions.
+serve-bench-smoke:
+    WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
+    python3 -c "import json; d = json.load(open('target/BENCH_service_smoke.json')); rows = d['results']; assert rows and any(r['cache_hit_rate'] > 0 for r in rows), 'plan cache never hit'; required = {'shards', 'cache_capacity', 'max_batch', 'rate_hz', 'accepted', 'completed', 'rejected_queue_full', 'rejected_shed', 'rejected_deadline', 'cache_hit_rate', 'mean_batch_occupancy', 'p50_ms', 'p95_ms', 'p99_ms', 'throughput_hz', 'makespan_s', 'useful_pct', 'imbalance_pct'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; print('serving smoke OK:', len(rows), 'rows')"

@@ -161,4 +161,74 @@ proptest! {
         prop_assert!(report.avg_fault_recovery > 0.0, "slowdown excess must be charged");
         prop_assert_eq!(&slow.pyramid, &clean.pyramid);
     }
+
+    /// Heterogeneous-capacity stress: crashes combined with a severe
+    /// (≥10×) slowdown on one survivor. The capacity-aware LPT
+    /// re-partition must keep the surviving ranks' useful time balanced
+    /// — no survivor may carry more than twice the survivor mean — and
+    /// the output must still match the fault-free oracle exactly.
+    #[test]
+    fn crashes_with_severe_slowdown_keep_survivors_balanced(
+        p in 4usize..=8,
+        raw_crashes in prop::collection::vec((0usize..64, 1u64..12), 1..3),
+        slow_pick in 0usize..64,
+        slow_factor_pct in 1000u64..=2000, // 10x..20x nominal
+    ) {
+        let img = test_image(32);
+        let cfg = resilient_cfg();
+        // Distinct crash victims, at most p - 2 so at least two ranks
+        // survive and the balance ratio is meaningful.
+        let mut crashes: Vec<(usize, u64)> = Vec::new();
+        for (v, phase) in raw_crashes {
+            let v = v % p;
+            if crashes.iter().all(|&(w, _)| w != v) {
+                crashes.push((v, phase));
+            }
+            if crashes.len() == p - 2 {
+                break;
+            }
+        }
+        // The slowed rank must be a survivor for the skew to matter.
+        let crashed: Vec<usize> = crashes.iter().map(|&(v, _)| v).collect();
+        let slow = (0..p)
+            .cycle()
+            .skip(slow_pick % p)
+            .find(|r| !crashed.contains(r))
+            .unwrap();
+        let mut plan = FaultPlan::none().with_slowdown(
+            slow,
+            slow_factor_pct as f64 / 100.0,
+            0,
+            u64::MAX,
+        );
+        for &(v, phase) in &crashes {
+            plan = plan.with_crash(v, phase);
+        }
+        let scfg = SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake).with_faults(plan);
+        let run = dwt_mimd::run_mimd_dwt(&scfg, &cfg, &img).unwrap();
+
+        // Exactness survives the combined faults.
+        let oracle = dwt2d::decompose(
+            &img,
+            &FilterBank::daubechies(4).unwrap(),
+            2,
+            Boundary::Periodic,
+        )
+        .unwrap();
+        prop_assert_eq!(&run.pyramid, &oracle);
+
+        // Balance over the survivors only: crashed ranks stop accruing
+        // useful time at their crash and would fake imbalance.
+        let survivors: Vec<perfbudget::RankBudget> = (0..p)
+            .filter(|r| !run.faults.crashed_ranks.contains(r))
+            .map(|r| run.budgets[r])
+            .collect();
+        prop_assert!(survivors.len() >= 2);
+        let balance = perfbudget::BudgetReport::useful_balance(&survivors).unwrap();
+        prop_assert!(
+            balance <= 2.0,
+            "max survivor useful time {}x the mean exceeds the 2x LPT bound",
+            balance
+        );
+    }
 }

@@ -1,0 +1,184 @@
+//! Recovery-traffic tests: the cost-report cut (skip the per-level
+//! report exchange when no rank is doomed in the next crash window) and
+//! the wavelet checkpoint codec (threshold + quantize detail planes at
+//! crash handoffs, with a proven per-coefficient error bound).
+
+use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use dwt_mimd::{CheckpointCodec, MimdDwtConfig, ResiliencePolicy};
+use paragon::{FaultPlan, MachineSpec, Mapping, SpmdConfig};
+
+fn ramp_image(n: usize) -> Matrix {
+    // Smooth ramp: db4 has two vanishing moments, so detail planes are
+    // ~0 away from the periodic seam and compress hard.
+    Matrix::from_fn(n, n, |r, c| 0.25 * r as f64 + 0.1 * c as f64)
+}
+
+fn rough_image(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| ((r * 19 + c * 11) % 29) as f64 - 14.0)
+}
+
+fn cfg(levels: usize) -> MimdDwtConfig {
+    MimdDwtConfig::tuned(FilterBank::daubechies(4).unwrap(), levels)
+        .with_resilience(ResiliencePolicy::Redistribute)
+}
+
+fn scfg(p: usize, plan: FaultPlan) -> SpmdConfig {
+    SpmdConfig::new(MachineSpec::paragon(), p, Mapping::Snake).with_faults(plan)
+}
+
+/// Phase index of the level-`l` cost report in the striped layout
+/// (distribution = phase 0, each level spans 5 phases from `1 + 5l`,
+/// report is the fourth).
+fn report_phase(level: usize) -> usize {
+    1 + 5 * level + 3
+}
+
+#[test]
+fn cost_report_is_skipped_when_no_rank_is_doomed() {
+    let img = rough_image(64);
+    let run = dwt_mimd::run_mimd_dwt(&scfg(4, FaultPlan::none()), &cfg(3), &img).unwrap();
+    for level in 0..3 {
+        let rec = &run.timeline[report_phase(level)];
+        assert_eq!(
+            (rec.messages, rec.bytes),
+            (0, 0),
+            "quiet run must move no report bytes at level {level}"
+        );
+    }
+}
+
+#[test]
+fn cost_report_runs_only_for_levels_that_feed_a_doomed_window() {
+    let img = rough_image(64);
+    // Crash late (level-2 window, phase 13): the level-1 report feeds
+    // the re-partition that absorbs it, but the level-0 report's window
+    // closes before the crash and stays silent.
+    let plan = FaultPlan::none().with_crash(1, 13);
+    let run = dwt_mimd::run_mimd_dwt(&scfg(4, plan), &cfg(3), &img).unwrap();
+    let l0 = &run.timeline[report_phase(0)];
+    let l1 = &run.timeline[report_phase(1)];
+    assert_eq!((l0.messages, l0.bytes), (0, 0), "level-0 report not needed");
+    assert!(l1.bytes > 0, "level-1 report must run before the crash");
+
+    // The cut never trades correctness: output still exact.
+    let oracle = dwt2d::decompose(
+        &img,
+        &FilterBank::daubechies(4).unwrap(),
+        3,
+        Boundary::Periodic,
+    )
+    .unwrap();
+    assert_eq!(run.pyramid, oracle);
+
+    // And it is a strict reliable-plane traffic reduction against a
+    // build that always reports (simulated by an early-doomed run where
+    // every window is live): the quiet phases carry strictly fewer
+    // bytes than the active one.
+    assert!(l1.bytes > l0.bytes);
+}
+
+#[test]
+fn raw_checkpoints_stay_bit_exact_under_crash() {
+    let img = rough_image(32);
+    let plan = FaultPlan::none().with_crash(1, 7);
+    let run = dwt_mimd::run_mimd_dwt(&scfg(4, plan), &cfg(2), &img).unwrap();
+    let oracle = dwt2d::decompose(
+        &img,
+        &FilterBank::daubechies(4).unwrap(),
+        2,
+        Boundary::Periodic,
+    )
+    .unwrap();
+    assert_eq!(run.pyramid, oracle);
+}
+
+#[test]
+fn degenerate_quant_codec_is_lossless() {
+    // threshold 0 + step 0 keeps every coefficient exactly: the codec
+    // path must then be bit-identical to Raw.
+    let codec = CheckpointCodec::WaveletQuant {
+        threshold: 0.0,
+        step: 0.0,
+    };
+    assert_eq!(codec.tolerance(), 0.0);
+    let img = rough_image(32);
+    let plan = FaultPlan::none().with_crash(1, 7);
+    let c = cfg(2).with_checkpoint_codec(codec);
+    let run = dwt_mimd::run_mimd_dwt(&scfg(4, plan), &c, &img).unwrap();
+    let oracle = dwt2d::decompose(
+        &img,
+        &FilterBank::daubechies(4).unwrap(),
+        2,
+        Boundary::Periodic,
+    )
+    .unwrap();
+    assert_eq!(run.pyramid, oracle);
+}
+
+#[test]
+fn quantized_checkpoints_round_trip_within_tolerance_and_shrink_handoffs() {
+    let img = ramp_image(32);
+    let codec = CheckpointCodec::WaveletQuant {
+        threshold: 0.5,
+        step: 0.25,
+    };
+    let tol = codec.tolerance();
+    let mk_plan = || FaultPlan::none().with_crash(1, 7);
+
+    let raw_run = dwt_mimd::run_mimd_dwt(&scfg(4, mk_plan()), &cfg(2), &img).unwrap();
+    let quant_run = dwt_mimd::run_mimd_dwt(
+        &scfg(4, mk_plan()),
+        &cfg(2).with_checkpoint_codec(codec),
+        &img,
+    )
+    .unwrap();
+
+    let oracle = dwt2d::decompose(
+        &img,
+        &FilterBank::daubechies(4).unwrap(),
+        2,
+        Boundary::Periodic,
+    )
+    .unwrap();
+
+    // The LL chain ships raw, so the approximation plane stays exact;
+    // every detail coefficient is within the codec's proven bound.
+    assert_eq!(raw_run.pyramid, oracle);
+    assert_eq!(quant_run.pyramid.approx, oracle.approx);
+    let mut worst: f64 = 0.0;
+    for (got, want) in quant_run.pyramid.detail.iter().zip(oracle.detail.iter()) {
+        for (g, w) in [
+            (&got.lh, &want.lh),
+            (&got.hl, &want.hl),
+            (&got.hh, &want.hh),
+        ] {
+            for (a, b) in g.data().iter().zip(w.data().iter()) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+    }
+    assert!(
+        worst <= tol + 1e-12,
+        "codec error {worst} exceeds bound {tol}"
+    );
+
+    // The compressed handoff moves strictly fewer recovery bytes. The
+    // level-1 handoff phase (phase 6) carries the crashed role's state.
+    let raw_bytes = raw_run.timeline[6].bytes;
+    let quant_bytes = quant_run.timeline[6].bytes;
+    assert!(raw_bytes > 0, "crash handoff must move state");
+    assert!(
+        quant_bytes < raw_bytes,
+        "quantized checkpoint ({quant_bytes} B) must undercut raw ({raw_bytes} B)"
+    );
+
+    // The codec's compute is charged to the fault-recovery lane, not
+    // hidden in useful time.
+    let recovery = |budgets: &[perfbudget::RankBudget]| -> f64 {
+        budgets.iter().map(|b| b.fault_recovery).sum()
+    };
+    assert!(recovery(&quant_run.budgets) > recovery(&raw_run.budgets));
+    let useful =
+        |budgets: &[perfbudget::RankBudget]| -> f64 { budgets.iter().map(|b| b.useful).sum() };
+    assert!((useful(&quant_run.budgets) - useful(&raw_run.budgets)).abs() < 1e-12);
+}

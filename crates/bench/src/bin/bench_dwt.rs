@@ -4,12 +4,16 @@
 //!
 //! The headline comparison is the acceptance configuration: 2048x2048,
 //! Daubechies-4, 3 levels, single thread, plus the threaded engine at the
-//! machine's core count. A smaller size/filter matrix rides along.
+//! machine's core count and the fused CDF 5/3 / 9/7 lifting kernel at the
+//! same size. A smaller size/filter matrix rides along.
 //!
 //! Run from the repo root with `just bench-json` (or
-//! `cargo run --release -p bench --bin bench_dwt`).
+//! `cargo run --release -p bench --bin bench_dwt`). Set `DWT_SMOKE=1`
+//! for the downscaled CI mode: headline only, at 512x512, written to
+//! `target/BENCH_dwt_smoke.json`.
 
-use dwt::engine::DwtPlan;
+use dwt::engine::{lifting as elift, DwtPlan};
+use dwt::lifting::{self, LiftingKind};
 use dwt::{dwt2d, Boundary, FilterBank, Matrix};
 use imagery::{landsat_scene, SceneParams};
 use std::hint::black_box;
@@ -86,17 +90,60 @@ fn measure_legacy(img: &Matrix, bank: &FilterBank, levels: usize) -> Row {
     }
 }
 
+/// Naive straight-line lifting (the hidden oracle in `dwt::lifting`),
+/// timed as the baseline the fused engine kernel must beat.
+fn measure_lifting_oracle(img: &Matrix, kind: LiftingKind, levels: usize) -> Row {
+    let n = img.rows();
+    let med = median_ns(5, || {
+        lifting::decompose_oracle(black_box(img), kind, levels).unwrap();
+    });
+    Row {
+        name: "lifting_oracle_1t".to_string(),
+        size: n,
+        filter: FilterBank::for_lifting(kind).name().to_string(),
+        levels,
+        threads: 1,
+        ns_per_px: med / (n * n) as f64,
+        samples: 5,
+    }
+}
+
+/// Reversible integer lifting, timed over a full forward+inverse round
+/// trip so the cost is per transform direction.
+fn measure_lifting_int(n: usize, kind: LiftingKind, levels: usize) -> Row {
+    let mut data: Vec<i32> = (0..n * n)
+        .map(|i| ((i.wrapping_mul(2654435761) >> 8) % 65536) as i32 - 32768)
+        .collect();
+    let med = median_ns(5, || {
+        elift::forward_int(black_box(&mut data), n, n, levels, kind).unwrap();
+        elift::inverse_int(black_box(&mut data), n, n, levels, kind).unwrap();
+    });
+    Row {
+        name: "engine_lifting_int_1t".to_string(),
+        size: n,
+        filter: FilterBank::for_lifting(kind).name().to_string(),
+        levels,
+        threads: 1,
+        ns_per_px: med / (2 * n * n) as f64,
+        samples: 5,
+    }
+}
+
 fn main() {
     let levels = 3;
+    let smoke = std::env::var("DWT_SMOKE").is_ok_and(|v| v == "1");
+    let head_n = if smoke { 512 } else { 2048 };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut rows: Vec<Row> = Vec::new();
 
-    // --- Headline: 2048x2048, D4, 3 levels. -----------------------------
-    eprintln!("headline: 2048x2048 D4 L3 ...");
+    // --- Headline: 2048x2048 (512 in smoke mode), D4 vs lifting, L3. ----
+    eprintln!("headline: {head_n}x{head_n} D4 L{levels} ...");
     let d4 = FilterBank::daubechies(4).unwrap();
-    let img = landsat_scene(2048, 2048, SceneParams::default());
+    let cdf53 = FilterBank::cdf53();
+    let cdf97 = FilterBank::cdf97();
+    let img = landsat_scene(head_n, head_n, SceneParams::default());
     let legacy = measure_legacy(&img, &d4, levels);
     let engine1 = measure_engine("engine_1t", &img, &d4, levels, 1);
     let enginep = measure_engine("engine_par", &img, &d4, levels, cores);
@@ -106,48 +153,96 @@ fn main() {
         "  legacy {:.2} ns/px | engine(1t) {:.2} ns/px ({speedup:.2}x) | engine({cores}t) {:.2} ns/px ({par_speedup:.2}x)",
         legacy.ns_per_px, engine1.ns_per_px, enginep.ns_per_px
     );
+    eprintln!("headline: {head_n}x{head_n} lifting L{levels} ...");
+    let lift53_oracle = measure_lifting_oracle(&img, LiftingKind::LeGall53, levels);
+    let lift53 = measure_engine("engine_lifting_1t", &img, &cdf53, levels, 1);
+    let lift97_oracle = measure_lifting_oracle(&img, LiftingKind::Cdf97, levels);
+    let lift97 = measure_engine("engine_lifting_1t", &img, &cdf97, levels, 1);
+    let lift53_int = measure_lifting_int(head_n, LiftingKind::LeGall53, levels);
+    let lift97_int = measure_lifting_int(head_n, LiftingKind::Cdf97, levels);
+    let lift53_vs_d4 = engine1.ns_per_px / lift53.ns_per_px;
+    eprintln!(
+        "  cdf53 lifting {:.2} ns/px ({lift53_vs_d4:.2}x vs D4 engine, oracle {:.2}) | cdf97 lifting {:.2} ns/px (oracle {:.2})",
+        lift53.ns_per_px, lift53_oracle.ns_per_px, lift97.ns_per_px, lift97_oracle.ns_per_px
+    );
+    eprintln!(
+        "  int round-trip: cdf53 {:.2} ns/px | cdf97 {:.2} ns/px (per direction)",
+        lift53_int.ns_per_px, lift97_int.ns_per_px
+    );
     let headline = format!(
         concat!(
-            "{{\"size\": 2048, \"filter\": \"D4\", \"levels\": {}, ",
+            "{{\"size\": {}, \"filter\": \"D4\", \"levels\": {}, ",
             "\"legacy_ns_per_px\": {:.3}, \"engine_1t_ns_per_px\": {:.3}, ",
             "\"engine_1t_speedup\": {:.3}, \"engine_par_threads\": {}, ",
-            "\"engine_par_ns_per_px\": {:.3}, \"engine_par_speedup\": {:.3}}}"
+            "\"engine_par_ns_per_px\": {:.3}, \"engine_par_speedup\": {:.3}, ",
+            "\"cdf53_lifting_ns_per_px\": {:.3}, \"cdf97_lifting_ns_per_px\": {:.3}, ",
+            "\"cdf53_lifting_vs_d4_engine\": {:.3}}}"
         ),
-        levels, legacy.ns_per_px, engine1.ns_per_px, speedup, cores, enginep.ns_per_px, par_speedup
+        head_n,
+        levels,
+        legacy.ns_per_px,
+        engine1.ns_per_px,
+        speedup,
+        cores,
+        enginep.ns_per_px,
+        par_speedup,
+        lift53.ns_per_px,
+        lift97.ns_per_px,
+        lift53_vs_d4
     );
     rows.push(legacy);
     rows.push(engine1);
     rows.push(enginep);
+    rows.push(lift53_oracle);
+    rows.push(lift53);
+    rows.push(lift97_oracle);
+    rows.push(lift97);
+    rows.push(lift53_int);
+    rows.push(lift97_int);
 
-    // --- Filter matrix at 512x512. --------------------------------------
-    let img512 = landsat_scene(512, 512, SceneParams::default());
-    for bank in [
-        FilterBank::haar(),
-        FilterBank::daubechies(4).unwrap(),
-        FilterBank::daubechies(8).unwrap(),
-        FilterBank::coiflet(6).unwrap(),
-    ] {
-        eprintln!("matrix: 512x512 {} L3 ...", bank.name());
-        rows.push(measure_legacy(&img512, &bank, levels));
-        rows.push(measure_engine("engine_1t", &img512, &bank, levels, 1));
-        rows.push(measure_engine("engine_par", &img512, &bank, levels, cores));
-    }
+    if !smoke {
+        // --- Filter matrix at 512x512. ----------------------------------
+        let img512 = landsat_scene(512, 512, SceneParams::default());
+        for bank in [
+            FilterBank::haar(),
+            FilterBank::daubechies(4).unwrap(),
+            FilterBank::daubechies(8).unwrap(),
+            FilterBank::coiflet(6).unwrap(),
+        ] {
+            eprintln!("matrix: 512x512 {} L3 ...", bank.name());
+            rows.push(measure_legacy(&img512, &bank, levels));
+            rows.push(measure_engine("engine_1t", &img512, &bank, levels, 1));
+            rows.push(measure_engine("engine_par", &img512, &bank, levels, cores));
+        }
+        for kind in [LiftingKind::LeGall53, LiftingKind::Cdf97] {
+            let bank = FilterBank::for_lifting(kind);
+            eprintln!("matrix: 512x512 {} lifting L3 ...", bank.name());
+            rows.push(measure_lifting_oracle(&img512, kind, levels));
+            rows.push(measure_engine(
+                "engine_lifting_1t",
+                &img512,
+                &bank,
+                levels,
+                1,
+            ));
+        }
 
-    // --- Size sweep with D4. --------------------------------------------
-    let full = std::env::var("REPRO_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false);
-    let sweep: &[usize] = if full {
-        &[256, 512, 1024, 2048, 4096]
-    } else {
-        &[256, 1024]
-    };
-    for &n in sweep {
-        eprintln!("sweep: {n}x{n} D4 L3 ...");
-        let img = landsat_scene(n, n, SceneParams::default());
-        rows.push(measure_legacy(&img, &d4, levels));
-        rows.push(measure_engine("engine_1t", &img, &d4, levels, 1));
-        rows.push(measure_engine("engine_par", &img, &d4, levels, cores));
+        // --- Size sweep with D4. ----------------------------------------
+        let full = std::env::var("REPRO_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let sweep: &[usize] = if full {
+            &[256, 512, 1024, 2048, 4096]
+        } else {
+            &[256, 1024]
+        };
+        for &n in sweep {
+            eprintln!("sweep: {n}x{n} D4 L3 ...");
+            let img = landsat_scene(n, n, SceneParams::default());
+            rows.push(measure_legacy(&img, &d4, levels));
+            rows.push(measure_engine("engine_1t", &img, &d4, levels, 1));
+            rows.push(measure_engine("engine_par", &img, &d4, levels, cores));
+        }
     }
 
     // --- Emit JSON. ------------------------------------------------------
@@ -175,6 +270,11 @@ fn main() {
         ));
     }
     out.push_str("  ]\n}\n");
-    std::fs::write("BENCH_dwt.json", &out).expect("write BENCH_dwt.json");
-    eprintln!("wrote BENCH_dwt.json");
+    let path = if smoke {
+        "target/BENCH_dwt_smoke.json"
+    } else {
+        "BENCH_dwt.json"
+    };
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
 }

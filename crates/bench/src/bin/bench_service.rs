@@ -37,10 +37,14 @@ impl SplitMix64 {
     }
 }
 
-/// The tenant shape pool: sizes x banks x depths, eight plan shapes.
+/// The tenant shape pool: sizes x banks x depths, sixteen plan shapes.
+/// The CDF 5/3 and 9/7 entries compile to lifting-kernel plans, so the
+/// cache and batch paths exercise both engine kinds under load.
 fn shape_pool() -> Vec<(usize, FilterBank, usize)> {
     let haar = FilterBank::haar();
     let d4 = FilterBank::daubechies(4).expect("D4 exists");
+    let cdf53 = FilterBank::cdf53();
+    let cdf97 = FilterBank::cdf97();
     vec![
         (32, haar.clone(), 1),
         (32, haar.clone(), 2),
@@ -50,6 +54,14 @@ fn shape_pool() -> Vec<(usize, FilterBank, usize)> {
         (64, haar, 2),
         (64, d4.clone(), 1),
         (64, d4, 2),
+        (32, cdf53.clone(), 1),
+        (32, cdf53.clone(), 2),
+        (64, cdf53.clone(), 2),
+        (96, cdf53, 3),
+        (32, cdf97.clone(), 1),
+        (64, cdf97.clone(), 2),
+        (96, cdf97.clone(), 1),
+        (128, cdf97, 3),
     ]
 }
 

@@ -57,8 +57,11 @@ use crate::conv;
 use crate::dwt2d::validate_dims;
 use crate::error::{DwtError, Result};
 use crate::filters::FilterBank;
+use crate::lifting::LiftingKind;
 use crate::matrix::Matrix;
 use crate::pyramid::{Pyramid, Subbands};
+
+pub mod lifting;
 
 /// Default band (tile) width in output columns. 256 output columns keep
 /// the ring working set — `2 rings × filter_len rows × 8 B` — inside L1
@@ -107,6 +110,19 @@ pub mod kernel {
         axpy(hl, hrow, tl);
         axpy(hh, hrow, th);
     }
+}
+
+/// Which arithmetic a plan executes. Selected per filter bank at plan
+/// construction: the CDF biorthogonal banks carry a lifting
+/// factorization and run through the fused [`lifting`] kernel (about
+/// half the work of convolution); every orthonormal bank runs the
+/// convolution kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Fused ring-buffer convolution (any [`Boundary`]).
+    Convolution,
+    /// Fused predict/update lifting sweep ([`Boundary::Periodic`] only).
+    Lifting(LiftingKind),
 }
 
 /// Geometry of one decomposition level.
@@ -194,11 +210,36 @@ pub struct DwtPlan {
     mode: Boundary,
     band_width: usize,
     threads: usize,
+    kernel: KernelKind,
     level_dims: Vec<LevelDims>,
 }
 
+/// Lifting needs every level's dimensions even and at least 2, but has
+/// no minimum-length-vs-filter constraint: the periodic predict/update
+/// wraps are well defined for any half length.
+fn validate_dims_lifting(rows: usize, cols: usize, levels: usize) -> Result<()> {
+    if levels == 0 {
+        return Err(DwtError::ZeroLevels);
+    }
+    let (mut r, mut c) = (rows, cols);
+    for level in 1..=levels {
+        if r < 2 || r % 2 != 0 {
+            return Err(DwtError::OddLength { len: r, level });
+        }
+        if c < 2 || c % 2 != 0 {
+            return Err(DwtError::OddLength { len: c, level });
+        }
+        r /= 2;
+        c /= 2;
+    }
+    Ok(())
+}
+
 impl DwtPlan {
-    /// Validate the geometry and build a single-threaded plan.
+    /// Validate the geometry and build a single-threaded plan. Banks
+    /// with a lifting factorization ([`FilterBank::lifting_kind`])
+    /// select the fused lifting kernel, which supports
+    /// [`Boundary::Periodic`] only.
     pub fn new(
         rows: usize,
         cols: usize,
@@ -206,7 +247,24 @@ impl DwtPlan {
         levels: usize,
         mode: Boundary,
     ) -> Result<Self> {
-        validate_dims(rows, cols, bank.len(), levels)?;
+        let kernel = match bank.lifting_kind() {
+            Some(kind) => {
+                if mode != Boundary::Periodic {
+                    return Err(DwtError::UnsupportedBoundary {
+                        detail: format!(
+                            "lifting bank {} supports Periodic only, got {mode:?}",
+                            bank.name()
+                        ),
+                    });
+                }
+                validate_dims_lifting(rows, cols, levels)?;
+                KernelKind::Lifting(kind)
+            }
+            None => {
+                validate_dims(rows, cols, bank.len(), levels)?;
+                KernelKind::Convolution
+            }
+        };
         let mut level_dims = Vec::with_capacity(levels);
         let (mut r, mut c) = (rows, cols);
         for _ in 0..levels {
@@ -225,6 +283,7 @@ impl DwtPlan {
             mode,
             band_width: DEFAULT_BAND_WIDTH,
             threads: 1,
+            kernel,
             level_dims,
         })
     }
@@ -274,6 +333,11 @@ impl DwtPlan {
         self.threads
     }
 
+    /// Which kernel this plan executes.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
     /// The plan's cache key. Tuning knobs ([`DwtPlan::with_threads`],
     /// [`DwtPlan::with_band_width`]) are deliberately excluded: they
     /// change execution strategy, not results, and a cache should not
@@ -291,6 +355,30 @@ impl DwtPlan {
     /// execution needs. Reuse it across calls for zero steady-state
     /// allocations.
     pub fn make_workspace(&self) -> DwtWorkspace {
+        // Ping-pong LL buffers. Decomposition alternates shrinking levels
+        // between them, but reconstruction grows the approximation back up
+        // through the same pair, so both must hold the largest
+        // intermediate: the level-1 LL of rows/2 x cols/2.
+        let ll_elems = (self.rows / 2) * (self.cols / 2);
+        if let KernelKind::Lifting(_) = self.kernel {
+            // The lifting sweep needs one rows x cols staging buffer and
+            // two half-row scratch lanes; none of the convolution rings.
+            return DwtWorkspace {
+                ring_rows: self.bank.len().max(2),
+                band_width: self.effective_band_width(),
+                lanes: Vec::new(),
+                ll_a: vec![0.0; ll_elems],
+                ll_b: vec![0.0; ll_elems],
+                synth_low: Vec::new(),
+                synth_high: Vec::new(),
+                col_a: Vec::new(),
+                col_d: Vec::new(),
+                col_buf: Vec::new(),
+                lift_buf: vec![0.0; lifting::staging_len(self.rows, self.cols)],
+                lift_e: vec![0.0; self.cols / 2],
+                lift_o: vec![0.0; self.cols / 2],
+            };
+        }
         let flen = self.bank.len();
         let ring_rows = flen.max(2);
         let bw = self.effective_band_width();
@@ -300,11 +388,6 @@ impl DwtPlan {
                 high_ring: vec![0.0; ring_rows * bw],
             })
             .collect();
-        // Ping-pong LL buffers. Decomposition alternates shrinking levels
-        // between them, but reconstruction grows the approximation back up
-        // through the same pair, so both must hold the largest
-        // intermediate: the level-1 LL of rows/2 x cols/2.
-        let ll_elems = (self.rows / 2) * (self.cols / 2);
         // Synthesis intermediates: the finest level reassembles two
         // matrices of rows x cols/2 each.
         let synth_elems = self.rows * (self.cols / 2);
@@ -319,6 +402,9 @@ impl DwtPlan {
             col_a: vec![0.0; self.rows / 2],
             col_d: vec![0.0; self.rows / 2],
             col_buf: vec![0.0; self.rows],
+            lift_buf: Vec::new(),
+            lift_e: Vec::new(),
+            lift_o: Vec::new(),
         }
     }
 
@@ -347,11 +433,18 @@ impl DwtPlan {
     /// Check that `ws` was created by a plan of identical geometry.
     fn check_workspace(&self, ws: &DwtWorkspace) -> Result<()> {
         let want_bw = self.effective_band_width();
-        if ws.band_width != want_bw
-            || ws.ring_rows != self.bank.len().max(2)
-            || ws.lanes.len() < self.threads.min(self.rows / 2).max(1)
-            || ws.ll_a.len() < (self.rows / 2) * (self.cols / 2)
-        {
+        let common_ok = ws.band_width == want_bw
+            && ws.ring_rows == self.bank.len().max(2)
+            && ws.ll_a.len() >= (self.rows / 2) * (self.cols / 2);
+        let kernel_ok = match self.kernel {
+            KernelKind::Lifting(_) => {
+                ws.lift_buf.len() >= lifting::staging_len(self.rows, self.cols)
+                    && ws.lift_e.len() >= self.cols / 2
+                    && ws.lift_o.len() >= self.cols / 2
+            }
+            KernelKind::Convolution => ws.lanes.len() >= self.threads.min(self.rows / 2).max(1),
+        };
+        if !common_ok || !kernel_ok {
             return Err(DwtError::DimensionMismatch {
                 detail: "workspace was built by a plan with different geometry".to_string(),
             });
@@ -423,17 +516,33 @@ impl DwtPlan {
             };
             let bands = &mut out.detail[level];
             let (lh, hl, hh) = bands.split_mut();
-            self.decompose_level(
-                src,
-                dims,
-                ll_dst,
-                lh.data_mut(),
-                hl.data_mut(),
-                hh.data_mut(),
-                &mut ws.lanes,
-                ws.ring_rows,
-                ws.band_width,
-            );
+            if let KernelKind::Lifting(kind) = self.kernel {
+                lifting::forward_level(
+                    src,
+                    dims.rows_in,
+                    dims.cols_in,
+                    kind,
+                    ll_dst,
+                    lh.data_mut(),
+                    hl.data_mut(),
+                    hh.data_mut(),
+                    &mut ws.lift_buf,
+                    &mut ws.lift_e,
+                    &mut ws.lift_o,
+                );
+            } else {
+                self.decompose_level(
+                    src,
+                    dims,
+                    ll_dst,
+                    lh.data_mut(),
+                    hl.data_mut(),
+                    hh.data_mut(),
+                    &mut ws.lanes,
+                    ws.ring_rows,
+                    ws.band_width,
+                );
+            }
         }
         Ok(())
     }
@@ -560,20 +669,32 @@ impl DwtPlan {
                     &mut ws.ll_a[..dims.rows_in * dims.cols_in],
                 )
             };
-            synth_step_into(
-                src_buf,
-                r,
-                c,
-                bands,
-                &self.bank,
-                self.mode,
-                dst_buf,
-                &mut ws.synth_low[..dims.rows_in * c],
-                &mut ws.synth_high[..dims.rows_in * c],
-                &mut ws.col_a[..r],
-                &mut ws.col_d[..r],
-                &mut ws.col_buf[..dims.rows_in],
-            )?;
+            if let KernelKind::Lifting(kind) = self.kernel {
+                lifting::inverse_level(
+                    src_buf,
+                    bands,
+                    dims.rows_in,
+                    dims.cols_in,
+                    kind,
+                    dst_buf,
+                    &mut ws.lift_buf,
+                );
+            } else {
+                synth_step_into(
+                    src_buf,
+                    r,
+                    c,
+                    bands,
+                    &self.bank,
+                    self.mode,
+                    dst_buf,
+                    &mut ws.synth_low[..dims.rows_in * c],
+                    &mut ws.synth_high[..dims.rows_in * c],
+                    &mut ws.col_a[..r],
+                    &mut ws.col_d[..r],
+                    &mut ws.col_buf[..dims.rows_in],
+                )?;
+            }
             cur_in_a = !cur_in_a;
         }
         Ok(())
@@ -610,6 +731,13 @@ pub struct DwtWorkspace {
     col_a: Vec<f64>,
     col_d: Vec<f64>,
     col_buf: Vec<f64>,
+    /// Lifting staging buffer ([`lifting::staging_len`] elements: the
+    /// cache-blocked stash+ring window, or the whole image when it is
+    /// small enough for the plain path), empty for convolution plans.
+    lift_buf: Vec<f64>,
+    /// Row-lift even/odd scratch (`cols / 2` each).
+    lift_e: Vec<f64>,
+    lift_o: Vec<f64>,
 }
 
 /// Row-filter input row `x_row` with both filters over output columns

@@ -33,6 +33,12 @@ pub enum DwtError {
     },
     /// Zero decomposition levels requested where at least one is needed.
     ZeroLevels,
+    /// The requested boundary policy is not supported by the selected
+    /// kernel (the lifting factorizations are periodic-only).
+    UnsupportedBoundary {
+        /// Human-readable description of the unsupported combination.
+        detail: String,
+    },
     /// Matrix dimensions disagree with what the operation requires.
     DimensionMismatch {
         /// Human-readable description of the mismatch.
@@ -59,6 +65,9 @@ impl fmt::Display for DwtError {
                 write!(f, "filter bank is not orthonormal: {detail}")
             }
             DwtError::ZeroLevels => write!(f, "at least one decomposition level is required"),
+            DwtError::UnsupportedBoundary { detail } => {
+                write!(f, "unsupported boundary policy: {detail}")
+            }
             DwtError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
         }
     }

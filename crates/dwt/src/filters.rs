@@ -9,11 +9,18 @@
 //! Daubechies D8 and D4 filters and the Haar filter respectively.
 
 use crate::error::{DwtError, Result};
+use crate::lifting::LiftingKind;
 
 /// Tolerance used when validating orthonormality conditions.
 const ORTHO_TOL: f64 = 1e-8;
 
-/// An orthonormal analysis/synthesis filter pair.
+/// An analysis/synthesis filter pair.
+///
+/// Most constructors build *orthonormal* quadrature-mirror banks. The
+/// [`FilterBank::cdf53`] / [`FilterBank::cdf97`] constructors build the
+/// CDF *biorthogonal* banks; those carry a [`LiftingKind`] tag and the
+/// engine executes them through its fused lifting kernel instead of the
+/// convolution path (see [`crate::engine::lifting`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FilterBank {
     /// Human-readable name, e.g. `"D4"`.
@@ -22,6 +29,9 @@ pub struct FilterBank {
     low: Vec<f64>,
     /// High-pass (wavelet) filter taps, the quadrature mirror of `low`.
     high: Vec<f64>,
+    /// Set when the bank is a lifting factorization; selects the engine's
+    /// lifting kernel.
+    lifting: Option<LiftingKind>,
 }
 
 impl FilterBank {
@@ -72,7 +82,66 @@ impl FilterBank {
             name: name.into(),
             low,
             high,
+            lifting: None,
         })
+    }
+
+    /// The CDF (LeGall) 5/3 biorthogonal bank — the lossless JPEG 2000
+    /// transform. The taps are the equivalent analysis filters (recorded
+    /// so [`crate::engine::PlanShape`] keys stay exact); execution runs
+    /// through the engine's fused lifting kernel, periodic boundaries
+    /// only.
+    pub fn cdf53() -> Self {
+        FilterBank {
+            name: "CDF53".to_string(),
+            low: vec![-0.125, 0.25, 0.75, 0.25, -0.125],
+            high: vec![-0.5, 1.0, -0.5],
+            lifting: Some(LiftingKind::LeGall53),
+        }
+    }
+
+    /// The CDF 9/7 biorthogonal bank — the lossy JPEG 2000 transform.
+    /// Same conventions as [`FilterBank::cdf53`].
+    pub fn cdf97() -> Self {
+        FilterBank {
+            name: "CDF97".to_string(),
+            low: vec![
+                0.026748757410810,
+                -0.016864118442875,
+                -0.078223266528990,
+                0.266864118442875,
+                0.602949018236360,
+                0.266864118442875,
+                -0.078223266528990,
+                -0.016864118442875,
+                0.026748757410810,
+            ],
+            high: vec![
+                0.091271763114250,
+                -0.057543526228500,
+                -0.591271763114250,
+                1.115_087_052_457,
+                -0.591271763114250,
+                -0.057543526228500,
+                0.091271763114250,
+            ],
+            lifting: Some(LiftingKind::Cdf97),
+        }
+    }
+
+    /// The bank whose lifting factorization is `kind`.
+    pub fn for_lifting(kind: LiftingKind) -> Self {
+        match kind {
+            LiftingKind::LeGall53 => FilterBank::cdf53(),
+            LiftingKind::Cdf97 => FilterBank::cdf97(),
+        }
+    }
+
+    /// The lifting factorization this bank executes through, if any.
+    /// `None` means the convolution kernel.
+    #[inline]
+    pub fn lifting_kind(&self) -> Option<LiftingKind> {
+        self.lifting
     }
 
     /// The Haar filter — the paper's "filter size 2".

@@ -6,8 +6,19 @@
 //! and run in place.
 //!
 //! Periodic boundaries, even-length signals.
+//!
+//! The entry points here are thin wrappers over the fused engine kernel
+//! in [`crate::engine::lifting`]: the 1-D transforms run the engine's
+//! vectorized half-signal kernels, and the 2-D transforms build a
+//! [`crate::engine::DwtPlan`] (which selects the lifting kernel for the
+//! CDF banks) so multi-level decomposition allocates nothing per level.
+//! The original naive implementations are kept, hidden, as the
+//! `*_oracle` functions — the property suite pins the engine to them
+//! bit for bit.
 
+use crate::engine::{self, DwtPlan};
 use crate::error::{DwtError, Result};
+use crate::filters::FilterBank;
 use crate::matrix::Matrix;
 use crate::pyramid::{Pyramid, Subbands};
 
@@ -21,11 +32,12 @@ pub enum LiftingKind {
 }
 
 // CDF 9/7 lifting constants (Daubechies & Sweldens factorization).
-const ALPHA: f64 = -1.586_134_342_059_924;
-const BETA: f64 = -0.052_980_118_572_961;
-const GAMMA: f64 = 0.882_911_075_530_934;
-const DELTA: f64 = 0.443_506_852_043_971;
-const ZETA: f64 = 1.230_174_104_914_001;
+// Shared with the engine kernel so both paths use identical literals.
+pub(crate) const ALPHA: f64 = -1.586_134_342_059_924;
+pub(crate) const BETA: f64 = -0.052_980_118_572_961;
+pub(crate) const GAMMA: f64 = 0.882_911_075_530_934;
+pub(crate) const DELTA: f64 = 0.443_506_852_043_971;
+pub(crate) const ZETA: f64 = 1.230_174_104_914_001;
 
 /// One lifting step: `target[i] += c * (other[i] + other[i ± 1])` with
 /// periodic wrap, where `target`/`other` are the odd/even phases.
@@ -47,6 +59,120 @@ fn update(even: &mut [f64], odd: &[f64], c: f64) {
 
 /// Forward 1-D lifting transform: returns `(approx, detail)` halves.
 pub fn forward_1d(x: &[f64], kind: LiftingKind) -> Result<(Vec<f64>, Vec<f64>)> {
+    let n = x.len();
+    if n < 2 || !n.is_multiple_of(2) {
+        return Err(DwtError::OddLength { len: n, level: 1 });
+    }
+    let mut approx = vec![0.0; n / 2];
+    let mut detail = vec![0.0; n / 2];
+    engine::lifting::forward_1d_into(x, kind, &mut approx, &mut detail)?;
+    Ok((approx, detail))
+}
+
+/// Inverse of [`forward_1d`].
+pub fn inverse_1d(approx: &[f64], detail: &[f64], kind: LiftingKind) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; approx.len() + detail.len()];
+    engine::lifting::inverse_1d_into(approx, detail, kind, &mut out)?;
+    Ok(out)
+}
+
+fn check_even_image(rows: usize, cols: usize) -> Result<()> {
+    if rows < 2 || !rows.is_multiple_of(2) {
+        return Err(DwtError::OddLength {
+            len: rows,
+            level: 1,
+        });
+    }
+    if cols < 2 || !cols.is_multiple_of(2) {
+        return Err(DwtError::OddLength {
+            len: cols,
+            level: 1,
+        });
+    }
+    Ok(())
+}
+
+/// One 2-D lifting analysis step, through the engine's fused kernel.
+pub fn analyze_step(img: &Matrix, kind: LiftingKind) -> Result<(Matrix, Subbands)> {
+    check_even_image(img.rows(), img.cols())?;
+    let (rows, cols) = (img.rows(), img.cols());
+    let (r2, c2) = (rows / 2, cols / 2);
+    let mut ll = Matrix::zeros(r2, c2);
+    let mut lh = Matrix::zeros(r2, c2);
+    let mut hl = Matrix::zeros(r2, c2);
+    let mut hh = Matrix::zeros(r2, c2);
+    let mut buf = vec![0.0; engine::lifting::staging_len(rows, cols)];
+    let mut e = vec![0.0; c2];
+    let mut o = vec![0.0; c2];
+    engine::lifting::forward_level(
+        img.data(),
+        rows,
+        cols,
+        kind,
+        ll.data_mut(),
+        lh.data_mut(),
+        hl.data_mut(),
+        hh.data_mut(),
+        &mut buf,
+        &mut e,
+        &mut o,
+    );
+    Ok((ll, Subbands { lh, hl, hh }))
+}
+
+/// One 2-D lifting synthesis step, through the engine's fused kernel.
+pub fn synthesize_step(ll: &Matrix, bands: &Subbands, kind: LiftingKind) -> Result<Matrix> {
+    let (r, c) = (ll.rows(), ll.cols());
+    if bands.rows() != r || bands.cols() != c {
+        return Err(DwtError::DimensionMismatch {
+            detail: format!(
+                "LL is {r}x{c} but detail bands are {}x{}",
+                bands.rows(),
+                bands.cols()
+            ),
+        });
+    }
+    let (rows, cols) = (2 * r, 2 * c);
+    let mut out = Matrix::zeros(rows, cols);
+    let mut buf = vec![0.0; engine::lifting::staging_len(rows, cols)];
+    engine::lifting::inverse_level(ll.data(), bands, rows, cols, kind, out.data_mut(), &mut buf);
+    Ok(out)
+}
+
+/// Full multi-level 2-D decomposition with the lifting transform.
+/// Routed through a [`DwtPlan`], so per-level work allocates nothing.
+pub fn decompose(img: &Matrix, kind: LiftingKind, levels: usize) -> Result<Pyramid> {
+    let bank = FilterBank::for_lifting(kind);
+    let plan = DwtPlan::new(
+        img.rows(),
+        img.cols(),
+        bank,
+        levels,
+        crate::Boundary::Periodic,
+    )?;
+    plan.decompose(img)
+}
+
+/// Invert [`decompose`].
+pub fn reconstruct(pyr: &Pyramid, kind: LiftingKind) -> Result<Matrix> {
+    let Some(finest) = pyr.detail.first() else {
+        return Ok(pyr.approx.clone());
+    };
+    let (rows, cols) = (finest.rows() * 2, finest.cols() * 2);
+    let bank = FilterBank::for_lifting(kind);
+    let plan = DwtPlan::new(rows, cols, bank, pyr.levels(), crate::Boundary::Periodic)?;
+    plan.reconstruct(pyr)
+}
+
+// ---------------------------------------------------------------------
+// Hidden correctness oracles: the original straight-line lifting code,
+// kept verbatim so property tests can pin the fused engine kernel to it
+// bit for bit (the same pattern as `dwt2d::decompose_separable`).
+// ---------------------------------------------------------------------
+
+/// Original allocating forward transform (oracle).
+#[doc(hidden)]
+pub fn forward_1d_oracle(x: &[f64], kind: LiftingKind) -> Result<(Vec<f64>, Vec<f64>)> {
     let n = x.len();
     if n < 2 || !n.is_multiple_of(2) {
         return Err(DwtError::OddLength { len: n, level: 1 });
@@ -75,8 +201,9 @@ pub fn forward_1d(x: &[f64], kind: LiftingKind) -> Result<(Vec<f64>, Vec<f64>)> 
     Ok((even, odd))
 }
 
-/// Inverse of [`forward_1d`].
-pub fn inverse_1d(approx: &[f64], detail: &[f64], kind: LiftingKind) -> Result<Vec<f64>> {
+/// Original allocating inverse transform (oracle).
+#[doc(hidden)]
+pub fn inverse_1d_oracle(approx: &[f64], detail: &[f64], kind: LiftingKind) -> Result<Vec<f64>> {
     if approx.len() != detail.len() {
         return Err(DwtError::DimensionMismatch {
             detail: format!(
@@ -119,7 +246,7 @@ fn rows_pass(img: &Matrix, kind: LiftingKind) -> Result<(Matrix, Matrix)> {
     let mut low = Matrix::zeros(img.rows(), half);
     let mut high = Matrix::zeros(img.rows(), half);
     for r in 0..img.rows() {
-        let (a, d) = forward_1d(img.row(r), kind)?;
+        let (a, d) = forward_1d_oracle(img.row(r), kind)?;
         low.row_mut(r).copy_from_slice(&a);
         high.row_mut(r).copy_from_slice(&d);
     }
@@ -133,23 +260,25 @@ fn cols_pass(img: &Matrix, kind: LiftingKind) -> Result<(Matrix, Matrix)> {
     let mut col = vec![0.0; img.rows()];
     for c in 0..img.cols() {
         img.copy_col_into(c, &mut col);
-        let (a, d) = forward_1d(&col, kind)?;
+        let (a, d) = forward_1d_oracle(&col, kind)?;
         low.set_col(c, &a);
         high.set_col(c, &d);
     }
     Ok((low, high))
 }
 
-/// One 2-D lifting analysis step.
-pub fn analyze_step(img: &Matrix, kind: LiftingKind) -> Result<(Matrix, Subbands)> {
+/// Original 2-D analysis step (oracle).
+#[doc(hidden)]
+pub fn analyze_step_oracle(img: &Matrix, kind: LiftingKind) -> Result<(Matrix, Subbands)> {
     let (low, high) = rows_pass(img, kind)?;
     let (ll, lh) = cols_pass(&low, kind)?;
     let (hl, hh) = cols_pass(&high, kind)?;
     Ok((ll, Subbands { lh, hl, hh }))
 }
 
-/// One 2-D lifting synthesis step.
-pub fn synthesize_step(ll: &Matrix, bands: &Subbands, kind: LiftingKind) -> Result<Matrix> {
+/// Original 2-D synthesis step (oracle).
+#[doc(hidden)]
+pub fn synthesize_step_oracle(ll: &Matrix, bands: &Subbands, kind: LiftingKind) -> Result<Matrix> {
     let (r, c) = (ll.rows(), ll.cols());
     // Invert columns.
     let rebuild_cols = |a: &Matrix, d: &Matrix| -> Result<Matrix> {
@@ -159,7 +288,7 @@ pub fn synthesize_step(ll: &Matrix, bands: &Subbands, kind: LiftingKind) -> Resu
         for cc in 0..c {
             a.copy_col_into(cc, &mut ac);
             d.copy_col_into(cc, &mut dc);
-            out.set_col(cc, &inverse_1d(&ac, &dc, kind)?);
+            out.set_col(cc, &inverse_1d_oracle(&ac, &dc, kind)?);
         }
         Ok(out)
     };
@@ -168,14 +297,15 @@ pub fn synthesize_step(ll: &Matrix, bands: &Subbands, kind: LiftingKind) -> Resu
     // Invert rows.
     let mut out = Matrix::zeros(2 * r, 2 * c);
     for rr in 0..2 * r {
-        let x = inverse_1d(low.row(rr), high.row(rr), kind)?;
+        let x = inverse_1d_oracle(low.row(rr), high.row(rr), kind)?;
         out.row_mut(rr).copy_from_slice(&x);
     }
     Ok(out)
 }
 
-/// Full multi-level 2-D decomposition with the lifting transform.
-pub fn decompose(img: &Matrix, kind: LiftingKind, levels: usize) -> Result<Pyramid> {
+/// Original multi-level decomposition (oracle).
+#[doc(hidden)]
+pub fn decompose_oracle(img: &Matrix, kind: LiftingKind, levels: usize) -> Result<Pyramid> {
     if levels == 0 {
         return Err(DwtError::ZeroLevels);
     }
@@ -188,18 +318,19 @@ pub fn decompose(img: &Matrix, kind: LiftingKind, levels: usize) -> Result<Pyram
                 level,
             });
         }
-        let (ll, bands) = analyze_step(&approx, kind)?;
+        let (ll, bands) = analyze_step_oracle(&approx, kind)?;
         detail.push(bands);
         approx = ll;
     }
     Ok(Pyramid { approx, detail })
 }
 
-/// Invert [`decompose`].
-pub fn reconstruct(pyr: &Pyramid, kind: LiftingKind) -> Result<Matrix> {
+/// Original multi-level reconstruction (oracle).
+#[doc(hidden)]
+pub fn reconstruct_oracle(pyr: &Pyramid, kind: LiftingKind) -> Result<Matrix> {
     let mut approx = pyr.approx.clone();
     for bands in pyr.detail.iter().rev() {
-        approx = synthesize_step(&approx, bands, kind)?;
+        approx = synthesize_step_oracle(&approx, bands, kind)?;
     }
     Ok(approx)
 }
@@ -242,6 +373,31 @@ mod tests {
                 let err = img.max_abs_diff(&rec).unwrap();
                 assert!(err < 1e-9, "{kind:?} L{levels}: {err}");
             }
+        }
+    }
+
+    #[test]
+    fn wrappers_match_oracles_bitwise() {
+        for kind in [LiftingKind::Cdf97, LiftingKind::LeGall53] {
+            let x = signal(48);
+            let (a, d) = forward_1d(&x, kind).unwrap();
+            let (oa, od) = forward_1d_oracle(&x, kind).unwrap();
+            assert_eq!(a, oa, "{kind:?} approx");
+            assert_eq!(d, od, "{kind:?} detail");
+            assert_eq!(
+                inverse_1d(&a, &d, kind).unwrap(),
+                inverse_1d_oracle(&oa, &od, kind).unwrap(),
+                "{kind:?} inverse"
+            );
+            let img = image(24);
+            let pyr = decompose(&img, kind, 2).unwrap();
+            let opyr = decompose_oracle(&img, kind, 2).unwrap();
+            assert_eq!(pyr, opyr, "{kind:?} pyramid");
+            assert_eq!(
+                reconstruct(&pyr, kind).unwrap(),
+                reconstruct_oracle(&opyr, kind).unwrap(),
+                "{kind:?} reconstruction"
+            );
         }
     }
 

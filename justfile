@@ -23,6 +23,19 @@ bench-json:
 bench-engine:
     cargo bench -p bench --bench dwt_engine
 
+# Regenerate BENCH_dwt.json with the lifting-vs-convolution rows (alias
+# of bench-json, named for the lifting headline).
+lift-bench:
+    cargo run --release -p bench --bin bench_dwt
+
+# Downscaled lifting bench as CI runs it: headline only at 512x512,
+# writes target/BENCH_dwt_smoke.json, then asserts the lifting rows are
+# present, carry the full row schema, and that CDF 5/3 lifting is no
+# slower than the D4 convolution engine at the smoke size.
+lift-bench-smoke:
+    DWT_SMOKE=1 cargo run --release -p bench --bin bench_dwt
+    python3 -c "import json; d = json.load(open('target/BENCH_dwt_smoke.json')); rows = d['results']; required = {'name', 'size', 'filter', 'levels', 'threads', 'median_ns_per_px', 'samples'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; lift = [r for r in rows if r['name'] == 'engine_lifting_1t' and r['filter'] == 'CDF53']; assert lift, 'no CDF53 lifting rows'; conv = [r for r in rows if r['name'] == 'engine_1t' and r['filter'] == 'D4' and r['size'] == lift[0]['size']]; assert conv, 'no D4 engine row at smoke size'; l = min(r['median_ns_per_px'] for r in lift); c = conv[0]['median_ns_per_px']; assert l <= c, f'lifting {l} ns/px slower than convolution {c} ns/px'; print(f'lifting smoke OK: {l:.3f} ns/px vs D4 engine {c:.3f} ns/px')"
+
 # Fault-matrix gate: sweep the drop-rate x crash-count grid CI runs and
 # assert crash recovery stays bit-identical at every point, for the
 # striped and block decompositions and the distributed reconstruction.

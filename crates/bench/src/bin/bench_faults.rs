@@ -16,7 +16,7 @@ use dwt::{dwt2d, Boundary, FilterBank};
 use dwt_mimd::block::run_block_dwt;
 use dwt_mimd::idwt::run_mimd_idwt;
 use dwt_mimd::ResiliencePolicy;
-use paragon::{FaultPlan, FaultStats, Mapping, SpmdConfig};
+use paragon::{FaultPlan, FaultStats, LinkGeometry, Mapping, SpmdConfig};
 use perfbudget::{BudgetReport, RankBudget};
 
 const SEED: u64 = 1996; // the paper's year; any fixed seed works
@@ -34,6 +34,16 @@ const CRASHES: [(usize, u64); 4] = [(5, 7), (10, 12), (3, 3), (12, 16)];
 /// resilient idwt runs phases 0..=13 (scatter 0, four phases per level,
 /// trailing gather 13), so every phase here must stay within that range.
 const IDWT_CRASHES: [(usize, u64); 4] = [(5, 4), (10, 9), (3, 2), (12, 13)];
+
+/// Wrap-link drop-probability grid of the T3D link-geometry sweep; the
+/// interior links fail at a tenth of the wrap rate (the long ring-
+/// closing cables are the exposed ones).
+const WRAP_RATES: [f64; 4] = [0.0, 1e-2, 1e-1, 3e-1];
+
+/// T3D node-board crash schedule, applied cumulatively: board `b` takes
+/// both of its processing elements (ranks `2b` and `2b + 1`) down at
+/// the given phase.
+const BOARD_CRASHES: [(usize, u64); 2] = [(1, 7), (6, 12)];
 
 struct Row {
     machine: &'static str,
@@ -190,6 +200,54 @@ fn main() {
                 faults: run.faults,
             });
         }
+    }
+
+    // --- T3D link-geometry sweep: wrap vs interior drop rates. -----------
+    for &wrap in &WRAP_RATES {
+        let plan = FaultPlan::seeded(SEED).with_link_geometry(LinkGeometry::t3d(wrap, wrap * 0.1));
+        let scfg = machine_cfg("t3d").with_faults(plan);
+        let run = run_block_dwt(&scfg, &cfg, &img).expect("link drops are absorbed by retries");
+        eprintln!(
+            "t3d      dwt  wrap_rate={wrap:<7} T={:.4}s drops={} retx={}",
+            run.parallel_time(),
+            run.faults.totals.drops,
+            run.faults.totals.retransmissions
+        );
+        rows.push(Row {
+            machine: "t3d",
+            transform: "block_dwt",
+            sweep: "link_geometry",
+            drop_rate: wrap,
+            crashes: 0,
+            time: run.parallel_time(),
+            budgets: run.budgets,
+            faults: run.faults,
+        });
+    }
+
+    // --- T3D node-board crash sweep: whole boards (2 PEs) at once. -------
+    for nboards in 0..=BOARD_CRASHES.len() {
+        let mut plan = FaultPlan::seeded(SEED);
+        for &(board, phase) in &BOARD_CRASHES[..nboards] {
+            plan = plan.with_board_crash(board, phase);
+        }
+        let scfg = machine_cfg("t3d").with_faults(plan);
+        let run = run_block_dwt(&scfg, &cfg, &img).expect("survivors absorb board crashes");
+        eprintln!(
+            "t3d      dwt  boards={nboards:<4} T={:.4}s dead={:?}",
+            run.parallel_time(),
+            run.faults.crashed_ranks
+        );
+        rows.push(Row {
+            machine: "t3d",
+            transform: "block_dwt",
+            sweep: "board_crash",
+            drop_rate: 0.0,
+            crashes: nboards,
+            time: run.parallel_time(),
+            budgets: run.budgets,
+            faults: run.faults,
+        });
     }
 
     let mut out = String::new();

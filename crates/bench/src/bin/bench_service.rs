@@ -1,7 +1,11 @@
 //! Machine-readable serving benchmark: a seeded open-loop load
 //! generator drives the `wserv` discrete-event simulator across an
-//! arrival-rate x shard-count x cache x batching grid and writes
-//! `BENCH_service.json` in the current directory.
+//! arrival-rate x shard-count x cache x batching grid, plus a seeded
+//! chaos sweep (worker panics, shard crashes, stalls, poison requests,
+//! degraded-mode brownout) through `run_chaos`, and writes
+//! `BENCH_service.json` in the current directory. Every chaos row is
+//! checked for the exactly-once invariant: completed + rejected equals
+//! submitted — injected faults lose nothing.
 //!
 //! Every latency and throughput number is *virtual* (simulated) time:
 //! the whole file is a pure function of the seed, and this harness
@@ -14,8 +18,11 @@
 //! the acceptance conditions on the smaller grid.
 
 use dwt::{FilterBank, Matrix};
-use wserv::sim::{run_sim, CostModel, SimReport};
-use wserv::{DecomposeRequest, Priority, RejectKind, ServiceConfig};
+use wserv::sim::{run_chaos, run_sim, CostModel, SimReport};
+use wserv::{
+    DecomposeRequest, DegradedPolicy, Priority, RejectKind, ServiceConfig, ShardFaultPlan,
+    SupervisorPolicy,
+};
 
 const SEED: u64 = 1996; // the paper's year; any fixed seed works
 
@@ -176,7 +183,223 @@ fn sweep(n_reqs: usize, shard_grid: &[usize], rates: &[f64]) -> Vec<Cell> {
     cells
 }
 
-fn render(n_reqs: usize, cells: &[Cell]) -> String {
+/// Seeded chaos scenarios for the fault-tolerance sweep: every plan is a
+/// pure function of `SEED`, so the rows reproduce byte for byte. The
+/// grid covers each injected fault kind in isolation plus one combined
+/// brownout, all on the same three-shard service.
+fn chaos_scenarios() -> Vec<(&'static str, ServiceConfig)> {
+    let base = || {
+        ServiceConfig::default()
+            .with_shards(3)
+            .with_queue_capacity(64)
+            .with_cache_capacity(16)
+            .with_max_batch(4)
+    };
+    vec![
+        ("fault_free", base()),
+        (
+            "worker_panic",
+            base().with_faults(ShardFaultPlan::seeded(SEED).with_worker_panic(0, 3)),
+        ),
+        (
+            "shard_crash_failover",
+            base()
+                .with_faults(ShardFaultPlan::seeded(SEED).with_shard_crash(0, 0))
+                .with_supervisor(SupervisorPolicy {
+                    max_restarts: 2,
+                    ..SupervisorPolicy::default()
+                }),
+        ),
+        (
+            "poison_quarantine",
+            base().with_faults(ShardFaultPlan::seeded(SEED).with_poison_rate(0.05)),
+        ),
+        (
+            "stall_window",
+            base().with_faults(ShardFaultPlan::seeded(SEED).with_stall(1, 3.0, 0, 40)),
+        ),
+        (
+            "degraded_brownout",
+            base()
+                .with_faults(ShardFaultPlan::seeded(SEED).with_shard_crash(2, 0))
+                .with_supervisor(SupervisorPolicy {
+                    max_restarts: 1,
+                    ..SupervisorPolicy::default()
+                })
+                .with_degraded(DegradedPolicy::default()),
+        ),
+        (
+            "combined",
+            base()
+                .with_faults(
+                    ShardFaultPlan::seeded(SEED)
+                        .with_shard_crash(0, 2)
+                        .with_worker_panic(1, 5)
+                        .with_stall(2, 2.0, 0, 30)
+                        .with_poison_rate(0.02),
+                )
+                .with_supervisor(SupervisorPolicy {
+                    max_restarts: 1,
+                    ..SupervisorPolicy::default()
+                })
+                .with_degraded(DegradedPolicy::default()),
+        ),
+    ]
+}
+
+struct ChaosCell {
+    scenario: &'static str,
+    shards: usize,
+    rate_hz: f64,
+    requests: usize,
+    report: SimReport,
+}
+
+impl ChaosCell {
+    /// The chaos invariant, asserted on every generated row: each
+    /// submitted request resolves exactly once (completed, typed
+    /// rejection, or bounded-error degraded response) — injected crashes
+    /// lose nothing.
+    fn assert_nothing_lost(&self) {
+        let m = &self.report.metrics;
+        assert_eq!(
+            self.report.outcomes.len(),
+            self.requests,
+            "{}: every request must have a terminal outcome",
+            self.scenario
+        );
+        let ok = self.report.outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        assert_eq!(
+            ok,
+            m.completed(),
+            "{}: completions must match Ok outcomes",
+            self.scenario
+        );
+        let rejected: u64 = RejectKind::ALL.iter().map(|&k| m.rejected(k)).sum();
+        assert_eq!(
+            ok + rejected,
+            self.requests as u64,
+            "{}: lost requests (completed {} + rejected {} != submitted {})",
+            self.scenario,
+            ok,
+            rejected,
+            self.requests
+        );
+        let degraded = self
+            .report
+            .outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|r| r.degraded))
+            .count() as u64;
+        assert_eq!(
+            degraded,
+            m.degraded_served(),
+            "{}: degraded counter must match degraded Ok outcomes",
+            self.scenario
+        );
+    }
+
+    fn json(&self) -> String {
+        let m = &self.report.metrics;
+        let budget = m.budget_report().expect("at least one shard");
+        let failed: Vec<String> = m.failed_shards().iter().map(|s| s.to_string()).collect();
+        let rejected_total: u64 = RejectKind::ALL.iter().map(|&k| m.rejected(k)).sum();
+        format!(
+            concat!(
+                "{{\"scenario\": \"{}\", \"shards\": {}, \"rate_hz\": {}, ",
+                "\"requests\": {}, \"completed\": {}, \"degraded_served\": {}, ",
+                "\"restarts\": {}, \"requeued\": {}, \"quarantined\": {}, ",
+                "\"rejected_total\": {}, ",
+                "\"rejected_shard_failed\": {}, \"rejected_requeued\": {}, ",
+                "\"rejected_deadline\": {}, \"failed_shards\": [{}], ",
+                "\"p95_ms\": {:.6}, \"throughput_hz\": {:.3}, ",
+                "\"makespan_s\": {:.9}, \"fault_recovery_pct\": {:.3}}}"
+            ),
+            self.scenario,
+            self.shards,
+            self.rate_hz,
+            self.requests,
+            m.completed(),
+            m.degraded_served(),
+            m.restarts(),
+            m.requeued(),
+            m.quarantined(),
+            rejected_total,
+            m.rejected(RejectKind::ShardFailed),
+            m.rejected(RejectKind::Requeued),
+            m.rejected(RejectKind::DeadlineExpired),
+            failed.join(", "),
+            m.latency_quantile(0.95) * 1e3,
+            self.report.throughput(),
+            self.report.makespan_s,
+            budget.fault_pct(),
+        )
+    }
+}
+
+fn chaos_sweep(n_reqs: usize, rate_hz: f64) -> Vec<ChaosCell> {
+    let cost = CostModel::default();
+    let mut cells = Vec::new();
+    for (scenario, cfg) in chaos_scenarios() {
+        let report = run_chaos(&cfg, &cost, stream(n_reqs, rate_hz));
+        let cell = ChaosCell {
+            scenario,
+            shards: 3,
+            rate_hz,
+            requests: n_reqs,
+            report,
+        };
+        cell.assert_nothing_lost();
+        let m = &cell.report.metrics;
+        eprintln!(
+            "chaos {scenario:<20} completed={:<4} degraded={:<3} restarts={} \
+             requeued={:<3} failed_shards={:?}",
+            m.completed(),
+            m.degraded_served(),
+            m.restarts(),
+            m.requeued(),
+            m.failed_shards()
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Spot checks that the chaos grid exercises what it claims to: the
+/// failover scenario loses a shard yet strands nothing, and the
+/// brownout scenario actually serves bounded-error responses.
+fn assert_chaos_coverage(cells: &[ChaosCell]) {
+    let find = |name: &str| -> &ChaosCell {
+        cells
+            .iter()
+            .find(|c| c.scenario == name)
+            .expect("scenario present in the chaos grid")
+    };
+    let fault_free = find("fault_free");
+    assert_eq!(
+        fault_free.report.metrics.failed_shards(),
+        Vec::<usize>::new()
+    );
+    assert_eq!(fault_free.report.metrics.restarts(), 0);
+    let failover = find("shard_crash_failover");
+    assert!(
+        !failover.report.metrics.failed_shards().is_empty(),
+        "crash scenario must exhaust the restart budget"
+    );
+    assert!(failover.report.metrics.restarts() > 0);
+    let brownout = find("degraded_brownout");
+    assert!(
+        brownout.report.metrics.degraded_served() > 0,
+        "brownout scenario must serve degraded responses"
+    );
+    let panicked = find("worker_panic");
+    assert!(panicked.report.metrics.restarts() > 0);
+    assert_eq!(panicked.report.metrics.failed_shards(), Vec::<usize>::new());
+    let poisoned = find("poison_quarantine");
+    assert!(poisoned.report.metrics.quarantined() > 0);
+}
+
+fn render(n_reqs: usize, cells: &[Cell], chaos: &[ChaosCell]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"wserv_load\",\n");
     out.push_str("  \"unit\": \"virtual_seconds\",\n");
@@ -188,6 +411,17 @@ fn render(n_reqs: usize, cells: &[Cell]) -> String {
         out.push_str("    ");
         out.push_str(&c.json());
         out.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"chaos_requests_per_cell\": {},\n",
+        chaos.first().map_or(0, |c| c.requests)
+    ));
+    out.push_str("  \"chaos_results\": [\n");
+    for (i, c) in chaos.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.json());
+        out.push_str(if i + 1 == chaos.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -270,13 +504,23 @@ fn main() {
     };
     let top_rate = *rates.last().expect("non-empty rate grid");
 
+    let chaos_reqs = if smoke { 200 } else { 800 };
+    let chaos_rate = 50_000.0;
+
     let cells = sweep(n_reqs, &shard_grid, &rates);
     assert_dominance(&cells, top_rate);
-    let report = render(n_reqs, &cells);
+    let chaos = chaos_sweep(chaos_reqs, chaos_rate);
+    assert_chaos_coverage(&chaos);
+    let report = render(n_reqs, &cells, &chaos);
 
     // Byte-reproducibility is part of the contract: regenerate the
-    // whole sweep and require the identical document.
-    let again = render(n_reqs, &sweep(n_reqs, &shard_grid, &rates));
+    // whole sweep — chaos rows included — and require the identical
+    // document.
+    let again = render(
+        n_reqs,
+        &sweep(n_reqs, &shard_grid, &rates),
+        &chaos_sweep(chaos_reqs, chaos_rate),
+    );
     assert_eq!(report, again, "service bench must be byte-reproducible");
 
     let path = if smoke {

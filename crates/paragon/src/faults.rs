@@ -14,6 +14,12 @@
 //! * **link faults** — per-message-attempt drop, corruption (detected by
 //!   the receiver's checksum and NACKed) and extra delivery delay,
 //!   applied inside [`crate::network::LinkSchedule`] message resolution;
+//! * **per-link torus geometry** ([`LinkGeometry`]) — the T3D's long
+//!   wraparound cables and short interior neighbor links drop attempts
+//!   at distinct rates, decided independently for every link of a
+//!   message's dimension-order route; node-*board* crashes take out
+//!   both processing elements of a board at once
+//!   ([`FaultPlan::with_board_crash`]);
 //! * **transient exchange failures** — a rank's entry into a collective
 //!   fails `k` times before succeeding, charging exponential backoff in
 //!   *simulated* time;
@@ -30,11 +36,118 @@
 
 use std::fmt;
 
+use crate::topology::Link;
+
 /// Hash-domain separators so the drop / corrupt / delay decision streams
 /// are independent even for the same message coordinates.
 const KIND_DROP: u64 = 0x6472_6f70; // "drop"
 const KIND_CORRUPT: u64 = 0x636f_7272; // "corr"
 const KIND_DELAY: u64 = 0x6465_6c61; // "dela"
+const KIND_LINK: u64 = 0x6c69_6e6b; // "link"
+
+/// Per-link fault geometry for a 3-D torus (Cray T3D style): the
+/// long *wraparound* links that close each dimension ring are
+/// physically distinct cables from the short *interior* neighbor
+/// links, so they get their own drop rate. A message attempt is lost
+/// when the per-attempt stream of **any** link on its dimension-order
+/// route fires — long routes through the torus really are more
+/// exposed than single-hop neighbor exchanges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkGeometry {
+    /// X extent of the torus.
+    pub nx: usize,
+    /// Y extent of the torus.
+    pub ny: usize,
+    /// Z extent of the torus.
+    pub nz: usize,
+    /// Per-attempt drop probability of a wraparound link.
+    pub wrap_drop_rate: f64,
+    /// Per-attempt drop probability of an interior link.
+    pub interior_drop_rate: f64,
+}
+
+impl LinkGeometry {
+    /// Geometry of the modeled T3D torus (4 x 8 x 8) with the given
+    /// wrap / interior drop rates.
+    pub fn t3d(wrap_drop_rate: f64, interior_drop_rate: f64) -> Self {
+        LinkGeometry {
+            nx: 4,
+            ny: 8,
+            nz: 8,
+            wrap_drop_rate,
+            interior_drop_rate,
+        }
+    }
+
+    /// Total node count of the torus.
+    pub fn nodes(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Whether `link` is a wraparound link: its endpoints' coordinates
+    /// differ by `extent - 1` in exactly one dimension (the ring-closing
+    /// hop). Extents of 2 or less have no distinct long way around, so
+    /// their links all count as interior.
+    pub fn is_wrap(&self, link: Link) -> bool {
+        let (a, b) = link;
+        let coords = |id: usize| {
+            (
+                id % self.nx,
+                (id / self.nx) % self.ny,
+                id / (self.nx * self.ny),
+            )
+        };
+        let (ax, ay, az) = coords(a);
+        let (bx, by, bz) = coords(b);
+        let deltas = [
+            (ax.abs_diff(bx), self.nx),
+            (ay.abs_diff(by), self.ny),
+            (az.abs_diff(bz), self.nz),
+        ];
+        deltas
+            .iter()
+            .any(|&(d, extent)| extent >= 3 && d == extent - 1)
+    }
+
+    /// The drop rate that applies to `link`.
+    pub fn drop_rate(&self, link: Link) -> f64 {
+        if self.is_wrap(link) {
+            self.wrap_drop_rate
+        } else {
+            self.interior_drop_rate
+        }
+    }
+
+    /// Whether the geometry injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.wrap_drop_rate == 0.0 && self.interior_drop_rate == 0.0
+    }
+
+    /// Validate the geometry. Returns a human-readable reason on the
+    /// first malformed field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err(format!(
+                "torus extents {}x{}x{} must all be positive",
+                self.nx, self.ny, self.nz
+            ));
+        }
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r) && r.is_finite();
+        if !rate_ok(self.wrap_drop_rate) {
+            return Err(format!(
+                "wrap drop rate {} outside [0, 1]",
+                self.wrap_drop_rate
+            ));
+        }
+        if !rate_ok(self.interior_drop_rate) {
+            return Err(format!(
+                "interior drop rate {} outside [0, 1]",
+                self.interior_drop_rate
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// A permanent rank crash: `rank` dies at the entry of global collective
 /// phase `at_phase` (0-based) and never participates again.
@@ -98,6 +211,7 @@ pub struct FaultPlan {
     slowdowns: Vec<SlowdownFault>,
     exchange_faults: Vec<ExchangeFault>,
     forced_drops: Vec<MessageFault>,
+    link_geometry: Option<LinkGeometry>,
 }
 
 impl FaultPlan {
@@ -173,6 +287,29 @@ impl FaultPlan {
         self
     }
 
+    /// Attach per-link torus fault geometry: wraparound and interior
+    /// links drop attempts at their own rates, decided per route link.
+    pub fn with_link_geometry(mut self, geometry: LinkGeometry) -> Self {
+        self.link_geometry = Some(geometry);
+        self
+    }
+
+    /// Crash a whole T3D node board: both processing elements of board
+    /// `board` (ranks `2 * board` and `2 * board + 1`, the two PEs that
+    /// share the board's network interface) die at the entry of phase
+    /// `at_phase`.
+    pub fn with_board_crash(mut self, board: usize, at_phase: u64) -> Self {
+        self.crashes.push(CrashFault {
+            rank: 2 * board,
+            at_phase,
+        });
+        self.crashes.push(CrashFault {
+            rank: 2 * board + 1,
+            at_phase,
+        });
+        self
+    }
+
     /// Whether the plan injects nothing (the fast path can skip all
     /// fault bookkeeping).
     pub fn is_empty(&self) -> bool {
@@ -183,6 +320,7 @@ impl FaultPlan {
             && self.slowdowns.is_empty()
             && self.exchange_faults.is_empty()
             && self.forced_drops.is_empty()
+            && self.link_geometry.is_none_or(|g| g.is_empty())
     }
 
     /// Validate against a rank count. Returns a human-readable reason on
@@ -241,6 +379,9 @@ impl FaultPlan {
                     m.src, m.dst
                 ));
             }
+        }
+        if let Some(g) = &self.link_geometry {
+            g.validate()?;
         }
         Ok(())
     }
@@ -301,6 +442,19 @@ impl FaultPlan {
         }
         self.drop_rate > 0.0
             && self.decision(KIND_DROP, phase, src, dst, seq, attempt) < self.drop_rate
+    }
+
+    /// Whether the per-link geometry stream drops transmission attempt
+    /// `attempt` of the message with sequence `seq` on `link` during
+    /// `phase`. Always false without an attached [`LinkGeometry`]. The
+    /// decision is independent per link, so a route is lost with
+    /// probability `1 - prod(1 - rate_l)` over its links.
+    pub fn link_drops(&self, link: Link, phase: u64, seq: usize, attempt: u32) -> bool {
+        let Some(g) = &self.link_geometry else {
+            return false;
+        };
+        let rate = g.drop_rate(link);
+        rate > 0.0 && self.decision(KIND_LINK, phase, link.0, link.1, seq, attempt) < rate
     }
 
     /// Whether transmission attempt `attempt` arrives corrupted.
@@ -695,6 +849,99 @@ mod tests {
         assert!((r.backoff_s(1) - 1e-4).abs() < 1e-18);
         assert!((r.backoff_s(2) - 2e-4).abs() < 1e-18);
         assert!((r.backoff_s(4) - 8e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn wrap_links_are_classified_by_coordinate_delta() {
+        let g = LinkGeometry::t3d(0.1, 0.01);
+        assert_eq!(g.nodes(), 256);
+        // X ring of the 4x8x8 torus: 0=(0,0,0), 3=(3,0,0) — the closing
+        // hop. 0 -> 1 is interior.
+        assert!(g.is_wrap((0, 3)));
+        assert!(g.is_wrap((3, 0)));
+        assert!(!g.is_wrap((0, 1)));
+        // Y ring: (0,0,0)=0 to (0,7,0)=28 wraps; one Y step is interior.
+        assert!(g.is_wrap((0, 28)));
+        assert!(!g.is_wrap((0, 4)));
+        // Z ring: (0,0,0)=0 to (0,0,7)=224 wraps.
+        assert!(g.is_wrap((0, 224)));
+        assert!(!g.is_wrap((0, 32)));
+        assert_eq!(g.drop_rate((0, 3)), 0.1);
+        assert_eq!(g.drop_rate((0, 1)), 0.01);
+        // A 2-extent ring has no distinct long way around.
+        let tiny = LinkGeometry {
+            nx: 2,
+            ny: 8,
+            nz: 8,
+            wrap_drop_rate: 0.1,
+            interior_drop_rate: 0.0,
+        };
+        assert!(!tiny.is_wrap((0, 1)));
+    }
+
+    #[test]
+    fn link_drop_decisions_are_per_link_and_rate_gated() {
+        let wrap_only = FaultPlan::seeded(3).with_link_geometry(LinkGeometry::t3d(1.0, 0.0));
+        // Every wrap-link attempt drops, no interior attempt ever does.
+        assert!(wrap_only.link_drops((0, 3), 0, 0, 0));
+        assert!(!wrap_only.link_drops((0, 1), 0, 0, 0));
+        // Without geometry the stream is silent.
+        assert!(!FaultPlan::seeded(3).link_drops((0, 3), 0, 0, 0));
+        // Decisions are deterministic in the seed and differ per link.
+        let p = FaultPlan::seeded(11).with_link_geometry(LinkGeometry::t3d(0.5, 0.5));
+        let q = FaultPlan::seeded(11).with_link_geometry(LinkGeometry::t3d(0.5, 0.5));
+        let a: Vec<bool> = (0..256).map(|s| p.link_drops((0, 1), 2, s, 0)).collect();
+        let b: Vec<bool> = (0..256).map(|s| q.link_drops((0, 1), 2, s, 0)).collect();
+        let c: Vec<bool> = (0..256).map(|s| p.link_drops((1, 2), 2, s, 0)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different links must decide independently");
+        let hits = a.iter().filter(|&&x| x).count() as f64 / 256.0;
+        assert!((hits - 0.5).abs() < 0.15, "empirical link rate {hits}");
+    }
+
+    #[test]
+    fn board_crash_kills_both_processing_elements() {
+        let p = FaultPlan::none().with_board_crash(3, 5);
+        assert_eq!(p.crash_phase(6), Some(5));
+        assert_eq!(p.crash_phase(7), Some(5));
+        assert!(p.crash_phase(5).is_none());
+        assert!(p.crash_phase(8).is_none());
+        assert_eq!(p.crashed_by(5, 16), vec![6, 7]);
+        assert!(!p.is_empty());
+        assert!(p.validate(8).is_ok());
+        // A board crash past the rank count fails validation like any
+        // other crash.
+        assert!(FaultPlan::none()
+            .with_board_crash(4, 0)
+            .validate(8)
+            .is_err());
+    }
+
+    #[test]
+    fn link_geometry_validation() {
+        assert!(LinkGeometry::t3d(0.1, 0.01).validate().is_ok());
+        assert!(LinkGeometry::t3d(1.5, 0.0).validate().is_err());
+        assert!(LinkGeometry::t3d(0.0, -0.1).validate().is_err());
+        assert!(LinkGeometry {
+            nx: 0,
+            ny: 8,
+            nz: 8,
+            wrap_drop_rate: 0.0,
+            interior_drop_rate: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultPlan::none()
+            .with_link_geometry(LinkGeometry::t3d(2.0, 0.0))
+            .validate(16)
+            .is_err());
+        // Zero-rate geometry is inert: the plan still counts as empty.
+        assert!(FaultPlan::none()
+            .with_link_geometry(LinkGeometry::t3d(0.0, 0.0))
+            .is_empty());
+        assert!(!FaultPlan::none()
+            .with_link_geometry(LinkGeometry::t3d(0.1, 0.0))
+            .is_empty());
     }
 
     #[test]

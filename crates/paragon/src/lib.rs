@@ -43,7 +43,9 @@ pub mod network;
 pub mod spmd;
 pub mod topology;
 
-pub use faults::{CommError, FaultPlan, FaultStats, PhaseFaults, RetryPolicy, SpmdError};
+pub use faults::{
+    CommError, FaultPlan, FaultStats, LinkGeometry, PhaseFaults, RetryPolicy, SpmdError,
+};
 pub use machine::{CpuProfile, MachineSpec, MemoryProfile, NetProfile, Ops};
 pub use mapping::Mapping;
 pub use spmd::{run_spmd, Ctx, PhaseRecord, SpmdConfig, SpmdResult};

@@ -136,7 +136,12 @@ impl LinkSchedule {
                 events.retransmissions += 1;
             }
             let sent = self.transmit(route, ready + fault_s, bytes, net);
-            let dropped = plan.drops(phase, src, dst, seq, attempt);
+            // An attempt is lost if the end-to-end stream fires or any
+            // link of the route drops it (per-link torus geometry).
+            let dropped = plan.drops(phase, src, dst, seq, attempt)
+                || route
+                    .iter()
+                    .any(|&link| plan.link_drops(link, phase, seq, attempt));
             let corrupted = !dropped && plan.corrupts(phase, src, dst, seq, attempt);
             if !dropped && !corrupted {
                 let extra = plan.delay(phase, src, dst, seq, attempt);
@@ -313,6 +318,25 @@ mod tests {
         let d = s.transmit_faulty(&[], 2.0, 10, &n, &plan, &retry, 0, 0, 0, 0);
         assert_eq!(d.arrival, Some(2.0));
         assert!(!d.events.any());
+    }
+
+    #[test]
+    fn link_geometry_drops_routes_through_wrap_links_only() {
+        use crate::faults::LinkGeometry;
+        let n = net();
+        let plan = FaultPlan::seeded(4).with_link_geometry(LinkGeometry::t3d(1.0, 0.0));
+        let retry = RetryPolicy::default();
+        // Interior-only route: never dropped, arrives like the plain path.
+        let mut s = LinkSchedule::new();
+        let d = s.transmit_faulty(&[(0, 1), (1, 2)], 0.0, 10, &n, &plan, &retry, 0, 0, 2, 0);
+        assert!(d.arrival.is_some());
+        assert_eq!(d.events.drops, 0);
+        // Route crossing the X wrap link (0 -> 3): every attempt dies.
+        let mut s = LinkSchedule::new();
+        let d = s.transmit_faulty(&[(0, 3)], 0.0, 10, &n, &plan, &retry, 0, 0, 3, 0);
+        assert_eq!(d.arrival, None);
+        assert_eq!(d.events.drops, retry.max_attempts);
+        assert_eq!(d.events.undelivered, 1);
     }
 
     #[test]

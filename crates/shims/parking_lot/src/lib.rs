@@ -2,9 +2,13 @@
 //! workspace uses: [`Mutex`] (whose `lock()` returns the guard directly,
 //! no poisoning) and [`Condvar`] (whose `wait` takes `&mut MutexGuard`).
 //!
-//! Implemented over `std::sync`; a poisoned std mutex (a panicking
-//! thread while holding the lock) propagates the panic, which matches
-//! how the SPMD executor treats rank panics.
+//! Implemented over `std::sync`, with std's poisoning stripped to match
+//! parking_lot semantics: a thread that panics while holding the lock
+//! simply releases it, and the data stays reachable. Both fault-tolerant
+//! executors depend on that — the SPMD executor catches rank panics and
+//! reads the shared board afterwards, and the serving supervisor
+//! recovers a dead worker's in-flight batch from under the lock the
+//! worker held when it died.
 //!
 //! [parking_lot]: https://crates.io/crates/parking_lot
 
@@ -35,13 +39,19 @@ impl<T> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            guard: Some(self.inner.lock().expect("mutex poisoned")),
+            guard: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+            ),
         }
     }
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().expect("mutex poisoned")
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -76,7 +86,11 @@ impl Condvar {
     /// lock is re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.guard.take().expect("guard already waiting");
-        guard.guard = Some(self.inner.wait(inner).expect("mutex poisoned"));
+        guard.guard = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        );
     }
 
     /// Wake one parked thread.
@@ -100,6 +114,20 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn panicking_holder_releases_instead_of_poisoning() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        })
+        .join()
+        .unwrap_err();
+        // parking_lot semantics: the data survives the holder's panic.
+        assert_eq!(*m.lock(), 7);
     }
 
     #[test]

@@ -131,14 +131,20 @@ impl<T> AdmissionQueue<T> {
             };
         };
         let shape = leader.req.shape();
+        let solo = leader.solo();
         let mut entries = vec![leader];
-        for bucket in self.buckets.iter_mut().rev() {
-            let mut i = 0;
-            while i < bucket.len() && entries.len() < policy.max_batch {
-                if bucket[i].req.shape() == shape {
-                    entries.push(bucket.remove(i).expect("index in range"));
-                } else {
-                    i += 1;
+        // A solo (retry-after-panic) leader dispatches alone, and solo
+        // entries are never picked as mates: the poisoned-batch
+        // protocol needs each suspect isolated to one dispatch.
+        if !solo {
+            for bucket in self.buckets.iter_mut().rev() {
+                let mut i = 0;
+                while i < bucket.len() && entries.len() < policy.max_batch {
+                    if bucket[i].req.shape() == shape && !bucket[i].solo() {
+                        entries.push(bucket.remove(i).expect("index in range"));
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -194,6 +200,7 @@ mod tests {
             id,
             arrival: id as f64,
             req: req(priority),
+            attempts: 0,
             tag: id,
         }
     }
@@ -250,6 +257,33 @@ mod tests {
         assert!(pop.batch.is_none());
         assert_eq!(pop.expired.len(), 1);
         assert_eq!(pop.expired[0].id, 0);
+    }
+
+    #[test]
+    fn solo_entries_neither_lead_batches_nor_join_them() {
+        let mut q: AdmissionQueue<u64> = AdmissionQueue::new(8);
+        let mut suspect = entry(0, Priority::Interactive);
+        suspect.attempts = 1;
+        assert!(matches!(q.admit(0.0, suspect), Admit::Accepted));
+        for id in 1..4 {
+            assert!(matches!(
+                q.admit(0.0, entry(id, Priority::Standard)),
+                Admit::Accepted
+            ));
+        }
+        // The suspect is head of line: it dispatches alone.
+        let pop = q.pop_batch(1.0, &BatchPolicy::new(8));
+        let batch = pop.batch.expect("work queued");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.entries[0].id, 0);
+        // A clean leader never picks up a queued suspect as a mate.
+        let mut late_suspect = entry(9, Priority::Batch);
+        late_suspect.attempts = 2;
+        assert!(matches!(q.admit(1.0, late_suspect), Admit::Accepted));
+        let pop = q.pop_batch(2.0, &BatchPolicy::new(8));
+        let batch = pop.batch.expect("work queued");
+        assert_eq!(batch.len(), 3);
+        assert!(batch.entries.iter().all(|e| e.id != 9));
     }
 
     #[test]

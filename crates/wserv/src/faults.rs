@@ -1,0 +1,507 @@
+//! Deterministic fault injection for the serving layer, plus the
+//! policies that survive it.
+//!
+//! A [`ShardFaultPlan`] lifts the PR-2 fault model (seeded, pre-computed
+//! schedules — no wall clock, no mutable RNG) from the SPMD simulators
+//! into `wserv`. Every injection decision is either an explicit literal
+//! event or a pure hash of the plan seed and a canonical coordinate, so
+//! the discrete-event chaos simulator replays byte-identically from the
+//! seed and the live threaded driver injects the *same* faults at the
+//! same shard-local dispatch indices.
+//!
+//! Injected fault classes:
+//!
+//! * **worker panics** — the shard's worker thread dies at the entry of
+//!   one dispatch (a one-shot event; the supervisor restarts it);
+//! * **permanent shard crashes** — the worker dies at *every* dispatch
+//!   from an index on, so restarts keep failing until the supervisor's
+//!   restart budget is exhausted and the shard is failed over;
+//! * **stalls/slowdowns** — a dispatch window on one shard executes
+//!   slower by a factor (a throttled or degraded core);
+//! * **poison requests** — executing a specific request panics
+//!   mid-batch, exercising the poisoned-batch quarantine (retry
+//!   batchmates solo, quarantine the request that keeps killing
+//!   workers).
+//!
+//! The survival machinery is configured by [`SupervisorPolicy`]
+//! (restart budget, backoff, requeue cost) and [`DegradedPolicy`]
+//! (bounded-error approximate responses under reduced capacity). Both
+//! are clock-free and shared verbatim by the live server and the sim.
+
+/// Hash-domain separator for the poison-request decision stream.
+const KIND_POISON: u64 = 0x706f_6973; // "pois"
+
+/// One-shot worker death: shard `shard`'s worker panics at the entry of
+/// its `at_dispatch`-th dispatch (shard-local, 0-based, monotonically
+/// increasing across restarts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The affected shard.
+    pub shard: usize,
+    /// The shard-local dispatch index at whose entry the worker dies.
+    pub at_dispatch: u64,
+}
+
+/// Permanent shard crash: the worker dies at the entry of every
+/// dispatch with index `>= at_dispatch`, so each supervisor restart
+/// dies again until the restart budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCrash {
+    /// The affected shard.
+    pub shard: usize,
+    /// First dispatch index at which the worker dies (and keeps dying).
+    pub at_dispatch: u64,
+}
+
+/// Shard slowdown: dispatches with index in `[from_dispatch,
+/// to_dispatch)` execute `factor`× slower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStall {
+    /// The affected shard.
+    pub shard: usize,
+    /// Execution-time multiplier (> 1 slows the shard down).
+    pub factor: f64,
+    /// First affected dispatch index.
+    pub from_dispatch: u64,
+    /// One past the last affected dispatch index.
+    pub to_dispatch: u64,
+}
+
+/// A deterministic, seeded shard-fault schedule. See the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardFaultPlan {
+    seed: u64,
+    panics: Vec<WorkerPanic>,
+    crashes: Vec<ShardCrash>,
+    stalls: Vec<ShardStall>,
+    poison_ids: Vec<u64>,
+    poison_rate: f64,
+}
+
+impl ShardFaultPlan {
+    /// The empty plan: no faults, zero overhead.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying `seed` for the probabilistic streams.
+    pub fn seeded(seed: u64) -> Self {
+        ShardFaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Add a one-shot worker panic on `shard` at dispatch `at_dispatch`.
+    pub fn with_worker_panic(mut self, shard: usize, at_dispatch: u64) -> Self {
+        self.panics.push(WorkerPanic { shard, at_dispatch });
+        self
+    }
+
+    /// Add a permanent crash of `shard` from dispatch `at_dispatch` on.
+    pub fn with_shard_crash(mut self, shard: usize, at_dispatch: u64) -> Self {
+        self.crashes.push(ShardCrash { shard, at_dispatch });
+        self
+    }
+
+    /// Add a `factor`× slowdown of `shard` over dispatches `[from, to)`.
+    pub fn with_stall(mut self, shard: usize, factor: f64, from: u64, to: u64) -> Self {
+        self.stalls.push(ShardStall {
+            shard,
+            factor,
+            from_dispatch: from,
+            to_dispatch: to,
+        });
+        self
+    }
+
+    /// Poison the request with service-wide id `id`: executing it
+    /// panics the worker (inside the quarantine guard).
+    pub fn with_poison(mut self, id: u64) -> Self {
+        self.poison_ids.push(id);
+        self
+    }
+
+    /// Poison a seeded fraction of all requests (decision hashed from
+    /// the seed and the request id).
+    pub fn with_poison_rate(mut self, rate: f64) -> Self {
+        self.poison_rate = rate;
+        self
+    }
+
+    /// Whether the plan injects nothing (the fault-free fast path).
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty()
+            && self.crashes.is_empty()
+            && self.stalls.is_empty()
+            && self.poison_ids.is_empty()
+            && self.poison_rate == 0.0
+    }
+
+    /// Validate against a shard count. Returns a human-readable reason
+    /// on the first malformed entry.
+    pub fn validate(&self, nshards: usize) -> Result<(), String> {
+        if !((0.0..=1.0).contains(&self.poison_rate) && self.poison_rate.is_finite()) {
+            return Err(format!("poison rate {} outside [0, 1]", self.poison_rate));
+        }
+        for p in &self.panics {
+            if p.shard >= nshards {
+                return Err(format!(
+                    "panic on shard {} with only {nshards} shards",
+                    p.shard
+                ));
+            }
+        }
+        for c in &self.crashes {
+            if c.shard >= nshards {
+                return Err(format!(
+                    "crash of shard {} with only {nshards} shards",
+                    c.shard
+                ));
+            }
+        }
+        for s in &self.stalls {
+            if s.shard >= nshards {
+                return Err(format!(
+                    "stall on shard {} with only {nshards} shards",
+                    s.shard
+                ));
+            }
+            if !(s.factor >= 1.0 && s.factor.is_finite()) {
+                return Err(format!("stall factor {} must be finite and >= 1", s.factor));
+            }
+            if s.from_dispatch >= s.to_dispatch {
+                return Err(format!(
+                    "stall window [{}, {}) is empty",
+                    s.from_dispatch, s.to_dispatch
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the worker of `shard` dies at the entry of dispatch
+    /// `dispatch` (one-shot panic scheduled exactly there, or a
+    /// permanent crash window covering it).
+    pub fn worker_dies(&self, shard: usize, dispatch: u64) -> bool {
+        self.panics
+            .iter()
+            .any(|p| p.shard == shard && p.at_dispatch == dispatch)
+            || self.permanently_crashed(shard, dispatch)
+    }
+
+    /// Whether `shard` is inside a permanent-crash window at `dispatch`.
+    pub fn permanently_crashed(&self, shard: usize, dispatch: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.shard == shard && dispatch >= c.at_dispatch)
+    }
+
+    /// Shards with a permanent crash scheduled anywhere, ascending.
+    pub fn crashed_shards(&self, nshards: usize) -> Vec<usize> {
+        (0..nshards)
+            .filter(|&s| self.crashes.iter().any(|c| c.shard == s))
+            .collect()
+    }
+
+    /// Execution-time multiplier for `shard` at dispatch `dispatch`
+    /// (product of all active stall windows; 1.0 when none).
+    pub fn stall_factor(&self, shard: usize, dispatch: u64) -> f64 {
+        self.stalls
+            .iter()
+            .filter(|s| s.shard == shard && (s.from_dispatch..s.to_dispatch).contains(&dispatch))
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Whether executing the request with service-wide id `id` panics.
+    pub fn poisoned(&self, id: u64) -> bool {
+        if self.poison_ids.contains(&id) {
+            return true;
+        }
+        self.poison_rate > 0.0 && self.decision(KIND_POISON, id) < self.poison_rate
+    }
+
+    /// The pure decision function: a uniform value in `[0, 1)` derived
+    /// from the seed and a coordinate. SplitMix64 finalizer — the same
+    /// construction `paragon::faults` uses.
+    fn decision(&self, kind: u64, coord: u64) -> f64 {
+        let mut h = self.seed ^ kind.wrapping_mul(0x9e3779b97f4a7c15);
+        for v in [coord, kind] {
+            h ^= v.wrapping_add(0x9e3779b97f4a7c15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+            h ^= h >> 31;
+        }
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Supervision policy: how hard the service tries to keep a shard
+/// alive before failing it over, and what recovery actions cost.
+///
+/// All costs are seconds on the service clock: wall seconds in the
+/// live driver (the supervisor really backs off), virtual seconds
+/// charged to the [`perfbudget::Category::FaultRecovery`] lane in the
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Worker restarts allowed per shard before the shard is declared
+    /// failed and its work re-routed to survivors.
+    pub max_restarts: u32,
+    /// Backoff charged before the first restart.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff on each further restart.
+    pub backoff_mult: f64,
+    /// Seconds charged per re-queued or re-routed entry (the state
+    /// handoff cost, billed to the FaultRecovery lane).
+    pub requeue_s: f64,
+    /// Supervisor health-check period in the live driver (wall
+    /// seconds). The sim needs no polling — death is an event.
+    pub poll_s: f64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_restarts: 3,
+            backoff_base_s: 1e-3,
+            backoff_mult: 2.0,
+            requeue_s: 5e-6,
+            poll_s: 200e-6,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// No supervision at all: a dead worker stays dead and is only
+    /// discovered (and surfaced as a typed error) at shutdown.
+    pub fn disabled() -> Self {
+        SupervisorPolicy {
+            max_restarts: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Whether a supervisor runs (any restart budget at all).
+    pub fn enabled(&self) -> bool {
+        self.max_restarts > 0
+    }
+
+    /// Backoff charged before restart `restart` (1-based: the first
+    /// restart waits the base backoff).
+    pub fn backoff_s(&self, restart: u32) -> f64 {
+        self.backoff_base_s * self.backoff_mult.powi(restart.saturating_sub(1) as i32)
+    }
+
+    /// Validate the policy. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("backoff_base_s", self.backoff_base_s),
+            ("requeue_s", self.requeue_s),
+            ("poll_s", self.poll_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if !(self.backoff_mult >= 1.0 && self.backoff_mult.is_finite()) {
+            return Err(format!(
+                "backoff_mult = {} must be finite and >= 1",
+                self.backoff_mult
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Degraded-mode serving: under reduced capacity, answer
+/// lower-priority work with a bounded-error approximate response
+/// instead of shipping the full pyramid (or rejecting outright).
+///
+/// The approximation is the `WaveletQuant` move from the checkpoint
+/// codec: the LL plane ships exact, detail coefficients at or below
+/// `threshold` are zeroed and survivors are quantized to `step`. The
+/// per-coefficient error is bounded by `threshold + step / 2` — the
+/// bound every degraded response carries and the chaos tests assert
+/// end-to-end against the exact oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedPolicy {
+    /// Detail magnitudes at or below this are zeroed.
+    pub threshold: f64,
+    /// Uniform quantizer step for surviving detail coefficients
+    /// (`0.0` keeps survivors exact).
+    pub step: f64,
+    /// Queue depth (as a fraction of capacity, in `[0, 1]`) at or
+    /// above which a healthy shard serves degraded. A shard covering
+    /// for a failed peer serves degraded regardless.
+    pub queue_high_water: f64,
+}
+
+impl Default for DegradedPolicy {
+    fn default() -> Self {
+        DegradedPolicy {
+            threshold: 1e-2,
+            step: 1e-2,
+            queue_high_water: 0.75,
+        }
+    }
+}
+
+impl DegradedPolicy {
+    /// Largest absolute error the degraded response can introduce into
+    /// one detail coefficient (the LL plane is always exact).
+    pub fn error_bound(&self) -> f64 {
+        self.threshold + self.step / 2.0
+    }
+
+    /// Validate the policy. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("threshold", self.threshold), ("step", self.step)] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if !((0.0..=1.0).contains(&self.queue_high_water) && self.queue_high_water.is_finite()) {
+            return Err(format!(
+                "queue_high_water = {} outside [0, 1]",
+                self.queue_high_water
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = ShardFaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.worker_dies(0, 0));
+        assert!(!p.permanently_crashed(1, 99));
+        assert_eq!(p.stall_factor(2, 5), 1.0);
+        assert!(!p.poisoned(17));
+        assert!(p.crashed_shards(4).is_empty());
+        assert!(p.validate(4).is_ok());
+    }
+
+    #[test]
+    fn panic_is_one_shot_and_crash_is_permanent() {
+        let p = ShardFaultPlan::none()
+            .with_worker_panic(1, 3)
+            .with_shard_crash(2, 5);
+        assert!(!p.worker_dies(1, 2));
+        assert!(p.worker_dies(1, 3));
+        assert!(!p.worker_dies(1, 4), "a panic fires exactly once");
+        assert!(!p.worker_dies(2, 4));
+        assert!(p.worker_dies(2, 5));
+        assert!(p.worker_dies(2, 17), "a crash keeps firing");
+        assert!(p.permanently_crashed(2, 9));
+        assert!(!p.permanently_crashed(1, 9));
+        assert_eq!(p.crashed_shards(4), vec![2]);
+    }
+
+    #[test]
+    fn stall_windows_stack_like_slowdowns() {
+        let p = ShardFaultPlan::none()
+            .with_stall(0, 2.0, 2, 6)
+            .with_stall(0, 3.0, 4, 8);
+        assert_eq!(p.stall_factor(0, 1), 1.0);
+        assert_eq!(p.stall_factor(0, 2), 2.0);
+        assert_eq!(p.stall_factor(0, 5), 6.0);
+        assert_eq!(p.stall_factor(0, 7), 3.0);
+        assert_eq!(p.stall_factor(1, 5), 1.0);
+    }
+
+    #[test]
+    fn poison_decisions_are_deterministic_and_seed_sensitive() {
+        let a = ShardFaultPlan::seeded(42).with_poison_rate(0.3);
+        let b = ShardFaultPlan::seeded(42).with_poison_rate(0.3);
+        let c = ShardFaultPlan::seeded(43).with_poison_rate(0.3);
+        let va: Vec<bool> = (0..256).map(|id| a.poisoned(id)).collect();
+        let vb: Vec<bool> = (0..256).map(|id| b.poisoned(id)).collect();
+        let vc: Vec<bool> = (0..256).map(|id| c.poisoned(id)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc, "different seeds must differ somewhere");
+        let rate = va.iter().filter(|&&x| x).count() as f64 / 256.0;
+        assert!((rate - 0.3).abs() < 0.12, "empirical poison rate {rate}");
+        assert!(ShardFaultPlan::none().with_poison(9).poisoned(9));
+    }
+
+    #[test]
+    fn supervisor_backoff_grows_exponentially() {
+        let s = SupervisorPolicy {
+            max_restarts: 4,
+            backoff_base_s: 1e-3,
+            backoff_mult: 2.0,
+            ..SupervisorPolicy::default()
+        };
+        assert!((s.backoff_s(1) - 1e-3).abs() < 1e-15);
+        assert!((s.backoff_s(2) - 2e-3).abs() < 1e-15);
+        assert!((s.backoff_s(3) - 4e-3).abs() < 1e-15);
+        assert!(s.enabled());
+        assert!(!SupervisorPolicy::disabled().enabled());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_plans_and_policies() {
+        assert!(ShardFaultPlan::none()
+            .with_worker_panic(4, 0)
+            .validate(4)
+            .is_err());
+        assert!(ShardFaultPlan::none()
+            .with_shard_crash(9, 0)
+            .validate(4)
+            .is_err());
+        assert!(ShardFaultPlan::none()
+            .with_stall(0, 0.5, 0, 1)
+            .validate(4)
+            .is_err());
+        assert!(ShardFaultPlan::none()
+            .with_stall(0, 2.0, 3, 3)
+            .validate(4)
+            .is_err());
+        assert!(ShardFaultPlan::none()
+            .with_poison_rate(1.5)
+            .validate(4)
+            .is_err());
+        assert!(SupervisorPolicy {
+            backoff_mult: 0.5,
+            ..SupervisorPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisorPolicy {
+            backoff_base_s: f64::NAN,
+            ..SupervisorPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DegradedPolicy {
+            threshold: -1.0,
+            ..DegradedPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DegradedPolicy {
+            queue_high_water: 2.0,
+            ..DegradedPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DegradedPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degraded_error_bound_matches_the_codec_vocabulary() {
+        let d = DegradedPolicy {
+            threshold: 0.5,
+            step: 0.2,
+            queue_high_water: 0.5,
+        };
+        assert!((d.error_bound() - 0.6).abs() < 1e-15);
+    }
+}

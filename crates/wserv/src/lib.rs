@@ -40,10 +40,25 @@
 //! account their time in the shared [`perfbudget`] lane vocabulary so a
 //! serving run rolls up into the same [`perfbudget::BudgetReport`] as
 //! the SPMD simulators.
+//!
+//! Faults are part of the configuration, not an accident: a seeded
+//! [`ShardFaultPlan`] injects worker panics, permanent shard crashes,
+//! stall windows and poison requests into both drivers at the same
+//! shard-local dispatch indices. Workers isolate panics with
+//! `catch_unwind`; a supervisor ([`SupervisorPolicy`]) restarts the
+//! dead under a bounded exponential-backoff budget, exhausted shards
+//! fail over to ring successors ([`shard::route`]) with typed
+//! [`Rejection::ShardFailed`] / [`Rejection::Requeued`] outcomes for
+//! what cannot be saved, and an optional [`DegradedPolicy`] answers
+//! sub-interactive work on pressured shards with bounded-error
+//! responses instead of rejections ([`sim::run_chaos`] is the sim-side
+//! counterpart). Restart, requeue and backoff time lands in the
+//! FaultRecovery lane.
 
 pub mod admission;
 pub mod batch;
 pub mod cache;
+pub mod faults;
 pub mod metrics;
 pub mod request;
 pub mod server;
@@ -53,8 +68,9 @@ pub mod sim;
 pub use admission::{AdmissionQueue, Admit, Pop};
 pub use batch::{Batch, BatchPolicy};
 pub use cache::{CachedPlan, PlanCache};
+pub use faults::{DegradedPolicy, ShardFaultPlan, SupervisorPolicy};
 pub use metrics::{Histogram, LaneSplit, MetricsSnapshot, QueueCounters, ShardMetrics};
 pub use request::{
     DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
-pub use server::{ResponseHandle, ServiceConfig, WaveletService};
+pub use server::{ResponseHandle, ServiceConfig, ServiceError, WaveletService};

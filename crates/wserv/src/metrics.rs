@@ -79,7 +79,7 @@ pub struct QueueCounters {
     /// Requests accepted into the queue.
     pub accepted: u64,
     /// Rejections by [`crate::RejectKind`] bucket.
-    pub rejected: [u64; 5],
+    pub rejected: [u64; 7],
     /// Queue depth sampled after every successful admission.
     pub depth: Histogram,
 }
@@ -136,6 +136,19 @@ pub struct ShardMetrics {
     pub lanes: RankBudget,
     /// Total busy seconds (sum of dispatch service intervals).
     pub busy_s: f64,
+    /// Worker restarts the supervisor performed for this shard.
+    pub restarts: u64,
+    /// Entries re-queued after a worker death or batch panic
+    /// (including entries re-routed *away* from this shard at
+    /// failover).
+    pub requeued: u64,
+    /// Requests quarantined by the poisoned-batch protocol.
+    pub quarantined: u64,
+    /// Requests answered with a degraded (bounded-error) response.
+    pub degraded_served: u64,
+    /// Whether the shard ended the run failed over (restart budget
+    /// exhausted).
+    pub failed: bool,
 }
 
 impl ShardMetrics {
@@ -162,6 +175,21 @@ impl ShardMetrics {
     pub fn record_lost(&mut self, wasted_s: f64) {
         self.lanes
             .charge(Category::FaultRecovery, wasted_s.max(0.0));
+    }
+
+    /// Record one worker restart and its backoff cost.
+    pub fn record_restart(&mut self, backoff_s: f64) {
+        self.restarts += 1;
+        self.lanes
+            .charge(Category::FaultRecovery, backoff_s.max(0.0));
+    }
+
+    /// Record one entry re-queued (or re-routed at failover) and the
+    /// handoff cost charged for it.
+    pub fn record_requeue(&mut self, requeue_s: f64) {
+        self.requeued += 1;
+        self.lanes
+            .charge(Category::FaultRecovery, requeue_s.max(0.0));
     }
 
     /// Copy cache counters out of the shard's plan cache.
@@ -229,6 +257,35 @@ impl MetricsSnapshot {
         } else {
             hits as f64 / total as f64
         }
+    }
+
+    /// Worker restarts across shards.
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Entries re-queued or re-routed across shards.
+    pub fn requeued(&self) -> u64 {
+        self.shards.iter().map(|s| s.requeued).sum()
+    }
+
+    /// Requests quarantined by the poisoned-batch protocol.
+    pub fn quarantined(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined).sum()
+    }
+
+    /// Requests served degraded (bounded-error responses).
+    pub fn degraded_served(&self) -> u64 {
+        self.shards.iter().map(|s| s.degraded_served).sum()
+    }
+
+    /// Shards that ended the run failed over, ascending.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, s)| s.failed.then_some(ix))
+            .collect()
     }
 
     /// Nearest-rank latency quantile over all completed requests.

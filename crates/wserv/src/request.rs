@@ -158,6 +158,21 @@ pub enum Rejection {
     },
     /// Submitted after graceful drain began.
     Draining,
+    /// The request's shard is down past its restart budget and no
+    /// surviving shard could take the work (every failover target was
+    /// also failed, full, or draining).
+    ShardFailed {
+        /// The failed home shard.
+        shard: usize,
+        /// Worker restarts burned before the shard was declared failed.
+        restarts: u32,
+    },
+    /// Quarantined by the poisoned-batch protocol: executing this
+    /// request kept panicking the worker, including on a solo retry.
+    Requeued {
+        /// Execution attempts made before quarantine.
+        attempts: u32,
+    },
 }
 
 impl Rejection {
@@ -169,6 +184,8 @@ impl Rejection {
             Rejection::DeadlineExpired { .. } => RejectKind::DeadlineExpired,
             Rejection::Invalid { .. } => RejectKind::Invalid,
             Rejection::Draining => RejectKind::Draining,
+            Rejection::ShardFailed { .. } => RejectKind::ShardFailed,
+            Rejection::Requeued { .. } => RejectKind::Requeued,
         }
     }
 }
@@ -186,16 +203,22 @@ pub enum RejectKind {
     Invalid = 3,
     /// See [`Rejection::Draining`].
     Draining = 4,
+    /// See [`Rejection::ShardFailed`].
+    ShardFailed = 5,
+    /// See [`Rejection::Requeued`].
+    Requeued = 6,
 }
 
 impl RejectKind {
     /// All buckets, in counter order.
-    pub const ALL: [RejectKind; 5] = [
+    pub const ALL: [RejectKind; 7] = [
         RejectKind::QueueFull,
         RejectKind::Shed,
         RejectKind::DeadlineExpired,
         RejectKind::Invalid,
         RejectKind::Draining,
+        RejectKind::ShardFailed,
+        RejectKind::Requeued,
     ];
 
     /// Stable label for machine-readable output.
@@ -206,6 +229,8 @@ impl RejectKind {
             RejectKind::DeadlineExpired => "deadline_expired",
             RejectKind::Invalid => "invalid",
             RejectKind::Draining => "draining",
+            RejectKind::ShardFailed => "shard_failed",
+            RejectKind::Requeued => "requeued",
         }
     }
 }
@@ -213,8 +238,10 @@ impl RejectKind {
 /// Successful completion of a request.
 #[derive(Debug, Clone)]
 pub struct DecomposeResponse {
-    /// The decomposition (bit-identical to a direct engine call on the
-    /// same input — batching and caching never change arithmetic).
+    /// The decomposition. Exact responses are bit-identical to a direct
+    /// engine call on the same input — batching and caching never
+    /// change arithmetic. Degraded responses (`error_bound > 0`) carry
+    /// an exact LL plane and threshold-quantized detail planes.
     pub pyramid: Pyramid,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
@@ -224,6 +251,12 @@ pub struct DecomposeResponse {
     pub wait_s: f64,
     /// Seconds of service (dispatch start → completion).
     pub service_s: f64,
+    /// Whether this is a degraded-mode (bounded-error) response.
+    pub degraded: bool,
+    /// Largest absolute per-coefficient error the response can carry
+    /// versus the exact decomposition (`0.0` for exact responses; the
+    /// LL plane is always exact either way).
+    pub error_bound: f64,
 }
 
 impl DecomposeResponse {
@@ -247,6 +280,19 @@ pub struct Entry<T> {
     pub arrival: f64,
     /// The request itself.
     pub req: DecomposeRequest,
+    /// Execution attempts that ended in a worker panic (poisoned-batch
+    /// protocol). Entries with `attempts > 0` are retried *solo* — the
+    /// batcher neither coalesces behind them nor picks them as mates —
+    /// so one suspect cannot take a second batch down with it.
+    pub attempts: u32,
     /// Driver bookkeeping handle.
     pub tag: T,
+}
+
+impl<T> Entry<T> {
+    /// Whether the entry must dispatch alone (it already survived a
+    /// batch panic and is under suspicion).
+    pub fn solo(&self) -> bool {
+        self.attempts > 0
+    }
 }

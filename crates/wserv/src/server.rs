@@ -1,30 +1,65 @@
 //! The live, threaded service driver.
 //!
 //! [`WaveletService`] owns one worker thread per shard. Submitters hash
-//! the request's shape to a shard, admit it under that shard's lock,
-//! and get back a [`ResponseHandle`] that resolves to exactly one
+//! the request's shape to a shard (walking the ring past failed shards
+//! — see [`shard::route`]), admit it under that shard's lock, and get
+//! back a [`ResponseHandle`] that resolves to exactly one
 //! [`ServeResult`]. Workers pop coalesced batches, execute them through
-//! a worker-owned [`PlanCache`] (no lock held during compute), and
-//! resolve the waiters.
+//! the shard's [`PlanCache`], and resolve the waiters.
+//!
+//! # Fault tolerance
+//!
+//! Shard state (queue, in-flight dispatch, cache, metrics, dispatch
+//! counter) lives *outside* the worker thread, so a worker death loses
+//! nothing:
+//!
+//! * every popped batch is stashed in the shard's in-flight slot before
+//!   execution, so whatever kills the worker, the supervisor can
+//!   re-queue the exact requests it held;
+//! * execution runs under [`std::panic::catch_unwind`]: a panic while
+//!   executing (e.g. an injected poison request) is quarantined
+//!   in-thread — batchmates are re-queued to retry *solo*, and a
+//!   request that panics even alone is terminally rejected
+//!   [`Rejection::Requeued`] instead of taking the worker down;
+//! * a supervisor thread health-checks the workers and restarts dead
+//!   ones under [`SupervisorPolicy`]'s bounded exponential-backoff
+//!   budget; past the budget the shard is failed over — its queued and
+//!   in-flight work re-routes to live successors on the shard ring, and
+//!   future submissions route around it;
+//! * under reduced capacity (covering for a failed peer, or a queue
+//!   past the high-water mark) a shard may answer sub-interactive work
+//!   with a degraded, bounded-error response ([`DegradedPolicy`])
+//!   instead of letting the backlog shed it.
+//!
+//! Fault *injection* is deterministic and seeded ([`ShardFaultPlan`]):
+//! the same plan drives the chaos simulator ([`crate::sim::run_chaos`])
+//! and this live driver, at the same shard-local dispatch indices.
 //!
 //! Shutdown is a graceful drain: [`WaveletService::shutdown`] flips the
 //! drain flag (new submissions are rejected [`Rejection::Draining`]),
 //! wakes every worker, and joins them. Workers keep popping until their
 //! queue is empty, so every accepted request still resolves — the drain
-//! invariant the property tests pin down.
+//! invariant the property tests pin down. A worker found dead at
+//! shutdown surfaces as a typed [`ServiceError`], never as a
+//! caller-visible panic, and its stranded requests are resolved
+//! [`Rejection::ShardFailed`] first.
 
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::admission::{AdmissionQueue, Admit};
-use crate::batch::BatchPolicy;
+use crate::batch::{Batch, BatchPolicy};
 use crate::cache::PlanCache;
+use crate::faults::{DegradedPolicy, ShardFaultPlan, SupervisorPolicy};
 use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
 use crate::request::{
-    DecomposeRequest, DecomposeResponse, Entry, RejectKind, Rejection, ServeResult,
+    DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
 use crate::shard;
 
@@ -41,6 +76,13 @@ pub struct ServiceConfig {
     pub batch: BatchPolicy,
     /// Engine worker lanes per cached plan.
     pub engine_threads: usize,
+    /// Deterministic fault-injection schedule (empty = no faults).
+    pub faults: ShardFaultPlan,
+    /// Worker supervision: restart budget, backoff, requeue cost.
+    pub supervisor: SupervisorPolicy,
+    /// Degraded-mode serving under reduced capacity (`None` = always
+    /// exact).
+    pub degraded: Option<DegradedPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -51,6 +93,9 @@ impl Default for ServiceConfig {
             cache_capacity: 16,
             batch: BatchPolicy::default(),
             engine_threads: 1,
+            faults: ShardFaultPlan::none(),
+            supervisor: SupervisorPolicy::default(),
+            degraded: None,
         }
     }
 }
@@ -79,7 +124,68 @@ impl ServiceConfig {
         self.batch = BatchPolicy::new(max_batch);
         self
     }
+
+    /// Inject a deterministic fault schedule.
+    pub fn with_faults(mut self, faults: ShardFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the supervision policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorPolicy) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Enable degraded-mode serving under reduced capacity.
+    pub fn with_degraded(mut self, degraded: DegradedPolicy) -> Self {
+        self.degraded = Some(degraded);
+        self
+    }
+
+    /// Validate the configuration's fault and recovery knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        self.faults.validate(self.shards.max(1))?;
+        self.supervisor.validate()?;
+        if let Some(d) = &self.degraded {
+            d.validate()?;
+        }
+        Ok(())
+    }
 }
+
+/// A shutdown-time failure of the service itself (as opposed to a
+/// per-request [`Rejection`]). Surfaced as a typed error so callers
+/// never see a worker panic propagate through `join`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A shard worker was found dead at shutdown and supervision was
+    /// disabled, so nothing restarted it. Its stranded requests were
+    /// resolved [`Rejection::ShardFailed`] before this was returned.
+    WorkerPanicked {
+        /// The shard whose worker died.
+        shard: usize,
+    },
+    /// The supervisor thread itself panicked (a service bug; worker
+    /// threads may be left running detached).
+    SupervisorFailed,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::WorkerPanicked { shard } => {
+                write!(
+                    f,
+                    "shard {shard} worker panicked (no supervisor to restart it)"
+                )
+            }
+            ServiceError::SupervisorFailed => write!(f, "supervisor thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// One-shot slot a request's terminal outcome is published into.
 #[derive(Debug, Default)]
@@ -128,10 +234,50 @@ struct Inner {
     draining: bool,
 }
 
+/// One shard's state, owned by the service rather than by the worker
+/// thread so nothing is lost when the worker dies.
 #[derive(Debug)]
-struct ShardState {
+struct ShardShared {
     inner: Mutex<Inner>,
     work: Condvar,
+    /// The batch currently being executed. Stashed *before* execution
+    /// starts; whatever kills the worker, the supervisor re-queues it.
+    in_flight: Mutex<Option<Batch<Arc<ResponseCell>>>>,
+    /// The shard's plan cache; survives worker restarts warm.
+    cache: Mutex<PlanCache>,
+    /// The shard's metrics; survive worker restarts.
+    metrics: Mutex<ShardMetrics>,
+    /// Shard-local dispatch counter — the fault-injection coordinate.
+    /// Monotonic across worker restarts (a restarted worker continues
+    /// the sequence, which is what makes a permanent crash keep firing).
+    dispatch: AtomicU64,
+    /// Set when the restart budget is exhausted; submitters and the
+    /// failover router treat the shard as dead.
+    failed: AtomicBool,
+    /// Worker restarts performed so far.
+    restarts: AtomicU32,
+}
+
+impl ShardShared {
+    fn new(config: &ServiceConfig) -> Self {
+        ShardShared {
+            inner: Mutex::new(Inner {
+                queue: AdmissionQueue::new(config.queue_capacity),
+                draining: false,
+            }),
+            work: Condvar::new(),
+            in_flight: Mutex::new(None),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity, config.engine_threads)),
+            metrics: Mutex::new(ShardMetrics::default()),
+            dispatch: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            restarts: AtomicU32::new(0),
+        }
+    }
+
+    fn alive(&self) -> bool {
+        !self.failed.load(Ordering::SeqCst)
+    }
 }
 
 /// The running service.
@@ -139,42 +285,52 @@ struct ShardState {
 pub struct WaveletService {
     config: ServiceConfig,
     start: Instant,
-    shards: Vec<Arc<ShardState>>,
-    workers: Vec<thread::JoinHandle<ShardMetrics>>,
+    shards: Vec<Arc<ShardShared>>,
+    /// Present when supervision is enabled; owns the worker handles.
+    supervisor: Option<thread::JoinHandle<()>>,
+    /// Worker handles when supervision is disabled (joined at
+    /// shutdown, where a panic becomes a typed [`ServiceError`]).
+    workers: Vec<thread::JoinHandle<()>>,
     next_id: Mutex<u64>,
 }
 
 impl WaveletService {
-    /// Start the service: spawns one worker thread per shard.
+    /// Start the service: spawns one worker thread per shard, plus a
+    /// supervisor when the policy enables one.
+    ///
+    /// # Panics
+    ///
+    /// On a malformed configuration (fault plan naming absent shards,
+    /// negative costs, …) — see [`ServiceConfig::validate`].
     pub fn start(config: ServiceConfig) -> Self {
         let config = ServiceConfig {
             shards: config.shards.max(1),
             ..config
         };
+        if let Err(reason) = config.validate() {
+            panic!("invalid ServiceConfig: {reason}");
+        }
         let start = Instant::now();
-        let shards: Vec<Arc<ShardState>> = (0..config.shards)
-            .map(|_| {
-                Arc::new(ShardState {
-                    inner: Mutex::new(Inner {
-                        queue: AdmissionQueue::new(config.queue_capacity),
-                        draining: false,
-                    }),
-                    work: Condvar::new(),
-                })
-            })
+        let shards: Vec<Arc<ShardShared>> = (0..config.shards)
+            .map(|_| Arc::new(ShardShared::new(&config)))
             .collect();
-        let workers = shards
-            .iter()
-            .map(|state| {
-                let state = Arc::clone(state);
-                let cfg = config.clone();
-                thread::spawn(move || worker_loop(&state, &cfg, start))
-            })
+        let handles: Vec<thread::JoinHandle<()>> = (0..config.shards)
+            .map(|ix| spawn_worker(ix, &shards, &config, start))
             .collect();
+        let (supervisor, workers) = if config.supervisor.enabled() {
+            let sup_shards = shards.clone();
+            let sup_cfg = config.clone();
+            let handles = handles.into_iter().map(Some).collect();
+            let sup = thread::spawn(move || supervisor_loop(&sup_shards, handles, &sup_cfg, start));
+            (Some(sup), Vec::new())
+        } else {
+            (None, handles)
+        };
         WaveletService {
             config,
             start,
             shards,
+            supervisor,
             workers,
             next_id: Mutex::new(0),
         }
@@ -186,10 +342,25 @@ impl WaveletService {
     }
 
     /// Submit one request. `Err` is an at-the-door rejection; `Ok` is a
-    /// handle that resolves to exactly one terminal outcome.
+    /// handle that resolves to exactly one terminal outcome. Requests
+    /// whose home shard has failed over route to its live successor on
+    /// the shard ring.
     pub fn submit(&self, req: DecomposeRequest) -> Result<ResponseHandle, Rejection> {
         req.validate()?;
-        let shard_ix = shard::shard_of(&req.shape(), self.config.shards);
+        let shape = req.shape();
+        let home = shard::shard_of(&shape, self.config.shards);
+        let alive: Vec<bool> = self.shards.iter().map(|s| s.alive()).collect();
+        let Some(shard_ix) = shard::route(&shape, &alive) else {
+            // Every shard is down; account the rejection to the home
+            // shard so the books still balance per shard.
+            let restarts = self.shards[home].restarts.load(Ordering::SeqCst);
+            let mut inner = self.shards[home].inner.lock();
+            inner.queue.counters.reject(RejectKind::ShardFailed);
+            return Err(Rejection::ShardFailed {
+                shard: home,
+                restarts,
+            });
+        };
         let state = &self.shards[shard_ix];
         let cell = Arc::new(ResponseCell::default());
         let id = {
@@ -204,6 +375,7 @@ impl WaveletService {
             id,
             arrival: now,
             req,
+            attempts: 0,
             tag: Arc::clone(&cell),
         };
         let admitted = {
@@ -233,76 +405,256 @@ impl WaveletService {
 
     /// Graceful drain: reject new work, let workers empty their queues,
     /// join them, and return the merged metrics.
-    pub fn shutdown(self) -> MetricsSnapshot {
+    ///
+    /// A worker found dead with supervision disabled surfaces as
+    /// `Err(ServiceError::WorkerPanicked)` — never a caller-visible
+    /// panic — after its stranded requests are resolved
+    /// [`Rejection::ShardFailed`] (every accepted request still
+    /// terminates, even through an error shutdown).
+    pub fn shutdown(self) -> Result<MetricsSnapshot, ServiceError> {
         for state in &self.shards {
             let mut inner = state.inner.lock();
             inner.draining = true;
             drop(inner);
             state.work.notify_all();
         }
+        let mut error = None;
+        if let Some(sup) = self.supervisor {
+            if sup.join().is_err() {
+                error = Some(ServiceError::SupervisorFailed);
+            }
+        }
+        for (ix, handle) in self.workers.into_iter().enumerate() {
+            if handle.join().is_err() {
+                self.shards[ix].failed.store(true, Ordering::SeqCst);
+                self.shards[ix].metrics.lock().failed = true;
+                error.get_or_insert(ServiceError::WorkerPanicked { shard: ix });
+            }
+        }
+        // Backstop sweep: anything still queued or in flight (stranded
+        // by an unsupervised death, or re-routed into a shard whose
+        // worker had already drained) resolves ShardFailed so every
+        // accepted request terminates.
+        for (ix, state) in self.shards.iter().enumerate() {
+            let stranded = state.in_flight.lock().take();
+            let queued = state.inner.lock().queue.drain();
+            let restarts = state.restarts.load(Ordering::SeqCst);
+            for entry in stranded.into_iter().flat_map(|b| b.entries).chain(queued) {
+                state
+                    .inner
+                    .lock()
+                    .queue
+                    .counters
+                    .reject(RejectKind::ShardFailed);
+                entry.tag.resolve(Err(Rejection::ShardFailed {
+                    shard: ix,
+                    restarts,
+                }));
+            }
+        }
+        // Close every shard's books exactly once.
+        let now = self.start.elapsed().as_secs_f64();
         let shards = self
-            .workers
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
+            .shards
+            .iter()
+            .map(|state| {
+                let mut m = state.metrics.lock().clone();
+                m.queue = state.inner.lock().queue.counters.clone();
+                m.absorb_cache(&state.cache.lock());
+                m.finalize(now);
+                m
+            })
             .collect();
-        MetricsSnapshot { shards }
+        match error {
+            None => Ok(MetricsSnapshot { shards }),
+            Some(e) => Err(e),
+        }
     }
 }
 
-fn worker_loop(state: &ShardState, cfg: &ServiceConfig, start: Instant) -> ShardMetrics {
-    let mut cache = PlanCache::new(cfg.cache_capacity, cfg.engine_threads);
-    let mut metrics = ShardMetrics::default();
+fn spawn_worker(
+    shard_ix: usize,
+    shards: &[Arc<ShardShared>],
+    cfg: &ServiceConfig,
+    start: Instant,
+) -> thread::JoinHandle<()> {
+    let shards = shards.to_vec();
+    let cfg = cfg.clone();
+    thread::spawn(move || worker_loop(shard_ix, &shards, &cfg, start))
+}
+
+/// Re-admit one entry into `target`'s queue at `now`, charging the
+/// requeue cost to `charge` (the shard responsible for the recovery:
+/// itself for quarantine and restart requeues, the failed shard for
+/// failover re-routes). An entry the queue refuses resolves terminally
+/// with the typed rejection.
+fn readmit(
+    charge: &ShardShared,
+    target: &ShardShared,
+    entry: Entry<Arc<ResponseCell>>,
+    policy: &SupervisorPolicy,
+    now: f64,
+) {
+    let incoming = entry.req.priority;
+    let admitted = {
+        let mut inner = target.inner.lock();
+        inner.queue.admit(now, entry)
+    };
+    match admitted {
+        Admit::Accepted => {
+            charge.metrics.lock().record_requeue(policy.requeue_s);
+            target.work.notify_one();
+        }
+        Admit::AcceptedShedding(victim) => {
+            charge.metrics.lock().record_requeue(policy.requeue_s);
+            victim.tag.resolve(Err(Rejection::Shed { by: incoming }));
+            target.work.notify_one();
+        }
+        Admit::Rejected(entry, rejection) => entry.tag.resolve(Err(rejection)),
+    }
+}
+
+/// The poisoned-batch quarantine, applied after a caught execution
+/// panic: batchmates re-queue to retry solo (attempts + 1, so the
+/// batcher isolates them); a request that panicked even solo is
+/// terminally rejected instead of burning another worker.
+fn quarantine(
+    me: &ShardShared,
+    batch: Batch<Arc<ResponseCell>>,
+    policy: &SupervisorPolicy,
+    now: f64,
+) {
+    if batch.len() == 1 {
+        let entry = batch.entries.into_iter().next().expect("len checked");
+        {
+            let mut metrics = me.metrics.lock();
+            metrics.quarantined += 1;
+        }
+        me.inner.lock().queue.counters.reject(RejectKind::Requeued);
+        entry.tag.resolve(Err(Rejection::Requeued {
+            attempts: entry.attempts + 1,
+        }));
+        return;
+    }
+    for mut entry in batch.entries {
+        entry.attempts += 1;
+        readmit(me, me, entry, policy, now);
+    }
+}
+
+fn worker_loop(shard_ix: usize, shards: &[Arc<ShardShared>], cfg: &ServiceConfig, start: Instant) {
+    let me = &shards[shard_ix];
     loop {
         let wake = Instant::now();
-        let pop = {
-            let mut inner = state.inner.lock();
+        let popped = {
+            let mut inner = me.inner.lock();
             loop {
                 if !inner.queue.is_empty() {
                     let now = start.elapsed().as_secs_f64();
-                    break Some(inner.queue.pop_batch(now, &cfg.batch));
+                    let depth_frac = inner.queue.len() as f64 / cfg.queue_capacity.max(1) as f64;
+                    break Some((inner.queue.pop_batch(now, &cfg.batch), depth_frac));
                 }
                 if inner.draining {
                     break None;
                 }
-                state.work.wait(&mut inner);
+                me.work.wait(&mut inner);
             }
         };
-        let Some(pop) = pop else {
-            // Queue empty and draining: close the books.
-            let now = start.elapsed().as_secs_f64();
-            let inner = state.inner.lock();
-            metrics.queue = inner.queue.counters.clone();
-            drop(inner);
-            metrics.absorb_cache(&cache);
-            metrics.finalize(now);
-            return metrics;
+        let Some((pop, depth_frac)) = popped else {
+            // Queue empty and draining: done. The books are closed
+            // centrally at shutdown (metrics are shared state).
+            return;
         };
         let dispatch_start = start.elapsed().as_secs_f64();
         for entry in pop.expired {
             let deadline = entry.req.deadline.expect("expired implies a deadline");
-            metrics.record_lost(dispatch_start - entry.arrival);
+            me.metrics
+                .lock()
+                .record_lost(dispatch_start - entry.arrival);
             entry.tag.resolve(Err(Rejection::DeadlineExpired {
                 deadline,
                 now: dispatch_start,
             }));
         }
         let Some(batch) = pop.batch else { continue };
+
+        // Stash the dispatch before touching it: from here on, a worker
+        // death strands nothing — the supervisor finds the batch in the
+        // in-flight slot. The slot lock is held across execution (only
+        // the supervisor ever contends, and only after a death).
+        let mut slot = me.in_flight.lock();
+        *slot = Some(batch);
+        let k = me.dispatch.fetch_add(1, Ordering::SeqCst);
+        if cfg.faults.worker_dies(shard_ix, k) {
+            // Injected worker death: unwind out of the thread. The
+            // slot guard unlocks on unwind; the batch stays stashed.
+            panic!("injected worker death: shard {shard_ix}, dispatch {k}");
+        }
+        let batch_ref = slot.as_ref().expect("just stashed");
+        let poisoned = batch_ref
+            .entries
+            .iter()
+            .find(|e| cfg.faults.poisoned(e.id))
+            .map(|e| e.id);
         let t0 = Instant::now();
-        let executed = shard::execute(&mut cache, &batch);
+        let executed = panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(id) = poisoned {
+                panic!("injected poison request {id}");
+            }
+            let mut cache = me.cache.lock();
+            shard::execute(&mut cache, batch_ref)
+        }));
         let exec_s = t0.elapsed().as_secs_f64();
+        let stall = cfg.faults.stall_factor(shard_ix, k);
+        if stall > 1.0 {
+            // Injected slowdown: this dispatch runs `stall`× slower.
+            thread::sleep(Duration::from_secs_f64(exec_s * (stall - 1.0)));
+        }
+        let batch = slot.take().expect("still stashed");
+        drop(slot);
         let t1 = Instant::now();
         match executed {
-            Ok(done) => {
+            Err(_) => {
+                // Execution panicked and was quarantined in-thread: the
+                // worker survives, the batch goes through the
+                // poisoned-batch protocol.
+                let now = start.elapsed().as_secs_f64();
+                quarantine(me, batch, &cfg.supervisor, now);
+            }
+            Ok(Ok(done)) => {
+                // Degrade sub-interactive work when capacity is reduced:
+                // covering for a failed peer, or a queue past the
+                // high-water mark.
+                let peer_failed = shards
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| i != shard_ix && !s.alive());
+                let degrade = cfg
+                    .degraded
+                    .filter(|d| peer_failed || depth_frac >= d.queue_high_water);
                 let batch_size = batch.len();
                 let arrivals = batch.arrivals();
                 let end = start.elapsed().as_secs_f64();
-                for (entry, pyramid) in batch.entries.into_iter().zip(done.pyramids) {
+                let mut degraded_count = 0u64;
+                for (entry, mut pyramid) in batch.entries.into_iter().zip(done.pyramids) {
+                    let mut error_bound = 0.0;
+                    let mut degraded = false;
+                    if let Some(d) = degrade {
+                        if entry.req.priority < Priority::Interactive {
+                            shard::degrade_pyramid(&mut pyramid, &d);
+                            error_bound = d.error_bound();
+                            degraded = true;
+                            degraded_count += 1;
+                        }
+                    }
                     entry.tag.resolve(Ok(DecomposeResponse {
                         pyramid,
                         cache_hit: done.cache_hit,
                         batch_size,
                         wait_s: (dispatch_start - entry.arrival).max(0.0),
                         service_s: (end - dispatch_start).max(0.0),
+                        degraded,
+                        error_bound,
                     }));
                 }
                 let deliver_s = t1.elapsed().as_secs_f64();
@@ -316,9 +668,11 @@ fn worker_loop(state: &ShardState, cfg: &ServiceConfig, start: Instant) -> Shard
                     transform_s: if done.cache_hit { exec_s } else { exec_s * 0.5 },
                     deliver_s,
                 };
+                let mut metrics = me.metrics.lock();
                 metrics.record_batch(dispatch_start, end + deliver_s, &arrivals, split);
+                metrics.degraded_served += degraded_count;
             }
-            Err(detail) => {
+            Ok(Err(detail)) => {
                 // Engine refused the batch (validation raced a bad
                 // request past admission): fail each entry, keep going.
                 for entry in batch.entries {
@@ -326,6 +680,86 @@ fn worker_loop(state: &ShardState, cfg: &ServiceConfig, start: Instant) -> Shard
                         detail: detail.clone(),
                     }));
                 }
+            }
+        }
+    }
+}
+
+/// The supervisor: polls worker liveness, restarts dead workers under
+/// the backoff budget (re-queuing whatever the dead worker held), and
+/// past the budget fails the shard over — every queued and in-flight
+/// entry re-routes to its live successor on the shard ring.
+fn supervisor_loop(
+    shards: &[Arc<ShardShared>],
+    mut handles: Vec<Option<thread::JoinHandle<()>>>,
+    cfg: &ServiceConfig,
+    start: Instant,
+) {
+    let policy = cfg.supervisor;
+    loop {
+        let mut all_done = true;
+        for s in 0..shards.len() {
+            if handles[s].as_ref().is_some_and(|h| h.is_finished()) {
+                let handle = handles[s].take().expect("presence just checked");
+                if handle.join().is_err() {
+                    let me = &shards[s];
+                    let restart_no = me.restarts.load(Ordering::SeqCst) + 1;
+                    if restart_no <= policy.max_restarts {
+                        me.restarts.store(restart_no, Ordering::SeqCst);
+                        // Re-queue the dispatch the dead worker held;
+                        // the worker was the suspect, not the requests,
+                        // so attempts are not bumped.
+                        let stranded = me.in_flight.lock().take();
+                        let now = start.elapsed().as_secs_f64();
+                        if let Some(batch) = stranded {
+                            for entry in batch.entries {
+                                readmit(me, me, entry, &policy, now);
+                            }
+                        }
+                        let backoff = policy.backoff_s(restart_no);
+                        me.metrics.lock().record_restart(backoff);
+                        thread::sleep(Duration::from_secs_f64(backoff));
+                        handles[s] = Some(spawn_worker(s, shards, cfg, start));
+                    } else {
+                        fail_over(s, shards, &policy, start);
+                    }
+                }
+            }
+            if handles[s].is_some() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            return;
+        }
+        thread::sleep(Duration::from_secs_f64(policy.poll_s));
+    }
+}
+
+/// Declare shard `s` failed and re-route its in-flight and queued work
+/// to live successors on the shard ring. Entries with no live successor
+/// resolve [`Rejection::ShardFailed`].
+fn fail_over(s: usize, shards: &[Arc<ShardShared>], policy: &SupervisorPolicy, start: Instant) {
+    let me = &shards[s];
+    me.failed.store(true, Ordering::SeqCst);
+    me.metrics.lock().failed = true;
+    let restarts = me.restarts.load(Ordering::SeqCst);
+    let now = start.elapsed().as_secs_f64();
+    let stranded = me.in_flight.lock().take();
+    let queued = me.inner.lock().queue.drain();
+    let alive: Vec<bool> = shards.iter().map(|x| x.alive()).collect();
+    for entry in stranded.into_iter().flat_map(|b| b.entries).chain(queued) {
+        match shard::route(&entry.req.shape(), &alive) {
+            Some(target) => readmit(me, &shards[target], entry, policy, now),
+            None => {
+                me.inner
+                    .lock()
+                    .queue
+                    .counters
+                    .reject(RejectKind::ShardFailed);
+                entry
+                    .tag
+                    .resolve(Err(Rejection::ShardFailed { shard: s, restarts }));
             }
         }
     }

@@ -39,6 +39,20 @@ pub fn shard_of(shape: &PlanShape, nshards: usize) -> usize {
     (h.finish() % nshards.max(1) as u64) as usize
 }
 
+/// Failover routing: the shape's home shard if it is alive, otherwise
+/// the first live successor walking the shard ring. `None` when every
+/// shard is down. Pure function of `(shape, alive)`, identical in the
+/// live server and the chaos simulator — which is what makes failover
+/// deterministic and replayable.
+pub fn route(shape: &PlanShape, alive: &[bool]) -> Option<usize> {
+    let n = alive.len();
+    if n == 0 {
+        return None;
+    }
+    let home = shard_of(shape, n);
+    (0..n).map(|i| (home + i) % n).find(|&ix| alive[ix])
+}
+
 /// Outcome of executing one batch through a shard's plan cache.
 #[derive(Debug)]
 pub struct Executed {
@@ -71,10 +85,89 @@ pub fn execute<T>(cache: &mut PlanCache, batch: &Batch<T>) -> Result<Executed, S
     })
 }
 
+/// Degrade one response pyramid in place, `WaveletQuant`-style: detail
+/// magnitudes at or below the policy threshold are zeroed, survivors
+/// are quantized to the policy step, and the LL plane is untouched.
+/// The per-coefficient error versus the exact pyramid is bounded by
+/// [`DegradedPolicy::error_bound`] by construction. Returns the number
+/// of surviving (nonzero) detail coefficients, which is what the
+/// delivery cost of a degraded response scales with.
+pub fn degrade_pyramid(pyr: &mut Pyramid, policy: &crate::faults::DegradedPolicy) -> usize {
+    let mut kept = 0;
+    for bands in &mut pyr.detail {
+        let (lh, hl, hh) = bands.split_mut();
+        for plane in [lh, hl, hh] {
+            for v in plane.data_mut() {
+                if v.abs() <= policy.threshold {
+                    *v = 0.0;
+                } else if policy.step > 0.0 {
+                    *v = (*v / policy.step).round() * policy.step;
+                }
+                if *v != 0.0 {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    kept
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dwt::{Boundary, FilterBank};
+    use crate::faults::DegradedPolicy;
+    use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+
+    #[test]
+    fn failover_walks_the_ring_to_the_first_survivor() {
+        let bank = FilterBank::haar();
+        let shape = PlanShape::new(16, 16, &bank, 1, Boundary::Periodic);
+        let n = 4;
+        let home = shard_of(&shape, n);
+        let all_up = vec![true; n];
+        assert_eq!(route(&shape, &all_up), Some(home));
+        let mut home_down = vec![true; n];
+        home_down[home] = false;
+        assert_eq!(route(&shape, &home_down), Some((home + 1) % n));
+        let mut two_down = vec![true; n];
+        two_down[home] = false;
+        two_down[(home + 1) % n] = false;
+        assert_eq!(route(&shape, &two_down), Some((home + 2) % n));
+        assert_eq!(route(&shape, &vec![false; n]), None);
+        assert_eq!(route(&shape, &[]), None);
+    }
+
+    #[test]
+    fn degraded_pyramid_stays_within_the_error_bound() {
+        let img = Matrix::from_fn(16, 16, |r, c| ((r * 13 + c * 7) % 23) as f64 - 11.0);
+        let bank = FilterBank::haar();
+        let exact = dwt2d::decompose(&img, &bank, 2, Boundary::Periodic).unwrap();
+        let policy = DegradedPolicy {
+            threshold: 1.5,
+            step: 0.5,
+            queue_high_water: 0.5,
+        };
+        let mut degraded = exact.clone();
+        let kept = degrade_pyramid(&mut degraded, &policy);
+        // LL plane is exact.
+        assert_eq!(degraded.approx, exact.approx);
+        // Detail planes are within the asserted bound, and the
+        // threshold really zeroed something.
+        let bound = policy.error_bound();
+        let mut zeroed = 0;
+        for (d, e) in degraded.detail.iter().zip(exact.detail.iter()) {
+            for (dp, ep) in [(&d.lh, &e.lh), (&d.hl, &e.hl), (&d.hh, &e.hh)] {
+                for (a, b) in dp.data().iter().zip(ep.data().iter()) {
+                    assert!((a - b).abs() <= bound + 1e-12, "{a} vs {b} exceeds {bound}");
+                    if *a == 0.0 && *b != 0.0 {
+                        zeroed += 1;
+                    }
+                }
+            }
+        }
+        assert!(zeroed > 0, "threshold never fired — test inputs too tame");
+        assert!(kept > 0, "everything zeroed — test inputs too tame");
+    }
 
     #[test]
     fn routing_is_stable_and_in_range() {

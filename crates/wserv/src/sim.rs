@@ -14,9 +14,19 @@
 //!    responses carry actual pyramids and the bit-identity invariants
 //!    (cache on/off, batch 1/N) are checkable against the engine.
 //!
-//! Shards share nothing, so each is simulated as an independent
-//! single-server queue; arrivals are admitted at their own timestamps
-//! before each dispatch decision, which reproduces the live ordering.
+//! In the fault-free simulator ([`run_sim`]) shards share nothing, so
+//! each is simulated as an independent single-server queue; arrivals
+//! are admitted at their own timestamps before each dispatch decision,
+//! which reproduces the live ordering.
+//!
+//! The *chaos* simulator ([`run_chaos`]) additionally injects a seeded
+//! [`crate::faults::ShardFaultPlan`] and models the recovery machinery
+//! of the live driver — supervisor restarts with backoff, poisoned-
+//! batch quarantine, failover re-routing, degraded-mode responses. A
+//! failed shard changes where *other* shards' arrivals route, so the
+//! chaos run is one joint event loop over all shards instead of N
+//! independent ones. It is still a pure function of
+//! `(config, cost, stream)`: replaying the same seed is byte-identical.
 
 use std::collections::VecDeque;
 
@@ -24,7 +34,7 @@ use crate::admission::{AdmissionQueue, Admit};
 use crate::cache::PlanCache;
 use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
 use crate::request::{
-    DecomposeRequest, DecomposeResponse, Entry, RejectKind, Rejection, ServeResult,
+    DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
 use crate::server::ServiceConfig;
 use crate::shard;
@@ -123,6 +133,7 @@ pub fn run_sim(
             id: ix as u64,
             arrival: t,
             req,
+            attempts: 0,
             tag: ix,
         });
     }
@@ -234,6 +245,8 @@ fn run_shard(
                         batch_size,
                         wait_s: (dispatch_at - entry.arrival).max(0.0),
                         service_s: end - dispatch_at,
+                        degraded: false,
+                        error_bound: 0.0,
                     }));
                 }
                 t_free = end;
@@ -254,4 +267,380 @@ fn run_shard(
     metrics.absorb_cache(&cache);
     metrics.finalize(t_free);
     (metrics, t_free)
+}
+
+/// One shard of the joint chaos event loop.
+struct ChaosShard {
+    queue: AdmissionQueue<usize>,
+    cache: PlanCache,
+    metrics: ShardMetrics,
+    /// Virtual time at which the shard's worker is next free.
+    t_free: f64,
+    /// Shard-local dispatch counter — the fault-injection coordinate,
+    /// monotonic across simulated restarts (exactly like the live
+    /// driver's shared counter).
+    dispatch: u64,
+    restarts: u32,
+    failed: bool,
+}
+
+impl ChaosShard {
+    fn new(config: &ServiceConfig) -> Self {
+        ChaosShard {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            cache: PlanCache::new(config.cache_capacity, config.engine_threads),
+            metrics: ShardMetrics::default(),
+            t_free: 0.0,
+            dispatch: 0,
+            restarts: 0,
+            failed: false,
+        }
+    }
+}
+
+/// Run the service under the configuration's [`ShardFaultPlan`] as one
+/// joint multi-shard discrete-event loop and return every outcome plus
+/// the metrics.
+///
+/// Semantics mirror the live driver event for event:
+///
+/// * a worker death scheduled at a dispatch index fires at that shard's
+///   k-th dispatch; within the restart budget the dispatch's entries
+///   re-queue (attempts unchanged) and the shard pays the exponential
+///   backoff in virtual time, both charged to the FaultRecovery lane;
+/// * past the budget the shard fails over: queued and in-flight work
+///   re-routes to live ring successors ([`shard::route`]), entries with
+///   no survivor resolve [`Rejection::ShardFailed`], and subsequent
+///   arrivals route around the corpse;
+/// * a poisoned batch panics at execution: batchmates re-queue to retry
+///   solo (attempts + 1), a solo poison resolves
+///   [`Rejection::Requeued`];
+/// * stall windows multiply the dispatch's compute time;
+/// * with a [`crate::faults::DegradedPolicy`], sub-interactive work on
+///   a pressured shard (peer failed, or queue past the high-water
+///   fraction) is answered with threshold-quantized detail planes and
+///   the policy's error bound, delivery priced by surviving
+///   coefficients.
+///
+/// With an empty fault plan this reproduces [`run_sim`]'s behavior (the
+/// joint loop and the independent loops order events identically when
+/// no shard ever interacts). Everything is a pure function of
+/// `(config, cost, stream)` — replays are byte-identical.
+pub fn run_chaos(
+    config: &ServiceConfig,
+    cost: &CostModel,
+    stream: Vec<(f64, DecomposeRequest)>,
+) -> SimReport {
+    let nshards = config.shards.max(1);
+    config
+        .faults
+        .validate(nshards)
+        .expect("invalid fault plan for this shard count");
+    let mut outcomes: Vec<Option<ServeResult>> = (0..stream.len()).map(|_| None).collect();
+    let mut shards: Vec<ChaosShard> = (0..nshards).map(|_| ChaosShard::new(config)).collect();
+    let mut arrivals: VecDeque<(f64, usize, DecomposeRequest)> = VecDeque::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (ix, (t, req)) in stream.into_iter().enumerate() {
+        assert!(t >= last_t, "arrival stream must be sorted by time");
+        last_t = t;
+        if let Err(rejection) = req.validate() {
+            let home = shard::shard_of(&req.shape(), nshards);
+            shards[home].queue.counters.reject(RejectKind::Invalid);
+            outcomes[ix] = Some(Err(rejection));
+            continue;
+        }
+        arrivals.push_back((t, ix, req));
+    }
+
+    loop {
+        // The next dispatch moment across live shards with queued work.
+        let next_dispatch = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, sh)| !sh.failed && !sh.queue.is_empty())
+            .map(|(s, sh)| (sh.t_free, s))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        match (arrivals.front(), next_dispatch) {
+            (None, None) => break,
+            // Arrivals up to the dispatch moment land first, at their
+            // own timestamps — the live submitters' ordering.
+            (Some(&(ta, _, _)), Some((td, _))) if ta <= td => {
+                let (ta, ix, req) = arrivals.pop_front().expect("front just checked");
+                chaos_arrival(&mut shards, ta, ix, req, &mut outcomes);
+            }
+            (Some(_), None) => {
+                let (ta, ix, req) = arrivals.pop_front().expect("front just checked");
+                chaos_arrival(&mut shards, ta, ix, req, &mut outcomes);
+            }
+            (_, Some((_, s))) => chaos_dispatch(&mut shards, config, cost, s, &mut outcomes),
+        }
+    }
+
+    let mut makespan_s: f64 = 0.0;
+    let mut out_shards = Vec::with_capacity(nshards);
+    for mut sh in shards {
+        makespan_s = makespan_s.max(sh.t_free);
+        sh.metrics.queue = sh.queue.counters.clone();
+        sh.metrics.absorb_cache(&sh.cache);
+        sh.metrics.finalize(sh.t_free);
+        out_shards.push(sh.metrics);
+    }
+    SimReport {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every request terminates in exactly one outcome"))
+            .collect(),
+        metrics: MetricsSnapshot { shards: out_shards },
+        makespan_s,
+    }
+}
+
+/// Route and admit one external arrival at its own timestamp.
+fn chaos_arrival(
+    shards: &mut [ChaosShard],
+    t: f64,
+    ix: usize,
+    req: DecomposeRequest,
+    outcomes: &mut [Option<ServeResult>],
+) {
+    let shape = req.shape();
+    let home = shard::shard_of(&shape, shards.len());
+    let alive: Vec<bool> = shards.iter().map(|sh| !sh.failed).collect();
+    let Some(target) = shard::route(&shape, &alive) else {
+        let restarts = shards[home].restarts;
+        shards[home].queue.counters.reject(RejectKind::ShardFailed);
+        outcomes[ix] = Some(Err(Rejection::ShardFailed {
+            shard: home,
+            restarts,
+        }));
+        return;
+    };
+    let entry = Entry {
+        id: ix as u64,
+        arrival: t,
+        req,
+        attempts: 0,
+        tag: ix,
+    };
+    chaos_admit(shards, target, entry, t, outcomes);
+}
+
+/// Admit one entry into `target`'s queue at virtual time `t`, resolving
+/// shed victims and refusals. An idle shard's free time advances to the
+/// admission time (it cannot dispatch work before the work exists).
+fn chaos_admit(
+    shards: &mut [ChaosShard],
+    target: usize,
+    entry: Entry<usize>,
+    t: f64,
+    outcomes: &mut [Option<ServeResult>],
+) -> bool {
+    let incoming = entry.req.priority;
+    let sh = &mut shards[target];
+    if sh.queue.is_empty() {
+        sh.t_free = sh.t_free.max(t);
+    }
+    match sh.queue.admit(t, entry) {
+        Admit::Accepted => true,
+        Admit::AcceptedShedding(victim) => {
+            sh.metrics.record_lost((t - victim.arrival).max(0.0));
+            outcomes[victim.tag] = Some(Err(Rejection::Shed { by: incoming }));
+            true
+        }
+        Admit::Rejected(e, rejection) => {
+            outcomes[e.tag] = Some(Err(rejection));
+            false
+        }
+    }
+}
+
+/// Re-admit a recovered entry, charging the requeue handoff to shard
+/// `charge` (the shard whose failure caused it).
+fn chaos_readmit(
+    shards: &mut [ChaosShard],
+    charge: usize,
+    target: usize,
+    entry: Entry<usize>,
+    config: &ServiceConfig,
+    t: f64,
+    outcomes: &mut [Option<ServeResult>],
+) {
+    if chaos_admit(shards, target, entry, t, outcomes) {
+        shards[charge]
+            .metrics
+            .record_requeue(config.supervisor.requeue_s);
+    }
+}
+
+/// Fail shard `s` over: re-route its in-flight (`batch`) and queued
+/// entries to live ring successors; entries with no survivor resolve
+/// [`Rejection::ShardFailed`].
+fn chaos_fail_over(
+    shards: &mut [ChaosShard],
+    s: usize,
+    batch: Option<crate::batch::Batch<usize>>,
+    config: &ServiceConfig,
+    t: f64,
+    outcomes: &mut [Option<ServeResult>],
+) {
+    shards[s].failed = true;
+    shards[s].metrics.failed = true;
+    let restarts = shards[s].restarts;
+    let queued = shards[s].queue.drain();
+    let alive: Vec<bool> = shards.iter().map(|sh| !sh.failed).collect();
+    for entry in batch.into_iter().flat_map(|b| b.entries).chain(queued) {
+        match shard::route(&entry.req.shape(), &alive) {
+            Some(target) => chaos_readmit(shards, s, target, entry, config, t, outcomes),
+            None => {
+                shards[s].queue.counters.reject(RejectKind::ShardFailed);
+                outcomes[entry.tag] = Some(Err(Rejection::ShardFailed { shard: s, restarts }));
+            }
+        }
+    }
+}
+
+/// One dispatch on shard `s` at its free time, with fault injection.
+fn chaos_dispatch(
+    shards: &mut [ChaosShard],
+    config: &ServiceConfig,
+    cost: &CostModel,
+    s: usize,
+    outcomes: &mut [Option<ServeResult>],
+) {
+    let t = shards[s].t_free;
+    let depth_frac = shards[s].queue.len() as f64 / config.queue_capacity.max(1) as f64;
+    let pop = shards[s].queue.pop_batch(t, &config.batch);
+    for e in pop.expired {
+        let deadline = e.req.deadline.expect("expired implies a deadline");
+        shards[s].metrics.record_lost((t - e.arrival).max(0.0));
+        outcomes[e.tag] = Some(Err(Rejection::DeadlineExpired { deadline, now: t }));
+    }
+    let Some(batch) = pop.batch else { return };
+    let k = shards[s].dispatch;
+    shards[s].dispatch += 1;
+
+    if config.faults.worker_dies(s, k) {
+        let restart_no = shards[s].restarts + 1;
+        if config.supervisor.enabled() && restart_no <= config.supervisor.max_restarts {
+            // Supervisor restart: the dead worker's dispatch re-queues
+            // (the worker was the suspect, attempts stay), the shard
+            // pays the backoff in virtual time.
+            shards[s].restarts = restart_no;
+            let backoff = config.supervisor.backoff_s(restart_no);
+            shards[s].metrics.record_restart(backoff);
+            for entry in batch.entries {
+                chaos_readmit(shards, s, s, entry, config, t, outcomes);
+            }
+            shards[s].t_free = t + backoff;
+        } else {
+            chaos_fail_over(shards, s, Some(batch), config, t, outcomes);
+        }
+        return;
+    }
+
+    if batch.entries.iter().any(|e| config.faults.poisoned(e.id)) {
+        // Execution panics; the quarantine runs in-thread after one
+        // dispatch overhead's worth of work.
+        if batch.len() == 1 {
+            let entry = batch.entries.into_iter().next().expect("len checked");
+            shards[s].metrics.quarantined += 1;
+            shards[s].queue.counters.reject(RejectKind::Requeued);
+            outcomes[entry.tag] = Some(Err(Rejection::Requeued {
+                attempts: entry.attempts + 1,
+            }));
+        } else {
+            for mut entry in batch.entries {
+                entry.attempts += 1;
+                chaos_readmit(shards, s, s, entry, config, t, outcomes);
+            }
+        }
+        shards[s].t_free = t + cost.dispatch_s;
+        return;
+    }
+
+    let peer_failed = shards.iter().enumerate().any(|(i, sh)| i != s && sh.failed);
+    let degrade = config
+        .degraded
+        .filter(|d| peer_failed || depth_frac >= d.queue_high_water);
+    match shard::execute(&mut shards[s].cache, &batch) {
+        Ok(done) => {
+            let batch_size = batch.len();
+            let plan_s = if done.cache_hit {
+                0.0
+            } else {
+                cost.plan_s(&batch.shape)
+            };
+            let transform_s = cost.transform_s(&batch.shape) * batch_size as f64;
+            let stall = config.faults.stall_factor(s, k);
+            // Price delivery per response: a degraded response ships
+            // only surviving coefficients.
+            let mut responses = Vec::with_capacity(batch_size);
+            let mut frac_sum = 0.0;
+            let mut degraded_count = 0u64;
+            for (entry, mut pyramid) in batch.entries.into_iter().zip(done.pyramids) {
+                let mut error_bound = 0.0;
+                let mut degraded = false;
+                let mut frac = 1.0;
+                if let Some(d) = degrade {
+                    if entry.req.priority < Priority::Interactive {
+                        let total_detail: usize = pyramid
+                            .detail
+                            .iter()
+                            .map(|b| b.lh.data().len() + b.hl.data().len() + b.hh.data().len())
+                            .sum();
+                        let approx_len = pyramid.approx.data().len();
+                        let kept = shard::degrade_pyramid(&mut pyramid, &d);
+                        frac =
+                            (approx_len + kept) as f64 / (approx_len + total_detail).max(1) as f64;
+                        error_bound = d.error_bound();
+                        degraded = true;
+                        degraded_count += 1;
+                    }
+                }
+                frac_sum += frac;
+                responses.push((entry, pyramid, degraded, error_bound));
+            }
+            let deliver_s = cost.deliver_s_per_request * frac_sum;
+            // Keep the fault-free arithmetic bit-identical to
+            // `run_sim`'s (same association, no `* 1.0` rounding), so
+            // an empty fault plan reproduces it exactly.
+            let end = if stall == 1.0 {
+                t + cost.dispatch_s + plan_s + transform_s + deliver_s
+            } else {
+                t + cost.dispatch_s + (plan_s + transform_s) * stall + deliver_s
+            };
+            let arrivals: Vec<f64> = responses.iter().map(|(e, ..)| e.arrival).collect();
+            shards[s].metrics.record_batch(
+                t,
+                end,
+                &arrivals,
+                LaneSplit {
+                    dispatch_s: cost.dispatch_s,
+                    plan_s: plan_s * stall,
+                    transform_s: transform_s * stall,
+                    deliver_s,
+                },
+            );
+            shards[s].metrics.degraded_served += degraded_count;
+            for (entry, pyramid, degraded, error_bound) in responses {
+                outcomes[entry.tag] = Some(Ok(DecomposeResponse {
+                    pyramid,
+                    cache_hit: done.cache_hit,
+                    batch_size,
+                    wait_s: (t - entry.arrival).max(0.0),
+                    service_s: end - t,
+                    degraded,
+                    error_bound,
+                }));
+            }
+            shards[s].t_free = end;
+        }
+        Err(detail) => {
+            for entry in batch.entries {
+                outcomes[entry.tag] = Some(Err(Rejection::Invalid {
+                    detail: detail.clone(),
+                }));
+            }
+        }
+    }
 }

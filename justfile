@@ -55,9 +55,30 @@ faults:
 faults-json:
     cargo run --release -p bench --bin bench_faults
 
+# Chaos gate: sweep the shard-crash axis of the serving fault grid and
+# run the full chaos invariant suite (exactly-once resolution, seeded
+# replay, supervision, failover, quarantine, degraded mode) at every
+# point, live driver and sim both.
+chaos:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    for crash_shards in 0 1 2; do
+        echo "--- crash_shards=$crash_shards"
+        WSERV_CRASH_SHARDS=$crash_shards cargo test -q --release --test wserv_chaos
+    done
+
+# Downscaled chaos gate as CI runs it: one crash-grid point plus the
+# BENCH_service chaos-row schema and zero-lost-requests assertions on
+# the smoke sweep.
+chaos-smoke:
+    WSERV_CRASH_SHARDS=1 cargo test -q --test wserv_chaos
+    WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
+    python3 -c "import json; rows = json.load(open('target/BENCH_service_smoke.json'))['chaos_results']; required = {'scenario', 'shards', 'rate_hz', 'requests', 'completed', 'degraded_served', 'restarts', 'requeued', 'quarantined', 'rejected_total', 'rejected_shard_failed', 'rejected_requeued', 'rejected_deadline', 'failed_shards', 'p95_ms', 'throughput_hz', 'makespan_s', 'fault_recovery_pct'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; lost = [(r['scenario'], r['requests'] - r['completed'] - r['rejected_total']) for r in rows if r['completed'] + r['rejected_total'] != r['requests']]; assert not lost, lost; crashed = [r for r in rows if r['failed_shards']]; assert crashed and all(r['fault_recovery_pct'] > 0 for r in crashed), 'no crash row charged FaultRecovery'; print('chaos smoke OK:', len(rows), 'rows,', len(crashed), 'with failed shards')"
+
 # Regenerate BENCH_service.json (wserv load-generator sweep: arrival
-# rate x shards x cache x batching; asserts cache/batching dominance
-# and byte-reproducibility).
+# rate x shards x cache x batching, plus the seeded chaos scenario
+# sweep; asserts cache/batching dominance, the exactly-once chaos
+# invariant, and byte-reproducibility).
 serve-bench:
     cargo run --release -p bench --bin bench_service
 

@@ -148,6 +148,7 @@ proptest! {
                 arrival: i as f64,
                 req: DecomposeRequest::new(Matrix::zeros(8, 8), bank.clone(), 1)
                     .with_priority(priority),
+                attempts: 0,
                 tag: i,
             };
             match q.admit(i as f64, entry) {
@@ -204,7 +205,9 @@ fn graceful_drain_resolves_every_accepted_request() {
             Err(_) => door_rejects += 1,
         }
     }
-    let snapshot = service.shutdown();
+    let snapshot = service
+        .shutdown()
+        .expect("no worker died in a fault-free run");
     let mut ok = 0u64;
     let mut shed = 0u64;
     for (i, size, h) in handles {

@@ -2,14 +2,25 @@
 //! generator drives the `wserv` discrete-event simulator across an
 //! arrival-rate x shard-count x cache x batching grid, plus a seeded
 //! chaos sweep (worker panics, shard crashes, stalls, poison requests,
-//! degraded-mode brownout) through `run_chaos`, and writes
-//! `BENCH_service.json` in the current directory. Every chaos row is
-//! checked for the exactly-once invariant: completed + rejected equals
-//! submitted — injected faults lose nothing.
+//! degraded-mode brownout) through `run_chaos`, plus a closed-loop
+//! multi-client transport sweep (`transport_results`) through
+//! `run_closed_loop` with the wire itself in the loop — framing cost
+//! charged to the Communication lane, seeded `WireFaultPlan` resets,
+//! truncations, bit flips and stalls — and writes `BENCH_service.json`
+//! in the current directory. Every chaos and transport row is checked
+//! for the exactly-once invariant: nothing injected loses a request.
 //!
-//! Every latency and throughput number is *virtual* (simulated) time:
-//! the whole file is a pure function of the seed, and this harness
-//! proves it by generating the report twice and comparing the bytes.
+//! Every latency and throughput number in those sections is *virtual*
+//! (simulated) time: they are a pure function of the seed, and this
+//! harness proves it by generating the report twice and comparing the
+//! bytes. A final `transport_live` section then runs the same
+//! closed-loop workload for real — `RemoteServer` + `RemoteClient`
+//! over both the in-memory shim transport and localhost TCP, with the
+//! same wire faults and with real worker threads killed mid-load — and
+//! reports measured wall-clock tail latency next to the simulator's
+//! prediction. Live rows are wall-clock and sit outside the
+//! byte-compare; their invariants (exactly-once, zero lost,
+//! shim-vs-TCP identical resolution books) are asserted instead.
 //!
 //! Run from the repo root with `just serve-bench` (or
 //! `cargo run --release -p bench --bin bench_service`). Set
@@ -17,11 +28,17 @@
 //! `target/BENCH_service_smoke.json` instead and additionally asserts
 //! the acceptance conditions on the smaller grid.
 
+use std::time::{Duration, Instant};
+
 use dwt::{FilterBank, Matrix};
-use wserv::sim::{run_chaos, run_sim, CostModel, SimReport};
+use wserv::sim::{
+    run_chaos, run_closed_loop, run_sim, ClosedLoopConfig, ClosedLoopReport, CostModel, SimReport,
+};
+use wserv::transport::Connector;
 use wserv::{
-    DecomposeRequest, DegradedPolicy, Priority, RejectKind, ServiceConfig, ShardFaultPlan,
-    SupervisorPolicy,
+    DecomposeRequest, DegradedPolicy, MemListener, Priority, RejectKind, RemoteClient,
+    RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy, ServeResult, ServiceConfig,
+    ShardFaultPlan, SupervisorPolicy, TcpAcceptor, TcpConnector, WireDir, WireFaultPlan,
 };
 
 const SEED: u64 = 1996; // the paper's year; any fixed seed works
@@ -399,7 +416,457 @@ fn assert_chaos_coverage(cells: &[ChaosCell]) {
     assert!(poisoned.report.metrics.quarantined() > 0);
 }
 
-fn render(n_reqs: usize, cells: &[Cell], chaos: &[ChaosCell]) -> String {
+/// Per-client request streams for the closed-loop sweeps, flattened
+/// `client * reqs_per_client + k`. Deadline-free on purpose: the live
+/// comparison needs outcomes that do not depend on wall-clock timing,
+/// so the shim and TCP resolution books can be asserted identical.
+fn closed_requests(clients: usize, reqs_per_client: usize) -> Vec<DecomposeRequest> {
+    let pool = shape_pool();
+    let mut out = Vec::with_capacity(clients * reqs_per_client);
+    for c in 0..clients {
+        let mut rng = SplitMix64(SEED ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for _ in 0..reqs_per_client {
+            let (size, bank, levels) = pool[(rng.next_u64() % pool.len() as u64) as usize].clone();
+            let priority = Priority::ALL[(rng.next_u64() % 3) as usize];
+            out.push(
+                DecomposeRequest::new(image(size, rng.next_u64() % 13), bank, levels)
+                    .with_priority(priority),
+            );
+        }
+    }
+    out
+}
+
+/// The literal wire-fault schedule shared by the deterministic sweep
+/// and the live drivers. Coordinates are `(conn = client id, dir,
+/// cumulative frame index)`: frame 0 each way is the handshake, so the
+/// client-to-server reset at frame 2 kills client 0's second request
+/// mid-frame, and the server-to-client bit flip at frame 2 corrupts
+/// client 2's second response — which the client recovers via
+/// resubmit + dedup replay, never re-execution.
+fn wire_chaos_plan() -> WireFaultPlan {
+    WireFaultPlan::seeded(SEED)
+        .with_reset(0, WireDir::ClientToServer, 2)
+        .with_truncate(1, WireDir::ClientToServer, 4)
+        .with_bitflip(2, WireDir::ServerToClient, 2)
+        .with_stall(1, WireDir::ServerToClient, 3, 4e-3)
+}
+
+/// The shard-fault schedule for the failover-under-load scenarios:
+/// shard 0's worker is killed once mid-load (supervised restart),
+/// shard 1 crashes permanently and fails over to the survivors.
+fn kill_plan() -> ShardFaultPlan {
+    ShardFaultPlan::seeded(SEED)
+        .with_worker_panic(0, 1)
+        .with_shard_crash(1, 2)
+}
+
+/// Base service shape for every closed-loop scenario: three shards so
+/// one can die and two survive, a queue deep enough that closed-loop
+/// admission never rejects.
+fn closed_loop_service(faults: ShardFaultPlan) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_shards(3)
+        .with_queue_capacity(64)
+        .with_cache_capacity(16)
+        .with_max_batch(4)
+        .with_faults(faults)
+        .with_supervisor(SupervisorPolicy {
+            max_restarts: 1,
+            ..SupervisorPolicy::default()
+        })
+}
+
+/// Deterministic closed-loop transport scenarios.
+fn transport_scenarios() -> Vec<(&'static str, ServiceConfig, WireFaultPlan)> {
+    vec![
+        (
+            "clean_wire",
+            closed_loop_service(ShardFaultPlan::none()),
+            WireFaultPlan::none(),
+        ),
+        (
+            "wire_chaos",
+            closed_loop_service(ShardFaultPlan::none()),
+            wire_chaos_plan(),
+        ),
+        (
+            "flip_rate",
+            closed_loop_service(ShardFaultPlan::none()),
+            WireFaultPlan::seeded(SEED).with_flip_rate(0.01),
+        ),
+        (
+            "failover_under_load",
+            closed_loop_service(kill_plan()),
+            wire_chaos_plan(),
+        ),
+    ]
+}
+
+struct TransportCell {
+    scenario: &'static str,
+    clients: usize,
+    reqs_per_client: usize,
+    report: ClosedLoopReport,
+}
+
+impl TransportCell {
+    fn requests(&self) -> usize {
+        self.clients * self.reqs_per_client
+    }
+
+    /// The transport exactly-once invariant: every request terminates
+    /// at its client exactly once, and with the literal fault plans
+    /// and default retry budget nothing is lost to the wire either.
+    fn assert_nothing_lost(&self) {
+        assert_eq!(
+            self.report.outcomes.len(),
+            self.requests(),
+            "{}: every request must terminate at its client",
+            self.scenario
+        );
+        let delivered = self.report.outcomes.iter().filter(|o| o.is_ok()).count();
+        let given_up = self.requests() - delivered;
+        assert_eq!(
+            given_up, 0,
+            "{}: the retry budget must cover the fault plan (lost {given_up})",
+            self.scenario
+        );
+        // Deadline-free closed-loop traffic under a shallow queue never
+        // rejects: every delivered outcome is a served response.
+        let served = self
+            .report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Ok(Ok(_))))
+            .count();
+        assert_eq!(
+            served,
+            self.requests(),
+            "{}: closed-loop requests must all serve",
+            self.scenario
+        );
+    }
+
+    fn p_ms(&self, q: f64) -> f64 {
+        self.report.latency.quantile(q) * 1e3
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\": \"{}\", \"clients\": {}, \"reqs_per_client\": {}, ",
+                "\"delivered\": {}, \"retries\": {}, \"replays\": {}, \"frames\": {}, ",
+                "\"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, ",
+                "\"comm_ms\": {:.6}, \"fault_recovery_ms\": {:.6}, ",
+                "\"throughput_hz\": {:.3}, \"makespan_s\": {:.9}}}"
+            ),
+            self.scenario,
+            self.clients,
+            self.reqs_per_client,
+            self.report.outcomes.iter().filter(|o| o.is_ok()).count(),
+            self.report.retries,
+            self.report.replays,
+            self.report.frames,
+            self.p_ms(0.50),
+            self.p_ms(0.95),
+            self.p_ms(0.99),
+            self.report.comm_s * 1e3,
+            self.report.fault_recovery_s * 1e3,
+            self.report.throughput(),
+            self.report.makespan_s,
+        )
+    }
+}
+
+fn transport_sweep(clients: usize, reqs_per_client: usize) -> Vec<TransportCell> {
+    let cost = CostModel::default();
+    let mut cells = Vec::new();
+    for (scenario, cfg, wire_faults) in transport_scenarios() {
+        let cl = ClosedLoopConfig {
+            clients,
+            reqs_per_client,
+            wire_faults,
+            ..ClosedLoopConfig::default()
+        };
+        let report = run_closed_loop(&cfg, &cost, &cl, closed_requests(clients, reqs_per_client));
+        let cell = TransportCell {
+            scenario,
+            clients,
+            reqs_per_client,
+            report,
+        };
+        cell.assert_nothing_lost();
+        eprintln!(
+            "transport {scenario:<20} delivered={:<3} retries={:<2} replays={:<2} \
+             frames={:<4} p99={:.3}ms comm={:.3}ms",
+            cell.report.outcomes.iter().filter(|o| o.is_ok()).count(),
+            cell.report.retries,
+            cell.report.replays,
+            cell.report.frames,
+            cell.p_ms(0.99),
+            cell.report.comm_s * 1e3,
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Spot checks that the transport grid exercises what it claims to.
+fn assert_transport_coverage(cells: &[TransportCell]) {
+    let find = |name: &str| -> &TransportCell {
+        cells
+            .iter()
+            .find(|c| c.scenario == name)
+            .expect("scenario present in the transport grid")
+    };
+    let clean = find("clean_wire");
+    assert_eq!(clean.report.retries, 0, "a clean wire never retries");
+    assert_eq!(clean.report.replays, 0);
+    assert!(clean.report.comm_s > 0.0, "framing cost must be charged");
+    let chaos = find("wire_chaos");
+    assert!(chaos.report.retries > 0, "wire chaos must force retries");
+    assert!(
+        chaos.report.replays > 0,
+        "a response-path fault must recover via dedup replay"
+    );
+    assert!(
+        chaos.report.fault_recovery_s > 0.0,
+        "fault handling must be charged to the FaultRecovery lane"
+    );
+    let failover = find("failover_under_load");
+    assert!(
+        !failover.report.metrics.failed_shards().is_empty(),
+        "the failover scenario must actually lose a shard"
+    );
+    assert!(failover.report.metrics.restarts() > 0);
+    assert!(
+        failover.p_ms(0.99) >= clean.p_ms(0.99),
+        "killing workers mid-load cannot improve the p99 tail"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Live closed-loop mode: real server, real sockets, real worker kills
+// ---------------------------------------------------------------------
+
+/// Stable label of a client-observed service outcome, the currency of
+/// the cross-transport resolution-book comparison.
+fn outcome_label(res: &ServeResult) -> String {
+    match res {
+        Ok(r) if r.degraded => "ok_degraded".into(),
+        Ok(_) => "ok".into(),
+        Err(rej) => rej.kind().label().into(),
+    }
+}
+
+struct LiveRun {
+    /// `(client, request index, outcome label)`, sorted — the
+    /// resolution book as the clients observed it.
+    book: Vec<(u64, u64, String)>,
+    /// Client-observed wall-clock latencies, seconds.
+    latency: wserv::Histogram,
+    metrics: RemoteMetrics,
+    client_retries: u64,
+    /// Wall seconds of serialization + framing across both sides.
+    comm_s: f64,
+    elapsed_s: f64,
+}
+
+/// Drive `clients` real closed-loop clients against a `RemoteServer`
+/// over the chosen transport, with the service's `ShardFaultPlan`
+/// killing real worker threads mid-load and `wire` faulting both
+/// directions of every connection.
+fn live_closed_loop(
+    tcp: bool,
+    clients: usize,
+    reqs_per_client: usize,
+    service: ServiceConfig,
+    wire: WireFaultPlan,
+) -> LiveRun {
+    let tick = Duration::from_millis(1);
+    let remote = RemoteConfig {
+        wire_faults: wire.clone(),
+        ..RemoteConfig::default()
+    };
+    let (server, dial): (
+        RemoteServer,
+        Box<dyn Fn() -> Box<dyn Connector> + Send + Sync>,
+    ) = if tcp {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0", tick).expect("bind localhost");
+        let addr = acceptor.local_addr();
+        (
+            RemoteServer::start(service, remote, Box::new(acceptor)).expect("server starts"),
+            Box::new(move || Box::new(TcpConnector { addr, tick })),
+        )
+    } else {
+        let listener = MemListener::new(1 << 16, tick);
+        let peer = listener.clone();
+        (
+            RemoteServer::start(service, remote, Box::new(listener)).expect("server starts"),
+            Box::new(move || Box::new(peer.clone())),
+        )
+    };
+
+    let requests = closed_requests(clients, reqs_per_client);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let stream: Vec<DecomposeRequest> =
+            requests[c * reqs_per_client..(c + 1) * reqs_per_client].to_vec();
+        let connector = dial();
+        let plan = wire.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = RemoteClient::new(connector, c as u64)
+                .with_faults(plan)
+                .with_retry(RetryPolicy::default())
+                .with_response_timeout(Duration::from_secs(10));
+            let mut lat = Vec::with_capacity(stream.len());
+            let mut book = Vec::with_capacity(stream.len());
+            for (k, req) in stream.iter().enumerate() {
+                let t0 = Instant::now();
+                let res = client
+                    .call(req)
+                    .expect("the retry budget covers the fault plan");
+                lat.push(t0.elapsed().as_secs_f64());
+                book.push((c as u64, k as u64, outcome_label(&res)));
+            }
+            client.goodbye();
+            (lat, book, client.transport, client.retries)
+        }));
+    }
+    let mut latency = wserv::Histogram::default();
+    let mut book = Vec::new();
+    let mut client_retries = 0u64;
+    let mut comm_s = 0.0;
+    for h in handles {
+        let (lat, b, transport, retries) = h.join().expect("client threads never panic");
+        for v in lat {
+            latency.record(v);
+        }
+        book.extend(b);
+        client_retries += retries;
+        comm_s += transport.ser_s;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let metrics = server.shutdown().expect("graceful drain succeeds");
+    comm_s += metrics.transport.ser_s;
+    book.sort();
+    LiveRun {
+        book,
+        latency,
+        metrics,
+        client_retries,
+        comm_s,
+        elapsed_s,
+    }
+}
+
+/// Run the live closed-loop comparison over both transports, assert
+/// its invariants, and return the `transport_live` JSON rows (outside
+/// the byte-compare: these are wall-clock numbers).
+fn live_rows(clients: usize, reqs_per_client: usize, prediction: &ClosedLoopReport) -> String {
+    let total = (clients * reqs_per_client) as u64;
+    let mut rows = Vec::new();
+    let mut books = Vec::new();
+    for (transport, tcp) in [("shim", false), ("tcp", true)] {
+        let run = live_closed_loop(
+            tcp,
+            clients,
+            reqs_per_client,
+            closed_loop_service(kill_plan()),
+            wire_chaos_plan(),
+        );
+        // Exactly-once under real worker kills: the service resolved
+        // every distinct request once — retried ids were answered from
+        // the resolution book, not re-executed.
+        assert_eq!(
+            run.book.len() as u64,
+            total,
+            "{transport}: every request must terminate at its client"
+        );
+        assert_eq!(
+            run.metrics.service.completed(),
+            total,
+            "{transport}: deadline-free closed-loop requests must all serve exactly once"
+        );
+        assert!(
+            run.book.iter().all(|(_, _, label)| label == "ok"),
+            "{transport}: failover must be lossless for closed-loop traffic"
+        );
+        assert!(
+            run.metrics.transport.dedup_replays >= 1,
+            "{transport}: the response-path fault must be recovered via dedup replay"
+        );
+        assert!(
+            run.metrics.service.restarts() > 0,
+            "{transport}: the worker-kill plan must actually kill a worker"
+        );
+        assert!(
+            !run.metrics.service.failed_shards().is_empty(),
+            "{transport}: the crash plan must actually fail a shard over"
+        );
+        eprintln!(
+            "live {transport:<4} p99={:.3}ms (sim predicts {:.3}ms) replays={} \
+             resets={} aborted={} retries={} elapsed={:.3}s",
+            run.latency.quantile(0.99) * 1e3,
+            prediction.latency.quantile(0.99) * 1e3,
+            run.metrics.transport.dedup_replays,
+            run.metrics.transport.conn_reset,
+            run.metrics.transport.conn_aborted,
+            run.client_retries,
+            run.elapsed_s,
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"transport\": \"{}\", \"scenario\": \"failover_under_load\", ",
+                "\"clients\": {}, \"reqs_per_client\": {}, \"completed\": {}, ",
+                "\"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, ",
+                "\"sim_p50_ms\": {:.6}, \"sim_p95_ms\": {:.6}, \"sim_p99_ms\": {:.6}, ",
+                "\"comm_ms\": {:.6}, \"dedup_replays\": {}, \"conn_reset\": {}, ",
+                "\"conn_aborted\": {}, \"client_retries\": {}, \"restarts\": {}, ",
+                "\"failed_shards\": {}, \"elapsed_s\": {:.6}}}"
+            ),
+            transport,
+            clients,
+            reqs_per_client,
+            run.metrics.service.completed(),
+            run.latency.quantile(0.50) * 1e3,
+            run.latency.quantile(0.95) * 1e3,
+            run.latency.quantile(0.99) * 1e3,
+            prediction.latency.quantile(0.50) * 1e3,
+            prediction.latency.quantile(0.95) * 1e3,
+            prediction.latency.quantile(0.99) * 1e3,
+            run.comm_s * 1e3,
+            run.metrics.transport.dedup_replays,
+            run.metrics.transport.conn_reset,
+            run.metrics.transport.conn_aborted,
+            run.client_retries,
+            run.metrics.service.restarts(),
+            run.metrics.service.failed_shards().len(),
+            run.elapsed_s,
+        ));
+        books.push(run.book);
+    }
+    assert_eq!(
+        books[0], books[1],
+        "shim and TCP must produce identical resolution books for the same seed"
+    );
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(r);
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out
+}
+
+fn render(
+    n_reqs: usize,
+    cells: &[Cell],
+    chaos: &[ChaosCell],
+    transport: &[TransportCell],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"wserv_load\",\n");
     out.push_str("  \"unit\": \"virtual_seconds\",\n");
@@ -422,6 +889,17 @@ fn render(n_reqs: usize, cells: &[Cell], chaos: &[ChaosCell]) -> String {
         out.push_str("    ");
         out.push_str(&c.json());
         out.push_str(if i + 1 == chaos.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"transport_results\": [\n");
+    for (i, c) in transport.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.json());
+        out.push_str(if i + 1 == transport.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
     }
     out.push_str("  ]\n}\n");
     out
@@ -507,21 +985,43 @@ fn main() {
     let chaos_reqs = if smoke { 200 } else { 800 };
     let chaos_rate = 50_000.0;
 
+    let (cl_clients, cl_reqs) = if smoke { (3, 6) } else { (4, 12) };
+
     let cells = sweep(n_reqs, &shard_grid, &rates);
     assert_dominance(&cells, top_rate);
     let chaos = chaos_sweep(chaos_reqs, chaos_rate);
     assert_chaos_coverage(&chaos);
-    let report = render(n_reqs, &cells, &chaos);
+    let transport = transport_sweep(cl_clients, cl_reqs);
+    assert_transport_coverage(&transport);
+    let report = render(n_reqs, &cells, &chaos, &transport);
 
     // Byte-reproducibility is part of the contract: regenerate the
-    // whole sweep — chaos rows included — and require the identical
-    // document.
+    // whole sweep — chaos and transport rows included — and require
+    // the identical document.
     let again = render(
         n_reqs,
         &sweep(n_reqs, &shard_grid, &rates),
         &chaos_sweep(chaos_reqs, chaos_rate),
+        &transport_sweep(cl_clients, cl_reqs),
     );
     assert_eq!(report, again, "service bench must be byte-reproducible");
+
+    // Live closed-loop comparison: wall-clock rows, appended after the
+    // byte-compare. The simulator's failover-under-load row is the
+    // prediction the live tails are reported against.
+    let prediction = &transport
+        .iter()
+        .find(|c| c.scenario == "failover_under_load")
+        .expect("failover scenario present")
+        .report;
+    let live = live_rows(cl_clients, cl_reqs, prediction);
+    let report = {
+        let tail = "  ]\n}\n";
+        let base = report
+            .strip_suffix(tail)
+            .expect("render ends with the transport section");
+        format!("{base}  ],\n  \"transport_live\": [\n{live}  ]\n}}\n")
+    };
 
     let path = if smoke {
         "target/BENCH_service_smoke.json"

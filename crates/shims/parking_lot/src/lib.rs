@@ -93,6 +93,22 @@ impl Condvar {
         );
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns `true`
+    /// iff the wait timed out (parking_lot's `WaitTimeoutResult::timed_out`
+    /// collapsed to the bool every caller actually wants).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.guard.take().expect("guard already waiting");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(inner);
+        res.timed_out()
+    }
+
     /// Wake one parked thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -128,6 +144,31 @@ mod tests {
         .unwrap_err();
         // parking_lot semantics: the data survives the holder's panic.
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody notifies: the wait must come back with timed_out = true.
+        {
+            let (m, cv) = &*shared;
+            let mut g = m.lock();
+            assert!(cv.wait_for(&mut g, std::time::Duration::from_millis(5)));
+        }
+        // A notifier exists: the wait must come back without timing out.
+        let shared2 = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*shared2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*shared;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait_for(&mut g, std::time::Duration::from_secs(5));
+        }
+        drop(g);
+        h.join().unwrap();
     }
 
     #[test]

@@ -372,6 +372,217 @@ impl DegradedPolicy {
     }
 }
 
+/// Hash-domain separator for the probabilistic bit-flip stream.
+const KIND_WIRE_FLIP: u64 = 0x666c_6970; // "flip"
+/// Hash-domain separator for the probabilistic reset stream.
+const KIND_WIRE_RESET: u64 = 0x7273_6574; // "rset"
+/// Hash-domain separator for bit-position entropy.
+const KIND_WIRE_BITPOS: u64 = 0x6270_6f73; // "bpos"
+
+/// Direction of a wire transfer, half of a fault coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireDir {
+    /// Request path: client frames toward the server.
+    ClientToServer = 0,
+    /// Response path: server frames toward the client.
+    ServerToClient = 1,
+}
+
+/// One scheduled wire fault, resolved by [`WireFaultPlan::decide`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFault {
+    /// Abortive close mid-frame: half the frame is sent, then both
+    /// directions break. The peer observes a connection reset.
+    Reset,
+    /// Half the frame, then a clean FIN: the peer observes EOF
+    /// mid-frame and types it as frame corruption.
+    Truncate,
+    /// One bit of the encoded frame flips in flight; the peer's
+    /// checksum catches it. `entropy` seeds the bit position.
+    BitFlip {
+        /// Deterministic entropy; the injector reduces it modulo the
+        /// frame's bit length to pick the flipped bit.
+        entropy: u64,
+    },
+    /// The sender stalls `seconds` before the frame goes out (a
+    /// congested or half-dead link).
+    Stall {
+        /// Stall duration: wall seconds in the live driver, virtual
+        /// seconds charged by the simulator.
+        seconds: f64,
+    },
+}
+
+/// One literal wire-fault coordinate: connection `conn`, direction
+/// `dir`, cumulative frame index `frame` (monotone across reconnects —
+/// see `transport::WireClock`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Connection id (the client-declared id from the handshake, so
+    /// coordinates are stable across transports and runs).
+    pub conn: u64,
+    /// Transfer direction.
+    pub dir: WireDir,
+    /// Cumulative frame index on `(conn, dir)`.
+    pub frame: u64,
+}
+
+/// A deterministic, seeded wire-fault schedule, the transport-level
+/// sibling of [`ShardFaultPlan`]: literal events plus hashed rates, all
+/// pure functions of the seed and a `(conn, dir, frame)` coordinate, so
+/// the in-memory shim transport, the TCP transport and the closed-loop
+/// simulator inject byte-identical fault sequences from the same seed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireFaultPlan {
+    seed: u64,
+    resets: Vec<WireEvent>,
+    truncates: Vec<WireEvent>,
+    bitflips: Vec<WireEvent>,
+    stalls: Vec<(WireEvent, f64)>,
+    flip_rate: f64,
+    reset_rate: f64,
+}
+
+impl WireFaultPlan {
+    /// The empty plan: a perfect wire.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying `seed` for the probabilistic streams.
+    pub fn seeded(seed: u64) -> Self {
+        WireFaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedule an abortive reset mid-frame at `(conn, dir, frame)`.
+    pub fn with_reset(mut self, conn: u64, dir: WireDir, frame: u64) -> Self {
+        self.resets.push(WireEvent { conn, dir, frame });
+        self
+    }
+
+    /// Schedule a truncated frame (partial bytes, then clean FIN).
+    pub fn with_truncate(mut self, conn: u64, dir: WireDir, frame: u64) -> Self {
+        self.truncates.push(WireEvent { conn, dir, frame });
+        self
+    }
+
+    /// Schedule a single-bit corruption caught by the peer's checksum.
+    pub fn with_bitflip(mut self, conn: u64, dir: WireDir, frame: u64) -> Self {
+        self.bitflips.push(WireEvent { conn, dir, frame });
+        self
+    }
+
+    /// Schedule a `seconds` stall before the frame is sent.
+    pub fn with_stall(mut self, conn: u64, dir: WireDir, frame: u64, seconds: f64) -> Self {
+        self.stalls.push((WireEvent { conn, dir, frame }, seconds));
+        self
+    }
+
+    /// Flip a bit in a seeded fraction of all frames.
+    pub fn with_flip_rate(mut self, rate: f64) -> Self {
+        self.flip_rate = rate;
+        self
+    }
+
+    /// Abortively reset a seeded fraction of all frames mid-send.
+    pub fn with_reset_rate(mut self, rate: f64) -> Self {
+        self.reset_rate = rate;
+        self
+    }
+
+    /// Whether the plan injects nothing (the fault-free fast path).
+    pub fn is_empty(&self) -> bool {
+        self.resets.is_empty()
+            && self.truncates.is_empty()
+            && self.bitflips.is_empty()
+            && self.stalls.is_empty()
+            && self.flip_rate == 0.0
+            && self.reset_rate == 0.0
+    }
+
+    /// Validate the plan. Returns a human-readable reason on the first
+    /// malformed entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("flip_rate", self.flip_rate),
+            ("reset_rate", self.reset_rate),
+        ] {
+            if !((0.0..=1.0).contains(&rate) && rate.is_finite()) {
+                return Err(format!("{name} = {rate} outside [0, 1]"));
+            }
+        }
+        for (ev, s) in &self.stalls {
+            if !(*s >= 0.0 && s.is_finite()) {
+                return Err(format!(
+                    "stall of {s} s at conn {} frame {} must be finite and >= 0",
+                    ev.conn, ev.frame
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault (if any) scheduled for frame `frame` on `(conn, dir)`.
+    /// Precedence when several match one coordinate: reset, truncate,
+    /// bit-flip, stall — at most one fault fires per frame.
+    pub fn decide(&self, conn: u64, dir: WireDir, frame: u64) -> Option<WireFault> {
+        let hit = |evs: &[WireEvent]| {
+            evs.iter()
+                .any(|e| e.conn == conn && e.dir == dir && e.frame == frame)
+        };
+        let coord = wire_coord(conn, dir, frame);
+        if hit(&self.resets)
+            || (self.reset_rate > 0.0
+                && decision(self.seed, KIND_WIRE_RESET, coord) < self.reset_rate)
+        {
+            return Some(WireFault::Reset);
+        }
+        if hit(&self.truncates) {
+            return Some(WireFault::Truncate);
+        }
+        if hit(&self.bitflips)
+            || (self.flip_rate > 0.0 && decision(self.seed, KIND_WIRE_FLIP, coord) < self.flip_rate)
+        {
+            return Some(WireFault::BitFlip {
+                entropy: decision_bits(self.seed, KIND_WIRE_BITPOS, coord),
+            });
+        }
+        self.stalls
+            .iter()
+            .find(|(e, _)| e.conn == conn && e.dir == dir && e.frame == frame)
+            .map(|&(_, seconds)| WireFault::Stall { seconds })
+    }
+}
+
+/// Fold a wire coordinate into one u64 for the decision hash.
+fn wire_coord(conn: u64, dir: WireDir, frame: u64) -> u64 {
+    let mut h = conn.wrapping_mul(0x9e3779b97f4a7c15) ^ ((dir as u64) << 63);
+    h ^= frame.wrapping_add(0x9e3779b97f4a7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^ (h >> 31)
+}
+
+/// Raw decision bits: the SplitMix64-finalizer stream shared with
+/// [`ShardFaultPlan::decision`], exposed as a full-width value.
+fn decision_bits(seed: u64, kind: u64, coord: u64) -> u64 {
+    let mut h = seed ^ kind.wrapping_mul(0x9e3779b97f4a7c15);
+    for v in [coord, kind] {
+        h ^= v.wrapping_add(0x9e3779b97f4a7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Uniform value in `[0, 1)` from the decision stream.
+fn decision(seed: u64, kind: u64, coord: u64) -> f64 {
+    (decision_bits(seed, kind, coord) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +704,74 @@ mod tests {
         .validate()
         .is_err());
         assert!(DegradedPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn wire_plan_decides_deterministically_with_precedence() {
+        let p = WireFaultPlan::seeded(1996)
+            .with_reset(1, WireDir::ClientToServer, 3)
+            .with_truncate(1, WireDir::ClientToServer, 3)
+            .with_bitflip(1, WireDir::ServerToClient, 0)
+            .with_stall(2, WireDir::ClientToServer, 5, 0.25);
+        assert!(!p.is_empty());
+        assert!(p.validate().is_ok());
+        // Reset outranks the truncate scheduled at the same coordinate.
+        assert_eq!(
+            p.decide(1, WireDir::ClientToServer, 3),
+            Some(WireFault::Reset)
+        );
+        assert!(matches!(
+            p.decide(1, WireDir::ServerToClient, 0),
+            Some(WireFault::BitFlip { .. })
+        ));
+        assert_eq!(
+            p.decide(2, WireDir::ClientToServer, 5),
+            Some(WireFault::Stall { seconds: 0.25 })
+        );
+        // Directions are independent coordinates.
+        assert_eq!(p.decide(1, WireDir::ServerToClient, 3), None);
+        assert_eq!(p.decide(1, WireDir::ClientToServer, 4), None);
+        assert_eq!(
+            WireFaultPlan::none().decide(0, WireDir::ClientToServer, 0),
+            None
+        );
+    }
+
+    #[test]
+    fn wire_rates_are_seed_stable_and_roughly_calibrated() {
+        let a = WireFaultPlan::seeded(7).with_flip_rate(0.2);
+        let b = WireFaultPlan::seeded(7).with_flip_rate(0.2);
+        let c = WireFaultPlan::seeded(8).with_flip_rate(0.2);
+        let sample = |p: &WireFaultPlan| -> Vec<bool> {
+            (0..512)
+                .map(|i| p.decide(3, WireDir::ClientToServer, i).is_some())
+                .collect()
+        };
+        assert_eq!(sample(&a), sample(&b));
+        assert_ne!(sample(&a), sample(&c));
+        let rate = sample(&a).iter().filter(|&&x| x).count() as f64 / 512.0;
+        assert!((rate - 0.2).abs() < 0.1, "empirical flip rate {rate}");
+    }
+
+    #[test]
+    fn wire_plan_validation_rejects_bad_rates_and_stalls() {
+        assert!(WireFaultPlan::none()
+            .with_flip_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(WireFaultPlan::none()
+            .with_reset_rate(-0.1)
+            .validate()
+            .is_err());
+        assert!(WireFaultPlan::none()
+            .with_stall(0, WireDir::ClientToServer, 0, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(WireFaultPlan::none()
+            .with_stall(0, WireDir::ClientToServer, 0, -1.0)
+            .validate()
+            .is_err());
+        assert!(WireFaultPlan::none().validate().is_ok());
     }
 
     #[test]

@@ -60,17 +60,30 @@ pub mod batch;
 pub mod cache;
 pub mod faults;
 pub mod metrics;
+pub mod remote;
 pub mod request;
 pub mod server;
 pub mod shard;
 pub mod sim;
+pub mod transport;
+pub mod wire;
 
 pub use admission::{AdmissionQueue, Admit, Pop};
 pub use batch::{Batch, BatchPolicy};
 pub use cache::{CachedPlan, PlanCache};
-pub use faults::{DegradedPolicy, ShardFaultPlan, SupervisorPolicy};
-pub use metrics::{Histogram, LaneSplit, MetricsSnapshot, QueueCounters, ShardMetrics};
+pub use faults::{
+    DegradedPolicy, ShardFaultPlan, SupervisorPolicy, WireDir, WireFault, WireFaultPlan,
+};
+pub use metrics::{
+    Histogram, LaneSplit, MetricsSnapshot, QueueCounters, ShardMetrics, TransportMetrics,
+};
+pub use remote::{RemoteClient, RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy};
 pub use request::{
     DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
 pub use server::{ResponseHandle, ServiceConfig, ServiceError, WaveletService};
+pub use sim::{run_closed_loop, ClientOutcome, ClosedLoopConfig, ClosedLoopReport, WireCostModel};
+pub use transport::{
+    mem_pair, MemListener, TcpAcceptor, TcpConnector, TcpTransport, Transport, TransportError,
+};
+pub use wire::{Frame, FrameKind, WireError};

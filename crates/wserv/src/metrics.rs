@@ -218,6 +218,79 @@ impl ShardMetrics {
     }
 }
 
+/// Counters the remote transport layer exports, merged across all
+/// connections a [`crate::RemoteServer`] (or client) ever carried.
+/// Serialization/framing seconds are charged to the
+/// [`Category::Communication`] lane by the remote driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransportMetrics {
+    /// Connections the server accepted and handshook.
+    pub conns_accepted: u64,
+    /// Half-open or mid-frame connections force-closed at drain after
+    /// exhausting their grace window.
+    pub conn_aborted: u64,
+    /// Connections that ended in a reset (observed or injected).
+    pub conn_reset: u64,
+    /// Frames fully received and checksum-verified.
+    pub frames_in: u64,
+    /// Frames fully sent.
+    pub frames_out: u64,
+    /// Bytes taken off the wire.
+    pub bytes_in: u64,
+    /// Bytes put on the wire.
+    pub bytes_out: u64,
+    /// Frames rejected as corrupt (checksum, framing, or payload).
+    pub frame_corrupt: u64,
+    /// Frames rejected as over the receive window.
+    pub frame_too_large: u64,
+    /// Handshakes refused for speaking the wrong protocol.
+    pub handshake_mismatch: u64,
+    /// Duplicate submissions answered from the dedup registry instead
+    /// of re-executed (the exactly-once replays).
+    pub dedup_replays: u64,
+    /// Seconds spent encoding/decoding frames (Communication lane).
+    pub ser_s: f64,
+}
+
+impl TransportMetrics {
+    /// Fold one connection's wire counters into the totals.
+    pub fn absorb_wire(&mut self, stats: &crate::transport::WireStats) {
+        self.frames_in += stats.frames_in;
+        self.frames_out += stats.frames_out;
+        self.bytes_in += stats.bytes_in;
+        self.bytes_out += stats.bytes_out;
+        self.ser_s += stats.ser_s;
+    }
+
+    /// Count one terminal transport error against its taxonomy bucket.
+    pub fn count_error(&mut self, err: &crate::transport::TransportError) {
+        use crate::transport::TransportError::*;
+        match err {
+            ConnReset => self.conn_reset += 1,
+            FrameCorrupt { .. } => self.frame_corrupt += 1,
+            FrameTooLarge { .. } => self.frame_too_large += 1,
+            HandshakeMismatch { .. } => self.handshake_mismatch += 1,
+            ConnTimeout { .. } => {}
+        }
+    }
+
+    /// Merge another transport snapshot into this one.
+    pub fn merge(&mut self, other: &TransportMetrics) {
+        self.conns_accepted += other.conns_accepted;
+        self.conn_aborted += other.conn_aborted;
+        self.conn_reset += other.conn_reset;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frame_corrupt += other.frame_corrupt;
+        self.frame_too_large += other.frame_too_large;
+        self.handshake_mismatch += other.handshake_mismatch;
+        self.dedup_replays += other.dedup_replays;
+        self.ser_s += other.ser_s;
+    }
+}
+
 /// Final service-wide view: one [`ShardMetrics`] per shard.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {

@@ -1,0 +1,897 @@
+//! Remote serving: [`RemoteServer`] puts the wire protocol in front of
+//! [`WaveletService::submit`], [`RemoteClient`] drives it from the
+//! other side.
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted connection gets two threads. The *reader* performs the
+//! handshake, then turns Request frames into `submit()` calls; the
+//! *writer* waits on the resulting [`ResponseHandle`]s in FIFO order
+//! and streams Response frames back. Between them sits a bounded
+//! in-flight window: the reader stops pulling bytes once `window`
+//! submitted requests have unsent responses, so a client that floods
+//! requests without reading responses backpressures itself (its TCP
+//! send buffer / pipe window fills) instead of ballooning server
+//! memory.
+//!
+//! ## Exactly-once
+//!
+//! Clients assign monotone request ids and resubmit idempotently after
+//! transport faults. The server keeps a per-client *resolution book*:
+//! a request id is `InFlight` from submission until its outcome is
+//! recorded, then `Done(result)`. A resubmit of a `Done` id replays the
+//! recorded outcome without re-execution; a resubmit of an `InFlight`
+//! id (the original connection died mid-service) waits for the
+//! original resolution and sends that. Execution happens at most once
+//! per id; rejected submissions are deliberately *not* recorded, so a
+//! retry after `QueueFull` re-attempts admission rather than replaying
+//! the rejection.
+//!
+//! ## Drain
+//!
+//! [`RemoteServer::shutdown`] closes the listener, lets every reader
+//! stop at a frame boundary, runs the service's own graceful drain
+//! (which resolves every accepted request), and lets writers flush
+//! those responses before FIN — lossless for everything accepted. A
+//! half-open connection (partial frame, then silence) cannot block
+//! this: after `drain_grace` it is aborted and counted in
+//! [`TransportMetrics::conn_aborted`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::faults::{WireDir, WireFaultPlan};
+use crate::metrics::{MetricsSnapshot, TransportMetrics};
+use crate::request::{DecomposeRequest, Rejection, ServeResult};
+use crate::server::{ResponseHandle, ServiceConfig, ServiceError, WaveletService};
+use crate::transport::{
+    Connector, FrameIo, Listener, RecvFrame, Transport, TransportError, WireClock,
+};
+use crate::wire::{
+    decode_hello, decode_request, decode_response, encode_hello, encode_request, encode_response,
+    Frame, FrameKind, Hello, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+
+/// Remote-layer knobs, layered on top of a [`ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Per-connection in-flight window: submitted requests whose
+    /// responses are not yet sent. The reader stops reading at the cap.
+    pub window: u32,
+    /// Largest frame payload either side accepts.
+    pub max_payload: u32,
+    /// Poll period for receive/accept waits.
+    pub tick: Duration,
+    /// How long drain waits for a mid-frame connection to finish its
+    /// frame before aborting it.
+    pub drain_grace: Duration,
+    /// Seeded wire faults, injected on the server's send path (the
+    /// client injects its own directions from the same plan).
+    pub wire_faults: WireFaultPlan,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            window: 8,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            tick: Duration::from_millis(1),
+            drain_grace: Duration::from_millis(50),
+            wire_faults: WireFaultPlan::none(),
+        }
+    }
+}
+
+impl RemoteConfig {
+    /// Validate the knobs. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be >= 1".into());
+        }
+        if self.max_payload < 64 {
+            return Err(format!(
+                "max_payload {} is too small to frame",
+                self.max_payload
+            ));
+        }
+        self.wire_faults.validate()
+    }
+}
+
+/// Everything a finished remote run exports: the service's own books
+/// plus the transport layer's.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteMetrics {
+    /// Per-shard service metrics (as an in-process run would export).
+    pub service: MetricsSnapshot,
+    /// Transport counters merged over every connection.
+    pub transport: TransportMetrics,
+}
+
+// ---------------------------------------------------------------------
+// Dedup registry (the per-client resolution book)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Slot {
+    InFlight,
+    Done(ServeResult),
+}
+
+#[derive(Default)]
+struct ClientBook {
+    entries: BTreeMap<u64, Slot>,
+    max_id: u64,
+}
+
+struct Dedup {
+    books: Mutex<HashMap<u64, ClientBook>>,
+    resolved: Condvar,
+    /// Resolved entries older than this many ids below the client's
+    /// newest are pruned — a client retries only its outstanding window,
+    /// so anything far behind the head can never be asked for again.
+    keep: u64,
+}
+
+impl Dedup {
+    fn new(window: u32) -> Arc<Dedup> {
+        Arc::new(Dedup {
+            books: Mutex::new(HashMap::new()),
+            resolved: Condvar::new(),
+            keep: window as u64 * 4 + 64,
+        })
+    }
+
+    /// Look up `(client, id)`; if unseen, mark it `InFlight` and return
+    /// `None` (the caller owns the submission).
+    fn claim(&self, client: u64, id: u64) -> Option<Slot> {
+        let mut books = self.books.lock();
+        let book = books.entry(client).or_default();
+        book.max_id = book.max_id.max(id);
+        match book.entries.get(&id) {
+            Some(slot) => Some(slot.clone()),
+            None => {
+                book.entries.insert(id, Slot::InFlight);
+                None
+            }
+        }
+    }
+
+    /// Record the terminal outcome for `(client, id)` and prune the
+    /// book's resolved tail.
+    fn resolve(&self, client: u64, id: u64, result: &ServeResult) {
+        let mut books = self.books.lock();
+        let book = books.entry(client).or_default();
+        book.entries.insert(id, Slot::Done(result.clone()));
+        let horizon = book.max_id.saturating_sub(self.keep);
+        while let Some((&first, slot)) = book.entries.first_key_value() {
+            if first >= horizon || !matches!(slot, Slot::Done(_)) {
+                break;
+            }
+            book.entries.remove(&first);
+        }
+        self.resolved.notify_all();
+    }
+
+    /// Wait until `(client, id)` resolves (the original connection's
+    /// writer records it), bailing out if `dead` is raised.
+    fn await_done(
+        &self,
+        client: u64,
+        id: u64,
+        tick: Duration,
+        dead: &AtomicBool,
+    ) -> Option<ServeResult> {
+        let mut books = self.books.lock();
+        loop {
+            if let Some(Slot::Done(result)) = books.get(&client).and_then(|b| b.entries.get(&id)) {
+                return Some(result.clone());
+            }
+            if dead.load(Ordering::SeqCst) {
+                return None;
+            }
+            self.resolved.wait_for(&mut books, tick);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection in-flight window
+// ---------------------------------------------------------------------
+
+struct Window {
+    permits: Mutex<u32>,
+    freed: Condvar,
+}
+
+impl Window {
+    fn new(cap: u32) -> Arc<Window> {
+        Arc::new(Window {
+            permits: Mutex::new(cap),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Take one permit; `false` if the connection died while waiting.
+    fn acquire(&self, tick: Duration, dead: &AtomicBool) -> bool {
+        let mut permits = self.permits.lock();
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return true;
+            }
+            if dead.load(Ordering::SeqCst) {
+                return false;
+            }
+            self.freed.wait_for(&mut permits, tick);
+        }
+    }
+
+    fn release(&self) {
+        *self.permits.lock() += 1;
+        self.freed.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+enum WriteItem {
+    /// Wait on the service handle, record the outcome, send it.
+    Resolve { id: u64, handle: ResponseHandle },
+    /// Send a known outcome (rejection or dedup replay).
+    Ready { id: u64, result: ServeResult },
+    /// Wait for another connection's writer to record the outcome.
+    AwaitDedup { id: u64 },
+    /// The server's half of the handshake.
+    Ack { client: u64 },
+}
+
+struct ServerShared {
+    service: Mutex<Option<WaveletService>>,
+    dedup: Arc<Dedup>,
+    clock: Arc<WireClock>,
+    metrics: Mutex<TransportMetrics>,
+    drain: AtomicBool,
+    config: RemoteConfig,
+}
+
+/// The wire protocol in front of a [`WaveletService`]. See the module
+/// docs for the connection anatomy and drain semantics.
+pub struct RemoteServer {
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl RemoteServer {
+    /// Start the service and the accept loop on `listener`.
+    pub fn start(
+        service: ServiceConfig,
+        config: RemoteConfig,
+        mut listener: Box<dyn Listener>,
+    ) -> Result<RemoteServer, String> {
+        service.validate()?;
+        config.validate()?;
+        let shared = Arc::new(ServerShared {
+            service: Mutex::new(Some(WaveletService::start(service))),
+            dedup: Dedup::new(config.window),
+            clock: WireClock::new(),
+            metrics: Mutex::new(TransportMetrics::default()),
+            drain: AtomicBool::new(false),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if accept_shared.drain.load(Ordering::SeqCst) {
+                    listener.close();
+                    break;
+                }
+                if let Some(transport) = listener.poll_accept() {
+                    let conn_shared = Arc::clone(&accept_shared);
+                    conns.push(std::thread::spawn(move || {
+                        conn_main(conn_shared, transport);
+                    }));
+                }
+            }
+            conns
+        });
+        Ok(RemoteServer {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// Graceful drain: stop accepting, finish every accepted request,
+    /// flush responses, FIN all connections, then return the merged
+    /// books. Half-open connections are aborted after their grace and
+    /// counted in [`TransportMetrics::conn_aborted`].
+    pub fn shutdown(mut self) -> Result<RemoteMetrics, ServiceError> {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        let conns = self
+            .accept
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("accept loop never panics");
+        // Drain the service *while* connection writers are still
+        // running: its shutdown resolves every accepted request, which
+        // is exactly what the writers are waiting to flush.
+        let service = self
+            .shared
+            .service
+            .lock()
+            .take()
+            .expect("service present until shutdown");
+        let snapshot = service.shutdown()?;
+        for conn in conns {
+            conn.join().expect("connection threads never panic");
+        }
+        let transport = *self.shared.metrics.lock();
+        Ok(RemoteMetrics {
+            service: snapshot,
+            transport,
+        })
+    }
+}
+
+/// One connection, reader side. Spawns and joins its writer.
+fn conn_main(shared: Arc<ServerShared>, transport: Box<dyn Transport>) {
+    let cfg = &shared.config;
+    let mut local = TransportMetrics::default();
+    let write_half = transport.try_clone();
+    let mut rio = FrameIo::new(
+        transport,
+        0,
+        WireDir::ServerToClient,
+        WireFaultPlan::none(),
+        Arc::clone(&shared.clock),
+    )
+    .with_max_payload(cfg.max_payload);
+
+    // Handshake: first frame must be a Hello within the grace window.
+    let started = Instant::now();
+    let hello = loop {
+        match rio.recv_frame() {
+            Ok(RecvFrame::Frame(f)) if f.kind == FrameKind::Hello => match decode_hello(&f) {
+                Ok(h) => break Some((f.id, h)),
+                Err(e) => {
+                    local.count_error(&e.into());
+                    break None;
+                }
+            },
+            Ok(RecvFrame::Frame(_)) => {
+                local.handshake_mismatch += 1;
+                break None;
+            }
+            Ok(RecvFrame::Eof) => break None,
+            Ok(RecvFrame::Idle) => {
+                if started.elapsed() > cfg.drain_grace.max(Duration::from_millis(250))
+                    || shared.drain.load(Ordering::SeqCst)
+                {
+                    break None;
+                }
+            }
+            Err(e) => {
+                local.count_error(&e);
+                break None;
+            }
+        }
+    };
+    let Some((client, hello)) = hello else {
+        rio.abort();
+        merge_stats(&shared, local, &rio, None);
+        return;
+    };
+
+    let protocol_ok = hello.protocol == PROTOCOL_VERSION as u32;
+    if !protocol_ok {
+        local.handshake_mismatch += 1;
+    } else {
+        local.conns_accepted += 1;
+    }
+    rio.set_conn(client);
+
+    // Writer thread: FIFO over the queue, owns the send half.
+    let Some(write_io) = write_half else {
+        rio.abort();
+        merge_stats(&shared, local, &rio, None);
+        return;
+    };
+    let wio = FrameIo::new(
+        write_io,
+        client,
+        WireDir::ServerToClient,
+        cfg.wire_faults.clone(),
+        Arc::clone(&shared.clock),
+    )
+    .with_max_payload(cfg.max_payload);
+    let window = Window::new(cfg.window.min(hello.window.max(1)));
+    let dead = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<WriteItem>();
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let window = Arc::clone(&window);
+        let dead = Arc::clone(&dead);
+        std::thread::spawn(move || writer_main(shared, client, wio, rx, window, dead))
+    };
+    tx.send(WriteItem::Ack { client })
+        .expect("writer just spawned");
+
+    if !protocol_ok {
+        // The ack (carrying our protocol) is the client's mismatch
+        // evidence; nothing further is served on this connection.
+        drop(tx);
+        let (wstats, _) = writer.join().expect("writer never panics");
+        merge_stats(&shared, local, &rio, Some(wstats));
+        return;
+    }
+
+    // Main read loop.
+    let mut drain_seen: Option<Instant> = None;
+    let mut abort = false;
+    loop {
+        match rio.recv_frame() {
+            Ok(RecvFrame::Frame(f)) => match f.kind {
+                FrameKind::Request => {
+                    if !window.acquire(cfg.tick, &dead) {
+                        abort = true;
+                        break;
+                    }
+                    let item = match shared.dedup.claim(client, f.id) {
+                        Some(Slot::Done(result)) => {
+                            local.dedup_replays += 1;
+                            WriteItem::Ready { id: f.id, result }
+                        }
+                        Some(Slot::InFlight) => {
+                            local.dedup_replays += 1;
+                            WriteItem::AwaitDedup { id: f.id }
+                        }
+                        None => {
+                            let t0 = Instant::now();
+                            let decoded = decode_request(&f);
+                            local.ser_s += t0.elapsed().as_secs_f64();
+                            match decoded {
+                                Err(e) => {
+                                    local.count_error(&e.into());
+                                    window.release();
+                                    abort = true;
+                                    break;
+                                }
+                                Ok(req) => {
+                                    let submitted = shared
+                                        .service
+                                        .lock()
+                                        .as_ref()
+                                        .map(|svc| svc.submit(req))
+                                        .unwrap_or(Err(Rejection::Draining));
+                                    match submitted {
+                                        Ok(handle) => WriteItem::Resolve { id: f.id, handle },
+                                        Err(rej) => {
+                                            // Not recorded in the book: a
+                                            // rejected request was never
+                                            // executed, so a retry may
+                                            // re-attempt admission.
+                                            forget_claim(&shared.dedup, client, f.id);
+                                            WriteItem::Ready {
+                                                id: f.id,
+                                                result: Err(rej),
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    if tx.send(item).is_err() {
+                        abort = true;
+                        break;
+                    }
+                }
+                FrameKind::Bye => break,
+                _ => {
+                    local.count_error(&TransportError::FrameCorrupt {
+                        detail: format!("unexpected {:?} frame mid-stream", f.kind),
+                    });
+                    abort = true;
+                    break;
+                }
+            },
+            Ok(RecvFrame::Eof) => break,
+            Ok(RecvFrame::Idle) => {
+                if dead.load(Ordering::SeqCst) {
+                    abort = true;
+                    break;
+                }
+                if shared.drain.load(Ordering::SeqCst) {
+                    let seen = *drain_seen.get_or_insert_with(Instant::now);
+                    if !rio.mid_frame() {
+                        break;
+                    }
+                    if seen.elapsed() >= cfg.drain_grace {
+                        // Half-open mid-frame past its grace: abort so
+                        // drain cannot be held hostage.
+                        local.conn_aborted += 1;
+                        abort = true;
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                local.count_error(&e);
+                abort = true;
+                break;
+            }
+        }
+    }
+    if abort {
+        dead.store(true, Ordering::SeqCst);
+        rio.abort();
+    }
+    drop(tx);
+    let (wstats, wmetrics) = writer.join().expect("writer never panics");
+    local.merge(&wmetrics);
+    merge_stats(&shared, local, &rio, Some(wstats));
+}
+
+/// Remove an `InFlight` claim that was never submitted (rejection path).
+fn forget_claim(dedup: &Dedup, client: u64, id: u64) {
+    let mut books = dedup.books.lock();
+    if let Some(book) = books.get_mut(&client) {
+        if matches!(book.entries.get(&id), Some(Slot::InFlight)) {
+            book.entries.remove(&id);
+        }
+    }
+}
+
+/// Writer side of one connection: resolve → record → send, FIFO.
+fn writer_main(
+    shared: Arc<ServerShared>,
+    client: u64,
+    mut wio: FrameIo,
+    rx: mpsc::Receiver<WriteItem>,
+    window: Arc<Window>,
+    dead: Arc<AtomicBool>,
+) -> (crate::transport::WireStats, TransportMetrics) {
+    let mut local = TransportMetrics::default();
+    let tick = shared.config.tick;
+    let mut send_ok = true;
+    for item in rx.iter() {
+        let (id, result, releases) = match item {
+            WriteItem::Ack { client } => {
+                let ack = encode_hello(
+                    FrameKind::HelloAck,
+                    client,
+                    &Hello {
+                        protocol: PROTOCOL_VERSION as u32,
+                        max_payload: shared.config.max_payload,
+                        window: shared.config.window,
+                    },
+                );
+                if send_ok {
+                    if let Err(e) = wio.send_frame(&ack) {
+                        local.count_error(&e);
+                        send_ok = false;
+                        dead.store(true, Ordering::SeqCst);
+                    }
+                }
+                continue;
+            }
+            WriteItem::Resolve { id, handle } => {
+                let result = handle.wait();
+                shared.dedup.resolve(client, id, &result);
+                (id, result, true)
+            }
+            WriteItem::Ready { id, result } => (id, result, true),
+            WriteItem::AwaitDedup { id } => {
+                match shared.dedup.await_done(client, id, tick, &dead) {
+                    Some(result) => (id, result, true),
+                    None => {
+                        window.release();
+                        continue;
+                    }
+                }
+            }
+        };
+        if send_ok {
+            let t0 = Instant::now();
+            let frame = encode_response(id, &result);
+            local.ser_s += t0.elapsed().as_secs_f64();
+            if let Err(e) = wio.send_frame(&frame) {
+                local.count_error(&e);
+                send_ok = false;
+                // The reader must stop pulling new work; resolutions
+                // already recorded stay replayable from the book.
+                dead.store(true, Ordering::SeqCst);
+            }
+        }
+        if releases {
+            window.release();
+        }
+    }
+    if send_ok {
+        wio.shutdown_write();
+    }
+    (wio.stats, local)
+}
+
+fn merge_stats(
+    shared: &Arc<ServerShared>,
+    mut local: TransportMetrics,
+    rio: &FrameIo,
+    wstats: Option<crate::transport::WireStats>,
+) {
+    local.absorb_wire(&rio.stats);
+    if let Some(w) = wstats {
+        local.absorb_wire(&w);
+    }
+    shared.metrics.lock().merge(&local);
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Capped exponential backoff for idempotent resubmits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied per further attempt.
+    pub backoff_mult: f64,
+    /// Ceiling on any single backoff, in seconds.
+    pub backoff_cap_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base_s: 1e-3,
+            backoff_mult: 2.0,
+            backoff_cap_s: 100e-3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff slept after failed attempt `attempt` (1-based).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        (self.backoff_base_s * self.backoff_mult.powi(attempt.saturating_sub(1) as i32))
+            .min(self.backoff_cap_s)
+    }
+
+    /// Validate the policy. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be >= 1".into());
+        }
+        for (name, v) in [
+            ("backoff_base_s", self.backoff_base_s),
+            ("backoff_cap_s", self.backoff_cap_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if !(self.backoff_mult >= 1.0 && self.backoff_mult.is_finite()) {
+            return Err(format!(
+                "backoff_mult = {} must be finite and >= 1",
+                self.backoff_mult
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A synchronous closed-loop client: one outstanding request, retried
+/// with capped exponential backoff across reconnects. Ids are assigned
+/// monotonically, so the server's resolution book preserves
+/// exactly-once execution under any schedule of wire faults.
+pub struct RemoteClient {
+    connector: Box<dyn Connector>,
+    client_id: u64,
+    protocol: u32,
+    next_id: u64,
+    io: Option<FrameIo>,
+    faults: WireFaultPlan,
+    clock: Arc<WireClock>,
+    retry: RetryPolicy,
+    response_timeout: Duration,
+    /// Client-side transport counters (errors observed, frames/bytes).
+    pub transport: TransportMetrics,
+    /// Resubmits performed across all calls.
+    pub retries: u64,
+}
+
+impl RemoteClient {
+    /// A client dialing through `connector` as `client_id`. Connections
+    /// are opened lazily on first use and after faults.
+    pub fn new(connector: Box<dyn Connector>, client_id: u64) -> RemoteClient {
+        RemoteClient {
+            connector,
+            client_id,
+            protocol: PROTOCOL_VERSION as u32,
+            next_id: 0,
+            io: None,
+            faults: WireFaultPlan::none(),
+            clock: WireClock::new(),
+            retry: RetryPolicy::default(),
+            response_timeout: Duration::from_secs(30),
+            transport: TransportMetrics::default(),
+            retries: 0,
+        }
+    }
+
+    /// Inject `faults` on this client's send path (request direction).
+    pub fn with_faults(mut self, faults: WireFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Give up on any single response after `timeout`.
+    pub fn with_response_timeout(mut self, timeout: Duration) -> Self {
+        self.response_timeout = timeout;
+        self
+    }
+
+    /// Claim a different protocol version in the handshake (tests use
+    /// this to provoke [`TransportError::HandshakeMismatch`]).
+    pub fn with_claimed_protocol(mut self, protocol: u32) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    fn ensure_conn(&mut self) -> Result<(), TransportError> {
+        if self.io.is_some() {
+            return Ok(());
+        }
+        let transport = self.connector.dial()?;
+        let mut io = FrameIo::new(
+            transport,
+            self.client_id,
+            WireDir::ClientToServer,
+            self.faults.clone(),
+            Arc::clone(&self.clock),
+        );
+        io.send_frame(&encode_hello(
+            FrameKind::Hello,
+            self.client_id,
+            &Hello {
+                protocol: self.protocol,
+                max_payload: DEFAULT_MAX_PAYLOAD,
+                window: 1,
+            },
+        ))?;
+        let deadline = Instant::now() + self.response_timeout;
+        loop {
+            match io.recv_frame()? {
+                RecvFrame::Frame(f) if f.kind == FrameKind::HelloAck => {
+                    let ack = decode_hello(&f)?;
+                    if ack.protocol != self.protocol {
+                        return Err(TransportError::HandshakeMismatch {
+                            detail: format!(
+                                "server speaks protocol {}, we speak {}",
+                                ack.protocol, self.protocol
+                            ),
+                        });
+                    }
+                    break;
+                }
+                RecvFrame::Frame(f) => {
+                    return Err(TransportError::HandshakeMismatch {
+                        detail: format!("expected HelloAck, got {:?}", f.kind),
+                    });
+                }
+                RecvFrame::Eof => return Err(TransportError::ConnReset),
+                RecvFrame::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::ConnTimeout {
+                            waited_ms: self.response_timeout.as_millis() as u64,
+                        });
+                    }
+                }
+            }
+        }
+        self.io = Some(io);
+        Ok(())
+    }
+
+    fn attempt(&mut self, id: u64, req: &DecomposeRequest) -> Result<ServeResult, TransportError> {
+        self.ensure_conn()?;
+        let io = self.io.as_mut().expect("ensure_conn succeeded");
+        io.send_frame(&encode_request(id, req))?;
+        let deadline = Instant::now() + self.response_timeout;
+        loop {
+            match io.recv_frame()? {
+                RecvFrame::Frame(f) if f.kind == FrameKind::Response && f.id == id => {
+                    return Ok(decode_response(&f)?);
+                }
+                RecvFrame::Frame(f) if f.kind == FrameKind::Response => {
+                    // A stale response from an earlier attempt of an
+                    // earlier id; harmless, keep waiting for ours.
+                    debug_assert!(f.id < id, "responses never outrun requests");
+                }
+                RecvFrame::Frame(f) => {
+                    return Err(TransportError::FrameCorrupt {
+                        detail: format!("unexpected {:?} frame mid-stream", f.kind),
+                    });
+                }
+                RecvFrame::Eof => return Err(TransportError::ConnReset),
+                RecvFrame::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::ConnTimeout {
+                            waited_ms: self.response_timeout.as_millis() as u64,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submit one request and wait for its outcome, retrying
+    /// idempotently (same request id) across transport faults.
+    /// Handshake mismatches are terminal — retrying cannot fix a
+    /// protocol disagreement.
+    pub fn call(&mut self, req: &DecomposeRequest) -> Result<ServeResult, TransportError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.attempt(id, req) {
+                Ok(result) => return Ok(result),
+                Err(e @ TransportError::HandshakeMismatch { .. }) => {
+                    self.io = None;
+                    self.transport.count_error(&e);
+                    return Err(e);
+                }
+                Err(e) => {
+                    self.transport.count_error(&e);
+                    if let Some(io) = self.io.take() {
+                        self.transport.absorb_wire(&io.stats);
+                    }
+                    if attempt >= self.retry.max_attempts {
+                        return Err(e);
+                    }
+                    self.retries += 1;
+                    std::thread::sleep(Duration::from_secs_f64(self.retry.backoff_s(attempt)));
+                }
+            }
+        }
+    }
+
+    /// Clean goodbye: Bye frame, FIN, fold the connection's counters.
+    pub fn goodbye(&mut self) {
+        if let Some(mut io) = self.io.take() {
+            let _ = io.send_frame(&Frame {
+                kind: FrameKind::Bye,
+                id: self.client_id,
+                payload: Vec::new(),
+            });
+            io.shutdown_write();
+            self.transport.absorb_wire(&io.stats);
+        }
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.goodbye();
+    }
+}

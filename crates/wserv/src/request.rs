@@ -190,6 +190,32 @@ impl Rejection {
     }
 }
 
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { depth } => {
+                write!(f, "admission queue full at depth {depth}")
+            }
+            Rejection::Shed { by } => {
+                write!(f, "shed by arriving {} work", by.label())
+            }
+            Rejection::DeadlineExpired { deadline, now } => {
+                write!(f, "deadline {deadline} s expired at service time {now} s")
+            }
+            Rejection::Invalid { detail } => write!(f, "invalid request: {detail}"),
+            Rejection::Draining => write!(f, "service is draining"),
+            Rejection::ShardFailed { shard, restarts } => {
+                write!(f, "shard {shard} failed after {restarts} restarts")
+            }
+            Rejection::Requeued { attempts } => {
+                write!(f, "quarantined after {attempts} execution attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
 /// Counter buckets of the rejection taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RejectKind {

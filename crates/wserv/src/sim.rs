@@ -32,12 +32,15 @@ use std::collections::VecDeque;
 
 use crate::admission::{AdmissionQueue, Admit};
 use crate::cache::PlanCache;
-use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
+use crate::faults::{WireDir, WireFault, WireFaultPlan};
+use crate::metrics::{Histogram, LaneSplit, MetricsSnapshot, ShardMetrics};
+use crate::remote::RetryPolicy;
 use crate::request::{
     DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
 use crate::server::ServiceConfig;
 use crate::shard;
+use crate::transport::TransportError;
 use dwt::engine::PlanShape;
 
 /// Analytic stage costs, loosely calibrated to the measured engine
@@ -642,5 +645,650 @@ fn chaos_dispatch(
                 }));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop transport simulation
+// ---------------------------------------------------------------------
+
+/// Analytic price of the wire between a client and the service:
+/// serialization, framing, transfer, and propagation. All virtual
+/// seconds — the closed-loop simulator charges these to the
+/// Communication lane so the live benchmark can compare its measured
+/// framing cost against the model's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCostModel {
+    /// Encode + decode cost per payload byte (both ends combined).
+    pub ser_s_per_byte: f64,
+    /// Fixed cost per frame: header, checksum, syscall.
+    pub frame_overhead_s: f64,
+    /// Transfer cost per payload byte on the wire.
+    pub wire_s_per_byte: f64,
+    /// Propagation round trip.
+    pub rtt_s: f64,
+}
+
+impl Default for WireCostModel {
+    fn default() -> Self {
+        // Loopback-ish numbers: memcpy-rate serialization, ~10 Gb/s
+        // transfer, microseconds of per-frame overhead (header,
+        // checksum, syscall, scheduler wakeup).
+        WireCostModel {
+            ser_s_per_byte: 0.4e-9,
+            frame_overhead_s: 8e-6,
+            wire_s_per_byte: 0.8e-9,
+            rtt_s: 60e-6,
+        }
+    }
+}
+
+impl WireCostModel {
+    fn frame_s(&self, payload_bytes: f64) -> f64 {
+        self.frame_overhead_s
+            + payload_bytes * (self.ser_s_per_byte + self.wire_s_per_byte)
+            + self.rtt_s / 2.0
+    }
+
+    /// One-way cost of a request frame carrying `shape`'s image.
+    pub fn request_s(&self, shape: &PlanShape) -> f64 {
+        self.frame_s(shape.coeffs() as f64 * 8.0 + 64.0)
+    }
+
+    /// One-way cost of a successful response (a pyramid holds exactly
+    /// `coeffs()` coefficients).
+    pub fn response_ok_s(&self, shape: &PlanShape) -> f64 {
+        self.frame_s(shape.coeffs() as f64 * 8.0 + 64.0)
+    }
+
+    /// One-way cost of a rejection response (payload is a short tag).
+    pub fn response_err_s(&self) -> f64 {
+        self.frame_s(64.0)
+    }
+
+    /// Hello + HelloAck exchange on a fresh connection.
+    pub fn handshake_s(&self) -> f64 {
+        2.0 * self.frame_overhead_s
+            + 32.0 * (self.ser_s_per_byte + self.wire_s_per_byte)
+            + self.rtt_s
+    }
+
+    /// Validate the model. Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("ser_s_per_byte", self.ser_s_per_byte),
+            ("frame_overhead_s", self.frame_overhead_s),
+            ("wire_s_per_byte", self.wire_s_per_byte),
+            ("rtt_s", self.rtt_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shape of a closed-loop multi-client run: `clients` synchronous
+/// clients, each keeping exactly one outstanding request and submitting
+/// its next the moment the previous response lands.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub reqs_per_client: usize,
+    /// Client think time between a delivery and the next submit.
+    pub think_s: f64,
+    /// Stagger between client start times (client `c` connects at
+    /// `c * client_stagger_s`), breaking exact submission ties the way
+    /// real clients never tie.
+    pub client_stagger_s: f64,
+    /// Client-side retry policy — mirror the live clients'.
+    pub retry: RetryPolicy,
+    /// The wire price model.
+    pub wire: WireCostModel,
+    /// Seeded wire faults, sharing the live transports' coordinate
+    /// space: `conn` is the client id, frame 0 each direction is the
+    /// handshake, request `k`'s first attempt is client-to-server
+    /// frame `k + 1` when fault-free.
+    pub wire_faults: WireFaultPlan,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            clients: 4,
+            reqs_per_client: 16,
+            think_s: 0.0,
+            client_stagger_s: 5e-6,
+            retry: RetryPolicy::default(),
+            wire: WireCostModel::default(),
+            wire_faults: WireFaultPlan::none(),
+        }
+    }
+}
+
+impl ClosedLoopConfig {
+    /// Validate the configuration. Returns a human-readable reason on
+    /// failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clients == 0 {
+            return Err("clients must be >= 1".into());
+        }
+        for (name, v) in [
+            ("think_s", self.think_s),
+            ("client_stagger_s", self.client_stagger_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        self.retry.validate()?;
+        self.wire.validate()?;
+        self.wire_faults.validate()
+    }
+}
+
+/// What a closed-loop client observed for one of its requests: the
+/// service outcome it received, or the transport error it gave up with
+/// after exhausting its retry budget.
+pub type ClientOutcome = Result<ServeResult, TransportError>;
+
+/// Everything a closed-loop run produces.
+#[derive(Debug)]
+pub struct ClosedLoopReport {
+    /// Client-observed outcome per request, indexed
+    /// `client * reqs_per_client + k`.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Server-side metrics (the same shape [`run_chaos`] reports).
+    pub metrics: MetricsSnapshot,
+    /// Client-observed end-to-end latency per *delivered* request:
+    /// first submit to response in hand, across every retry.
+    pub latency: Histogram,
+    /// Virtual time at which the last shard went idle or the last
+    /// response landed, whichever is later.
+    pub makespan_s: f64,
+    /// Serialization + framing + transfer seconds across every frame
+    /// and handshake — the Communication-lane charge.
+    pub comm_s: f64,
+    /// Fault-detection, backoff, and stall seconds — the
+    /// FaultRecovery-lane charge.
+    pub fault_recovery_s: f64,
+    /// Client attempts beyond the first, summed over all requests.
+    pub retries: u64,
+    /// Responses the server re-sent from its resolution book instead
+    /// of re-executing.
+    pub replays: u64,
+    /// Frames placed on the wire in either direction, handshakes and
+    /// faulted frames included.
+    pub frames: u64,
+}
+
+impl ClosedLoopReport {
+    /// Requests that reached their client, per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let delivered = self.outcomes.iter().filter(|o| o.is_ok()).count();
+        if self.makespan_s > 0.0 {
+            delivered as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Running totals of wire time inside the closed-loop simulator.
+#[derive(Default)]
+struct WireLedger {
+    comm_s: f64,
+    fault_s: f64,
+    frames: u64,
+    retries: u64,
+    replays: u64,
+}
+
+/// Per-client state inside the closed-loop simulator.
+struct SimClient {
+    /// Next client-to-server frame index (0 was the Hello).
+    c2s: u64,
+    /// Next server-to-client frame index (0 was the HelloAck).
+    s2c: u64,
+    /// Request index this client issues next.
+    next_k: usize,
+    /// Time of the first attempt of the in-flight request.
+    first_submit: f64,
+    /// Attempts started on the in-flight request (1-based).
+    attempts: u32,
+    /// Outcome slot the client is waiting on, once its request has
+    /// reached the service.
+    waiting_ix: Option<usize>,
+}
+
+/// What the send half of one attempt concluded.
+enum SendHalf {
+    /// The frame arrives at the server at this time.
+    Arrives(f64),
+    /// The frame was lost; the client notices at this time.
+    Lost(f64, TransportError),
+}
+
+/// Walk one client-to-server frame through the fault plan.
+fn send_half(
+    cl: &ClosedLoopConfig,
+    sc: &mut SimClient,
+    conn: u64,
+    t: f64,
+    one_way: f64,
+    acc: &mut WireLedger,
+) -> SendHalf {
+    let idx = sc.c2s;
+    sc.c2s += 1;
+    acc.frames += 1;
+    match cl.wire_faults.decide(conn, WireDir::ClientToServer, idx) {
+        None => {
+            acc.comm_s += one_way;
+            SendHalf::Arrives(t + one_way)
+        }
+        Some(WireFault::Stall { seconds }) => {
+            acc.comm_s += one_way;
+            acc.fault_s += seconds;
+            SendHalf::Arrives(t + seconds + one_way)
+        }
+        Some(WireFault::Reset) | Some(WireFault::Truncate) => {
+            // Abortive close / mid-frame FIN: the sender's own stream
+            // errors within about a round trip.
+            let detect = one_way + cl.wire.rtt_s / 2.0;
+            acc.fault_s += detect;
+            SendHalf::Lost(t + detect, TransportError::ConnReset)
+        }
+        Some(WireFault::BitFlip { .. }) => {
+            // The server's checksum rejects the frame and aborts the
+            // connection; the client sees the reset a round trip later.
+            let detect = one_way + cl.wire.rtt_s;
+            acc.fault_s += detect;
+            SendHalf::Lost(t + detect, TransportError::ConnReset)
+        }
+    }
+}
+
+/// What the response delivery of one attempt concluded.
+enum RecvHalf {
+    /// The response lands at the client at this time.
+    Delivered(f64),
+    /// The response was lost; the client notices at this time.
+    Lost(f64, TransportError),
+}
+
+/// Walk one server-to-client frame through the fault plan.
+fn recv_half(
+    cl: &ClosedLoopConfig,
+    sc: &mut SimClient,
+    conn: u64,
+    t_res: f64,
+    one_way: f64,
+    acc: &mut WireLedger,
+) -> RecvHalf {
+    let idx = sc.s2c;
+    sc.s2c += 1;
+    acc.frames += 1;
+    match cl.wire_faults.decide(conn, WireDir::ServerToClient, idx) {
+        None => {
+            acc.comm_s += one_way;
+            RecvHalf::Delivered(t_res + one_way)
+        }
+        Some(WireFault::Stall { seconds }) => {
+            acc.comm_s += one_way;
+            acc.fault_s += seconds;
+            RecvHalf::Delivered(t_res + seconds + one_way)
+        }
+        Some(WireFault::Reset) | Some(WireFault::Truncate) => {
+            let detect = one_way + cl.wire.rtt_s / 2.0;
+            acc.fault_s += detect;
+            RecvHalf::Lost(t_res + detect, TransportError::ConnReset)
+        }
+        Some(WireFault::BitFlip { .. }) => {
+            // The client's own checksum rejects this one on receipt.
+            acc.fault_s += one_way;
+            RecvHalf::Lost(
+                t_res + one_way,
+                TransportError::FrameCorrupt {
+                    detail: "checksum mismatch".into(),
+                },
+            )
+        }
+    }
+}
+
+/// Charge one failed attempt: capped exponential backoff, then a fresh
+/// connection's handshake (which consumes one frame index in each
+/// direction, exactly like the live reconnect — handshake frames are
+/// never faulted themselves; the live connect path retries internally).
+fn pay_retry(cl: &ClosedLoopConfig, sc: &mut SimClient, t: f64, acc: &mut WireLedger) -> f64 {
+    acc.retries += 1;
+    let back = cl.retry.backoff_s(sc.attempts);
+    sc.attempts += 1;
+    sc.c2s += 1; // Hello
+    sc.s2c += 1; // HelloAck
+    acc.frames += 2;
+    let shake = cl.wire.handshake_s();
+    acc.fault_s += back;
+    acc.comm_s += shake;
+    t + back + shake
+}
+
+/// Send a request frame until it reaches the server or the attempt
+/// budget dies. `Ok` carries the arrival time, `Err` the give-up time
+/// and the error the client last saw.
+fn send_until_arrives(
+    cl: &ClosedLoopConfig,
+    sc: &mut SimClient,
+    conn: u64,
+    mut t: f64,
+    one_way: f64,
+    acc: &mut WireLedger,
+) -> Result<f64, (f64, TransportError)> {
+    loop {
+        match send_half(cl, sc, conn, t, one_way, acc) {
+            SendHalf::Arrives(ta) => return Ok(ta),
+            SendHalf::Lost(tl, err) => {
+                if sc.attempts >= cl.retry.max_attempts {
+                    return Err((tl, err));
+                }
+                t = pay_retry(cl, sc, tl, acc);
+            }
+        }
+    }
+}
+
+/// Deliver a resolved result to its client, replaying on response-path
+/// losses: each failed delivery costs a backoff + reconnect + request
+/// resend, and the server answers the resend from its resolution book
+/// (never by re-executing). `Ok` carries the delivery time.
+fn deliver_result(
+    cl: &ClosedLoopConfig,
+    sc: &mut SimClient,
+    conn: u64,
+    shape: &PlanShape,
+    t_res: f64,
+    res: &ServeResult,
+    acc: &mut WireLedger,
+) -> Result<f64, (f64, TransportError)> {
+    let one_way = match res {
+        Ok(_) => cl.wire.response_ok_s(shape),
+        Err(_) => cl.wire.response_err_s(),
+    };
+    let req_cost = cl.wire.request_s(shape);
+    let mut t = t_res;
+    loop {
+        match recv_half(cl, sc, conn, t, one_way, acc) {
+            RecvHalf::Delivered(td) => return Ok(td),
+            RecvHalf::Lost(tl, err) => {
+                if sc.attempts >= cl.retry.max_attempts {
+                    return Err((tl, err));
+                }
+                let t_re = pay_retry(cl, sc, tl, acc);
+                let ta = send_until_arrives(cl, sc, conn, t_re, req_cost, acc)?;
+                acc.replays += 1;
+                t = ta;
+            }
+        }
+    }
+}
+
+/// Move a client past its finished request: record the terminal moment
+/// and schedule the next submit (or retire the client).
+fn advance_client(
+    cl: &ClosedLoopConfig,
+    sc: &mut SimClient,
+    next_action: &mut Option<f64>,
+    t: f64,
+) {
+    sc.next_k += 1;
+    if sc.next_k < cl.reqs_per_client {
+        *next_action = Some(t + cl.think_s);
+    }
+}
+
+/// Turn freshly visible resolutions into deliveries. `now` is the
+/// event time that made them visible: a served outcome surfaced by the
+/// dispatch starting at `now` resolves at `now + service_s`; rejection
+/// moments not carried by the outcome use `now` itself.
+#[allow(clippy::too_many_arguments)]
+fn drain_resolutions(
+    cl: &ClosedLoopConfig,
+    shapes: &[PlanShape],
+    clients: &mut [SimClient],
+    next_action: &mut [Option<f64>],
+    outcomes: &[Option<ServeResult>],
+    client_out: &mut [Option<ClientOutcome>],
+    latency: &mut Histogram,
+    acc: &mut WireLedger,
+    last_delivery: &mut f64,
+    now: f64,
+) {
+    for c in 0..clients.len() {
+        let Some(ix) = clients[c].waiting_ix else {
+            continue;
+        };
+        let Some(res) = outcomes[ix].clone() else {
+            continue;
+        };
+        clients[c].waiting_ix = None;
+        let t_res = match &res {
+            Ok(resp) => now + resp.service_s,
+            Err(Rejection::DeadlineExpired { now: tx, .. }) => *tx,
+            Err(_) => now,
+        };
+        let conn = c as u64;
+        match deliver_result(cl, &mut clients[c], conn, &shapes[ix], t_res, &res, acc) {
+            Ok(td) => {
+                latency.record(td - clients[c].first_submit);
+                *last_delivery = last_delivery.max(td);
+                client_out[ix] = Some(Ok(res));
+                advance_client(cl, &mut clients[c], &mut next_action[c], td);
+            }
+            Err((tl, err)) => {
+                *last_delivery = last_delivery.max(tl);
+                client_out[ix] = Some(Err(err));
+                advance_client(cl, &mut clients[c], &mut next_action[c], tl);
+            }
+        }
+    }
+}
+
+/// Run the service under a closed-loop multi-client workload with the
+/// wire itself in the loop, and return client-observed outcomes and
+/// latencies.
+///
+/// This is the simulator's prediction of what [`crate::RemoteServer`]
+/// plus [`crate::RemoteClient`] do under the same
+/// `(config, wire_faults)` pair: each client keeps one outstanding
+/// request; every frame pays the [`WireCostModel`];
+/// [`WireFaultPlan`] faults consume the same
+/// `(conn = client id, dir, cumulative frame index)` coordinates the
+/// live transports consume. A lost request is resubmitted after capped
+/// exponential backoff and a reconnect; a lost *response* is recovered
+/// by resubmitting the id and replaying the server's recorded
+/// resolution — never by re-executing, exactly the live dedup book's
+/// contract.
+///
+/// The server side is the same joint event machinery as [`run_chaos`],
+/// so the configuration's [`crate::faults::ShardFaultPlan`] applies:
+/// worker kills, restart backoff, failover, poisoned batches, and
+/// degraded delivery all compose with wire faults. Everything is a
+/// pure function of the inputs — replays are byte-identical.
+///
+/// `requests` supplies each client's stream back to back:
+/// `requests[c * reqs_per_client + k]` is client `c`'s `k`-th request.
+pub fn run_closed_loop(
+    config: &ServiceConfig,
+    cost: &CostModel,
+    cl: &ClosedLoopConfig,
+    requests: Vec<DecomposeRequest>,
+) -> ClosedLoopReport {
+    let nshards = config.shards.max(1);
+    config
+        .faults
+        .validate(nshards)
+        .expect("invalid fault plan for this shard count");
+    cl.validate().expect("invalid closed-loop config");
+    assert_eq!(
+        requests.len(),
+        cl.clients * cl.reqs_per_client,
+        "need exactly clients * reqs_per_client requests"
+    );
+
+    let n = requests.len();
+    let shapes: Vec<PlanShape> = requests.iter().map(|r| r.shape()).collect();
+    let mut pool: Vec<Option<DecomposeRequest>> = requests.into_iter().map(Some).collect();
+    let mut outcomes: Vec<Option<ServeResult>> = (0..n).map(|_| None).collect();
+    let mut client_out: Vec<Option<ClientOutcome>> = (0..n).map(|_| None).collect();
+    let mut shards: Vec<ChaosShard> = (0..nshards).map(|_| ChaosShard::new(config)).collect();
+    let mut latency = Histogram::default();
+    let mut acc = WireLedger::default();
+    let mut last_delivery: f64 = 0.0;
+
+    // Every client connects (handshake already counted as frame 0 each
+    // way by starting the counters at 1) and schedules its first
+    // submit.
+    let mut clients: Vec<SimClient> = (0..cl.clients)
+        .map(|_| SimClient {
+            c2s: 1,
+            s2c: 1,
+            next_k: 0,
+            first_submit: 0.0,
+            attempts: 0,
+            waiting_ix: None,
+        })
+        .collect();
+    acc.frames += 2 * cl.clients as u64;
+    acc.comm_s += cl.wire.handshake_s() * cl.clients as f64;
+    let mut next_action: Vec<Option<f64>> = (0..cl.clients)
+        .map(|c| {
+            if cl.reqs_per_client == 0 {
+                None
+            } else {
+                Some(c as f64 * cl.client_stagger_s + cl.wire.handshake_s())
+            }
+        })
+        .collect();
+    // Request frames in flight toward the service:
+    // (arrival time, send order, outcome ix).
+    let mut wire_in: Vec<(f64, u64, usize)> = Vec::new();
+    let mut wire_seq = 0u64;
+
+    loop {
+        let next_submit = next_action
+            .iter()
+            .enumerate()
+            .filter_map(|(c, t)| t.map(|t| (t, c)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let next_arrival = wire_in
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
+            .map(|(pos, &(t, _, _))| (t, pos));
+        let next_dispatch = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, sh)| !sh.failed && !sh.queue.is_empty())
+            .map(|(s, sh)| (sh.t_free, s))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let ts = next_submit.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+        let ta = next_arrival.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+        let td = next_dispatch.map(|(t, _)| t).unwrap_or(f64::INFINITY);
+        if ts.is_infinite() && ta.is_infinite() && td.is_infinite() {
+            break;
+        }
+
+        if ts <= ta && ts <= td {
+            // A client starts its next request, walking send-half
+            // losses closed-form until the frame reaches the service
+            // (the server is oblivious until then, so nothing else can
+            // interleave).
+            let (_, c) = next_submit.expect("ts finite implies a submit");
+            next_action[c] = None;
+            let conn = c as u64;
+            let ix = c * cl.reqs_per_client + clients[c].next_k;
+            clients[c].first_submit = ts;
+            clients[c].attempts = 1;
+            let one_way = cl.wire.request_s(&shapes[ix]);
+            match send_until_arrives(cl, &mut clients[c], conn, ts, one_way, &mut acc) {
+                Ok(tarr) => {
+                    wire_in.push((tarr, wire_seq, ix));
+                    wire_seq += 1;
+                    clients[c].waiting_ix = Some(ix);
+                }
+                Err((tl, err)) => {
+                    last_delivery = last_delivery.max(tl);
+                    client_out[ix] = Some(Err(err));
+                    advance_client(cl, &mut clients[c], &mut next_action[c], tl);
+                }
+            }
+        } else if ta <= td {
+            // A request frame reaches the service.
+            let (_, pos) = next_arrival.expect("ta finite implies an arrival");
+            let (t, _, ix) = wire_in.remove(pos);
+            let req = pool[ix].take().expect("each request arrives once");
+            if let Err(rejection) = req.validate() {
+                let home = shard::shard_of(&req.shape(), nshards);
+                shards[home].queue.counters.reject(RejectKind::Invalid);
+                outcomes[ix] = Some(Err(rejection));
+            } else {
+                chaos_arrival(&mut shards, t, ix, req, &mut outcomes);
+            }
+            drain_resolutions(
+                cl,
+                &shapes,
+                &mut clients,
+                &mut next_action,
+                &outcomes,
+                &mut client_out,
+                &mut latency,
+                &mut acc,
+                &mut last_delivery,
+                t,
+            );
+        } else {
+            let (t, s) = next_dispatch.expect("td finite implies a dispatch");
+            chaos_dispatch(&mut shards, config, cost, s, &mut outcomes);
+            drain_resolutions(
+                cl,
+                &shapes,
+                &mut clients,
+                &mut next_action,
+                &outcomes,
+                &mut client_out,
+                &mut latency,
+                &mut acc,
+                &mut last_delivery,
+                t,
+            );
+        }
+    }
+
+    let mut makespan_s = last_delivery;
+    let mut out_shards = Vec::with_capacity(nshards);
+    for mut sh in shards {
+        makespan_s = makespan_s.max(sh.t_free);
+        sh.metrics.queue = sh.queue.counters.clone();
+        sh.metrics.absorb_cache(&sh.cache);
+        sh.metrics.finalize(sh.t_free);
+        out_shards.push(sh.metrics);
+    }
+    ClosedLoopReport {
+        outcomes: client_out
+            .into_iter()
+            .map(|o| o.expect("every request terminates at its client"))
+            .collect(),
+        metrics: MetricsSnapshot { shards: out_shards },
+        latency,
+        makespan_s,
+        comm_s: acc.comm_s,
+        fault_recovery_s: acc.fault_s,
+        retries: acc.retries,
+        replays: acc.replays,
+        frames: acc.frames,
     }
 }

@@ -1,0 +1,766 @@
+//! The `wserv` wire protocol: length-prefixed binary frames.
+//!
+//! Every message on a remote connection is one frame:
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  -----------------------------------------------
+//!       0     4  magic  = "WSRV"
+//!       4     1  protocol version (= 1)
+//!       5     1  frame kind (Hello / HelloAck / Request / Response / Bye)
+//!       6     2  reserved, must be zero
+//!       8     8  request id (client-assigned; client id for Hello)
+//!      16     4  payload length N (little-endian, bounded)
+//!      20     N  payload (kind-specific encoding)
+//!    20+N     8  checksum = FNV-1a 64 over bytes [0, 20+N)
+//! ```
+//!
+//! All integers are little-endian; all floating-point payloads are
+//! IEEE-754 bit patterns, so encode→decode round-trips *bitwise* — the
+//! property tests pin that down. The decoder is incremental (feed it a
+//! growing byte buffer) and total: arbitrary input never panics, it
+//! yields a typed [`WireError`] or asks for more bytes. A frame whose
+//! checksum does not match its bytes is [`WireError::FrameCorrupt`]; a
+//! frame whose declared payload exceeds the receive window is
+//! [`WireError::FrameTooLarge`] *before* any allocation of that size.
+
+use std::fmt;
+
+use crate::request::{DecomposeRequest, DecomposeResponse, Priority, Rejection, ServeResult};
+use dwt::lifting::LiftingKind;
+use dwt::{Boundary, FilterBank, Matrix, Pyramid, Subbands};
+
+/// Frame magic: `"WSRV"`.
+pub const MAGIC: [u8; 4] = *b"WSRV";
+/// Protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed header bytes before the payload.
+pub const HEADER_LEN: usize = 20;
+/// Trailing checksum bytes after the payload.
+pub const TRAILER_LEN: usize = 8;
+/// Default receive window for one frame's payload (16 MiB).
+pub const DEFAULT_MAX_PAYLOAD: u32 = 16 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client handshake: id field is the client id, payload is
+    /// [`Hello`].
+    Hello = 0,
+    /// Server handshake reply, payload is [`Hello`] (the server's view).
+    HelloAck = 1,
+    /// A [`DecomposeRequest`], id field is the client-assigned request
+    /// id (the dedup key for idempotent resubmits).
+    Request = 2,
+    /// A [`ServeResult`] for the request with the same id.
+    Response = 3,
+    /// Clean goodbye before FIN; no payload.
+    Bye = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::HelloAck),
+            2 => Some(FrameKind::Request),
+            3 => Some(FrameKind::Response),
+            4 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the payload encodes.
+    pub kind: FrameKind,
+    /// Request id (client id for handshake frames).
+    pub id: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Typed decode failure. Every malformed, truncated, or adversarial
+/// input maps to exactly one of these — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes cannot be a frame: bad magic, unknown version or kind,
+    /// nonzero reserved bits, checksum mismatch, truncated input, or a
+    /// payload that does not parse as its kind.
+    FrameCorrupt {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The declared payload length exceeds the receive window. Raised
+    /// before any payload-sized allocation.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u64,
+        /// The receive window it exceeded.
+        max: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::FrameCorrupt { detail } => write!(f, "corrupt frame: {detail}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload {len} B exceeds the {max} B receive window"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn corrupt(detail: impl Into<String>) -> WireError {
+    WireError::FrameCorrupt {
+        detail: detail.into(),
+    }
+}
+
+/// FNV-1a 64 over `bytes` — the same construction shard routing uses,
+/// chosen for stability by specification.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode one frame to bytes (header, payload, checksum).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(frame.kind as u8);
+    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&frame.id.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Incremental decode: `Ok(None)` means the buffer holds a valid prefix
+/// of a frame and more bytes are needed; `Ok(Some((frame, consumed)))`
+/// yields one frame and how many bytes it spanned. Errors are terminal
+/// for the byte stream (framing is lost once bytes are untrustworthy).
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        // Reject bad magic as soon as the bytes disagree, without
+        // waiting for a full header.
+        let n = buf.len().min(4);
+        if buf[..n] != MAGIC[..n] {
+            return Err(corrupt("bad magic"));
+        }
+        return Ok(None);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return Err(corrupt(format!(
+            "protocol version {} (this build speaks {PROTOCOL_VERSION})",
+            buf[4]
+        )));
+    }
+    let Some(kind) = FrameKind::from_u8(buf[5]) else {
+        return Err(corrupt(format!("unknown frame kind {}", buf[5])));
+    };
+    if buf[6] != 0 || buf[7] != 0 {
+        return Err(corrupt("nonzero reserved bits"));
+    }
+    let id = u64::from_le_bytes(buf[8..16].try_into().expect("slice is 8 bytes"));
+    let len = u32::from_le_bytes(buf[16..20].try_into().expect("slice is 4 bytes"));
+    if len > max_payload {
+        return Err(WireError::FrameTooLarge {
+            len: len as u64,
+            max: max_payload as u64,
+        });
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = &buf[..HEADER_LEN + len as usize];
+    let declared = u64::from_le_bytes(
+        buf[HEADER_LEN + len as usize..total]
+            .try_into()
+            .expect("slice is 8 bytes"),
+    );
+    if checksum(body) != declared {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(Some((
+        Frame {
+            kind,
+            id,
+            payload: body[HEADER_LEN..].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// Decode a buffer that must hold exactly one complete frame (the
+/// non-streaming entry point the property tests drive): truncated input
+/// and trailing garbage are both [`WireError::FrameCorrupt`].
+pub fn decode_complete(buf: &[u8], max_payload: u32) -> Result<Frame, WireError> {
+    match decode_frame(buf, max_payload)? {
+        None => Err(corrupt("truncated frame")),
+        Some((frame, consumed)) if consumed == buf.len() => Ok(frame),
+        Some(_) => Err(corrupt("trailing bytes after frame")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs. Each reads through a bounds-checked cursor so short or
+// oversized payloads surface as FrameCorrupt, never a panic.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("payload shorter than its fields"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `len`-prefixed f64 plane of exactly `n` values.
+    fn plane(&mut self, n: usize) -> Result<Vec<f64>, WireError> {
+        let bytes = self.take(n.checked_mul(8).ok_or_else(|| corrupt("plane overflow"))?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes in payload"))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_plane(out: &mut Vec<u8>, data: &[f64]) {
+    for v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Guard a decoded `rows x cols` geometry against adversarial sizes:
+/// the element count must agree with what the payload can actually
+/// hold, which the cursor enforces by refusing short reads.
+fn matrix(r: &mut Reader<'_>) -> Result<Matrix, WireError> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| corrupt("matrix dims overflow"))?;
+    let data = r.plane(n)?;
+    Matrix::from_vec(rows, cols, data).map_err(|e| corrupt(e.to_string()))
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    put_plane(out, m.data());
+}
+
+/// Handshake payload: what each side speaks and the windows it offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the sender speaks.
+    pub protocol: u32,
+    /// Largest frame payload the sender will accept.
+    pub max_payload: u32,
+    /// In-flight request window the sender honors per connection.
+    pub window: u32,
+}
+
+/// Encode a handshake frame (`Hello` from clients, `HelloAck` from the
+/// server). The frame id carries the client id.
+pub fn encode_hello(kind: FrameKind, client_id: u64, hello: &Hello) -> Frame {
+    let mut payload = Vec::with_capacity(12);
+    payload.extend_from_slice(&hello.protocol.to_le_bytes());
+    payload.extend_from_slice(&hello.max_payload.to_le_bytes());
+    payload.extend_from_slice(&hello.window.to_le_bytes());
+    Frame {
+        kind,
+        id: client_id,
+        payload,
+    }
+}
+
+/// Decode a handshake payload.
+pub fn decode_hello(frame: &Frame) -> Result<Hello, WireError> {
+    let mut r = Reader::new(&frame.payload);
+    let hello = Hello {
+        protocol: r.u32()?,
+        max_payload: r.u32()?,
+        window: r.u32()?,
+    };
+    r.done()?;
+    Ok(hello)
+}
+
+fn encode_bank(out: &mut Vec<u8>, bank: &FilterBank) {
+    match bank.lifting_kind() {
+        Some(LiftingKind::LeGall53) => out.push(1),
+        Some(LiftingKind::Cdf97) => out.push(2),
+        None => {
+            // Orthonormal banks reconstruct exactly from their low-pass
+            // taps (the high-pass is the deterministic alternating
+            // flip), so ship name + taps bit-exactly.
+            out.push(0);
+            put_string(out, bank.name());
+            out.extend_from_slice(&(bank.low().len() as u32).to_le_bytes());
+            put_plane(out, bank.low());
+        }
+    }
+}
+
+fn decode_bank(r: &mut Reader<'_>) -> Result<FilterBank, WireError> {
+    match r.u8()? {
+        1 => Ok(FilterBank::cdf53()),
+        2 => Ok(FilterBank::cdf97()),
+        0 => {
+            let name = r.string()?;
+            let taps = r.u32()? as usize;
+            let low = r.plane(taps)?;
+            FilterBank::from_lowpass(name, low).map_err(|e| corrupt(e.to_string()))
+        }
+        k => Err(corrupt(format!("unknown filter-bank tag {k}"))),
+    }
+}
+
+fn boundary_tag(mode: Boundary) -> u8 {
+    match mode {
+        Boundary::Periodic => 0,
+        Boundary::Symmetric => 1,
+        Boundary::Zero => 2,
+    }
+}
+
+fn decode_boundary(tag: u8) -> Result<Boundary, WireError> {
+    match tag {
+        0 => Ok(Boundary::Periodic),
+        1 => Ok(Boundary::Symmetric),
+        2 => Ok(Boundary::Zero),
+        t => Err(corrupt(format!("unknown boundary tag {t}"))),
+    }
+}
+
+fn priority_tag(p: Priority) -> u8 {
+    p as u8
+}
+
+fn decode_priority(tag: u8) -> Result<Priority, WireError> {
+    match tag {
+        0 => Ok(Priority::Batch),
+        1 => Ok(Priority::Standard),
+        2 => Ok(Priority::Interactive),
+        t => Err(corrupt(format!("unknown priority tag {t}"))),
+    }
+}
+
+/// Encode one request as a [`FrameKind::Request`] frame with id `id`.
+pub fn encode_request(id: u64, req: &DecomposeRequest) -> Frame {
+    let mut payload = Vec::with_capacity(16 + req.image.data().len() * 8);
+    payload.push(priority_tag(req.priority));
+    payload.push(boundary_tag(req.mode));
+    payload.push(req.deadline.is_some() as u8);
+    payload.push(0);
+    payload.extend_from_slice(&(req.levels as u32).to_le_bytes());
+    if let Some(d) = req.deadline {
+        payload.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+    encode_bank(&mut payload, &req.bank);
+    put_matrix(&mut payload, &req.image);
+    Frame {
+        kind: FrameKind::Request,
+        id,
+        payload,
+    }
+}
+
+/// Decode a [`FrameKind::Request`] payload.
+pub fn decode_request(frame: &Frame) -> Result<DecomposeRequest, WireError> {
+    let mut r = Reader::new(&frame.payload);
+    let priority = decode_priority(r.u8()?)?;
+    let mode = decode_boundary(r.u8()?)?;
+    let has_deadline = match r.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(corrupt(format!("bad deadline flag {t}"))),
+    };
+    if r.u8()? != 0 {
+        return Err(corrupt("nonzero request padding"));
+    }
+    let levels = r.u32()? as usize;
+    let deadline = if has_deadline { Some(r.f64()?) } else { None };
+    let bank = decode_bank(&mut r)?;
+    let image = matrix(&mut r)?;
+    r.done()?;
+    Ok(DecomposeRequest {
+        image,
+        bank,
+        levels,
+        mode,
+        priority,
+        deadline,
+    })
+}
+
+fn encode_pyramid(out: &mut Vec<u8>, pyr: &Pyramid) {
+    let (rows, cols) = pyr.image_dims();
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    out.extend_from_slice(&(pyr.levels() as u32).to_le_bytes());
+    put_plane(out, pyr.approx.data());
+    for bands in &pyr.detail {
+        put_plane(out, bands.lh.data());
+        put_plane(out, bands.hl.data());
+        put_plane(out, bands.hh.data());
+    }
+}
+
+fn decode_pyramid(r: &mut Reader<'_>) -> Result<Pyramid, WireError> {
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let levels = r.u32()? as usize;
+    if levels == 0 || levels >= 32 {
+        return Err(corrupt(format!("pyramid depth {levels} out of range")));
+    }
+    if rows >> levels << levels != rows || cols >> levels << levels != cols {
+        return Err(corrupt(format!(
+            "pyramid dims {rows}x{cols} do not divide by 2^{levels}"
+        )));
+    }
+    let band = |r: &mut Reader<'_>, h: usize, w: usize| -> Result<Matrix, WireError> {
+        let data = r.plane(h.checked_mul(w).ok_or_else(|| corrupt("band overflow"))?)?;
+        Matrix::from_vec(h, w, data).map_err(|e| corrupt(e.to_string()))
+    };
+    let approx = band(r, rows >> levels, cols >> levels)?;
+    let mut detail = Vec::with_capacity(levels);
+    for level in 1..=levels {
+        let (h, w) = (rows >> level, cols >> level);
+        detail.push(Subbands {
+            lh: band(r, h, w)?,
+            hl: band(r, h, w)?,
+            hh: band(r, h, w)?,
+        });
+    }
+    Ok(Pyramid { approx, detail })
+}
+
+fn encode_rejection(out: &mut Vec<u8>, rej: &Rejection) {
+    match rej {
+        Rejection::QueueFull { depth } => {
+            out.push(0);
+            out.extend_from_slice(&(*depth as u64).to_le_bytes());
+        }
+        Rejection::Shed { by } => {
+            out.push(1);
+            out.push(priority_tag(*by));
+        }
+        Rejection::DeadlineExpired { deadline, now } => {
+            out.push(2);
+            out.extend_from_slice(&deadline.to_bits().to_le_bytes());
+            out.extend_from_slice(&now.to_bits().to_le_bytes());
+        }
+        Rejection::Invalid { detail } => {
+            out.push(3);
+            put_string(out, detail);
+        }
+        Rejection::Draining => out.push(4),
+        Rejection::ShardFailed { shard, restarts } => {
+            out.push(5);
+            out.extend_from_slice(&(*shard as u64).to_le_bytes());
+            out.extend_from_slice(&restarts.to_le_bytes());
+        }
+        Rejection::Requeued { attempts } => {
+            out.push(6);
+            out.extend_from_slice(&attempts.to_le_bytes());
+        }
+    }
+}
+
+fn decode_rejection(r: &mut Reader<'_>) -> Result<Rejection, WireError> {
+    Ok(match r.u8()? {
+        0 => Rejection::QueueFull {
+            depth: r.u64()? as usize,
+        },
+        1 => Rejection::Shed {
+            by: decode_priority(r.u8()?)?,
+        },
+        2 => Rejection::DeadlineExpired {
+            deadline: r.f64()?,
+            now: r.f64()?,
+        },
+        3 => Rejection::Invalid {
+            detail: r.string()?,
+        },
+        4 => Rejection::Draining,
+        5 => Rejection::ShardFailed {
+            shard: r.u64()? as usize,
+            restarts: r.u32()?,
+        },
+        6 => Rejection::Requeued { attempts: r.u32()? },
+        t => return Err(corrupt(format!("unknown rejection tag {t}"))),
+    })
+}
+
+/// Encode one terminal outcome as a [`FrameKind::Response`] frame.
+pub fn encode_response(id: u64, result: &ServeResult) -> Frame {
+    let mut payload = Vec::new();
+    match result {
+        Ok(resp) => {
+            payload.push(0);
+            payload.push(resp.cache_hit as u8);
+            payload.push(resp.degraded as u8);
+            payload.push(0);
+            payload.extend_from_slice(&(resp.batch_size as u32).to_le_bytes());
+            payload.extend_from_slice(&resp.wait_s.to_bits().to_le_bytes());
+            payload.extend_from_slice(&resp.service_s.to_bits().to_le_bytes());
+            payload.extend_from_slice(&resp.error_bound.to_bits().to_le_bytes());
+            encode_pyramid(&mut payload, &resp.pyramid);
+        }
+        Err(rej) => {
+            payload.push(1);
+            encode_rejection(&mut payload, rej);
+        }
+    }
+    Frame {
+        kind: FrameKind::Response,
+        id,
+        payload,
+    }
+}
+
+/// Decode a [`FrameKind::Response`] payload.
+pub fn decode_response(frame: &Frame) -> Result<ServeResult, WireError> {
+    let mut r = Reader::new(&frame.payload);
+    let result = match r.u8()? {
+        0 => {
+            let cache_hit = r.u8()? != 0;
+            let degraded = r.u8()? != 0;
+            if r.u8()? != 0 {
+                return Err(corrupt("nonzero response padding"));
+            }
+            let batch_size = r.u32()? as usize;
+            let wait_s = r.f64()?;
+            let service_s = r.f64()?;
+            let error_bound = r.f64()?;
+            let pyramid = decode_pyramid(&mut r)?;
+            Ok(DecomposeResponse {
+                pyramid,
+                cache_hit,
+                batch_size,
+                wait_s,
+                service_s,
+                degraded,
+                error_bound,
+            })
+        }
+        1 => Err(decode_rejection(&mut r)?),
+        t => return Err(corrupt(format!("unknown outcome tag {t}"))),
+    };
+    r.done()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> DecomposeRequest {
+        let img = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f64 - 31.5);
+        DecomposeRequest::new(img, FilterBank::haar(), 2)
+            .with_priority(Priority::Interactive)
+            .with_deadline(0.125)
+    }
+
+    #[test]
+    fn frames_round_trip_bitwise() {
+        let req = sample_request();
+        for frame in [
+            encode_hello(
+                FrameKind::Hello,
+                7,
+                &Hello {
+                    protocol: PROTOCOL_VERSION as u32,
+                    max_payload: DEFAULT_MAX_PAYLOAD,
+                    window: 4,
+                },
+            ),
+            encode_request(42, &req),
+            encode_response(
+                42,
+                &Err(Rejection::ShardFailed {
+                    shard: 2,
+                    restarts: 3,
+                }),
+            ),
+            Frame {
+                kind: FrameKind::Bye,
+                id: 0,
+                payload: Vec::new(),
+            },
+        ] {
+            let bytes = encode_frame(&frame);
+            let decoded = decode_complete(&bytes, DEFAULT_MAX_PAYLOAD).expect("valid frame");
+            assert_eq!(decoded, frame);
+        }
+        let back = decode_request(&encode_request(9, &req)).expect("valid request payload");
+        assert_eq!(back.image, req.image);
+        assert_eq!(back.bank, req.bank);
+        assert_eq!(back.levels, req.levels);
+        assert_eq!(back.deadline, req.deadline);
+        assert_eq!(back.priority, req.priority);
+    }
+
+    #[test]
+    fn banks_round_trip_including_lifting_kinds() {
+        for bank in [
+            FilterBank::haar(),
+            FilterBank::daubechies(4).unwrap(),
+            FilterBank::cdf53(),
+            FilterBank::cdf97(),
+        ] {
+            let mut out = Vec::new();
+            encode_bank(&mut out, &bank);
+            let got = decode_bank(&mut Reader::new(&out)).expect("valid bank");
+            assert_eq!(got, bank);
+            assert_eq!(got.lifting_kind(), bank.lifting_kind());
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let bytes = encode_frame(&encode_request(1, &sample_request()));
+        for pos in [4usize, 9, HEADER_LEN + 3, bytes.len() - 12] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            let err = decode_complete(&bad, DEFAULT_MAX_PAYLOAD).expect_err("flip must fail");
+            assert!(matches!(err, WireError::FrameCorrupt { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_too_large_before_allocation() {
+        let mut bytes = encode_frame(&Frame {
+            kind: FrameKind::Bye,
+            id: 0,
+            payload: Vec::new(),
+        });
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&bytes, 1024) {
+            Err(WireError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let bytes = encode_frame(&encode_request(1, &sample_request()));
+        for cut in [
+            0usize,
+            3,
+            7,
+            HEADER_LEN - 1,
+            HEADER_LEN + 5,
+            bytes.len() - 1,
+        ] {
+            match decode_frame(&bytes[..cut], DEFAULT_MAX_PAYLOAD) {
+                Ok(None) | Err(WireError::FrameCorrupt { .. }) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+            assert!(matches!(
+                decode_complete(&bytes[..cut], DEFAULT_MAX_PAYLOAD),
+                Err(WireError::FrameCorrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn streaming_decode_consumes_exactly_one_frame() {
+        let a = encode_frame(&encode_request(1, &sample_request()));
+        let b = encode_frame(&Frame {
+            kind: FrameKind::Bye,
+            id: 9,
+            payload: Vec::new(),
+        });
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (f1, n1) = decode_frame(&stream, DEFAULT_MAX_PAYLOAD)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(n1, a.len());
+        assert_eq!(f1.kind, FrameKind::Request);
+        let (f2, n2) = decode_frame(&stream[n1..], DEFAULT_MAX_PAYLOAD)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(n2, b.len());
+        assert_eq!(f2.kind, FrameKind::Bye);
+        assert_eq!(f2.id, 9);
+    }
+}

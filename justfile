@@ -82,6 +82,24 @@ chaos-smoke:
 serve-bench:
     cargo run --release -p bench --bin bench_service
 
+# Remote-transport gate: the wire-protocol property tests, the
+# end-to-end remote suite (exactly-once under seeded wire faults,
+# backpressure, drain with half-open connections, shim/TCP parity), and
+# the full-scale transport rows of BENCH_service.json (closed-loop sim
+# sweep plus the live shim-vs-TCP failover run; the binary itself
+# asserts zero lost requests and identical resolution books).
+remote-bench:
+    cargo test -q --release --test wire_properties --test wserv_remote
+    cargo run --release -p bench --bin bench_service
+
+# Downscaled remote-transport gate as CI runs it: same tests, smoke
+# bench, then schema + zero-lost + sim-vs-live assertions on the
+# transport_results and transport_live rows.
+remote-bench-smoke:
+    cargo test -q --test wire_properties --test wserv_remote
+    WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
+    python3 -c "import json; d = json.load(open('target/BENCH_service_smoke.json')); rows = d['transport_results']; required = {'scenario', 'clients', 'reqs_per_client', 'delivered', 'retries', 'replays', 'frames', 'p50_ms', 'p95_ms', 'p99_ms', 'comm_ms', 'fault_recovery_ms', 'throughput_hz', 'makespan_s'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; names = {r['scenario'] for r in rows}; assert {'clean_wire', 'wire_chaos', 'failover_under_load'} <= names, names; lost = [(r['scenario'], r['clients'] * r['reqs_per_client'] - r['delivered']) for r in rows if r['delivered'] != r['clients'] * r['reqs_per_client']]; assert not lost, lost; chaos = next(r for r in rows if r['scenario'] == 'wire_chaos'); assert chaos['retries'] > 0 and chaos['replays'] > 0, 'wire chaos fired no faults'; live = d['transport_live']; assert {r['transport'] for r in live} == {'shim', 'tcp'}, live; comp = [(r['transport'], r['clients'] * r['reqs_per_client'] - r['completed']) for r in live if r['completed'] != r['clients'] * r['reqs_per_client']]; assert not comp, comp; assert all(r['sim_p99_ms'] > 0 and r['p99_ms'] > 0 for r in live), 'missing tail latencies'; print('remote smoke OK:', len(rows), 'sim rows,', len(live), 'live rows')"
+
 # Downscaled serving bench CI runs: fixed seed, small grid, writes
 # target/BENCH_service_smoke.json and asserts the same dominance and
 # reproducibility conditions.

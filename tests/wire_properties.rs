@@ -1,0 +1,258 @@
+//! Wire-protocol invariants:
+//!
+//! 1. the frame decoder never panics: arbitrary bytes produce either a
+//!    decoded frame, a "need more bytes", or a *typed* [`WireError`] —
+//!    nothing else, no matter the input;
+//! 2. encode → decode is a bitwise round trip for frames, handshakes,
+//!    requests, and responses (f64 payloads travel as IEEE-754 bit
+//!    patterns, so NaN payloads and negative zeros survive);
+//! 3. flipping any single bit of an encoded frame never yields a
+//!    silently-accepted frame: the checksum (or a structural check)
+//!    catches it with a typed error.
+
+use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use proptest::prelude::*;
+use wserv::request::DecomposeResponse;
+use wserv::wire::{
+    decode_complete, decode_frame, decode_request, decode_response, encode_frame, encode_request,
+    encode_response, Frame, FrameKind, DEFAULT_MAX_PAYLOAD,
+};
+use wserv::{DecomposeRequest, Priority, Rejection, ServeResult};
+
+fn kind(tag: u8) -> FrameKind {
+    match tag % 5 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::HelloAck,
+        2 => FrameKind::Request,
+        3 => FrameKind::Response,
+        _ => FrameKind::Bye,
+    }
+}
+
+fn image(n: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r as u64 * 31 + c as u64 * 17 + salt * 7) % 61) as f64 - 30.5
+    })
+}
+
+fn bank(tag: u8) -> FilterBank {
+    match tag % 4 {
+        0 => FilterBank::haar(),
+        1 => FilterBank::daubechies(4).expect("D4 exists"),
+        2 => FilterBank::cdf53(),
+        _ => FilterBank::cdf97(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes through the incremental decoder: no panic, and
+    /// every outcome is one of the three legal ones. The small
+    /// `max_payload` exercises the `FrameTooLarge` guard.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255u8, 0..512),
+        max in 0u32..4096,
+    ) {
+        match decode_frame(&bytes, max) {
+            Ok(Some((frame, consumed))) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(frame.payload.len() <= max as usize);
+            }
+            Ok(None) => {}  // legitimately incomplete
+            Err(e) => {
+                // Typed errors only; Display must not panic either.
+                let _ = e.to_string();
+            }
+        }
+        match decode_complete(&bytes, max) {
+            Ok(frame) => prop_assert!(frame.payload.len() <= max as usize),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Arbitrary bytes *with* a valid magic prefix — deeper coverage of
+    /// the header and checksum paths than fully random noise reaches.
+    #[test]
+    fn decoder_never_panics_on_magic_prefixed_bytes(
+        tail in prop::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let mut bytes = b"WSRV".to_vec();
+        bytes.extend_from_slice(&tail);
+        match decode_frame(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Ok(Some((_, consumed))) => prop_assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// encode → decode is bitwise for raw frames, both through the
+    /// incremental decoder (with trailing garbage after the frame) and
+    /// the complete-buffer decoder.
+    #[test]
+    fn frame_round_trips_bitwise(
+        tag in 0u8..5,
+        id in 0u64..u64::MAX,
+        payload in prop::collection::vec(0u8..=255u8, 0..300),
+        garbage in prop::collection::vec(0u8..=255u8, 0..16),
+    ) {
+        let frame = Frame { kind: kind(tag), id, payload };
+        let mut bytes = encode_frame(&frame);
+        let framed_len = bytes.len();
+        let (back, consumed) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD)
+            .expect("valid frame decodes")
+            .expect("complete frame is not 'need more'");
+        prop_assert_eq!(consumed, framed_len);
+        prop_assert_eq!(&back, &frame);
+        // Trailing bytes beyond the frame must not disturb the decode.
+        bytes.extend_from_slice(&garbage);
+        let (again, consumed) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD)
+            .expect("valid frame decodes with trailing bytes")
+            .expect("complete frame is not 'need more'");
+        prop_assert_eq!(consumed, framed_len);
+        prop_assert_eq!(&again, &frame);
+    }
+
+    /// Any single-bit corruption of an encoded frame is caught: the
+    /// decoder never silently accepts a flipped frame. (A flip in the
+    /// length field may legally read as "need more bytes" or "frame too
+    /// large"; what it must never do is return a *different* frame.)
+    #[test]
+    fn single_bit_flip_never_passes(
+        tag in 0u8..5,
+        id in 0u64..u64::MAX,
+        payload in prop::collection::vec(0u8..=255u8, 1..128),
+        flip_seed in 0usize..usize::MAX,
+    ) {
+        let frame = Frame { kind: kind(tag), id, payload };
+        let mut bytes = encode_frame(&frame);
+        let bit = flip_seed % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match decode_complete(&bytes, DEFAULT_MAX_PAYLOAD) {
+            Ok(decoded) => panic!(
+                "bit {} flipped yet decode produced kind {:?} id {}",
+                bit, decoded.kind, decoded.id
+            ),
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+
+    /// Requests round-trip bitwise through the wire codec: geometry,
+    /// filter taps, boundary mode, priority, and deadline all survive,
+    /// and the image comes back bit-identical.
+    #[test]
+    fn request_round_trips_bitwise(
+        size_tag in 0usize..3,
+        bank_tag in 0u8..4,
+        levels in 1usize..3,
+        prio in 0usize..3,
+        mode_tag in 0u8..3,
+        salt in 0u64..1000,
+        deadline in 0.0f64..=10.0,
+        with_deadline in 0u8..2,
+        id in 0u64..u64::MAX,
+    ) {
+        let n = [16usize, 32, 48][size_tag];
+        let mode = match mode_tag {
+            0 => Boundary::Periodic,
+            1 => Boundary::Symmetric,
+            _ => Boundary::Zero,
+        };
+        let mut req = DecomposeRequest::new(image(n, salt), bank(bank_tag), levels)
+            .with_priority(Priority::ALL[prio])
+            .with_mode(mode);
+        if with_deadline == 1 {
+            req = req.with_deadline(deadline);
+        }
+        let frame = encode_request(id, &req);
+        prop_assert_eq!(frame.id, id);
+        let back = decode_request(&frame).expect("encoded request decodes");
+        prop_assert_eq!(back.levels, req.levels);
+        prop_assert_eq!(back.mode, req.mode);
+        prop_assert_eq!(back.priority, req.priority);
+        prop_assert_eq!(
+            back.deadline.map(f64::to_bits),
+            req.deadline.map(f64::to_bits)
+        );
+        prop_assert_eq!(back.bank.name(), req.bank.name());
+        let taps_back: Vec<u64> = back.bank.low().iter().map(|t| t.to_bits()).collect();
+        let taps: Vec<u64> = req.bank.low().iter().map(|t| t.to_bits()).collect();
+        prop_assert_eq!(taps_back, taps);
+        prop_assert_eq!(back.image.rows(), req.image.rows());
+        prop_assert_eq!(back.image.cols(), req.image.cols());
+        let img_back: Vec<u64> = back.image.data().iter().map(|v| v.to_bits()).collect();
+        let img: Vec<u64> = req.image.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(img_back, img);
+    }
+
+    /// Responses round-trip bitwise: a real pyramid (every plane, every
+    /// level) and all the serving metadata, and every rejection variant.
+    #[test]
+    fn response_round_trips_bitwise(
+        size_tag in 0usize..2,
+        bank_tag in 0u8..4,
+        levels in 1usize..3,
+        salt in 0u64..1000,
+        id in 0u64..u64::MAX,
+        wait in 0.0f64..=1.0,
+        service in 0.0f64..=1.0,
+    ) {
+        let n = [16usize, 32][size_tag];
+        let b = bank(bank_tag);
+        let pyramid = dwt2d::decompose(&image(n, salt), &b, levels, Boundary::Periodic)
+            .expect("pool geometry is valid");
+        let result: ServeResult = Ok(DecomposeResponse {
+            pyramid,
+            cache_hit: salt % 2 == 0,
+            batch_size: 1 + (salt % 7) as usize,
+            wait_s: wait,
+            service_s: service,
+            degraded: salt % 3 == 0,
+            error_bound: if salt % 3 == 0 { 1e-3 } else { 0.0 },
+        });
+        let frame = encode_response(id, &result);
+        let back = decode_response(&frame).expect("encoded response decodes");
+        let (resp, orig) = match (&back, &result) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => panic!("Ok response must decode as Ok"),
+        };
+        prop_assert_eq!(resp.cache_hit, orig.cache_hit);
+        prop_assert_eq!(resp.batch_size, orig.batch_size);
+        prop_assert_eq!(resp.degraded, orig.degraded);
+        prop_assert_eq!(resp.wait_s.to_bits(), orig.wait_s.to_bits());
+        prop_assert_eq!(resp.service_s.to_bits(), orig.service_s.to_bits());
+        prop_assert_eq!(resp.error_bound.to_bits(), orig.error_bound.to_bits());
+        let planes = |p: &dwt::Pyramid| -> Vec<u64> {
+            let mut out: Vec<u64> = p.approx.data().iter().map(|v| v.to_bits()).collect();
+            for band in &p.detail {
+                for m in [&band.lh, &band.hl, &band.hh] {
+                    out.extend(m.data().iter().map(|v| v.to_bits()));
+                }
+            }
+            out
+        };
+        prop_assert_eq!(planes(&resp.pyramid), planes(&orig.pyramid));
+    }
+
+    /// Every rejection variant survives the wire with its payload.
+    #[test]
+    fn rejection_round_trips(variant in 0usize..7, a in 0u64..100, x in 0.0f64..=5.0) {
+        let rejection = match variant {
+            0 => Rejection::QueueFull { depth: a as usize },
+            1 => Rejection::Shed { by: Priority::ALL[(a % 3) as usize] },
+            2 => Rejection::DeadlineExpired { deadline: x, now: x + 1.0 },
+            3 => Rejection::Invalid { detail: format!("detail {a}") },
+            4 => Rejection::Draining,
+            5 => Rejection::ShardFailed { shard: a as usize, restarts: (a % 5) as u32 },
+            _ => Rejection::Requeued { attempts: (a % 5) as u32 },
+        };
+        let result: ServeResult = Err(rejection.clone());
+        let frame = encode_response(7, &result);
+        let back = decode_response(&frame).expect("encoded rejection decodes");
+        match back {
+            Err(r) => prop_assert_eq!(r, rejection),
+            Ok(_) => panic!("rejection must decode as Err"),
+        }
+    }
+}

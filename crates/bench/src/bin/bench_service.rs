@@ -30,9 +30,12 @@
 
 use std::time::{Duration, Instant};
 
-use dwt::{FilterBank, Matrix};
+use dwt::{dwt2d, FilterBank, Matrix};
+use dwt_mimd::CheckpointCodec;
+use wserv::progressive::pyramid_max_abs_diff;
 use wserv::sim::{
-    run_chaos, run_closed_loop, run_sim, ClosedLoopConfig, ClosedLoopReport, CostModel, SimReport,
+    run_chaos, run_closed_loop, run_sim, ClosedLoopConfig, ClosedLoopReport, CostModel,
+    ProgressiveSim, SimReport,
 };
 use wserv::transport::Connector;
 use wserv::{
@@ -647,6 +650,300 @@ fn assert_transport_coverage(cells: &[TransportCell]) {
 }
 
 // ---------------------------------------------------------------------
+// Progressive delivery: bytes-to-tolerance vs monolithic
+// ---------------------------------------------------------------------
+
+/// The detail-plane codec every lossy progressive scenario shares:
+/// `threshold + step / 2 = 0.5` of absolute per-coefficient tolerance.
+fn lossy_codec() -> CheckpointCodec {
+    CheckpointCodec::WaveletQuant {
+        threshold: 0.25,
+        step: 0.5,
+    }
+}
+
+/// Deterministic progressive scenarios over the same closed-loop
+/// workload: a monolithic baseline, lossless streaming (must stay
+/// bitwise), lossy streaming (must shrink the wire), tolerance-met
+/// cancellation (must shrink it further), and cancellation under the
+/// literal wire-chaos plan (must stay exactly-once).
+fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFaultPlan)> {
+    vec![
+        ("monolithic", None, WireFaultPlan::none()),
+        (
+            "progressive_lossless",
+            Some(ProgressiveSim {
+                codec: CheckpointCodec::Raw,
+                tolerance: None,
+            }),
+            WireFaultPlan::none(),
+        ),
+        (
+            "progressive_lossy",
+            Some(ProgressiveSim {
+                codec: lossy_codec(),
+                tolerance: None,
+            }),
+            WireFaultPlan::none(),
+        ),
+        (
+            "tolerance_cancel",
+            Some(ProgressiveSim {
+                codec: lossy_codec(),
+                tolerance: Some(30.0),
+            }),
+            WireFaultPlan::none(),
+        ),
+        (
+            "tolerance_cancel_chaos",
+            Some(ProgressiveSim {
+                codec: lossy_codec(),
+                tolerance: Some(30.0),
+            }),
+            wire_chaos_plan(),
+        ),
+    ]
+}
+
+struct ProgressiveCell {
+    scenario: &'static str,
+    clients: usize,
+    reqs_per_client: usize,
+    progressive: Option<ProgressiveSim>,
+    report: ClosedLoopReport,
+}
+
+impl ProgressiveCell {
+    fn requests(&self) -> usize {
+        self.clients * self.reqs_per_client
+    }
+
+    /// Largest reported error bound across delivered responses.
+    fn max_error_bound(&self) -> f64 {
+        self.report
+            .outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Ok(Ok(r)) => Some(r.error_bound),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn savings_pct(&self) -> f64 {
+        if self.report.monolithic_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.report.response_bytes as f64 / self.report.monolithic_bytes as f64) * 100.0
+    }
+
+    fn p_ms(&self, q: f64) -> f64 {
+        self.report.latency.quantile(q) * 1e3
+    }
+
+    fn json(&self) -> String {
+        let (threshold, step, tolerance) = match &self.progressive {
+            None => (0.0, 0.0, "null".to_string()),
+            Some(p) => {
+                let (t, s) = match p.codec {
+                    CheckpointCodec::Raw => (0.0, 0.0),
+                    CheckpointCodec::WaveletQuant { threshold, step } => (threshold, step),
+                };
+                (t, s, p.tolerance.map_or("null".into(), |v| format!("{v}")))
+            }
+        };
+        format!(
+            concat!(
+                "{{\"scenario\": \"{}\", \"clients\": {}, \"reqs_per_client\": {}, ",
+                "\"delivered\": {}, \"threshold\": {}, \"step\": {}, ",
+                "\"tolerance\": {}, \"planes\": {}, \"cancels\": {}, ",
+                "\"response_bytes\": {}, \"monolithic_bytes\": {}, ",
+                "\"savings_pct\": {:.3}, \"max_error_bound\": {:.6}, ",
+                "\"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, ",
+                "\"comm_ms\": {:.6}, \"throughput_hz\": {:.3}, \"makespan_s\": {:.9}}}"
+            ),
+            self.scenario,
+            self.clients,
+            self.reqs_per_client,
+            self.report.outcomes.iter().filter(|o| o.is_ok()).count(),
+            threshold,
+            step,
+            tolerance,
+            self.report.planes,
+            self.report.cancels,
+            self.report.response_bytes,
+            self.report.monolithic_bytes,
+            self.savings_pct(),
+            self.max_error_bound(),
+            self.p_ms(0.50),
+            self.p_ms(0.95),
+            self.p_ms(0.99),
+            self.report.comm_s * 1e3,
+            self.report.throughput(),
+            self.report.makespan_s,
+        )
+    }
+}
+
+fn progressive_sweep(clients: usize, reqs_per_client: usize) -> Vec<ProgressiveCell> {
+    let cost = CostModel::default();
+    let mut cells = Vec::new();
+    for (scenario, progressive, wire_faults) in progressive_scenarios() {
+        let cl = ClosedLoopConfig {
+            clients,
+            reqs_per_client,
+            wire_faults,
+            progressive,
+            ..ClosedLoopConfig::default()
+        };
+        let report = run_closed_loop(
+            &closed_loop_service(ShardFaultPlan::none()),
+            &cost,
+            &cl,
+            closed_requests(clients, reqs_per_client),
+        );
+        let cell = ProgressiveCell {
+            scenario,
+            clients,
+            reqs_per_client,
+            progressive,
+            report,
+        };
+        eprintln!(
+            "progressive {scenario:<23} delivered={:<3} planes={:<4} cancels={:<3} \
+             resp_B={:<7} mono_B={:<7} savings={:.1}% bound={:.3}",
+            cell.report.outcomes.iter().filter(|o| o.is_ok()).count(),
+            cell.report.planes,
+            cell.report.cancels,
+            cell.report.response_bytes,
+            cell.report.monolithic_bytes,
+            cell.savings_pct(),
+            cell.max_error_bound(),
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// The progressive acceptance checks, on every generated grid:
+///
+/// * nothing is ever lost: every request terminates at its client, in
+///   every scenario, cancels and chaos included;
+/// * lossless streaming is *bitwise*: each delivered pyramid equals the
+///   monolithic baseline's for the same request, with a zero bound;
+/// * every reported error bound is honest against the local engine
+///   oracle (`actual max-abs error <= bound`);
+/// * lossy streaming beats the monolithic counterfactual on response
+///   bytes, and tolerance-met cancellation beats plain lossy.
+fn assert_progressive_coverage(cells: &[ProgressiveCell]) {
+    let find = |name: &str| -> &ProgressiveCell {
+        cells
+            .iter()
+            .find(|c| c.scenario == name)
+            .expect("scenario present in the progressive grid")
+    };
+    for cell in cells {
+        assert_eq!(
+            cell.report.outcomes.len(),
+            cell.requests(),
+            "{}: every request must terminate at its client",
+            cell.scenario
+        );
+        let served = cell
+            .report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Ok(Ok(_))))
+            .count();
+        assert_eq!(
+            served,
+            cell.requests(),
+            "{}: closed-loop requests must all serve",
+            cell.scenario
+        );
+    }
+
+    let mono = find("monolithic");
+    assert_eq!(mono.report.planes, 0);
+    assert_eq!(mono.report.cancels, 0);
+
+    // Lossless streaming: bitwise against the monolithic baseline.
+    let lossless = find("progressive_lossless");
+    assert!(lossless.report.planes > 0, "responses must actually stream");
+    assert_eq!(lossless.report.cancels, 0, "no tolerance, no cancels");
+    for (i, (a, b)) in mono
+        .report
+        .outcomes
+        .iter()
+        .zip(lossless.report.outcomes.iter())
+        .enumerate()
+    {
+        let (Ok(Ok(ra)), Ok(Ok(rb))) = (a, b) else {
+            panic!("request {i} must serve in both runs");
+        };
+        assert_eq!(
+            ra.pyramid, rb.pyramid,
+            "request {i}: lossless streaming must be bitwise"
+        );
+        assert_eq!(rb.error_bound, 0.0);
+    }
+
+    // Every reported bound is honest against the engine oracle.
+    let requests = closed_requests(mono.clients, mono.reqs_per_client);
+    for cell in cells {
+        for (req, out) in requests.iter().zip(cell.report.outcomes.iter()) {
+            let Ok(Ok(resp)) = out else { continue };
+            let oracle = dwt2d::decompose(&req.image, &req.bank, req.levels, req.mode)
+                .expect("pool geometry is valid");
+            let actual =
+                pyramid_max_abs_diff(&resp.pyramid, &oracle).expect("geometry matches the oracle");
+            assert!(
+                actual <= resp.error_bound,
+                "{}: actual error {actual} exceeds the reported bound {}",
+                cell.scenario,
+                resp.error_bound
+            );
+        }
+    }
+
+    // Bytes-to-tolerance: quantization shrinks the wire, cancellation
+    // shrinks it further, and the tolerance is respected.
+    let lossy = find("progressive_lossy");
+    assert!(
+        lossy.report.response_bytes < lossy.report.monolithic_bytes,
+        "lossy streaming must beat the monolithic counterfactual \
+         ({} vs {} bytes)",
+        lossy.report.response_bytes,
+        lossy.report.monolithic_bytes
+    );
+    let cancel = find("tolerance_cancel");
+    assert!(
+        cancel.report.cancels > 0,
+        "a 30.0 tolerance on this imagery must cancel at least once"
+    );
+    assert!(
+        cancel.report.response_bytes < lossy.report.response_bytes,
+        "cancellation must save bytes over reading every plane \
+         ({} vs {} bytes)",
+        cancel.report.response_bytes,
+        lossy.report.response_bytes
+    );
+    let chaos = find("tolerance_cancel_chaos");
+    assert!(
+        chaos.report.retries > 0,
+        "the chaos plan must force at least one retry"
+    );
+
+    eprintln!(
+        "progressive acceptance: lossless bitwise over {} responses, \
+         lossy saves {:.1}%, cancel saves {:.1}%",
+        mono.requests(),
+        lossy.savings_pct(),
+        cancel.savings_pct(),
+    );
+}
+
+// ---------------------------------------------------------------------
 // Live closed-loop mode: real server, real sockets, real worker kills
 // ---------------------------------------------------------------------
 
@@ -861,11 +1158,242 @@ fn live_rows(clients: usize, reqs_per_client: usize, prediction: &ClosedLoopRepo
     out
 }
 
+// ---------------------------------------------------------------------
+// Live progressive mode: real streaming, real cancels, real sockets
+// ---------------------------------------------------------------------
+
+/// The live progressive comparison stream: deep CDF 9/7 decompositions
+/// of a smooth field plus faint texture. The smoothness is the point —
+/// the fine detail planes quantize to near-empty sparse frames (the
+/// deterministic byte saving), while the sinusoid's energy keeps the
+/// coarse planes above the client tolerance so real mid-sequence
+/// cancels occur too.
+fn progressive_live_requests(clients: usize, reqs_per_client: usize) -> Vec<DecomposeRequest> {
+    let tau = std::f64::consts::TAU;
+    let smooth = |n: usize, salt: u64| {
+        Matrix::from_fn(n, n, |r, c| {
+            40.0 * (tau * r as f64 / n as f64).sin() * (tau * c as f64 / n as f64).sin()
+                + ((r as u64 * 13 + c as u64 * 7 + salt) % 7) as f64 * 0.03
+        })
+    };
+    let mut out = Vec::with_capacity(clients * reqs_per_client);
+    for c in 0..clients {
+        for k in 0..reqs_per_client {
+            out.push(DecomposeRequest::new(
+                smooth(64, (c * reqs_per_client + k) as u64 % 13),
+                FilterBank::cdf97(),
+                3,
+            ));
+        }
+    }
+    out
+}
+
+struct ProgressiveLiveRun {
+    completed: u64,
+    /// Server-side bytes put on the wire (responses dominate).
+    bytes_out: u64,
+    planes_sent: u64,
+    cancels: u64,
+    partials: u64,
+    max_bound: f64,
+    latency: wserv::Histogram,
+    elapsed_s: f64,
+}
+
+/// Drive the progressive comparison workload live: a clean wire (the
+/// byte comparison must not be confounded by faulted re-sends), with
+/// every delivered response checked against the local engine oracle.
+fn progressive_live(
+    tcp: bool,
+    clients: usize,
+    reqs_per_client: usize,
+    tolerance: Option<f64>,
+) -> ProgressiveLiveRun {
+    let tick = Duration::from_millis(1);
+    let remote = RemoteConfig {
+        progressive: tolerance.is_some().then(lossy_codec),
+        ..RemoteConfig::default()
+    };
+    let service = closed_loop_service(ShardFaultPlan::none());
+    let (server, dial): (
+        RemoteServer,
+        Box<dyn Fn() -> Box<dyn Connector> + Send + Sync>,
+    ) = if tcp {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0", tick).expect("bind localhost");
+        let addr = acceptor.local_addr();
+        (
+            RemoteServer::start(service, remote, Box::new(acceptor)).expect("server starts"),
+            Box::new(move || Box::new(TcpConnector { addr, tick })),
+        )
+    } else {
+        let listener = MemListener::new(1 << 16, tick);
+        let peer = listener.clone();
+        (
+            RemoteServer::start(service, remote, Box::new(listener)).expect("server starts"),
+            Box::new(move || Box::new(peer.clone())),
+        )
+    };
+
+    let requests = progressive_live_requests(clients, reqs_per_client);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let stream: Vec<DecomposeRequest> =
+            requests[c * reqs_per_client..(c + 1) * reqs_per_client].to_vec();
+        let connector = dial();
+        handles.push(std::thread::spawn(move || {
+            let mut client = RemoteClient::new(connector, c as u64)
+                .with_response_timeout(Duration::from_secs(10));
+            if let Some(t) = tolerance {
+                client = client.with_tolerance(t);
+            }
+            let mut lat = Vec::with_capacity(stream.len());
+            let mut max_bound = 0.0f64;
+            for req in &stream {
+                let t0 = Instant::now();
+                let resp = client
+                    .call(req)
+                    .expect("clean wire")
+                    .expect("deadline-free requests all serve");
+                lat.push(t0.elapsed().as_secs_f64());
+                // The reported bound must be honest against the local
+                // engine oracle and, when a tolerance is set, met.
+                let oracle = dwt2d::decompose(&req.image, &req.bank, req.levels, req.mode)
+                    .expect("pool geometry is valid");
+                let actual = pyramid_max_abs_diff(&resp.pyramid, &oracle)
+                    .expect("geometry matches the oracle");
+                assert!(
+                    actual <= resp.error_bound || resp.error_bound == 0.0 && actual == 0.0,
+                    "actual error {actual} exceeds the reported bound {}",
+                    resp.error_bound
+                );
+                if let Some(t) = tolerance {
+                    assert!(
+                        resp.error_bound <= t,
+                        "reported bound {} must meet the {t} tolerance",
+                        resp.error_bound
+                    );
+                }
+                max_bound = max_bound.max(resp.error_bound);
+            }
+            client.goodbye();
+            (lat, max_bound, client.progressive)
+        }));
+    }
+    let mut latency = wserv::Histogram::default();
+    let mut max_bound = 0.0f64;
+    let mut cancels = 0u64;
+    let mut partials = 0u64;
+    for h in handles {
+        let (lat, mb, tally) = h.join().expect("client threads never panic");
+        for v in lat {
+            latency.record(v);
+        }
+        max_bound = max_bound.max(mb);
+        cancels += tally.cancels;
+        partials += tally.partial_responses;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let metrics = server.shutdown().expect("graceful drain succeeds");
+    ProgressiveLiveRun {
+        completed: metrics.service.completed(),
+        bytes_out: metrics.transport.bytes_out,
+        planes_sent: metrics.transport.planes_sent,
+        cancels,
+        partials,
+        max_bound,
+        latency,
+        elapsed_s,
+    }
+}
+
+/// Run the monolithic-vs-progressive live comparison over both
+/// transports, assert the bytes-to-tolerance and bound-honesty
+/// invariants, and return the `progressive_live` JSON rows.
+fn progressive_live_rows(clients: usize, reqs_per_client: usize) -> String {
+    let total = (clients * reqs_per_client) as u64;
+    let tolerance = 30.0;
+    let mut rows = Vec::new();
+    for (transport, tcp) in [("shim", false), ("tcp", true)] {
+        let mono = progressive_live(tcp, clients, reqs_per_client, None);
+        let prog = progressive_live(tcp, clients, reqs_per_client, Some(tolerance));
+        for run in [&mono, &prog] {
+            assert_eq!(
+                run.completed, total,
+                "{transport}: every request must serve exactly once"
+            );
+        }
+        assert_eq!(mono.planes_sent, 0, "{transport}: baseline is monolithic");
+        assert!(
+            prog.partials >= 1,
+            "{transport}: the tolerance must cut at least one sequence short"
+        );
+        assert!(
+            prog.bytes_out < mono.bytes_out,
+            "{transport}: progressive-to-tolerance must beat monolithic bytes \
+             ({} vs {})",
+            prog.bytes_out,
+            mono.bytes_out
+        );
+        eprintln!(
+            "progressive live {transport:<4} mono_B={:<8} prog_B={:<8} savings={:.1}% \
+             planes={} cancels={} bound={:.3} elapsed={:.3}s",
+            mono.bytes_out,
+            prog.bytes_out,
+            (1.0 - prog.bytes_out as f64 / mono.bytes_out as f64) * 100.0,
+            prog.planes_sent,
+            prog.cancels,
+            prog.max_bound,
+            mono.elapsed_s + prog.elapsed_s,
+        );
+        for (scenario, run) in [("monolithic", &mono), ("progressive_cancel", &prog)] {
+            rows.push(format!(
+                concat!(
+                    "{{\"transport\": \"{}\", \"scenario\": \"{}\", ",
+                    "\"clients\": {}, \"reqs_per_client\": {}, \"completed\": {}, ",
+                    "\"tolerance\": {}, \"bytes_out\": {}, \"planes_sent\": {}, ",
+                    "\"cancels\": {}, \"partial_responses\": {}, ",
+                    "\"max_error_bound\": {:.6}, \"p50_ms\": {:.6}, ",
+                    "\"p95_ms\": {:.6}, \"p99_ms\": {:.6}, \"elapsed_s\": {:.6}}}"
+                ),
+                transport,
+                scenario,
+                clients,
+                reqs_per_client,
+                run.completed,
+                if scenario == "monolithic" {
+                    "null".to_string()
+                } else {
+                    format!("{tolerance}")
+                },
+                run.bytes_out,
+                run.planes_sent,
+                run.cancels,
+                run.partials,
+                run.max_bound,
+                run.latency.quantile(0.50) * 1e3,
+                run.latency.quantile(0.95) * 1e3,
+                run.latency.quantile(0.99) * 1e3,
+                run.elapsed_s,
+            ));
+        }
+    }
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(r);
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out
+}
+
 fn render(
     n_reqs: usize,
     cells: &[Cell],
     chaos: &[ChaosCell],
     transport: &[TransportCell],
+    progressive: &[ProgressiveCell],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"wserv_load\",\n");
@@ -896,6 +1424,17 @@ fn render(
         out.push_str("    ");
         out.push_str(&c.json());
         out.push_str(if i + 1 == transport.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"progressive_results\": [\n");
+    for (i, c) in progressive.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.json());
+        out.push_str(if i + 1 == progressive.len() {
             "\n"
         } else {
             ",\n"
@@ -993,16 +1532,19 @@ fn main() {
     assert_chaos_coverage(&chaos);
     let transport = transport_sweep(cl_clients, cl_reqs);
     assert_transport_coverage(&transport);
-    let report = render(n_reqs, &cells, &chaos, &transport);
+    let progressive = progressive_sweep(cl_clients, cl_reqs);
+    assert_progressive_coverage(&progressive);
+    let report = render(n_reqs, &cells, &chaos, &transport, &progressive);
 
     // Byte-reproducibility is part of the contract: regenerate the
-    // whole sweep — chaos and transport rows included — and require
-    // the identical document.
+    // whole sweep — chaos, transport, and progressive rows included —
+    // and require the identical document.
     let again = render(
         n_reqs,
         &sweep(n_reqs, &shard_grid, &rates),
         &chaos_sweep(chaos_reqs, chaos_rate),
         &transport_sweep(cl_clients, cl_reqs),
+        &progressive_sweep(cl_clients, cl_reqs),
     );
     assert_eq!(report, again, "service bench must be byte-reproducible");
 
@@ -1015,12 +1557,16 @@ fn main() {
         .expect("failover scenario present")
         .report;
     let live = live_rows(cl_clients, cl_reqs, prediction);
+    let plive = progressive_live_rows(cl_clients, cl_reqs);
     let report = {
         let tail = "  ]\n}\n";
         let base = report
             .strip_suffix(tail)
-            .expect("render ends with the transport section");
-        format!("{base}  ],\n  \"transport_live\": [\n{live}  ]\n}}\n")
+            .expect("render ends with the progressive section");
+        format!(
+            "{base}  ],\n  \"transport_live\": [\n{live}  ],\n  \
+             \"progressive_live\": [\n{plive}  ]\n}}\n"
+        )
     };
 
     let path = if smoke {

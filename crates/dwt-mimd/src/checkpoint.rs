@@ -63,8 +63,13 @@ impl CheckpointCodec {
 }
 
 /// Outcome of encoding one detail plane.
+///
+/// Public because the `wserv` progressive-delivery path reuses this
+/// codec to quantize response planes on the wire with the exact same
+/// arithmetic (and therefore the exact same `threshold + step / 2`
+/// error bound) as checkpoint shipping.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct PlaneStats {
+pub struct PlaneStats {
     /// Coefficients that survived the threshold (nonzero after coding).
     pub kept: usize,
     /// Total coefficients in the plane.
@@ -72,14 +77,15 @@ pub(crate) struct PlaneStats {
 }
 
 impl PlaneStats {
-    pub(crate) fn absorb(&mut self, other: PlaneStats) {
+    /// Fold another plane's counts into this one.
+    pub fn absorb(&mut self, other: PlaneStats) {
         self.kept += other.kept;
         self.total += other.total;
     }
 }
 
 /// Threshold + quantize one detail plane in place.
-pub(crate) fn encode_plane(m: &mut Matrix, threshold: f64, step: f64) -> PlaneStats {
+pub fn encode_plane(m: &mut Matrix, threshold: f64, step: f64) -> PlaneStats {
     let mut kept = 0;
     let total = m.rows() * m.cols();
     for v in m.data_mut() {
@@ -97,7 +103,7 @@ pub(crate) fn encode_plane(m: &mut Matrix, threshold: f64, step: f64) -> PlaneSt
 
 /// Wire bytes of the encoded detail planes: a sparse (value +
 /// 32-bit coordinate) encoding when it wins, the dense plane otherwise.
-pub(crate) fn encoded_bytes(stats: PlaneStats, pixel_bytes: usize) -> usize {
+pub fn encoded_bytes(stats: PlaneStats, pixel_bytes: usize) -> usize {
     let dense = stats.total * pixel_bytes;
     let sparse = stats.kept * (pixel_bytes + 4);
     dense.min(sparse)

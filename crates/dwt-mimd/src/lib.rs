@@ -43,7 +43,7 @@ use dwt::pyramid::{Pyramid, Subbands};
 use paragon::{CommError, Ctx, FaultStats, Ops, SpmdConfig};
 use perfbudget::{Category, RankBudget};
 
-pub use checkpoint::CheckpointCodec;
+pub use checkpoint::{encode_plane, encoded_bytes, CheckpointCodec, PlaneStats};
 use partition::{contiguous_runs, output_range, owner, stripes, Stripe};
 use resilience::{collect_failfast, collect_roles, RoleTracker};
 pub use resilience::{MimdError, ResiliencePolicy};

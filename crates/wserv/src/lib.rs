@@ -60,6 +60,7 @@ pub mod batch;
 pub mod cache;
 pub mod faults;
 pub mod metrics;
+pub mod progressive;
 pub mod remote;
 pub mod request;
 pub mod server;
@@ -77,13 +78,22 @@ pub use faults::{
 pub use metrics::{
     Histogram, LaneSplit, MetricsSnapshot, QueueCounters, ShardMetrics, TransportMetrics,
 };
-pub use remote::{RemoteClient, RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy};
+pub use progressive::{pyramid_max_abs_diff, split_response, Reassembler};
+pub use remote::{
+    ProgressiveTally, RemoteClient, RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy,
+};
 pub use request::{
     DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
 };
 pub use server::{ResponseHandle, ServiceConfig, ServiceError, WaveletService};
-pub use sim::{run_closed_loop, ClientOutcome, ClosedLoopConfig, ClosedLoopReport, WireCostModel};
+pub use sim::{
+    run_closed_loop, ClientOutcome, ClosedLoopConfig, ClosedLoopReport, ProgressiveSim,
+    WireCostModel,
+};
 pub use transport::{
     mem_pair, MemListener, TcpAcceptor, TcpConnector, TcpTransport, Transport, TransportError,
 };
-pub use wire::{Frame, FrameKind, WireError};
+pub use wire::{
+    Frame, FrameKind, PlaneBand, PlaneCoeffs, ProgressiveHeader, ProgressivePlane, ResponseBody,
+    WireError,
+};

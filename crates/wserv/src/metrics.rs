@@ -248,6 +248,11 @@ pub struct TransportMetrics {
     /// Duplicate submissions answered from the dedup registry instead
     /// of re-executed (the exactly-once replays).
     pub dedup_replays: u64,
+    /// Progressive detail-plane frames sent (server) or applied
+    /// (client).
+    pub planes_sent: u64,
+    /// Progressive sequences cut short by an honored Cancel.
+    pub cancels_honored: u64,
     /// Seconds spent encoding/decoding frames (Communication lane).
     pub ser_s: f64,
 }
@@ -270,7 +275,7 @@ impl TransportMetrics {
             FrameCorrupt { .. } => self.frame_corrupt += 1,
             FrameTooLarge { .. } => self.frame_too_large += 1,
             HandshakeMismatch { .. } => self.handshake_mismatch += 1,
-            ConnTimeout { .. } => {}
+            ConnTimeout { .. } | InvalidConfig { .. } => {}
         }
     }
 
@@ -287,6 +292,8 @@ impl TransportMetrics {
         self.frame_too_large += other.frame_too_large;
         self.handshake_mismatch += other.handshake_mismatch;
         self.dedup_replays += other.dedup_replays;
+        self.planes_sent += other.planes_sent;
+        self.cancels_honored += other.cancels_honored;
         self.ser_s += other.ser_s;
     }
 }

@@ -27,6 +27,21 @@
 //! retry after `QueueFull` re-attempts admission rather than replaying
 //! the rejection.
 //!
+//! ## Progressive delivery
+//!
+//! With [`RemoteConfig::progressive`] set, successful responses ship
+//! as a plane sequence instead of one monolithic frame: a header frame
+//! (metadata + exact LL plane, [`crate::wire::FLAG_CONTINUE`] set),
+//! then detail planes in decreasing energy order, the last with the
+//! flag clear. The whole sequence occupies *one* window permit — flow
+//! control is per-request, so a progressive response cannot starve its
+//! neighbours beyond what a monolithic one would. A client whose
+//! tolerance is met mid-sequence sends [`FrameKind::Cancel`]; the
+//! reader records the id and the writer stops the sequence at the next
+//! plane boundary. Cancel is idempotent and dedup-safe: the request
+//! already executed and its outcome is in the resolution book, so
+//! cancellation only trims delivery, never accounting.
+//!
 //! ## Drain
 //!
 //! [`RemoteServer::shutdown`] closes the listener, lets every reader
@@ -37,7 +52,7 @@
 //! this: after `drain_grace` it is aborted and counted in
 //! [`TransportMetrics::conn_aborted`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -45,17 +60,32 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use dwt_mimd::CheckpointCodec;
+
 use crate::faults::{WireDir, WireFaultPlan};
 use crate::metrics::{MetricsSnapshot, TransportMetrics};
+use crate::progressive::{split_response, Reassembler};
 use crate::request::{DecomposeRequest, Rejection, ServeResult};
 use crate::server::{ResponseHandle, ServiceConfig, ServiceError, WaveletService};
 use crate::transport::{
     Connector, FrameIo, Listener, RecvFrame, Transport, TransportError, WireClock,
 };
 use crate::wire::{
-    decode_hello, decode_request, decode_response, encode_hello, encode_request, encode_response,
-    Frame, FrameKind, Hello, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
+    decode_hello, decode_request, decode_response_body, encode_hello, encode_progressive_header,
+    encode_progressive_plane, encode_request, encode_response, Frame, FrameKind, Hello,
+    ResponseBody, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
 };
+
+/// Smallest payload window either side will settle on: enough to frame
+/// a handshake or rejection even against an absurd peer announcement.
+const MIN_NEGOTIATED_PAYLOAD: u32 = 64;
+
+/// `min(ours, theirs)` with the floor both sides clamp to, so the two
+/// ends always agree on the window byte-for-byte.
+fn negotiate_payload(ours: u32, theirs: u32) -> u32 {
+    ours.max(MIN_NEGOTIATED_PAYLOAD)
+        .min(theirs.max(MIN_NEGOTIATED_PAYLOAD))
+}
 
 /// Remote-layer knobs, layered on top of a [`ServiceConfig`].
 #[derive(Debug, Clone)]
@@ -73,6 +103,10 @@ pub struct RemoteConfig {
     /// Seeded wire faults, injected on the server's send path (the
     /// client injects its own directions from the same plan).
     pub wire_faults: WireFaultPlan,
+    /// When set, successful responses stream progressively (header +
+    /// energy-ordered detail planes) with this codec quantizing the
+    /// planes on the wire. `None` keeps monolithic responses.
+    pub progressive: Option<CheckpointCodec>,
 }
 
 impl Default for RemoteConfig {
@@ -83,6 +117,7 @@ impl Default for RemoteConfig {
             tick: Duration::from_millis(1),
             drain_grace: Duration::from_millis(50),
             wire_faults: WireFaultPlan::none(),
+            progressive: None,
         }
     }
 }
@@ -93,11 +128,16 @@ impl RemoteConfig {
         if self.window == 0 {
             return Err("window must be >= 1".into());
         }
-        if self.max_payload < 64 {
+        if self.max_payload < MIN_NEGOTIATED_PAYLOAD {
             return Err(format!(
                 "max_payload {} is too small to frame",
                 self.max_payload
             ));
+        }
+        if let Some(codec) = &self.progressive {
+            if !codec.is_valid() {
+                return Err("progressive codec parameters must be finite and >= 0".into());
+            }
         }
         self.wire_faults.validate()
     }
@@ -399,6 +439,13 @@ fn conn_main(shared: Arc<ServerShared>, transport: Box<dyn Transport>) {
     }
     rio.set_conn(client);
 
+    // Both sides settle on min(client, server) for the payload window,
+    // so neither peer can push a frame the other must reject. The ack
+    // still announces our raw config — the client runs the same
+    // negotiation over the two announced values.
+    let eff_payload = negotiate_payload(cfg.max_payload, hello.max_payload);
+    rio.set_max_payload(eff_payload);
+
     // Writer thread: FIFO over the queue, owns the send half.
     let Some(write_io) = write_half else {
         rio.abort();
@@ -412,15 +459,17 @@ fn conn_main(shared: Arc<ServerShared>, transport: Box<dyn Transport>) {
         cfg.wire_faults.clone(),
         Arc::clone(&shared.clock),
     )
-    .with_max_payload(cfg.max_payload);
+    .with_max_payload(eff_payload);
     let window = Window::new(cfg.window.min(hello.window.max(1)));
     let dead = Arc::new(AtomicBool::new(false));
+    let cancels: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
     let (tx, rx) = mpsc::channel::<WriteItem>();
     let writer = {
         let shared = Arc::clone(&shared);
         let window = Arc::clone(&window);
         let dead = Arc::clone(&dead);
-        std::thread::spawn(move || writer_main(shared, client, wio, rx, window, dead))
+        let cancels = Arc::clone(&cancels);
+        std::thread::spawn(move || writer_main(shared, client, wio, rx, window, dead, cancels))
     };
     tx.send(WriteItem::Ack { client })
         .expect("writer just spawned");
@@ -495,6 +544,12 @@ fn conn_main(shared: Arc<ServerShared>, transport: Box<dyn Transport>) {
                         break;
                     }
                 }
+                FrameKind::Cancel => {
+                    // Idempotent: unknown, finished, and repeated ids
+                    // are all no-ops — the writer simply never (or no
+                    // longer) finds more planes to cut.
+                    cancels.lock().insert(f.id);
+                }
                 FrameKind::Bye => break,
                 _ => {
                     local.count_error(&TransportError::FrameCorrupt {
@@ -551,6 +606,55 @@ fn forget_claim(dedup: &Dedup, client: u64, id: u64) {
     }
 }
 
+/// Send one response — progressively when configured and successful,
+/// monolithically otherwise. Checks `cancels` between plane frames so
+/// an honored Cancel cuts the sequence at the next boundary. A
+/// monolithic response over the negotiated payload window degrades to
+/// a typed rejection instead of killing the connection.
+fn send_response(
+    shared: &ServerShared,
+    wio: &mut FrameIo,
+    cancels: &Mutex<HashSet<u64>>,
+    id: u64,
+    result: &ServeResult,
+    local: &mut TransportMetrics,
+) -> Result<(), TransportError> {
+    let sent = if let (Some(codec), Ok(resp)) = (shared.config.progressive, result) {
+        (|| {
+            let (header, planes) = split_response(resp, codec)?;
+            wio.send_frame(&encode_progressive_header(id, &header)?)?;
+            for (i, plane) in planes.iter().enumerate() {
+                if cancels.lock().contains(&id) {
+                    local.cancels_honored += 1;
+                    return Ok(());
+                }
+                let more = i + 1 < planes.len();
+                wio.send_frame(&encode_progressive_plane(id, plane, more)?)?;
+                local.planes_sent += 1;
+            }
+            Ok(())
+        })()
+    } else {
+        let t0 = Instant::now();
+        let frame = encode_response(id, result)?;
+        local.ser_s += t0.elapsed().as_secs_f64();
+        wio.send_frame(&frame)
+    };
+    match sent {
+        Err(TransportError::FrameTooLarge { len, max }) => {
+            local.frame_too_large += 1;
+            let fallback = encode_response(
+                id,
+                &Err(Rejection::Invalid {
+                    detail: format!("response payload {len} B exceeds negotiated window {max} B"),
+                }),
+            )?;
+            wio.send_frame(&fallback)
+        }
+        other => other,
+    }
+}
+
 /// Writer side of one connection: resolve → record → send, FIFO.
 fn writer_main(
     shared: Arc<ServerShared>,
@@ -559,6 +663,7 @@ fn writer_main(
     rx: mpsc::Receiver<WriteItem>,
     window: Arc<Window>,
     dead: Arc<AtomicBool>,
+    cancels: Arc<Mutex<HashSet<u64>>>,
 ) -> (crate::transport::WireStats, TransportMetrics) {
     let mut local = TransportMetrics::default();
     let tick = shared.config.tick;
@@ -601,10 +706,7 @@ fn writer_main(
             }
         };
         if send_ok {
-            let t0 = Instant::now();
-            let frame = encode_response(id, &result);
-            local.ser_s += t0.elapsed().as_secs_f64();
-            if let Err(e) = wio.send_frame(&frame) {
+            if let Err(e) = send_response(&shared, &mut wio, &cancels, id, &result, &mut local) {
                 local.count_error(&e);
                 send_ok = false;
                 // The reader must stop pulling new work; resolutions
@@ -664,10 +766,17 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff slept after failed attempt `attempt` (1-based).
+    /// Backoff slept after failed attempt `attempt` (1-based: the
+    /// first failure is attempt 1 and sleeps `backoff_base_s`).
+    ///
+    /// `attempt = 0` is not a valid failed attempt; it is clamped to 1
+    /// rather than panicking, so the schedule stays total. Callers
+    /// should never reach it: [`RetryPolicy::validate`] rejects
+    /// `max_attempts == 0` and [`RemoteClient::call`] refuses to run
+    /// with an invalid policy.
     pub fn backoff_s(&self, attempt: u32) -> f64 {
-        (self.backoff_base_s * self.backoff_mult.powi(attempt.saturating_sub(1) as i32))
-            .min(self.backoff_cap_s)
+        let attempt = attempt.max(1);
+        (self.backoff_base_s * self.backoff_mult.powi((attempt - 1) as i32)).min(self.backoff_cap_s)
     }
 
     /// Validate the policy. Returns a human-readable reason on failure.
@@ -693,6 +802,19 @@ impl RetryPolicy {
     }
 }
 
+/// Client-side accounting of progressive delivery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressiveTally {
+    /// Progressive header frames received.
+    pub headers: u64,
+    /// Detail-plane frames applied.
+    pub planes: u64,
+    /// Cancel frames sent after meeting tolerance.
+    pub cancels: u64,
+    /// Calls resolved from a partial (tolerance-met) reassembly.
+    pub partial_responses: u64,
+}
+
 /// A synchronous closed-loop client: one outstanding request, retried
 /// with capped exponential backoff across reconnects. Ids are assigned
 /// monotonically, so the server's resolution book preserves
@@ -707,8 +829,17 @@ pub struct RemoteClient {
     clock: Arc<WireClock>,
     retry: RetryPolicy,
     response_timeout: Duration,
+    /// Payload window announced in our Hello.
+    max_payload: u32,
+    /// `(max_payload, window)` settled by the last handshake.
+    negotiated: Option<(u32, u32)>,
+    /// Stop reading a progressive sequence (and Cancel it) once the
+    /// running error bound reaches this.
+    tolerance: Option<f64>,
     /// Client-side transport counters (errors observed, frames/bytes).
     pub transport: TransportMetrics,
+    /// Progressive delivery counters.
+    pub progressive: ProgressiveTally,
     /// Resubmits performed across all calls.
     pub retries: u64,
 }
@@ -727,7 +858,11 @@ impl RemoteClient {
             clock: WireClock::new(),
             retry: RetryPolicy::default(),
             response_timeout: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            negotiated: None,
+            tolerance: None,
             transport: TransportMetrics::default(),
+            progressive: ProgressiveTally::default(),
             retries: 0,
         }
     }
@@ -757,6 +892,33 @@ impl RemoteClient {
         self
     }
 
+    /// Announce a different payload window in the handshake; the
+    /// connection settles on `min(ours, server's)`.
+    pub fn with_max_payload(mut self, max_payload: u32) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Stop reading progressive sequences — and Cancel the request —
+    /// once the running error bound is at most `tolerance`. Without a
+    /// tolerance the client always reads sequences to completion.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = Some(tolerance);
+        self
+    }
+
+    /// The payload window the last handshake settled on
+    /// (`min(client, server)`); `None` before the first connection.
+    pub fn negotiated_max_payload(&self) -> Option<u32> {
+        self.negotiated.map(|(p, _)| p)
+    }
+
+    /// The in-flight window the last handshake settled on; `None`
+    /// before the first connection.
+    pub fn negotiated_window(&self) -> Option<u32> {
+        self.negotiated.map(|(_, w)| w)
+    }
+
     fn ensure_conn(&mut self) -> Result<(), TransportError> {
         if self.io.is_some() {
             return Ok(());
@@ -774,7 +936,7 @@ impl RemoteClient {
             self.client_id,
             &Hello {
                 protocol: self.protocol,
-                max_payload: DEFAULT_MAX_PAYLOAD,
+                max_payload: self.max_payload,
                 window: 1,
             },
         ))?;
@@ -791,6 +953,15 @@ impl RemoteClient {
                             ),
                         });
                     }
+                    // Same negotiation the server runs over the two
+                    // announced values, so both ends enforce the same
+                    // window in both directions.
+                    let eff = negotiate_payload(self.max_payload, ack.max_payload);
+                    io.set_max_payload(eff);
+                    // This client is synchronous (announces window 1)
+                    // and validate() forbids a zero server window, so
+                    // min(ours, theirs) is always 1.
+                    self.negotiated = Some((eff, 1));
                     break;
                 }
                 RecvFrame::Frame(f) => {
@@ -812,43 +983,54 @@ impl RemoteClient {
         Ok(())
     }
 
-    fn attempt(&mut self, id: u64, req: &DecomposeRequest) -> Result<ServeResult, TransportError> {
-        self.ensure_conn()?;
+    /// One request/response exchange. The error carries whether it is
+    /// *terminal*: a protocol disagreement, or a request the negotiated
+    /// payload window deterministically refuses at send time (a
+    /// FrameTooLarge seen on the *receive* path is corruption of the
+    /// length field and stays retryable).
+    fn attempt(
+        &mut self,
+        id: u64,
+        req: &DecomposeRequest,
+    ) -> Result<ServeResult, (TransportError, bool)> {
+        self.ensure_conn().map_err(|e| {
+            let terminal = matches!(e, TransportError::HandshakeMismatch { .. });
+            (e, terminal)
+        })?;
         let io = self.io.as_mut().expect("ensure_conn succeeded");
-        io.send_frame(&encode_request(id, req))?;
-        let deadline = Instant::now() + self.response_timeout;
-        loop {
-            match io.recv_frame()? {
-                RecvFrame::Frame(f) if f.kind == FrameKind::Response && f.id == id => {
-                    return Ok(decode_response(&f)?);
-                }
-                RecvFrame::Frame(f) if f.kind == FrameKind::Response => {
-                    // A stale response from an earlier attempt of an
-                    // earlier id; harmless, keep waiting for ours.
-                    debug_assert!(f.id < id, "responses never outrun requests");
-                }
-                RecvFrame::Frame(f) => {
-                    return Err(TransportError::FrameCorrupt {
-                        detail: format!("unexpected {:?} frame mid-stream", f.kind),
-                    });
-                }
-                RecvFrame::Eof => return Err(TransportError::ConnReset),
-                RecvFrame::Idle => {
-                    if Instant::now() >= deadline {
-                        return Err(TransportError::ConnTimeout {
-                            waited_ms: self.response_timeout.as_millis() as u64,
-                        });
-                    }
-                }
+        let frame = encode_request(id, req).map_err(|e| (TransportError::from(e), true))?;
+        io.send_frame(&frame).map_err(|e| {
+            let terminal = matches!(e, TransportError::FrameTooLarge { .. });
+            (e, terminal)
+        })?;
+        let (result, drop_conn) = recv_response(
+            io,
+            id,
+            self.response_timeout,
+            self.tolerance,
+            &mut self.progressive,
+        )
+        .map_err(|e| (e, false))?;
+        if drop_conn {
+            // The Cancel could not be sent; redial lazily rather than
+            // read a sequence the server will keep streaming.
+            if let Some(io) = self.io.take() {
+                self.transport.absorb_wire(&io.stats);
             }
         }
+        Ok(result)
     }
 
     /// Submit one request and wait for its outcome, retrying
     /// idempotently (same request id) across transport faults.
-    /// Handshake mismatches are terminal — retrying cannot fix a
-    /// protocol disagreement.
+    /// Handshake mismatches and send-side oversized requests are
+    /// terminal — retrying cannot fix a protocol disagreement or
+    /// shrink a payload the negotiated window refuses. An invalid
+    /// [`RetryPolicy`] fails typed before anything is sent.
     pub fn call(&mut self, req: &DecomposeRequest) -> Result<ServeResult, TransportError> {
+        if let Err(detail) = self.retry.validate() {
+            return Err(TransportError::InvalidConfig { detail });
+        }
         let id = self.next_id;
         self.next_id += 1;
         let mut attempt = 0u32;
@@ -856,12 +1038,12 @@ impl RemoteClient {
             attempt += 1;
             match self.attempt(id, req) {
                 Ok(result) => return Ok(result),
-                Err(e @ TransportError::HandshakeMismatch { .. }) => {
+                Err((e, true)) => {
                     self.io = None;
                     self.transport.count_error(&e);
                     return Err(e);
                 }
-                Err(e) => {
+                Err((e, false)) => {
                     self.transport.count_error(&e);
                     if let Some(io) = self.io.take() {
                         self.transport.absorb_wire(&io.stats);
@@ -879,13 +1061,105 @@ impl RemoteClient {
     /// Clean goodbye: Bye frame, FIN, fold the connection's counters.
     pub fn goodbye(&mut self) {
         if let Some(mut io) = self.io.take() {
-            let _ = io.send_frame(&Frame {
-                kind: FrameKind::Bye,
-                id: self.client_id,
-                payload: Vec::new(),
-            });
+            let _ = io.send_frame(&Frame::new(FrameKind::Bye, self.client_id, Vec::new()));
             io.shutdown_write();
             self.transport.absorb_wire(&io.stats);
+        }
+    }
+}
+
+/// Cancel the in-flight sequence and resolve the call from the partial
+/// reassembly. The second return says whether the connection must be
+/// dropped (the Cancel itself could not be sent).
+fn cancel_and_finish(
+    io: &mut FrameIo,
+    id: u64,
+    assembly: Reassembler,
+    tally: &mut ProgressiveTally,
+) -> Result<(ServeResult, bool), TransportError> {
+    let cancel_sent = io
+        .send_frame(&Frame::new(FrameKind::Cancel, id, Vec::new()))
+        .is_ok();
+    tally.cancels += 1;
+    tally.partial_responses += 1;
+    Ok((Ok(assembly.into_response()), !cancel_sent))
+}
+
+/// Wait for the response to `id` — a terminal outcome, or a progressive
+/// sequence reassembled incrementally (cut short by Cancel once
+/// `tolerance` is met). Returns `(result, drop_connection)`.
+fn recv_response(
+    io: &mut FrameIo,
+    id: u64,
+    timeout: Duration,
+    tolerance: Option<f64>,
+    tally: &mut ProgressiveTally,
+) -> Result<(ServeResult, bool), TransportError> {
+    let deadline = Instant::now() + timeout;
+    let mut assembly: Option<Reassembler> = None;
+    loop {
+        match io.recv_frame()? {
+            RecvFrame::Frame(f) if f.kind == FrameKind::Response && f.id == id => {
+                match decode_response_body(&f)? {
+                    ResponseBody::Outcome(result) => return Ok((result, false)),
+                    ResponseBody::Header(h) => {
+                        let more = f.more_follows();
+                        let r = Reassembler::new(h)?;
+                        tally.headers += 1;
+                        if !more {
+                            // Zero-plane sequence: complete by itself.
+                            return Ok((Ok(r.into_response()), false));
+                        }
+                        if tolerance.is_some_and(|tol| r.bound() <= tol) {
+                            return cancel_and_finish(io, id, r, tally);
+                        }
+                        assembly = Some(r);
+                    }
+                    ResponseBody::Plane(p) => {
+                        let Some(r) = assembly.as_mut() else {
+                            return Err(TransportError::FrameCorrupt {
+                                detail: "detail plane before progressive header".into(),
+                            });
+                        };
+                        r.apply(&p)?;
+                        tally.planes += 1;
+                        if r.complete() || !f.more_follows() {
+                            let r = assembly.take().expect("assembly just applied");
+                            if !r.complete() {
+                                // The server cut the sequence (e.g. a
+                                // Cancel from a prior attempt landed
+                                // late); the partial result is still
+                                // within its reported bound.
+                                tally.partial_responses += 1;
+                            }
+                            return Ok((Ok(r.into_response()), false));
+                        }
+                        if tolerance.is_some_and(|tol| r.bound() <= tol) {
+                            let r = assembly.take().expect("assembly just applied");
+                            return cancel_and_finish(io, id, r, tally);
+                        }
+                    }
+                }
+            }
+            RecvFrame::Frame(f) if f.kind == FrameKind::Response => {
+                // A stale response frame from an earlier id — a prior
+                // attempt's monolithic reply or the tail of a cancelled
+                // sequence; harmless, keep waiting for ours.
+                debug_assert!(f.id < id, "responses never outrun requests");
+            }
+            RecvFrame::Frame(f) => {
+                return Err(TransportError::FrameCorrupt {
+                    detail: format!("unexpected {:?} frame mid-stream", f.kind),
+                });
+            }
+            RecvFrame::Eof => return Err(TransportError::ConnReset),
+            RecvFrame::Idle => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::ConnTimeout {
+                        waited_ms: timeout.as_millis() as u64,
+                    });
+                }
+            }
         }
     }
 }

@@ -262,7 +262,7 @@ impl RejectKind {
 }
 
 /// Successful completion of a request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecomposeResponse {
     /// The decomposition. Exact responses are bit-identical to a direct
     /// engine call on the same input — batching and caching never

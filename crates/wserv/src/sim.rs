@@ -34,6 +34,7 @@ use crate::admission::{AdmissionQueue, Admit};
 use crate::cache::PlanCache;
 use crate::faults::{WireDir, WireFault, WireFaultPlan};
 use crate::metrics::{Histogram, LaneSplit, MetricsSnapshot, ShardMetrics};
+use crate::progressive::{split_response, Reassembler};
 use crate::remote::RetryPolicy;
 use crate::request::{
     DecomposeRequest, DecomposeResponse, Entry, Priority, RejectKind, Rejection, ServeResult,
@@ -41,7 +42,9 @@ use crate::request::{
 use crate::server::ServiceConfig;
 use crate::shard;
 use crate::transport::TransportError;
+use crate::wire::{encode_progressive_header, encode_progressive_plane};
 use dwt::engine::PlanShape;
+use dwt_mimd::CheckpointCodec;
 
 /// Analytic stage costs, loosely calibrated to the measured engine
 /// numbers in `BENCH_dwt.json` (the absolute scale matters less than
@@ -684,7 +687,11 @@ impl Default for WireCostModel {
 }
 
 impl WireCostModel {
-    fn frame_s(&self, payload_bytes: f64) -> f64 {
+    /// One-way cost of a frame carrying `payload_bytes` of payload:
+    /// per-frame overhead, serialization + transfer per byte, and half
+    /// a round trip of propagation. Progressive delivery prices each
+    /// header/plane frame through this with its actual encoded size.
+    pub fn frame_payload_s(&self, payload_bytes: f64) -> f64 {
         self.frame_overhead_s
             + payload_bytes * (self.ser_s_per_byte + self.wire_s_per_byte)
             + self.rtt_s / 2.0
@@ -692,18 +699,18 @@ impl WireCostModel {
 
     /// One-way cost of a request frame carrying `shape`'s image.
     pub fn request_s(&self, shape: &PlanShape) -> f64 {
-        self.frame_s(shape.coeffs() as f64 * 8.0 + 64.0)
+        self.frame_payload_s(shape.coeffs() as f64 * 8.0 + 64.0)
     }
 
-    /// One-way cost of a successful response (a pyramid holds exactly
-    /// `coeffs()` coefficients).
+    /// One-way cost of a monolithic successful response (a pyramid
+    /// holds exactly `coeffs()` coefficients).
     pub fn response_ok_s(&self, shape: &PlanShape) -> f64 {
-        self.frame_s(shape.coeffs() as f64 * 8.0 + 64.0)
+        self.frame_payload_s(shape.coeffs() as f64 * 8.0 + 64.0)
     }
 
     /// One-way cost of a rejection response (payload is a short tag).
     pub fn response_err_s(&self) -> f64 {
-        self.frame_s(64.0)
+        self.frame_payload_s(64.0)
     }
 
     /// Hello + HelloAck exchange on a fresh connection.
@@ -753,6 +760,23 @@ pub struct ClosedLoopConfig {
     /// handshake, request `k`'s first attempt is client-to-server
     /// frame `k + 1` when fault-free.
     pub wire_faults: WireFaultPlan,
+    /// When set, successful responses stream progressively and each
+    /// header/plane frame is priced individually — the simulator's
+    /// prediction of [`crate::RemoteConfig::progressive`] plus
+    /// [`crate::RemoteClient::with_tolerance`].
+    pub progressive: Option<ProgressiveSim>,
+}
+
+/// Progressive-delivery knobs of the closed-loop simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveSim {
+    /// Codec quantizing detail planes on the wire (mirror the server's
+    /// [`crate::RemoteConfig::progressive`]).
+    pub codec: CheckpointCodec,
+    /// Client tolerance: once the running error bound reaches this,
+    /// the simulated client cancels the rest of the sequence. `None`
+    /// reads every sequence to completion.
+    pub tolerance: Option<f64>,
 }
 
 impl Default for ClosedLoopConfig {
@@ -765,6 +789,7 @@ impl Default for ClosedLoopConfig {
             retry: RetryPolicy::default(),
             wire: WireCostModel::default(),
             wire_faults: WireFaultPlan::none(),
+            progressive: None,
         }
     }
 }
@@ -782,6 +807,16 @@ impl ClosedLoopConfig {
         ] {
             if !(v >= 0.0 && v.is_finite()) {
                 return Err(format!("{name} = {v} must be finite and >= 0"));
+            }
+        }
+        if let Some(ps) = &self.progressive {
+            if !ps.codec.is_valid() {
+                return Err("progressive codec parameters must be finite and >= 0".into());
+            }
+            if let Some(tol) = ps.tolerance {
+                if !(tol >= 0.0 && tol.is_finite()) {
+                    return Err(format!("tolerance = {tol} must be finite and >= 0"));
+                }
             }
         }
         self.retry.validate()?;
@@ -823,6 +858,17 @@ pub struct ClosedLoopReport {
     /// Frames placed on the wire in either direction, handshakes and
     /// faulted frames included.
     pub frames: u64,
+    /// Progressive detail-plane frames delivered to clients.
+    pub planes: u64,
+    /// Progressive sequences cut short by a tolerance-met Cancel.
+    pub cancels: u64,
+    /// Response-direction payload bytes placed on the wire (headers,
+    /// planes, monolithic responses; faulted frames included).
+    pub response_bytes: u64,
+    /// Counterfactual payload bytes had every response shipped as one
+    /// monolithic frame exactly once — the baseline `response_bytes`
+    /// is compared against for bytes-to-tolerance.
+    pub monolithic_bytes: u64,
 }
 
 impl ClosedLoopReport {
@@ -845,6 +891,10 @@ struct WireLedger {
     frames: u64,
     retries: u64,
     replays: u64,
+    planes: u64,
+    cancels: u64,
+    response_bytes: u64,
+    monolithic_bytes: u64,
 }
 
 /// Per-client state inside the closed-loop simulator.
@@ -1003,7 +1053,20 @@ fn send_until_arrives(
 /// Deliver a resolved result to its client, replaying on response-path
 /// losses: each failed delivery costs a backoff + reconnect + request
 /// resend, and the server answers the resend from its resolution book
-/// (never by re-executing). `Ok` carries the delivery time.
+/// (never by re-executing). `Ok` carries the delivery time and the
+/// result *as the client assembled it* — identical to the server's for
+/// monolithic delivery, a (possibly partial) reassembly under
+/// [`ClosedLoopConfig::progressive`].
+///
+/// Progressive sequences price every header/plane frame individually
+/// through [`WireCostModel::frame_payload_s`] with its actual encoded
+/// size; a frame lost mid-sequence costs a backoff + reconnect +
+/// request resend and the server replays the *whole* sequence from the
+/// header (the reassembly is idempotent). A tolerance-met Cancel
+/// consumes one client-to-server frame index priced as an empty frame;
+/// unlike live delivery it is never faulted itself — the live client
+/// simply drops the connection when a Cancel fails, which costs it
+/// nothing the simulator tracks.
 fn deliver_result(
     cl: &ClosedLoopConfig,
     sc: &mut SimClient,
@@ -1012,16 +1075,103 @@ fn deliver_result(
     t_res: f64,
     res: &ServeResult,
     acc: &mut WireLedger,
-) -> Result<f64, (f64, TransportError)> {
+) -> Result<(f64, ServeResult), (f64, TransportError)> {
+    let req_cost = cl.wire.request_s(shape);
+    let mono_bytes = match res {
+        Ok(_) => shape.coeffs() as u64 * 8 + 64,
+        Err(_) => 64,
+    };
+    acc.monolithic_bytes += mono_bytes;
+
+    if let (Some(ps), Ok(resp)) = (&cl.progressive, res) {
+        let (header, planes) =
+            split_response(resp, ps.codec).expect("validated codec splits any response");
+        let hbytes = encode_progressive_header(0, &header)
+            .expect("header always frames")
+            .payload
+            .len() as u64;
+        let pbytes: Vec<u64> = planes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                encode_progressive_plane(0, p, i + 1 < planes.len())
+                    .expect("planes always frame")
+                    .payload
+                    .len() as u64
+            })
+            .collect();
+        let mut t = t_res;
+        'attempt: loop {
+            let mut reasm = Reassembler::new(header.clone()).expect("header geometry is valid");
+            acc.response_bytes += hbytes;
+            match recv_half(cl, sc, conn, t, cl.wire.frame_payload_s(hbytes as f64), acc) {
+                RecvHalf::Delivered(td) => t = td,
+                RecvHalf::Lost(tl, err) => {
+                    if sc.attempts >= cl.retry.max_attempts {
+                        return Err((tl, err));
+                    }
+                    let t_re = pay_retry(cl, sc, tl, acc);
+                    let ta = send_until_arrives(cl, sc, conn, t_re, req_cost, acc)?;
+                    acc.replays += 1;
+                    t = ta;
+                    continue 'attempt;
+                }
+            }
+            let tolerance_met = |r: &Reassembler| ps.tolerance.is_some_and(|tol| r.bound() <= tol);
+            if tolerance_met(&reasm) && !reasm.complete() {
+                sc.c2s += 1; // Cancel frame
+                acc.frames += 1;
+                acc.comm_s += cl.wire.frame_payload_s(0.0);
+                acc.cancels += 1;
+                return Ok((t, Ok(reasm.into_response())));
+            }
+            for (j, plane) in planes.iter().enumerate() {
+                acc.response_bytes += pbytes[j];
+                match recv_half(
+                    cl,
+                    sc,
+                    conn,
+                    t,
+                    cl.wire.frame_payload_s(pbytes[j] as f64),
+                    acc,
+                ) {
+                    RecvHalf::Delivered(td) => {
+                        t = td;
+                        reasm.apply(plane).expect("planes fit their header");
+                        acc.planes += 1;
+                        if tolerance_met(&reasm) && !reasm.complete() {
+                            sc.c2s += 1; // Cancel frame
+                            acc.frames += 1;
+                            acc.comm_s += cl.wire.frame_payload_s(0.0);
+                            acc.cancels += 1;
+                            return Ok((t, Ok(reasm.into_response())));
+                        }
+                    }
+                    RecvHalf::Lost(tl, err) => {
+                        if sc.attempts >= cl.retry.max_attempts {
+                            return Err((tl, err));
+                        }
+                        let t_re = pay_retry(cl, sc, tl, acc);
+                        let ta = send_until_arrives(cl, sc, conn, t_re, req_cost, acc)?;
+                        acc.replays += 1;
+                        t = ta;
+                        continue 'attempt;
+                    }
+                }
+            }
+            return Ok((t, Ok(reasm.into_response())));
+        }
+    }
+
     let one_way = match res {
         Ok(_) => cl.wire.response_ok_s(shape),
         Err(_) => cl.wire.response_err_s(),
     };
-    let req_cost = cl.wire.request_s(shape);
     let mut t = t_res;
     loop {
+        acc.response_bytes += mono_bytes;
         match recv_half(cl, sc, conn, t, one_way, acc) {
-            RecvHalf::Delivered(td) => return Ok(td),
+            RecvHalf::Delivered(td) => return Ok((td, res.clone())),
             RecvHalf::Lost(tl, err) => {
                 if sc.attempts >= cl.retry.max_attempts {
                     return Err((tl, err));
@@ -1081,10 +1231,10 @@ fn drain_resolutions(
         };
         let conn = c as u64;
         match deliver_result(cl, &mut clients[c], conn, &shapes[ix], t_res, &res, acc) {
-            Ok(td) => {
+            Ok((td, assembled)) => {
                 latency.record(td - clients[c].first_submit);
                 *last_delivery = last_delivery.max(td);
-                client_out[ix] = Some(Ok(res));
+                client_out[ix] = Some(Ok(assembled));
                 advance_client(cl, &mut clients[c], &mut next_action[c], td);
             }
             Err((tl, err)) => {
@@ -1290,5 +1440,9 @@ pub fn run_closed_loop(
         retries: acc.retries,
         replays: acc.replays,
         frames: acc.frames,
+        planes: acc.planes,
+        cancels: acc.cancels,
+        response_bytes: acc.response_bytes,
+        monolithic_bytes: acc.monolithic_bytes,
     }
 }

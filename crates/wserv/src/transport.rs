@@ -66,6 +66,12 @@ pub enum TransportError {
         /// Human-readable cause.
         detail: String,
     },
+    /// The caller's own configuration is unusable (e.g. a retry policy
+    /// with zero attempts). Purely local; nothing was sent.
+    InvalidConfig {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -84,6 +90,9 @@ impl fmt::Display for TransportError {
             TransportError::FrameCorrupt { detail } => write!(f, "corrupt frame: {detail}"),
             TransportError::HandshakeMismatch { detail } => {
                 write!(f, "handshake mismatch: {detail}")
+            }
+            TransportError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
             }
         }
     }
@@ -623,11 +632,22 @@ impl FrameIo {
         }
     }
 
-    /// Shrink the receive window (frames declaring more are
-    /// [`TransportError::FrameTooLarge`]).
+    /// Shrink the payload window (received frames declaring more, and
+    /// attempts to *send* more, are [`TransportError::FrameTooLarge`]).
     pub fn with_max_payload(mut self, max_payload: u32) -> Self {
         self.max_payload = max_payload;
         self
+    }
+
+    /// Adjust the payload window in place — used after handshake
+    /// negotiation settles on `min(client, server)`.
+    pub fn set_max_payload(&mut self, max_payload: u32) {
+        self.max_payload = max_payload;
+    }
+
+    /// The payload window currently enforced in both directions.
+    pub fn max_payload(&self) -> u32 {
+        self.max_payload
     }
 
     /// Re-key the fault coordinates once the peer's identity is known
@@ -648,10 +668,20 @@ impl FrameIo {
     /// and truncations kill the connection and surface as
     /// [`TransportError::ConnReset`] to this side too, so callers
     /// immediately fail over instead of waiting out a timeout.
+    ///
+    /// Payloads over the negotiated window are refused *before* any
+    /// bytes hit the wire ([`TransportError::FrameTooLarge`]) — the
+    /// connection stays usable and no fault index is consumed.
     pub fn send_frame(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        if frame.payload.len() as u64 > self.max_payload as u64 {
+            return Err(TransportError::FrameTooLarge {
+                len: frame.payload.len() as u64,
+                max: self.max_payload as u64,
+            });
+        }
         let idx = self.clock.next(self.conn, self.dir);
         let t0 = Instant::now();
-        let mut bytes = encode_frame(frame);
+        let mut bytes = encode_frame(frame)?;
         self.stats.ser_s += t0.elapsed().as_secs_f64();
         match self.faults.decide(self.conn, self.dir, idx) {
             None => {}
@@ -751,11 +781,11 @@ mod tests {
     }
 
     fn frame(id: u64, n: usize) -> Frame {
-        Frame {
-            kind: FrameKind::Request,
+        Frame::new(
+            FrameKind::Request,
             id,
-            payload: (0..n).map(|i| (i % 251) as u8).collect(),
-        }
+            (0..n).map(|i| (i % 251) as u8).collect(),
+        )
     }
 
     #[test]

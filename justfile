@@ -100,6 +100,23 @@ remote-bench-smoke:
     WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
     python3 -c "import json; d = json.load(open('target/BENCH_service_smoke.json')); rows = d['transport_results']; required = {'scenario', 'clients', 'reqs_per_client', 'delivered', 'retries', 'replays', 'frames', 'p50_ms', 'p95_ms', 'p99_ms', 'comm_ms', 'fault_recovery_ms', 'throughput_hz', 'makespan_s'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; names = {r['scenario'] for r in rows}; assert {'clean_wire', 'wire_chaos', 'failover_under_load'} <= names, names; lost = [(r['scenario'], r['clients'] * r['reqs_per_client'] - r['delivered']) for r in rows if r['delivered'] != r['clients'] * r['reqs_per_client']]; assert not lost, lost; chaos = next(r for r in rows if r['scenario'] == 'wire_chaos'); assert chaos['retries'] > 0 and chaos['replays'] > 0, 'wire chaos fired no faults'; live = d['transport_live']; assert {r['transport'] for r in live} == {'shim', 'tcp'}, live; comp = [(r['transport'], r['clients'] * r['reqs_per_client'] - r['completed']) for r in live if r['completed'] != r['clients'] * r['reqs_per_client']]; assert not comp, comp; assert all(r['sim_p99_ms'] > 0 and r['p99_ms'] > 0 for r in live), 'missing tail latencies'; print('remote smoke OK:', len(rows), 'sim rows,', len(live), 'live rows')"
 
+# Progressive-delivery gate: the wire/progressive property tests, the
+# progressive end-to-end remote tests (lossless bitwise over shim and
+# TCP, honest bounds, cancel exactly-once under chaos), and the
+# full-scale progressive rows of BENCH_service.json (bytes-to-tolerance
+# vs monolithic, sim and live).
+progressive-bench:
+    cargo test -q --release --test wire_properties --test wserv_remote progressive
+    cargo run --release -p bench --bin bench_service
+
+# Downscaled progressive gate as CI runs it: same tests, smoke bench,
+# then schema + error-bound + bytes-beat-monolithic assertions on the
+# progressive_results and progressive_live rows.
+progressive-bench-smoke:
+    cargo test -q --test wire_properties --test wserv_remote progressive
+    WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
+    python3 -c "import json; d = json.load(open('target/BENCH_service_smoke.json')); rows = d['progressive_results']; required = {'scenario', 'clients', 'reqs_per_client', 'delivered', 'threshold', 'step', 'tolerance', 'planes', 'cancels', 'response_bytes', 'monolithic_bytes', 'savings_pct', 'max_error_bound', 'p50_ms', 'p95_ms', 'p99_ms', 'comm_ms', 'throughput_hz', 'makespan_s'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; by = {r['scenario']: r for r in rows}; assert {'monolithic', 'progressive_lossless', 'progressive_lossy', 'tolerance_cancel'} <= set(by), set(by); assert all(r['delivered'] == r['clients'] * r['reqs_per_client'] for r in rows), 'lost requests'; assert by['progressive_lossless']['max_error_bound'] == 0, 'lossless must be exact'; assert by['tolerance_cancel']['cancels'] > 0, 'tolerance never cancelled'; assert by['tolerance_cancel']['max_error_bound'] <= by['tolerance_cancel']['tolerance'], 'tolerance violated'; lossy = [r for r in rows if r['threshold'] > 0]; assert any(r['response_bytes'] < r['monolithic_bytes'] for r in lossy), 'no lossy scenario beat monolithic bytes'; live = d['progressive_live']; assert {r['transport'] for r in live} == {'shim', 'tcp'}, live; assert all(next(r for r in live if r['transport'] == t and r['scenario'] == 'progressive_cancel')['bytes_out'] < next(r for r in live if r['transport'] == t and r['scenario'] == 'monolithic')['bytes_out'] for t in ('shim', 'tcp')), 'live progressive did not beat monolithic bytes'; assert all(r['max_error_bound'] <= r['tolerance'] for r in live if r['scenario'] == 'progressive_cancel'), 'live bound exceeds tolerance'; print('progressive smoke OK:', len(rows), 'sim rows,', len(live), 'live rows')"
+
 # Downscaled serving bench CI runs: fixed seed, small grid, writes
 # target/BENCH_service_smoke.json and asserts the same dominance and
 # reproducibility conditions.

@@ -8,24 +8,33 @@
 //!    patterns, so NaN payloads and negative zeros survive);
 //! 3. flipping any single bit of an encoded frame never yields a
 //!    silently-accepted frame: the checksum (or a structural check)
-//!    catches it with a typed error.
+//!    catches it with a typed error;
+//! 4. progressive delivery is faithful: a header + plane sequence
+//!    round-trips through real wire frames, reassembles bitwise equal
+//!    to the monolithic response once every plane has arrived (lossless
+//!    codec), and the client-visible error bound is monotone
+//!    nonincreasing in planes received — in any arrival order.
 
 use dwt::{dwt2d, Boundary, FilterBank, Matrix};
+use dwt_mimd::CheckpointCodec;
 use proptest::prelude::*;
+use wserv::progressive::{pyramid_max_abs_diff, split_response, Reassembler};
 use wserv::request::DecomposeResponse;
 use wserv::wire::{
-    decode_complete, decode_frame, decode_request, decode_response, encode_frame, encode_request,
-    encode_response, Frame, FrameKind, DEFAULT_MAX_PAYLOAD,
+    decode_complete, decode_frame, decode_request, decode_response, decode_response_body,
+    encode_frame, encode_progressive_header, encode_progressive_plane, encode_request,
+    encode_response, Frame, FrameKind, ResponseBody, DEFAULT_MAX_PAYLOAD,
 };
 use wserv::{DecomposeRequest, Priority, Rejection, ServeResult};
 
 fn kind(tag: u8) -> FrameKind {
-    match tag % 5 {
+    match tag % 6 {
         0 => FrameKind::Hello,
         1 => FrameKind::HelloAck,
         2 => FrameKind::Request,
         3 => FrameKind::Response,
-        _ => FrameKind::Bye,
+        4 => FrameKind::Bye,
+        _ => FrameKind::Cancel,
     }
 }
 
@@ -97,8 +106,8 @@ proptest! {
         payload in prop::collection::vec(0u8..=255u8, 0..300),
         garbage in prop::collection::vec(0u8..=255u8, 0..16),
     ) {
-        let frame = Frame { kind: kind(tag), id, payload };
-        let mut bytes = encode_frame(&frame);
+        let frame = Frame::new(kind(tag), id, payload);
+        let mut bytes = encode_frame(&frame).expect("small payload encodes");
         let framed_len = bytes.len();
         let (back, consumed) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD)
             .expect("valid frame decodes")
@@ -125,8 +134,8 @@ proptest! {
         payload in prop::collection::vec(0u8..=255u8, 1..128),
         flip_seed in 0usize..usize::MAX,
     ) {
-        let frame = Frame { kind: kind(tag), id, payload };
-        let mut bytes = encode_frame(&frame);
+        let frame = Frame::new(kind(tag), id, payload);
+        let mut bytes = encode_frame(&frame).expect("small payload encodes");
         let bit = flip_seed % (bytes.len() * 8);
         bytes[bit / 8] ^= 1 << (bit % 8);
         match decode_complete(&bytes, DEFAULT_MAX_PAYLOAD) {
@@ -165,7 +174,7 @@ proptest! {
         if with_deadline == 1 {
             req = req.with_deadline(deadline);
         }
-        let frame = encode_request(id, &req);
+        let frame = encode_request(id, &req).expect("request encodes");
         prop_assert_eq!(frame.id, id);
         let back = decode_request(&frame).expect("encoded request decodes");
         prop_assert_eq!(back.levels, req.levels);
@@ -211,7 +220,7 @@ proptest! {
             degraded: salt % 3 == 0,
             error_bound: if salt % 3 == 0 { 1e-3 } else { 0.0 },
         });
-        let frame = encode_response(id, &result);
+        let frame = encode_response(id, &result).expect("response encodes");
         let back = decode_response(&frame).expect("encoded response decodes");
         let (resp, orig) = match (&back, &result) {
             (Ok(a), Ok(b)) => (a, b),
@@ -248,11 +257,144 @@ proptest! {
             _ => Rejection::Requeued { attempts: (a % 5) as u32 },
         };
         let result: ServeResult = Err(rejection.clone());
-        let frame = encode_response(7, &result);
+        let frame = encode_response(7, &result).expect("rejection encodes");
         let back = decode_response(&frame).expect("encoded rejection decodes");
         match back {
             Err(r) => prop_assert_eq!(r, rejection),
             Ok(_) => panic!("rejection must decode as Err"),
         }
+    }
+
+    /// Progressive delivery is lossless-complete: split a real response
+    /// with the lossless codec, push header and every plane through the
+    /// byte-level frame codec, reassemble in a *shuffled* arrival
+    /// order, and the result is bitwise identical to the monolithic
+    /// response. Continuation flags must describe the sequence exactly.
+    #[test]
+    fn progressive_reassembly_matches_monolithic_bitwise(
+        size_tag in 0usize..2,
+        bank_tag in 0u8..4,
+        levels in 1usize..4,
+        salt in 0u64..1000,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let n = [16usize, 32][size_tag];
+        let resp = response_fixture(n, bank_tag, levels, salt);
+        let (header, planes) = split_response(&resp, CheckpointCodec::Raw)
+            .expect("lossless split");
+        prop_assert_eq!(planes.len(), 3 * levels);
+
+        // Byte-level round trip of the whole sequence.
+        let hf = encode_progressive_header(9, &header).expect("header encodes");
+        prop_assert!(hf.more_follows());
+        let hf_bytes = encode_frame(&hf).expect("header frame encodes");
+        let hf_back = decode_complete(&hf_bytes, DEFAULT_MAX_PAYLOAD).expect("header decodes");
+        let header_back = match decode_response_body(&hf_back).expect("header body decodes") {
+            ResponseBody::Header(h) => h,
+            other => panic!("header frame decoded as {other:?}"),
+        };
+        let mut planes_back = Vec::new();
+        for (i, p) in planes.iter().enumerate() {
+            let more = i + 1 < planes.len();
+            let pf = encode_progressive_plane(9, p, more).expect("plane encodes");
+            prop_assert_eq!(pf.more_follows(), more);
+            let pf_bytes = encode_frame(&pf).expect("plane frame encodes");
+            let pf_back =
+                decode_complete(&pf_bytes, DEFAULT_MAX_PAYLOAD).expect("plane decodes");
+            match decode_response_body(&pf_back).expect("plane body decodes") {
+                ResponseBody::Plane(q) => {
+                    prop_assert_eq!(&q, p);
+                    planes_back.push(q);
+                }
+                other => panic!("plane frame decoded as {other:?}"),
+            }
+        }
+
+        // Reassemble in a shuffled arrival order.
+        shuffle(&mut planes_back, order_seed);
+        let mut r = Reassembler::new(header_back).expect("header is coherent");
+        for p in &planes_back {
+            r.apply(p).expect("plane applies");
+        }
+        prop_assert!(r.complete());
+        prop_assert_eq!(r.bound().to_bits(), resp.error_bound.to_bits());
+        let got = r.into_response();
+        prop_assert_eq!(
+            pyramid_max_abs_diff(&got.pyramid, &resp.pyramid),
+            Some(0.0)
+        );
+        prop_assert_eq!(&got.pyramid, &resp.pyramid);
+    }
+
+    /// The client-visible error bound is monotone nonincreasing in
+    /// planes received, whatever the arrival order and however often a
+    /// plane is replayed — and it starts at the header's declared
+    /// bound.
+    #[test]
+    fn progressive_bound_is_monotone_nonincreasing(
+        size_tag in 0usize..2,
+        bank_tag in 0u8..4,
+        levels in 1usize..3,
+        salt in 0u64..1000,
+        threshold in 0.0f64..0.5,
+        step in 0.0f64..0.5,
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let n = [16usize, 32][size_tag];
+        let resp = response_fixture(n, bank_tag, levels, salt);
+        let codec = CheckpointCodec::WaveletQuant { threshold, step };
+        let (header, planes) = split_response(&resp, codec).expect("lossy split");
+        let base = header.base_error_bound;
+        let declared = header.bound_after;
+        let mut replayed: Vec<_> = planes.clone();
+        replayed.extend(planes.iter().cloned());
+        shuffle(&mut replayed, order_seed);
+
+        let mut r = Reassembler::new(header).expect("header is coherent");
+        prop_assert_eq!(r.bound(), base + declared);
+        let mut prev = r.bound();
+        for p in &replayed {
+            r.apply(p).expect("plane applies");
+            let now = r.bound();
+            prop_assert!(
+                now <= prev,
+                "bound rose from {prev} to {now} at seq {}",
+                p.seq
+            );
+            prev = now;
+        }
+        prop_assert!(r.complete());
+        // All planes applied: only the codec's quantization error and
+        // the degraded-mode base bound remain.
+        prop_assert!(r.bound() <= base + codec.tolerance());
+    }
+}
+
+/// A real decomposition wrapped in serving metadata (exact response:
+/// `error_bound` 0, not degraded).
+fn response_fixture(n: usize, bank_tag: u8, levels: usize, salt: u64) -> DecomposeResponse {
+    let b = bank(bank_tag);
+    let pyramid = dwt2d::decompose(&image(n, salt), &b, levels, Boundary::Periodic)
+        .expect("fixture geometry is valid");
+    DecomposeResponse {
+        pyramid,
+        cache_hit: false,
+        batch_size: 1,
+        wait_s: 0.25,
+        service_s: 0.5,
+        degraded: false,
+        error_bound: 0.0,
+    }
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so arrival order is a
+/// pure function of the proptest seed.
+fn shuffle<T>(v: &mut [T], mut seed: u64) {
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        v.swap(i, j);
     }
 }

@@ -20,6 +20,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dwt::{FilterBank, Matrix};
+use dwt_mimd::CheckpointCodec;
+use wserv::progressive::pyramid_max_abs_diff;
 use wserv::remote::{RemoteConfig, RemoteServer, RetryPolicy};
 use wserv::transport::{Connector, FrameIo, RecvFrame, Transport, WireClock};
 use wserv::wire::{
@@ -322,7 +324,7 @@ fn window_and_bounded_pipe_backpressure_a_pipelining_client() {
     // until the whole burst is in flight.
     let sender = std::thread::spawn(move || {
         for id in 0..total {
-            tx.send_frame(&encode_request(id, &request(id)))
+            tx.send_frame(&encode_request(id, &request(id)).expect("request encodes"))
                 .expect("backpressured send completes");
         }
         tx
@@ -406,7 +408,9 @@ fn drain_aborts_half_open_connections_after_grace() {
             RecvFrame::Eof => panic!("server hung up mid-handshake"),
         }
     }
-    let frame_bytes = wserv::wire::encode_frame(&encode_request(0, &request(9)));
+    let frame_bytes =
+        wserv::wire::encode_frame(&encode_request(0, &request(9)).expect("request encodes"))
+            .expect("request frame encodes");
     stuck_half
         .send(&frame_bytes[..frame_bytes.len() / 2])
         .expect("partial frame lands in the pipe");
@@ -536,5 +540,276 @@ fn shim_and_tcp_produce_identical_outcome_books() {
     assert!(
         shim_book.iter().all(|&(_, _, ok)| ok),
         "everything resolves Ok"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Handshake payload negotiation
+// ---------------------------------------------------------------------
+
+/// Both sides settle on `min(client, server)` regardless of which end
+/// announces the smaller window, and the settled window is *enforced*:
+/// a request the negotiated window cannot frame fails typed at the
+/// client's send path, terminally, without poisoning the connection
+/// for later well-sized requests.
+#[test]
+fn handshake_negotiates_min_payload_in_both_directions() {
+    // Client announces the smaller window.
+    let listener = MemListener::new(1 << 16, tick());
+    let server = RemoteServer::start(
+        service_config(),
+        remote_config(),
+        Box::new(listener.clone()),
+    )
+    .expect("config is valid");
+    let mut small_client = RemoteClient::new(Box::new(listener.clone()), 1).with_max_payload(4096);
+    let outcome = small_client.call(&request(1)).expect("16x16 fits 4 KiB");
+    assert!(outcome.is_ok());
+    assert_eq!(
+        small_client.negotiated_max_payload(),
+        Some(4096),
+        "server must honor the client's smaller announcement"
+    );
+
+    // An oversized request against the negotiated window fails typed at
+    // send time — terminal, no retries — and the connection survives.
+    let big = DecomposeRequest::new(image(32, 3), FilterBank::cdf53(), 2);
+    match small_client.call(&big) {
+        Err(TransportError::FrameTooLarge { len, max }) => {
+            assert!(len > max, "diagnostic carries the sizes: {len} vs {max}");
+            assert_eq!(max, 4096);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert_eq!(small_client.retries, 0, "oversized send is never retried");
+    let outcome = small_client
+        .call(&request(2))
+        .expect("well-sized follow-up still serves");
+    assert!(outcome.is_ok());
+    small_client.goodbye();
+    server.shutdown().expect("clean drain");
+
+    // Server announces the smaller window; the client clamps to it.
+    let listener = MemListener::new(1 << 16, tick());
+    let config = RemoteConfig {
+        max_payload: 4096,
+        ..remote_config()
+    };
+    let server = RemoteServer::start(service_config(), config, Box::new(listener.clone()))
+        .expect("config is valid");
+    let mut client = RemoteClient::new(Box::new(listener.clone()), 2);
+    let outcome = client.call(&request(1)).expect("16x16 fits 4 KiB");
+    assert!(outcome.is_ok());
+    assert_eq!(
+        client.negotiated_max_payload(),
+        Some(4096),
+        "client must clamp to the server's smaller announcement"
+    );
+    client.goodbye();
+    server.shutdown().expect("clean drain");
+}
+
+/// A zero-attempt retry policy is a configuration bug, not a spin loop:
+/// `call` fails typed before anything touches the wire.
+#[test]
+fn zero_attempt_retry_policy_fails_typed_without_traffic() {
+    let listener = MemListener::new(1 << 16, tick());
+    let server = RemoteServer::start(
+        service_config(),
+        remote_config(),
+        Box::new(listener.clone()),
+    )
+    .expect("config is valid");
+    let mut client = RemoteClient::new(Box::new(listener.clone()), 9).with_retry(RetryPolicy {
+        max_attempts: 0,
+        ..fast_retry()
+    });
+    match client.call(&request(1)) {
+        Err(TransportError::InvalidConfig { detail }) => {
+            assert!(detail.contains("max_attempts"), "names the field: {detail}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    assert_eq!(client.retries, 0);
+    assert_eq!(client.transport.frames_out, 0, "nothing touched the wire");
+    let metrics = server.shutdown().expect("clean drain");
+    assert_eq!(metrics.service.completed(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Progressive delivery end-to-end
+// ---------------------------------------------------------------------
+
+/// A progressive-lossless server delivers responses as header + plane
+/// sequences, and the reassembled pyramid is bitwise identical to the
+/// local engine oracle — over the shim and over TCP.
+#[test]
+fn progressive_lossless_is_bitwise_equal_to_oracle_over_shim_and_tcp() {
+    let run = |connector: Box<dyn Connector>, server: RemoteServer| {
+        let mut client = RemoteClient::new(connector, 4);
+        for salt in 0..3u64 {
+            let req = request(salt);
+            let oracle = dwt::dwt2d::decompose(&req.image, &req.bank, req.levels, req.mode)
+                .expect("oracle geometry is valid");
+            let resp = client
+                .call(&req)
+                .expect("clean wire")
+                .expect("request serves Ok");
+            assert_eq!(resp.pyramid, oracle, "lossless progressive is bitwise");
+            assert_eq!(resp.error_bound, 0.0);
+            assert!(!resp.degraded);
+        }
+        assert_eq!(client.progressive.headers, 3, "every response streamed");
+        assert_eq!(
+            client.progressive.planes,
+            3 * 3 * 2,
+            "3 responses x 2 levels x 3 bands"
+        );
+        assert_eq!(client.progressive.cancels, 0, "no tolerance, no cancels");
+        client.goodbye();
+        let metrics = server.shutdown().expect("clean drain");
+        assert_eq!(metrics.service.completed(), 3);
+        assert_eq!(metrics.transport.planes_sent, 3 * 3 * 2);
+    };
+
+    let progressive = || RemoteConfig {
+        progressive: Some(CheckpointCodec::Raw),
+        ..remote_config()
+    };
+    let listener = MemListener::new(1 << 16, tick());
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(listener.clone()))
+        .expect("config is valid");
+    run(Box::new(listener), server);
+
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tick()).expect("loopback bind");
+    let addr = acceptor.local_addr();
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(acceptor))
+        .expect("config is valid");
+    run(Box::new(TcpConnector { addr, tick: tick() }), server);
+}
+
+/// A tolerance-carrying client cancels once the running bound is good
+/// enough; the partial response's *reported* bound is at most the
+/// tolerance and its *actual* error versus the local oracle never
+/// exceeds the report — over the shim and over TCP.
+#[test]
+fn progressive_tolerance_cancels_and_the_bound_is_honest() {
+    let codec = CheckpointCodec::WaveletQuant {
+        threshold: 1e-6,
+        step: 0.0,
+    };
+    let tolerance = 40.0;
+    let run = |connector: Box<dyn Connector>, server: RemoteServer| {
+        let mut client = RemoteClient::new(connector, 5).with_tolerance(tolerance);
+        for salt in 0..3u64 {
+            // Deeper decompositions give the client planes to skip.
+            let req = DecomposeRequest::new(image(32, salt), FilterBank::cdf53(), 3);
+            let oracle = dwt::dwt2d::decompose(&req.image, &req.bank, req.levels, req.mode)
+                .expect("oracle geometry is valid");
+            let resp = client
+                .call(&req)
+                .expect("clean wire")
+                .expect("request serves Ok");
+            assert!(
+                resp.error_bound <= tolerance,
+                "reported bound {} must meet the tolerance",
+                resp.error_bound
+            );
+            let actual =
+                pyramid_max_abs_diff(&resp.pyramid, &oracle).expect("geometry matches the oracle");
+            assert!(
+                actual <= resp.error_bound,
+                "actual error {actual} exceeds the reported bound {}",
+                resp.error_bound
+            );
+        }
+        assert!(
+            client.progressive.partial_responses >= 1,
+            "a 40.0 tolerance on this imagery must cut at least one sequence short, tally {:?}",
+            client.progressive
+        );
+        assert_eq!(
+            client.progressive.cancels, client.progressive.partial_responses,
+            "every partial resolution sent its Cancel"
+        );
+        client.goodbye();
+        let metrics = server.shutdown().expect("clean drain");
+        assert_eq!(metrics.service.completed(), 3, "cancel never loses work");
+    };
+
+    let progressive = || RemoteConfig {
+        progressive: Some(codec),
+        ..remote_config()
+    };
+    let listener = MemListener::new(1 << 16, tick());
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(listener.clone()))
+        .expect("config is valid");
+    run(Box::new(listener), server);
+
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tick()).expect("loopback bind");
+    let addr = acceptor.local_addr();
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(acceptor))
+        .expect("config is valid");
+    run(Box::new(TcpConnector { addr, tick: tick() }), server);
+}
+
+/// Progressive delivery + tolerance cancels + seeded wire chaos: every
+/// request still resolves exactly once (the dedup book replays recorded
+/// outcomes; cancelled sequences never un-execute work), and the books
+/// all read Ok.
+#[test]
+fn progressive_chaos_keeps_exactly_once_accounting() {
+    let (clients, reqs) = (3u64, 6u64);
+    let listener = MemListener::new(1 << 16, tick());
+    let config = RemoteConfig {
+        wire_faults: wire_plan(),
+        progressive: Some(CheckpointCodec::WaveletQuant {
+            threshold: 1e-6,
+            step: 0.0,
+        }),
+        ..remote_config()
+    };
+    let server = RemoteServer::start(service_config(), config, Box::new(listener.clone()))
+        .expect("config is valid");
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let plan = wire_plan();
+            let conn = Box::new(listener.clone());
+            std::thread::spawn(move || {
+                let mut client = RemoteClient::new(conn, c)
+                    .with_faults(plan)
+                    .with_retry(fast_retry())
+                    .with_response_timeout(Duration::from_secs(5))
+                    .with_tolerance(40.0);
+                let mut ok = 0u64;
+                for k in 0..reqs {
+                    let req = DecomposeRequest::new(image(32, c * 100 + k), FilterBank::cdf53(), 3);
+                    let outcome = client.call(&req).unwrap_or_else(|e| {
+                        panic!("client {c} request {k}: transport gave up: {e}")
+                    });
+                    assert!(outcome.is_ok(), "client {c} request {k} resolves Ok");
+                    ok += 1;
+                }
+                client.goodbye();
+                (ok, client.retries, client.progressive)
+            })
+        })
+        .collect();
+    let mut oks = 0;
+    let mut partials = 0;
+    for h in handles {
+        let (ok, _, tally) = h.join().expect("client threads never panic");
+        oks += ok;
+        partials += tally.partial_responses;
+    }
+    assert_eq!(oks, clients * reqs);
+    assert!(partials >= 1, "the tolerance must trip at least once");
+
+    let metrics = server.shutdown().expect("clean drain");
+    assert_eq!(
+        metrics.service.completed(),
+        clients * reqs,
+        "exactly-once accounting survives cancels under chaos"
     );
 }

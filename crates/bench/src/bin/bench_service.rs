@@ -39,9 +39,10 @@ use wserv::sim::{
 };
 use wserv::transport::Connector;
 use wserv::{
-    DecomposeRequest, DegradedPolicy, MemListener, Priority, RejectKind, RemoteClient,
-    RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy, ServeResult, ServiceConfig,
-    ShardFaultPlan, SupervisorPolicy, TcpAcceptor, TcpConnector, WireDir, WireFaultPlan,
+    DecomposeRequest, DegradedPolicy, ElasticPolicy, MemListener, Priority, RejectKind,
+    RemoteClient, RemoteConfig, RemoteMetrics, RemoteServer, RetryPolicy, ServeResult,
+    ServiceConfig, ShardFaultPlan, SupervisorPolicy, TcpAcceptor, TcpConnector, WireDir,
+    WireFaultPlan,
 };
 
 const SEED: u64 = 1996; // the paper's year; any fixed seed works
@@ -665,8 +666,9 @@ fn lossy_codec() -> CheckpointCodec {
 /// Deterministic progressive scenarios over the same closed-loop
 /// workload: a monolithic baseline, lossless streaming (must stay
 /// bitwise), lossy streaming (must shrink the wire), tolerance-met
-/// cancellation (must shrink it further), and cancellation under the
-/// literal wire-chaos plan (must stay exactly-once).
+/// cancellation (must shrink it further), cancellation under the
+/// literal wire-chaos plan (must stay exactly-once), and a hard byte
+/// budget (must bound the wire regardless of tolerance).
 fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFaultPlan)> {
     vec![
         ("monolithic", None, WireFaultPlan::none()),
@@ -675,6 +677,7 @@ fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFau
             Some(ProgressiveSim {
                 codec: CheckpointCodec::Raw,
                 tolerance: None,
+                byte_budget: None,
             }),
             WireFaultPlan::none(),
         ),
@@ -683,6 +686,7 @@ fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFau
             Some(ProgressiveSim {
                 codec: lossy_codec(),
                 tolerance: None,
+                byte_budget: None,
             }),
             WireFaultPlan::none(),
         ),
@@ -691,6 +695,7 @@ fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFau
             Some(ProgressiveSim {
                 codec: lossy_codec(),
                 tolerance: Some(30.0),
+                byte_budget: None,
             }),
             WireFaultPlan::none(),
         ),
@@ -699,8 +704,18 @@ fn progressive_scenarios() -> Vec<(&'static str, Option<ProgressiveSim>, WireFau
             Some(ProgressiveSim {
                 codec: lossy_codec(),
                 tolerance: Some(30.0),
+                byte_budget: None,
             }),
             wire_chaos_plan(),
+        ),
+        (
+            "byte_budget",
+            Some(ProgressiveSim {
+                codec: lossy_codec(),
+                tolerance: None,
+                byte_budget: Some(4096),
+            }),
+            WireFaultPlan::none(),
         ),
     ]
 }
@@ -742,21 +757,27 @@ impl ProgressiveCell {
     }
 
     fn json(&self) -> String {
-        let (threshold, step, tolerance) = match &self.progressive {
-            None => (0.0, 0.0, "null".to_string()),
+        let (threshold, step, tolerance, budget) = match &self.progressive {
+            None => (0.0, 0.0, "null".to_string(), "null".to_string()),
             Some(p) => {
                 let (t, s) = match p.codec {
                     CheckpointCodec::Raw => (0.0, 0.0),
                     CheckpointCodec::WaveletQuant { threshold, step } => (threshold, step),
                 };
-                (t, s, p.tolerance.map_or("null".into(), |v| format!("{v}")))
+                (
+                    t,
+                    s,
+                    p.tolerance.map_or("null".into(), |v| format!("{v}")),
+                    p.byte_budget.map_or("null".into(), |v| format!("{v}")),
+                )
             }
         };
         format!(
             concat!(
                 "{{\"scenario\": \"{}\", \"clients\": {}, \"reqs_per_client\": {}, ",
                 "\"delivered\": {}, \"threshold\": {}, \"step\": {}, ",
-                "\"tolerance\": {}, \"planes\": {}, \"cancels\": {}, ",
+                "\"tolerance\": {}, \"byte_budget\": {}, \"planes\": {}, \"cancels\": {}, ",
+                "\"budget_stops\": {}, ",
                 "\"response_bytes\": {}, \"monolithic_bytes\": {}, ",
                 "\"savings_pct\": {:.3}, \"max_error_bound\": {:.6}, ",
                 "\"p50_ms\": {:.6}, \"p95_ms\": {:.6}, \"p99_ms\": {:.6}, ",
@@ -769,8 +790,10 @@ impl ProgressiveCell {
             threshold,
             step,
             tolerance,
+            budget,
             self.report.planes,
             self.report.cancels,
+            self.report.budget_stops,
             self.report.response_bytes,
             self.report.monolithic_bytes,
             self.savings_pct(),
@@ -932,6 +955,25 @@ fn assert_progressive_coverage(cells: &[ProgressiveCell]) {
     assert!(
         chaos.report.retries > 0,
         "the chaos plan must force at least one retry"
+    );
+    // The byte budget is the second cancel predicate: every delivery
+    // still terminates, the budget cuts are surfaced, and the wire
+    // carries less than reading every plane would.
+    let budget = find("byte_budget");
+    assert!(
+        budget.report.budget_stops > 0,
+        "a 4 KiB budget on this imagery must stop at least one sequence"
+    );
+    assert_eq!(
+        budget.report.budget_stops, budget.report.cancels,
+        "with no tolerance every cancel here is a budget stop"
+    );
+    assert!(
+        budget.report.response_bytes < lossy.report.response_bytes,
+        "a byte budget must save wire over reading every plane \
+         ({} vs {} bytes)",
+        budget.report.response_bytes,
+        lossy.report.response_bytes
     );
 
     eprintln!(
@@ -1388,12 +1430,247 @@ fn progressive_live_rows(clients: usize, reqs_per_client: usize) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Elastic sharding: static vs stealing vs split/merge under Zipf skew
+// ---------------------------------------------------------------------
+
+/// Zipf exponent of the elastic workload's shape popularity: a mild
+/// real-traffic skew — the top shape draws ~31% of arrivals, the top
+/// four ~63% — which lands disproportionately on whichever shards the
+/// FNV placement happens to give the popular shapes.
+const ZIPF_S: f64 = 1.1;
+
+/// Seeded open-loop stream whose shape popularity is Zipf(`s`) over
+/// the shared pool (rank k drawn with probability proportional to
+/// `1/(k+1)^s`), priorities mixed. Same arrival process as [`stream`],
+/// different popularity law: this is the imbalance generator the
+/// elastic controller is benched against.
+fn zipf_stream(n_reqs: usize, rate_hz: f64, s: f64) -> Vec<(f64, DecomposeRequest)> {
+    let pool = shape_pool();
+    let weights: Vec<f64> = (0..pool.len())
+        .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = SplitMix64(SEED ^ 0xe1a5_71c5);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity(n_reqs);
+    for _ in 0..n_reqs {
+        t += -rng.unit_f64().ln() / rate_hz;
+        // Inverse-CDF sample of the Zipf rank.
+        let mut u = rng.unit_f64() * total;
+        let mut rank = pool.len() - 1;
+        for (k, w) in weights.iter().enumerate() {
+            if u < *w {
+                rank = k;
+                break;
+            }
+            u -= *w;
+        }
+        let (size, bank, levels) = pool[rank].clone();
+        let priority = Priority::ALL[(rng.next_u64() % 3) as usize];
+        let req = DecomposeRequest::new(image(size, rng.next_u64() % 13), bank, levels)
+            .with_priority(priority);
+        out.push((t, req));
+    }
+    out
+}
+
+/// The elastic comparison grid: one static baseline and two controller
+/// modes over the identical Zipf stream. Thresholds are scaled to the
+/// simulator's microsecond-level service times (the policy defaults
+/// target live wall-clock costs).
+fn elastic_scenarios() -> Vec<(&'static str, Option<ElasticPolicy>)> {
+    let stealing = ElasticPolicy {
+        min_gap_s: 40e-6,
+        steal_gap_s: 50e-6,
+        ..ElasticPolicy::stealing()
+    };
+    let split_merge = ElasticPolicy {
+        min_gap_s: 40e-6,
+        steal_gap_s: 50e-6,
+        split_backlog_s: 150e-6,
+        merge_backlog_s: 30e-6,
+        ..ElasticPolicy::split_merge(2)
+    };
+    vec![
+        ("static", None),
+        ("stealing", Some(stealing)),
+        ("split_merge", Some(split_merge)),
+    ]
+}
+
+struct ElasticCell {
+    scenario: &'static str,
+    requests: usize,
+    rate_hz: f64,
+    reserve: usize,
+    report: SimReport,
+}
+
+impl ElasticCell {
+    fn shed(&self) -> u64 {
+        self.report.metrics.rejected(RejectKind::Shed)
+    }
+
+    fn imbalance_pct(&self) -> f64 {
+        self.report
+            .metrics
+            .budget_report()
+            .expect("completed work yields a budget report")
+            .imbalance_pct()
+    }
+
+    fn p_ms(&self, q: f64) -> f64 {
+        self.report.metrics.latency_quantile(q) * 1e3
+    }
+
+    fn json(&self) -> String {
+        let m = &self.report.metrics;
+        format!(
+            concat!(
+                "{{\"scenario\": \"{}\", \"requests\": {}, \"rate_hz\": {}, ",
+                "\"zipf_s\": {}, \"shards\": {}, \"reserve\": {}, ",
+                "\"accepted\": {}, \"completed\": {}, \"shed\": {}, ",
+                "\"stolen\": {}, \"splits\": {}, \"merges\": {}, \"actions\": {}, ",
+                "\"imbalance_pct\": {:.3}, \"p50_ms\": {:.6}, \"p95_ms\": {:.6}, ",
+                "\"p99_ms\": {:.6}, \"throughput_hz\": {:.3}, \"makespan_s\": {:.9}}}"
+            ),
+            self.scenario,
+            self.requests,
+            self.rate_hz,
+            ZIPF_S,
+            ELASTIC_SHARDS,
+            self.reserve,
+            m.accepted(),
+            m.completed(),
+            self.shed(),
+            m.stolen(),
+            m.splits(),
+            m.merges(),
+            self.report.actions.len(),
+            self.imbalance_pct(),
+            self.p_ms(0.50),
+            self.p_ms(0.95),
+            self.p_ms(0.99),
+            self.report.throughput(),
+            self.report.makespan_s,
+        )
+    }
+}
+
+/// Base shard count of every elastic scenario (reserve slots extra).
+const ELASTIC_SHARDS: usize = 4;
+
+fn elastic_sweep(n_reqs: usize, rate_hz: f64) -> Vec<ElasticCell> {
+    let cost = CostModel::default();
+    let mut cells = Vec::new();
+    for (scenario, policy) in elastic_scenarios() {
+        let reserve = policy.as_ref().map_or(0, |p| p.reserve);
+        let mut cfg = ServiceConfig::default()
+            .with_shards(ELASTIC_SHARDS)
+            .with_queue_capacity(64);
+        if let Some(policy) = policy {
+            cfg = cfg.with_elastic(policy);
+        }
+        let report = run_sim(&cfg, &cost, zipf_stream(n_reqs, rate_hz, ZIPF_S));
+        let cell = ElasticCell {
+            scenario,
+            requests: n_reqs,
+            rate_hz,
+            reserve,
+            report,
+        };
+        eprintln!(
+            "elastic {scenario:<12} completed={:<4} stolen={:<3} splits={} merges={} \
+             imbalance={:.1}% p95={:.3}ms",
+            cell.report.metrics.completed(),
+            cell.report.metrics.stolen(),
+            cell.report.metrics.splits(),
+            cell.report.metrics.merges(),
+            cell.imbalance_pct(),
+            cell.p_ms(0.95),
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Elastic acceptance criteria:
+/// * exactly-once: every request terminates, completions match the Ok
+///   count, the admission books balance despite migration;
+/// * both controller modes actually act (steals > 0; splits and merges
+///   > 0 for split/merge);
+/// * both controller modes beat the static layout on imbalance, and
+///   hold the matched-set p95 at least even under the same skew.
+fn assert_elastic_coverage(cells: &[ElasticCell]) {
+    let find = |name: &str| -> &ElasticCell {
+        cells
+            .iter()
+            .find(|c| c.scenario == name)
+            .expect("scenario present in the elastic grid")
+    };
+    for cell in cells {
+        assert_eq!(
+            cell.report.outcomes.len(),
+            cell.requests,
+            "{}: every request must terminate exactly once",
+            cell.scenario
+        );
+        let ok = cell.report.outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        assert_eq!(
+            ok,
+            cell.report.metrics.completed(),
+            "{}: completions must match the outcome log",
+            cell.scenario
+        );
+        assert_eq!(
+            cell.report.metrics.accepted(),
+            ok + cell.shed(),
+            "{}: migration must be counter-neutral in the books",
+            cell.scenario
+        );
+    }
+    let stat = find("static");
+    assert_eq!(stat.report.metrics.stolen(), 0);
+    assert!(stat.report.actions.is_empty());
+    for name in ["stealing", "split_merge"] {
+        let ela = find(name);
+        assert!(
+            ela.report.metrics.stolen() > 0,
+            "{name}: the Zipf skew must trigger steals"
+        );
+        assert!(
+            ela.imbalance_pct() < stat.imbalance_pct(),
+            "{name}: imbalance {:.2}% must undercut static {:.2}%",
+            ela.imbalance_pct(),
+            stat.imbalance_pct()
+        );
+        let (stat_p95, ela_p95) = matched_p95(&stat.report, &ela.report);
+        assert!(
+            ela_p95 <= stat_p95,
+            "{name}: matched-set p95 {:.4}ms must not regress static {:.4}ms",
+            ela_p95 * 1e3,
+            stat_p95 * 1e3
+        );
+    }
+    let sm = find("split_merge");
+    assert!(
+        sm.report.metrics.splits() > 0,
+        "split_merge: the hot shard must split onto a reserve"
+    );
+    assert!(
+        sm.report.metrics.merges() > 0,
+        "split_merge: drained reserves must retire"
+    );
+}
+
 fn render(
     n_reqs: usize,
     cells: &[Cell],
     chaos: &[ChaosCell],
     transport: &[TransportCell],
     progressive: &[ProgressiveCell],
+    elastic: &[ElasticCell],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"wserv_load\",\n");
@@ -1439,6 +1716,13 @@ fn render(
         } else {
             ",\n"
         });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"elastic_results\": [\n");
+    for (i, c) in elastic.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.json());
+        out.push_str(if i + 1 == elastic.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -1534,17 +1818,25 @@ fn main() {
     assert_transport_coverage(&transport);
     let progressive = progressive_sweep(cl_clients, cl_reqs);
     assert_progressive_coverage(&progressive);
-    let report = render(n_reqs, &cells, &chaos, &transport, &progressive);
+    let (elastic_reqs, elastic_rate) = if smoke {
+        (400, 220_000.0)
+    } else {
+        (1200, 220_000.0)
+    };
+    let elastic = elastic_sweep(elastic_reqs, elastic_rate);
+    assert_elastic_coverage(&elastic);
+    let report = render(n_reqs, &cells, &chaos, &transport, &progressive, &elastic);
 
     // Byte-reproducibility is part of the contract: regenerate the
-    // whole sweep — chaos, transport, and progressive rows included —
-    // and require the identical document.
+    // whole sweep — chaos, transport, progressive, and elastic rows
+    // included — and require the identical document.
     let again = render(
         n_reqs,
         &sweep(n_reqs, &shard_grid, &rates),
         &chaos_sweep(chaos_reqs, chaos_rate),
         &transport_sweep(cl_clients, cl_reqs),
         &progressive_sweep(cl_clients, cl_reqs),
+        &elastic_sweep(elastic_reqs, elastic_rate),
     );
     assert_eq!(report, again, "service bench must be byte-reproducible");
 
@@ -1562,7 +1854,7 @@ fn main() {
         let tail = "  ]\n}\n";
         let base = report
             .strip_suffix(tail)
-            .expect("render ends with the progressive section");
+            .expect("render ends with the elastic section");
         format!(
             "{base}  ],\n  \"transport_live\": [\n{live}  ],\n  \
              \"progressive_live\": [\n{plive}  ]\n}}\n"

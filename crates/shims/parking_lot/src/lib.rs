@@ -47,6 +47,18 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Acquire the lock only if it is free right now; `None` if another
+    /// thread holds it (parking_lot's non-blocking variant).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { guard: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
+                guard: Some(poisoned.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
         self.inner

@@ -164,6 +164,70 @@ impl<T> AdmissionQueue<T> {
         all
     }
 
+    /// Per-shape census of the queue for the elastic controller:
+    /// `(shape, queued, movable)` where `movable` excludes solo
+    /// (poison-suspect) entries, which never migrate. Order is
+    /// deterministic — first appearance scanning Interactive → Batch,
+    /// FIFO within a class — so controller decisions built on the
+    /// census replay bit-identically.
+    pub fn shape_census(&self) -> Vec<(dwt::engine::PlanShape, usize, usize)> {
+        let mut census: Vec<(dwt::engine::PlanShape, usize, usize)> = Vec::new();
+        for bucket in self.buckets.iter().rev() {
+            for entry in bucket {
+                let shape = entry.req.shape();
+                let movable = usize::from(!entry.solo());
+                match census.iter_mut().find(|(s, ..)| *s == shape) {
+                    Some((_, count, mv)) => {
+                        *count += 1;
+                        *mv += movable;
+                    }
+                    None => census.push((shape, 1, movable)),
+                }
+            }
+        }
+        census
+    }
+
+    /// Remove up to `limit` non-solo entries whose shape hashes to the
+    /// routing key (scanning Interactive → Batch, FIFO within a class)
+    /// for migration to another shard. The removed entries keep their
+    /// priority class and ids; the exactly-once books are untouched
+    /// because the entries stay queued — just elsewhere.
+    pub fn take_shape(&mut self, key: u64, limit: usize) -> Vec<Entry<T>> {
+        let mut taken = Vec::new();
+        for bucket in self.buckets.iter_mut().rev() {
+            let mut i = 0;
+            while i < bucket.len() && taken.len() < limit {
+                if crate::shard::shape_key(&bucket[i].req.shape()) == key && !bucket[i].solo() {
+                    taken.push(bucket.remove(i).expect("index in range"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !taken.is_empty() {
+            self.counters.depth.record(self.len() as f64);
+        }
+        taken
+    }
+
+    /// Accept an entry migrated from another shard's queue. Unlike
+    /// [`AdmissionQueue::admit`] this is counter-neutral: the entry was
+    /// already door-counted (`accepted`) on its original shard, so only
+    /// the depth gauge moves. The caller (the elastic driver) bounds
+    /// migrations by this queue's free space, so capacity is respected
+    /// by construction; the debug assert keeps that contract honest.
+    pub fn accept_migrated(&mut self, entry: Entry<T>) {
+        debug_assert!(self.len() < self.capacity, "migration overfilled the queue");
+        self.buckets[entry.req.priority as usize].push_back(entry);
+        self.counters.depth.record(self.len() as f64);
+    }
+
+    /// Admission slots left before the queue is full.
+    pub fn free(&self) -> usize {
+        self.capacity - self.len()
+    }
+
     fn push(&mut self, entry: Entry<T>) {
         self.counters.accepted += 1;
         self.buckets[entry.req.priority as usize].push_back(entry);

@@ -58,6 +58,7 @@
 pub mod admission;
 pub mod batch;
 pub mod cache;
+pub mod elastic;
 pub mod faults;
 pub mod metrics;
 pub mod progressive;
@@ -72,6 +73,9 @@ pub mod wire;
 pub use admission::{AdmissionQueue, Admit, Pop};
 pub use batch::{Batch, BatchPolicy};
 pub use cache::{CachedPlan, PlanCache};
+pub use elastic::{
+    BalanceAction, BalanceController, CostBook, ElasticPolicy, QueuedShape, ShardLoad, ShardMap,
+};
 pub use faults::{
     DegradedPolicy, ShardFaultPlan, SupervisorPolicy, WireDir, WireFault, WireFaultPlan,
 };

@@ -146,6 +146,16 @@ pub struct ShardMetrics {
     pub quarantined: u64,
     /// Requests answered with a degraded (bounded-error) response.
     pub degraded_served: u64,
+    /// Entries migrated *into* this shard's queue by an elastic steal
+    /// or split.
+    pub stolen_in: u64,
+    /// Entries migrated *out of* this shard's queue by an elastic
+    /// steal or split.
+    pub stolen_out: u64,
+    /// Split actions that divided this shard's shape set.
+    pub splits: u64,
+    /// Merge actions that retired this shard back to the reserve.
+    pub merges: u64,
     /// Whether the shard ended the run failed over (restart budget
     /// exhausted).
     pub failed: bool,
@@ -202,9 +212,19 @@ impl ShardMetrics {
     /// Close the shard's books at service-clock time `now`: idle time
     /// becomes the imbalance/wait lane and `now` the completion time.
     pub fn finalize(&mut self, now: f64) {
+        self.finalize_active(now, now);
+    }
+
+    /// Close the books over an explicit active span — how a
+    /// reserve-born elastic shard finalizes: it only owes idle time for
+    /// the `active_s` seconds it was actually activated, not the whole
+    /// run, so a split late in a run does not spuriously inflate the
+    /// imbalance lane. `completion` is when its last activation window
+    /// closed.
+    pub fn finalize_active(&mut self, active_s: f64, completion: f64) {
         self.lanes
-            .charge(Category::ImbalanceWait, (now - self.busy_s).max(0.0));
-        self.lanes.completion = now;
+            .charge(Category::ImbalanceWait, (active_s - self.busy_s).max(0.0));
+        self.lanes.completion = completion;
     }
 
     /// Cache hit rate over terminated lookups (0 with no lookups).
@@ -357,6 +377,29 @@ impl MetricsSnapshot {
     /// Requests served degraded (bounded-error responses).
     pub fn degraded_served(&self) -> u64 {
         self.shards.iter().map(|s| s.degraded_served).sum()
+    }
+
+    /// Entries migrated between shards by elastic steal/split actions.
+    /// In-migrations and out-migrations are counted by opposite ends of
+    /// the same move, so the two totals always agree.
+    pub fn stolen(&self) -> u64 {
+        let stolen_in: u64 = self.shards.iter().map(|s| s.stolen_in).sum();
+        debug_assert_eq!(
+            stolen_in,
+            self.shards.iter().map(|s| s.stolen_out).sum::<u64>(),
+            "every migrated entry leaves one queue and enters another"
+        );
+        stolen_in
+    }
+
+    /// Split actions across shards.
+    pub fn splits(&self) -> u64 {
+        self.shards.iter().map(|s| s.splits).sum()
+    }
+
+    /// Merge actions across shards.
+    pub fn merges(&self) -> u64 {
+        self.shards.iter().map(|s| s.merges).sum()
     }
 
     /// Shards that ended the run failed over, ascending.

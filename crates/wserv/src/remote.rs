@@ -73,7 +73,7 @@ use crate::transport::{
 use crate::wire::{
     decode_hello, decode_request, decode_response_body, encode_hello, encode_progressive_header,
     encode_progressive_plane, encode_request, encode_response, Frame, FrameKind, Hello,
-    ResponseBody, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
+    ResponseBody, DEFAULT_MAX_PAYLOAD, HEADER_LEN, PROTOCOL_VERSION, TRAILER_LEN,
 };
 
 /// Smallest payload window either side will settle on: enough to frame
@@ -809,10 +809,13 @@ pub struct ProgressiveTally {
     pub headers: u64,
     /// Detail-plane frames applied.
     pub planes: u64,
-    /// Cancel frames sent after meeting tolerance.
+    /// Cancel frames sent after meeting tolerance or a byte budget.
     pub cancels: u64,
-    /// Calls resolved from a partial (tolerance-met) reassembly.
+    /// Calls resolved from a partial (cut-short) reassembly.
     pub partial_responses: u64,
+    /// Sequences cut short because the byte budget was reached before
+    /// completion (a subset of `cancels`).
+    pub budget_stops: u64,
 }
 
 /// A synchronous closed-loop client: one outstanding request, retried
@@ -836,6 +839,9 @@ pub struct RemoteClient {
     /// Stop reading a progressive sequence (and Cancel it) once the
     /// running error bound reaches this.
     tolerance: Option<f64>,
+    /// Stop reading a progressive sequence (and Cancel it) once this
+    /// many response bytes have arrived for the call, complete or not.
+    byte_budget: Option<usize>,
     /// Client-side transport counters (errors observed, frames/bytes).
     pub transport: TransportMetrics,
     /// Progressive delivery counters.
@@ -861,6 +867,7 @@ impl RemoteClient {
             max_payload: DEFAULT_MAX_PAYLOAD,
             negotiated: None,
             tolerance: None,
+            byte_budget: None,
             transport: TransportMetrics::default(),
             progressive: ProgressiveTally::default(),
             retries: 0,
@@ -904,6 +911,19 @@ impl RemoteClient {
     /// tolerance the client always reads sequences to completion.
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = Some(tolerance);
+        self
+    }
+
+    /// Stop reading progressive sequences — and Cancel the request —
+    /// once at least `budget` response bytes (on-wire frame bytes for
+    /// the call) have arrived, even if the running error bound has not
+    /// met any tolerance. The partial response delivered is whatever
+    /// refinement the budget paid for; budget-cut calls are surfaced in
+    /// [`ProgressiveTally::budget_stops`]. Composes with
+    /// [`RemoteClient::with_tolerance`]: whichever predicate fires
+    /// first cancels the stream.
+    pub fn with_byte_budget(mut self, budget: usize) -> Self {
+        self.byte_budget = Some(budget.max(1));
         self
     }
 
@@ -1008,6 +1028,7 @@ impl RemoteClient {
             id,
             self.response_timeout,
             self.tolerance,
+            self.byte_budget,
             &mut self.progressive,
         )
         .map_err(|e| (e, false))?;
@@ -1087,19 +1108,27 @@ fn cancel_and_finish(
 
 /// Wait for the response to `id` — a terminal outcome, or a progressive
 /// sequence reassembled incrementally (cut short by Cancel once
-/// `tolerance` is met). Returns `(result, drop_connection)`.
+/// `tolerance` is met or `byte_budget` response bytes have landed).
+/// Returns `(result, drop_connection)`.
 fn recv_response(
     io: &mut FrameIo,
     id: u64,
     timeout: Duration,
     tolerance: Option<f64>,
+    byte_budget: Option<usize>,
     tally: &mut ProgressiveTally,
 ) -> Result<(ServeResult, bool), TransportError> {
     let deadline = Instant::now() + timeout;
     let mut assembly: Option<Reassembler> = None;
+    // On-wire bytes received for this call's Response frames; the
+    // byte-budget predicate is over delivered wire bytes, not decoded
+    // coefficient counts, so it bounds what the link actually carried.
+    let mut got_bytes = 0usize;
+    let over_budget = |got: usize| byte_budget.is_some_and(|b| got >= b);
     loop {
         match io.recv_frame()? {
             RecvFrame::Frame(f) if f.kind == FrameKind::Response && f.id == id => {
+                got_bytes += HEADER_LEN + f.payload.len() + TRAILER_LEN;
                 match decode_response_body(&f)? {
                     ResponseBody::Outcome(result) => return Ok((result, false)),
                     ResponseBody::Header(h) => {
@@ -1111,6 +1140,10 @@ fn recv_response(
                             return Ok((Ok(r.into_response()), false));
                         }
                         if tolerance.is_some_and(|tol| r.bound() <= tol) {
+                            return cancel_and_finish(io, id, r, tally);
+                        }
+                        if over_budget(got_bytes) {
+                            tally.budget_stops += 1;
                             return cancel_and_finish(io, id, r, tally);
                         }
                         assembly = Some(r);
@@ -1135,6 +1168,11 @@ fn recv_response(
                             return Ok((Ok(r.into_response()), false));
                         }
                         if tolerance.is_some_and(|tol| r.bound() <= tol) {
+                            let r = assembly.take().expect("assembly just applied");
+                            return cancel_and_finish(io, id, r, tally);
+                        }
+                        if over_budget(got_bytes) {
+                            tally.budget_stops += 1;
                             let r = assembly.take().expect("assembly just applied");
                             return cancel_and_finish(io, id, r, tally);
                         }

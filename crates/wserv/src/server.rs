@@ -56,6 +56,9 @@ use parking_lot::{Condvar, Mutex};
 use crate::admission::{AdmissionQueue, Admit};
 use crate::batch::{Batch, BatchPolicy};
 use crate::cache::PlanCache;
+use crate::elastic::{
+    BalanceAction, BalanceController, ElasticPolicy, QueuedShape, ShardLoad, ShardMap,
+};
 use crate::faults::{DegradedPolicy, ShardFaultPlan, SupervisorPolicy};
 use crate::metrics::{LaneSplit, MetricsSnapshot, ShardMetrics};
 use crate::request::{
@@ -83,6 +86,9 @@ pub struct ServiceConfig {
     /// Degraded-mode serving under reduced capacity (`None` = always
     /// exact).
     pub degraded: Option<DegradedPolicy>,
+    /// Elastic sharding: load-aware work stealing and split/merge
+    /// (`None` = static FNV placement).
+    pub elastic: Option<ElasticPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +102,7 @@ impl Default for ServiceConfig {
             faults: ShardFaultPlan::none(),
             supervisor: SupervisorPolicy::default(),
             degraded: None,
+            elastic: None,
         }
     }
 }
@@ -143,12 +150,27 @@ impl ServiceConfig {
         self
     }
 
+    /// Enable elastic sharding under the given policy.
+    pub fn with_elastic(mut self, elastic: ElasticPolicy) -> Self {
+        self.elastic = Some(elastic);
+        self
+    }
+
+    /// Total shard slots: the live shard count plus the elastic
+    /// reserve pool (0 extra without elastic).
+    pub fn total_slots(&self) -> usize {
+        self.shards.max(1) + self.elastic.map_or(0, |e| e.reserve)
+    }
+
     /// Validate the configuration's fault and recovery knobs.
     pub fn validate(&self) -> Result<(), String> {
-        self.faults.validate(self.shards.max(1))?;
+        self.faults.validate(self.total_slots())?;
         self.supervisor.validate()?;
         if let Some(d) = &self.degraded {
             d.validate()?;
+        }
+        if let Some(e) = &self.elastic {
+            e.validate()?;
         }
         Ok(())
     }
@@ -280,12 +302,38 @@ impl ShardShared {
     }
 }
 
+/// Shared elastic routing and control state of the live driver.
+///
+/// The [`ShardMap`] is *always* the routing authority — with elastic
+/// disabled it is an unmodified map over the base shards, which routes
+/// identically to the legacy [`shard::route`] ring. The controller is
+/// present only under [`ServiceConfig::elastic`]; submitters tick it
+/// opportunistically (`try_lock`, so at most one submitter balances at
+/// a time and nobody queues behind the control plane).
+///
+/// Lock order: `ctrl` → `map` → shard `inner` (innermost). Shard inner
+/// locks nest (two at once) only inside [`WaveletService::migrate`],
+/// always in ascending index order, and only while `ctrl` is held — so
+/// no cycle is possible with the single-inner-lock paths.
+#[derive(Debug)]
+struct LiveElastic {
+    map: Mutex<ShardMap>,
+    ctrl: Option<Mutex<BalanceController>>,
+    /// Reserve slots that were activated at least once (their books are
+    /// part of the final snapshot; never-activated slots served
+    /// nothing and are omitted).
+    ever_active: Mutex<Vec<bool>>,
+    /// The decision log: `(seconds since service start, action)`.
+    log: Mutex<Vec<(f64, BalanceAction)>>,
+}
+
 /// The running service.
 #[derive(Debug)]
 pub struct WaveletService {
     config: ServiceConfig,
     start: Instant,
     shards: Vec<Arc<ShardShared>>,
+    elastic: Arc<LiveElastic>,
     /// Present when supervision is enabled; owns the worker handles.
     supervisor: Option<thread::JoinHandle<()>>,
     /// Worker handles when supervision is disabled (joined at
@@ -311,17 +359,32 @@ impl WaveletService {
             panic!("invalid ServiceConfig: {reason}");
         }
         let start = Instant::now();
-        let shards: Vec<Arc<ShardShared>> = (0..config.shards)
+        let total = config.total_slots();
+        let shards: Vec<Arc<ShardShared>> = (0..total)
             .map(|_| Arc::new(ShardShared::new(&config)))
             .collect();
-        let handles: Vec<thread::JoinHandle<()>> = (0..config.shards)
-            .map(|ix| spawn_worker(ix, &shards, &config, start))
+        let elastic = Arc::new(LiveElastic {
+            map: Mutex::new(ShardMap::new(config.shards, total - config.shards)),
+            ctrl: config
+                .elastic
+                .map(|policy| Mutex::new(BalanceController::new(policy))),
+            ever_active: Mutex::new(vec![false; total]),
+            log: Mutex::new(Vec::new()),
+        });
+        // Reserve-slot workers spawn with the rest: they sleep on their
+        // empty queues until a split routes work their way, and they
+        // drain like any other shard at shutdown.
+        let handles: Vec<thread::JoinHandle<()>> = (0..total)
+            .map(|ix| spawn_worker(ix, &shards, &config, start, &elastic))
             .collect();
         let (supervisor, workers) = if config.supervisor.enabled() {
             let sup_shards = shards.clone();
             let sup_cfg = config.clone();
+            let sup_elastic = Arc::clone(&elastic);
             let handles = handles.into_iter().map(Some).collect();
-            let sup = thread::spawn(move || supervisor_loop(&sup_shards, handles, &sup_cfg, start));
+            let sup = thread::spawn(move || {
+                supervisor_loop(&sup_shards, handles, &sup_cfg, start, &sup_elastic)
+            });
             (Some(sup), Vec::new())
         } else {
             (None, handles)
@@ -330,6 +393,7 @@ impl WaveletService {
             config,
             start,
             shards,
+            elastic,
             supervisor,
             workers,
             next_id: Mutex::new(0),
@@ -348,9 +412,12 @@ impl WaveletService {
     pub fn submit(&self, req: DecomposeRequest) -> Result<ResponseHandle, Rejection> {
         req.validate()?;
         let shape = req.shape();
-        let home = shard::shard_of(&shape, self.config.shards);
         let alive: Vec<bool> = self.shards.iter().map(|s| s.alive()).collect();
-        let Some(shard_ix) = shard::route(&shape, &alive) else {
+        let (home, routed) = {
+            let map = self.elastic.map.lock();
+            (map.home(&shape), map.route(&shape, &alive))
+        };
+        let Some(shard_ix) = routed else {
             // Every shard is down; account the rejection to the home
             // shard so the books still balance per shard.
             let restarts = self.shards[home].restarts.load(Ordering::SeqCst);
@@ -386,7 +453,7 @@ impl WaveletService {
             }
             inner.queue.admit(now, entry)
         };
-        match admitted {
+        let result = match admitted {
             Admit::Accepted => {
                 state.work.notify_one();
                 Ok(ResponseHandle { cell })
@@ -400,6 +467,173 @@ impl WaveletService {
                 Ok(ResponseHandle { cell })
             }
             Admit::Rejected(_, rejection) => Err(rejection),
+        };
+        // The control plane runs on the submit path (no clock thread):
+        // each admission gives the balancer one chance to act.
+        self.elastic_tick(now);
+        result
+    }
+
+    /// The elastic controller's decision log so far: `(seconds since
+    /// service start, action)` in decision order. Empty without
+    /// [`ServiceConfig::elastic`].
+    pub fn elastic_log(&self) -> Vec<(f64, BalanceAction)> {
+        self.elastic.log.lock().clone()
+    }
+
+    /// Current routing-table version (bumped by every split, merge, and
+    /// override mutation; 0 while the map is pristine).
+    pub fn shard_map_epoch(&self) -> u64 {
+        self.elastic.map.lock().epoch()
+    }
+
+    /// One opportunistic controller step at `now` seconds. `try_lock`
+    /// keeps the control plane off the submit hot path: at most one
+    /// submitter balances at a time, the rest skip.
+    fn elastic_tick(&self, now: f64) {
+        let Some(ctrl_m) = &self.elastic.ctrl else {
+            return;
+        };
+        let Some(mut ctrl) = ctrl_m.try_lock() else {
+            return;
+        };
+        if !ctrl.ready(now) {
+            return;
+        }
+        let mut map = self.elastic.map.lock();
+        let loads: Vec<ShardLoad> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                let inner = st.inner.lock();
+                ShardLoad {
+                    active: map.is_active(s),
+                    failed: !st.alive(),
+                    depth: inner.queue.len(),
+                    free: inner.queue.free(),
+                    queued: inner
+                        .queue
+                        .shape_census()
+                        .into_iter()
+                        .map(|(shape, count, movable)| QueuedShape {
+                            key: shard::shape_key(&shape),
+                            shape,
+                            count,
+                            movable,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let Some(action) = ctrl.decide(now, &loads) else {
+            return;
+        };
+        self.apply_action(&mut map, &action);
+        self.elastic.log.lock().push((now, action));
+    }
+
+    /// Apply one decided action as queue surgery plus map mutation.
+    /// Every migrated entry leaves exactly one queue and enters exactly
+    /// one queue under its locks, so the exactly-once books never see
+    /// the move.
+    fn apply_action(&self, map: &mut ShardMap, action: &BalanceAction) {
+        match action {
+            BalanceAction::Steal { from, to, key, cap } => {
+                self.migrate(*from, *to, *key, *cap);
+            }
+            BalanceAction::Split { from, to, keys } => {
+                if !self.shards[*to].alive() {
+                    return;
+                }
+                map.activate(*to);
+                self.elastic.ever_active.lock()[*to] = true;
+                for &key in keys {
+                    map.set_override(key, *to);
+                    self.migrate(*from, *to, key, usize::MAX);
+                }
+                self.shards[*from].metrics.lock().splits += 1;
+            }
+            BalanceAction::Merge { from } => {
+                for key in map.overrides_to(*from) {
+                    map.clear_override(key);
+                }
+                map.retire(*from);
+                self.shards[*from].metrics.lock().merges += 1;
+                // Drain the retiring queue losslessly back through the
+                // map. The merge threshold keeps this tiny (usually
+                // empty); a full routable queue resolves the entry as
+                // a typed QueueFull rather than losing it.
+                let queued = self.shards[*from].inner.lock().queue.drain();
+                let alive: Vec<bool> = self.shards.iter().map(|s| s.alive()).collect();
+                for entry in queued {
+                    let Some(target) = map.route(&entry.req.shape(), &alive) else {
+                        let me = &self.shards[*from];
+                        let restarts = me.restarts.load(Ordering::SeqCst);
+                        me.inner
+                            .lock()
+                            .queue
+                            .counters
+                            .reject(RejectKind::ShardFailed);
+                        entry.tag.resolve(Err(Rejection::ShardFailed {
+                            shard: *from,
+                            restarts,
+                        }));
+                        continue;
+                    };
+                    let st = &self.shards[target];
+                    let mut inner = st.inner.lock();
+                    if inner.queue.free() > 0 {
+                        inner.queue.accept_migrated(entry);
+                        drop(inner);
+                        self.shards[*from].metrics.lock().stolen_out += 1;
+                        st.metrics.lock().stolen_in += 1;
+                        st.work.notify_one();
+                    } else {
+                        let depth = inner.queue.len();
+                        inner.queue.counters.reject(RejectKind::QueueFull);
+                        drop(inner);
+                        entry.tag.resolve(Err(Rejection::QueueFull { depth }));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Migrate up to `cap` queued entries of routing key `key` from
+    /// shard `from` to shard `to`, both inner locks held (ascending
+    /// index order) so the move is atomic with respect to failover
+    /// drains — an entry is owned by exactly one of the two mechanisms.
+    fn migrate(&self, from: usize, to: usize, key: u64, cap: usize) {
+        if from == to || !self.shards[from].alive() || !self.shards[to].alive() {
+            // A shard mid-failover is never a steal source or target:
+            // the controller already filters failed shards, and this
+            // re-check closes the decide-to-apply race.
+            return;
+        }
+        let (first, second) = (from.min(to), from.max(to));
+        let mut g1 = self.shards[first].inner.lock();
+        let mut g2 = self.shards[second].inner.lock();
+        let (from_inner, to_inner) = if from < to {
+            (&mut *g1, &mut *g2)
+        } else {
+            (&mut *g2, &mut *g1)
+        };
+        let cap = cap.min(to_inner.queue.free());
+        if cap == 0 {
+            return;
+        }
+        let taken = from_inner.queue.take_shape(key, cap);
+        let moved = taken.len() as u64;
+        for entry in taken {
+            to_inner.queue.accept_migrated(entry);
+        }
+        drop(g2);
+        drop(g1);
+        if moved > 0 {
+            self.shards[from].metrics.lock().stolen_out += moved;
+            self.shards[to].metrics.lock().stolen_in += moved;
+            self.shards[to].work.notify_all();
         }
     }
 
@@ -452,12 +686,19 @@ impl WaveletService {
                 }));
             }
         }
-        // Close every shard's books exactly once.
+        // Close every shard's books exactly once. Reserve slots that
+        // were never activated served nothing — they are omitted so
+        // their zero-completion lanes don't skew the imbalance rollup
+        // (activation always picks the lowest reserve slot, so the
+        // omissions are a stable suffix).
         let now = self.start.elapsed().as_secs_f64();
+        let ever_active = self.elastic.ever_active.lock().clone();
         let shards = self
             .shards
             .iter()
-            .map(|state| {
+            .enumerate()
+            .filter(|(ix, _)| *ix < self.config.shards || ever_active[*ix])
+            .map(|(_, state)| {
                 let mut m = state.metrics.lock().clone();
                 m.queue = state.inner.lock().queue.counters.clone();
                 m.absorb_cache(&state.cache.lock());
@@ -477,10 +718,12 @@ fn spawn_worker(
     shards: &[Arc<ShardShared>],
     cfg: &ServiceConfig,
     start: Instant,
+    elastic: &Arc<LiveElastic>,
 ) -> thread::JoinHandle<()> {
     let shards = shards.to_vec();
     let cfg = cfg.clone();
-    thread::spawn(move || worker_loop(shard_ix, &shards, &cfg, start))
+    let elastic = Arc::clone(elastic);
+    thread::spawn(move || worker_loop(shard_ix, &shards, &cfg, start, &elastic))
 }
 
 /// Re-admit one entry into `target`'s queue at `now`, charging the
@@ -542,7 +785,13 @@ fn quarantine(
     }
 }
 
-fn worker_loop(shard_ix: usize, shards: &[Arc<ShardShared>], cfg: &ServiceConfig, start: Instant) {
+fn worker_loop(
+    shard_ix: usize,
+    shards: &[Arc<ShardShared>],
+    cfg: &ServiceConfig,
+    start: Instant,
+    elastic: &Arc<LiveElastic>,
+) {
     let me = &shards[shard_ix];
     loop {
         let wake = Instant::now();
@@ -633,6 +882,7 @@ fn worker_loop(shard_ix: usize, shards: &[Arc<ShardShared>], cfg: &ServiceConfig
                     .degraded
                     .filter(|d| peer_failed || depth_frac >= d.queue_high_water);
                 let batch_size = batch.len();
+                let shape_key = shard::shape_key(&batch.shape);
                 let arrivals = batch.arrivals();
                 let end = start.elapsed().as_secs_f64();
                 let mut degraded_count = 0u64;
@@ -671,6 +921,18 @@ fn worker_loop(shard_ix: usize, shards: &[Arc<ShardShared>], cfg: &ServiceConfig
                 let mut metrics = me.metrics.lock();
                 metrics.record_batch(dispatch_start, end + deliver_s, &arrivals, split);
                 metrics.degraded_served += degraded_count;
+                drop(metrics);
+                // Feed the cost book with the measured per-request
+                // service time. `try_lock` only: a held controller is
+                // mid-decision, and one skipped sample is cheaper than
+                // a worker queuing behind the control plane.
+                if let Some(ctrl) = &elastic.ctrl {
+                    if let Some(mut c) = ctrl.try_lock() {
+                        let per_req =
+                            ((end + deliver_s) - dispatch_start).max(0.0) / batch_size as f64;
+                        c.observe(shape_key, per_req);
+                    }
+                }
             }
             Ok(Err(detail)) => {
                 // Engine refused the batch (validation raced a bad
@@ -694,6 +956,7 @@ fn supervisor_loop(
     mut handles: Vec<Option<thread::JoinHandle<()>>>,
     cfg: &ServiceConfig,
     start: Instant,
+    elastic: &Arc<LiveElastic>,
 ) {
     let policy = cfg.supervisor;
     loop {
@@ -719,9 +982,9 @@ fn supervisor_loop(
                         let backoff = policy.backoff_s(restart_no);
                         me.metrics.lock().record_restart(backoff);
                         thread::sleep(Duration::from_secs_f64(backoff));
-                        handles[s] = Some(spawn_worker(s, shards, cfg, start));
+                        handles[s] = Some(spawn_worker(s, shards, cfg, start, elastic));
                     } else {
-                        fail_over(s, shards, &policy, start);
+                        fail_over(s, shards, &policy, start, elastic);
                     }
                 }
             }
@@ -737,9 +1000,16 @@ fn supervisor_loop(
 }
 
 /// Declare shard `s` failed and re-route its in-flight and queued work
-/// to live successors on the shard ring. Entries with no live successor
-/// resolve [`Rejection::ShardFailed`].
-fn fail_over(s: usize, shards: &[Arc<ShardShared>], policy: &SupervisorPolicy, start: Instant) {
+/// to live successors through the shard map (which degenerates to the
+/// legacy ring without elastic overrides). Entries with no live
+/// successor resolve [`Rejection::ShardFailed`].
+fn fail_over(
+    s: usize,
+    shards: &[Arc<ShardShared>],
+    policy: &SupervisorPolicy,
+    start: Instant,
+    elastic: &Arc<LiveElastic>,
+) {
     let me = &shards[s];
     me.failed.store(true, Ordering::SeqCst);
     me.metrics.lock().failed = true;
@@ -748,8 +1018,9 @@ fn fail_over(s: usize, shards: &[Arc<ShardShared>], policy: &SupervisorPolicy, s
     let stranded = me.in_flight.lock().take();
     let queued = me.inner.lock().queue.drain();
     let alive: Vec<bool> = shards.iter().map(|x| x.alive()).collect();
+    let map = elastic.map.lock();
     for entry in stranded.into_iter().flat_map(|b| b.entries).chain(queued) {
-        match shard::route(&entry.req.shape(), &alive) {
+        match map.route(&entry.req.shape(), &alive) {
             Some(target) => readmit(me, &shards[target], entry, policy, now),
             None => {
                 me.inner

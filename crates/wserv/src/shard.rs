@@ -32,11 +32,20 @@ impl Hasher for Fnv1a {
     }
 }
 
-/// The shard a shape routes to, in `0..nshards`.
-pub fn shard_of(shape: &PlanShape, nshards: usize) -> usize {
+/// The stable 64-bit routing key of a shape: its FNV-1a hash. This is
+/// the coordinate the elastic [`crate::elastic::ShardMap`] keys its
+/// overrides and the [`crate::elastic::CostBook`] keys its estimates
+/// by, so steal/split decisions and the default hash placement agree on
+/// what "the same shape" means.
+pub fn shape_key(shape: &PlanShape) -> u64 {
     let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
     shape.hash(&mut h);
-    (h.finish() % nshards.max(1) as u64) as usize
+    h.finish()
+}
+
+/// The shard a shape routes to, in `0..nshards`.
+pub fn shard_of(shape: &PlanShape, nshards: usize) -> usize {
+    (shape_key(shape) % nshards.max(1) as u64) as usize
 }
 
 /// Failover routing: the shape's home shard if it is alive, otherwise

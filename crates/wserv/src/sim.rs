@@ -32,6 +32,7 @@ use std::collections::VecDeque;
 
 use crate::admission::{AdmissionQueue, Admit};
 use crate::cache::PlanCache;
+use crate::elastic::{BalanceAction, BalanceController, QueuedShape, ShardLoad, ShardMap};
 use crate::faults::{WireDir, WireFault, WireFaultPlan};
 use crate::metrics::{Histogram, LaneSplit, MetricsSnapshot, ShardMetrics};
 use crate::progressive::{split_response, Reassembler};
@@ -42,7 +43,7 @@ use crate::request::{
 use crate::server::ServiceConfig;
 use crate::shard;
 use crate::transport::TransportError;
-use crate::wire::{encode_progressive_header, encode_progressive_plane};
+use crate::wire::{self, encode_progressive_header, encode_progressive_plane};
 use dwt::engine::PlanShape;
 use dwt_mimd::CheckpointCodec;
 
@@ -97,9 +98,16 @@ pub struct SimReport {
     /// One terminal outcome per submitted request, in stream order.
     pub outcomes: Vec<ServeResult>,
     /// Per-shard metrics, same schema as the live server's snapshot.
+    /// With elastic sharding, reserve slots that were activated follow
+    /// the base shards (never-activated slots have no books to close
+    /// and are omitted).
     pub metrics: MetricsSnapshot,
     /// Virtual time at which the last shard went idle.
     pub makespan_s: f64,
+    /// The elastic controller's decision log, `(virtual time, action)`
+    /// in decision order — empty without [`ServiceConfig::elastic`].
+    /// Replaying the same `(config, stream)` reproduces this exactly.
+    pub actions: Vec<(f64, BalanceAction)>,
 }
 
 impl SimReport {
@@ -120,6 +128,13 @@ pub fn run_sim(
     cost: &CostModel,
     stream: Vec<(f64, DecomposeRequest)>,
 ) -> SimReport {
+    if config.elastic.is_some() {
+        // Elastic decisions couple the shards (a steal moves work
+        // between queues), so the independent per-shard loops below no
+        // longer apply; the joint chaos event loop handles it — and
+        // with an empty fault plan it orders events identically.
+        return run_chaos(config, cost, stream);
+    }
     let nshards = config.shards.max(1);
     let mut outcomes: Vec<Option<ServeResult>> = (0..stream.len()).map(|_| None).collect();
     let mut per_shard: Vec<VecDeque<Entry<usize>>> =
@@ -164,6 +179,7 @@ pub fn run_sim(
             .collect(),
         metrics: MetricsSnapshot { shards },
         makespan_s,
+        actions: Vec::new(),
     }
 }
 
@@ -338,12 +354,18 @@ pub fn run_chaos(
     stream: Vec<(f64, DecomposeRequest)>,
 ) -> SimReport {
     let nshards = config.shards.max(1);
+    let total = config.total_slots();
     config
         .faults
-        .validate(nshards)
+        .validate(total)
         .expect("invalid fault plan for this shard count");
+    if let Some(e) = &config.elastic {
+        e.validate().expect("invalid elastic policy");
+    }
+    let mut map = ShardMap::new(nshards, total - nshards);
+    let mut rt: Option<ElasticRt> = config.elastic.map(|policy| ElasticRt::new(policy, total));
     let mut outcomes: Vec<Option<ServeResult>> = (0..stream.len()).map(|_| None).collect();
-    let mut shards: Vec<ChaosShard> = (0..nshards).map(|_| ChaosShard::new(config)).collect();
+    let mut shards: Vec<ChaosShard> = (0..total).map(|_| ChaosShard::new(config)).collect();
     let mut arrivals: VecDeque<(f64, usize, DecomposeRequest)> = VecDeque::new();
     let mut last_t = f64::NEG_INFINITY;
     for (ix, (t, req)) in stream.into_iter().enumerate() {
@@ -366,29 +388,72 @@ pub fn run_chaos(
             .filter(|(_, sh)| !sh.failed && !sh.queue.is_empty())
             .map(|(s, sh)| (sh.t_free, s))
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        match (arrivals.front(), next_dispatch) {
+        let now = match (arrivals.front(), next_dispatch) {
             (None, None) => break,
             // Arrivals up to the dispatch moment land first, at their
             // own timestamps — the live submitters' ordering.
             (Some(&(ta, _, _)), Some((td, _))) if ta <= td => {
                 let (ta, ix, req) = arrivals.pop_front().expect("front just checked");
-                chaos_arrival(&mut shards, ta, ix, req, &mut outcomes);
+                chaos_arrival(&mut shards, &map, ta, ix, req, &mut outcomes);
+                ta
             }
             (Some(_), None) => {
                 let (ta, ix, req) = arrivals.pop_front().expect("front just checked");
-                chaos_arrival(&mut shards, ta, ix, req, &mut outcomes);
+                chaos_arrival(&mut shards, &map, ta, ix, req, &mut outcomes);
+                ta
             }
-            (_, Some((_, s))) => chaos_dispatch(&mut shards, config, cost, s, &mut outcomes),
+            (_, Some((td, s))) => {
+                chaos_dispatch(
+                    &mut shards,
+                    &map,
+                    config,
+                    cost,
+                    s,
+                    &mut outcomes,
+                    rt.as_mut().map(|r| &mut r.ctrl),
+                );
+                td
+            }
+        };
+        // The controller runs after every event, at that event's
+        // virtual time — the sim-side mirror of the live driver's
+        // submit-path tick.
+        if let Some(rt) = rt.as_mut() {
+            elastic_step(&mut shards, &mut map, rt, now, &mut outcomes);
         }
     }
 
     let mut makespan_s: f64 = 0.0;
-    let mut out_shards = Vec::with_capacity(nshards);
-    for mut sh in shards {
-        makespan_s = makespan_s.max(sh.t_free);
+    let mut out_shards = Vec::with_capacity(total);
+    for (s, mut sh) in shards.into_iter().enumerate() {
         sh.metrics.queue = sh.queue.counters.clone();
         sh.metrics.absorb_cache(&sh.cache);
-        sh.metrics.finalize(sh.t_free);
+        if s < nshards {
+            makespan_s = makespan_s.max(sh.t_free);
+            sh.metrics.finalize(sh.t_free);
+            out_shards.push(sh.metrics);
+            continue;
+        }
+        // Reserve slots: a slot that never activated has no books to
+        // close (it routed nothing, served nothing) — including it
+        // with completion 0 would misread the whole run as imbalance.
+        // Activation always picks the lowest inactive slot, so the
+        // omitted slots are a suffix and the emitted indices are
+        // stable. An activated slot owes idle time only over its
+        // active windows.
+        let rt = rt.as_mut().expect("reserve slots exist only with elastic");
+        if !rt.ever_active[s] {
+            continue;
+        }
+        let (active_s, end) = match rt.activated_at[s].take() {
+            Some(t0) => {
+                let end = sh.t_free.max(t0);
+                (rt.active_s[s] + end - t0, end)
+            }
+            None => (rt.active_s[s], rt.last_end[s]),
+        };
+        makespan_s = makespan_s.max(end);
+        sh.metrics.finalize_active(active_s, end);
         out_shards.push(sh.metrics);
     }
     SimReport {
@@ -398,21 +463,166 @@ pub fn run_chaos(
             .collect(),
         metrics: MetricsSnapshot { shards: out_shards },
         makespan_s,
+        actions: rt.map(|r| r.actions).unwrap_or_default(),
     }
 }
 
-/// Route and admit one external arrival at its own timestamp.
+/// The elastic control plane's runtime state inside the chaos loop:
+/// the controller itself, per-slot activation windows (for honest
+/// imbalance accounting of reserve-born shards), and the decision log.
+struct ElasticRt {
+    ctrl: BalanceController,
+    /// Start of the slot's current activation window, if active now.
+    activated_at: Vec<Option<f64>>,
+    /// Seconds of *closed* activation windows accumulated so far.
+    active_s: Vec<f64>,
+    /// End of the slot's last closed activation window.
+    last_end: Vec<f64>,
+    /// Whether the slot was ever activated (split at least once).
+    ever_active: Vec<bool>,
+    actions: Vec<(f64, BalanceAction)>,
+}
+
+impl ElasticRt {
+    fn new(policy: crate::elastic::ElasticPolicy, total: usize) -> Self {
+        ElasticRt {
+            ctrl: BalanceController::new(policy),
+            activated_at: vec![None; total],
+            active_s: vec![0.0; total],
+            last_end: vec![0.0; total],
+            ever_active: vec![false; total],
+            actions: Vec::new(),
+        }
+    }
+}
+
+/// Move one already-admitted entry from `from`'s queue into `to`'s.
+/// Counter-neutral on the door books (the entry was accepted once, at
+/// its original shard); an idle target's free time advances to the
+/// migration moment, exactly like [`chaos_admit`]'s idle rule.
+fn elastic_migrate(shards: &mut [ChaosShard], from: usize, to: usize, entry: Entry<usize>, t: f64) {
+    if shards[to].queue.is_empty() {
+        shards[to].t_free = shards[to].t_free.max(t);
+    }
+    shards[to].queue.accept_migrated(entry);
+    shards[from].metrics.stolen_out += 1;
+    shards[to].metrics.stolen_in += 1;
+}
+
+/// One controller step at virtual time `t`: census every slot, ask for
+/// a decision, apply it as queue surgery + map mutation, log it.
+fn elastic_step(
+    shards: &mut [ChaosShard],
+    map: &mut ShardMap,
+    rt: &mut ElasticRt,
+    t: f64,
+    outcomes: &mut [Option<ServeResult>],
+) {
+    if !rt.ctrl.ready(t) {
+        return;
+    }
+    let loads: Vec<ShardLoad> = shards
+        .iter()
+        .enumerate()
+        .map(|(s, sh)| ShardLoad {
+            active: map.is_active(s),
+            failed: sh.failed,
+            depth: sh.queue.len(),
+            free: sh.queue.free(),
+            queued: sh
+                .queue
+                .shape_census()
+                .into_iter()
+                .map(|(shape, count, movable)| QueuedShape {
+                    key: shard::shape_key(&shape),
+                    shape,
+                    count,
+                    movable,
+                })
+                .collect(),
+        })
+        .collect();
+    let Some(action) = rt.ctrl.decide(t, &loads) else {
+        return;
+    };
+    match &action {
+        BalanceAction::Steal { from, to, key, cap } => {
+            let (from, to) = (*from, *to);
+            let cap = (*cap).min(shards[to].queue.free());
+            for entry in shards[from].queue.take_shape(*key, cap) {
+                elastic_migrate(shards, from, to, entry, t);
+            }
+        }
+        BalanceAction::Split { from, to, keys } => {
+            let (from, to) = (*from, *to);
+            map.activate(to);
+            rt.activated_at[to] = Some(t);
+            rt.ever_active[to] = true;
+            shards[to].t_free = shards[to].t_free.max(t);
+            for &key in keys {
+                map.set_override(key, to);
+                let cap = shards[to].queue.free();
+                for entry in shards[from].queue.take_shape(key, cap) {
+                    elastic_migrate(shards, from, to, entry, t);
+                }
+            }
+            shards[from].metrics.splits += 1;
+        }
+        BalanceAction::Merge { from } => {
+            let from = *from;
+            for key in map.overrides_to(from) {
+                map.clear_override(key);
+            }
+            map.retire(from);
+            if let Some(t0) = rt.activated_at[from].take() {
+                rt.active_s[from] += t.max(t0) - t0;
+                rt.last_end[from] = rt.last_end[from].max(t).max(shards[from].t_free);
+            }
+            shards[from].metrics.merges += 1;
+            // Drain the retiring queue losslessly back through the map.
+            // The merge threshold keeps this drain tiny (usually
+            // empty); should every routable queue be full anyway, the
+            // entry resolves a typed QueueFull rather than vanishing.
+            let alive: Vec<bool> = shards.iter().map(|sh| !sh.failed).collect();
+            for entry in shards[from].queue.drain() {
+                let routed = map
+                    .route(&entry.req.shape(), &alive)
+                    .filter(|&tgt| shards[tgt].queue.free() > 0)
+                    .or_else(|| {
+                        (0..shards.len()).find(|&x| {
+                            map.is_active(x) && !shards[x].failed && shards[x].queue.free() > 0
+                        })
+                    });
+                match routed {
+                    Some(target) => elastic_migrate(shards, from, target, entry, t),
+                    None => {
+                        let depth = shards[from].queue.len();
+                        shards[from].queue.counters.reject(RejectKind::QueueFull);
+                        outcomes[entry.tag] = Some(Err(Rejection::QueueFull { depth }));
+                    }
+                }
+            }
+        }
+    }
+    rt.actions.push((t, action));
+}
+
+/// Route and admit one external arrival at its own timestamp. Routing
+/// goes through the [`ShardMap`] (overrides, active set, ring
+/// successors); rejections are accounted to the shape's stable FNV
+/// home, which elastic actions never move.
 fn chaos_arrival(
     shards: &mut [ChaosShard],
+    map: &ShardMap,
     t: f64,
     ix: usize,
     req: DecomposeRequest,
     outcomes: &mut [Option<ServeResult>],
 ) {
     let shape = req.shape();
-    let home = shard::shard_of(&shape, shards.len());
+    let home = map.home(&shape);
     let alive: Vec<bool> = shards.iter().map(|sh| !sh.failed).collect();
-    let Some(target) = shard::route(&shape, &alive) else {
+    let Some(target) = map.route(&shape, &alive) else {
         let restarts = shards[home].restarts;
         shards[home].queue.counters.reject(RejectKind::ShardFailed);
         outcomes[ix] = Some(Err(Rejection::ShardFailed {
@@ -483,6 +693,7 @@ fn chaos_readmit(
 /// [`Rejection::ShardFailed`].
 fn chaos_fail_over(
     shards: &mut [ChaosShard],
+    map: &ShardMap,
     s: usize,
     batch: Option<crate::batch::Batch<usize>>,
     config: &ServiceConfig,
@@ -495,7 +706,7 @@ fn chaos_fail_over(
     let queued = shards[s].queue.drain();
     let alive: Vec<bool> = shards.iter().map(|sh| !sh.failed).collect();
     for entry in batch.into_iter().flat_map(|b| b.entries).chain(queued) {
-        match shard::route(&entry.req.shape(), &alive) {
+        match map.route(&entry.req.shape(), &alive) {
             Some(target) => chaos_readmit(shards, s, target, entry, config, t, outcomes),
             None => {
                 shards[s].queue.counters.reject(RejectKind::ShardFailed);
@@ -506,12 +717,17 @@ fn chaos_fail_over(
 }
 
 /// One dispatch on shard `s` at its free time, with fault injection.
+/// `ctrl` (present under elastic sharding) gets the batch's measured
+/// per-request service time folded into its cost book.
+#[allow(clippy::too_many_arguments)]
 fn chaos_dispatch(
     shards: &mut [ChaosShard],
+    map: &ShardMap,
     config: &ServiceConfig,
     cost: &CostModel,
     s: usize,
     outcomes: &mut [Option<ServeResult>],
+    ctrl: Option<&mut BalanceController>,
 ) {
     let t = shards[s].t_free;
     let depth_frac = shards[s].queue.len() as f64 / config.queue_capacity.max(1) as f64;
@@ -539,7 +755,7 @@ fn chaos_dispatch(
             }
             shards[s].t_free = t + backoff;
         } else {
-            chaos_fail_over(shards, s, Some(batch), config, t, outcomes);
+            chaos_fail_over(shards, map, s, Some(batch), config, t, outcomes);
         }
         return;
     }
@@ -571,6 +787,7 @@ fn chaos_dispatch(
     match shard::execute(&mut shards[s].cache, &batch) {
         Ok(done) => {
             let batch_size = batch.len();
+            let shape_key = shard::shape_key(&batch.shape);
             let plan_s = if done.cache_hit {
                 0.0
             } else {
@@ -628,6 +845,11 @@ fn chaos_dispatch(
                 },
             );
             shards[s].metrics.degraded_served += degraded_count;
+            if let Some(ctrl) = ctrl {
+                // Feed the cost book the measured per-request service
+                // time — the same signal the live workers feed it.
+                ctrl.observe(shape_key, (end - t) / batch_size as f64);
+            }
             for (entry, pyramid, degraded, error_bound) in responses {
                 outcomes[entry.tag] = Some(Ok(DecomposeResponse {
                     pyramid,
@@ -777,6 +999,12 @@ pub struct ProgressiveSim {
     /// the simulated client cancels the rest of the sequence. `None`
     /// reads every sequence to completion.
     pub tolerance: Option<f64>,
+    /// Client byte budget: once this many on-wire response bytes have
+    /// been delivered for a call, the simulated client cancels the
+    /// rest of the sequence — the mirror of
+    /// [`crate::RemoteClient::with_byte_budget`]. Composes with
+    /// `tolerance`: whichever predicate fires first cancels.
+    pub byte_budget: Option<usize>,
 }
 
 impl Default for ClosedLoopConfig {
@@ -817,6 +1045,9 @@ impl ClosedLoopConfig {
                 if !(tol >= 0.0 && tol.is_finite()) {
                     return Err(format!("tolerance = {tol} must be finite and >= 0"));
                 }
+            }
+            if ps.byte_budget == Some(0) {
+                return Err("byte_budget must be >= 1".into());
             }
         }
         self.retry.validate()?;
@@ -862,6 +1093,9 @@ pub struct ClosedLoopReport {
     pub planes: u64,
     /// Progressive sequences cut short by a tolerance-met Cancel.
     pub cancels: u64,
+    /// Progressive sequences cut short because the client's byte
+    /// budget was reached before completion (a subset of `cancels`).
+    pub budget_stops: u64,
     /// Response-direction payload bytes placed on the wire (headers,
     /// planes, monolithic responses; faulted frames included).
     pub response_bytes: u64,
@@ -893,6 +1127,7 @@ struct WireLedger {
     replays: u64,
     planes: u64,
     cancels: u64,
+    budget_stops: u64,
     response_bytes: u64,
     monolithic_bytes: u64,
 }
@@ -1100,12 +1335,19 @@ fn deliver_result(
                     .len() as u64
             })
             .collect();
+        // On-wire bytes delivered this attempt (framing included), the
+        // same quantity the live client's byte-budget predicate sees.
+        let wire_len = |payload: u64| payload + (wire::HEADER_LEN + wire::TRAILER_LEN) as u64;
         let mut t = t_res;
         'attempt: loop {
             let mut reasm = Reassembler::new(header.clone()).expect("header geometry is valid");
+            let mut got_bytes = 0u64;
             acc.response_bytes += hbytes;
             match recv_half(cl, sc, conn, t, cl.wire.frame_payload_s(hbytes as f64), acc) {
-                RecvHalf::Delivered(td) => t = td,
+                RecvHalf::Delivered(td) => {
+                    t = td;
+                    got_bytes += wire_len(hbytes);
+                }
                 RecvHalf::Lost(tl, err) => {
                     if sc.attempts >= cl.retry.max_attempts {
                         return Err((tl, err));
@@ -1118,11 +1360,15 @@ fn deliver_result(
                 }
             }
             let tolerance_met = |r: &Reassembler| ps.tolerance.is_some_and(|tol| r.bound() <= tol);
-            if tolerance_met(&reasm) && !reasm.complete() {
+            let over_budget = |got: u64| ps.byte_budget.is_some_and(|b| got >= b as u64);
+            if (tolerance_met(&reasm) || over_budget(got_bytes)) && !reasm.complete() {
                 sc.c2s += 1; // Cancel frame
                 acc.frames += 1;
                 acc.comm_s += cl.wire.frame_payload_s(0.0);
                 acc.cancels += 1;
+                if !tolerance_met(&reasm) {
+                    acc.budget_stops += 1;
+                }
                 return Ok((t, Ok(reasm.into_response())));
             }
             for (j, plane) in planes.iter().enumerate() {
@@ -1137,13 +1383,17 @@ fn deliver_result(
                 ) {
                     RecvHalf::Delivered(td) => {
                         t = td;
+                        got_bytes += wire_len(pbytes[j]);
                         reasm.apply(plane).expect("planes fit their header");
                         acc.planes += 1;
-                        if tolerance_met(&reasm) && !reasm.complete() {
+                        if (tolerance_met(&reasm) || over_budget(got_bytes)) && !reasm.complete() {
                             sc.c2s += 1; // Cancel frame
                             acc.frames += 1;
                             acc.comm_s += cl.wire.frame_payload_s(0.0);
                             acc.cancels += 1;
+                            if !tolerance_met(&reasm) {
+                                acc.budget_stops += 1;
+                            }
                             return Ok((t, Ok(reasm.into_response())));
                         }
                     }
@@ -1294,6 +1544,10 @@ pub fn run_closed_loop(
     let mut outcomes: Vec<Option<ServeResult>> = (0..n).map(|_| None).collect();
     let mut client_out: Vec<Option<ClientOutcome>> = (0..n).map(|_| None).collect();
     let mut shards: Vec<ChaosShard> = (0..nshards).map(|_| ChaosShard::new(config)).collect();
+    // The closed-loop simulator models the wire, not the elastic
+    // control plane: routing is the static map (identical to legacy
+    // ring routing), and any configured elastic policy is ignored.
+    let map = ShardMap::new(nshards, 0);
     let mut latency = Histogram::default();
     let mut acc = WireLedger::default();
     let mut last_delivery: f64 = 0.0;
@@ -1386,7 +1640,7 @@ pub fn run_closed_loop(
                 shards[home].queue.counters.reject(RejectKind::Invalid);
                 outcomes[ix] = Some(Err(rejection));
             } else {
-                chaos_arrival(&mut shards, t, ix, req, &mut outcomes);
+                chaos_arrival(&mut shards, &map, t, ix, req, &mut outcomes);
             }
             drain_resolutions(
                 cl,
@@ -1402,7 +1656,7 @@ pub fn run_closed_loop(
             );
         } else {
             let (t, s) = next_dispatch.expect("td finite implies a dispatch");
-            chaos_dispatch(&mut shards, config, cost, s, &mut outcomes);
+            chaos_dispatch(&mut shards, &map, config, cost, s, &mut outcomes, None);
             drain_resolutions(
                 cl,
                 &shapes,
@@ -1442,6 +1696,7 @@ pub fn run_closed_loop(
         frames: acc.frames,
         planes: acc.planes,
         cancels: acc.cancels,
+        budget_stops: acc.budget_stops,
         response_bytes: acc.response_bytes,
         monolithic_bytes: acc.monolithic_bytes,
     }

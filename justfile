@@ -117,6 +117,24 @@ progressive-bench-smoke:
     WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
     python3 -c "import json; d = json.load(open('target/BENCH_service_smoke.json')); rows = d['progressive_results']; required = {'scenario', 'clients', 'reqs_per_client', 'delivered', 'threshold', 'step', 'tolerance', 'planes', 'cancels', 'response_bytes', 'monolithic_bytes', 'savings_pct', 'max_error_bound', 'p50_ms', 'p95_ms', 'p99_ms', 'comm_ms', 'throughput_hz', 'makespan_s'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; by = {r['scenario']: r for r in rows}; assert {'monolithic', 'progressive_lossless', 'progressive_lossy', 'tolerance_cancel'} <= set(by), set(by); assert all(r['delivered'] == r['clients'] * r['reqs_per_client'] for r in rows), 'lost requests'; assert by['progressive_lossless']['max_error_bound'] == 0, 'lossless must be exact'; assert by['tolerance_cancel']['cancels'] > 0, 'tolerance never cancelled'; assert by['tolerance_cancel']['max_error_bound'] <= by['tolerance_cancel']['tolerance'], 'tolerance violated'; lossy = [r for r in rows if r['threshold'] > 0]; assert any(r['response_bytes'] < r['monolithic_bytes'] for r in lossy), 'no lossy scenario beat monolithic bytes'; live = d['progressive_live']; assert {r['transport'] for r in live} == {'shim', 'tcp'}, live; assert all(next(r for r in live if r['transport'] == t and r['scenario'] == 'progressive_cancel')['bytes_out'] < next(r for r in live if r['transport'] == t and r['scenario'] == 'monolithic')['bytes_out'] for t in ('shim', 'tcp')), 'live progressive did not beat monolithic bytes'; assert all(r['max_error_bound'] <= r['tolerance'] for r in live if r['scenario'] == 'progressive_cancel'), 'live bound exceeds tolerance'; print('progressive smoke OK:', len(rows), 'sim rows,', len(live), 'live rows')"
 
+# Elastic-sharding gate: the elastic end-to-end suite (steals under
+# skew, split/merge lifecycle, crash fences, exactly-once books,
+# bit-identical replay) and the full-scale elastic_results rows of
+# BENCH_service.json (static vs stealing vs split/merge under the
+# seeded Zipf stream; the binary asserts elastic imbalance beats static
+# and the matched-set p95 never regresses).
+elastic-bench:
+    cargo test -q --release --test wserv_elastic
+    cargo run --release -p bench --bin bench_service
+
+# Downscaled elastic gate as CI runs it: same tests, smoke bench, then
+# schema + controller-acted + imbalance-beats-static assertions on the
+# elastic_results rows.
+elastic-bench-smoke:
+    cargo test -q --test wserv_elastic
+    WSERV_SMOKE=1 cargo run --release -p bench --bin bench_service
+    python3 -c "import json; rows = json.load(open('target/BENCH_service_smoke.json'))['elastic_results']; required = {'scenario', 'requests', 'rate_hz', 'zipf_s', 'shards', 'reserve', 'accepted', 'completed', 'shed', 'stolen', 'splits', 'merges', 'actions', 'imbalance_pct', 'p50_ms', 'p95_ms', 'p99_ms', 'throughput_hz', 'makespan_s'}; missing = [sorted(required - set(r)) for r in rows if not required <= set(r)]; assert not missing, missing; by = {r['scenario']: r for r in rows}; assert {'static', 'stealing', 'split_merge'} <= set(by), set(by); lost = [(r['scenario'], r['accepted'] - r['completed'] - r['shed']) for r in rows if r['completed'] + r['shed'] != r['accepted']]; assert not lost, lost; assert by['stealing']['stolen'] > 0, 'stealing row never stole'; assert by['split_merge']['splits'] > 0 and by['split_merge']['merges'] > 0, 'split_merge row never split or merged'; assert all(by[s]['imbalance_pct'] < by['static']['imbalance_pct'] for s in ('stealing', 'split_merge')), 'elastic imbalance did not beat static'; print('elastic smoke OK:', len(rows), 'rows, static imbalance', by['static']['imbalance_pct'], '% vs stealing', by['stealing']['imbalance_pct'], '%')"
+
 # Downscaled serving bench CI runs: fixed seed, small grid, writes
 # target/BENCH_service_smoke.json and asserts the same dominance and
 # reproducibility conditions.

@@ -753,6 +753,75 @@ fn progressive_tolerance_cancels_and_the_bound_is_honest() {
     run(Box::new(TcpConnector { addr, tick: tick() }), server);
 }
 
+/// A byte-budget client stops reading once the budget's worth of
+/// response bytes has landed — even with no tolerance at all — and the
+/// partial response's reported bound stays honest against the local
+/// oracle. Work is never lost: the server's books still read complete.
+#[test]
+fn byte_budget_cuts_delivery_and_surfaces_the_stop() {
+    let codec = CheckpointCodec::WaveletQuant {
+        threshold: 1e-6,
+        step: 0.0,
+    };
+    let budget = 4096usize;
+    let run = |connector: Box<dyn Connector>, server: RemoteServer| {
+        let mut client = RemoteClient::new(connector, 6).with_byte_budget(budget);
+        for salt in 0..3u64 {
+            // Deep decompositions of a 32x32 image stream far more
+            // than 4 KiB, so the budget always fires mid-sequence.
+            let req = DecomposeRequest::new(image(32, salt), FilterBank::cdf53(), 3);
+            let oracle = dwt::dwt2d::decompose(&req.image, &req.bank, req.levels, req.mode)
+                .expect("oracle geometry is valid");
+            let resp = client
+                .call(&req)
+                .expect("clean wire")
+                .expect("request serves Ok");
+            let actual =
+                pyramid_max_abs_diff(&resp.pyramid, &oracle).expect("geometry matches the oracle");
+            assert!(
+                actual <= resp.error_bound,
+                "actual error {actual} exceeds the reported bound {}",
+                resp.error_bound
+            );
+        }
+        assert!(
+            client.progressive.budget_stops >= 1,
+            "a 4 KiB budget on this imagery must stop at least one sequence, tally {:?}",
+            client.progressive
+        );
+        assert_eq!(
+            client.progressive.budget_stops, client.progressive.cancels,
+            "with no tolerance every cancel is a budget stop"
+        );
+        assert_eq!(
+            client.progressive.cancels, client.progressive.partial_responses,
+            "every budget stop resolved from the partial reassembly"
+        );
+        client.goodbye();
+        let metrics = server.shutdown().expect("clean drain");
+        assert_eq!(
+            metrics.service.completed(),
+            3,
+            "the budget never loses work"
+        );
+    };
+
+    let progressive = || RemoteConfig {
+        progressive: Some(codec),
+        ..remote_config()
+    };
+    let listener = MemListener::new(1 << 16, tick());
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(listener.clone()))
+        .expect("config is valid");
+    run(Box::new(listener), server);
+
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tick()).expect("loopback bind");
+    let addr = acceptor.local_addr();
+    let server = RemoteServer::start(service_config(), progressive(), Box::new(acceptor))
+        .expect("config is valid");
+    run(Box::new(TcpConnector { addr, tick: tick() }), server);
+}
+
 /// Progressive delivery + tolerance cancels + seeded wire chaos: every
 /// request still resolves exactly once (the dedup book replays recorded
 /// outcomes; cancelled sequences never un-execute work), and the books
